@@ -1,0 +1,57 @@
+//! Figure 1: throughput of each component of the ResNet18 data pipeline.
+//!
+//! The paper's motivating figure: on a server with 8 V100s and 24 CPU cores,
+//! raw data comes off an HDD at 15 MB/s or an SSD at 530 MB/s, the cache-mix
+//! (35 % of the dataset in DRAM) delivers an effective 802 MB/s, 24-core DALI
+//! pre-processing sustains 735 MB/s (≈1062 MB/s with GPU offload), while the
+//! GPUs want 2283 MB/s — so the pipeline stalls.
+
+use benchkit::Table;
+use dataset::DatasetSpec;
+use gpu::{aggregate_samples_per_sec, GpuGeneration, ModelKind};
+use prep::{PrepBackend, PrepCostModel, PrepPipeline};
+use storage::{AccessPattern, DeviceProfile, DRAM_BANDWIDTH_BYTES_PER_SEC};
+
+fn main() {
+    let dataset = DatasetSpec::imagenet_1k();
+    let avg_item = dataset.avg_item_bytes as f64;
+    let model = ModelKind::ResNet18.profile();
+
+    let hdd = DeviceProfile::hdd().bandwidth(AccessPattern::Random);
+    let ssd = DeviceProfile::sata_ssd().bandwidth(AccessPattern::Random);
+    let cache_fraction = 0.35;
+    // Effective fetch rate with 35 % of the dataset in DRAM (paper: 802 MB/s).
+    let mix = 1.0 / (cache_fraction / DRAM_BANDWIDTH_BYTES_PER_SEC + (1.0 - cache_fraction) / ssd);
+
+    let pipeline = PrepPipeline::image_classification();
+    let prep_cpu =
+        PrepCostModel::for_pipeline(&pipeline, PrepBackend::DaliCpu).throughput_bps(24.0, 0.0);
+    let prep_gpu =
+        PrepCostModel::for_pipeline(&pipeline, PrepBackend::DaliGpu).throughput_bps(24.0, 8.0);
+
+    let gpu_samples =
+        aggregate_samples_per_sec(&model, GpuGeneration::V100, 8, model.reference_batch);
+    let gpu_bytes = gpu_samples * avg_item;
+
+    let mb = |bps: f64| format!("{:.0} MB/s", bps / 1e6);
+    let mut table = Table::new(
+        "Figure 1: ResNet18 data-pipeline component rates",
+        &["component", "measured", "paper"],
+    )
+    .with_caption("8xV100, 24 CPU cores, ImageNet-1k, 35% of the dataset cached");
+    table.row(&["HDD random read".into(), mb(hdd), "15 MB/s".into()]);
+    table.row(&["SATA SSD random read".into(), mb(ssd), "530 MB/s".into()]);
+    table.row(&["fetch (35% cache + SSD)".into(), mb(mix), "802 MB/s".into()]);
+    table.row(&["prep, DALI-CPU, 24 cores".into(), mb(prep_cpu), "735 MB/s".into()]);
+    table.row(&["prep, DALI-GPU offload".into(), mb(prep_gpu), "1062 MB/s".into()]);
+    table.row(&["GPU ingestion demand (8xV100)".into(), mb(gpu_bytes), "2283 MB/s".into()]);
+    table.print();
+
+    let bottleneck = mix.min(prep_cpu.max(prep_gpu));
+    println!(
+        "\npipeline delivers {:.0} MB/s of the {:.0} MB/s the GPUs demand -> data stalls ({}% of demand unmet)",
+        bottleneck / 1e6,
+        gpu_bytes / 1e6,
+        ((1.0 - bottleneck / gpu_bytes) * 100.0).round()
+    );
+}

@@ -1,0 +1,93 @@
+//! Figures 19 & 20 (§5.5, appendix D.6): resource utilization — CPU time goes
+//! to useful pre-processing instead of waiting on I/O, network use stays a
+//! fraction of the link, and coordinated prep's staging memory is small.
+
+use benchkit::{fmt_bytes, fmt_pct, scaled, server_ssd, single_run, steady, Table};
+use coordl::{CoordinatedConfig, CoordinatedJobGroup};
+use dataset::{DataSource, DatasetSpec, SyntheticItemStore};
+use gpu::ModelKind;
+use pipeline::{simulate_distributed, JobSpec, LoaderConfig, ServerConfig};
+use prep::{ExecutablePipeline, PrepBackend, PrepCostModel, PrepPipeline};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // --- CPU utilization (Figure 19) ---------------------------------------
+    let model = ModelKind::ResNet18;
+    let dataset = scaled(DatasetSpec::openimages_extended());
+    let server = server_ssd(&dataset, 0.65);
+    let cost =
+        PrepCostModel::for_pipeline(&PrepPipeline::image_classification(), PrepBackend::DaliGpu);
+
+    let mut table = Table::new(
+        "Figure 19: CPU utilization during ResNet18 training (OpenImages, SSD-V100)",
+        &["loader", "epoch s", "prep work s", "CPU busy %", "fetch stall %"],
+    )
+    .with_caption("CPU busy = pre-processing work divided by epoch time x cores");
+    for (label, loader) in [
+        ("DALI-shuffle", LoaderConfig::dali_shuffle(PrepBackend::DaliGpu)),
+        ("CoorDL", LoaderConfig::coordl(PrepBackend::DaliGpu)),
+    ] {
+        let epoch = steady(&single_run(&server, model, &dataset, loader, 8));
+        let raw_bytes = epoch.bytes_from_cache + epoch.bytes_from_disk + epoch.bytes_from_remote;
+        let prep_work = cost.prep_seconds(raw_bytes, server.cpu_cores as f64, 8.0)
+            * server.cpu_cores as f64;
+        let busy = (prep_work / (epoch.epoch_seconds() * server.cpu_cores as f64)).min(1.0);
+        table.row(&[
+            label.to_string(),
+            format!("{:.1}", epoch.epoch_seconds()),
+            format!("{:.1}", prep_work),
+            fmt_pct(busy),
+            fmt_pct(epoch.fetch_stall_fraction()),
+        ]);
+    }
+    table.print();
+
+    // --- Network utilization (§5.5) -----------------------------------------
+    let dist_server =
+        ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.65);
+    let coordl = simulate_distributed(
+        &dist_server,
+        &JobSpec::new(ModelKind::ResNet50, dataset.clone(), 8, LoaderConfig::coordl_best(ModelKind::ResNet50)),
+        2,
+        3,
+    );
+    println!(
+        "\nnetwork: CoorDL uses {:.1} Gbps of the 40 Gbps link per server during 2-server ResNet50 training (paper: 5.7 Gbps, 14%).",
+        coordl.avg_network_gbps(2)
+    );
+
+    // --- Staging-area memory overhead (Figure 20) ---------------------------
+    let spec = DatasetSpec::new("staging-probe", 16_384, 4096, 0.2, 4.0);
+    let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec, 11));
+    let group = CoordinatedJobGroup::new(
+        Arc::clone(&store),
+        ExecutablePipeline::new(PrepPipeline::image_classification(), 4, 1),
+        CoordinatedConfig {
+            num_jobs: 8,
+            batch_size: 64,
+            staging_window: 4,
+            seed: 3,
+            cache_capacity_bytes: 256 << 20,
+            take_timeout: Duration::from_secs(10),
+        },
+    )
+    .expect("coordinated config");
+    let session = group.run_epoch(0);
+    let handles: Vec<_> = (0..8)
+        .map(|job| {
+            let consumer = session.consumer(job);
+            std::thread::spawn(move || consumer.map(|b| b.expect("batch")).count())
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join().expect("consumer");
+    }
+    let staging = session.staging().stats();
+    let dataset_bytes: u64 = (0..store.len()).map(|i| store.item_bytes(i)).sum();
+    println!(
+        "staging memory: peak {} for 8 concurrent jobs vs {} of raw data — a bounded window, not a second copy of the dataset (paper: ~5 GB, repaid by shrinking the cache by 5 GB).",
+        fmt_bytes(staging.peak_bytes),
+        fmt_bytes(dataset_bytes),
+    );
+}

@@ -1,0 +1,54 @@
+//! Criterion microbenchmark: epoch-sampler and minibatch-assembly throughput.
+//!
+//! Every loader draws a fresh permutation per epoch and slices it into
+//! minibatches; this must stay negligible next to fetch and prep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dataset::{minibatches, EpochSampler};
+use std::hint::black_box;
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_permutation");
+    for items in [10_000u64, 100_000, 1_000_000] {
+        group.throughput(Throughput::Elements(items));
+        group.bench_with_input(BenchmarkId::from_parameter(items), &items, |b, &items| {
+            let sampler = EpochSampler::new(items, 7);
+            let mut epoch = 0u64;
+            b.iter(|| {
+                epoch += 1;
+                black_box(sampler.permutation(epoch))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_minibatch_assembly(c: &mut Criterion) {
+    let sampler = EpochSampler::new(500_000, 7);
+    let order = sampler.permutation(0);
+    let mut group = c.benchmark_group("minibatch_assembly");
+    for batch in [64usize, 512, 4096] {
+        group.throughput(Throughput::Elements(order.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| black_box(minibatches(&order, batch)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed_shard(c: &mut Criterion) {
+    let sampler = EpochSampler::new(500_000, 7);
+    let mut group = c.benchmark_group("distributed_shard");
+    group.throughput(Throughput::Elements(500_000));
+    group.bench_function("4_shards", |b| {
+        let mut epoch = 0u64;
+        b.iter(|| {
+            epoch += 1;
+            (0..4).map(|s| sampler.distributed_shard(epoch, s, 4).len()).sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_permutation, bench_minibatch_assembly, bench_distributed_shard);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table 5: DS-Analyzer's predicted training speed vs the empirical value at
+//! 25 %, 35 % and 50 % cache (AlexNet on Config-SSD-V100, ImageNet-1k).
+//!
+//! The what-if model assumes an efficient (MinIO-like) cache, so the
+//! empirical side runs the simulator with CoorDL's cache, exactly as the
+//! paper's tool does.  Predictions should land within a few percent.
+
+use benchkit::Table;
+use dataset::DatasetSpec;
+use dsanalyzer::{ProfiledRates, WhatIfAnalysis};
+use gpu::ModelKind;
+use pipeline::{simulate_single_server, JobSpec, LoaderConfig, ServerConfig};
+
+fn main() {
+    let model = ModelKind::AlexNet;
+    let dataset = DatasetSpec::imagenet_1k().scaled(16);
+    let probe_server =
+        ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.35);
+    let probe = JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model));
+    let whatif = WhatIfAnalysis::new(ProfiledRates::measure(&probe_server, &probe));
+
+    let job = JobSpec::new(model, dataset.clone(), 8, LoaderConfig::coordl_best(model));
+    let mut table = Table::new(
+        "Table 5: DS-Analyzer predicted vs empirical training speed (samples/s)",
+        &["% dataset cached", "F predicted", "F empirical", "error"],
+    )
+    .with_caption("AlexNet, Config-SSD-V100, ImageNet-1k (paper reports <=4% error)");
+
+    let mut max_err: f64 = 0.0;
+    for cache_pct in [25u32, 35, 50] {
+        let frac = cache_pct as f64 / 100.0;
+        let predicted = whatif.predicted_speed(frac);
+        let server =
+            ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), frac);
+        let empirical = simulate_single_server(&server, &job, 3).steady_samples_per_sec();
+        let err = (predicted - empirical).abs() / empirical;
+        max_err = max_err.max(err);
+        table.row(&[
+            format!("{cache_pct}%"),
+            format!("{predicted:.0}"),
+            format!("{empirical:.0}"),
+            format!("{:.1}%", err * 100.0),
+        ]);
+    }
+    table.print();
+    println!("\nmax prediction error: {:.1}% (paper: at most 4%)", max_err * 100.0);
+}

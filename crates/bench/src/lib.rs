@@ -1,0 +1,24 @@
+//! Shared harness for the figure/table benches.
+//!
+//! Every bench binary in `benches/` regenerates one table or figure of the
+//! paper.  They all follow the same recipe: build a scaled-down dataset and a
+//! server configuration from [`presets`], run the relevant simulation through
+//! [`scenarios`], and print the rows/series the paper reports through
+//! [`report`].  Scaling the dataset down (by [`presets::SCALE`]) changes only
+//! absolute epoch times; the stall fractions, hit ratios and relative
+//! speedups that the paper's figures are about are invariant to it, because
+//! the cache is always sized as a *fraction* of the dataset.
+//!
+//! The output of `cargo bench` is therefore a textual reproduction of the
+//! paper's evaluation section; `EXPERIMENTS.md` records the paper-reported
+//! value next to the measured one for every row.
+
+pub mod presets;
+pub mod report;
+pub mod scenarios;
+
+pub use presets::{scaled, server_hdd, server_ssd, SCALE};
+pub use report::{fmt_bytes, fmt_gb, fmt_pct, fmt_speedup, Table};
+pub use scenarios::{
+    distributed_pair, hp_jobs, hp_pair, single_pair, single_run, steady, SinglePair,
+};

@@ -1,0 +1,59 @@
+//! Scaled datasets and server presets shared by every bench.
+
+use dataset::DatasetSpec;
+use pipeline::ServerConfig;
+
+/// Dataset scale-down factor used by the benches.
+///
+/// Every dataset is shrunk by this factor (item sizes are untouched, only the
+/// item *count* shrinks) so one `cargo bench` run regenerates every figure in
+/// seconds instead of simulating terabytes of I/O.  Because the cache is
+/// always sized as a fraction of the dataset and every reported quantity is a
+/// ratio (stall fraction, hit ratio, speedup, read amplification), the shapes
+/// the paper reports are invariant to this factor — only absolute epoch
+/// seconds change.  `EXPERIMENTS.md` discusses this in more detail.
+pub const SCALE: u64 = 16;
+
+/// Epochs simulated per configuration: a cold warm-up epoch plus two measured
+/// epochs, matching the paper's methodology (§3.1).
+pub const EPOCHS: u64 = 3;
+
+/// A dataset scaled down by [`SCALE`].
+pub fn scaled(spec: DatasetSpec) -> DatasetSpec {
+    spec.scaled(SCALE)
+}
+
+/// Config-SSD-V100 with its DRAM cache sized to hold `cache_fraction` of
+/// `dataset`.
+pub fn server_ssd(dataset: &DatasetSpec, cache_fraction: f64) -> ServerConfig {
+    ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), cache_fraction)
+}
+
+/// Config-HDD-1080Ti with its DRAM cache sized to hold `cache_fraction` of
+/// `dataset`.
+pub fn server_hdd(dataset: &DatasetSpec, cache_fraction: f64) -> ServerConfig {
+    ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), cache_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_dataset_preserves_item_size() {
+        let full = DatasetSpec::imagenet_1k();
+        let small = scaled(full.clone());
+        assert_eq!(small.avg_item_bytes, full.avg_item_bytes);
+        assert!(small.num_items <= full.num_items / SCALE + 1);
+    }
+
+    #[test]
+    fn server_cache_is_a_fraction_of_the_dataset() {
+        let ds = scaled(DatasetSpec::imagenet_1k());
+        let s = server_ssd(&ds, 0.35);
+        let frac = s.dram_cache_bytes as f64 / ds.total_bytes() as f64;
+        assert!((frac - 0.35).abs() < 0.01, "cache fraction {frac}");
+        assert_eq!(s.device.name, "sata-ssd");
+        assert_eq!(server_hdd(&ds, 0.5).device.name, "hdd");
+    }
+}

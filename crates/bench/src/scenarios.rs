@@ -1,0 +1,175 @@
+//! Canned DALI-vs-CoorDL comparisons used by most figure benches.
+//!
+//! The paper's evaluation always compares CoorDL against DALI-shuffle (its
+//! strongest baseline, §5.1) on the same model, dataset, cache size and
+//! hardware; these helpers run both sides of that comparison so the bench
+//! binaries only describe the sweep axes.
+
+use crate::presets::EPOCHS;
+use dataset::DatasetSpec;
+use gpu::ModelKind;
+use pipeline::{
+    simulate_distributed, simulate_hp_search, simulate_single_server, DistributedResult,
+    EpochMetrics, HpSearchResult, JobSpec, LoaderConfig, RunResult, ServerConfig,
+};
+
+/// Run one single-server job for [`EPOCHS`] epochs.
+pub fn single_run(
+    server: &ServerConfig,
+    model: ModelKind,
+    dataset: &DatasetSpec,
+    loader: LoaderConfig,
+    num_gpus: usize,
+) -> RunResult {
+    let job = JobSpec::new(model, dataset.clone(), num_gpus, loader);
+    simulate_single_server(server, &job, EPOCHS)
+}
+
+/// Steady-state (post-warm-up) metrics of a run.
+pub fn steady(run: &RunResult) -> EpochMetrics {
+    run.steady_state()
+}
+
+/// The two sides of a single-server comparison.
+#[derive(Debug, Clone)]
+pub struct SinglePair {
+    /// Baseline: DALI-shuffle with the best prep backend for the model.
+    pub dali: RunResult,
+    /// CoorDL with the same prep backend.
+    pub coordl: RunResult,
+}
+
+impl SinglePair {
+    /// CoorDL's steady-state speedup over the DALI baseline.
+    pub fn speedup(&self) -> f64 {
+        self.coordl.speedup_over(&self.dali)
+    }
+}
+
+/// Run the paper's standard single-server comparison: DALI-shuffle vs CoorDL,
+/// all eight GPUs, cache sized to `cache_fraction` of `dataset`.
+pub fn single_pair(
+    server: &ServerConfig,
+    model: ModelKind,
+    dataset: &DatasetSpec,
+    cache_fraction: f64,
+) -> SinglePair {
+    let server = server.with_cache_fraction(dataset.total_bytes(), cache_fraction);
+    let gpus = server.num_gpus;
+    SinglePair {
+        dali: single_run(&server, model, dataset, LoaderConfig::dali_best(model), gpus),
+        coordl: single_run(&server, model, dataset, LoaderConfig::coordl_best(model), gpus),
+    }
+}
+
+/// Build `num_jobs` identical HP-search jobs (distinct shuffle seeds), each
+/// using `gpus_per_job` GPUs.
+pub fn hp_jobs(
+    model: ModelKind,
+    dataset: &DatasetSpec,
+    loader: LoaderConfig,
+    num_jobs: usize,
+    gpus_per_job: usize,
+) -> Vec<JobSpec> {
+    (0..num_jobs)
+        .map(|j| {
+            JobSpec::new(model, dataset.clone(), gpus_per_job, loader.clone())
+                .with_seed(0xC0DE + j as u64)
+        })
+        .collect()
+}
+
+/// Run the paper's standard HP-search comparison: `num_jobs` single-GPU jobs
+/// with DALI vs with CoorDL's coordinated prep.
+pub fn hp_pair(
+    server: &ServerConfig,
+    model: ModelKind,
+    dataset: &DatasetSpec,
+    cache_fraction: f64,
+    num_jobs: usize,
+) -> (HpSearchResult, HpSearchResult) {
+    let server = server.with_cache_fraction(dataset.total_bytes(), cache_fraction);
+    let gpus_per_job = server.num_gpus / num_jobs.max(1);
+    let dali = simulate_hp_search(
+        &server,
+        &hp_jobs(model, dataset, LoaderConfig::dali_best(model), num_jobs, gpus_per_job.max(1)),
+        EPOCHS,
+    );
+    let coordl = simulate_hp_search(
+        &server,
+        &hp_jobs(model, dataset, LoaderConfig::coordl_best(model), num_jobs, gpus_per_job.max(1)),
+        EPOCHS,
+    );
+    (dali, coordl)
+}
+
+/// Run the paper's standard distributed comparison: one data-parallel job
+/// across `num_servers` servers, DALI vs CoorDL (partitioned caching).
+pub fn distributed_pair(
+    server: &ServerConfig,
+    model: ModelKind,
+    dataset: &DatasetSpec,
+    cache_fraction: f64,
+    num_servers: usize,
+) -> (DistributedResult, DistributedResult) {
+    let server = server.with_cache_fraction(dataset.total_bytes(), cache_fraction);
+    let gpus = server.num_gpus;
+    let dali = simulate_distributed(
+        &server,
+        &JobSpec::new(model, dataset.clone(), gpus, LoaderConfig::dali_best(model)),
+        num_servers,
+        EPOCHS,
+    );
+    let coordl = simulate_distributed(
+        &server,
+        &JobSpec::new(model, dataset.clone(), gpus, LoaderConfig::coordl_best(model)),
+        num_servers,
+        EPOCHS,
+    );
+    (dali, coordl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{scaled, server_ssd};
+
+    fn small() -> DatasetSpec {
+        scaled(DatasetSpec::imagenet_1k()).scaled(8)
+    }
+
+    #[test]
+    fn single_pair_favours_coordl_when_fetch_bound() {
+        let ds = small();
+        let server = server_ssd(&ds, 0.35);
+        let pair = single_pair(&server, ModelKind::ShuffleNetV2, &ds, 0.35);
+        assert!(
+            pair.speedup() >= 1.0,
+            "CoorDL should not be slower: {}",
+            pair.speedup()
+        );
+    }
+
+    #[test]
+    fn hp_jobs_have_distinct_seeds() {
+        let ds = small();
+        let jobs = hp_jobs(ModelKind::ResNet18, &ds, LoaderConfig::pytorch_dl(), 4, 1);
+        assert_eq!(jobs.len(), 4);
+        let mut seeds: Vec<u64> = jobs.iter().map(|j| j.seed).collect();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn distributed_pair_reduces_disk_io_with_coordl() {
+        let ds = small();
+        let server = server_ssd(&ds, 0.6);
+        let (dali, coordl) = distributed_pair(&server, ModelKind::ResNet18, &ds, 0.6, 2);
+        let dali_disk: u64 = dali.disk_bytes_per_server(2).iter().sum();
+        let coordl_disk: u64 = coordl.disk_bytes_per_server(2).iter().sum();
+        assert!(
+            coordl_disk <= dali_disk,
+            "partitioned caching should not increase disk I/O ({coordl_disk} vs {dali_disk})"
+        );
+    }
+}

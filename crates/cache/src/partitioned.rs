@@ -1,0 +1,169 @@
+//! The partitioned-cache shard directory (§4.2 of the paper).
+//!
+//! During distributed training, CoorDL shards the dataset across the MinIO
+//! caches of all participating servers: in the first epoch each server
+//! populates its cache with the shard assigned to it, and from the second
+//! epoch on a local miss is first looked up in the *directory* — metadata that
+//! says which server caches which item — and served from the remote server's
+//! DRAM over commodity TCP rather than from local storage.
+//!
+//! [`PartitionedIndex`] is that directory.  It is deliberately independent of
+//! the cache *contents*: the simulator and the functional loader both register
+//! residency here and query it on a local miss.
+
+use std::collections::HashMap;
+
+/// Identifier of a server participating in a distributed training job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId(pub usize);
+
+/// Where a partitioned-cache lookup found (or did not find) an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// Resident in the local server's MinIO cache.
+    Local,
+    /// Resident in a remote server's MinIO cache.
+    Remote(ServerId),
+    /// Not resident anywhere; must be read from storage.
+    Storage,
+}
+
+/// Directory mapping items to the server whose MinIO cache shard owns them.
+///
+/// Sharding is static per job: item `i` is *assigned* to server
+/// `i % num_servers` (round-robin keeps shards balanced irrespective of the
+/// item-id distribution).  Whether the item is actually *resident* is
+/// registered dynamically as caches fill, because a server's cache may be too
+/// small to hold its entire shard.
+#[derive(Debug, Clone)]
+pub struct PartitionedIndex {
+    num_servers: usize,
+    resident: HashMap<u64, ServerId>,
+}
+
+impl PartitionedIndex {
+    /// Create a directory for `num_servers` servers.
+    ///
+    /// # Panics
+    /// Panics if `num_servers` is zero.
+    pub fn new(num_servers: usize) -> Self {
+        assert!(num_servers > 0, "need at least one server");
+        PartitionedIndex {
+            num_servers,
+            resident: HashMap::new(),
+        }
+    }
+
+    /// Number of servers in the job.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// The server statically assigned to own item `item` (round-robin).
+    pub fn owner_of(&self, item: u64) -> ServerId {
+        ServerId((item % self.num_servers as u64) as usize)
+    }
+
+    /// All items in `0..num_items` assigned to `server`.
+    pub fn shard_of(&self, server: ServerId, num_items: u64) -> Vec<u64> {
+        (0..num_items)
+            .filter(|&i| self.owner_of(i) == server)
+            .collect()
+    }
+
+    /// Record that `item` is now resident in `server`'s cache.
+    pub fn register(&mut self, item: u64, server: ServerId) {
+        assert!(
+            server.0 < self.num_servers,
+            "server {server:?} out of range (num_servers = {})",
+            self.num_servers
+        );
+        self.resident.insert(item, server);
+    }
+
+    /// Number of items registered as resident anywhere.
+    pub fn resident_items(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Look up `item` from the point of view of `local` server.
+    pub fn locate(&self, item: u64, local: ServerId) -> Location {
+        match self.resident.get(&item) {
+            Some(&s) if s == local => Location::Local,
+            Some(&s) => Location::Remote(s),
+            None => Location::Storage,
+        }
+    }
+
+    /// Number of items resident at each server.
+    pub fn residency_by_server(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_servers];
+        for &s in self.resident.values() {
+            counts[s.0] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_assignment_is_balanced() {
+        let idx = PartitionedIndex::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..1000u64 {
+            counts[idx.owner_of(i).0] += 1;
+        }
+        assert_eq!(counts, [250, 250, 250, 250]);
+    }
+
+    #[test]
+    fn shards_are_disjoint_and_cover_dataset() {
+        let idx = PartitionedIndex::new(3);
+        let n = 100u64;
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..3 {
+            for item in idx.shard_of(ServerId(s), n) {
+                assert!(seen.insert(item), "item {item} appears in two shards");
+                assert_eq!(idx.owner_of(item), ServerId(s));
+            }
+        }
+        assert_eq!(seen.len() as u64, n);
+    }
+
+    #[test]
+    fn locate_distinguishes_local_remote_storage() {
+        let mut idx = PartitionedIndex::new(2);
+        idx.register(10, ServerId(0));
+        idx.register(11, ServerId(1));
+        assert_eq!(idx.locate(10, ServerId(0)), Location::Local);
+        assert_eq!(idx.locate(10, ServerId(1)), Location::Remote(ServerId(0)));
+        assert_eq!(idx.locate(11, ServerId(0)), Location::Remote(ServerId(1)));
+        assert_eq!(idx.locate(99, ServerId(0)), Location::Storage);
+    }
+
+    #[test]
+    fn residency_by_server_counts() {
+        let mut idx = PartitionedIndex::new(2);
+        for i in 0..10u64 {
+            idx.register(i, idx.owner_of(i));
+        }
+        assert_eq!(idx.residency_by_server(), vec![5, 5]);
+        assert_eq!(idx.resident_items(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = PartitionedIndex::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_out_of_range_server_rejected() {
+        let mut idx = PartitionedIndex::new(2);
+        idx.register(0, ServerId(5));
+    }
+}

@@ -1,0 +1,119 @@
+//! Hit/miss accounting shared by every cache policy.
+
+/// Result of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The item was resident.
+    Hit,
+    /// The item was not resident and has been admitted.
+    Inserted,
+    /// The item was not resident and was *not* admitted (e.g. the MinIO cache
+    /// is full, or the item is larger than the total capacity).
+    Bypassed,
+}
+
+impl AccessOutcome {
+    /// True for both kinds of miss.
+    pub fn is_miss(self) -> bool {
+        !matches!(self, AccessOutcome::Hit)
+    }
+
+    /// True when the item was found resident.
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// Cumulative cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+    /// Number of misses that resulted in an insertion.
+    pub insertions: u64,
+    /// Number of items evicted to make room.
+    pub evictions: u64,
+    /// Bytes served from the cache.
+    pub bytes_hit: u64,
+    /// Bytes that had to come from the next tier (storage or remote cache).
+    pub bytes_missed: u64,
+}
+
+impl CacheStats {
+    /// Total number of accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; zero when there were no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Record a hit of `size` bytes.
+    pub fn record_hit(&mut self, size: u64) {
+        self.hits += 1;
+        self.bytes_hit += size;
+    }
+
+    /// Record a miss of `size` bytes; `inserted` says whether it was admitted.
+    pub fn record_miss(&mut self, size: u64, inserted: bool) {
+        self.misses += 1;
+        self.bytes_missed += size;
+        if inserted {
+            self.insertions += 1;
+        }
+    }
+
+    /// Record `n` evictions.
+    pub fn record_evictions(&mut self, n: u64) {
+        self.evictions += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(AccessOutcome::Hit.is_hit());
+        assert!(!AccessOutcome::Hit.is_miss());
+        assert!(AccessOutcome::Inserted.is_miss());
+        assert!(AccessOutcome::Bypassed.is_miss());
+    }
+
+    #[test]
+    fn ratios() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.miss_ratio(), 0.0);
+        s.record_hit(10);
+        s.record_hit(10);
+        s.record_miss(5, true);
+        s.record_miss(5, false);
+        assert_eq!(s.accesses(), 4);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(s.insertions, 1);
+        assert_eq!(s.bytes_hit, 20);
+        assert_eq!(s.bytes_missed, 10);
+    }
+}

@@ -1,0 +1,212 @@
+//! The MinIO byte cache: the functional counterpart of
+//! `coordl-cache::MinIoCache`, holding actual item bytes and shared across
+//! loader worker threads.
+
+use crate::stats::LoaderStats;
+use dataset::{DataSource, ItemId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A thread-safe, byte-capacity, never-evicting cache of raw data items.
+///
+/// Items are admitted in arrival order until the capacity is reached; after
+/// that, misses bypass the cache (they are returned to the caller but not
+/// retained).  Resident items are never evicted for the lifetime of the
+/// training job, which is exactly the MinIO policy of §4.1.
+#[derive(Debug)]
+pub struct MinIoByteCache {
+    capacity_bytes: u64,
+    used_bytes: AtomicU64,
+    items: RwLock<HashMap<ItemId, Arc<Vec<u8>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MinIoByteCache {
+    /// Create a cache with the given byte capacity.
+    pub fn new(capacity_bytes: u64) -> Self {
+        MinIoByteCache {
+            capacity_bytes,
+            used_bytes: AtomicU64::new(0),
+            items: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of resident items.
+    pub fn len(&self) -> usize {
+        self.items.read().len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `item` is resident.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.read().contains_key(&item)
+    }
+
+    /// Cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Look up `item`, returning the cached bytes on a hit.
+    pub fn get(&self, item: ItemId) -> Option<Arc<Vec<u8>>> {
+        let guard = self.items.read();
+        match guard.get(&item) {
+            Some(bytes) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(bytes))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Offer `bytes` for `item`. The cache admits it only if it is not
+    /// already resident and the capacity allows; in every case the caller
+    /// keeps a usable reference.
+    pub fn insert(&self, item: ItemId, bytes: Arc<Vec<u8>>) -> Arc<Vec<u8>> {
+        let size = bytes.len() as u64;
+        let mut guard = self.items.write();
+        if let Some(existing) = guard.get(&item) {
+            return Arc::clone(existing);
+        }
+        // Reserve capacity optimistically; back off if it would overflow.
+        let prev = self.used_bytes.fetch_add(size, Ordering::Relaxed);
+        if prev + size > self.capacity_bytes {
+            self.used_bytes.fetch_sub(size, Ordering::Relaxed);
+            return bytes;
+        }
+        guard.insert(item, Arc::clone(&bytes));
+        bytes
+    }
+
+    /// Fetch `item` through the cache, reading it from `source` on a miss and
+    /// recording bytes-from-cache / bytes-from-source in `stats`.
+    pub fn fetch(
+        &self,
+        item: ItemId,
+        source: &dyn DataSource,
+        stats: &LoaderStats,
+    ) -> Arc<Vec<u8>> {
+        if let Some(bytes) = self.get(item) {
+            stats.record_cache_read(bytes.len() as u64);
+            return bytes;
+        }
+        let bytes = Arc::new(source.read(item));
+        stats.record_storage_read(bytes.len() as u64);
+        self.insert(item, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{DatasetSpec, SyntheticItemStore};
+
+    fn store(n: u64, size: u64) -> SyntheticItemStore {
+        SyntheticItemStore::new(DatasetSpec::new("t", n, size, 0.0, 6.0), 7)
+    }
+
+    #[test]
+    fn insert_then_get_round_trips() {
+        let cache = MinIoByteCache::new(1000);
+        let data = Arc::new(vec![1u8, 2, 3]);
+        cache.insert(5, Arc::clone(&data));
+        assert!(cache.contains(5));
+        assert_eq!(cache.get(5).unwrap().as_slice(), &[1, 2, 3]);
+        assert_eq!(cache.used_bytes(), 3);
+    }
+
+    #[test]
+    fn never_exceeds_capacity_and_never_evicts() {
+        let cache = MinIoByteCache::new(250);
+        let src = store(10, 100);
+        let stats = LoaderStats::default();
+        for i in 0..10 {
+            cache.fetch(i, &src, &stats);
+        }
+        assert_eq!(cache.len(), 2, "only two 100-byte items fit in 250 bytes");
+        assert!(cache.used_bytes() <= 250);
+        // The first two items admitted are still resident (no eviction).
+        assert!(cache.contains(0) && cache.contains(1));
+    }
+
+    #[test]
+    fn fetch_hits_do_not_touch_storage() {
+        let cache = MinIoByteCache::new(10_000);
+        let src = store(4, 100);
+        let stats = LoaderStats::default();
+        for _ in 0..3 {
+            for i in 0..4 {
+                cache.fetch(i, &src, &stats);
+            }
+        }
+        assert_eq!(stats.bytes_from_storage(), 400, "each item read once");
+        assert_eq!(stats.bytes_from_cache(), 800, "two further epochs of hits");
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 8);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first_copy_and_bytes_accounting() {
+        let cache = MinIoByteCache::new(1000);
+        cache.insert(1, Arc::new(vec![1; 10]));
+        cache.insert(1, Arc::new(vec![2; 10]));
+        assert_eq!(cache.used_bytes(), 10);
+        assert_eq!(cache.get(1).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn concurrent_fetches_are_consistent() {
+        let cache = Arc::new(MinIoByteCache::new(1 << 20));
+        let src = Arc::new(store(50, 64));
+        let stats = Arc::new(LoaderStats::default());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let cache = Arc::clone(&cache);
+            let src = Arc::clone(&src);
+            let stats = Arc::clone(&stats);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let item = (i + t * 13) % 50;
+                    let bytes = cache.fetch(item, src.as_ref(), &stats);
+                    assert_eq!(bytes.as_slice(), src.read(item).as_slice());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert_eq!(cache.len(), 50);
+        // Every byte delivered came from either storage or the cache.
+        assert_eq!(
+            stats.bytes_from_storage() + stats.bytes_from_cache(),
+            4 * 50 * 64
+        );
+    }
+}

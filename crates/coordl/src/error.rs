@@ -1,0 +1,54 @@
+//! Error types.
+
+use std::fmt;
+
+/// Errors surfaced by the CoorDL loaders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordlError {
+    /// A configuration value was invalid (empty dataset, zero batch size, …).
+    InvalidConfig(String),
+    /// A consumer timed out waiting for a minibatch and the responsible
+    /// producer job was found dead and could not be recovered.
+    ProducerFailed {
+        /// The job that should have produced the minibatch.
+        job: usize,
+        /// The minibatch index that was never produced.
+        batch: usize,
+    },
+    /// The staging area was shut down while a consumer was waiting.
+    Shutdown,
+}
+
+impl fmt::Display for CoordlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordlError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoordlError::ProducerFailed { job, batch } => {
+                write!(f, "producer job {job} failed before producing batch {batch}")
+            }
+            CoordlError::Shutdown => write!(f, "staging area shut down"),
+        }
+    }
+}
+
+impl std::error::Error for CoordlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoordlError::InvalidConfig("x".into()).to_string().contains("x"));
+        let e = CoordlError::ProducerFailed { job: 3, batch: 7 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('7'));
+        assert!(!CoordlError::Shutdown.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CoordlError::Shutdown);
+        assert_eq!(e.to_string(), "staging area shut down");
+    }
+}

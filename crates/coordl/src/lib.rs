@@ -1,0 +1,41 @@
+//! CoorDL: a coordinated data-loading library for DNN training.
+//!
+//! This crate is the functional (really multi-threaded, really moving bytes)
+//! implementation of the paper's three techniques:
+//!
+//! * the **MinIO cache** ([`MinIoByteCache`]) — a DNN-aware software cache
+//!   that admits raw items until full and never evicts them, so every epoch
+//!   after warm-up performs only capacity misses (§4.1),
+//! * **coordinated prep** ([`CoordinatedJobGroup`], [`StagingArea`]) — when
+//!   several hyper-parameter-search jobs train on the same dataset on one
+//!   server, the dataset is fetched and pre-processed exactly once per epoch
+//!   and every prepared minibatch is shared through an in-memory staging area
+//!   with per-batch use counters and failure detection (§4.3),
+//! * **partitioned caching** ([`PartitionedCacheCluster`]) — in distributed
+//!   training each server's MinIO cache holds a shard of the dataset and
+//!   local misses are served from the remote cache instead of storage (§4.2).
+//!
+//! The loaders operate on any [`dataset::DataSource`] and any
+//! [`prep::ExecutablePipeline`], so the same code path is exercised by unit
+//! tests, the mini-DNN accuracy experiments and the examples.  Device timing
+//! is *not* simulated here (that is `coordl-pipeline`'s job); this crate is
+//! about the coordination semantics: exactly-once delivery, fresh per-epoch
+//! randomness, sharing, and fault handling.
+
+pub mod cache;
+pub mod coordinator;
+pub mod error;
+pub mod loader;
+pub mod minibatch;
+pub mod partition;
+pub mod staging;
+pub mod stats;
+
+pub use cache::MinIoByteCache;
+pub use coordinator::{CoordinatedConfig, CoordinatedJobGroup, JobEpochIterator};
+pub use error::CoordlError;
+pub use loader::{DataLoader, DataLoaderConfig, EpochIterator};
+pub use minibatch::Minibatch;
+pub use partition::{FetchOrigin, PartitionedCacheCluster, PartitionStats};
+pub use staging::{StagingArea, StagingStats, TakeError};
+pub use stats::LoaderStats;

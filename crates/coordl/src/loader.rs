@@ -1,0 +1,375 @@
+//! The single-job data loader: a drop-in, multi-threaded fetch → prep →
+//! collate pipeline over any [`DataSource`].
+//!
+//! The loader mirrors how PyTorch's DataLoader and DALI behave (several
+//! worker threads prefetching and pre-processing minibatches ahead of the
+//! consumer, with bounded buffering), but fetches raw items through CoorDL's
+//! MinIO cache instead of relying on the OS page cache.
+
+use crate::cache::MinIoByteCache;
+use crate::error::CoordlError;
+use crate::minibatch::Minibatch;
+use crate::stats::LoaderStats;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use dataset::{minibatches, DataSource, EpochSampler, ItemId};
+use prep::ExecutablePipeline;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration of a [`DataLoader`].
+#[derive(Debug, Clone)]
+pub struct DataLoaderConfig {
+    /// Samples per minibatch.
+    pub batch_size: usize,
+    /// Number of worker threads fetching and pre-processing.
+    pub num_workers: usize,
+    /// Number of prepared minibatches buffered ahead of the consumer.
+    pub prefetch_depth: usize,
+    /// Seed for the per-epoch shuffle.
+    pub seed: u64,
+    /// Capacity of the MinIO cache in bytes (0 disables caching).
+    pub cache_capacity_bytes: u64,
+}
+
+impl Default for DataLoaderConfig {
+    fn default() -> Self {
+        DataLoaderConfig {
+            batch_size: 32,
+            num_workers: 2,
+            prefetch_depth: 4,
+            seed: 0x5EED,
+            cache_capacity_bytes: 256 * 1024 * 1024,
+        }
+    }
+}
+
+impl DataLoaderConfig {
+    fn validate(&self, dataset_len: u64) -> Result<(), CoordlError> {
+        if self.batch_size == 0 {
+            return Err(CoordlError::InvalidConfig("batch_size must be > 0".into()));
+        }
+        if self.num_workers == 0 {
+            return Err(CoordlError::InvalidConfig("num_workers must be > 0".into()));
+        }
+        if dataset_len == 0 {
+            return Err(CoordlError::InvalidConfig("dataset is empty".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A multi-threaded data loader over a [`DataSource`].
+pub struct DataLoader {
+    dataset: Arc<dyn DataSource>,
+    pipeline: Arc<ExecutablePipeline>,
+    cache: Arc<MinIoByteCache>,
+    stats: Arc<LoaderStats>,
+    config: DataLoaderConfig,
+}
+
+impl DataLoader {
+    /// Create a loader over `dataset` with the given pre-processing pipeline.
+    pub fn new(
+        dataset: Arc<dyn DataSource>,
+        pipeline: ExecutablePipeline,
+        config: DataLoaderConfig,
+    ) -> Result<Self, CoordlError> {
+        config.validate(dataset.len())?;
+        Ok(DataLoader {
+            cache: Arc::new(MinIoByteCache::new(config.cache_capacity_bytes)),
+            stats: Arc::new(LoaderStats::default()),
+            dataset,
+            pipeline: Arc::new(pipeline),
+            config,
+        })
+    }
+
+    /// The loader's MinIO cache.
+    pub fn cache(&self) -> &MinIoByteCache {
+        &self.cache
+    }
+
+    /// Cumulative loader statistics.
+    pub fn stats(&self) -> &LoaderStats {
+        &self.stats
+    }
+
+    /// The loader configuration.
+    pub fn config(&self) -> &DataLoaderConfig {
+        &self.config
+    }
+
+    /// Number of minibatches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        (self.dataset.len() as usize).div_ceil(self.config.batch_size)
+    }
+
+    /// Start one epoch, returning an iterator over its prepared minibatches
+    /// in training order.
+    pub fn epoch(&self, epoch: u64) -> EpochIterator {
+        let sampler = EpochSampler::new(self.dataset.len(), self.config.seed);
+        let order = sampler.permutation(epoch);
+        let batches: Vec<(usize, Vec<ItemId>)> = minibatches(&order, self.config.batch_size)
+            .into_iter()
+            .enumerate()
+            .collect();
+        let total = batches.len();
+
+        let (work_tx, work_rx) = bounded::<(usize, Vec<ItemId>)>(total.max(1));
+        for b in batches {
+            work_tx.send(b).expect("queue sized to hold all batches");
+        }
+        drop(work_tx);
+
+        let capacity = self.config.prefetch_depth.max(self.config.num_workers * 2);
+        let (out_tx, out_rx) = bounded::<Minibatch>(capacity);
+
+        let mut workers = Vec::with_capacity(self.config.num_workers);
+        for _ in 0..self.config.num_workers {
+            workers.push(spawn_worker(
+                epoch,
+                Arc::clone(&self.dataset),
+                Arc::clone(&self.pipeline),
+                Arc::clone(&self.cache),
+                Arc::clone(&self.stats),
+                work_rx.clone(),
+                out_tx.clone(),
+            ));
+        }
+        drop(out_tx);
+
+        EpochIterator {
+            rx: out_rx,
+            reorder: BTreeMap::new(),
+            next: 0,
+            total,
+            stats: Arc::clone(&self.stats),
+            workers,
+        }
+    }
+}
+
+fn spawn_worker(
+    epoch: u64,
+    dataset: Arc<dyn DataSource>,
+    pipeline: Arc<ExecutablePipeline>,
+    cache: Arc<MinIoByteCache>,
+    stats: Arc<LoaderStats>,
+    work_rx: Receiver<(usize, Vec<ItemId>)>,
+    out_tx: Sender<Minibatch>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        while let Ok((index, items)) = work_rx.recv() {
+            let samples = items
+                .iter()
+                .map(|&item| {
+                    let raw = cache.fetch(item, dataset.as_ref(), &stats);
+                    stats.record_prepared(1);
+                    pipeline.prepare(epoch, item, &raw)
+                })
+                .collect();
+            let mb = Minibatch {
+                epoch,
+                index,
+                samples,
+            };
+            // The consumer may have been dropped early; that is not an error.
+            if out_tx.send(mb).is_err() {
+                return;
+            }
+        }
+    })
+}
+
+/// Iterator over one epoch's minibatches, delivered in training order.
+pub struct EpochIterator {
+    rx: Receiver<Minibatch>,
+    reorder: BTreeMap<usize, Minibatch>,
+    next: usize,
+    total: usize,
+    stats: Arc<LoaderStats>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EpochIterator {
+    /// Number of minibatches this epoch will deliver.
+    pub fn total_batches(&self) -> usize {
+        self.total
+    }
+}
+
+impl Iterator for EpochIterator {
+    type Item = Minibatch;
+
+    fn next(&mut self) -> Option<Minibatch> {
+        if self.next >= self.total {
+            return None;
+        }
+        loop {
+            if let Some(mb) = self.reorder.remove(&self.next) {
+                self.next += 1;
+                self.stats.record_delivered(mb.len() as u64);
+                return Some(mb);
+            }
+            match self.rx.recv() {
+                Ok(mb) => {
+                    self.reorder.insert(mb.index, mb);
+                }
+                Err(_) => return None, // workers gone; epoch incomplete
+            }
+        }
+    }
+}
+
+impl Drop for EpochIterator {
+    fn drop(&mut self) {
+        // Disconnect the output channel so any worker blocked on `send`
+        // observes the disconnect and exits, then join them all.
+        self.reorder.clear();
+        let (_tx, dummy_rx) = bounded::<Minibatch>(1);
+        let real_rx = std::mem::replace(&mut self.rx, dummy_rx);
+        drop(real_rx);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{DatasetSpec, SyntheticItemStore};
+    use prep::PrepPipeline;
+    use std::collections::HashSet;
+
+    fn make_loader(n_items: u64, cache_bytes: u64, batch: usize) -> DataLoader {
+        let spec = DatasetSpec::new("t", n_items, 256, 0.3, 6.0);
+        let store = Arc::new(SyntheticItemStore::new(spec, 11));
+        let pipeline = ExecutablePipeline::new(PrepPipeline::image_classification(), 6, 99);
+        DataLoader::new(
+            store,
+            pipeline,
+            DataLoaderConfig {
+                batch_size: batch,
+                num_workers: 3,
+                prefetch_depth: 4,
+                seed: 1,
+                cache_capacity_bytes: cache_bytes,
+            },
+        )
+        .expect("valid config")
+    }
+
+    #[test]
+    fn epoch_visits_every_item_exactly_once() {
+        let loader = make_loader(100, 1 << 20, 16);
+        let mut seen = Vec::new();
+        for mb in loader.epoch(0) {
+            seen.extend(mb.item_ids());
+        }
+        assert_eq!(seen.len(), 100);
+        let set: HashSet<_> = seen.iter().collect();
+        assert_eq!(set.len(), 100, "each item exactly once per epoch");
+    }
+
+    #[test]
+    fn minibatches_arrive_in_training_order() {
+        let loader = make_loader(64, 1 << 20, 8);
+        let indices: Vec<usize> = loader.epoch(0).map(|mb| mb.index).collect();
+        assert_eq!(indices, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn epochs_are_shuffled_differently_but_reproducibly() {
+        let loader = make_loader(50, 1 << 20, 10);
+        let order0: Vec<_> = loader.epoch(0).flat_map(|mb| mb.item_ids()).collect();
+        let order1: Vec<_> = loader.epoch(1).flat_map(|mb| mb.item_ids()).collect();
+        let order0_again: Vec<_> = loader.epoch(0).flat_map(|mb| mb.item_ids()).collect();
+        assert_ne!(order0, order1);
+        assert_eq!(order0, order0_again);
+    }
+
+    #[test]
+    fn second_epoch_is_served_from_cache_when_it_fits() {
+        let loader = make_loader(40, 1 << 20, 8);
+        for _ in loader.epoch(0) {}
+        let after_first = loader.stats().bytes_from_storage();
+        assert!(after_first > 0);
+        for _ in loader.epoch(1) {}
+        assert_eq!(
+            loader.stats().bytes_from_storage(),
+            after_first,
+            "no further storage reads once the dataset is cached"
+        );
+        assert!(loader.stats().bytes_from_cache() > 0);
+    }
+
+    #[test]
+    fn cache_smaller_than_dataset_still_delivers_all_samples() {
+        let loader = make_loader(60, 2_000, 8); // ~8 items fit
+        let delivered: usize = loader.epoch(0).map(|mb| mb.len()).sum();
+        assert_eq!(delivered, 60);
+        assert!(loader.cache().used_bytes() <= 2_000);
+        let delivered2: usize = loader.epoch(1).map(|mb| mb.len()).sum();
+        assert_eq!(delivered2, 60);
+    }
+
+    #[test]
+    fn augmentations_differ_across_epochs_for_same_item() {
+        let loader = make_loader(10, 1 << 20, 10);
+        let e0: Vec<_> = loader.epoch(0).collect();
+        let e1: Vec<_> = loader.epoch(1).collect();
+        let find = |mbs: &[Minibatch], item: ItemId| {
+            mbs.iter()
+                .flat_map(|m| m.samples.iter())
+                .find(|s| s.item == item)
+                .cloned()
+                .expect("item present")
+        };
+        let a = find(&e0, 3);
+        let b = find(&e1, 3);
+        assert_ne!(a.augmentation_seed, b.augmentation_seed);
+    }
+
+    #[test]
+    fn partial_final_batch() {
+        let loader = make_loader(25, 1 << 20, 8);
+        let sizes: Vec<usize> = loader.epoch(0).map(|mb| mb.len()).collect();
+        assert_eq!(sizes.len(), 4);
+        assert_eq!(sizes.iter().sum::<usize>(), 25);
+        assert_eq!(*sizes.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn dropping_iterator_early_does_not_hang_or_panic() {
+        let loader = make_loader(200, 1 << 20, 4);
+        let mut it = loader.epoch(0);
+        let _first = it.next();
+        drop(it); // workers must unblock and join
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let spec = DatasetSpec::new("t", 10, 64, 0.0, 6.0);
+        let store = Arc::new(SyntheticItemStore::new(spec, 1));
+        let pipeline = ExecutablePipeline::new(PrepPipeline::image_classification(), 6, 0);
+        let bad = DataLoader::new(
+            Arc::clone(&store) as Arc<dyn DataSource>,
+            pipeline,
+            DataLoaderConfig {
+                batch_size: 0,
+                ..DataLoaderConfig::default()
+            },
+        );
+        assert!(matches!(bad, Err(CoordlError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn stats_count_delivered_samples() {
+        let loader = make_loader(30, 1 << 20, 10);
+        for _ in loader.epoch(0) {}
+        assert_eq!(loader.stats().samples_delivered(), 30);
+        assert_eq!(loader.stats().samples_prepared(), 30);
+    }
+}

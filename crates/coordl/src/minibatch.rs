@@ -1,0 +1,76 @@
+//! Prepared minibatches.
+
+use dataset::ItemId;
+use prep::PreparedSample;
+
+/// A fully prepared minibatch, ready for consumption by the training loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minibatch {
+    /// Epoch this minibatch belongs to.
+    pub epoch: u64,
+    /// Index of the minibatch within the epoch (0-based, in training order).
+    pub index: usize,
+    /// The prepared samples, in the order dictated by the epoch permutation.
+    pub samples: Vec<PreparedSample>,
+}
+
+impl Minibatch {
+    /// Number of samples in the minibatch.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the minibatch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The item ids of the samples, in order.
+    pub fn item_ids(&self) -> Vec<ItemId> {
+        self.samples.iter().map(|s| s.item).collect()
+    }
+
+    /// Total prepared payload size in bytes (used for staging-area memory
+    /// accounting).
+    pub fn payload_bytes(&self) -> u64 {
+        self.samples.iter().map(|s| s.data.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(item: u64, len: usize) -> PreparedSample {
+        PreparedSample {
+            item,
+            epoch: 0,
+            augmentation_seed: 0,
+            data: vec![0u8; len],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let mb = Minibatch {
+            epoch: 1,
+            index: 3,
+            samples: vec![sample(10, 4), sample(11, 6)],
+        };
+        assert_eq!(mb.len(), 2);
+        assert!(!mb.is_empty());
+        assert_eq!(mb.item_ids(), vec![10, 11]);
+        assert_eq!(mb.payload_bytes(), 10);
+    }
+
+    #[test]
+    fn empty_minibatch() {
+        let mb = Minibatch {
+            epoch: 0,
+            index: 0,
+            samples: vec![],
+        };
+        assert!(mb.is_empty());
+        assert_eq!(mb.payload_bytes(), 0);
+    }
+}

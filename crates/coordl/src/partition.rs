@@ -1,0 +1,292 @@
+//! Partitioned caching across the servers of a distributed job (§4.2).
+//!
+//! Each server contributes its MinIO cache to a job-wide partitioned cache.
+//! A directory records which server holds each raw item; on a local miss the
+//! item is fetched from the remote server's cache (in the real system over
+//! TCP — here by reading the peer's in-memory cache, with the byte volume
+//! accounted so the simulator and the benches can attach network timing).
+//! Only items cached nowhere fall through to storage, so once the aggregate
+//! cache capacity covers the dataset, storage is never touched again.
+
+use crate::cache::MinIoByteCache;
+use crate::stats::LoaderStats;
+use dataset::{DataSource, ItemId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Where a partitioned-cache fetch was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOrigin {
+    /// The local server's MinIO cache.
+    LocalCache,
+    /// A remote server's MinIO cache (over the network in the real system).
+    RemoteCache(usize),
+    /// Local storage (the item was cached nowhere).
+    Storage,
+}
+
+/// Per-server counters for the partitioned cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Fetches served from the local cache.
+    pub local_hits: u64,
+    /// Fetches served from a peer's cache.
+    pub remote_hits: u64,
+    /// Fetches that fell through to storage.
+    pub storage_reads: u64,
+    /// Bytes moved over the network into this server.
+    pub remote_bytes_in: u64,
+    /// Bytes this server served to its peers.
+    pub remote_bytes_out: u64,
+    /// Bytes read from storage by this server.
+    pub storage_bytes: u64,
+}
+
+struct ServerState {
+    cache: Arc<MinIoByteCache>,
+    stats: PartitionStats,
+}
+
+/// A job-wide partitioned cache over `num_servers` servers.
+pub struct PartitionedCacheCluster {
+    dataset: Arc<dyn DataSource>,
+    servers: RwLock<Vec<ServerState>>,
+    directory: RwLock<HashMap<ItemId, usize>>,
+    loader_stats: LoaderStats,
+}
+
+impl PartitionedCacheCluster {
+    /// Create a cluster of `num_servers` servers, each with
+    /// `per_server_cache_bytes` of MinIO cache, serving `dataset`.
+    pub fn new(
+        dataset: Arc<dyn DataSource>,
+        num_servers: usize,
+        per_server_cache_bytes: u64,
+    ) -> Self {
+        assert!(num_servers > 0, "need at least one server");
+        let servers = (0..num_servers)
+            .map(|_| ServerState {
+                cache: Arc::new(MinIoByteCache::new(per_server_cache_bytes)),
+                stats: PartitionStats::default(),
+            })
+            .collect();
+        PartitionedCacheCluster {
+            dataset,
+            servers: RwLock::new(servers),
+            directory: RwLock::new(HashMap::new()),
+            loader_stats: LoaderStats::default(),
+        }
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.servers.read().len()
+    }
+
+    /// Aggregate loader statistics across the cluster.
+    pub fn loader_stats(&self) -> &LoaderStats {
+        &self.loader_stats
+    }
+
+    /// Per-server statistics snapshot.
+    pub fn stats(&self, server: usize) -> PartitionStats {
+        self.servers.read()[server].stats
+    }
+
+    /// Number of distinct items currently registered in the directory.
+    pub fn directory_len(&self) -> usize {
+        self.directory.read().len()
+    }
+
+    /// Fetch `item` on behalf of `server`, following the CoorDL lookup order:
+    /// local MinIO cache → remote MinIO cache (via the directory) → storage.
+    pub fn fetch(&self, server: usize, item: ItemId) -> (Arc<Vec<u8>>, FetchOrigin) {
+        // 1. Local cache.
+        {
+            let servers = self.servers.read();
+            assert!(server < servers.len(), "server {server} out of range");
+            if let Some(bytes) = servers[server].cache.get(item) {
+                drop(servers);
+                let mut servers = self.servers.write();
+                servers[server].stats.local_hits += 1;
+                self.loader_stats.record_cache_read(bytes.len() as u64);
+                return (bytes, FetchOrigin::LocalCache);
+            }
+        }
+        // 2. Directory → remote cache.
+        let owner = self.directory.read().get(&item).copied();
+        if let Some(peer) = owner {
+            if peer != server {
+                let bytes_opt = self.servers.read()[peer].cache.get(item);
+                if let Some(bytes) = bytes_opt {
+                    let mut servers = self.servers.write();
+                    servers[server].stats.remote_hits += 1;
+                    servers[server].stats.remote_bytes_in += bytes.len() as u64;
+                    servers[peer].stats.remote_bytes_out += bytes.len() as u64;
+                    self.loader_stats.record_remote_read(bytes.len() as u64);
+                    return (bytes, FetchOrigin::RemoteCache(peer));
+                }
+            }
+        }
+        // 3. Storage: read locally, admit into the local cache and register.
+        let bytes = Arc::new(self.dataset.read(item));
+        let size = bytes.len() as u64;
+        let admitted;
+        {
+            let servers = self.servers.read();
+            let retained = servers[server].cache.insert(item, Arc::clone(&bytes));
+            admitted = servers[server].cache.contains(item);
+            drop(retained);
+        }
+        if admitted {
+            self.directory.write().insert(item, server);
+        }
+        {
+            let mut servers = self.servers.write();
+            servers[server].stats.storage_reads += 1;
+            servers[server].stats.storage_bytes += size;
+        }
+        self.loader_stats.record_storage_read(size);
+        (bytes, FetchOrigin::Storage)
+    }
+
+    /// Total bytes read from storage across the cluster.
+    pub fn total_storage_bytes(&self) -> u64 {
+        let servers = self.servers.read();
+        servers.iter().map(|s| s.stats.storage_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{DatasetSpec, EpochSampler, SyntheticItemStore};
+
+    fn dataset(n: u64, size: u64) -> Arc<SyntheticItemStore> {
+        Arc::new(SyntheticItemStore::new(
+            DatasetSpec::new("t", n, size, 0.0, 6.0),
+            9,
+        ))
+    }
+
+    /// Run one "epoch": each server fetches its (epoch-varying) shard.
+    fn run_epoch(cluster: &PartitionedCacheCluster, n: u64, epoch: u64, servers: usize) {
+        let sampler = EpochSampler::new(n, 42);
+        for s in 0..servers {
+            for item in sampler.distributed_shard(epoch, s, servers) {
+                let (bytes, _) = cluster.fetch(s, item);
+                assert!(!bytes.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn first_epoch_reads_dataset_from_storage_exactly_once() {
+        let n = 100;
+        let ds = dataset(n, 100);
+        let cluster = PartitionedCacheCluster::new(ds, 2, 100 * 100);
+        run_epoch(&cluster, n, 0, 2);
+        assert_eq!(cluster.total_storage_bytes(), n * 100);
+        assert_eq!(cluster.directory_len(), n as usize);
+    }
+
+    #[test]
+    fn later_epochs_never_touch_storage_when_aggregate_memory_suffices() {
+        let n = 100;
+        let ds = dataset(n, 100);
+        // Each server caches 65 % of the dataset; together they cover it.
+        let cluster = PartitionedCacheCluster::new(ds, 2, 65 * 100);
+        run_epoch(&cluster, n, 0, 2);
+        let after_warmup = cluster.total_storage_bytes();
+        for epoch in 1..4 {
+            run_epoch(&cluster, n, epoch, 2);
+        }
+        assert_eq!(
+            cluster.total_storage_bytes(),
+            after_warmup,
+            "no storage I/O beyond the first epoch"
+        );
+        // The epoch-varying shards force remote fetches.
+        let remote: u64 = (0..2).map(|s| cluster.stats(s).remote_hits).sum();
+        assert!(remote > 0);
+    }
+
+    #[test]
+    fn remote_fetches_return_identical_bytes_to_storage_reads() {
+        let n = 50;
+        let ds = dataset(n, 64);
+        let cluster = PartitionedCacheCluster::new(Arc::clone(&ds) as Arc<dyn DataSource>, 2, 64 * 50);
+        run_epoch(&cluster, n, 0, 2);
+        for item in 0..n {
+            let (a, _) = cluster.fetch(0, item);
+            let (b, _) = cluster.fetch(1, item);
+            assert_eq!(a.as_slice(), ds.read(item).as_slice());
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn cache_too_small_for_shard_falls_back_to_storage() {
+        let n = 100;
+        let ds = dataset(n, 100);
+        // Each server can cache only 20 items; aggregate 40 < 100.
+        let cluster = PartitionedCacheCluster::new(ds, 2, 20 * 100);
+        for epoch in 0..3 {
+            run_epoch(&cluster, n, epoch, 2);
+        }
+        // Storage is still needed every epoch for the uncached remainder.
+        assert!(cluster.total_storage_bytes() > n * 100);
+        // But at least the cached fraction is served from DRAM.
+        let hits: u64 = (0..2)
+            .map(|s| cluster.stats(s).local_hits + cluster.stats(s).remote_hits)
+            .sum();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn bytes_in_and_out_are_symmetric_across_the_cluster() {
+        let n = 80;
+        let ds = dataset(n, 128);
+        let cluster = PartitionedCacheCluster::new(ds, 4, 128 * 80);
+        for epoch in 0..3 {
+            run_epoch(&cluster, n, epoch, 4);
+        }
+        let total_in: u64 = (0..4).map(|s| cluster.stats(s).remote_bytes_in).sum();
+        let total_out: u64 = (0..4).map(|s| cluster.stats(s).remote_bytes_out).sum();
+        assert_eq!(total_in, total_out);
+        assert_eq!(cluster.loader_stats().bytes_from_remote(), total_in);
+    }
+
+    #[test]
+    fn concurrent_fetches_from_all_servers_are_safe() {
+        let n = 200;
+        let ds = dataset(n, 64);
+        let cluster = Arc::new(PartitionedCacheCluster::new(ds, 4, 64 * 200));
+        // Warm up.
+        run_epoch(&cluster, n, 0, 4);
+        let mut handles = Vec::new();
+        for s in 0..4 {
+            let cluster = Arc::clone(&cluster);
+            handles.push(std::thread::spawn(move || {
+                let sampler = EpochSampler::new(n, 42);
+                for item in sampler.distributed_shard(1, s, 4) {
+                    let (bytes, origin) = cluster.fetch(s, item);
+                    assert!(!bytes.is_empty());
+                    assert_ne!(origin, FetchOrigin::Storage, "fully cached after warm-up");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_server_rejected() {
+        let ds = dataset(10, 10);
+        let cluster = PartitionedCacheCluster::new(ds, 2, 1000);
+        let _ = cluster.fetch(5, 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Loader statistics (atomic, shared across worker threads).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing where a loader's bytes came from and how much work it
+/// performed.  All counters are monotone and thread-safe.
+#[derive(Debug, Default)]
+pub struct LoaderStats {
+    bytes_from_storage: AtomicU64,
+    bytes_from_cache: AtomicU64,
+    bytes_from_remote: AtomicU64,
+    samples_prepared: AtomicU64,
+    samples_delivered: AtomicU64,
+}
+
+impl LoaderStats {
+    /// Record `bytes` read from the storage tier.
+    pub fn record_storage_read(&self, bytes: u64) {
+        self.bytes_from_storage.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record `bytes` served from the local cache.
+    pub fn record_cache_read(&self, bytes: u64) {
+        self.bytes_from_cache.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record `bytes` served from a remote server's cache.
+    pub fn record_remote_read(&self, bytes: u64) {
+        self.bytes_from_remote.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record that `n` samples were pre-processed.
+    pub fn record_prepared(&self, n: u64) {
+        self.samples_prepared.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record that `n` samples were delivered to a consumer.
+    pub fn record_delivered(&self, n: u64) {
+        self.samples_delivered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Bytes read from storage so far.
+    pub fn bytes_from_storage(&self) -> u64 {
+        self.bytes_from_storage.load(Ordering::Relaxed)
+    }
+
+    /// Bytes served from the cache so far.
+    pub fn bytes_from_cache(&self) -> u64 {
+        self.bytes_from_cache.load(Ordering::Relaxed)
+    }
+
+    /// Bytes served from remote caches so far.
+    pub fn bytes_from_remote(&self) -> u64 {
+        self.bytes_from_remote.load(Ordering::Relaxed)
+    }
+
+    /// Samples pre-processed so far.
+    pub fn samples_prepared(&self) -> u64 {
+        self.samples_prepared.load(Ordering::Relaxed)
+    }
+
+    /// Samples delivered to consumers so far.
+    pub fn samples_delivered(&self) -> u64 {
+        self.samples_delivered.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = LoaderStats::default();
+        s.record_storage_read(10);
+        s.record_storage_read(5);
+        s.record_cache_read(7);
+        s.record_remote_read(3);
+        s.record_prepared(2);
+        s.record_delivered(4);
+        assert_eq!(s.bytes_from_storage(), 15);
+        assert_eq!(s.bytes_from_cache(), 7);
+        assert_eq!(s.bytes_from_remote(), 3);
+        assert_eq!(s.samples_prepared(), 2);
+        assert_eq!(s.samples_delivered(), 4);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let s = Arc::new(LoaderStats::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_prepared(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.samples_prepared(), 4000);
+    }
+}

@@ -1,0 +1,164 @@
+//! On-storage data layouts.
+//!
+//! PyTorch and DALI read one small file per item; TensorFlow serialises
+//! shuffled items into ~100–200 MB TFRecord chunk files (and MXNet uses the
+//! similar RecordIO).  The layout matters for two reasons the paper calls out
+//! (§3.3.3):
+//!
+//! * the *unit of caching* becomes the chunk, so a cache hit/miss is decided
+//!   per chunk rather than per item, and a streaming scan of large sequential
+//!   chunks is a pathological access pattern for LRU;
+//! * reads become more sequential, which changes the effective storage
+//!   bandwidth (sequential vs random throughput).
+
+use crate::{DatasetSpec, ItemId};
+
+/// How the dataset is laid out on the storage device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StorageFormat {
+    /// One file per item (PyTorch / DALI file reader).
+    FilePerItem,
+    /// Items packed into fixed-size record chunks (TFRecord / RecordIO).
+    ChunkedRecords {
+        /// Target chunk size in bytes (TFRecords are typically 100–200 MB).
+        chunk_bytes: u64,
+    },
+}
+
+impl StorageFormat {
+    /// TFRecord-like chunks of 150 MB, the midpoint of the 100–200 MB range
+    /// quoted in the paper.
+    pub fn tfrecord_default() -> Self {
+        StorageFormat::ChunkedRecords {
+            chunk_bytes: 150 * 1024 * 1024,
+        }
+    }
+
+    /// True when reads of consecutive items within a chunk are sequential on
+    /// the device.
+    pub fn is_sequential_within_unit(self) -> bool {
+        matches!(self, StorageFormat::ChunkedRecords { .. })
+    }
+
+    /// Number of items that share one fetch unit (1 for file-per-item).
+    pub fn items_per_unit(self, spec: &DatasetSpec) -> u64 {
+        match self {
+            StorageFormat::FilePerItem => 1,
+            StorageFormat::ChunkedRecords { chunk_bytes } => {
+                (chunk_bytes / spec.avg_item_bytes).max(1)
+            }
+        }
+    }
+
+    /// Total number of fetch units in the dataset.
+    pub fn num_units(self, spec: &DatasetSpec) -> u64 {
+        match self {
+            StorageFormat::FilePerItem => spec.num_items,
+            StorageFormat::ChunkedRecords { .. } => {
+                let per = self.items_per_unit(spec);
+                spec.num_items.div_ceil(per)
+            }
+        }
+    }
+
+    /// The fetch unit that item `item` lives in.
+    ///
+    /// For chunked records, items are packed in id order, matching how the
+    /// TFRecord writer serialises the (pre-shuffled) dataset once.
+    pub fn unit_of(self, item: ItemId, spec: &DatasetSpec) -> FetchUnit {
+        match self {
+            StorageFormat::FilePerItem => FetchUnit {
+                key: item,
+                bytes: spec.item_size(item),
+                items: 1,
+            },
+            StorageFormat::ChunkedRecords { chunk_bytes } => {
+                let per = self.items_per_unit(spec);
+                let key = item / per;
+                let first = key * per;
+                let last = (first + per).min(spec.num_items);
+                FetchUnit {
+                    key,
+                    bytes: chunk_bytes.min((last - first) * spec.avg_item_bytes),
+                    items: last - first,
+                }
+            }
+        }
+    }
+}
+
+/// The unit of storage I/O and caching for a given item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchUnit {
+    /// Cache key of the unit (item id, or chunk id for record formats).
+    pub key: u64,
+    /// Size of the unit in bytes.
+    pub bytes: u64,
+    /// Number of items contained in the unit.
+    pub items: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DatasetSpec {
+        DatasetSpec::new("t", 1000, 100 * 1024, 0.0, 6.0)
+    }
+
+    #[test]
+    fn file_per_item_units_are_items() {
+        let s = spec();
+        let f = StorageFormat::FilePerItem;
+        assert_eq!(f.num_units(&s), 1000);
+        assert_eq!(f.items_per_unit(&s), 1);
+        let u = f.unit_of(7, &s);
+        assert_eq!(u.key, 7);
+        assert_eq!(u.items, 1);
+        assert_eq!(u.bytes, s.item_size(7));
+    }
+
+    #[test]
+    fn chunked_records_group_items() {
+        let s = spec();
+        let f = StorageFormat::ChunkedRecords {
+            chunk_bytes: 1024 * 1024, // 1 MiB -> 10 items of 100 KiB each
+        };
+        assert_eq!(f.items_per_unit(&s), 10);
+        assert_eq!(f.num_units(&s), 100);
+        let u0 = f.unit_of(0, &s);
+        let u9 = f.unit_of(9, &s);
+        let u10 = f.unit_of(10, &s);
+        assert_eq!(u0.key, u9.key);
+        assert_ne!(u0.key, u10.key);
+        assert_eq!(u0.items, 10);
+    }
+
+    #[test]
+    fn final_partial_chunk_has_fewer_items() {
+        let s = DatasetSpec::new("t", 25, 100, 0.0, 6.0);
+        let f = StorageFormat::ChunkedRecords { chunk_bytes: 1000 }; // 10 items/chunk
+        assert_eq!(f.num_units(&s), 3);
+        let last = f.unit_of(24, &s);
+        assert_eq!(last.items, 5);
+        assert_eq!(last.bytes, 500);
+    }
+
+    #[test]
+    fn tfrecord_default_is_sequential() {
+        assert!(StorageFormat::tfrecord_default().is_sequential_within_unit());
+        assert!(!StorageFormat::FilePerItem.is_sequential_within_unit());
+    }
+
+    #[test]
+    fn every_item_maps_to_a_valid_unit() {
+        let s = spec();
+        let f = StorageFormat::ChunkedRecords { chunk_bytes: 333 * 1024 };
+        let n_units = f.num_units(&s);
+        for item in 0..s.num_items {
+            let u = f.unit_of(item, &s);
+            assert!(u.key < n_units);
+            assert!(u.bytes > 0);
+        }
+    }
+}

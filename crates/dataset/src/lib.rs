@@ -1,0 +1,33 @@
+//! Dataset substrate: the training datasets of the paper, modelled
+//! synthetically.
+//!
+//! Data-stall behaviour depends on *how many* items a dataset has, *how large*
+//! they are and *in what order* they are visited — not on pixel or waveform
+//! content.  This crate therefore provides:
+//!
+//! * [`DatasetSpec`] — item count + size statistics for the four datasets of
+//!   the paper (ImageNet-1k, ImageNet-22k, OpenImages, OpenImages-Extended,
+//!   FMA), with deterministic per-item sizes and a `scaled` helper so
+//!   simulations and tests can run on a laptop,
+//! * [`sampler`] — the epoch samplers used by every loader: a fresh random
+//!   permutation per epoch, minibatch assembly, random per-epoch shards for
+//!   distributed training and static shards for coordinated prep,
+//! * [`format`] — on-storage layouts: one file per item (PyTorch/DALI) and
+//!   chunked record files (TensorFlow's TFRecord / MXNet's RecordIO), which
+//!   change the *granularity* at which the page cache operates,
+//! * [`synthetic`] — functional data sources that actually materialise bytes,
+//!   used by the real (multi-threaded) CoorDL loader and the mini-DNN
+//!   training substrate.
+
+pub mod format;
+pub mod sampler;
+pub mod specs;
+pub mod synthetic;
+
+pub use format::{FetchUnit, StorageFormat};
+pub use sampler::{minibatches, EpochSampler, ShardPlan};
+pub use specs::DatasetSpec;
+pub use synthetic::{DataSource, InMemoryStore, LabeledVectorStore, SyntheticItemStore};
+
+/// Identifier of a data item within a dataset (its index).
+pub type ItemId = u64;

@@ -1,0 +1,202 @@
+//! Epoch samplers.
+//!
+//! DNN training visits every item of the dataset exactly once per epoch in a
+//! fresh random order (§2 of the paper).  Distributed data-parallel training
+//! splits each epoch's permutation into disjoint per-server shards that change
+//! every epoch; coordinated prep assigns each concurrent HP-search job a
+//! *static* shard of the items it is responsible for preparing.
+
+use crate::ItemId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Produces the per-epoch random permutation of a dataset.
+///
+/// The permutation for `(seed, epoch)` is deterministic, so every component
+/// (baseline loaders, CoorDL, the simulator and the accuracy experiments)
+/// observes the same sample order — exactly what "CoorDL does not change the
+/// randomness of sampling" requires.
+#[derive(Debug, Clone)]
+pub struct EpochSampler {
+    num_items: u64,
+    seed: u64,
+}
+
+impl EpochSampler {
+    /// Sampler over `num_items` items with a base RNG seed.
+    pub fn new(num_items: u64, seed: u64) -> Self {
+        assert!(num_items > 0, "cannot sample an empty dataset");
+        EpochSampler { num_items, seed }
+    }
+
+    /// Number of items per epoch.
+    pub fn num_items(&self) -> u64 {
+        self.num_items
+    }
+
+    /// The random visit order for `epoch`.
+    pub fn permutation(&self, epoch: u64) -> Vec<ItemId> {
+        let mut order: Vec<ItemId> = (0..self.num_items).collect();
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ epoch.wrapping_mul(0x9E37_79B9));
+        order.shuffle(&mut rng);
+        order
+    }
+
+    /// The visit order for `epoch` restricted to a distributed job: the
+    /// epoch's permutation is cut into `num_shards` equal, disjoint,
+    /// *epoch-varying* shards and shard `shard` is returned.  This mirrors
+    /// `DistributedSampler`: collectively the shards cover the dataset once.
+    pub fn distributed_shard(&self, epoch: u64, shard: usize, num_shards: usize) -> Vec<ItemId> {
+        assert!(num_shards > 0, "need at least one shard");
+        assert!(shard < num_shards, "shard {shard} out of {num_shards}");
+        let perm = self.permutation(epoch);
+        let base = perm.len() / num_shards;
+        let rem = perm.len() % num_shards;
+        // First `rem` shards get one extra item so the shards tile the epoch.
+        let start = shard * base + shard.min(rem);
+        let len = base + usize::from(shard < rem);
+        perm[start..start + len].to_vec()
+    }
+
+    /// Static (epoch-invariant) shard assignment used by coordinated prep:
+    /// item `i` belongs to job `i % num_jobs`.  Each job is responsible for
+    /// fetching + pre-processing its own shard every epoch; the prepared
+    /// minibatches are then shared with all jobs through the staging area.
+    pub fn static_shard(&self, job: usize, num_jobs: usize) -> Vec<ItemId> {
+        assert!(num_jobs > 0, "need at least one job");
+        assert!(job < num_jobs, "job {job} out of {num_jobs}");
+        (0..self.num_items)
+            .filter(|i| (i % num_jobs as u64) as usize == job)
+            .collect()
+    }
+}
+
+/// Split an ordered list of items into minibatches of `batch_size`
+/// (the final minibatch may be smaller).
+pub fn minibatches(order: &[ItemId], batch_size: usize) -> Vec<Vec<ItemId>> {
+    assert!(batch_size > 0, "batch size must be positive");
+    order.chunks(batch_size).map(|c| c.to_vec()).collect()
+}
+
+/// A full sharding plan for one epoch of a distributed or multi-job run.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// One item list per shard (server or job).
+    pub shards: Vec<Vec<ItemId>>,
+}
+
+impl ShardPlan {
+    /// Epoch-varying distributed plan across `num_shards` servers.
+    pub fn distributed(sampler: &EpochSampler, epoch: u64, num_shards: usize) -> Self {
+        ShardPlan {
+            shards: (0..num_shards)
+                .map(|s| sampler.distributed_shard(epoch, s, num_shards))
+                .collect(),
+        }
+    }
+
+    /// Static plan across `num_jobs` coordinated-prep jobs.
+    pub fn coordinated(sampler: &EpochSampler, num_jobs: usize) -> Self {
+        ShardPlan {
+            shards: (0..num_jobs)
+                .map(|j| sampler.static_shard(j, num_jobs))
+                .collect(),
+        }
+    }
+
+    /// Total items across all shards.
+    pub fn total_items(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn permutation_visits_every_item_exactly_once() {
+        let s = EpochSampler::new(1000, 7);
+        let perm = s.permutation(3);
+        assert_eq!(perm.len(), 1000);
+        let set: HashSet<_> = perm.iter().collect();
+        assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn permutations_differ_across_epochs_but_are_reproducible() {
+        let s = EpochSampler::new(500, 42);
+        let e0 = s.permutation(0);
+        let e1 = s.permutation(1);
+        assert_ne!(e0, e1, "epochs should be shuffled differently");
+        assert_eq!(e0, s.permutation(0), "same epoch must reproduce");
+    }
+
+    #[test]
+    fn different_seeds_give_different_orders() {
+        let a = EpochSampler::new(200, 1).permutation(0);
+        let b = EpochSampler::new(200, 2).permutation(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn distributed_shards_partition_the_epoch() {
+        let s = EpochSampler::new(103, 9); // deliberately not divisible
+        for epoch in 0..3 {
+            let mut all = Vec::new();
+            for shard in 0..4 {
+                all.extend(s.distributed_shard(epoch, shard, 4));
+            }
+            assert_eq!(all.len(), 103);
+            let set: HashSet<_> = all.iter().collect();
+            assert_eq!(set.len(), 103, "shards must be disjoint and cover");
+        }
+    }
+
+    #[test]
+    fn distributed_shards_change_every_epoch() {
+        let s = EpochSampler::new(1000, 5);
+        let e0: HashSet<_> = s.distributed_shard(0, 0, 2).into_iter().collect();
+        let e1: HashSet<_> = s.distributed_shard(1, 0, 2).into_iter().collect();
+        assert_ne!(e0, e1, "a server's shard should change across epochs");
+    }
+
+    #[test]
+    fn static_shards_are_epoch_invariant_and_balanced() {
+        let s = EpochSampler::new(1000, 5);
+        let plan = ShardPlan::coordinated(&s, 8);
+        assert_eq!(plan.total_items(), 1000);
+        for shard in &plan.shards {
+            assert!(shard.len() == 125);
+        }
+        // Disjoint.
+        let set: HashSet<_> = plan.shards.iter().flatten().collect();
+        assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn minibatch_assembly() {
+        let order: Vec<u64> = (0..10).collect();
+        let b = minibatches(&order, 4);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0], vec![0, 1, 2, 3]);
+        assert_eq!(b[2], vec![8, 9]);
+        let total: usize = b.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_rejected() {
+        let _ = minibatches(&[1, 2, 3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn shard_index_out_of_range_rejected() {
+        let s = EpochSampler::new(10, 0);
+        let _ = s.distributed_shard(0, 3, 3);
+    }
+}

@@ -1,0 +1,23 @@
+//! A miniature DNN training substrate.
+//!
+//! The paper's Figure 10 shows that CoorDL does not change *what* the model
+//! learns — only how fast epochs complete — by training ResNet50 to the same
+//! top-1 accuracy in a quarter of the wall-clock time.  We reproduce the
+//! essence of that experiment with a from-scratch multi-layer perceptron
+//! trained on a synthetic classification task whose samples flow through the
+//! CoorDL loaders: identical per-epoch sample streams must yield identical
+//! accuracy trajectories, and the wall-clock axis is supplied by the epoch
+//! times of the pipeline simulator.
+//!
+//! The substrate is deliberately small (dense layers, ReLU, softmax
+//! cross-entropy, SGD with momentum) but it is a real learner with real
+//! gradients — enough to demonstrate convergence equivalence, which is the
+//! property the paper claims.
+
+pub mod mlp;
+pub mod tensor;
+pub mod train;
+
+pub use mlp::Mlp;
+pub use tensor::Matrix;
+pub use train::{train_through_coordinated_group, train_through_loader, EpochAccuracy, TrainConfig};

@@ -1,0 +1,226 @@
+//! A two-layer perceptron with softmax cross-entropy and SGD + momentum.
+
+use crate::tensor::Matrix;
+
+/// A multi-layer perceptron classifier: `input → hidden (ReLU) → classes`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    w1: Matrix,
+    b1: Matrix,
+    w2: Matrix,
+    b2: Matrix,
+    vw1: Matrix,
+    vb1: Matrix,
+    vw2: Matrix,
+    vb2: Matrix,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+}
+
+impl Mlp {
+    /// Create an MLP with the given layer sizes and a deterministic seed.
+    pub fn new(input: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        assert!(classes >= 2, "need at least two classes");
+        Mlp {
+            w1: Matrix::xavier(input, hidden, seed),
+            b1: Matrix::zeros(1, hidden),
+            w2: Matrix::xavier(hidden, classes, seed.wrapping_add(1)),
+            b2: Matrix::zeros(1, classes),
+            vw1: Matrix::zeros(input, hidden),
+            vb1: Matrix::zeros(1, hidden),
+            vw2: Matrix::zeros(hidden, classes),
+            vb2: Matrix::zeros(1, classes),
+            learning_rate: 0.05,
+            momentum: 0.9,
+        }
+    }
+
+    /// Forward pass: returns `(hidden_activations, class_probabilities)`.
+    fn forward(&self, x: &Matrix) -> (Matrix, Matrix) {
+        let mut h = x.matmul(&self.w1);
+        h.add_row_broadcast(&self.b1);
+        h.map_inplace(|v| v.max(0.0));
+        let mut logits = h.matmul(&self.w2);
+        logits.add_row_broadcast(&self.b2);
+        (h, softmax_rows(&logits))
+    }
+
+    /// Predicted class for each row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<u32> {
+        let (_, probs) = self.forward(x);
+        argmax_rows(&probs)
+    }
+
+    /// Fraction of rows whose prediction matches `labels`.
+    pub fn accuracy(&self, x: &Matrix, labels: &[u32]) -> f64 {
+        assert_eq!(x.rows(), labels.len());
+        let preds = self.predict(x);
+        let correct = preds
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        correct as f64 / labels.len() as f64
+    }
+
+    /// One SGD step on a minibatch; returns the mean cross-entropy loss.
+    pub fn train_batch(&mut self, x: &Matrix, labels: &[u32]) -> f32 {
+        assert_eq!(x.rows(), labels.len(), "one label per row");
+        let n = x.rows() as f32;
+        let (h, probs) = self.forward(x);
+
+        // Loss and dLogits = probs - onehot(labels).
+        let mut dlogits = probs.clone();
+        let mut loss = 0.0;
+        for (i, &label) in labels.iter().enumerate() {
+            let p = probs.get(i, label as usize).max(1e-9);
+            loss -= p.ln();
+            dlogits.set(i, label as usize, dlogits.get(i, label as usize) - 1.0);
+        }
+        dlogits.map_inplace(|v| v / n);
+
+        // Gradients.
+        let dw2 = h.transpose().matmul(&dlogits);
+        let db2 = dlogits.sum_rows();
+        let mut dh = dlogits.matmul(&self.w2.transpose());
+        // ReLU gate.
+        for i in 0..dh.rows() {
+            for j in 0..dh.cols() {
+                if h.get(i, j) <= 0.0 {
+                    dh.set(i, j, 0.0);
+                }
+            }
+        }
+        let dw1 = x.transpose().matmul(&dh);
+        let db1 = dh.sum_rows();
+
+        // Momentum SGD.
+        let lr = self.learning_rate;
+        let mu = self.momentum;
+        for (v, g) in [
+            (&mut self.vw1, &dw1),
+            (&mut self.vb1, &db1),
+            (&mut self.vw2, &dw2),
+            (&mut self.vb2, &db2),
+        ] {
+            let mut scaled = v.clone();
+            scaled.map_inplace(|x| x * mu);
+            scaled.add_scaled(g, -lr);
+            *v = scaled;
+        }
+        self.w1.add_scaled(&self.vw1.clone(), 1.0);
+        self.b1.add_scaled(&self.vb1.clone(), 1.0);
+        self.w2.add_scaled(&self.vw2.clone(), 1.0);
+        self.b2.add_scaled(&self.vb2.clone(), 1.0);
+
+        loss / n
+    }
+}
+
+fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for i in 0..out.rows() {
+        let mut max = f32::NEG_INFINITY;
+        for j in 0..out.cols() {
+            max = max.max(out.get(i, j));
+        }
+        let mut sum = 0.0;
+        for j in 0..out.cols() {
+            let e = (out.get(i, j) - max).exp();
+            out.set(i, j, e);
+            sum += e;
+        }
+        for j in 0..out.cols() {
+            out.set(i, j, out.get(i, j) / sum);
+        }
+    }
+    out
+}
+
+fn argmax_rows(m: &Matrix) -> Vec<u32> {
+    (0..m.rows())
+        .map(|i| {
+            let mut best = 0usize;
+            for j in 1..m.cols() {
+                if m.get(i, j) > m.get(i, best) {
+                    best = j;
+                }
+            }
+            best as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A linearly separable 2-class toy problem.
+    fn toy_batch(n: usize) -> (Matrix, Vec<u32>) {
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let cls = (i % 2) as u32;
+            let sign = if cls == 0 { 1.0 } else { -1.0 };
+            let jitter = (i as f32 * 0.37).sin() * 0.1;
+            data.push(sign * 1.0 + jitter);
+            data.push(sign * 0.5 - jitter);
+            labels.push(cls);
+        }
+        (Matrix::from_vec(n, 2, data), labels)
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax_rows(&m);
+        for i in 0..2 {
+            let sum: f32 = (0..3).map(|j| s.get(i, j)).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_and_reaches_high_accuracy() {
+        let mut mlp = Mlp::new(2, 16, 2, 42);
+        let (x, y) = toy_batch(64);
+        let first_loss = mlp.train_batch(&x, &y);
+        let mut last_loss = first_loss;
+        for _ in 0..200 {
+            last_loss = mlp.train_batch(&x, &y);
+        }
+        assert!(last_loss < first_loss * 0.5, "loss should drop: {first_loss} -> {last_loss}");
+        assert!(mlp.accuracy(&x, &y) > 0.95);
+    }
+
+    #[test]
+    fn identical_seeds_and_data_give_identical_models() {
+        let (x, y) = toy_batch(32);
+        let mut a = Mlp::new(2, 8, 2, 7);
+        let mut b = Mlp::new(2, 8, 2, 7);
+        for _ in 0..10 {
+            a.train_batch(&x, &y);
+            b.train_batch(&x, &y);
+        }
+        assert_eq!(a.predict(&x), b.predict(&x));
+        assert_eq!(a.accuracy(&x, &y), b.accuracy(&x, &y));
+    }
+
+    #[test]
+    fn untrained_model_is_near_chance() {
+        let mlp = Mlp::new(2, 8, 2, 3);
+        let (x, y) = toy_batch(200);
+        let acc = mlp.accuracy(&x, &y);
+        assert!(acc > 0.2 && acc < 0.8, "untrained accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn mismatched_labels_panic() {
+        let mut mlp = Mlp::new(2, 4, 2, 0);
+        let (x, _) = toy_batch(8);
+        mlp.train_batch(&x, &[0, 1]);
+    }
+}

@@ -1,0 +1,23 @@
+//! DS-Analyzer: differential profiling of data stalls and predictive
+//! ("what-if") analysis (§3.2, §3.4, Appendix C).
+//!
+//! DS-Analyzer measures four rates for a training job —
+//!
+//! * `G`: the GPU ingestion rate with synthetic data pre-populated at the
+//!   GPUs (no fetch, no prep),
+//! * `P`: the pre-processing rate with the dataset fully cached and all CPU
+//!   cores available,
+//! * `S`: the storage random-read rate,
+//! * `C`: the DRAM (cache) read rate —
+//!
+//! and from them attributes epoch time to compute, prep stalls and fetch
+//! stalls, answers what-if questions (how much cache is needed, how many CPU
+//! cores per GPU, what if the GPU were 2× faster), and predicts training
+//! speed at any cache size using
+//! `F(x) = D / (D·x/C + D·(1−x)/S)` and `speed = min(F, P, G)`.
+
+pub mod profile;
+pub mod whatif;
+
+pub use profile::{DifferentialReport, ProfiledRates};
+pub use whatif::{Bottleneck, WhatIfAnalysis};

@@ -1,0 +1,176 @@
+//! The three-phase differential measurement (§3.2).
+
+use gpu::aggregate_samples_per_sec;
+use pipeline::{simulate_single_server, JobSpec, ServerConfig};
+use prep::{PrepBackend, PrepCostModel};
+use storage::{AccessPattern, DRAM_BANDWIDTH_BYTES_PER_SEC};
+
+/// The four component rates DS-Analyzer measures, all in samples/second for
+/// the given job (byte rates are divided by the dataset's average item size).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfiledRates {
+    /// Max GPU ingestion rate `G` (synthetic data at the GPUs).
+    pub gpu_rate: f64,
+    /// Pre-processing rate `P` with every core available and data in memory.
+    pub prep_rate: f64,
+    /// Storage random-read rate `S`.
+    pub storage_rate: f64,
+    /// DRAM read rate `C`.
+    pub cache_rate: f64,
+    /// Average raw item size used to convert between bytes and samples.
+    pub avg_item_bytes: u64,
+}
+
+impl ProfiledRates {
+    /// Phase-1/2/3 measurement for `job` on `server`.
+    ///
+    /// Phase 1 (ingestion rate) uses the GPU compute model directly — in the
+    /// real tool this is a run with synthetic data pre-populated at the GPU.
+    /// Phase 2 (prep rate) applies the prep cost model with all cores, which
+    /// is what a fully-cached, GPU-compute-disabled run measures.
+    /// Phase 3 (storage/cache rates) comes from the device profile and memory
+    /// bandwidth microbenchmarks.
+    pub fn measure(server: &ServerConfig, job: &JobSpec) -> ProfiledRates {
+        let profile = job.model.profile();
+        let gpu_rate =
+            aggregate_samples_per_sec(&profile, server.gpu, job.num_gpus, job.batch_per_gpu);
+
+        let cost = PrepCostModel::for_pipeline(&job.pipeline, job.loader.prep_backend);
+        let gpus_for_prep = if job.loader.prep_backend == PrepBackend::DaliGpu {
+            job.num_gpus as f64
+        } else {
+            0.0
+        };
+        let avg = job.dataset.avg_item_bytes;
+        let prep_rate =
+            cost.throughput_bps(server.cpu_cores as f64, gpus_for_prep) / avg as f64;
+
+        let storage_rate = server.device.bandwidth(AccessPattern::Random)
+            / (avg as f64 + server.device.request_latency_s * server.device.rand_read_bps);
+        let cache_rate = DRAM_BANDWIDTH_BYTES_PER_SEC / avg as f64;
+
+        ProfiledRates {
+            gpu_rate,
+            prep_rate,
+            storage_rate,
+            cache_rate,
+            avg_item_bytes: avg,
+        }
+    }
+}
+
+/// The outcome of the three differential runs on real (simulated) hardware:
+/// how much of the epoch is compute, prep stall and fetch stall.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DifferentialReport {
+    /// Epoch time with data pre-populated at the GPUs (no data pipeline).
+    pub ingestion_epoch_secs: f64,
+    /// Epoch time with the dataset fully cached (prep stalls only).
+    pub cached_epoch_secs: f64,
+    /// Epoch time with the configured cache size (prep + fetch stalls).
+    pub actual_epoch_secs: f64,
+}
+
+impl DifferentialReport {
+    /// Run the three phases of DS-Analyzer for `job` on `server`, using the
+    /// configured cache size of `server` for the third phase.
+    pub fn run(server: &ServerConfig, job: &JobSpec, epochs: u64) -> DifferentialReport {
+        // Phase 1: ingestion rate — no fetch, no prep.
+        let rates = ProfiledRates::measure(server, job);
+        let iterations = job.iterations_per_epoch(job.dataset.num_items) as f64;
+        let samples = job.dataset.num_items as f64;
+        let _ = iterations;
+        let ingestion_epoch_secs = samples / rates.gpu_rate;
+
+        // Phase 2: fully cached run.
+        let cached_server = server.with_cache_fraction(job.dataset.total_bytes(), 1.1);
+        let cached = simulate_single_server(&cached_server, job, epochs.max(2));
+        // Phase 3: run with the actual cache size (cold start, like the tool).
+        let actual = simulate_single_server(server, job, epochs.max(2));
+
+        DifferentialReport {
+            ingestion_epoch_secs,
+            cached_epoch_secs: cached.steady_state().epoch_seconds(),
+            actual_epoch_secs: actual.steady_state().epoch_seconds(),
+        }
+    }
+
+    /// Prep-stall share of the actual epoch time (difference between the
+    /// cached run and the ingestion-only run).
+    pub fn prep_stall_fraction(&self) -> f64 {
+        ((self.cached_epoch_secs - self.ingestion_epoch_secs) / self.actual_epoch_secs).max(0.0)
+    }
+
+    /// Fetch-stall share of the actual epoch time (difference between the
+    /// actual run and the cached run).
+    pub fn fetch_stall_fraction(&self) -> f64 {
+        ((self.actual_epoch_secs - self.cached_epoch_secs) / self.actual_epoch_secs).max(0.0)
+    }
+
+    /// Total data-stall share of epoch time.
+    pub fn data_stall_fraction(&self) -> f64 {
+        self.prep_stall_fraction() + self.fetch_stall_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::DatasetSpec;
+    use gpu::ModelKind;
+    use pipeline::LoaderConfig;
+    use prep::PrepBackend;
+
+    fn small_ds() -> DatasetSpec {
+        DatasetSpec::imagenet_1k().scaled(500)
+    }
+
+    fn job(model: ModelKind, ds: &DatasetSpec) -> JobSpec {
+        JobSpec::new(model, ds.clone(), 8, LoaderConfig::dali_shuffle(PrepBackend::DaliCpu))
+    }
+
+    #[test]
+    fn measured_rates_are_ordered_sensibly() {
+        let ds = small_ds();
+        let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 0.35);
+        let r = ProfiledRates::measure(&server, &job(ModelKind::ResNet18, &ds));
+        assert!(r.cache_rate > r.storage_rate, "DRAM faster than SSD");
+        assert!(r.gpu_rate > 0.0 && r.prep_rate > 0.0);
+        // ResNet18 on 8 V100s is prep bound with 24 cores (Figure 1).
+        assert!(r.gpu_rate > r.prep_rate);
+    }
+
+    #[test]
+    fn resnet50_is_gpu_bound_when_cached() {
+        let ds = small_ds();
+        let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 1.1);
+        let r = ProfiledRates::measure(&server, &job(ModelKind::ResNet50, &ds));
+        assert!(
+            r.prep_rate > r.gpu_rate,
+            "ResNet50 needs only ~3 cores/GPU: prep {} vs gpu {}",
+            r.prep_rate,
+            r.gpu_rate
+        );
+    }
+
+    #[test]
+    fn differential_report_attributes_stalls() {
+        let ds = small_ds();
+        let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(ds.total_bytes(), 0.35);
+        let rep = DifferentialReport::run(&server, &job(ModelKind::ResNet18, &ds), 2);
+        // Ingestion-only <= cached <= actual.
+        assert!(rep.ingestion_epoch_secs <= rep.cached_epoch_secs * 1.01);
+        assert!(rep.cached_epoch_secs <= rep.actual_epoch_secs * 1.01);
+        // On an HDD with 35% cache the job is dominated by fetch stalls.
+        assert!(rep.fetch_stall_fraction() > 0.4);
+        assert!(rep.data_stall_fraction() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn gpu_bound_model_shows_small_stalls() {
+        let ds = small_ds();
+        let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 1.1);
+        let rep = DifferentialReport::run(&server, &job(ModelKind::ResNet50, &ds), 2);
+        assert!(rep.data_stall_fraction() < 0.2);
+    }
+}

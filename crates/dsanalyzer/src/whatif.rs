@@ -1,0 +1,230 @@
+//! Predictive what-if analysis (§3.4, Appendix C).
+
+use crate::profile::ProfiledRates;
+
+/// Which pipeline stage limits training throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// `min(F, P, G) = G`: the job is GPU bound (no data stalls).
+    Gpu,
+    /// `min(F, P, G) = P`: the job is CPU bound (prep stalls).
+    Cpu,
+    /// `min(F, P, G) = F`: the job is I/O bound (fetch stalls).
+    Io,
+}
+
+/// What-if analysis built on the measured component rates.
+#[derive(Debug, Clone, Copy)]
+pub struct WhatIfAnalysis {
+    rates: ProfiledRates,
+}
+
+impl WhatIfAnalysis {
+    /// Wrap a set of measured rates.
+    pub fn new(rates: ProfiledRates) -> Self {
+        WhatIfAnalysis { rates }
+    }
+
+    /// The measured rates.
+    pub fn rates(&self) -> &ProfiledRates {
+        &self.rates
+    }
+
+    /// Effective fetch rate `F(x)` (samples/s) when a fraction `x` of the
+    /// dataset is cached — Appendix C, equation (4):
+    /// `F = D / (D·x/C + D·(1−x)/S) = 1 / (x/C + (1−x)/S)`.
+    pub fn fetch_rate(&self, cache_fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&cache_fraction), "fraction in [0,1]");
+        let c = self.rates.cache_rate;
+        let s = self.rates.storage_rate;
+        1.0 / (cache_fraction / c + (1.0 - cache_fraction) / s)
+    }
+
+    /// Predicted end-to-end training speed (samples/s) at cache fraction `x`:
+    /// `min(F(x), P, G)`.
+    pub fn predicted_speed(&self, cache_fraction: f64) -> f64 {
+        self.fetch_rate(cache_fraction)
+            .min(self.rates.prep_rate)
+            .min(self.rates.gpu_rate)
+    }
+
+    /// Which stage is the bottleneck at cache fraction `x`.
+    pub fn bottleneck(&self, cache_fraction: f64) -> Bottleneck {
+        let f = self.fetch_rate(cache_fraction);
+        let p = self.rates.prep_rate;
+        let g = self.rates.gpu_rate;
+        if g <= f && g <= p {
+            Bottleneck::Gpu
+        } else if p <= f {
+            Bottleneck::Cpu
+        } else {
+            Bottleneck::Io
+        }
+    }
+
+    /// The smallest cache fraction at which fetch stops being the bottleneck
+    /// (larger caches buy nothing — §3.4's "more DRAM has no effect once the
+    /// job is CPU/GPU bound"). Returns 1.0 if even a full cache leaves the
+    /// job I/O bound (impossible as long as DRAM is faster than the GPU).
+    pub fn recommended_cache_fraction(&self) -> f64 {
+        let target = self.rates.prep_rate.min(self.rates.gpu_rate);
+        // Solve F(x) = target for x:
+        // 1/(x/C + (1-x)/S) = target  =>  x = (1/target - 1/S) / (1/C - 1/S).
+        let c = self.rates.cache_rate;
+        let s = self.rates.storage_rate;
+        if self.fetch_rate(0.0) >= target {
+            return 0.0;
+        }
+        let x = (1.0 / target - 1.0 / s) / (1.0 / c - 1.0 / s);
+        x.clamp(0.0, 1.0)
+    }
+
+    /// Minimum CPU cores per GPU needed to remove prep stalls, given the
+    /// per-core prep rate implied by the measured prep rate over
+    /// `total_cores` cores and the per-GPU ingestion rate over `num_gpus`.
+    pub fn recommended_cores_per_gpu(&self, total_cores: usize, num_gpus: usize) -> f64 {
+        assert!(total_cores > 0 && num_gpus > 0);
+        let per_core = self.rates.prep_rate / total_cores as f64;
+        let per_gpu_demand = self.rates.gpu_rate / num_gpus as f64;
+        per_gpu_demand / per_core
+    }
+
+    /// A new analysis assuming the GPUs become `factor`× faster (the paper's
+    /// "what if GPU compute speeds increase by 2×?").
+    pub fn with_faster_gpu(&self, factor: f64) -> WhatIfAnalysis {
+        assert!(factor > 0.0);
+        let mut rates = self.rates;
+        rates.gpu_rate *= factor;
+        WhatIfAnalysis { rates }
+    }
+
+    /// A new analysis assuming the storage device delivers `factor`× the
+    /// random-read bandwidth (e.g. replacing SATA SSD with NVMe).
+    pub fn with_faster_storage(&self, factor: f64) -> WhatIfAnalysis {
+        assert!(factor > 0.0);
+        let mut rates = self.rates;
+        rates.storage_rate *= factor;
+        WhatIfAnalysis { rates }
+    }
+
+    /// Predicted speed across a sweep of cache fractions, for plotting
+    /// (Figure 16).
+    pub fn speed_curve(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2);
+        (0..points)
+            .map(|i| {
+                let x = i as f64 / (points - 1) as f64;
+                (x, self.predicted_speed(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rates shaped like AlexNet on Config-SSD-V100 with ImageNet-1k
+    /// (Appendix C.2): storage-bound at small caches, prep-bound at large.
+    fn alexnet_like() -> WhatIfAnalysis {
+        WhatIfAnalysis::new(ProfiledRates {
+            gpu_rate: 24_000.0,
+            prep_rate: 6_400.0,
+            storage_rate: 4_600.0,
+            cache_rate: 175_000.0,
+            avg_item_bytes: 114 * 1024,
+        })
+    }
+
+    #[test]
+    fn fetch_rate_is_monotone_in_cache_fraction() {
+        let w = alexnet_like();
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let f = w.fetch_rate(i as f64 / 10.0);
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert!((w.fetch_rate(0.0) - w.rates().storage_rate).abs() < 1e-6);
+        assert!((w.fetch_rate(1.0) - w.rates().cache_rate).abs() < 1e-6);
+    }
+
+    #[test]
+    fn predicted_speed_saturates_at_min_of_prep_and_gpu() {
+        let w = alexnet_like();
+        assert!((w.predicted_speed(1.0) - 6_400.0).abs() < 1e-6);
+        assert!(w.predicted_speed(0.0) <= 4_600.0 + 1e-6);
+    }
+
+    #[test]
+    fn bottleneck_transitions_io_to_cpu_with_more_cache() {
+        let w = alexnet_like();
+        assert_eq!(w.bottleneck(0.0), Bottleneck::Io);
+        assert_eq!(w.bottleneck(1.0), Bottleneck::Cpu);
+        // Around the paper's ~55 % crossover (Figure 16) the bottleneck flips.
+        let x = w.recommended_cache_fraction();
+        assert!(x > 0.2 && x < 0.6, "recommended cache fraction {x}");
+        assert_eq!(w.bottleneck((x + 0.05).min(1.0)), Bottleneck::Cpu);
+        assert_eq!(w.bottleneck((x - 0.05).max(0.0)), Bottleneck::Io);
+    }
+
+    #[test]
+    fn recommendation_is_consistent_with_prediction() {
+        let w = alexnet_like();
+        let x = w.recommended_cache_fraction();
+        let speed_at_x = w.predicted_speed(x);
+        let speed_at_full = w.predicted_speed(1.0);
+        assert!(
+            (speed_at_x - speed_at_full).abs() / speed_at_full < 0.01,
+            "beyond the recommended cache size more DRAM buys <1 %"
+        );
+    }
+
+    #[test]
+    fn faster_gpu_worsens_data_stalls() {
+        // Appendix B.3's point: faster compute makes stalls relatively worse.
+        let w = alexnet_like();
+        let gpu_bound_now = w.bottleneck(1.0);
+        assert_eq!(gpu_bound_now, Bottleneck::Cpu);
+        let faster = w.with_faster_gpu(2.0);
+        // Still CPU bound, and the gap (stall fraction) grows.
+        let stall_now = 1.0 - w.predicted_speed(1.0) / w.rates().gpu_rate;
+        let stall_faster = 1.0 - faster.predicted_speed(1.0) / faster.rates().gpu_rate;
+        assert!(stall_faster > stall_now);
+    }
+
+    #[test]
+    fn faster_storage_removes_io_bottleneck() {
+        let w = alexnet_like();
+        assert_eq!(w.bottleneck(0.0), Bottleneck::Io);
+        let nvme = w.with_faster_storage(5.0);
+        assert_ne!(nvme.bottleneck(0.0), Bottleneck::Io);
+    }
+
+    #[test]
+    fn speed_curve_has_requested_resolution_and_is_monotone() {
+        let w = alexnet_like();
+        let curve = w.speed_curve(21);
+        assert_eq!(curve.len(), 21);
+        assert!(curve.windows(2).all(|p| p[1].1 >= p[0].1 - 1e-9));
+    }
+
+    #[test]
+    fn cores_per_gpu_recommendation_scales_with_gpu_rate() {
+        let w = alexnet_like();
+        // 24 cores feeding 8 GPUs.
+        let need = w.recommended_cores_per_gpu(24, 8);
+        assert!(need > 3.0, "AlexNet needs many cores per GPU, got {need}");
+        let slower_gpu = WhatIfAnalysis::new(ProfiledRates {
+            gpu_rate: 6_000.0,
+            ..*w.rates()
+        });
+        assert!(slower_gpu.recommended_cores_per_gpu(24, 8) < need);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction in [0,1]")]
+    fn out_of_range_fraction_rejected() {
+        let _ = alexnet_like().fetch_rate(1.5);
+    }
+}

@@ -1,0 +1,19 @@
+//! GPU compute substrate: how fast each model can *consume* prepared data.
+//!
+//! For the purposes of data-stall analysis the DNN itself is just a consumer
+//! with an ingestion rate `G` (samples per second) that depends on the model,
+//! the GPU generation, the batch size and the number of GPUs.  This crate
+//! provides the calibrated model zoo used throughout the reproduction.
+//!
+//! Calibration notes: per-GPU V100 rates are anchored on Figure 1 (the 8-GPU
+//! ResNet18 pipeline needs 2283 MB/s ≈ 20 k ImageNet samples/s, i.e. ≈ 2.5 k
+//! samples/s per V100) and on the relative ordering of Table 7 / Figure 13
+//! (AlexNet ≈ ShuffleNet > ResNet18 > SqueezeNet > MobileNet > ResNet50 ≈
+//! VGG11).  1080Ti rates use the ≈3× slowdown implied by full-precision
+//! training on the older part (§3.1).
+
+pub mod model;
+pub mod scaling;
+
+pub use model::{GpuGeneration, ModelKind, ModelProfile, Task};
+pub use scaling::{aggregate_samples_per_sec, batch_efficiency, compute_seconds_per_batch};

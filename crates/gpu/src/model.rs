@@ -1,0 +1,241 @@
+//! The model zoo and GPU generations.
+
+/// GPU generations used by the paper's two server configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuGeneration {
+    /// NVIDIA V100 (Config-SSD-V100), trained with Apex mixed precision.
+    V100,
+    /// NVIDIA GTX 1080Ti (Config-HDD-1080Ti), full precision.
+    Gtx1080Ti,
+    /// A hypothetical GPU 2× faster than the V100, used by DS-Analyzer's
+    /// what-if analysis ("what if GPUs get 2× faster?").
+    FutureGpu2x,
+}
+
+impl GpuGeneration {
+    /// Compute-speed multiplier relative to a V100 with mixed precision.
+    pub fn speed_factor(self) -> f64 {
+        match self {
+            GpuGeneration::V100 => 1.0,
+            // Full-precision training on the older part is roughly 3× slower
+            // for the CNNs considered here.
+            GpuGeneration::Gtx1080Ti => 0.33,
+            GpuGeneration::FutureGpu2x => 2.0,
+        }
+    }
+
+    /// Device memory in bytes (Table 2: 32 GB for V100, 11 GB for 1080Ti).
+    pub fn memory_bytes(self) -> u64 {
+        match self {
+            GpuGeneration::V100 => 32 * 1024 * 1024 * 1024,
+            GpuGeneration::Gtx1080Ti => 11 * 1024 * 1024 * 1024,
+            GpuGeneration::FutureGpu2x => 64 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuGeneration::V100 => "V100",
+            GpuGeneration::Gtx1080Ti => "1080Ti",
+            GpuGeneration::FutureGpu2x => "2xV100",
+        }
+    }
+}
+
+/// Training task families used in the paper (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// Image classification (7 of the 9 models).
+    ImageClassification,
+    /// Object detection (SSD + ResNet18 backbone).
+    ObjectDetection,
+    /// Audio classification (M5 on FMA).
+    AudioClassification,
+    /// Language models (BERT-Large, GNMT) — GPU bound, no data stalls in the
+    /// paper's environment; included for completeness.
+    LanguageModel,
+}
+
+/// The nine (plus two language) models analysed in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    ShuffleNetV2,
+    AlexNet,
+    ResNet18,
+    SqueezeNet,
+    MobileNetV2,
+    ResNet50,
+    Vgg11,
+    SsdRes18,
+    AudioM5,
+    BertLarge,
+    Gnmt,
+}
+
+impl ModelKind {
+    /// The nine models with data stalls analysed throughout the paper.
+    pub fn paper_models() -> Vec<ModelKind> {
+        vec![
+            ModelKind::ShuffleNetV2,
+            ModelKind::AlexNet,
+            ModelKind::ResNet18,
+            ModelKind::SqueezeNet,
+            ModelKind::MobileNetV2,
+            ModelKind::ResNet50,
+            ModelKind::Vgg11,
+            ModelKind::SsdRes18,
+            ModelKind::AudioM5,
+        ]
+    }
+
+    /// The seven image-classification models (Figure 13, Table 7).
+    pub fn image_models() -> Vec<ModelKind> {
+        vec![
+            ModelKind::ShuffleNetV2,
+            ModelKind::AlexNet,
+            ModelKind::ResNet18,
+            ModelKind::SqueezeNet,
+            ModelKind::MobileNetV2,
+            ModelKind::ResNet50,
+            ModelKind::Vgg11,
+        ]
+    }
+
+    /// Profile (calibrated rates) of this model.
+    pub fn profile(self) -> ModelProfile {
+        ModelProfile::of(self)
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::ShuffleNetV2 => "ShuffleNetv2",
+            ModelKind::AlexNet => "AlexNet",
+            ModelKind::ResNet18 => "ResNet18",
+            ModelKind::SqueezeNet => "SqueezeNet",
+            ModelKind::MobileNetV2 => "MobileNetv2",
+            ModelKind::ResNet50 => "ResNet50",
+            ModelKind::Vgg11 => "VGG11",
+            ModelKind::SsdRes18 => "SSD-Res18",
+            ModelKind::AudioM5 => "Audio-M5",
+            ModelKind::BertLarge => "BERT-Large",
+            ModelKind::Gnmt => "GNMT",
+        }
+    }
+}
+
+/// Calibrated per-model compute characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelProfile {
+    /// The model.
+    pub kind: ModelKind,
+    /// Task family.
+    pub task: Task,
+    /// Samples per second one V100 can ingest at the reference batch size
+    /// with mixed precision, *excluding* any data stalls.
+    pub v100_samples_per_sec: f64,
+    /// Reference per-GPU batch size used in the paper (§3.1: 512 for image
+    /// classification, 128 for SSD, 16 for M5).
+    pub reference_batch: usize,
+    /// Fraction of an iteration spent in cross-GPU gradient synchronisation
+    /// at the reference batch size (folded into compute time, §2).
+    pub sync_overhead: f64,
+}
+
+impl ModelProfile {
+    /// The calibrated profile of `kind`.
+    pub fn of(kind: ModelKind) -> ModelProfile {
+        use ModelKind::*;
+        let (task, v100_rate, batch, sync) = match kind {
+            // Image classification, per-V100 samples/s at batch 512 (mixed
+            // precision). Ordering and rough magnitudes follow Fig. 13 /
+            // Table 7; ResNet18 anchored at ~2.5k samples/s per Figure 1.
+            ShuffleNetV2 => (Task::ImageClassification, 2900.0, 512, 0.04),
+            AlexNet => (Task::ImageClassification, 3100.0, 512, 0.06),
+            ResNet18 => (Task::ImageClassification, 2500.0, 512, 0.05),
+            SqueezeNet => (Task::ImageClassification, 1900.0, 512, 0.04),
+            MobileNetV2 => (Task::ImageClassification, 1500.0, 512, 0.04),
+            ResNet50 => (Task::ImageClassification, 650.0, 512, 0.07),
+            Vgg11 => (Task::ImageClassification, 580.0, 512, 0.10),
+            // Object detection: batch 128 per GPU.
+            SsdRes18 => (Task::ObjectDetection, 350.0, 128, 0.06),
+            // Audio M5: batch 16 per GPU; items are ~9 MB clips so even a
+            // modest sample rate implies a huge byte-ingest demand.
+            AudioM5 => (Task::AudioClassification, 220.0, 16, 0.03),
+            // Language models: GPU bound in the paper's environment.
+            BertLarge => (Task::LanguageModel, 52.0, 8, 0.12),
+            Gnmt => (Task::LanguageModel, 380.0, 128, 0.10),
+        };
+        ModelProfile {
+            kind,
+            task,
+            v100_samples_per_sec: v100_rate,
+            reference_batch: batch,
+            sync_overhead: sync,
+        }
+    }
+
+    /// Per-GPU ingestion rate (samples/s) on `gpu` at the reference batch.
+    pub fn samples_per_sec(&self, gpu: GpuGeneration) -> f64 {
+        self.v100_samples_per_sec * gpu.speed_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_paper_models() {
+        assert_eq!(ModelKind::paper_models().len(), 9);
+        assert_eq!(ModelKind::image_models().len(), 7);
+    }
+
+    #[test]
+    fn compute_rate_ordering_matches_paper() {
+        // Table 7 / Figure 13 ordering: AlexNet & ShuffleNet fastest,
+        // ResNet50 & VGG11 slowest among the image models.
+        let rate = |m: ModelKind| m.profile().v100_samples_per_sec;
+        assert!(rate(ModelKind::AlexNet) > rate(ModelKind::ResNet18));
+        assert!(rate(ModelKind::ShuffleNetV2) > rate(ModelKind::ResNet18));
+        assert!(rate(ModelKind::ResNet18) > rate(ModelKind::SqueezeNet));
+        assert!(rate(ModelKind::SqueezeNet) > rate(ModelKind::MobileNetV2));
+        assert!(rate(ModelKind::MobileNetV2) > rate(ModelKind::ResNet50));
+        assert!(rate(ModelKind::ResNet50) > rate(ModelKind::Vgg11));
+    }
+
+    #[test]
+    fn resnet18_matches_figure1_byte_rate() {
+        // Figure 1: 8 V100s consuming ImageNet-1k (≈114 KiB/raw image) need
+        // ~2283 MB/s.
+        let p = ModelKind::ResNet18.profile();
+        let avg_item = 146.0 * 1024.0 * 1024.0 * 1024.0 / 1_281_167.0; // bytes
+        let bytes_per_sec = p.v100_samples_per_sec * 8.0 * avg_item;
+        let mbps = bytes_per_sec / 1_000_000.0;
+        assert!(
+            (mbps - 2283.0).abs() / 2283.0 < 0.15,
+            "ResNet18 ingest = {mbps} MB/s, expected ≈2283"
+        );
+    }
+
+    #[test]
+    fn gpu_generation_factors() {
+        assert!(GpuGeneration::V100.speed_factor() > GpuGeneration::Gtx1080Ti.speed_factor());
+        assert_eq!(GpuGeneration::FutureGpu2x.speed_factor(), 2.0);
+        assert!(GpuGeneration::V100.memory_bytes() > GpuGeneration::Gtx1080Ti.memory_bytes());
+    }
+
+    #[test]
+    fn reference_batches_match_section_3_1() {
+        assert_eq!(ModelKind::ResNet50.profile().reference_batch, 512);
+        assert_eq!(ModelKind::SsdRes18.profile().reference_batch, 128);
+        assert_eq!(ModelKind::AudioM5.profile().reference_batch, 16);
+    }
+
+    #[test]
+    fn language_models_are_marked_gpu_bound_tasks() {
+        assert_eq!(ModelKind::BertLarge.profile().task, Task::LanguageModel);
+        assert_eq!(ModelKind::Gnmt.profile().task, Task::LanguageModel);
+    }
+}

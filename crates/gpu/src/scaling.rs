@@ -1,0 +1,110 @@
+//! Batch-size and multi-GPU scaling of the ingestion rate.
+
+use crate::model::{GpuGeneration, ModelProfile};
+
+/// Relative GPU efficiency at `batch` versus the reference batch size.
+///
+/// Larger batches amortise kernel-launch and gradient-exchange overheads and
+/// exploit the GPU's parallelism better (Appendix B.3); we model this with a
+/// saturating curve `b / (b + k)` normalised to 1.0 at the reference batch.
+/// Halving the batch costs ~10 %, very small batches cost considerably more.
+pub fn batch_efficiency(profile: &ModelProfile, batch: usize) -> f64 {
+    assert!(batch > 0, "batch size must be positive");
+    let k = profile.reference_batch as f64 * 0.2;
+    let eff = |b: f64| b / (b + k);
+    eff(batch as f64) / eff(profile.reference_batch as f64)
+}
+
+/// Aggregate ingestion rate (samples/s) of a data-parallel job with
+/// `num_gpus` GPUs of generation `gpu` running `profile` at per-GPU batch
+/// size `batch`.
+///
+/// Weak scaling with a small per-GPU synchronisation penalty: gradient
+/// exchange grows with the number of workers, which the paper folds into
+/// compute time (§2).
+pub fn aggregate_samples_per_sec(
+    profile: &ModelProfile,
+    gpu: GpuGeneration,
+    num_gpus: usize,
+    batch: usize,
+) -> f64 {
+    assert!(num_gpus > 0, "need at least one GPU");
+    let per_gpu = profile.samples_per_sec(gpu) * batch_efficiency(profile, batch);
+    let sync_penalty = 1.0 + profile.sync_overhead * ((num_gpus as f64).log2()).max(0.0) * 0.5;
+    per_gpu * num_gpus as f64 / sync_penalty
+}
+
+/// GPU compute time for one global minibatch (`batch` per GPU across
+/// `num_gpus` GPUs), in seconds.
+pub fn compute_seconds_per_batch(
+    profile: &ModelProfile,
+    gpu: GpuGeneration,
+    num_gpus: usize,
+    batch: usize,
+) -> f64 {
+    let samples = (batch * num_gpus) as f64;
+    samples / aggregate_samples_per_sec(profile, gpu, num_gpus, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+
+    fn resnet18() -> ModelProfile {
+        ModelKind::ResNet18.profile()
+    }
+
+    #[test]
+    fn batch_efficiency_is_one_at_reference() {
+        let p = resnet18();
+        assert!((batch_efficiency(&p, p.reference_batch) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_batches_are_more_efficient() {
+        let p = resnet18();
+        assert!(batch_efficiency(&p, 1024) > batch_efficiency(&p, 512));
+        assert!(batch_efficiency(&p, 512) > batch_efficiency(&p, 128));
+        assert!(batch_efficiency(&p, 128) > batch_efficiency(&p, 32));
+    }
+
+    #[test]
+    fn efficiency_saturates_below_20_percent_gain() {
+        let p = resnet18();
+        assert!(batch_efficiency(&p, 4096) < 1.2);
+    }
+
+    #[test]
+    fn multi_gpu_scales_nearly_linearly() {
+        let p = resnet18();
+        let one = aggregate_samples_per_sec(&p, GpuGeneration::V100, 1, 512);
+        let eight = aggregate_samples_per_sec(&p, GpuGeneration::V100, 8, 512);
+        let scaling = eight / one;
+        assert!(scaling > 6.5 && scaling < 8.0, "8-GPU scaling = {scaling}");
+    }
+
+    #[test]
+    fn compute_time_is_batch_over_rate() {
+        let p = resnet18();
+        let t = compute_seconds_per_batch(&p, GpuGeneration::V100, 8, 512);
+        let rate = aggregate_samples_per_sec(&p, GpuGeneration::V100, 8, 512);
+        assert!((t - (512.0 * 8.0) / rate).abs() < 1e-12);
+        assert!(t > 0.0 && t < 10.0);
+    }
+
+    #[test]
+    fn v100_faster_than_1080ti() {
+        let p = resnet18();
+        let v = aggregate_samples_per_sec(&p, GpuGeneration::V100, 8, 256);
+        let g = aggregate_samples_per_sec(&p, GpuGeneration::Gtx1080Ti, 8, 256);
+        assert!(v / g > 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_rejected() {
+        let p = resnet18();
+        let _ = aggregate_samples_per_sec(&p, GpuGeneration::V100, 0, 512);
+    }
+}

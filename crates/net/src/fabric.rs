@@ -1,0 +1,140 @@
+//! The cluster fabric: per-server NICs with traffic accounting.
+
+use crate::link::LinkProfile;
+use simkit::SimTime;
+
+/// Per-server network counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetStats {
+    /// Bytes received from remote caches.
+    pub bytes_received: u64,
+    /// Bytes served to remote peers out of the local cache.
+    pub bytes_sent: u64,
+    /// Number of remote fetch requests issued.
+    pub requests: u64,
+    /// Total time spent on the wire for this server's receives (isolated).
+    pub receive_time_s: f64,
+}
+
+impl NetStats {
+    /// Average receive bandwidth over `horizon_s` seconds, in bits/second.
+    pub fn avg_receive_bps(&self, horizon_s: f64) -> f64 {
+        if horizon_s <= 0.0 {
+            0.0
+        } else {
+            self.bytes_received as f64 * 8.0 / horizon_s
+        }
+    }
+}
+
+/// A cluster of servers connected by identical links.
+///
+/// The fabric tracks who sent how much to whom and answers "how long does a
+/// remote cache fetch of `bytes` take when `flows` transfers share the NIC".
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    link: LinkProfile,
+    stats: Vec<NetStats>,
+}
+
+impl Fabric {
+    /// A fabric of `num_servers` servers with identical `link` NICs.
+    pub fn new(link: LinkProfile, num_servers: usize) -> Self {
+        assert!(num_servers > 0, "need at least one server");
+        Fabric {
+            link,
+            stats: vec![NetStats::default(); num_servers],
+        }
+    }
+
+    /// The link profile.
+    pub fn link(&self) -> &LinkProfile {
+        &self.link
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Model a remote cache fetch of `bytes` from `src` to `dst`, with
+    /// `concurrent_flows` flows sharing each NIC, returning the transfer time.
+    pub fn remote_fetch(
+        &mut self,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        concurrent_flows: usize,
+    ) -> SimTime {
+        assert!(src < self.stats.len() && dst < self.stats.len());
+        assert_ne!(src, dst, "remote fetch must cross servers");
+        let secs = self.link.transfer_seconds(bytes, concurrent_flows);
+        self.stats[src].bytes_sent += bytes;
+        self.stats[dst].bytes_received += bytes;
+        self.stats[dst].requests += 1;
+        self.stats[dst].receive_time_s += secs;
+        SimTime::from_secs(secs)
+    }
+
+    /// Network statistics of server `idx`.
+    pub fn stats(&self, idx: usize) -> NetStats {
+        self.stats[idx]
+    }
+
+    /// Reset all counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.stats {
+            *s = NetStats::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_fetch_accounts_both_ends() {
+        let mut f = Fabric::new(LinkProfile::ethernet_40gbps(), 2);
+        let t = f.remote_fetch(0, 1, 1_000_000, 1);
+        assert!(t.as_secs() > 0.0);
+        assert_eq!(f.stats(0).bytes_sent, 1_000_000);
+        assert_eq!(f.stats(1).bytes_received, 1_000_000);
+        assert_eq!(f.stats(1).requests, 1);
+        assert_eq!(f.stats(0).bytes_received, 0);
+    }
+
+    #[test]
+    fn remote_fetch_is_faster_than_hdd() {
+        // The motivating comparison: fetching 1 GB from a remote cache over
+        // 40 GbE is far faster than 1 GB of random reads from a 15 MB/s HDD.
+        let mut f = Fabric::new(LinkProfile::ethernet_40gbps(), 2);
+        let net = f.remote_fetch(0, 1, 1 << 30, 1).as_secs();
+        let hdd = (1u64 << 30) as f64 / 15_000_000.0;
+        assert!(net * 10.0 < hdd);
+    }
+
+    #[test]
+    fn avg_bandwidth_reporting() {
+        let mut f = Fabric::new(LinkProfile::ethernet_40gbps(), 3);
+        f.remote_fetch(0, 2, 500_000_000, 1);
+        f.remote_fetch(1, 2, 500_000_000, 1);
+        let gbps = f.stats(2).avg_receive_bps(1.0) / 1e9;
+        assert!((gbps - 8.0).abs() < 0.1, "got {gbps} Gbps");
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut f = Fabric::new(LinkProfile::ethernet_10gbps(), 2);
+        f.remote_fetch(0, 1, 1000, 1);
+        f.reset();
+        assert_eq!(f.stats(1).bytes_received, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross servers")]
+    fn self_fetch_rejected() {
+        let mut f = Fabric::new(LinkProfile::ethernet_10gbps(), 2);
+        f.remote_fetch(1, 1, 10, 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! Network substrate: the commodity Ethernet used by partitioned caching.
+//!
+//! CoorDL's partitioned cache serves a local MinIO miss from the DRAM of a
+//! *remote* server over plain TCP because the cross-node links of ML cloud
+//! servers (10–40 Gbps) are up to 4× faster than a local SATA SSD and orders
+//! of magnitude faster than a hard drive (§4.2).  The model here is a simple
+//! fluid one: each server has a NIC of fixed bandwidth that is shared fairly
+//! by its concurrent flows, plus a fixed per-request latency.
+
+pub mod fabric;
+pub mod link;
+
+pub use fabric::{Fabric, NetStats};
+pub use link::LinkProfile;

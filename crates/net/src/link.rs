@@ -1,0 +1,81 @@
+//! NIC / link profiles.
+
+const GBIT: f64 = 1_000_000_000.0 / 8.0; // bytes per second per Gbit/s
+
+/// Static characteristics of a server's network link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// Short name for reports.
+    pub name: &'static str,
+    /// Usable bandwidth in bytes/second.
+    pub bandwidth_bps: f64,
+    /// Round-trip latency in seconds.
+    pub rtt_s: f64,
+    /// Fraction of the nominal bandwidth achievable by a TCP flow in practice
+    /// (protocol overhead, incast effects).
+    pub efficiency: f64,
+}
+
+impl LinkProfile {
+    /// The 40 Gbps Ethernet of the paper's evaluation servers (§5).
+    pub fn ethernet_40gbps() -> Self {
+        LinkProfile {
+            name: "40GbE",
+            bandwidth_bps: 40.0 * GBIT,
+            rtt_s: 100e-6,
+            efficiency: 0.9,
+        }
+    }
+
+    /// A 10 Gbps link, the low end of the range the paper quotes (§4.2).
+    pub fn ethernet_10gbps() -> Self {
+        LinkProfile {
+            name: "10GbE",
+            bandwidth_bps: 10.0 * GBIT,
+            rtt_s: 100e-6,
+            efficiency: 0.9,
+        }
+    }
+
+    /// Effective bandwidth of a single flow when `concurrent_flows` flows
+    /// share the link.
+    pub fn per_flow_bandwidth(&self, concurrent_flows: usize) -> f64 {
+        self.bandwidth_bps * self.efficiency / concurrent_flows.max(1) as f64
+    }
+
+    /// Time to transfer `bytes` over one of `concurrent_flows` fair-shared
+    /// flows, in seconds.
+    pub fn transfer_seconds(&self, bytes: u64, concurrent_flows: usize) -> f64 {
+        self.rtt_s + bytes as f64 / self.per_flow_bandwidth(concurrent_flows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forty_gig_is_faster_than_sata_ssd() {
+        // §4.2: the network is up to 4× faster than a 530 MB/s SATA SSD.
+        let link = LinkProfile::ethernet_40gbps();
+        let effective = link.bandwidth_bps * link.efficiency;
+        assert!(effective > 4.0 * 530_000_000.0);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes_and_flows() {
+        let link = LinkProfile::ethernet_40gbps();
+        let one = link.transfer_seconds(1_000_000_000, 1);
+        let two = link.transfer_seconds(1_000_000_000, 2);
+        assert!(two > 1.9 * one && two < 2.1 * one);
+        let ten = link.transfer_seconds(10_000_000_000, 1);
+        assert!(ten > 9.0 * one && ten < 11.0 * one);
+    }
+
+    #[test]
+    fn ten_gig_is_slower_than_forty_gig() {
+        let t40 = LinkProfile::ethernet_40gbps().transfer_seconds(1 << 30, 1);
+        let t10 = LinkProfile::ethernet_10gbps().transfer_seconds(1 << 30, 1);
+        assert!(t10 > 3.5 * t40);
+    }
+}

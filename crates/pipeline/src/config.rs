@@ -1,0 +1,136 @@
+//! Server configurations (paper Table 2).
+
+use gpu::GpuGeneration;
+use netsim::LinkProfile;
+use storage::DeviceProfile;
+
+const GIB: u64 = 1024 * 1024 * 1024;
+
+/// Hardware configuration of one training server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Short name, e.g. `"Config-SSD-V100"`.
+    pub name: String,
+    /// Number of GPUs installed.
+    pub num_gpus: usize,
+    /// GPU generation.
+    pub gpu: GpuGeneration,
+    /// Physical CPU cores available for data loading.
+    pub cpu_cores: usize,
+    /// DRAM available for caching training data, in bytes.
+    pub dram_cache_bytes: u64,
+    /// Local storage device holding the dataset.
+    pub device: DeviceProfile,
+    /// Network link to peer servers.
+    pub link: LinkProfile,
+}
+
+impl ServerConfig {
+    /// Config-SSD-V100 (Table 2): 8×V100, 24 cores, 500 GiB DRAM, SATA SSD,
+    /// 40 Gbps Ethernet — closest to AWS p3.16xlarge.
+    pub fn config_ssd_v100() -> Self {
+        ServerConfig {
+            name: "Config-SSD-V100".to_string(),
+            num_gpus: 8,
+            gpu: GpuGeneration::V100,
+            cpu_cores: 24,
+            dram_cache_bytes: 500 * GIB,
+            device: DeviceProfile::sata_ssd(),
+            link: LinkProfile::ethernet_40gbps(),
+        }
+    }
+
+    /// Config-HDD-1080Ti (Table 2): 8×1080Ti, 24 cores, 500 GiB DRAM, HDD,
+    /// 40 Gbps Ethernet — closest to AWS p2.8xlarge with st1 storage.
+    pub fn config_hdd_1080ti() -> Self {
+        ServerConfig {
+            name: "Config-HDD-1080Ti".to_string(),
+            num_gpus: 8,
+            gpu: GpuGeneration::Gtx1080Ti,
+            cpu_cores: 24,
+            dram_cache_bytes: 500 * GIB,
+            device: DeviceProfile::hdd(),
+            link: LinkProfile::ethernet_40gbps(),
+        }
+    }
+
+    /// An AWS p3.16xlarge-like server with 32 physical cores / 64 vCPUs,
+    /// used in the appendix's high-CPU-count experiments (Figure 12).
+    pub fn config_highcpu_v100() -> Self {
+        ServerConfig {
+            name: "Config-HighCPU-V100".to_string(),
+            cpu_cores: 32,
+            ..Self::config_ssd_v100()
+        }
+    }
+
+    /// Copy of this server with the DRAM cache sized to hold `fraction` of
+    /// `dataset_bytes` (how the paper states cache sizes, e.g. "35 % of the
+    /// dataset cached").
+    pub fn with_cache_fraction(&self, dataset_bytes: u64, fraction: f64) -> Self {
+        assert!((0.0..=1.5).contains(&fraction), "fraction out of range");
+        ServerConfig {
+            dram_cache_bytes: (dataset_bytes as f64 * fraction) as u64,
+            ..self.clone()
+        }
+    }
+
+    /// Copy with a different number of CPU cores (core-count sweeps).
+    pub fn with_cpu_cores(&self, cores: usize) -> Self {
+        assert!(cores > 0);
+        ServerConfig {
+            cpu_cores: cores,
+            ..self.clone()
+        }
+    }
+
+    /// Copy with a different cache size in bytes.
+    pub fn with_cache_bytes(&self, bytes: u64) -> Self {
+        ServerConfig {
+            dram_cache_bytes: bytes,
+            ..self.clone()
+        }
+    }
+
+    /// Physical CPU cores per GPU.
+    pub fn cores_per_gpu(&self) -> f64 {
+        self.cpu_cores as f64 / self.num_gpus as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_match_table2() {
+        let ssd = ServerConfig::config_ssd_v100();
+        assert_eq!(ssd.num_gpus, 8);
+        assert_eq!(ssd.cpu_cores, 24);
+        assert_eq!(ssd.dram_cache_bytes, 500 * GIB);
+        assert_eq!(ssd.gpu, GpuGeneration::V100);
+        assert_eq!(ssd.device.name, "sata-ssd");
+
+        let hdd = ServerConfig::config_hdd_1080ti();
+        assert_eq!(hdd.gpu, GpuGeneration::Gtx1080Ti);
+        assert_eq!(hdd.device.name, "hdd");
+        assert!((ssd.cores_per_gpu() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_fraction_helper() {
+        let s = ServerConfig::config_ssd_v100().with_cache_fraction(1000, 0.35);
+        assert_eq!(s.dram_cache_bytes, 350);
+        let full = ServerConfig::config_ssd_v100().with_cache_fraction(1000, 1.0);
+        assert_eq!(full.dram_cache_bytes, 1000);
+    }
+
+    #[test]
+    fn with_cpu_cores_only_changes_cores() {
+        let base = ServerConfig::config_ssd_v100();
+        let s = base.with_cpu_cores(12);
+        assert_eq!(s.cpu_cores, 12);
+        assert_eq!(s.num_gpus, base.num_gpus);
+        assert_eq!(s.dram_cache_bytes, base.dram_cache_bytes);
+    }
+}

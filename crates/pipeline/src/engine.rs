@@ -1,0 +1,199 @@
+//! Shared epoch-simulation machinery used by the single-server, HP-search and
+//! distributed drivers.
+
+use crate::job::JobSpec;
+use crate::loader::FetchOrder;
+use crate::metrics::EpochMetrics;
+use dataset::{DatasetSpec, ItemId, StorageFormat};
+use gpu::{aggregate_samples_per_sec, GpuGeneration};
+use prep::{PrepBackend, PrepCostModel};
+use simkit::{PipelineRecurrence, SimTime, StageSample, TimeSeries};
+use storage::{AccessPattern, FetchSource, StorageNode};
+
+/// Byte and time accounting for fetching one minibatch's raw data.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BatchFetch {
+    pub disk_bytes: u64,
+    pub cache_bytes: u64,
+    pub remote_bytes: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub fetch_secs: f64,
+}
+
+/// Fetch `items` through `node`, with `disk_share` of the device bandwidth
+/// available to this job (1.0 when it has the device to itself).
+pub(crate) fn fetch_batch_local(
+    node: &mut StorageNode,
+    at: SimTime,
+    items: &[ItemId],
+    spec: &DatasetSpec,
+    format: StorageFormat,
+    pattern: AccessPattern,
+    disk_share: f64,
+) -> BatchFetch {
+    assert!(disk_share > 0.0 && disk_share <= 1.0);
+    let mut out = BatchFetch::default();
+    let latency = node.device().profile().request_latency_s;
+    let bandwidth = node.device().profile().bandwidth(pattern);
+    let dram = storage::DRAM_BANDWIDTH_BYTES_PER_SEC;
+    for &item in items {
+        let unit = format.unit_of(item, spec);
+        let (_, source) = node.fetch(at, unit.key, unit.bytes, pattern);
+        match source {
+            FetchSource::Cache => {
+                out.cache_bytes += unit.bytes;
+                out.hits += 1;
+            }
+            FetchSource::Disk => {
+                out.disk_bytes += unit.bytes;
+                out.misses += 1;
+            }
+        }
+    }
+    out.fetch_secs = out.disk_bytes as f64 / (bandwidth * disk_share)
+        + out.misses as f64 * latency / disk_share
+        + out.cache_bytes as f64 / dram;
+    out
+}
+
+/// GPU compute seconds for one global minibatch of `samples` samples,
+/// including the compute interference of GPU-offloaded prep.
+pub(crate) fn compute_secs_for_batch(job: &JobSpec, gpu: GpuGeneration, samples: usize) -> f64 {
+    let profile = job.model.profile();
+    let rate = aggregate_samples_per_sec(&profile, gpu, job.num_gpus, job.batch_per_gpu);
+    let overhead = if job.loader.prep_backend == PrepBackend::DaliGpu {
+        let cost = PrepCostModel::for_pipeline(&job.pipeline, PrepBackend::DaliGpu);
+        1.0 + cost.gpu_compute_overhead
+    } else {
+        1.0
+    };
+    samples as f64 / rate * overhead
+}
+
+/// Prep seconds for `raw_bytes` of input given `cores` physical-core
+/// equivalents for this job and its GPUs (for GPU-offloaded prep).
+pub(crate) fn prep_secs_for_batch(job: &JobSpec, raw_bytes: u64, cores: f64) -> f64 {
+    let cost = PrepCostModel::for_pipeline(&job.pipeline, job.loader.prep_backend);
+    let gpus = if job.loader.prep_backend == PrepBackend::DaliGpu {
+        job.num_gpus as f64
+    } else {
+        0.0
+    };
+    cost.prep_seconds(raw_bytes, cores, gpus)
+}
+
+/// The storage access pattern implied by the loader's fetch order and format.
+pub(crate) fn access_pattern(job: &JobSpec) -> AccessPattern {
+    if job.loader.format.is_sequential_within_unit()
+        || job.loader.fetch_order == FetchOrder::Sequential
+    {
+        AccessPattern::Sequential
+    } else {
+        AccessPattern::Random
+    }
+}
+
+/// The order in which raw items are read off storage during one epoch, which
+/// differs from the (always shuffled) training order for sequential readers.
+pub(crate) fn fetch_stream(job: &JobSpec, consume_order: &[ItemId]) -> Vec<ItemId> {
+    match job.loader.fetch_order {
+        FetchOrder::Shuffled => consume_order.to_vec(),
+        FetchOrder::Sequential => {
+            let mut ids: Vec<ItemId> = consume_order.to_vec();
+            ids.sort_unstable();
+            ids
+        }
+    }
+}
+
+/// Incrementally builds one epoch's metrics from per-batch stage samples.
+pub(crate) struct EpochAccumulator {
+    rec: PipelineRecurrence,
+    samples: u64,
+    disk_bytes: u64,
+    cache_bytes: u64,
+    remote_bytes: u64,
+    hits: u64,
+    misses: u64,
+    io: TimeSeries,
+    epoch: u64,
+}
+
+impl EpochAccumulator {
+    pub(crate) fn new(epoch: u64, prefetch_depth: usize) -> Self {
+        EpochAccumulator {
+            rec: PipelineRecurrence::new(prefetch_depth),
+            samples: 0,
+            disk_bytes: 0,
+            cache_bytes: 0,
+            remote_bytes: 0,
+            hits: 0,
+            misses: 0,
+            io: TimeSeries::new(),
+            epoch,
+        }
+    }
+
+    /// Current virtual time (completion of the last pushed batch).
+    pub(crate) fn now(&self) -> SimTime {
+        self.rec
+            .gpu_done_times()
+            .last()
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Record one minibatch.
+    pub(crate) fn push_batch(
+        &mut self,
+        fetch: &BatchFetch,
+        prep_secs: f64,
+        compute_secs: f64,
+        batch_samples: u64,
+    ) {
+        self.rec.push(StageSample::from_secs(
+            fetch.fetch_secs,
+            prep_secs,
+            compute_secs,
+        ));
+        self.samples += batch_samples;
+        self.disk_bytes += fetch.disk_bytes;
+        self.cache_bytes += fetch.cache_bytes;
+        self.remote_bytes += fetch.remote_bytes;
+        self.hits += fetch.hits;
+        self.misses += fetch.misses;
+        let t = self
+            .rec
+            .fetch_done_times()
+            .last()
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        self.io.push(t, fetch.disk_bytes as f64);
+    }
+
+    /// Finish the epoch, producing metrics with the I/O timeline binned into
+    /// `bins` windows.
+    pub(crate) fn finish(self, bins: usize) -> EpochMetrics {
+        let breakdown = self.rec.breakdown();
+        let horizon = breakdown.epoch_time.max(SimTime::from_secs(1e-9));
+        let bin = SimTime::from_secs((horizon.as_secs() / bins.max(1) as f64).max(1e-9));
+        let io_timeline = self
+            .io
+            .binned_sum(bin, horizon)
+            .into_iter()
+            .map(|(t, v)| (t.as_secs(), v))
+            .collect();
+        EpochMetrics {
+            epoch: self.epoch,
+            breakdown,
+            samples: self.samples,
+            bytes_from_cache: self.cache_bytes,
+            bytes_from_disk: self.disk_bytes,
+            bytes_from_remote: self.remote_bytes,
+            cache_hits: self.hits,
+            cache_misses: self.misses,
+            io_timeline,
+        }
+    }
+}

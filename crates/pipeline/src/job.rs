@@ -1,0 +1,139 @@
+//! Training-job specifications.
+
+use crate::loader::LoaderConfig;
+use dataset::DatasetSpec;
+use gpu::{ModelKind, Task};
+use prep::PrepPipeline;
+
+/// One training job: a model, a dataset, a loader and resource allotment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The DNN being trained.
+    pub model: ModelKind,
+    /// The dataset it trains on.
+    pub dataset: DatasetSpec,
+    /// The pre-processing pipeline (derived from the model's task).
+    pub pipeline: PrepPipeline,
+    /// Per-GPU minibatch size.
+    pub batch_per_gpu: usize,
+    /// Number of GPUs this job uses (on each server for distributed jobs).
+    pub num_gpus: usize,
+    /// Data-loader configuration.
+    pub loader: LoaderConfig,
+    /// RNG seed for the epoch sampler.
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// A job using the model's reference batch size (§3.1) on `num_gpus`
+    /// GPUs.
+    pub fn new(model: ModelKind, dataset: DatasetSpec, num_gpus: usize, loader: LoaderConfig) -> Self {
+        assert!(num_gpus > 0, "need at least one GPU");
+        let profile = model.profile();
+        let pipeline = match profile.task {
+            Task::ImageClassification | Task::LanguageModel => PrepPipeline::image_classification(),
+            Task::ObjectDetection => PrepPipeline::object_detection(),
+            Task::AudioClassification => PrepPipeline::audio_classification(),
+        };
+        JobSpec {
+            model,
+            dataset,
+            pipeline,
+            batch_per_gpu: profile.reference_batch,
+            num_gpus,
+            loader,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Copy with a different per-GPU batch size (batch-size sweeps).
+    pub fn with_batch(&self, batch_per_gpu: usize) -> Self {
+        assert!(batch_per_gpu > 0);
+        JobSpec {
+            batch_per_gpu,
+            ..self.clone()
+        }
+    }
+
+    /// Copy with a different sampler seed (distinct HP-search jobs shuffle
+    /// with distinct seeds).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        JobSpec {
+            seed,
+            ..self.clone()
+        }
+    }
+
+    /// Copy with a different loader.
+    pub fn with_loader(&self, loader: LoaderConfig) -> Self {
+        JobSpec {
+            loader,
+            ..self.clone()
+        }
+    }
+
+    /// Global minibatch size (per-GPU batch × GPUs on one server).
+    pub fn global_batch(&self) -> usize {
+        self.batch_per_gpu * self.num_gpus
+    }
+
+    /// Number of iterations in one epoch over `items` items.
+    pub fn iterations_per_epoch(&self, items: u64) -> u64 {
+        items.div_ceil(self.global_batch() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prep::PrepBackend;
+
+    #[test]
+    fn job_uses_reference_batch_and_task_pipeline() {
+        let j = JobSpec::new(
+            ModelKind::ResNet50,
+            DatasetSpec::imagenet_1k().scaled(1000),
+            8,
+            LoaderConfig::dali_shuffle(PrepBackend::DaliCpu),
+        );
+        assert_eq!(j.batch_per_gpu, 512);
+        assert_eq!(j.global_batch(), 4096);
+        assert_eq!(j.pipeline.name, "image-classification");
+
+        let audio = JobSpec::new(
+            ModelKind::AudioM5,
+            DatasetSpec::fma().scaled(100),
+            8,
+            LoaderConfig::dali_shuffle(PrepBackend::DaliCpu),
+        );
+        assert_eq!(audio.batch_per_gpu, 16);
+        assert_eq!(audio.pipeline.name, "audio-classification");
+    }
+
+    #[test]
+    fn iterations_round_up() {
+        let j = JobSpec::new(
+            ModelKind::ResNet18,
+            DatasetSpec::new("t", 1000, 1000, 0.0, 6.0),
+            1,
+            LoaderConfig::pytorch_dl(),
+        )
+        .with_batch(128);
+        assert_eq!(j.iterations_per_epoch(1000), 8);
+    }
+
+    #[test]
+    fn with_helpers_preserve_other_fields() {
+        let j = JobSpec::new(
+            ModelKind::AlexNet,
+            DatasetSpec::new("t", 100, 1000, 0.0, 6.0),
+            4,
+            LoaderConfig::pytorch_dl(),
+        );
+        let j2 = j.with_batch(64).with_seed(99);
+        assert_eq!(j2.batch_per_gpu, 64);
+        assert_eq!(j2.seed, 99);
+        assert_eq!(j2.num_gpus, 4);
+        assert_eq!(j2.model, ModelKind::AlexNet);
+    }
+}

@@ -1,0 +1,35 @@
+//! Input-pipeline simulator.
+//!
+//! This crate ties the substrates together into the experiment engine used by
+//! DS-Analyzer, the benches and the examples: given a server configuration, a
+//! model, a dataset and a *loader* (native PyTorch, DALI-seq, DALI-shuffle,
+//! TFRecord or CoorDL), it simulates training epoch by epoch at minibatch
+//! granularity and reports epoch time, the fetch/prep stall breakdown, cache
+//! hit rates, disk/remote/cache byte counts and an I/O timeline.
+//!
+//! Three training scenarios are modelled, matching the paper's evaluation:
+//!
+//! * [`simulate_single_server`] — one data-parallel job on one server
+//!   (Figure 9a, Figures 2–6, 11, 13, 14, 21),
+//! * [`simulate_hp_search`] — several concurrent hyper-parameter-search jobs
+//!   sharing one server's CPU, DRAM and storage (Figures 9d/e, 17, 22, 23,
+//!   Tables 3 and 7),
+//! * [`simulate_distributed`] — one job spread across several servers
+//!   (Figures 9b, 10, 18).
+
+pub mod config;
+pub(crate) mod engine;
+pub mod distributed;
+pub mod hp;
+pub mod job;
+pub mod loader;
+pub mod metrics;
+pub mod single;
+
+pub use config::ServerConfig;
+pub use distributed::{simulate_distributed, DistributedResult};
+pub use hp::{simulate_hp_search, HpSearchResult};
+pub use job::JobSpec;
+pub use loader::{FetchOrder, LoaderConfig, LoaderKind};
+pub use metrics::{EpochMetrics, RunResult};
+pub use single::simulate_single_server;

@@ -1,0 +1,225 @@
+//! Data-loader configurations: the baselines and CoorDL.
+
+use dataset::StorageFormat;
+use dcache::PolicyKind;
+use gpu::ModelKind;
+use prep::PrepBackend;
+
+/// The order in which raw items are read off storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOrder {
+    /// Items are read in storage (id) order and shuffled in memory
+    /// (DALI's default `FileReader`, TFRecord streaming).
+    Sequential,
+    /// Items are read in the (random) training order (PyTorch DataLoader,
+    /// DALI-shuffle, CoorDL).
+    Shuffled,
+}
+
+/// Named loader presets used throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoaderKind {
+    /// Native PyTorch DataLoader (Pillow prep, OS page cache).
+    PyTorchDl,
+    /// DALI reading files sequentially, shuffling in memory (DALI-seq).
+    DaliSeq,
+    /// DALI performing shuffled random reads (DALI-shuffle) — the stronger
+    /// baseline used for most comparisons in §5.
+    DaliShuffle,
+    /// TensorFlow-style chunked TFRecord input pipeline.
+    TfRecord,
+    /// CoorDL: MinIO cache + partitioned caching + coordinated prep.
+    CoorDl,
+}
+
+impl LoaderKind {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoaderKind::PyTorchDl => "PyTorch-DL",
+            LoaderKind::DaliSeq => "DALI-seq",
+            LoaderKind::DaliShuffle => "DALI-shuffle",
+            LoaderKind::TfRecord => "TF-TFRecord",
+            LoaderKind::CoorDl => "CoorDL",
+        }
+    }
+}
+
+/// Full description of a data-loading configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoaderConfig {
+    /// Which named loader this is.
+    pub kind: LoaderKind,
+    /// Storage read order.
+    pub fetch_order: FetchOrder,
+    /// Software cache policy in front of storage (the OS page cache for the
+    /// baselines, MinIO for CoorDL).
+    pub cache_policy: PolicyKind,
+    /// Pre-processing backend.
+    pub prep_backend: PrepBackend,
+    /// Share fetch + prep across concurrent same-dataset jobs (CoorDL's
+    /// coordinated prep).
+    pub coordinated_prep: bool,
+    /// Coordinate the caches of the servers of a distributed job (CoorDL's
+    /// partitioned caching).
+    pub partitioned_cache: bool,
+    /// On-storage layout.
+    pub format: StorageFormat,
+    /// Prefetch queue depth in minibatches.
+    pub prefetch_depth: usize,
+}
+
+impl LoaderConfig {
+    /// Native PyTorch DataLoader.
+    pub fn pytorch_dl() -> Self {
+        LoaderConfig {
+            kind: LoaderKind::PyTorchDl,
+            fetch_order: FetchOrder::Shuffled,
+            cache_policy: PolicyKind::Lru,
+            prep_backend: PrepBackend::PytorchCpu,
+            coordinated_prep: false,
+            partitioned_cache: false,
+            format: StorageFormat::FilePerItem,
+            prefetch_depth: 2,
+        }
+    }
+
+    /// DALI reading files in storage order (DALI-seq).
+    pub fn dali_seq(prep: PrepBackend) -> Self {
+        LoaderConfig {
+            kind: LoaderKind::DaliSeq,
+            fetch_order: FetchOrder::Sequential,
+            cache_policy: PolicyKind::Lru,
+            prep_backend: prep,
+            coordinated_prep: false,
+            partitioned_cache: false,
+            format: StorageFormat::FilePerItem,
+            prefetch_depth: 2,
+        }
+    }
+
+    /// DALI with shuffled random reads (DALI-shuffle) — the strongest
+    /// baseline (§5.1).
+    pub fn dali_shuffle(prep: PrepBackend) -> Self {
+        LoaderConfig {
+            kind: LoaderKind::DaliShuffle,
+            fetch_order: FetchOrder::Shuffled,
+            cache_policy: PolicyKind::Lru,
+            prep_backend: prep,
+            coordinated_prep: false,
+            partitioned_cache: false,
+            format: StorageFormat::FilePerItem,
+            prefetch_depth: 2,
+        }
+    }
+
+    /// TensorFlow-style TFRecord pipeline: sequential chunked reads through
+    /// the OS page cache.
+    pub fn tfrecord() -> Self {
+        LoaderConfig {
+            kind: LoaderKind::TfRecord,
+            fetch_order: FetchOrder::Sequential,
+            cache_policy: PolicyKind::Lru,
+            prep_backend: PrepBackend::DaliCpu,
+            coordinated_prep: false,
+            partitioned_cache: false,
+            format: StorageFormat::tfrecord_default(),
+            prefetch_depth: 2,
+        }
+    }
+
+    /// CoorDL: MinIO cache, partitioned caching and coordinated prep on top
+    /// of the DALI prep pipeline.
+    pub fn coordl(prep: PrepBackend) -> Self {
+        LoaderConfig {
+            kind: LoaderKind::CoorDl,
+            fetch_order: FetchOrder::Shuffled,
+            cache_policy: PolicyKind::MinIo,
+            prep_backend: prep,
+            coordinated_prep: true,
+            partitioned_cache: true,
+            format: StorageFormat::FilePerItem,
+            prefetch_depth: 2,
+        }
+    }
+
+    /// The prep backend the paper's baseline would pick for `model`: "best of
+    /// CPU or GPU based prep" — GPU offload helps the computationally light
+    /// models but hurts GPU-heavy ResNet50 / VGG11 (Appendix B.2).
+    pub fn best_prep_for(model: ModelKind) -> PrepBackend {
+        match model {
+            ModelKind::ResNet50 | ModelKind::Vgg11 | ModelKind::BertLarge | ModelKind::Gnmt => {
+                PrepBackend::DaliCpu
+            }
+            _ => PrepBackend::DaliGpu,
+        }
+    }
+
+    /// DALI-shuffle with the best prep backend for `model` (the paper's
+    /// default baseline).
+    pub fn dali_best(model: ModelKind) -> Self {
+        Self::dali_shuffle(Self::best_prep_for(model))
+    }
+
+    /// CoorDL with the best prep backend for `model`.
+    pub fn coordl_best(model: ModelKind) -> Self {
+        Self::coordl(Self::best_prep_for(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordl_uses_minio_and_coordination() {
+        let c = LoaderConfig::coordl(PrepBackend::DaliGpu);
+        assert_eq!(c.cache_policy, PolicyKind::MinIo);
+        assert!(c.coordinated_prep);
+        assert!(c.partitioned_cache);
+        assert_eq!(c.fetch_order, FetchOrder::Shuffled);
+    }
+
+    #[test]
+    fn baselines_use_the_page_cache() {
+        for l in [
+            LoaderConfig::pytorch_dl(),
+            LoaderConfig::dali_seq(PrepBackend::DaliCpu),
+            LoaderConfig::dali_shuffle(PrepBackend::DaliCpu),
+            LoaderConfig::tfrecord(),
+        ] {
+            assert_eq!(l.cache_policy, PolicyKind::Lru, "{:?}", l.kind);
+            assert!(!l.coordinated_prep);
+            assert!(!l.partitioned_cache);
+        }
+    }
+
+    #[test]
+    fn tfrecord_reads_chunks_sequentially() {
+        let t = LoaderConfig::tfrecord();
+        assert_eq!(t.fetch_order, FetchOrder::Sequential);
+        assert!(matches!(t.format, StorageFormat::ChunkedRecords { .. }));
+    }
+
+    #[test]
+    fn gpu_heavy_models_prefer_cpu_prep() {
+        assert_eq!(
+            LoaderConfig::best_prep_for(ModelKind::ResNet50),
+            PrepBackend::DaliCpu
+        );
+        assert_eq!(
+            LoaderConfig::best_prep_for(ModelKind::Vgg11),
+            PrepBackend::DaliCpu
+        );
+        assert_eq!(
+            LoaderConfig::best_prep_for(ModelKind::ResNet18),
+            PrepBackend::DaliGpu
+        );
+    }
+
+    #[test]
+    fn loader_names() {
+        assert_eq!(LoaderKind::CoorDl.name(), "CoorDL");
+        assert_eq!(LoaderKind::DaliShuffle.name(), "DALI-shuffle");
+    }
+}

@@ -1,0 +1,189 @@
+//! Pre-processing cost model, calibrated from the paper.
+//!
+//! Calibration anchors (all for the ImageNet-style image pipeline, raw-byte
+//! throughput):
+//!
+//! * Figure 1: 24 physical cores running DALI's CPU pipeline sustain
+//!   **735 MB/s**, i.e. ≈ 30.6 MB/s per core.
+//! * Figure 1 (text): offloading decode to the GPUs raises the pipeline to
+//!   **1062 MB/s**, i.e. the 8 GPUs contribute ≈ 330 MB/s ≈ 41 MB/s per GPU.
+//! * Appendix E: the native PyTorch loader (Pillow + TorchVision) sustains
+//!   ≈ **327 MB/s** with 24 workers, i.e. ≈ 13.6 MB/s per core.
+//! * Appendix B.2: DALI's GPU mode consumes 2–5 GB of GPU memory and
+//!   interferes with GPU-heavy models (ResNet50, VGG11), for which CPU prep
+//!   is faster end-to-end.
+
+use crate::transforms::PrepPipeline;
+
+const MB: f64 = 1_000_000.0;
+
+/// Which data-loading library performs the pre-processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrepBackend {
+    /// Native PyTorch DataLoader (Pillow/TorchVision on the CPU).
+    PytorchCpu,
+    /// DALI with CPU-only pipeline (nvJPEG-CPU decode).
+    DaliCpu,
+    /// DALI with GPU-offloaded decode/augment.
+    DaliGpu,
+}
+
+impl PrepBackend {
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrepBackend::PytorchCpu => "pytorch-dl",
+            PrepBackend::DaliCpu => "dali-cpu",
+            PrepBackend::DaliGpu => "dali-gpu",
+        }
+    }
+}
+
+/// Throughput model for one job's pre-processing stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrepCostModel {
+    /// Raw-byte throughput of a single physical CPU core, bytes/second.
+    pub cpu_bytes_per_sec_per_core: f64,
+    /// Additional raw-byte throughput contributed by each GPU when part of
+    /// the pipeline is offloaded (DALI GPU mode), bytes/second.
+    pub gpu_bytes_per_sec_per_gpu: f64,
+    /// Fraction of each GPU's compute capacity consumed by GPU-side prep
+    /// (interference with the training computation itself).
+    pub gpu_compute_overhead: f64,
+    /// Extra GPU memory required per GPU for GPU-side prep, in bytes.
+    pub gpu_memory_overhead_bytes: u64,
+    /// Scaling efficiency of hyper-threads: a virtual CPU beyond the physical
+    /// core count contributes this fraction of a physical core (Appendix B.1:
+    /// going from 32 to 64 threads buys only ≈30 %).
+    pub hyperthread_efficiency: f64,
+}
+
+impl PrepCostModel {
+    /// Cost model for `pipeline` executed by `backend`.
+    pub fn for_pipeline(pipeline: &PrepPipeline, backend: PrepBackend) -> Self {
+        // Audio items are large compressed streams; decoding them is cheaper
+        // per byte than JPEG decode, which is why the audio model is mostly
+        // fetch-bound rather than prep-bound in the paper.
+        let audio = pipeline.name.contains("audio");
+        let per_core_dali = if audio { 80.0 * MB } else { 30.6 * MB };
+        let per_core_pytorch = if audio { 40.0 * MB } else { 13.6 * MB };
+        match backend {
+            PrepBackend::PytorchCpu => PrepCostModel {
+                cpu_bytes_per_sec_per_core: per_core_pytorch,
+                gpu_bytes_per_sec_per_gpu: 0.0,
+                gpu_compute_overhead: 0.0,
+                gpu_memory_overhead_bytes: 0,
+                hyperthread_efficiency: 0.3,
+            },
+            PrepBackend::DaliCpu => PrepCostModel {
+                cpu_bytes_per_sec_per_core: per_core_dali,
+                gpu_bytes_per_sec_per_gpu: 0.0,
+                gpu_compute_overhead: 0.0,
+                gpu_memory_overhead_bytes: 0,
+                hyperthread_efficiency: 0.3,
+            },
+            PrepBackend::DaliGpu => PrepCostModel {
+                cpu_bytes_per_sec_per_core: per_core_dali,
+                // 8 GPUs add ~330 MB/s in Figure 1 -> ~41 MB/s per GPU,
+                // proportional to how much of the pipeline is offloadable.
+                gpu_bytes_per_sec_per_gpu: 41.0 * MB * pipeline.gpu_offloadable_fraction()
+                    / pipeline.gpu_offloadable_fraction().max(0.75),
+                gpu_compute_overhead: 0.05,
+                gpu_memory_overhead_bytes: 3 * 1024 * 1024 * 1024,
+                hyperthread_efficiency: 0.3,
+            },
+        }
+    }
+
+    /// Effective number of physical-core equivalents for `vcpus` virtual CPUs
+    /// on a machine with `physical_cores` physical cores.
+    pub fn effective_cores(&self, vcpus: f64, physical_cores: f64) -> f64 {
+        if vcpus <= physical_cores {
+            vcpus
+        } else {
+            physical_cores + (vcpus - physical_cores) * self.hyperthread_efficiency
+        }
+    }
+
+    /// Aggregate prep throughput (raw bytes/second) for a job that has
+    /// `cores` physical-core equivalents and `gpus` GPUs available for
+    /// offload.
+    pub fn throughput_bps(&self, cores: f64, gpus: f64) -> f64 {
+        self.cpu_bytes_per_sec_per_core * cores + self.gpu_bytes_per_sec_per_gpu * gpus
+    }
+
+    /// Time in seconds to pre-process `raw_bytes` of input with the given
+    /// resources.
+    pub fn prep_seconds(&self, raw_bytes: u64, cores: f64, gpus: f64) -> f64 {
+        let tput = self.throughput_bps(cores, gpus);
+        assert!(tput > 0.0, "prep throughput must be positive");
+        raw_bytes as f64 / tput
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image() -> PrepPipeline {
+        PrepPipeline::image_classification()
+    }
+
+    #[test]
+    fn dali_cpu_matches_figure1_aggregate() {
+        // 24 cores -> ~735 MB/s.
+        let m = PrepCostModel::for_pipeline(&image(), PrepBackend::DaliCpu);
+        let tput = m.throughput_bps(24.0, 0.0);
+        assert!((tput / MB - 735.0).abs() < 20.0, "got {} MB/s", tput / MB);
+    }
+
+    #[test]
+    fn dali_gpu_matches_figure1_aggregate() {
+        // 24 cores + 8 GPUs -> ~1062 MB/s.
+        let m = PrepCostModel::for_pipeline(&image(), PrepBackend::DaliGpu);
+        let tput = m.throughput_bps(24.0, 8.0);
+        assert!(
+            (tput / MB - 1062.0).abs() < 60.0,
+            "got {} MB/s",
+            tput / MB
+        );
+    }
+
+    #[test]
+    fn pytorch_native_is_slower_than_dali() {
+        let py = PrepCostModel::for_pipeline(&image(), PrepBackend::PytorchCpu);
+        let dali = PrepCostModel::for_pipeline(&image(), PrepBackend::DaliCpu);
+        assert!(py.cpu_bytes_per_sec_per_core < dali.cpu_bytes_per_sec_per_core);
+        // Appendix E: ~327 MB/s with 24 workers.
+        let tput = py.throughput_bps(24.0, 0.0);
+        assert!((tput / MB - 327.0).abs() < 20.0, "got {} MB/s", tput / MB);
+    }
+
+    #[test]
+    fn hyperthreads_scale_sublinearly() {
+        let m = PrepCostModel::for_pipeline(&image(), PrepBackend::DaliCpu);
+        // 64 vCPUs on 32 physical cores: 32 + 32*0.3 ≈ 41.6 core-equivalents,
+        // i.e. roughly a 30 % gain over 32 (Appendix B.1).
+        let eff = m.effective_cores(64.0, 32.0);
+        assert!(eff > 40.0 && eff < 43.0, "eff = {eff}");
+        assert_eq!(m.effective_cores(8.0, 32.0), 8.0);
+    }
+
+    #[test]
+    fn prep_seconds_inverse_to_resources() {
+        let m = PrepCostModel::for_pipeline(&image(), PrepBackend::DaliCpu);
+        let one = m.prep_seconds(1_000_000_000, 3.0, 0.0);
+        let many = m.prep_seconds(1_000_000_000, 24.0, 0.0);
+        assert!(one / many > 7.5 && one / many < 8.5);
+    }
+
+    #[test]
+    fn audio_pipeline_is_cheaper_per_byte() {
+        let img = PrepCostModel::for_pipeline(&image(), PrepBackend::DaliCpu);
+        let audio = PrepCostModel::for_pipeline(
+            &PrepPipeline::audio_classification(),
+            PrepBackend::DaliCpu,
+        );
+        assert!(audio.cpu_bytes_per_sec_per_core > img.cpu_bytes_per_sec_per_core);
+    }
+}

@@ -1,0 +1,200 @@
+//! Transform pipelines: what pre-processing a task performs.
+
+/// A single pre-processing operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformKind {
+    /// JPEG (or PNG) decode.
+    DecodeImage,
+    /// Random resized crop — the stochastic augmentation at the heart of
+    /// image-classification training.
+    RandomResizedCrop,
+    /// Random horizontal flip.
+    RandomFlip,
+    /// Colour jitter (hue / saturation / brightness / contrast).
+    ColorJitter,
+    /// Per-channel normalisation and layout conversion to a tensor.
+    NormalizeToTensor,
+    /// Audio decode (MP3/OGG) to PCM.
+    DecodeAudio,
+    /// Audio resampling to the model's input rate.
+    ResampleAudio,
+    /// Random gain / time-shift augmentation for audio.
+    AudioAugment,
+    /// Bounding-box aware crop used by SSD object detection.
+    SsdCropWithBoxes,
+}
+
+impl TransformKind {
+    /// Relative CPU cost weight of the transform (decode dominates).
+    ///
+    /// The absolute per-byte cost is calibrated in [`crate::cost`]; these
+    /// weights only determine how the total splits across transforms, which
+    /// matters when part of the pipeline (decode, in DALI's GPU mode) is
+    /// offloaded to the GPU.
+    pub fn cost_weight(self) -> f64 {
+        match self {
+            TransformKind::DecodeImage => 0.60,
+            TransformKind::RandomResizedCrop => 0.15,
+            TransformKind::RandomFlip => 0.02,
+            TransformKind::ColorJitter => 0.08,
+            TransformKind::NormalizeToTensor => 0.15,
+            TransformKind::DecodeAudio => 0.55,
+            TransformKind::ResampleAudio => 0.30,
+            TransformKind::AudioAugment => 0.05,
+            TransformKind::SsdCropWithBoxes => 0.25,
+            // NormalizeToTensor shared by audio path too.
+        }
+    }
+
+    /// Whether the transform is stochastic (fresh randomness every epoch).
+    pub fn is_random(self) -> bool {
+        matches!(
+            self,
+            TransformKind::RandomResizedCrop
+                | TransformKind::RandomFlip
+                | TransformKind::ColorJitter
+                | TransformKind::AudioAugment
+                | TransformKind::SsdCropWithBoxes
+        )
+    }
+
+    /// Whether DALI can offload the transform to the GPU.
+    pub fn gpu_offloadable(self) -> bool {
+        matches!(
+            self,
+            TransformKind::DecodeImage
+                | TransformKind::RandomResizedCrop
+                | TransformKind::NormalizeToTensor
+        )
+    }
+}
+
+/// An ordered pre-processing pipeline, as specified by the training script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrepPipeline {
+    /// Human-readable name (e.g. `"imagenet-train"`).
+    pub name: String,
+    /// The transforms applied to each item, in order.
+    pub transforms: Vec<TransformKind>,
+}
+
+impl PrepPipeline {
+    /// The standard ImageNet-style training pipeline: decode, random resized
+    /// crop, random flip, normalise (the paper uses "the same pre-processing
+    /// as in the original papers").
+    pub fn image_classification() -> Self {
+        PrepPipeline {
+            name: "image-classification".to_string(),
+            transforms: vec![
+                TransformKind::DecodeImage,
+                TransformKind::RandomResizedCrop,
+                TransformKind::RandomFlip,
+                TransformKind::NormalizeToTensor,
+            ],
+        }
+    }
+
+    /// SSD object-detection pipeline (decode + box-aware crop + flip +
+    /// normalise).
+    pub fn object_detection() -> Self {
+        PrepPipeline {
+            name: "object-detection".to_string(),
+            transforms: vec![
+                TransformKind::DecodeImage,
+                TransformKind::SsdCropWithBoxes,
+                TransformKind::RandomFlip,
+                TransformKind::NormalizeToTensor,
+            ],
+        }
+    }
+
+    /// M5 audio-classification pipeline (decode, resample, augment,
+    /// normalise).
+    pub fn audio_classification() -> Self {
+        PrepPipeline {
+            name: "audio-classification".to_string(),
+            transforms: vec![
+                TransformKind::DecodeAudio,
+                TransformKind::ResampleAudio,
+                TransformKind::AudioAugment,
+                TransformKind::NormalizeToTensor,
+            ],
+        }
+    }
+
+    /// Sum of cost weights over all transforms.
+    pub fn total_cost_weight(&self) -> f64 {
+        self.transforms.iter().map(|t| t.cost_weight()).sum()
+    }
+
+    /// Fraction of the pipeline's cost that DALI's GPU mode can offload.
+    pub fn gpu_offloadable_fraction(&self) -> f64 {
+        let total = self.total_cost_weight();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.transforms
+            .iter()
+            .filter(|t| t.gpu_offloadable())
+            .map(|t| t.cost_weight())
+            .sum::<f64>()
+            / total
+    }
+
+    /// True when the pipeline contains at least one stochastic transform, in
+    /// which case pre-processed output must not be reused across epochs
+    /// (the paper's argument against OneAccess-style caching of prepared
+    /// data).
+    pub fn has_random_augmentation(&self) -> bool {
+        self.transforms.iter().any(|t| t.is_random())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_decode_first() {
+        for p in [
+            PrepPipeline::image_classification(),
+            PrepPipeline::object_detection(),
+        ] {
+            assert_eq!(p.transforms[0], TransformKind::DecodeImage);
+        }
+        assert_eq!(
+            PrepPipeline::audio_classification().transforms[0],
+            TransformKind::DecodeAudio
+        );
+    }
+
+    #[test]
+    fn all_training_pipelines_are_stochastic() {
+        assert!(PrepPipeline::image_classification().has_random_augmentation());
+        assert!(PrepPipeline::object_detection().has_random_augmentation());
+        assert!(PrepPipeline::audio_classification().has_random_augmentation());
+    }
+
+    #[test]
+    fn gpu_offloadable_fraction_is_a_proper_fraction() {
+        for p in [
+            PrepPipeline::image_classification(),
+            PrepPipeline::object_detection(),
+            PrepPipeline::audio_classification(),
+        ] {
+            let f = p.gpu_offloadable_fraction();
+            assert!((0.0..=1.0).contains(&f), "{}: {f}", p.name);
+        }
+        // Image decode dominates and is offloadable, so the fraction is large.
+        assert!(PrepPipeline::image_classification().gpu_offloadable_fraction() > 0.5);
+    }
+
+    #[test]
+    fn cost_weights_are_positive() {
+        let p = PrepPipeline::image_classification();
+        assert!(p.total_cost_weight() > 0.0);
+        for t in &p.transforms {
+            assert!(t.cost_weight() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Virtual time.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point (or span) in virtual time, measured in seconds.
+///
+/// `SimTime` is a thin wrapper over `f64` that provides total ordering
+/// (NaN is rejected at construction) and a couple of saturating helpers so
+/// the simulator code never has to reason about negative durations.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct a time from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN or negative: virtual time is always a
+    /// non-negative real number.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "SimTime must not be NaN");
+        assert!(secs >= 0.0, "SimTime must be non-negative, got {secs}");
+        SimTime(secs)
+    }
+
+    /// Seconds as `f64`.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating subtraction: returns zero if `other > self`.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime((self.0 - other.0).max(0.0))
+    }
+
+    /// The larger of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True when the time is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Construction rejects NaN, so total ordering is well defined.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime::from_secs(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> Self {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = SimTime::from_secs(1.5);
+        assert_eq!(t.as_secs(), 1.5);
+        assert!(!t.is_zero());
+        assert!(SimTime::ZERO.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(2.0);
+        let b = SimTime::from_secs(0.5);
+        assert_eq!((a + b).as_secs(), 2.5);
+        assert_eq!((a - b).as_secs(), 1.5);
+        assert_eq!((a * 2.0).as_secs(), 4.0);
+        assert_eq!((a / 2.0).as_secs(), 1.0);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.saturating_sub(b).as_secs(), 1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_saturating_sub_panics_when_negative() {
+        let _ = SimTime::from_secs(1.0) - SimTime::from_secs(2.0);
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let mut v = vec![b, a];
+        v.sort();
+        assert_eq!(v, vec![a, b]);
+    }
+
+    #[test]
+    fn summation() {
+        let total: SimTime = (1..=4).map(|i| SimTime::from_secs(i as f64)).sum();
+        assert_eq!(total.as_secs(), 10.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! The three-stage pipelined-latency recurrence.
+//!
+//! DNN training frameworks pipeline data preparation with GPU compute: while
+//! the GPU works on minibatch *i*, background workers fetch and pre-process
+//! minibatches *i+1 … i+k* (where *k* is the prefetch depth).  The GPU stalls
+//! only when the next minibatch is not ready at the moment it finishes the
+//! current one — these are the paper's *data stalls*, split into *fetch
+//! stalls* (blocked on storage I/O) and *prep stalls* (blocked on CPU
+//! pre-processing).
+//!
+//! [`PipelineRecurrence`] consumes one [`StageSample`] per iteration (the time
+//! each stage would take in isolation) and evaluates the standard pipelined
+//! recurrence with bounded prefetch, producing the epoch wall-clock time and
+//! the unmasked stall breakdown that DS-Analyzer reports.
+
+use crate::SimTime;
+
+/// Per-iteration stage costs, in isolation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSample {
+    /// Time to fetch the minibatch's raw bytes (storage + cache + network).
+    pub fetch: SimTime,
+    /// Time to pre-process (decode + augment + collate) the minibatch.
+    pub prep: SimTime,
+    /// GPU compute time for the minibatch (forward + backward + update,
+    /// including gradient synchronisation for multi-GPU jobs).
+    pub compute: SimTime,
+}
+
+impl StageSample {
+    /// Convenience constructor from seconds.
+    pub fn from_secs(fetch: f64, prep: f64, compute: f64) -> Self {
+        StageSample {
+            fetch: SimTime::from_secs(fetch),
+            prep: SimTime::from_secs(prep),
+            compute: SimTime::from_secs(compute),
+        }
+    }
+}
+
+/// Accumulated result of evaluating the recurrence over an epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StallBreakdown {
+    /// Total wall-clock time of the epoch.
+    pub epoch_time: SimTime,
+    /// Total GPU busy time.
+    pub compute_time: SimTime,
+    /// Unmasked time the GPU spent waiting because the raw data had not yet
+    /// been fetched from storage (the paper's *fetch stall*).
+    pub fetch_stall: SimTime,
+    /// Unmasked time the GPU spent waiting on pre-processing beyond the fetch
+    /// stall (the paper's *prep stall*).
+    pub prep_stall: SimTime,
+    /// Number of iterations processed.
+    pub iterations: usize,
+}
+
+impl StallBreakdown {
+    /// Total unmasked data-stall time (fetch + prep).
+    pub fn data_stall(&self) -> SimTime {
+        self.fetch_stall + self.prep_stall
+    }
+
+    /// Fraction of the epoch spent stalled on data, in `[0, 1]`.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.epoch_time.is_zero() {
+            0.0
+        } else {
+            self.data_stall().as_secs() / self.epoch_time.as_secs()
+        }
+    }
+
+    /// Fraction of the epoch spent stalled on fetch (I/O).
+    pub fn fetch_stall_fraction(&self) -> f64 {
+        if self.epoch_time.is_zero() {
+            0.0
+        } else {
+            self.fetch_stall.as_secs() / self.epoch_time.as_secs()
+        }
+    }
+
+    /// Fraction of the epoch spent stalled on prep (CPU).
+    pub fn prep_stall_fraction(&self) -> f64 {
+        if self.epoch_time.is_zero() {
+            0.0
+        } else {
+            self.prep_stall.as_secs() / self.epoch_time.as_secs()
+        }
+    }
+}
+
+/// Evaluates the pipelined fetch → prep → compute recurrence with bounded
+/// prefetch (backpressure).
+///
+/// With a prefetch depth of `k`, the fetch of minibatch `i` may not begin
+/// until minibatch `i - k` has been consumed by the GPU, which matches the
+/// bounded prefetch queues of PyTorch's DataLoader and DALI.
+#[derive(Debug, Clone)]
+pub struct PipelineRecurrence {
+    prefetch_depth: usize,
+    fetch_done: Vec<SimTime>,
+    prep_done: Vec<SimTime>,
+    gpu_done: Vec<SimTime>,
+    breakdown: StallBreakdown,
+}
+
+impl PipelineRecurrence {
+    /// Create a recurrence with the given prefetch depth (minimum 1).
+    pub fn new(prefetch_depth: usize) -> Self {
+        PipelineRecurrence {
+            prefetch_depth: prefetch_depth.max(1),
+            fetch_done: Vec::new(),
+            prep_done: Vec::new(),
+            gpu_done: Vec::new(),
+            breakdown: StallBreakdown::default(),
+        }
+    }
+
+    /// The configured prefetch depth.
+    pub fn prefetch_depth(&self) -> usize {
+        self.prefetch_depth
+    }
+
+    /// Feed the next iteration's stage costs and return the (cumulative)
+    /// virtual time at which its GPU work completes.
+    pub fn push(&mut self, sample: StageSample) -> SimTime {
+        let i = self.gpu_done.len();
+
+        // Backpressure: fetch i starts only after batch i-k was consumed.
+        let backpressure = if i >= self.prefetch_depth {
+            self.gpu_done[i - self.prefetch_depth]
+        } else {
+            SimTime::ZERO
+        };
+        // Fetch workers are serialised with respect to each other (one shared
+        // storage stream per job).
+        let fetch_start = self
+            .fetch_done
+            .last()
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+            .max(backpressure);
+        let fetch_done = fetch_start + sample.fetch;
+
+        // Prep workers are likewise modelled as a single fluid pool: prep of
+        // batch i starts when its data is fetched and the pool has finished
+        // batch i-1.
+        let prep_start = self
+            .prep_done
+            .last()
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+            .max(fetch_done);
+        let prep_done = prep_start + sample.prep;
+
+        let gpu_free = self.gpu_done.last().copied().unwrap_or(SimTime::ZERO);
+        let gpu_start = gpu_free.max(prep_done);
+        let gpu_done = gpu_start + sample.compute;
+
+        // Stall attribution, following DS-Analyzer: the GPU was idle for
+        // (gpu_start - gpu_free); the part of that idleness during which the
+        // raw data had not yet arrived from storage is a fetch stall, the
+        // remainder (waiting on pre-processing) is a prep stall.
+        let stall = gpu_start.saturating_sub(gpu_free);
+        let fetch_stall = fetch_done.saturating_sub(gpu_free).min(stall);
+        let prep_stall = stall.saturating_sub(fetch_stall);
+
+        self.breakdown.compute_time += sample.compute;
+        self.breakdown.fetch_stall += fetch_stall;
+        self.breakdown.prep_stall += prep_stall;
+        self.breakdown.iterations += 1;
+        self.breakdown.epoch_time = gpu_done;
+
+        self.fetch_done.push(fetch_done);
+        self.prep_done.push(prep_done);
+        self.gpu_done.push(gpu_done);
+        gpu_done
+    }
+
+    /// The stall breakdown accumulated so far.
+    pub fn breakdown(&self) -> StallBreakdown {
+        self.breakdown
+    }
+
+    /// Completion times of every iteration's GPU work (useful for building
+    /// time series such as the disk-I/O-over-time figure).
+    pub fn gpu_done_times(&self) -> &[SimTime] {
+        &self.gpu_done
+    }
+
+    /// Completion times of every iteration's fetch stage.
+    pub fn fetch_done_times(&self) -> &[SimTime] {
+        &self.fetch_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(samples: &[(f64, f64, f64)], depth: usize) -> StallBreakdown {
+        let mut p = PipelineRecurrence::new(depth);
+        for &(f, pr, c) in samples {
+            p.push(StageSample::from_secs(f, pr, c));
+        }
+        p.breakdown()
+    }
+
+    #[test]
+    fn gpu_bound_pipeline_has_no_stalls_after_warmup() {
+        // Fetch and prep are much faster than compute.
+        let samples = vec![(0.01, 0.01, 1.0); 10];
+        let b = run(&samples, 2);
+        assert_eq!(b.iterations, 10);
+        // Only the first iteration pays the fill latency (0.02s).
+        assert!(b.data_stall().as_secs() < 0.03, "stall = {:?}", b.data_stall());
+        assert!((b.compute_time.as_secs() - 10.0).abs() < 1e-9);
+        assert!(b.epoch_time.as_secs() < 10.05);
+    }
+
+    #[test]
+    fn io_bound_pipeline_is_dominated_by_fetch_stalls() {
+        // Fetch takes 1s, compute 0.1s.
+        let samples = vec![(1.0, 0.05, 0.1); 20];
+        let b = run(&samples, 2);
+        // Epoch time is dominated by the 20s of serialized fetch.
+        assert!(b.epoch_time.as_secs() >= 20.0);
+        assert!(b.fetch_stall.as_secs() > 15.0);
+        // Fetch stalls dominate prep stalls.
+        assert!(b.fetch_stall > b.prep_stall);
+        assert!(b.stall_fraction() > 0.8);
+    }
+
+    #[test]
+    fn cpu_bound_pipeline_is_dominated_by_prep_stalls() {
+        // Fetch instant, prep 1s, compute 0.2s.
+        let samples = vec![(0.0, 1.0, 0.2); 20];
+        let b = run(&samples, 2);
+        assert!(b.prep_stall.as_secs() > 10.0);
+        assert!(b.prep_stall > b.fetch_stall);
+    }
+
+    #[test]
+    fn epoch_time_close_to_max_of_stage_totals() {
+        // A classic pipeline property: with ample prefetch, the epoch time is
+        // close to the maximum of the per-stage totals.
+        let samples = vec![(0.3, 0.5, 0.4); 50];
+        let b = run(&samples, 8);
+        let max_total = 0.5 * 50.0;
+        assert!(b.epoch_time.as_secs() >= max_total);
+        assert!(b.epoch_time.as_secs() < max_total + 1.0);
+    }
+
+    #[test]
+    fn bounded_prefetch_limits_lookahead() {
+        // With depth 1 the fetch of batch i cannot start until batch i-1 was
+        // consumed, so stages serialise much more than with a deep queue.
+        let samples = vec![(0.5, 0.0, 0.5); 10];
+        let shallow = run(&samples, 1);
+        let deep = run(&samples, 4);
+        assert!(shallow.epoch_time > deep.epoch_time);
+    }
+
+    #[test]
+    fn stall_fractions_sum_to_at_most_one() {
+        let samples = vec![(0.2, 0.3, 0.25); 30];
+        let b = run(&samples, 2);
+        let total = b.fetch_stall_fraction() + b.prep_stall_fraction();
+        assert!(total >= 0.0 && total <= 1.0);
+        assert!((b.stall_fraction() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_pipeline_is_all_zero() {
+        let p = PipelineRecurrence::new(4);
+        let b = p.breakdown();
+        assert_eq!(b.iterations, 0);
+        assert_eq!(b.epoch_time, SimTime::ZERO);
+        assert_eq!(b.stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn compute_plus_stalls_equals_epoch_time() {
+        // The GPU is either computing or stalled on data (the warm-up fill of
+        // the very first batch is also attributed to stalls), so the pieces
+        // must add up exactly.
+        let samples = vec![(0.4, 0.2, 0.3); 25];
+        let b = run(&samples, 3);
+        let sum = b.compute_time + b.fetch_stall + b.prep_stall;
+        assert!((sum.as_secs() - b.epoch_time.as_secs()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,300 @@
+//! Fluid fair-share (processor-sharing) resources.
+//!
+//! A [`FairShareResource`] models a device with a fixed aggregate capacity
+//! (e.g. a SATA SSD delivering 530 MB/s of random reads, or a pool of 24 CPU
+//! cores) whose capacity is divided evenly among the *flows* currently using
+//! it.  This is the classic fluid processor-sharing (GPS) model: whenever the
+//! set of active flows changes, the per-flow service rate is recomputed and
+//! the remaining work of every in-flight flow drains at the new rate.
+//!
+//! The input-pipeline simulator uses this to model the disk and the CPU pool
+//! shared among concurrent hyper-parameter-search jobs.
+
+use crate::SimTime;
+use std::collections::HashMap;
+
+/// Identifier of a flow admitted to a [`FairShareResource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(u64);
+
+#[derive(Debug, Clone)]
+struct Flow {
+    /// Remaining work, in capacity units (e.g. bytes).
+    remaining: f64,
+}
+
+/// A capacity shared evenly among active flows (fluid processor sharing).
+#[derive(Debug, Clone)]
+pub struct FairShareResource {
+    /// Aggregate capacity in work-units per second.
+    capacity_per_sec: f64,
+    /// Maximum number of flows that may share the capacity concurrently; any
+    /// additional arrivals still get an even share (the model has no queueing,
+    /// matching a bandwidth device rather than a FIFO disk scheduler).
+    flows: HashMap<FlowId, Flow>,
+    next_id: u64,
+    now: SimTime,
+    /// Total work completed since construction.
+    completed_work: f64,
+    /// Integral of busy time (time with at least one active flow).
+    busy_time: SimTime,
+}
+
+impl FairShareResource {
+    /// Create a resource with `capacity_per_sec` units of work per second.
+    ///
+    /// # Panics
+    /// Panics if the capacity is not strictly positive.
+    pub fn new(capacity_per_sec: f64) -> Self {
+        assert!(
+            capacity_per_sec > 0.0 && capacity_per_sec.is_finite(),
+            "capacity must be positive and finite, got {capacity_per_sec}"
+        );
+        FairShareResource {
+            capacity_per_sec,
+            flows: HashMap::new(),
+            next_id: 0,
+            now: SimTime::ZERO,
+            completed_work: 0.0,
+            busy_time: SimTime::ZERO,
+        }
+    }
+
+    /// Aggregate capacity in work-units per second.
+    pub fn capacity_per_sec(&self) -> f64 {
+        self.capacity_per_sec
+    }
+
+    /// Current virtual time of the resource.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total work completed across all flows so far.
+    pub fn completed_work(&self) -> f64 {
+        self.completed_work
+    }
+
+    /// Total time during which the resource had at least one active flow.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy_time
+    }
+
+    /// Utilization in `[0, 1]` relative to `horizon` (e.g. the epoch length).
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.is_zero() {
+            0.0
+        } else {
+            (self.busy_time.as_secs() / horizon.as_secs()).min(1.0)
+        }
+    }
+
+    /// Per-flow service rate right now.
+    pub fn per_flow_rate(&self) -> f64 {
+        if self.flows.is_empty() {
+            self.capacity_per_sec
+        } else {
+            self.capacity_per_sec / self.flows.len() as f64
+        }
+    }
+
+    /// Admit a new flow with `work` units at time `at` (must not precede the
+    /// resource's current time). Returns the flow id.
+    pub fn arrive(&mut self, at: SimTime, work: f64) -> FlowId {
+        assert!(work >= 0.0 && work.is_finite(), "work must be >= 0");
+        self.advance_to(at);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(id, Flow { remaining: work });
+        id
+    }
+
+    /// Time at which the next flow (the one with the least remaining work)
+    /// completes, assuming no further arrivals. `None` when idle.
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        let rate = self.per_flow_rate();
+        self.flows
+            .iter()
+            .map(|(id, f)| (f.remaining / rate, *id))
+            .min_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("rates are finite")
+                    .then_with(|| a.1.cmp(&b.1))
+            })
+            .map(|(dt, id)| (self.now + SimTime::from_secs(dt.max(0.0)), id))
+    }
+
+    /// Advance virtual time to `to`, draining work from all active flows at
+    /// the fair-share rate. Returns the flows that completed during the
+    /// interval, in completion order.
+    pub fn advance_to(&mut self, to: SimTime) -> Vec<FlowId> {
+        assert!(
+            to >= self.now,
+            "cannot advance backwards: {to:?} < {:?}",
+            self.now
+        );
+        let mut completed = Vec::new();
+        // Process piecewise: the per-flow rate changes every time a flow
+        // finishes, so drain in segments until either `to` is reached or no
+        // flows remain.
+        while !self.flows.is_empty() {
+            let rate = self.per_flow_rate();
+            let (min_remaining, min_id) = self
+                .flows
+                .iter()
+                .map(|(id, f)| (f.remaining, *id))
+                .min_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .expect("finite")
+                        .then_with(|| a.1.cmp(&b.1))
+                })
+                .expect("non-empty");
+            let finish_dt = min_remaining / rate;
+            let span = (to - self.now).as_secs();
+            if finish_dt <= span {
+                // The shortest flow completes within this segment.
+                let drained = finish_dt * rate;
+                for f in self.flows.values_mut() {
+                    f.remaining = (f.remaining - drained).max(0.0);
+                }
+                self.completed_work += drained * self.flows.len() as f64;
+                self.flows.remove(&min_id);
+                completed.push(min_id);
+                self.busy_time += SimTime::from_secs(finish_dt);
+                self.now += SimTime::from_secs(finish_dt);
+            } else {
+                // Nobody completes before `to`.
+                let drained = span * rate;
+                for f in self.flows.values_mut() {
+                    f.remaining = (f.remaining - drained).max(0.0);
+                }
+                self.completed_work += drained * self.flows.len() as f64;
+                self.busy_time += SimTime::from_secs(span);
+                self.now = to;
+                break;
+            }
+        }
+        if self.now < to {
+            self.now = to;
+        }
+        completed
+    }
+
+    /// Run the resource until every admitted flow has completed and return
+    /// the completion time of the last one (or the current time when idle).
+    pub fn drain(&mut self) -> SimTime {
+        while let Some((t, _)) = self.next_completion() {
+            self.advance_to(t);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let mut r = FairShareResource::new(100.0);
+        r.arrive(SimTime::ZERO, 200.0);
+        let done = r.drain();
+        assert!((done.as_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(r.active_flows(), 0);
+        assert!((r.completed_work() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_equal_flows_share_evenly() {
+        let mut r = FairShareResource::new(100.0);
+        r.arrive(SimTime::ZERO, 100.0);
+        r.arrive(SimTime::ZERO, 100.0);
+        // Each gets 50/s, so both finish at t=2.
+        let done = r.drain();
+        assert!((done.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_flow_finishes_then_long_flow_speeds_up() {
+        let mut r = FairShareResource::new(100.0);
+        let _long = r.arrive(SimTime::ZERO, 150.0);
+        let short = r.arrive(SimTime::ZERO, 50.0);
+        // Phase 1: both at 50/s; short (50 units) finishes at t=1, long has 100 left.
+        let (t, id) = r.next_completion().unwrap();
+        assert_eq!(id, short);
+        assert!((t.as_secs() - 1.0).abs() < 1e-9);
+        let completed = r.advance_to(t);
+        assert_eq!(completed, vec![short]);
+        // Phase 2: long alone at 100/s, 100 units remain -> finishes at t=2.
+        let done = r.drain();
+        assert!((done.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_arrival_slows_existing_flow() {
+        let mut r = FairShareResource::new(100.0);
+        r.arrive(SimTime::ZERO, 100.0);
+        // After 0.5s the first flow has 50 left; a second arrives.
+        r.arrive(secs(0.5), 50.0);
+        // Both now at 50/s: both finish 1s later, at t=1.5.
+        let done = r.drain();
+        assert!((done.as_secs() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_time_and_utilization() {
+        let mut r = FairShareResource::new(100.0);
+        r.arrive(SimTime::ZERO, 100.0);
+        r.drain();
+        // Idle gap, then another flow.
+        r.arrive(secs(3.0), 100.0);
+        r.drain();
+        assert!((r.busy_time().as_secs() - 2.0).abs() < 1e-9);
+        assert!((r.utilization(secs(4.0)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_work_flow_completes_immediately() {
+        let mut r = FairShareResource::new(10.0);
+        let id = r.arrive(SimTime::ZERO, 0.0);
+        let (t, cid) = r.next_completion().unwrap();
+        assert_eq!(cid, id);
+        assert_eq!(t, SimTime::ZERO);
+        let completed = r.advance_to(SimTime::ZERO);
+        // Advancing zero time still completes the zero-work flow via drain().
+        // advance_to with equal time performs no segment, so use drain.
+        let _ = completed;
+        let done = r.drain();
+        assert_eq!(done, SimTime::ZERO);
+        assert_eq!(r.active_flows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = FairShareResource::new(0.0);
+    }
+
+    #[test]
+    fn conservation_of_work() {
+        // Total completed work equals the sum of admitted work regardless of
+        // the arrival pattern.
+        let mut r = FairShareResource::new(37.0);
+        let works = [10.0, 55.0, 3.0, 120.0, 42.0];
+        for (i, w) in works.iter().enumerate() {
+            r.arrive(secs(i as f64 * 0.3), *w);
+        }
+        r.drain();
+        let total: f64 = works.iter().sum();
+        assert!((r.completed_work() - total).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,21 @@
+//! Storage substrate: devices, the OS page cache, and per-node I/O accounting.
+//!
+//! The paper's fetch stalls are entirely a function of how fast raw items can
+//! be produced by the storage stack: the DRAM cache serves hits at memory
+//! bandwidth, misses go to an SSD (~530 MB/s random reads) or a hard drive
+//! (15–50 MB/s random reads).  This crate models exactly that stack:
+//!
+//! * [`DeviceProfile`] / [`StorageDevice`] — calibrated device throughput for
+//!   random and sequential reads, with cumulative I/O statistics,
+//! * [`StorageNode`] — one server's storage stack: a device plus a
+//!   configurable software cache (the OS page-cache LRU whose thrashing
+//!   motivates MinIO, or any other `coordl-cache` policy), reporting where
+//!   every byte came from.
+
+pub mod device;
+pub mod node;
+pub mod profiles;
+
+pub use device::{AccessPattern, StorageDevice};
+pub use node::{FetchSource, FetchStats, StorageNode};
+pub use profiles::{DeviceProfile, DRAM_BANDWIDTH_BYTES_PER_SEC};

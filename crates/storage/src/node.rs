@@ -1,0 +1,229 @@
+//! One server's storage stack: cache in front of a device.
+
+use crate::{AccessPattern, DeviceProfile, StorageDevice, DRAM_BANDWIDTH_BYTES_PER_SEC};
+use dcache::{build_cache, AccessOutcome, Cache, PolicyKind};
+use simkit::SimTime;
+
+/// Where a fetched unit ultimately came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchSource {
+    /// Served from the node's software cache (page cache or MinIO) at DRAM
+    /// bandwidth.
+    Cache,
+    /// Read from the local storage device.
+    Disk,
+}
+
+/// Cumulative per-node fetch accounting (resettable at epoch boundaries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// Bytes served from the cache.
+    pub bytes_from_cache: u64,
+    /// Bytes read from the device.
+    pub bytes_from_disk: u64,
+    /// Number of unit fetches that hit the cache.
+    pub cache_hits: u64,
+    /// Number of unit fetches that went to the device.
+    pub cache_misses: u64,
+}
+
+impl FetchStats {
+    /// Fraction of fetches that missed the cache (0 when there were none).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_misses as f64 / total as f64
+        }
+    }
+
+    /// Total bytes fetched.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_from_cache + self.bytes_from_disk
+    }
+}
+
+/// A server's storage stack: a software cache (page cache / MinIO / …) in
+/// front of a storage device.
+///
+/// The node works in terms of *fetch units* (item files or record chunks, see
+/// `coordl-dataset::StorageFormat`): `fetch` looks the unit up in the cache,
+/// reads it from the device on a miss, and returns how long the access takes
+/// in isolation together with its source.
+pub struct StorageNode {
+    device: StorageDevice,
+    cache: Box<dyn Cache<u64> + Send>,
+    stats: FetchStats,
+}
+
+impl StorageNode {
+    /// Create a node with the given device profile, cache policy and cache
+    /// capacity in bytes.
+    pub fn new(profile: DeviceProfile, policy: PolicyKind, cache_bytes: u64) -> Self {
+        StorageNode {
+            device: StorageDevice::new(profile),
+            cache: build_cache(policy, cache_bytes),
+            stats: FetchStats::default(),
+        }
+    }
+
+    /// Fetch one unit of `bytes` bytes identified by `key`.
+    ///
+    /// Returns `(isolated_time, source)`.  The caller models bandwidth
+    /// contention (dividing device throughput among concurrent jobs) by
+    /// scaling the returned time.
+    pub fn fetch(
+        &mut self,
+        at: SimTime,
+        key: u64,
+        bytes: u64,
+        pattern: AccessPattern,
+    ) -> (SimTime, FetchSource) {
+        match self.cache.access(key, bytes) {
+            AccessOutcome::Hit => {
+                self.stats.bytes_from_cache += bytes;
+                self.stats.cache_hits += 1;
+                (
+                    SimTime::from_secs(bytes as f64 / DRAM_BANDWIDTH_BYTES_PER_SEC),
+                    FetchSource::Cache,
+                )
+            }
+            AccessOutcome::Inserted | AccessOutcome::Bypassed => {
+                self.stats.bytes_from_disk += bytes;
+                self.stats.cache_misses += 1;
+                let t = self.device.read(at, bytes, pattern);
+                (t, FetchSource::Disk)
+            }
+        }
+    }
+
+    /// Pre-populate the cache with `key` without touching the device, used to
+    /// model datasets that are already resident (DS-Analyzer's warm-cache
+    /// phase) or MinIO shards populated by a prior epoch.
+    pub fn preload(&mut self, key: u64, bytes: u64) {
+        let _ = self.cache.access(key, bytes);
+    }
+
+    /// Whether `key` is currently cached.
+    pub fn is_cached(&self, key: &u64) -> bool {
+        self.cache.contains(key)
+    }
+
+    /// The underlying device (read-only access to counters/timeline).
+    pub fn device(&self) -> &StorageDevice {
+        &self.device
+    }
+
+    /// Cache statistics from the cache policy itself.
+    pub fn cache_stats(&self) -> &dcache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Bytes currently resident in the cache.
+    pub fn cache_used_bytes(&self) -> u64 {
+        self.cache.used_bytes()
+    }
+
+    /// Cache capacity in bytes.
+    pub fn cache_capacity_bytes(&self) -> u64 {
+        self.cache.capacity_bytes()
+    }
+
+    /// Per-node fetch statistics since the last [`reset_epoch_stats`].
+    ///
+    /// [`reset_epoch_stats`]: StorageNode::reset_epoch_stats
+    pub fn fetch_stats(&self) -> FetchStats {
+        self.stats
+    }
+
+    /// Reset per-epoch statistics (cache contents are preserved).
+    pub fn reset_epoch_stats(&mut self) {
+        self.stats = FetchStats::default();
+        self.cache.reset_stats();
+        self.device.reset_counters();
+    }
+}
+
+impl std::fmt::Debug for StorageNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageNode")
+            .field("device", self.device.profile())
+            .field("cache_policy", &self.cache.name())
+            .field("cache_capacity", &self.cache.capacity_bytes())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut node = StorageNode::new(DeviceProfile::sata_ssd(), PolicyKind::MinIo, 1 << 20);
+        let (t1, s1) = node.fetch(SimTime::ZERO, 1, 1000, AccessPattern::Random);
+        assert_eq!(s1, FetchSource::Disk);
+        let (t2, s2) = node.fetch(SimTime::ZERO, 1, 1000, AccessPattern::Random);
+        assert_eq!(s2, FetchSource::Cache);
+        assert!(t2 < t1, "cache hits must be faster than device reads");
+        assert_eq!(node.fetch_stats().cache_hits, 1);
+        assert_eq!(node.fetch_stats().cache_misses, 1);
+        assert_eq!(node.fetch_stats().bytes_from_disk, 1000);
+        assert_eq!(node.fetch_stats().bytes_from_cache, 1000);
+    }
+
+    #[test]
+    fn preload_avoids_disk_reads() {
+        let mut node = StorageNode::new(DeviceProfile::hdd(), PolicyKind::MinIo, 1 << 20);
+        node.preload(7, 500);
+        let (_, src) = node.fetch(SimTime::ZERO, 7, 500, AccessPattern::Random);
+        assert_eq!(src, FetchSource::Cache);
+        assert_eq!(node.device().bytes_read(), 0);
+    }
+
+    #[test]
+    fn lru_node_thrashes_but_minio_node_does_not() {
+        // 100 items of 1 KB, cache of 50 KB, three random-order epochs.
+        let items: Vec<u64> = (0..100).collect();
+        let mut lru = StorageNode::new(DeviceProfile::sata_ssd(), PolicyKind::Lru, 50_000);
+        let mut minio = StorageNode::new(DeviceProfile::sata_ssd(), PolicyKind::MinIo, 50_000);
+        let order = |epoch: u64| -> Vec<u64> {
+            items.iter().map(|&i| (i * 13 + epoch * 37) % 100).collect()
+        };
+        for &k in &order(0) {
+            lru.fetch(SimTime::ZERO, k, 1000, AccessPattern::Random);
+            minio.fetch(SimTime::ZERO, k, 1000, AccessPattern::Random);
+        }
+        lru.reset_epoch_stats();
+        minio.reset_epoch_stats();
+        for epoch in 1..4 {
+            for &k in &order(epoch) {
+                lru.fetch(SimTime::ZERO, k, 1000, AccessPattern::Random);
+                minio.fetch(SimTime::ZERO, k, 1000, AccessPattern::Random);
+            }
+        }
+        assert_eq!(minio.fetch_stats().cache_misses, 3 * 50);
+        assert!(lru.fetch_stats().cache_misses >= minio.fetch_stats().cache_misses);
+        assert!(lru.fetch_stats().bytes_from_disk >= minio.fetch_stats().bytes_from_disk);
+    }
+
+    #[test]
+    fn reset_preserves_cache_contents() {
+        let mut node = StorageNode::new(DeviceProfile::sata_ssd(), PolicyKind::MinIo, 10_000);
+        node.fetch(SimTime::ZERO, 1, 1000, AccessPattern::Random);
+        node.reset_epoch_stats();
+        assert!(node.is_cached(&1));
+        assert_eq!(node.fetch_stats().total_bytes(), 0);
+        assert_eq!(node.cache_used_bytes(), 1000);
+    }
+
+    #[test]
+    fn debug_format_mentions_policy() {
+        let node = StorageNode::new(DeviceProfile::hdd(), PolicyKind::Lru, 10);
+        let s = format!("{node:?}");
+        assert!(s.contains("LRU"));
+        assert!(s.contains("hdd"));
+    }
+}

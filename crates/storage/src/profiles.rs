@@ -1,0 +1,123 @@
+//! Calibrated device profiles.
+//!
+//! Throughput numbers come straight from the paper:
+//! * Figure 1 / Table 2: SATA SSD random reads at 530 MB/s, hard drives at
+//!   15–50 MB/s (we use 15 MB/s for random and 120 MB/s for sequential reads,
+//!   matching the st1-style volumes of Config-HDD-1080Ti),
+//! * §4.2: cross-node network bandwidth (10–40 Gbps) is up to 4× the SATA SSD
+//!   read bandwidth,
+//! * Figure 1: a 35 %-cached dataset yields an effective 802 MB/s fetch rate,
+//!   which pins DRAM bandwidth far above device bandwidth.
+
+const MB: f64 = 1_000_000.0;
+
+/// DRAM copy bandwidth used for cache hits, in bytes/second.
+///
+/// The paper's DS-Analyzer appendix notes the cache fetch rate is "a few tens
+/// of GBps"; 20 GB/s is a conservative single-socket figure.
+pub const DRAM_BANDWIDTH_BYTES_PER_SEC: f64 = 20_000.0 * MB;
+
+/// Static throughput characteristics of a storage device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Short name used in reports.
+    pub name: &'static str,
+    /// Sequential-read throughput in bytes/second.
+    pub seq_read_bps: f64,
+    /// Random-read throughput in bytes/second (small-file reads).
+    pub rand_read_bps: f64,
+    /// Fixed per-request latency in seconds (seek/queue overhead).
+    pub request_latency_s: f64,
+}
+
+impl DeviceProfile {
+    /// SATA SSD of Config-SSD-V100: 530 MB/s random reads (Table 2).
+    pub fn sata_ssd() -> Self {
+        DeviceProfile {
+            name: "sata-ssd",
+            seq_read_bps: 550.0 * MB,
+            rand_read_bps: 530.0 * MB,
+            request_latency_s: 100e-6,
+        }
+    }
+
+    /// Magnetic hard drive of Config-HDD-1080Ti: 15–50 MB/s random reads
+    /// (Table 2); sequential large-record reads reach ~120 MB/s.
+    pub fn hdd() -> Self {
+        DeviceProfile {
+            name: "hdd",
+            seq_read_bps: 120.0 * MB,
+            rand_read_bps: 15.0 * MB,
+            request_latency_s: 8e-3,
+        }
+    }
+
+    /// A modern NVMe drive (not evaluated in the paper, included for what-if
+    /// analysis with DS-Analyzer).
+    pub fn nvme_ssd() -> Self {
+        DeviceProfile {
+            name: "nvme-ssd",
+            seq_read_bps: 3_000.0 * MB,
+            rand_read_bps: 2_500.0 * MB,
+            request_latency_s: 20e-6,
+        }
+    }
+
+    /// A RAM-backed store; effectively removes fetch stalls.
+    pub fn ramdisk() -> Self {
+        DeviceProfile {
+            name: "ramdisk",
+            seq_read_bps: DRAM_BANDWIDTH_BYTES_PER_SEC,
+            rand_read_bps: DRAM_BANDWIDTH_BYTES_PER_SEC,
+            request_latency_s: 1e-6,
+        }
+    }
+
+    /// Throughput for a given access pattern, in bytes/second.
+    pub fn bandwidth(&self, pattern: crate::AccessPattern) -> f64 {
+        match pattern {
+            crate::AccessPattern::Sequential => self.seq_read_bps,
+            crate::AccessPattern::Random => self.rand_read_bps,
+        }
+    }
+
+    /// Time to read `bytes` with the given access pattern, in seconds.
+    pub fn read_seconds(&self, bytes: u64, pattern: crate::AccessPattern) -> f64 {
+        self.request_latency_s + bytes as f64 / self.bandwidth(pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessPattern;
+
+    #[test]
+    fn paper_calibration_values() {
+        let ssd = DeviceProfile::sata_ssd();
+        assert!((ssd.rand_read_bps / MB - 530.0).abs() < 1.0);
+        let hdd = DeviceProfile::hdd();
+        assert!((hdd.rand_read_bps / MB - 15.0).abs() < 1.0);
+        assert!(hdd.seq_read_bps > hdd.rand_read_bps);
+    }
+
+    #[test]
+    fn read_seconds_scales_with_bytes() {
+        let ssd = DeviceProfile::sata_ssd();
+        let t1 = ssd.read_seconds(530_000_000, AccessPattern::Random);
+        assert!((t1 - 1.0).abs() < 0.01, "530 MB at 530 MB/s ≈ 1 s, got {t1}");
+        let t2 = ssd.read_seconds(1_060_000_000, AccessPattern::Random);
+        assert!(t2 > 1.9 && t2 < 2.1);
+    }
+
+    #[test]
+    fn ordering_of_device_speeds() {
+        let hdd = DeviceProfile::hdd();
+        let ssd = DeviceProfile::sata_ssd();
+        let nvme = DeviceProfile::nvme_ssd();
+        let ram = DeviceProfile::ramdisk();
+        assert!(hdd.rand_read_bps < ssd.rand_read_bps);
+        assert!(ssd.rand_read_bps < nvme.rand_read_bps);
+        assert!(nvme.rand_read_bps < ram.rand_read_bps + 1.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Integration tests for partitioned caching (§4.2) — the functional cluster
+//! and the distributed simulator, cross-checked against each other.
+
+use datastalls::coordl::{FetchOrigin, PartitionedCacheCluster};
+use datastalls::dataset::EpochSampler;
+use datastalls::prelude::*;
+use std::sync::Arc;
+
+fn cluster(items: u64, item_bytes: u64, servers: usize, per_server_fraction: f64) -> (Arc<dyn DataSource>, PartitionedCacheCluster) {
+    let spec = DatasetSpec::new("part-test", items, item_bytes, 0.0, 4.0);
+    let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec.clone(), 5));
+    let per_server = (spec.total_bytes() as f64 * per_server_fraction) as u64;
+    let cluster = PartitionedCacheCluster::new(Arc::clone(&store), servers, per_server);
+    (store, cluster)
+}
+
+/// Run one epoch: each server fetches its random shard, returning
+/// (local hits, remote hits, storage reads).
+fn run_epoch(store: &Arc<dyn DataSource>, cluster: &PartitionedCacheCluster, epoch: u64, servers: usize) -> (u64, u64, u64) {
+    let sampler = EpochSampler::new(store.len(), 99);
+    let (mut local, mut remote, mut storage) = (0, 0, 0);
+    for server in 0..servers {
+        for item in sampler.distributed_shard(epoch, server, servers) {
+            match cluster.fetch(server, item).1 {
+                FetchOrigin::LocalCache => local += 1,
+                FetchOrigin::RemoteCache(_) => remote += 1,
+                FetchOrigin::Storage => storage += 1,
+            }
+        }
+    }
+    (local, remote, storage)
+}
+
+#[test]
+fn aggregate_cache_covering_the_dataset_eliminates_storage_io_after_warmup() {
+    // §4.2: "the entire dataset is fetched exactly once from disk in the
+    // duration of distributed training".
+    let servers = 2;
+    let (store, cluster) = cluster(2000, 4096, servers, 0.55);
+    let (_, _, warm_storage) = run_epoch(&store, &cluster, 0, servers);
+    assert_eq!(warm_storage, store.len(), "cold caches: everything comes from storage once");
+    for epoch in 1..4u64 {
+        let (local, remote, storage) = run_epoch(&store, &cluster, epoch, servers);
+        assert_eq!(storage, 0, "epoch {epoch}: no storage reads once DRAM covers the dataset");
+        assert_eq!(local + remote, store.len());
+        assert!(remote > 0, "random sharding forces some remote-cache traffic");
+    }
+}
+
+#[test]
+fn undersized_aggregate_cache_still_prefers_remote_dram_over_storage() {
+    let servers = 2;
+    // 30 % per server -> 60 % aggregate: 40 % of fetches must still hit disk.
+    let (store, cluster) = cluster(2000, 4096, servers, 0.30);
+    run_epoch(&store, &cluster, 0, servers);
+    let (local, remote, storage) = run_epoch(&store, &cluster, 1, servers);
+    let total = (local + remote + storage) as f64;
+    let dram_fraction = (local + remote) as f64 / total;
+    assert!(
+        (dram_fraction - 0.60).abs() < 0.05,
+        "≈60% of fetches should be served from some server's DRAM, got {dram_fraction:.2}"
+    );
+    assert!(storage > 0);
+}
+
+#[test]
+fn directory_routes_every_item_to_exactly_one_owner() {
+    let servers = 4;
+    let (store, cluster) = cluster(1200, 1024, servers, 0.30);
+    run_epoch(&store, &cluster, 0, servers);
+    assert_eq!(
+        cluster.directory_len() as u64,
+        store.len(),
+        "after warm-up every item has exactly one registered owner"
+    );
+    // Ownership is balanced: each server holds roughly a quarter.
+    let mut held = vec![0u64; servers];
+    for epoch in 1..3u64 {
+        let _ = epoch;
+    }
+    for server in 0..servers {
+        let stats = cluster.stats(server);
+        held[server] = stats.storage_reads;
+    }
+    let expect = store.len() / servers as u64;
+    for (server, reads) in held.iter().enumerate() {
+        assert!(
+            (*reads as f64 - expect as f64).abs() / (expect as f64) < 0.25,
+            "server {server} populated {reads} items, expected ≈{expect}"
+        );
+    }
+}
+
+#[test]
+fn remote_traffic_is_accounted_symmetrically() {
+    let servers = 2;
+    let (store, cluster) = cluster(1000, 2048, servers, 0.55);
+    run_epoch(&store, &cluster, 0, servers);
+    run_epoch(&store, &cluster, 1, servers);
+    let a = cluster.stats(0);
+    let b = cluster.stats(1);
+    assert_eq!(
+        a.remote_bytes_in + b.remote_bytes_in,
+        a.remote_bytes_out + b.remote_bytes_out,
+        "bytes received by all servers equal bytes served by all servers"
+    );
+    assert_eq!(
+        cluster.loader_stats().bytes_from_storage(),
+        (0..store.len()).map(|i| store.item_bytes(i)).sum::<u64>(),
+        "storage is read exactly one dataset's worth in total"
+    );
+}
+
+#[test]
+fn simulator_agrees_partitioned_caching_removes_disk_io() {
+    // The same claim at the simulator level (Figure 18's steady state): with
+    // 65 % per-server cache and two servers, CoorDL's steady-state disk I/O
+    // is zero while DALI keeps reading from storage.
+    let dataset = DatasetSpec::openimages_extended().scaled(128);
+    let server =
+        ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.65);
+    let model = ModelKind::ResNet50;
+    let dali = simulate_distributed(
+        &server,
+        &JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model)),
+        2,
+        3,
+    );
+    let coordl = simulate_distributed(
+        &server,
+        &JobSpec::new(model, dataset, 8, LoaderConfig::coordl_best(model)),
+        2,
+        3,
+    );
+    let dali_disk: u64 = dali.disk_bytes_per_server(2).iter().sum();
+    let coordl_disk: u64 = coordl.disk_bytes_per_server(2).iter().sum();
+    assert!(dali_disk > 0, "uncoordinated caches keep hitting storage");
+    assert_eq!(coordl_disk, 0, "partitioned caching serves every miss from remote DRAM");
+    assert!(coordl.speedup_over(&dali) > 2.0, "on hard drives the win is large");
+    assert!(
+        coordl.avg_network_gbps(2) > 0.0 && coordl.avg_network_gbps(2) < 40.0,
+        "CoorDL uses a fraction of the 40 Gbps link"
+    );
+}
+
+#[test]
+fn more_servers_increase_throughput_when_io_is_not_the_bottleneck() {
+    // Figure 18: with partitioned caching, going from 2 to 4 servers scales
+    // throughput because the job is no longer I/O bound.  A smaller per-GPU
+    // batch keeps enough iterations per epoch on the scaled-down dataset for
+    // the pipelined stages to reach steady state.
+    let dataset = DatasetSpec::openimages_extended().scaled(32);
+    let server =
+        ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.65);
+    let model = ModelKind::ResNet50;
+    let job =
+        JobSpec::new(model, dataset, 8, LoaderConfig::coordl_best(model)).with_batch(128);
+    let two = simulate_distributed(&server, &job, 2, 3);
+    let four = simulate_distributed(&server, &job, 4, 3);
+    let scaling = four.steady_samples_per_sec() / two.steady_samples_per_sec();
+    assert!(
+        scaling > 1.6,
+        "4 servers should be close to 2x the throughput of 2, got {scaling:.2}x"
+    );
+}
