@@ -19,7 +19,12 @@ fn main() {
     for model in [ModelKind::ResNet18, ModelKind::ResNet50] {
         let mut table = Table::new(
             format!("Ablation: faster storage vs CoorDL ({})", model.name()),
-            &["configuration", "samples/s", "fetch stall %", "prep stall %"],
+            &[
+                "configuration",
+                "samples/s",
+                "fetch stall %",
+                "prep stall %",
+            ],
         )
         .with_caption("OpenImages, 65% cacheable, 8 V100s, 24 cores");
 
@@ -40,11 +45,31 @@ fn main() {
             ]);
         };
 
-        run("DALI + HDD", DeviceProfile::hdd(), LoaderConfig::dali_best(model));
-        run("DALI + SATA SSD", DeviceProfile::sata_ssd(), LoaderConfig::dali_best(model));
-        run("DALI + NVMe SSD", DeviceProfile::nvme_ssd(), LoaderConfig::dali_best(model));
-        run("DALI + RAM-class storage", DeviceProfile::ramdisk(), LoaderConfig::dali_best(model));
-        run("CoorDL + SATA SSD", DeviceProfile::sata_ssd(), LoaderConfig::coordl_best(model));
+        run(
+            "DALI + HDD",
+            DeviceProfile::hdd(),
+            LoaderConfig::dali_best(model),
+        );
+        run(
+            "DALI + SATA SSD",
+            DeviceProfile::sata_ssd(),
+            LoaderConfig::dali_best(model),
+        );
+        run(
+            "DALI + NVMe SSD",
+            DeviceProfile::nvme_ssd(),
+            LoaderConfig::dali_best(model),
+        );
+        run(
+            "DALI + RAM-class storage",
+            DeviceProfile::ramdisk(),
+            LoaderConfig::dali_best(model),
+        );
+        run(
+            "CoorDL + SATA SSD",
+            DeviceProfile::sata_ssd(),
+            LoaderConfig::coordl_best(model),
+        );
 
         table.print();
     }

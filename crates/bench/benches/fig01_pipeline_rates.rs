@@ -42,9 +42,21 @@ fn main() {
     table.row(&["HDD random read".into(), mb(hdd), "15 MB/s".into()]);
     table.row(&["SATA SSD random read".into(), mb(ssd), "530 MB/s".into()]);
     table.row(&["fetch (35% cache + SSD)".into(), mb(mix), "802 MB/s".into()]);
-    table.row(&["prep, DALI-CPU, 24 cores".into(), mb(prep_cpu), "735 MB/s".into()]);
-    table.row(&["prep, DALI-GPU offload".into(), mb(prep_gpu), "1062 MB/s".into()]);
-    table.row(&["GPU ingestion demand (8xV100)".into(), mb(gpu_bytes), "2283 MB/s".into()]);
+    table.row(&[
+        "prep, DALI-CPU, 24 cores".into(),
+        mb(prep_cpu),
+        "735 MB/s".into(),
+    ]);
+    table.row(&[
+        "prep, DALI-GPU offload".into(),
+        mb(prep_gpu),
+        "1062 MB/s".into(),
+    ]);
+    table.row(&[
+        "GPU ingestion demand (8xV100)".into(),
+        mb(gpu_bytes),
+        "2283 MB/s".into(),
+    ]);
     table.print();
 
     let bottleneck = mix.min(prep_cpu.max(prep_gpu));

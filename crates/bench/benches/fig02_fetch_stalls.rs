@@ -27,7 +27,13 @@ fn dataset_for(model: ModelKind) -> DatasetSpec {
 fn main() {
     let mut table = Table::new(
         "Figure 2: fetch stalls with 35% of the dataset cached",
-        &["model", "dataset", "fetch stall %", "prep stall %", "epoch s"],
+        &[
+            "model",
+            "dataset",
+            "fetch stall %",
+            "prep stall %",
+            "epoch s",
+        ],
     )
     .with_caption("Config-SSD-V100, DALI baseline, 8 GPUs, steady-state epoch");
 

@@ -36,5 +36,7 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\npaper: DNNs spend 5-65% of epoch time on blocking prep; lighter models stall more.");
+    println!(
+        "\npaper: DNNs spend 5-65% of epoch time on blocking prep; lighter models stall more."
+    );
 }

@@ -25,7 +25,11 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 8: cache misses on the 4-item example (cache holds 2)",
-        &["epoch access order", "page cache (LRU) misses", "MinIO misses"],
+        &[
+            "epoch access order",
+            "page cache (LRU) misses",
+            "MinIO misses",
+        ],
     );
     for epoch in epochs {
         lru.reset_stats();
@@ -34,7 +38,10 @@ fn main() {
             lru.access(item, 1);
             minio.access(item, 1);
         }
-        let order: Vec<&str> = epoch.iter().map(|i| ["A", "B", "C", "D"][*i as usize]).collect();
+        let order: Vec<&str> = epoch
+            .iter()
+            .map(|i| ["A", "B", "C", "D"][*i as usize])
+            .collect();
         table.row(&[
             order.join(" "),
             format!("{}", lru.stats().misses),
@@ -50,8 +57,16 @@ fn main() {
         "Figure 8 (scaled up): steady-state miss ratio, 50% cache",
         &["policy", "miss ratio", "ideal"],
     )
-    .with_caption(format!("{} items, fresh random permutation per epoch", spec.num_items));
-    for policy in [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::Clock, PolicyKind::MinIo] {
+    .with_caption(format!(
+        "{} items, fresh random permutation per epoch",
+        spec.num_items
+    ));
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Clock,
+        PolicyKind::MinIo,
+    ] {
         let mut cache = build_cache(policy, spec.cache_bytes_for_fraction(0.5));
         for epoch in 0..3u64 {
             cache.reset_stats();

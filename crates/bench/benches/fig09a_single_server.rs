@@ -27,7 +27,13 @@ fn main() {
     ] {
         let mut table = Table::new(
             format!("Figure 9a: single-server training speedup over DALI-shuffle ({label})"),
-            &["model", "DALI-seq", "DALI-shuffle", "CoorDL", "CoorDL speedup"],
+            &[
+                "model",
+                "DALI-seq",
+                "DALI-shuffle",
+                "CoorDL",
+                "CoorDL speedup",
+            ],
         )
         .with_caption("samples/s, 8 GPUs, OpenImages / FMA, 45-65% of the dataset cached");
 
@@ -37,7 +43,13 @@ fn main() {
             let server = server.with_cache_fraction(dataset.total_bytes(), frac);
             let prep = LoaderConfig::best_prep_for(model);
             let seq = single_run(&server, model, &dataset, LoaderConfig::dali_seq(prep), 8);
-            let shuffle = single_run(&server, model, &dataset, LoaderConfig::dali_shuffle(prep), 8);
+            let shuffle = single_run(
+                &server,
+                model,
+                &dataset,
+                LoaderConfig::dali_shuffle(prep),
+                8,
+            );
             let coordl = single_run(&server, model, &dataset, LoaderConfig::coordl(prep), 8);
             table.row(&[
                 model.name().to_string(),

@@ -67,5 +67,7 @@ fn main() {
         }
         table.print();
     }
-    println!("\npaper: up to 15x on hard drives (AlexNet), 1.3x ShuffleNet / 2.9x Audio-M5 on SSDs.");
+    println!(
+        "\npaper: up to 15x on hard drives (AlexNet), 1.3x ShuffleNet / 2.9x Audio-M5 on SSDs."
+    );
 }

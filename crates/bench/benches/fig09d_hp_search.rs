@@ -47,7 +47,10 @@ fn main() {
                 format!("{:.0}", coordl.steady_per_job_samples_per_sec()),
                 fmt_speedup(coordl.speedup_over(&dali)),
                 format!("{:.2}x", dali.read_amplification(dataset.total_bytes(), 1)),
-                format!("{:.2}x", coordl.read_amplification(dataset.total_bytes(), 1)),
+                format!(
+                    "{:.2}x",
+                    coordl.read_amplification(dataset.total_bytes(), 1)
+                ),
             ]);
         }
         table.print();

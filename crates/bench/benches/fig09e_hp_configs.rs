@@ -17,7 +17,12 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 9e: AlexNet HP-search configurations on Config-SSD-V100",
-        &["configuration", "DALI samples/s/job", "CoorDL samples/s/job", "speedup"],
+        &[
+            "configuration",
+            "DALI samples/s/job",
+            "CoorDL samples/s/job",
+            "speedup",
+        ],
     )
     .with_caption("OpenImages, 65% cacheable; jobs × GPUs-per-job always uses all 8 GPUs");
 

@@ -17,7 +17,7 @@ use coordl::{CoordinatedConfig, CoordinatedJobGroup, DataLoader, DataLoaderConfi
 use dataset::{DataSource, DatasetSpec, LabeledVectorStore};
 use dnn::{train_through_coordinated_group, train_through_loader, TrainConfig};
 use gpu::ModelKind;
-use pipeline::{simulate_distributed, JobSpec, LoaderConfig, ServerConfig};
+use pipeline::{Experiment, JobSpec, LoaderConfig, Scenario, ServerConfig};
 use prep::{ExecutablePipeline, PrepPipeline};
 use std::sync::Arc;
 use std::time::Duration;
@@ -73,20 +73,27 @@ fn main() {
     // --- 2. Wall-clock scaling from the simulator ---------------------------
     let dataset = scaled(DatasetSpec::imagenet_1k());
     let model = ModelKind::ResNet50;
-    let server =
-        ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.5);
-    let dali = simulate_distributed(
-        &server,
-        &JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model)),
-        2,
-        3,
-    );
-    let coordl = simulate_distributed(
-        &server,
-        &JobSpec::new(model, dataset, 8, LoaderConfig::coordl_best(model)),
-        2,
-        3,
-    );
+    let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.5);
+    let dali = Experiment::on(&server)
+        .job(JobSpec::new(
+            model,
+            dataset.clone(),
+            8,
+            LoaderConfig::dali_best(model),
+        ))
+        .scenario(Scenario::Distributed { servers: 2 })
+        .epochs(3)
+        .run();
+    let coordl = Experiment::on(&server)
+        .job(JobSpec::new(
+            model,
+            dataset,
+            8,
+            LoaderConfig::coordl_best(model),
+        ))
+        .scenario(Scenario::Distributed { servers: 2 })
+        .epochs(3)
+        .run();
     let dali_epoch = dali.steady_epoch_seconds();
     let coordl_epoch = coordl.steady_epoch_seconds();
 
@@ -96,7 +103,10 @@ fn main() {
     )
     .with_caption("trajectory from the functional mini-DNN; seconds/epoch from ResNet50 on 2x Config-HDD-1080Ti");
     for (b, c) in baseline.iter().zip(&coordinated[0]) {
-        assert!((b.accuracy - c.accuracy).abs() < 1e-9, "trajectories must match");
+        assert!(
+            (b.accuracy - c.accuracy).abs() < 1e-9,
+            "trajectories must match"
+        );
         table.row(&[
             format!("{}", b.epoch + 1),
             format!("{:.1}%", b.accuracy * 100.0),

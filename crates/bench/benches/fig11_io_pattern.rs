@@ -8,12 +8,12 @@
 use benchkit::{scaled, server_ssd, single_run, Table};
 use dataset::DatasetSpec;
 use gpu::ModelKind;
-use pipeline::{LoaderConfig, RunResult};
+use pipeline::{LoaderConfig, SimReport};
 use prep::PrepBackend;
 
 /// Average disk-read rate (MB/s) in `buckets` equal slices of the epoch.
-fn io_profile(run: &RunResult, epoch: usize, buckets: usize) -> Vec<f64> {
-    let metrics = &run.epochs[epoch];
+fn io_profile(run: &SimReport, epoch: usize, buckets: usize) -> Vec<f64> {
+    let metrics = &run.single().epochs[epoch];
     let horizon = metrics.epoch_seconds();
     let mut out = vec![0.0f64; buckets];
     for &(t, bytes) in &metrics.io_timeline {
@@ -29,8 +29,20 @@ fn main() {
     let dataset = scaled(DatasetSpec::openimages_extended());
     let server = server_ssd(&dataset, 0.65);
 
-    let dali = single_run(&server, model, &dataset, LoaderConfig::dali_shuffle(PrepBackend::DaliGpu), 8);
-    let coordl = single_run(&server, model, &dataset, LoaderConfig::coordl(PrepBackend::DaliGpu), 8);
+    let dali = single_run(
+        &server,
+        model,
+        &dataset,
+        LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
+        8,
+    );
+    let coordl = single_run(
+        &server,
+        model,
+        &dataset,
+        LoaderConfig::coordl(PrepBackend::DaliGpu),
+        8,
+    );
 
     const BUCKETS: usize = 10;
     let mut table = Table::new(
@@ -42,7 +54,11 @@ fn main() {
     let c = io_profile(&coordl, 1, BUCKETS);
     for i in 0..BUCKETS {
         table.row(&[
-            format!("{:.0}-{:.0}%", i as f64 * 100.0 / BUCKETS as f64, (i + 1) as f64 * 100.0 / BUCKETS as f64),
+            format!(
+                "{:.0}-{:.0}%",
+                i as f64 * 100.0 / BUCKETS as f64,
+                (i + 1) as f64 * 100.0 / BUCKETS as f64
+            ),
             format!("{:.0}", d[i]),
             format!("{:.0}", c[i]),
         ]);
@@ -51,10 +67,10 @@ fn main() {
 
     println!(
         "\nepoch time: DALI {:.1}s vs CoorDL {:.1}s; total disk I/O per epoch: DALI {:.1} GiB vs CoorDL {:.1} GiB",
-        dali.epochs[1].epoch_seconds(),
-        coordl.epochs[1].epoch_seconds(),
-        dali.epochs[1].bytes_from_disk as f64 / (1u64 << 30) as f64,
-        coordl.epochs[1].bytes_from_disk as f64 / (1u64 << 30) as f64,
+        dali.single().epochs[1].epoch_seconds(),
+        coordl.single().epochs[1].epoch_seconds(),
+        dali.single().epochs[1].bytes_from_disk as f64 / (1u64 << 30) as f64,
+        coordl.single().epochs[1].bytes_from_disk as f64 / (1u64 << 30) as f64,
     );
     println!("paper: DALI saturates the disk for most of the epoch; CoorDL's I/O is uniform, lower, and the epoch ends earlier.");
 }

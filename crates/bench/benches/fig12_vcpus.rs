@@ -14,11 +14,17 @@ use prep::{PrepBackend, PrepCostModel, PrepPipeline};
 fn main() {
     let model = ModelKind::ResNet18;
     let dataset = scaled(DatasetSpec::imagenet_1k());
-    let cost = PrepCostModel::for_pipeline(&PrepPipeline::image_classification(), PrepBackend::DaliCpu);
+    let cost =
+        PrepCostModel::for_pipeline(&PrepPipeline::image_classification(), PrepBackend::DaliCpu);
 
     let mut table = Table::new(
         "Figure 12: ResNet18 epoch time vs vCPUs per GPU (fully cached)",
-        &["vCPUs/GPU", "effective cores/GPU", "epoch s", "prep stall %"],
+        &[
+            "vCPUs/GPU",
+            "effective cores/GPU",
+            "epoch s",
+            "prep stall %",
+        ],
     )
     .with_caption("8 V100s, 32 physical cores (64 vCPUs); hyper-threads count ~30% of a core");
 

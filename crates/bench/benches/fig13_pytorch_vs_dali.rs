@@ -29,7 +29,11 @@ fn main() {
         let pytorch = time(LoaderConfig::pytorch_dl());
         let dali_cpu = time(LoaderConfig::dali_shuffle(PrepBackend::DaliCpu));
         let dali_gpu = time(LoaderConfig::dali_shuffle(PrepBackend::DaliGpu));
-        let best = if dali_cpu <= dali_gpu { "DALI-CPU" } else { "DALI-GPU" };
+        let best = if dali_cpu <= dali_gpu {
+            "DALI-CPU"
+        } else {
+            "DALI-GPU"
+        };
         table.row(&[
             model.name().to_string(),
             format!("{pytorch:.1}"),

@@ -8,7 +8,7 @@
 use benchkit::{fmt_pct, scaled, server_ssd, steady, Table};
 use dataset::DatasetSpec;
 use gpu::ModelKind;
-use pipeline::{simulate_single_server, JobSpec, LoaderConfig};
+use pipeline::{Experiment, JobSpec, LoaderConfig};
 
 fn main() {
     let model = ModelKind::MobileNetV2;
@@ -24,7 +24,7 @@ fn main() {
     for batch in [128usize, 256, 512, 1024] {
         let job = JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model))
             .with_batch(batch);
-        let epoch = steady(&simulate_single_server(&server, &job, 3));
+        let epoch = steady(&Experiment::on(&server).job(job).epochs(3).run());
         table.row(&[
             format!("{batch}"),
             format!("{:.1}", epoch.breakdown.compute_time.as_secs()),

@@ -8,7 +8,7 @@ use benchkit::Table;
 use dataset::DatasetSpec;
 use dsanalyzer::{Bottleneck, ProfiledRates, WhatIfAnalysis};
 use gpu::ModelKind;
-use pipeline::{simulate_single_server, JobSpec, LoaderConfig, ServerConfig};
+use pipeline::{Experiment, JobSpec, LoaderConfig, ServerConfig};
 
 fn main() {
     let model = ModelKind::AlexNet;
@@ -21,7 +21,12 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 16: predicted vs empirical training speed across cache sizes",
-        &["cache %", "predicted samples/s", "empirical samples/s", "bottleneck"],
+        &[
+            "cache %",
+            "predicted samples/s",
+            "empirical samples/s",
+            "bottleneck",
+        ],
     )
     .with_caption("AlexNet on Config-SSD-V100, ImageNet-1k, MinIO-style cache");
 
@@ -33,9 +38,13 @@ fn main() {
             // the prediction's floor instead.
             whatif.rates().storage_rate
         } else {
-            let server = ServerConfig::config_ssd_v100()
-                .with_cache_fraction(dataset.total_bytes(), frac);
-            simulate_single_server(&server, &job, 3).steady_samples_per_sec()
+            let server =
+                ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), frac);
+            Experiment::on(&server)
+                .job(job.clone())
+                .epochs(3)
+                .run()
+                .steady_samples_per_sec()
         };
         let bottleneck = match whatif.bottleneck(frac) {
             Bottleneck::Io => "I/O",

@@ -19,7 +19,12 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 17: 8-job HP search on ImageNet-22k, per-job speedup over DALI",
-        &["model", "DALI samples/s/job", "CoorDL samples/s/job", "speedup"],
+        &[
+            "model",
+            "DALI samples/s/job",
+            "CoorDL samples/s/job",
+            "speedup",
+        ],
     )
     .with_caption("Config-SSD-V100, 35% of the dataset cacheable, 8 concurrent 1-GPU jobs");
 

@@ -9,13 +9,12 @@
 use benchkit::{fmt_speedup, scaled, Table};
 use dataset::DatasetSpec;
 use gpu::ModelKind;
-use pipeline::{simulate_distributed, JobSpec, LoaderConfig, ServerConfig};
+use pipeline::{Experiment, JobSpec, LoaderConfig, Scenario, ServerConfig};
 
 fn main() {
     let model = ModelKind::ResNet50;
     let dataset = scaled(DatasetSpec::openimages_extended());
-    let server =
-        ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.65);
+    let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.65);
     // Keep several iterations per epoch on the scaled dataset even with 4
     // servers' worth of GPUs.
     let batch = 128;
@@ -34,18 +33,22 @@ fn main() {
     .with_caption("65% of the dataset cacheable per server; per-epoch disk I/O per server");
 
     for servers in 1..=4usize {
-        let dali = simulate_distributed(
-            &server,
-            &JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model)).with_batch(batch),
-            servers,
-            3,
-        );
-        let coordl = simulate_distributed(
-            &server,
-            &JobSpec::new(model, dataset.clone(), 8, LoaderConfig::coordl_best(model)).with_batch(batch),
-            servers,
-            3,
-        );
+        let dali = Experiment::on(&server)
+            .job(
+                JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model))
+                    .with_batch(batch),
+            )
+            .scenario(Scenario::Distributed { servers })
+            .epochs(3)
+            .run();
+        let coordl = Experiment::on(&server)
+            .job(
+                JobSpec::new(model, dataset.clone(), 8, LoaderConfig::coordl_best(model))
+                    .with_batch(batch),
+            )
+            .scenario(Scenario::Distributed { servers })
+            .epochs(3)
+            .run();
         let gib = |bytes: &[u64]| {
             bytes.iter().sum::<u64>() as f64 / bytes.len() as f64 / (1u64 << 30) as f64
         };

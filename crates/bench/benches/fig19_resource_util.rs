@@ -6,7 +6,7 @@ use benchkit::{fmt_bytes, fmt_pct, scaled, server_ssd, single_run, steady, Table
 use coordl::{CoordinatedConfig, CoordinatedJobGroup};
 use dataset::{DataSource, DatasetSpec, SyntheticItemStore};
 use gpu::ModelKind;
-use pipeline::{simulate_distributed, JobSpec, LoaderConfig, ServerConfig};
+use pipeline::{Experiment, JobSpec, LoaderConfig, Scenario, ServerConfig};
 use prep::{ExecutablePipeline, PrepBackend, PrepCostModel, PrepPipeline};
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,17 +21,26 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 19: CPU utilization during ResNet18 training (OpenImages, SSD-V100)",
-        &["loader", "epoch s", "prep work s", "CPU busy %", "fetch stall %"],
+        &[
+            "loader",
+            "epoch s",
+            "prep work s",
+            "CPU busy %",
+            "fetch stall %",
+        ],
     )
     .with_caption("CPU busy = pre-processing work divided by epoch time x cores");
     for (label, loader) in [
-        ("DALI-shuffle", LoaderConfig::dali_shuffle(PrepBackend::DaliGpu)),
+        (
+            "DALI-shuffle",
+            LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
+        ),
         ("CoorDL", LoaderConfig::coordl(PrepBackend::DaliGpu)),
     ] {
         let epoch = steady(&single_run(&server, model, &dataset, loader, 8));
         let raw_bytes = epoch.bytes_from_cache + epoch.bytes_from_disk + epoch.bytes_from_remote;
-        let prep_work = cost.prep_seconds(raw_bytes, server.cpu_cores as f64, 8.0)
-            * server.cpu_cores as f64;
+        let prep_work =
+            cost.prep_seconds(raw_bytes, server.cpu_cores as f64, 8.0) * server.cpu_cores as f64;
         let busy = (prep_work / (epoch.epoch_seconds() * server.cpu_cores as f64)).min(1.0);
         table.row(&[
             label.to_string(),
@@ -46,12 +55,16 @@ fn main() {
     // --- Network utilization (§5.5) -----------------------------------------
     let dist_server =
         ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.65);
-    let coordl = simulate_distributed(
-        &dist_server,
-        &JobSpec::new(ModelKind::ResNet50, dataset.clone(), 8, LoaderConfig::coordl_best(ModelKind::ResNet50)),
-        2,
-        3,
-    );
+    let coordl = Experiment::on(&dist_server)
+        .job(JobSpec::new(
+            ModelKind::ResNet50,
+            dataset.clone(),
+            8,
+            LoaderConfig::coordl_best(ModelKind::ResNet50),
+        ))
+        .scenario(Scenario::Distributed { servers: 2 })
+        .epochs(3)
+        .run();
     println!(
         "\nnetwork: CoorDL uses {:.1} Gbps of the 40 Gbps link per server during 2-server ResNet50 training (paper: 5.7 Gbps, 14%).",
         coordl.avg_network_gbps(2)
@@ -77,7 +90,7 @@ fn main() {
     let handles: Vec<_> = (0..8)
         .map(|job| {
             let consumer = session.consumer(job);
-            std::thread::spawn(move || consumer.map(|b| b.expect("batch")).count())
+            std::thread::spawn(move || consumer.inspect(|b| assert!(b.is_ok(), "batch")).count())
         })
         .collect();
     for h in handles {

@@ -10,7 +10,7 @@ use benchkit::{fmt_speedup, scaled, steady, Table};
 use dataset::DatasetSpec;
 use dcache::PolicyKind;
 use gpu::ModelKind;
-use pipeline::{simulate_single_server, FetchOrder, JobSpec, LoaderConfig, LoaderKind, ServerConfig};
+use pipeline::{Experiment, FetchOrder, JobSpec, LoaderConfig, LoaderKind, ServerConfig};
 use prep::PrepBackend;
 
 /// The native PyTorch DataLoader with its page-cache reliance replaced by a
@@ -42,7 +42,7 @@ fn main() {
             let server = base_server.with_cache_fraction(dataset.total_bytes(), frac);
             let run = |loader: LoaderConfig| {
                 let job = JobSpec::new(model, dataset.clone(), 8, loader);
-                simulate_single_server(&server, &job, 3)
+                Experiment::on(&server).job(job).epochs(3).run()
             };
             let pytorch = run(LoaderConfig::pytorch_dl());
             let pycoordl = run(py_coordl_minio());
@@ -55,7 +55,9 @@ fn main() {
         }
         table.print();
     }
-    println!("\npaper: 2.1-3.3x on HDDs; ~1.07x on SSDs because the native loader is prep-bound there.");
+    println!(
+        "\npaper: 2.1-3.3x on HDDs; ~1.07x on SSDs because the native loader is prep-bound there."
+    );
     // Silence the unused-variant lint for FetchOrder / PrepBackend which are
     // part of this bench's conceptual surface even though the presets set them.
     let _ = (FetchOrder::Shuffled, PrepBackend::PytorchCpu);

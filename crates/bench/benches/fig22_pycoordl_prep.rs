@@ -5,10 +5,10 @@
 //! As concurrency grows each job gets fewer CPU workers and the prep stall
 //! explodes; a single shared prep sweep restores almost all of it.
 
-use benchkit::{fmt_speedup, hp_jobs, scaled, Table};
+use benchkit::{fmt_speedup, hp_jobs, hp_run, scaled, Table};
 use dataset::DatasetSpec;
 use gpu::ModelKind;
-use pipeline::{simulate_hp_search, LoaderConfig, ServerConfig};
+use pipeline::{LoaderConfig, ServerConfig};
 
 /// The native loader with coordinated prep bolted on (appendix E's
 /// Py-CoorDL without MinIO — the dataset is fully cached here anyway).
@@ -26,20 +26,31 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 22: coordinated prep in the native PyTorch loader (fully cached)",
-        &["concurrent jobs", "PyTorch-DL samples/s/job", "Py-CoorDL samples/s/job", "speedup"],
+        &[
+            "concurrent jobs",
+            "PyTorch-DL samples/s/job",
+            "Py-CoorDL samples/s/job",
+            "speedup",
+        ],
     )
     .with_caption("ResNet18 on ImageNet-1k in memory; 24 CPU workers shared across jobs");
 
     for num_jobs in [4usize, 8] {
         let gpus_per_job = 8 / num_jobs;
-        let pytorch = simulate_hp_search(
+        let pytorch = hp_run(
             &server.with_cache_fraction(dataset.total_bytes(), 1.1),
-            &hp_jobs(model, &dataset, LoaderConfig::pytorch_dl(), num_jobs, gpus_per_job),
+            hp_jobs(
+                model,
+                &dataset,
+                LoaderConfig::pytorch_dl(),
+                num_jobs,
+                gpus_per_job,
+            ),
             3,
         );
-        let pycoordl = simulate_hp_search(
+        let pycoordl = hp_run(
             &server.with_cache_fraction(dataset.total_bytes(), 1.1),
-            &hp_jobs(model, &dataset, py_coordl_prep(), num_jobs, gpus_per_job),
+            hp_jobs(model, &dataset, py_coordl_prep(), num_jobs, gpus_per_job),
             3,
         );
         table.row(&[
@@ -50,5 +61,7 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\npaper: prep stalls grow with job count; shared prep removes them (1.8x at 8 jobs).");
+    println!(
+        "\npaper: prep stalls grow with job count; shared prep removes them (1.8x at 8 jobs)."
+    );
 }

@@ -6,11 +6,11 @@
 //! MinIO reaches ~5.5×; on SSDs the loader is prep-bound, so coordinated prep
 //! captures almost all of the win and MinIO adds little.
 
-use benchkit::{fmt_speedup, hp_jobs, scaled, Table};
+use benchkit::{fmt_speedup, hp_jobs, hp_run, scaled, Table};
 use dataset::DatasetSpec;
 use dcache::PolicyKind;
 use gpu::ModelKind;
-use pipeline::{simulate_hp_search, HpSearchResult, LoaderConfig, ServerConfig};
+use pipeline::{LoaderConfig, ServerConfig, SimReport};
 
 fn coordinated_prep_only() -> LoaderConfig {
     LoaderConfig {
@@ -37,14 +37,14 @@ fn main() {
         (ServerConfig::config_ssd_v100(), "SSD"),
     ] {
         let server = base.with_cache_fraction(dataset.total_bytes(), cache_fraction);
-        let search = |loader: LoaderConfig| -> HpSearchResult {
-            simulate_hp_search(&server, &hp_jobs(model, &dataset, loader, 8, 1), 3)
+        let search = |loader: LoaderConfig| -> SimReport {
+            hp_run(&server, hp_jobs(model, &dataset, loader, 8, 1), 3)
         };
         let baseline = search(LoaderConfig::pytorch_dl());
         let coord = search(coordinated_prep_only());
         let full = search(full_py_coordl());
 
-        let search_time = |r: &HpSearchResult| r.steady_epoch_seconds();
+        let search_time = |r: &SimReport| r.steady_epoch_seconds();
         let mut table = Table::new(
             format!("Figure 23 ({label}): end-to-end HP search time, 8 trials in parallel"),
             &["configuration", "search time s", "speedup", "disk GB/epoch"],

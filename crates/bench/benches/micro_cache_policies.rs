@@ -18,7 +18,12 @@ fn bench_policies(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("cache_policy_access");
     group.throughput(Throughput::Elements(epoch.len() as u64));
-    for policy in [PolicyKind::MinIo, PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::Clock] {
+    for policy in [
+        PolicyKind::MinIo,
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Clock,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{policy:?}")),
             &policy,

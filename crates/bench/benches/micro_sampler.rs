@@ -44,11 +44,18 @@ fn bench_distributed_shard(c: &mut Criterion) {
         let mut epoch = 0u64;
         b.iter(|| {
             epoch += 1;
-            (0..4).map(|s| sampler.distributed_shard(epoch, s, 4).len()).sum::<usize>()
+            (0..4)
+                .map(|s| sampler.distributed_shard(epoch, s, 4).len())
+                .sum::<usize>()
         });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_permutation, bench_minibatch_assembly, bench_distributed_shard);
+criterion_group!(
+    benches,
+    bench_permutation,
+    bench_minibatch_assembly,
+    bench_distributed_shard
+);
 criterion_main!(benches);

@@ -72,15 +72,25 @@ fn bench_coordinated_epoch(c: &mut Criterion) {
                 let handles: Vec<_> = (0..jobs)
                     .map(|job| {
                         let consumer = session.consumer(job);
-                        std::thread::spawn(move || consumer.map(|b| b.expect("batch").len()).sum::<usize>())
+                        std::thread::spawn(move || {
+                            consumer.map(|b| b.expect("batch").len()).sum::<usize>()
+                        })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum::<usize>()
             });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_byte_cache, bench_executable_prep, bench_coordinated_epoch);
+criterion_group!(
+    benches,
+    bench_byte_cache,
+    bench_executable_prep,
+    bench_coordinated_epoch
+);
 criterion_main!(benches);

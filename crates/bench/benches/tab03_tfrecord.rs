@@ -5,10 +5,10 @@
 //! cache's LRU policy, so an 8-GPU training job sees higher-than-ideal cache
 //! misses, and 8 uncoordinated HP-search jobs amplify disk reads ~6–7×.
 
-use benchkit::{fmt_gb, fmt_pct, hp_jobs, scaled, server_ssd, single_run, steady, Table};
+use benchkit::{fmt_gb, fmt_pct, hp_jobs, hp_run, scaled, server_ssd, single_run, steady, Table};
 use dataset::DatasetSpec;
 use gpu::ModelKind;
-use pipeline::{simulate_hp_search, LoaderConfig};
+use pipeline::LoaderConfig;
 
 fn main() {
     let model = ModelKind::ResNet18;
@@ -31,7 +31,7 @@ fn main() {
         let server = server_ssd(&dataset, frac);
 
         let training = steady(&single_run(&server, model, &dataset, loader.clone(), 8));
-        let hp = simulate_hp_search(&server, &hp_jobs(model, &dataset, loader.clone(), 8, 1), 3);
+        let hp = hp_run(&server, hp_jobs(model, &dataset, loader.clone(), 8, 1), 3);
 
         // TFRecord fetches whole ~150 MB chunks, so the meaningful miss rate
         // is the fraction of the dataset that had to come off storage during

@@ -9,7 +9,7 @@ use benchkit::Table;
 use dataset::DatasetSpec;
 use dsanalyzer::{ProfiledRates, WhatIfAnalysis};
 use gpu::ModelKind;
-use pipeline::{simulate_single_server, JobSpec, LoaderConfig, ServerConfig};
+use pipeline::{Experiment, JobSpec, LoaderConfig, ServerConfig};
 
 fn main() {
     let model = ModelKind::AlexNet;
@@ -32,7 +32,11 @@ fn main() {
         let predicted = whatif.predicted_speed(frac);
         let server =
             ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), frac);
-        let empirical = simulate_single_server(&server, &job, 3).steady_samples_per_sec();
+        let empirical = Experiment::on(&server)
+            .job(job.clone())
+            .epochs(3)
+            .run()
+            .steady_samples_per_sec();
         let err = (predicted - empirical).abs() / empirical;
         max_err = max_err.max(err);
         table.row(&[
@@ -43,5 +47,8 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\nmax prediction error: {:.1}% (paper: at most 4%)", max_err * 100.0);
+    println!(
+        "\nmax prediction error: {:.1}% (paper: at most 4%)",
+        max_err * 100.0
+    );
 }

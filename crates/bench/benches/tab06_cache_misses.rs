@@ -21,7 +21,13 @@ fn main() {
 
     let mut table = Table::new(
         "Table 6: impact on fetch misses and disk I/O (65% cache)",
-        &["loader", "cache miss %", "disk I/O per epoch", "paper miss %", "paper I/O"],
+        &[
+            "loader",
+            "cache miss %",
+            "disk I/O per epoch",
+            "paper miss %",
+            "paper I/O",
+        ],
     )
     .with_caption("ShuffleNetv2 on OpenImages(-Extended), Config-SSD-V100");
 

@@ -25,7 +25,13 @@ fn main() {
 
     let mut table = Table::new(
         "Table 7: 8-job HP search with a fully cached dataset",
-        &["model", "DALI samples/s/job", "CoorDL samples/s/job", "speedup", "paper"],
+        &[
+            "model",
+            "DALI samples/s/job",
+            "CoorDL samples/s/job",
+            "speedup",
+            "paper",
+        ],
     )
     .with_caption("ImageNet-1k fully in memory, Config-SSD-V100, 8 concurrent 1-GPU jobs");
 

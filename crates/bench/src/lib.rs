@@ -20,5 +20,6 @@ pub mod scenarios;
 pub use presets::{scaled, server_hdd, server_ssd, SCALE};
 pub use report::{fmt_bytes, fmt_gb, fmt_pct, fmt_speedup, Table};
 pub use scenarios::{
-    distributed_pair, hp_jobs, hp_pair, single_pair, single_run, steady, SinglePair,
+    distributed_pair, distributed_run, hp_jobs, hp_pair, hp_run, single_pair, single_run, steady,
+    SinglePair,
 };

@@ -159,7 +159,10 @@ mod tests {
         t.row(&["short".into(), "1".into()]);
         t.row(&["a-much-longer-cell".into(), "2".into()]);
         let s = t.render();
-        let lines: Vec<&str> = s.lines().filter(|l| l.contains('2') || l.contains('1')).collect();
+        let lines: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains('2') || l.contains('1'))
+            .collect();
         // Numeric second column is right-aligned to the same terminal column.
         let col1 = lines[0].rfind('1').unwrap();
         let col2 = lines[1].rfind('2').unwrap();

@@ -2,15 +2,15 @@
 //!
 //! The paper's evaluation always compares CoorDL against DALI-shuffle (its
 //! strongest baseline, §5.1) on the same model, dataset, cache size and
-//! hardware; these helpers run both sides of that comparison so the bench
-//! binaries only describe the sweep axes.
+//! hardware; these helpers run both sides of that comparison through the
+//! unified [`Experiment`] API so the bench binaries only describe the sweep
+//! axes.
 
 use crate::presets::EPOCHS;
 use dataset::DatasetSpec;
 use gpu::ModelKind;
 use pipeline::{
-    simulate_distributed, simulate_hp_search, simulate_single_server, DistributedResult,
-    EpochMetrics, HpSearchResult, JobSpec, LoaderConfig, RunResult, ServerConfig,
+    EpochMetrics, Experiment, JobSpec, LoaderConfig, Scenario, ServerConfig, SimReport,
 };
 
 /// Run one single-server job for [`EPOCHS`] epochs.
@@ -20,23 +20,26 @@ pub fn single_run(
     dataset: &DatasetSpec,
     loader: LoaderConfig,
     num_gpus: usize,
-) -> RunResult {
-    let job = JobSpec::new(model, dataset.clone(), num_gpus, loader);
-    simulate_single_server(server, &job, EPOCHS)
+) -> SimReport {
+    Experiment::on(server)
+        .job(JobSpec::new(model, dataset.clone(), num_gpus, loader))
+        .scenario(Scenario::SingleServer)
+        .epochs(EPOCHS)
+        .run()
 }
 
-/// Steady-state (post-warm-up) metrics of a run.
-pub fn steady(run: &RunResult) -> EpochMetrics {
-    run.steady_state()
+/// Steady-state (post-warm-up) metrics of a single-server run.
+pub fn steady(report: &SimReport) -> EpochMetrics {
+    report.steady_state()
 }
 
 /// The two sides of a single-server comparison.
 #[derive(Debug, Clone)]
 pub struct SinglePair {
     /// Baseline: DALI-shuffle with the best prep backend for the model.
-    pub dali: RunResult,
+    pub dali: SimReport,
     /// CoorDL with the same prep backend.
-    pub coordl: RunResult,
+    pub coordl: SimReport,
 }
 
 impl SinglePair {
@@ -57,8 +60,20 @@ pub fn single_pair(
     let server = server.with_cache_fraction(dataset.total_bytes(), cache_fraction);
     let gpus = server.num_gpus;
     SinglePair {
-        dali: single_run(&server, model, dataset, LoaderConfig::dali_best(model), gpus),
-        coordl: single_run(&server, model, dataset, LoaderConfig::coordl_best(model), gpus),
+        dali: single_run(
+            &server,
+            model,
+            dataset,
+            LoaderConfig::dali_best(model),
+            gpus,
+        ),
+        coordl: single_run(
+            &server,
+            model,
+            dataset,
+            LoaderConfig::coordl_best(model),
+            gpus,
+        ),
     }
 }
 
@@ -79,6 +94,16 @@ pub fn hp_jobs(
         .collect()
 }
 
+/// Run one HP-search ensemble for [`EPOCHS`] epochs.
+pub fn hp_run(server: &ServerConfig, jobs: Vec<JobSpec>, epochs: u64) -> SimReport {
+    let n = jobs.len();
+    Experiment::on(server)
+        .jobs(jobs)
+        .scenario(Scenario::HpSearch { jobs: n })
+        .epochs(epochs)
+        .run()
+}
+
 /// Run the paper's standard HP-search comparison: `num_jobs` single-GPU jobs
 /// with DALI vs with CoorDL's coordinated prep.
 pub fn hp_pair(
@@ -87,20 +112,48 @@ pub fn hp_pair(
     dataset: &DatasetSpec,
     cache_fraction: f64,
     num_jobs: usize,
-) -> (HpSearchResult, HpSearchResult) {
+) -> (SimReport, SimReport) {
     let server = server.with_cache_fraction(dataset.total_bytes(), cache_fraction);
     let gpus_per_job = server.num_gpus / num_jobs.max(1);
-    let dali = simulate_hp_search(
+    let dali = hp_run(
         &server,
-        &hp_jobs(model, dataset, LoaderConfig::dali_best(model), num_jobs, gpus_per_job.max(1)),
+        hp_jobs(
+            model,
+            dataset,
+            LoaderConfig::dali_best(model),
+            num_jobs,
+            gpus_per_job.max(1),
+        ),
         EPOCHS,
     );
-    let coordl = simulate_hp_search(
+    let coordl = hp_run(
         &server,
-        &hp_jobs(model, dataset, LoaderConfig::coordl_best(model), num_jobs, gpus_per_job.max(1)),
+        hp_jobs(
+            model,
+            dataset,
+            LoaderConfig::coordl_best(model),
+            num_jobs,
+            gpus_per_job.max(1),
+        ),
         EPOCHS,
     );
     (dali, coordl)
+}
+
+/// Run one distributed job for `epochs` epochs.
+pub fn distributed_run(
+    server: &ServerConfig,
+    job: JobSpec,
+    num_servers: usize,
+    epochs: u64,
+) -> SimReport {
+    Experiment::on(server)
+        .job(job)
+        .scenario(Scenario::Distributed {
+            servers: num_servers,
+        })
+        .epochs(epochs)
+        .run()
 }
 
 /// Run the paper's standard distributed comparison: one data-parallel job
@@ -111,18 +164,23 @@ pub fn distributed_pair(
     dataset: &DatasetSpec,
     cache_fraction: f64,
     num_servers: usize,
-) -> (DistributedResult, DistributedResult) {
+) -> (SimReport, SimReport) {
     let server = server.with_cache_fraction(dataset.total_bytes(), cache_fraction);
     let gpus = server.num_gpus;
-    let dali = simulate_distributed(
+    let dali = distributed_run(
         &server,
-        &JobSpec::new(model, dataset.clone(), gpus, LoaderConfig::dali_best(model)),
+        JobSpec::new(model, dataset.clone(), gpus, LoaderConfig::dali_best(model)),
         num_servers,
         EPOCHS,
     );
-    let coordl = simulate_distributed(
+    let coordl = distributed_run(
         &server,
-        &JobSpec::new(model, dataset.clone(), gpus, LoaderConfig::coordl_best(model)),
+        JobSpec::new(
+            model,
+            dataset.clone(),
+            gpus,
+            LoaderConfig::coordl_best(model),
+        ),
         num_servers,
         EPOCHS,
     );

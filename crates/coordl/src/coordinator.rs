@@ -153,7 +153,9 @@ impl CoordinatedJobGroup {
         let state = Arc::new(ProducerState {
             handles: Mutex::new(Vec::new()),
             watermarks: (0..num_jobs).map(|_| AtomicUsize::new(0)).collect(),
-            kill_flags: (0..num_jobs).map(|_| Arc::new(AtomicBool::new(false))).collect(),
+            kill_flags: (0..num_jobs)
+                .map(|_| Arc::new(AtomicBool::new(false)))
+                .collect(),
             recovered: (0..num_jobs).map(|_| AtomicBool::new(false)).collect(),
         });
 
@@ -188,12 +190,16 @@ struct GroupShared {
     stats: Arc<LoaderStats>,
 }
 
+/// The per-shard minibatch plan for one epoch: for each shard, the ordered
+/// `(batch_index, items)` pairs its producer prepares.
+type ShardPlan = Arc<Vec<Vec<(usize, Vec<ItemId>)>>>;
+
 /// One epoch of coordinated prep: producers running in the background plus
 /// per-job consumers.
 pub struct EpochSession {
     epoch: u64,
     total: usize,
-    shards: Arc<Vec<Vec<(usize, Vec<ItemId>)>>>,
+    shards: ShardPlan,
     staging: Arc<StagingArea>,
     state: Arc<ProducerState>,
     group: GroupShared,
@@ -264,7 +270,7 @@ fn spawn_producer_thread(
     epoch: u64,
     shard: usize,
     from: usize,
-    shards: Arc<Vec<Vec<(usize, Vec<ItemId>)>>>,
+    shards: ShardPlan,
     group: GroupShared,
     staging: Arc<StagingArea>,
     state: Arc<ProducerState>,
@@ -272,17 +278,18 @@ fn spawn_producer_thread(
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let my_batches = &shards[shard];
-        for pos in from..my_batches.len() {
+        for (pos, (index, items)) in my_batches.iter().enumerate().skip(from) {
             if let Some(k) = &kill {
                 if k.load(Ordering::SeqCst) {
                     return; // the "job was killed" case
                 }
             }
-            let (index, items) = &my_batches[pos];
             let samples = items
                 .iter()
                 .map(|&item| {
-                    let raw = group.cache.fetch(item, group.dataset.as_ref(), &group.stats);
+                    let raw = group
+                        .cache
+                        .fetch(item, group.dataset.as_ref(), &group.stats);
                     group.stats.record_prepared(1);
                     group.pipeline.prepare(epoch, item, &raw)
                 })
@@ -311,7 +318,7 @@ pub struct JobEpochIterator {
     total: usize,
     staging: Arc<StagingArea>,
     state: Arc<ProducerState>,
-    shards: Arc<Vec<Vec<(usize, Vec<ItemId>)>>>,
+    shards: ShardPlan,
     group: GroupShared,
     epoch: u64,
     take_timeout: Duration,

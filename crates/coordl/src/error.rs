@@ -24,7 +24,10 @@ impl fmt::Display for CoordlError {
         match self {
             CoordlError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoordlError::ProducerFailed { job, batch } => {
-                write!(f, "producer job {job} failed before producing batch {batch}")
+                write!(
+                    f,
+                    "producer job {job} failed before producing batch {batch}"
+                )
             }
             CoordlError::Shutdown => write!(f, "staging area shut down"),
         }
@@ -39,7 +42,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CoordlError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(CoordlError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
         let e = CoordlError::ProducerFailed { job: 3, batch: 7 };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains('7'));

@@ -36,6 +36,6 @@ pub use coordinator::{CoordinatedConfig, CoordinatedJobGroup, JobEpochIterator};
 pub use error::CoordlError;
 pub use loader::{DataLoader, DataLoaderConfig, EpochIterator};
 pub use minibatch::Minibatch;
-pub use partition::{FetchOrigin, PartitionedCacheCluster, PartitionStats};
+pub use partition::{FetchOrigin, PartitionStats, PartitionedCacheCluster};
 pub use staging::{StagingArea, StagingStats, TakeError};
 pub use stats::LoaderStats;

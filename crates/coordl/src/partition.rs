@@ -216,7 +216,8 @@ mod tests {
     fn remote_fetches_return_identical_bytes_to_storage_reads() {
         let n = 50;
         let ds = dataset(n, 64);
-        let cluster = PartitionedCacheCluster::new(Arc::clone(&ds) as Arc<dyn DataSource>, 2, 64 * 50);
+        let cluster =
+            PartitionedCacheCluster::new(Arc::clone(&ds) as Arc<dyn DataSource>, 2, 64 * 50);
         run_epoch(&cluster, n, 0, 2);
         for item in 0..n {
             let (a, _) = cluster.fetch(0, item);

@@ -140,7 +140,12 @@ impl StagingArea {
     /// Each `(job, index)` pair receives the batch exactly once; asking again
     /// after the batch was evicted times out (that is a caller bug — batches
     /// are never reused across epochs).
-    pub fn take(&self, job: usize, index: usize, timeout: Duration) -> Result<Arc<Minibatch>, TakeError> {
+    pub fn take(
+        &self,
+        job: usize,
+        index: usize,
+        timeout: Duration,
+    ) -> Result<Arc<Minibatch>, TakeError> {
         assert!(job < self.num_consumers, "job {job} out of range");
         let mut inner = self.inner.lock();
         loop {
@@ -284,8 +289,14 @@ mod tests {
         let blocked_consumer = std::thread::spawn(move || a3.take(0, 99, Duration::from_secs(10)));
         std::thread::sleep(Duration::from_millis(50));
         area.shutdown();
-        assert!(!blocked_producer.join().unwrap(), "publish reports shutdown");
-        assert_eq!(blocked_consumer.join().unwrap().unwrap_err(), TakeError::Shutdown);
+        assert!(
+            !blocked_producer.join().unwrap(),
+            "publish reports shutdown"
+        );
+        assert_eq!(
+            blocked_consumer.join().unwrap().unwrap_err(),
+            TakeError::Shutdown
+        );
         assert!(area.is_shutdown());
     }
 

@@ -153,7 +153,9 @@ mod tests {
     #[test]
     fn every_item_maps_to_a_valid_unit() {
         let s = spec();
-        let f = StorageFormat::ChunkedRecords { chunk_bytes: 333 * 1024 };
+        let f = StorageFormat::ChunkedRecords {
+            chunk_bytes: 333 * 1024,
+        };
         let n_units = f.num_units(&s);
         for item in 0..s.num_items {
             let u = f.unit_of(item, &s);

@@ -172,7 +172,10 @@ mod tests {
         assert!((DatasetSpec::openimages().total_gib() - 561.0).abs() < 2.0);
         assert!((DatasetSpec::fma().total_gib() - 950.0).abs() < 2.0);
         let in22k = DatasetSpec::imagenet_22k().total_gib();
-        assert!(in22k > 1100.0 && in22k < 1400.0, "ImageNet-22k = {in22k} GiB");
+        assert!(
+            in22k > 1100.0 && in22k < 1400.0,
+            "ImageNet-22k = {in22k} GiB"
+        );
         let oie = DatasetSpec::openimages_extended().total_gib();
         assert!(oie > 600.0 && oie < 680.0, "OpenImages-Ext = {oie} GiB");
     }
@@ -199,7 +202,7 @@ mod tests {
         let spec = DatasetSpec::new("t", 10_000, 1000, 0.5, 6.0);
         for i in 0..spec.num_items {
             let s = spec.item_size(i);
-            assert!(s >= 500 && s <= 1500, "item {i} size {s} out of bounds");
+            assert!((500..=1500).contains(&s), "item {i} size {s} out of bounds");
         }
     }
 

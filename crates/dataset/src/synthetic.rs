@@ -173,7 +173,10 @@ impl LabeledVectorStore {
     ///
     /// [`read`]: DataSource::read
     pub fn decode(buf: &[u8]) -> (u32, Vec<f32>) {
-        assert!(buf.len() >= 4 && (buf.len() - 4) % 4 == 0, "malformed item");
+        assert!(
+            buf.len() >= 4 && (buf.len() - 4).is_multiple_of(4),
+            "malformed item"
+        );
         let label = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
         let features = buf[4..]
             .chunks_exact(4)
@@ -185,7 +188,8 @@ impl LabeledVectorStore {
     fn feature(&self, item: ItemId, d: usize) -> f32 {
         // Class centroid + deterministic per-item jitter.
         let label = self.label_of(item) as f32;
-        let centroid = (label + 1.0) * ((d % 7) as f32 + 1.0) / 8.0 * if d % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if d.is_multiple_of(2) { 1.0 } else { -1.0 };
+        let centroid = (label + 1.0) * ((d % 7) as f32 + 1.0) / 8.0 * sign;
         let h = (self.seed ^ item.wrapping_mul(31).wrapping_add(d as u64 * 7919))
             .wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let jitter = ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
@@ -298,7 +302,10 @@ mod tests {
                 *v /= c as f64;
             }
         }
-        let dist: f64 = (0..4).map(|d| (mean[0][d] - mean[1][d]).powi(2)).sum::<f64>().sqrt();
+        let dist: f64 = (0..4)
+            .map(|d| (mean[0][d] - mean[1][d]).powi(2))
+            .sum::<f64>()
+            .sqrt();
         assert!(dist > 0.5, "class centroids too close: {dist}");
     }
 }

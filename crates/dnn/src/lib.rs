@@ -20,4 +20,6 @@ pub mod train;
 
 pub use mlp::Mlp;
 pub use tensor::Matrix;
-pub use train::{train_through_coordinated_group, train_through_loader, EpochAccuracy, TrainConfig};
+pub use train::{
+    train_through_coordinated_group, train_through_loader, EpochAccuracy, TrainConfig,
+};

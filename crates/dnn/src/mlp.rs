@@ -57,11 +57,7 @@ impl Mlp {
     pub fn accuracy(&self, x: &Matrix, labels: &[u32]) -> f64 {
         assert_eq!(x.rows(), labels.len());
         let preds = self.predict(x);
-        let correct = preds
-            .iter()
-            .zip(labels)
-            .filter(|(p, l)| p == l)
-            .count();
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
         correct as f64 / labels.len() as f64
     }
 
@@ -191,7 +187,10 @@ mod tests {
         for _ in 0..200 {
             last_loss = mlp.train_batch(&x, &y);
         }
-        assert!(last_loss < first_loss * 0.5, "loss should drop: {first_loss} -> {last_loss}");
+        assert!(
+            last_loss < first_loss * 0.5,
+            "loss should drop: {first_loss} -> {last_loss}"
+        );
         assert!(mlp.accuracy(&x, &y) > 0.95);
     }
 

@@ -34,8 +34,8 @@ impl Matrix {
                 state ^= state >> 12;
                 state ^= state << 25;
                 state ^= state >> 27;
-                let u = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32
-                    / (1u64 << 24) as f32;
+                let u =
+                    (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1u64 << 24) as f32;
                 (u - 0.5) * 2.0 * scale
             })
             .collect();

@@ -77,7 +77,12 @@ pub fn train_through_loader(
     store: &LabeledVectorStore,
     config: &TrainConfig,
 ) -> Vec<EpochAccuracy> {
-    let mut model = Mlp::new(store.dims(), config.hidden, store.classes() as usize, config.seed);
+    let mut model = Mlp::new(
+        store.dims(),
+        config.hidden,
+        store.classes() as usize,
+        config.seed,
+    );
     let mut history = Vec::new();
     for epoch in 0..config.epochs {
         let mut losses = Vec::new();

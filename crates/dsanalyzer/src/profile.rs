@@ -1,7 +1,7 @@
 //! The three-phase differential measurement (§3.2).
 
 use gpu::aggregate_samples_per_sec;
-use pipeline::{simulate_single_server, JobSpec, ServerConfig};
+use pipeline::{Experiment, JobSpec, Scenario, ServerConfig};
 use prep::{PrepBackend, PrepCostModel};
 use storage::{AccessPattern, DRAM_BANDWIDTH_BYTES_PER_SEC};
 
@@ -42,8 +42,7 @@ impl ProfiledRates {
             0.0
         };
         let avg = job.dataset.avg_item_bytes;
-        let prep_rate =
-            cost.throughput_bps(server.cpu_cores as f64, gpus_for_prep) / avg as f64;
+        let prep_rate = cost.throughput_bps(server.cpu_cores as f64, gpus_for_prep) / avg as f64;
 
         let storage_rate = server.device.bandwidth(AccessPattern::Random)
             / (avg as f64 + server.device.request_latency_s * server.device.rand_read_bps);
@@ -84,9 +83,16 @@ impl DifferentialReport {
 
         // Phase 2: fully cached run.
         let cached_server = server.with_cache_fraction(job.dataset.total_bytes(), 1.1);
-        let cached = simulate_single_server(&cached_server, job, epochs.max(2));
+        let run_on = |srv: &ServerConfig| {
+            Experiment::on(srv)
+                .job(job.clone())
+                .scenario(Scenario::SingleServer)
+                .epochs(epochs.max(2))
+                .run()
+        };
+        let cached = run_on(&cached_server);
         // Phase 3: run with the actual cache size (cold start, like the tool).
-        let actual = simulate_single_server(server, job, epochs.max(2));
+        let actual = run_on(server);
 
         DifferentialReport {
             ingestion_epoch_secs,
@@ -126,7 +132,12 @@ mod tests {
     }
 
     fn job(model: ModelKind, ds: &DatasetSpec) -> JobSpec {
-        JobSpec::new(model, ds.clone(), 8, LoaderConfig::dali_shuffle(PrepBackend::DaliCpu))
+        JobSpec::new(
+            model,
+            ds.clone(),
+            8,
+            LoaderConfig::dali_shuffle(PrepBackend::DaliCpu),
+        )
     }
 
     #[test]
@@ -168,7 +179,11 @@ mod tests {
 
     #[test]
     fn gpu_bound_model_shows_small_stalls() {
-        let ds = small_ds();
+        // ResNet50's global batch is 4096, so the dataset must be large
+        // enough for several minibatches per epoch — with a single batch the
+        // pipeline cannot overlap prep with compute and every model looks
+        // stalled regardless of rates.
+        let ds = DatasetSpec::imagenet_1k().scaled(50);
         let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 1.1);
         let rep = DifferentialReport::run(&server, &job(ModelKind::ResNet50, &ds), 2);
         assert!(rep.data_stall_fraction() < 0.2);

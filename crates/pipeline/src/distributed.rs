@@ -7,23 +7,19 @@
 //! serves local misses from the remote cache over the commodity network
 //! instead of local storage: beyond the first epoch the dataset is read from
 //! storage at most once for the entire job.
+//!
+//! The driver lives in [`crate::Experiment`] with
+//! [`Scenario::Distributed`](crate::Scenario::Distributed); this module keeps
+//! the legacy free-function entry point and its result type as deprecated
+//! shims.
 
 use crate::config::ServerConfig;
-use crate::engine::{
-    access_pattern, compute_secs_for_batch, prep_secs_for_batch, BatchFetch, EpochAccumulator,
-};
+use crate::experiment::{Experiment, Scenario, SimReport};
 use crate::job::JobSpec;
-use crate::metrics::{EpochMetrics, RunResult};
-use dataset::{minibatches, EpochSampler, ItemId};
-use dcache::{Location, PartitionedIndex, ServerId};
-use netsim::Fabric;
-use prep::PrepCostModel;
-use simkit::SimTime;
-use storage::{FetchSource, StorageNode, DRAM_BANDWIDTH_BYTES_PER_SEC};
+use crate::metrics::RunResult;
 
-const IO_BINS: usize = 40;
-
-/// Result of a distributed-training simulation.
+/// Result of a distributed-training simulation (legacy shape; superseded by
+/// [`SimReport`]).
 #[derive(Debug, Clone, Default)]
 pub struct DistributedResult {
     /// Per-server run results.
@@ -86,165 +82,35 @@ impl DistributedResult {
     }
 }
 
+impl From<SimReport> for DistributedResult {
+    fn from(report: SimReport) -> Self {
+        DistributedResult {
+            remote_bytes_per_epoch: report.remote_bytes_per_epoch.clone(),
+            per_server: report.units,
+        }
+    }
+}
+
 /// Simulate `epochs` epochs of one data-parallel job spread over
 /// `num_servers` identical servers (each contributing `job.num_gpus` GPUs).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Experiment::on(server).job(job).scenario(Scenario::Distributed { servers: n }).epochs(n).run()"
+)]
 pub fn simulate_distributed(
     server: &ServerConfig,
     job: &JobSpec,
     num_servers: usize,
     epochs: u64,
 ) -> DistributedResult {
-    assert!(num_servers >= 1, "need at least one server");
-    assert!(epochs > 0, "need at least one epoch");
-    assert!(
-        job.num_gpus <= server.num_gpus,
-        "job wants {} GPUs per server but servers have {}",
-        job.num_gpus,
-        server.num_gpus
-    );
-
-    let partitioned = job.loader.partitioned_cache;
-    let mut nodes: Vec<StorageNode> = (0..num_servers)
-        .map(|_| {
-            StorageNode::new(
-                server.device,
-                job.loader.cache_policy,
-                server.dram_cache_bytes,
-            )
+    Experiment::on(server)
+        .job(job.clone())
+        .scenario(Scenario::Distributed {
+            servers: num_servers,
         })
-        .collect();
-    let mut directory = PartitionedIndex::new(num_servers);
-    let mut fabric = Fabric::new(server.link, num_servers);
-
-    let mut result = DistributedResult {
-        per_server: vec![RunResult::default(); num_servers],
-        remote_bytes_per_epoch: Vec::new(),
-    };
-
-    let sampler = EpochSampler::new(job.dataset.num_items, job.seed);
-    let cost = PrepCostModel::for_pipeline(&job.pipeline, job.loader.prep_backend);
-    let cores = cost.effective_cores(server.cpu_cores as f64, server.cpu_cores as f64);
-    let pattern = access_pattern(job);
-
-    for epoch in 0..epochs {
-        for node in nodes.iter_mut() {
-            node.reset_epoch_stats();
-        }
-        fabric.reset();
-        let mut epoch_metrics: Vec<EpochMetrics> = Vec::with_capacity(num_servers);
-        let mut epoch_remote = 0u64;
-
-        // Per-server shards for this epoch (random, disjoint, epoch-varying).
-        let shards: Vec<Vec<ItemId>> = (0..num_servers)
-            .map(|s| sampler.distributed_shard(epoch, s, num_servers))
-            .collect();
-
-        for (s, shard) in shards.iter().enumerate() {
-            let me = ServerId(s);
-            let node = &mut nodes[s];
-            let batches = minibatches(shard, job.global_batch());
-            let mut acc = EpochAccumulator::new(epoch, job.loader.prefetch_depth);
-
-            for batch in &batches {
-                let now = acc.now();
-                let bf = if partitioned {
-                    fetch_batch_partitioned(
-                        node,
-                        &mut directory,
-                        &mut fabric,
-                        me,
-                        now,
-                        batch,
-                        job,
-                        num_servers,
-                    )
-                } else {
-                    // Uncoordinated: every miss goes to local storage.
-                    crate::engine::fetch_batch_local(
-                        node,
-                        now,
-                        batch,
-                        &job.dataset,
-                        job.loader.format,
-                        pattern,
-                        1.0,
-                    )
-                };
-                let raw_bytes: u64 = batch.iter().map(|&it| job.dataset.item_size(it)).sum();
-                let prep = prep_secs_for_batch(job, raw_bytes, cores);
-                let compute = compute_secs_for_batch(job, server.gpu, batch.len());
-                acc.push_batch(&bf, prep, compute, batch.len() as u64);
-            }
-            let m = acc.finish(IO_BINS);
-            epoch_remote += m.bytes_from_remote;
-            epoch_metrics.push(m);
-        }
-
-        result.remote_bytes_per_epoch.push(epoch_remote);
-        for (s, m) in epoch_metrics.into_iter().enumerate() {
-            result.per_server[s].epochs.push(m);
-        }
-    }
-    result
-}
-
-/// Fetch one minibatch with CoorDL's partitioned cache: local MinIO cache
-/// first, then a peer's cache over the network, then local storage.
-#[allow(clippy::too_many_arguments)]
-fn fetch_batch_partitioned(
-    node: &mut StorageNode,
-    directory: &mut PartitionedIndex,
-    fabric: &mut Fabric,
-    me: ServerId,
-    at: SimTime,
-    items: &[ItemId],
-    job: &JobSpec,
-    num_servers: usize,
-) -> BatchFetch {
-    let mut out = BatchFetch::default();
-    let spec = &job.dataset;
-    let device = *node.device().profile();
-    let pattern = access_pattern(job);
-    let mut remote_requests = 0u64;
-
-    for &item in items {
-        let bytes = spec.item_size(item);
-        match directory.locate(item, me) {
-            Location::Local => {
-                // Resident in the local MinIO cache.
-                let (_, src) = node.fetch(at, item, bytes, pattern);
-                debug_assert_eq!(src, FetchSource::Cache);
-                out.cache_bytes += bytes;
-                out.hits += 1;
-            }
-            Location::Remote(peer) => {
-                fabric.remote_fetch(peer.0, me.0, bytes, num_servers.saturating_sub(1).max(1));
-                out.remote_bytes += bytes;
-                out.hits += 1;
-                remote_requests += 1;
-            }
-            Location::Storage => {
-                // Not cached anywhere yet: read from local storage and, if the
-                // local MinIO cache admits it, publish it in the directory.
-                let (_, src) = node.fetch(at, item, bytes, pattern);
-                debug_assert_eq!(src, FetchSource::Disk);
-                out.disk_bytes += bytes;
-                out.misses += 1;
-                if node.is_cached(&item) {
-                    directory.register(item, me);
-                }
-            }
-        }
-    }
-
-    let link = fabric.link();
-    let per_flow = link.per_flow_bandwidth(num_servers.saturating_sub(1).max(1));
-    out.fetch_secs = out.disk_bytes as f64 / device.bandwidth(pattern)
-        + out.misses as f64 * device.request_latency_s
-        + out.cache_bytes as f64 / DRAM_BANDWIDTH_BYTES_PER_SEC
-        + out.remote_bytes as f64 / per_flow
-        + if remote_requests > 0 { link.rtt_s } else { 0.0 };
-    out
+        .epochs(epochs)
+        .run()
+        .into()
 }
 
 #[cfg(test)]
@@ -259,20 +125,32 @@ mod tests {
         DatasetSpec::openimages_extended().scaled(2000)
     }
 
+    fn run_distributed(
+        server: &ServerConfig,
+        job: &JobSpec,
+        servers: usize,
+        epochs: u64,
+    ) -> SimReport {
+        Experiment::on(server)
+            .job(job.clone())
+            .scenario(Scenario::Distributed { servers })
+            .epochs(epochs)
+            .run()
+    }
+
     #[test]
     fn partitioned_cache_eliminates_disk_io_when_aggregate_memory_suffices() {
         // §4.2: two servers that can each cache 65 % of the dataset hold it
         // entirely in aggregate, so no disk I/O beyond the first epoch.
         let ds = small_openimages();
-        let server =
-            ServerConfig::config_hdd_1080ti().with_cache_fraction(ds.total_bytes(), 0.65);
+        let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(ds.total_bytes(), 0.65);
         let job = JobSpec::new(
             ModelKind::AlexNet,
             ds,
             8,
             LoaderConfig::coordl(PrepBackend::DaliGpu),
         );
-        let res = simulate_distributed(&server, &job, 2, 3);
+        let res = run_distributed(&server, &job, 2, 3);
         for s in 0..2 {
             assert_eq!(
                 res.disk_bytes_per_server(1)[s],
@@ -290,15 +168,14 @@ mod tests {
     #[test]
     fn uncoordinated_distributed_training_keeps_hitting_disk() {
         let ds = small_openimages();
-        let server =
-            ServerConfig::config_hdd_1080ti().with_cache_fraction(ds.total_bytes(), 0.65);
+        let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(ds.total_bytes(), 0.65);
         let job = JobSpec::new(
             ModelKind::AlexNet,
             ds.clone(),
             8,
             LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
         );
-        let res = simulate_distributed(&server, &job, 2, 3);
+        let res = run_distributed(&server, &job, 2, 3);
         let disk_epoch2: u64 = res.disk_bytes_per_server(2).iter().sum();
         // Each server still reads a sizeable fraction of its shard from disk.
         assert!(
@@ -312,12 +189,11 @@ mod tests {
         // Figure 9b: AlexNet on OpenImages across two Config-HDD-1080Ti
         // servers speeds up by an order of magnitude.
         let ds = small_openimages();
-        let server =
-            ServerConfig::config_hdd_1080ti().with_cache_fraction(ds.total_bytes(), 0.65);
+        let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(ds.total_bytes(), 0.65);
         let model = ModelKind::AlexNet;
         let mk = |loader| JobSpec::new(model, ds.clone(), 8, loader);
-        let baseline = simulate_distributed(&server, &mk(LoaderConfig::dali_best(model)), 2, 3);
-        let coordl = simulate_distributed(&server, &mk(LoaderConfig::coordl_best(model)), 2, 3);
+        let baseline = run_distributed(&server, &mk(LoaderConfig::dali_best(model)), 2, 3);
+        let coordl = run_distributed(&server, &mk(LoaderConfig::coordl_best(model)), 2, 3);
         let speedup = coordl.speedup_over(&baseline);
         assert!(
             speedup > 5.0,
@@ -330,16 +206,15 @@ mod tests {
         // Figure 18: with partitioned caching, going from 2 to 4 servers keeps
         // the job GPU bound, so throughput scales with the GPU count.
         let ds = small_openimages();
-        let server =
-            ServerConfig::config_hdd_1080ti().with_cache_fraction(ds.total_bytes(), 0.65);
+        let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(ds.total_bytes(), 0.65);
         let job = JobSpec::new(
             ModelKind::ResNet50,
             ds,
             8,
             LoaderConfig::coordl(PrepBackend::DaliCpu),
         );
-        let two = simulate_distributed(&server, &job, 2, 3);
-        let four = simulate_distributed(&server, &job, 4, 3);
+        let two = run_distributed(&server, &job, 2, 3);
+        let four = run_distributed(&server, &job, 4, 3);
         let scaling = four.steady_samples_per_sec() / two.steady_samples_per_sec();
         assert!(
             scaling > 1.6 && scaling < 2.3,
@@ -351,15 +226,14 @@ mod tests {
     fn network_usage_is_a_fraction_of_the_link() {
         // §5.5: CoorDL used ~5.7 Gbps per server of the 40 Gbps link.
         let ds = small_openimages();
-        let server =
-            ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 0.65);
+        let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 0.65);
         let job = JobSpec::new(
             ModelKind::ResNet50,
             ds,
             8,
             LoaderConfig::coordl(PrepBackend::DaliCpu),
         );
-        let res = simulate_distributed(&server, &job, 2, 3);
+        let res = run_distributed(&server, &job, 2, 3);
         let gbps = res.avg_network_gbps(2);
         assert!(gbps > 0.0 && gbps < 36.0, "network use {gbps:.1} Gbps");
     }
@@ -376,8 +250,24 @@ mod tests {
             8,
             LoaderConfig::coordl(PrepBackend::DaliGpu),
         );
-        let res = simulate_distributed(&server, &job, 1, 2);
+        let res = run_distributed(&server, &job, 1, 2);
         assert_eq!(res.remote_bytes_per_epoch[1], 0);
-        assert_eq!(res.per_server.len(), 1);
+        assert_eq!(res.per_server().len(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_legacy_result_shape() {
+        let ds = small_openimages();
+        let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 0.5);
+        let job = JobSpec::new(
+            ModelKind::ResNet18,
+            ds,
+            8,
+            LoaderConfig::coordl(PrepBackend::DaliGpu),
+        );
+        let res = simulate_distributed(&server, &job, 2, 2);
+        assert_eq!(res.per_server.len(), 2);
+        assert_eq!(res.remote_bytes_per_epoch.len(), 2);
     }
 }

@@ -1,14 +1,26 @@
-//! Shared epoch-simulation machinery used by the single-server, HP-search and
-//! distributed drivers.
+//! Shared epoch-simulation machinery used by every scenario.
+//!
+//! This module owns the per-minibatch cost model (fetch/prep/compute), the
+//! epoch accumulator and the three epoch drivers — single-job, shared-server
+//! (HP search and mixed clusters) and distributed — that
+//! [`crate::Experiment`] composes into whole simulations.  The legacy
+//! `simulate_*` entry points delegate to the same drivers, so the two APIs
+//! are bit-identical by construction.
 
+use crate::config::ServerConfig;
 use crate::job::JobSpec;
 use crate::loader::FetchOrder;
 use crate::metrics::EpochMetrics;
-use dataset::{DatasetSpec, ItemId, StorageFormat};
+use dataset::{minibatches, DatasetSpec, EpochSampler, ItemId, StorageFormat};
+use dcache::{Location, PartitionedIndex, ServerId};
 use gpu::{aggregate_samples_per_sec, GpuGeneration};
+use netsim::Fabric;
 use prep::{PrepBackend, PrepCostModel};
 use simkit::{PipelineRecurrence, SimTime, StageSample, TimeSeries};
-use storage::{AccessPattern, FetchSource, StorageNode};
+use storage::{AccessPattern, FetchSource, StorageNode, DRAM_BANDWIDTH_BYTES_PER_SEC};
+
+/// Number of bins used for the per-epoch I/O timeline.
+pub(crate) const IO_BINS: usize = 40;
 
 /// Byte and time accounting for fetching one minibatch's raw data.
 #[derive(Debug, Clone, Copy, Default)]
@@ -23,6 +35,11 @@ pub(crate) struct BatchFetch {
 
 /// Fetch `items` through `node`, with `disk_share` of the device bandwidth
 /// available to this job (1.0 when it has the device to itself).
+///
+/// `key_base` namespaces this job's items within the shared cache; it is 0
+/// everywhere except mixed-cluster scenarios, where jobs training *different*
+/// datasets share one cache and their item ids would otherwise collide.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn fetch_batch_local(
     node: &mut StorageNode,
     at: SimTime,
@@ -31,6 +48,7 @@ pub(crate) fn fetch_batch_local(
     format: StorageFormat,
     pattern: AccessPattern,
     disk_share: f64,
+    key_base: u64,
 ) -> BatchFetch {
     assert!(disk_share > 0.0 && disk_share <= 1.0);
     let mut out = BatchFetch::default();
@@ -39,7 +57,7 @@ pub(crate) fn fetch_batch_local(
     let dram = storage::DRAM_BANDWIDTH_BYTES_PER_SEC;
     for &item in items {
         let unit = format.unit_of(item, spec);
-        let (_, source) = node.fetch(at, unit.key, unit.bytes, pattern);
+        let (_, source) = node.fetch(at, key_base + unit.key, unit.bytes, pattern);
         match source {
             FetchSource::Cache => {
                 out.cache_bytes += unit.bytes;
@@ -196,4 +214,356 @@ impl EpochAccumulator {
             io_timeline,
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch drivers
+// ---------------------------------------------------------------------------
+
+/// Simulate one epoch of a single job against an existing storage node
+/// (shared with other epochs so the cache stays warm).
+pub(crate) fn single_epoch(
+    server: &ServerConfig,
+    job: &JobSpec,
+    node: &mut StorageNode,
+    epoch: u64,
+) -> EpochMetrics {
+    let sampler = EpochSampler::new(job.dataset.num_items, job.seed);
+    let consume_order = sampler.permutation(epoch);
+    let fetch_order = fetch_stream(job, &consume_order);
+    let pattern = access_pattern(job);
+    let global_batch = job.global_batch();
+    let batches = minibatches(&consume_order, global_batch);
+
+    let cost = PrepCostModel::for_pipeline(&job.pipeline, job.loader.prep_backend);
+    let cores = cost.effective_cores(server.cpu_cores as f64, server.cpu_cores as f64);
+
+    let mut acc = EpochAccumulator::new(epoch, job.loader.prefetch_depth);
+    for (i, batch) in batches.iter().enumerate() {
+        let start = i * global_batch;
+        let end = (start + batch.len()).min(fetch_order.len());
+        let fetch_items = &fetch_order[start..end];
+        let now = acc.now();
+        let bf = fetch_batch_local(
+            node,
+            now,
+            fetch_items,
+            &job.dataset,
+            job.loader.format,
+            pattern,
+            1.0,
+            0,
+        );
+        let raw_bytes: u64 = batch.iter().map(|&it| job.dataset.item_size(it)).sum();
+        let prep = prep_secs_for_batch(job, raw_bytes, cores);
+        let compute = compute_secs_for_batch(job, server.gpu, batch.len());
+        acc.push_batch(&bf, prep, compute, batch.len() as u64);
+    }
+    acc.finish(IO_BINS)
+}
+
+/// One epoch of several jobs sharing one server without coordination: every
+/// job sweeps its dataset independently (the HP-search baseline and the
+/// mixed-cluster scenario).
+///
+/// Jobs are interleaved minibatch by minibatch so their accesses mix in the
+/// shared page cache exactly as concurrent processes' would; each job gets an
+/// even share of the CPU cores and of the device bandwidth.  `key_bases`
+/// namespaces each job's cache keys (all zeros when jobs share a dataset).
+pub(crate) fn shared_uncoordinated_epoch(
+    server: &ServerConfig,
+    jobs: &[JobSpec],
+    node: &mut StorageNode,
+    epoch: u64,
+    key_bases: &[u64],
+) -> Vec<EpochMetrics> {
+    let num_jobs = jobs.len();
+    let disk_share = 1.0 / num_jobs as f64;
+
+    struct JobState {
+        batches: Vec<Vec<u64>>,
+        fetch_order: Vec<u64>,
+        acc: EpochAccumulator,
+        cores: f64,
+    }
+
+    let mut states: Vec<JobState> = jobs
+        .iter()
+        .map(|job| {
+            let sampler = EpochSampler::new(job.dataset.num_items, job.seed);
+            let consume = sampler.permutation(epoch);
+            let fetch_order = fetch_stream(job, &consume);
+            let cost = PrepCostModel::for_pipeline(&job.pipeline, job.loader.prep_backend);
+            let per_job_cores = server.cpu_cores as f64 / num_jobs as f64;
+            JobState {
+                batches: minibatches(&consume, job.global_batch()),
+                fetch_order,
+                acc: EpochAccumulator::new(epoch, job.loader.prefetch_depth),
+                cores: cost.effective_cores(per_job_cores, per_job_cores),
+            }
+        })
+        .collect();
+
+    let max_batches = states.iter().map(|s| s.batches.len()).max().unwrap_or(0);
+    for b in 0..max_batches {
+        for (job_idx, (job, state)) in jobs.iter().zip(states.iter_mut()).enumerate() {
+            if b >= state.batches.len() {
+                continue;
+            }
+            // Concurrent jobs are never in lockstep: each starts its sweep at
+            // a different position in its own epoch order (TensorFlow shards
+            // record files across jobs, PyTorch workers drift apart within a
+            // few iterations).  Offsetting each job's batch index models that
+            // drift; without it, sequential readers would all touch the same
+            // chunk at the same instant and the shared cache would hide the
+            // read amplification the paper measures (§3.3.1, Table 3).
+            let offset = job_idx * state.batches.len() / num_jobs;
+            let b = (b + offset) % state.batches.len();
+            let batch = &state.batches[b];
+            let global = job.global_batch();
+            let start = b * global;
+            let end = (start + batch.len()).min(state.fetch_order.len());
+            let fetch_items = state.fetch_order[start..end].to_vec();
+            let now = state.acc.now();
+            let bf = fetch_batch_local(
+                node,
+                now,
+                &fetch_items,
+                &job.dataset,
+                job.loader.format,
+                access_pattern(job),
+                disk_share,
+                key_bases[job_idx],
+            );
+            let raw_bytes: u64 = batch.iter().map(|&it| job.dataset.item_size(it)).sum();
+            let prep = prep_secs_for_batch(job, raw_bytes, state.cores);
+            let compute = compute_secs_for_batch(job, server.gpu, batch.len());
+            state.acc.push_batch(&bf, prep, compute, batch.len() as u64);
+        }
+    }
+
+    states.into_iter().map(|s| s.acc.finish(IO_BINS)).collect()
+}
+
+/// One epoch of CoorDL's coordinated prep: one sweep over the shared dataset,
+/// fetched and pre-processed once for the whole ensemble, with every prepared
+/// minibatch consumed by every job through the staging area.
+///
+/// The producing side uses *all* CPU cores and the full device bandwidth (the
+/// jobs collectively are the producer — each prepares its static shard).  The
+/// consuming side is each job's own GPUs, which see every prepared minibatch
+/// exactly once.
+pub(crate) fn shared_coordinated_epoch(
+    server: &ServerConfig,
+    jobs: &[JobSpec],
+    node: &mut StorageNode,
+    epoch: u64,
+) -> Vec<EpochMetrics> {
+    let lead = &jobs[0];
+    let sampler = EpochSampler::new(lead.dataset.num_items, lead.seed);
+    let consume = sampler.permutation(epoch);
+    let fetch_order = fetch_stream(lead, &consume);
+    let batches = minibatches(&consume, lead.global_batch());
+    let cost = PrepCostModel::for_pipeline(&lead.pipeline, lead.loader.prep_backend);
+    let cores = cost.effective_cores(server.cpu_cores as f64, server.cpu_cores as f64);
+
+    let mut accs: Vec<EpochAccumulator> = jobs
+        .iter()
+        .map(|j| EpochAccumulator::new(epoch, j.loader.prefetch_depth))
+        .collect();
+
+    for (b, batch) in batches.iter().enumerate() {
+        let global = lead.global_batch();
+        let start = b * global;
+        let end = (start + batch.len()).min(fetch_order.len());
+        let fetch_items = &fetch_order[start..end];
+        let now = accs[0].now();
+        // Fetch + prep happen once for the whole ensemble.
+        let bf = fetch_batch_local(
+            node,
+            now,
+            fetch_items,
+            &lead.dataset,
+            lead.loader.format,
+            access_pattern(lead),
+            1.0,
+            0,
+        );
+        let raw_bytes: u64 = batch.iter().map(|&it| lead.dataset.item_size(it)).sum();
+        let prep = prep_secs_for_batch(lead, raw_bytes, cores);
+        for (job, acc) in jobs.iter().zip(accs.iter_mut()) {
+            let compute = compute_secs_for_batch(job, server.gpu, batch.len());
+            acc.push_batch(&bf, prep, compute, batch.len() as u64);
+        }
+    }
+
+    // The fetch/prep work is shared: every accumulator saw the same per-batch
+    // fetch (so its stall timing is right), but the bytes must be attributed
+    // once to the ensemble, not once per job.  Keep them on the first job and
+    // zero the rest so the caller's per-epoch disk totals are not inflated.
+    let mut metrics: Vec<EpochMetrics> = accs.into_iter().map(|a| a.finish(IO_BINS)).collect();
+    for m in metrics.iter_mut().skip(1) {
+        m.bytes_from_disk = 0;
+        m.bytes_from_cache = 0;
+        m.bytes_from_remote = 0;
+        m.cache_hits = 0;
+        m.cache_misses = 0;
+        m.io_timeline.clear();
+    }
+    metrics
+}
+
+/// Cross-epoch state of a distributed simulation: one storage node per
+/// server, the partitioned-cache directory and the network fabric.
+pub(crate) struct DistributedSim {
+    nodes: Vec<StorageNode>,
+    directory: PartitionedIndex,
+    fabric: Fabric,
+    num_servers: usize,
+}
+
+impl DistributedSim {
+    pub(crate) fn new(server: &ServerConfig, job: &JobSpec, num_servers: usize) -> Self {
+        DistributedSim {
+            nodes: (0..num_servers)
+                .map(|_| {
+                    StorageNode::new(
+                        server.device,
+                        job.loader.cache_policy,
+                        server.dram_cache_bytes,
+                    )
+                })
+                .collect(),
+            directory: PartitionedIndex::new(num_servers),
+            fabric: Fabric::new(server.link, num_servers),
+            num_servers,
+        }
+    }
+
+    /// Simulate one epoch of the data-parallel job: random disjoint
+    /// epoch-varying shards per server, partitioned caching when the loader
+    /// enables it.  Returns per-server metrics in server order.
+    pub(crate) fn epoch(
+        &mut self,
+        server: &ServerConfig,
+        job: &JobSpec,
+        epoch: u64,
+    ) -> Vec<EpochMetrics> {
+        let partitioned = job.loader.partitioned_cache;
+        let sampler = EpochSampler::new(job.dataset.num_items, job.seed);
+        let cost = PrepCostModel::for_pipeline(&job.pipeline, job.loader.prep_backend);
+        let cores = cost.effective_cores(server.cpu_cores as f64, server.cpu_cores as f64);
+        let pattern = access_pattern(job);
+
+        for node in self.nodes.iter_mut() {
+            node.reset_epoch_stats();
+        }
+        self.fabric.reset();
+        let mut epoch_metrics: Vec<EpochMetrics> = Vec::with_capacity(self.num_servers);
+
+        // Per-server shards for this epoch (random, disjoint, epoch-varying).
+        let shards: Vec<Vec<ItemId>> = (0..self.num_servers)
+            .map(|s| sampler.distributed_shard(epoch, s, self.num_servers))
+            .collect();
+
+        for (s, shard) in shards.iter().enumerate() {
+            let me = ServerId(s);
+            let node = &mut self.nodes[s];
+            let batches = minibatches(shard, job.global_batch());
+            let mut acc = EpochAccumulator::new(epoch, job.loader.prefetch_depth);
+
+            for batch in &batches {
+                let now = acc.now();
+                let bf = if partitioned {
+                    fetch_batch_partitioned(
+                        node,
+                        &mut self.directory,
+                        &mut self.fabric,
+                        me,
+                        now,
+                        batch,
+                        job,
+                        self.num_servers,
+                    )
+                } else {
+                    // Uncoordinated: every miss goes to local storage.
+                    fetch_batch_local(
+                        node,
+                        now,
+                        batch,
+                        &job.dataset,
+                        job.loader.format,
+                        pattern,
+                        1.0,
+                        0,
+                    )
+                };
+                let raw_bytes: u64 = batch.iter().map(|&it| job.dataset.item_size(it)).sum();
+                let prep = prep_secs_for_batch(job, raw_bytes, cores);
+                let compute = compute_secs_for_batch(job, server.gpu, batch.len());
+                acc.push_batch(&bf, prep, compute, batch.len() as u64);
+            }
+            epoch_metrics.push(acc.finish(IO_BINS));
+        }
+        epoch_metrics
+    }
+}
+
+/// Fetch one minibatch with CoorDL's partitioned cache: local MinIO cache
+/// first, then a peer's cache over the network, then local storage.
+#[allow(clippy::too_many_arguments)]
+fn fetch_batch_partitioned(
+    node: &mut StorageNode,
+    directory: &mut PartitionedIndex,
+    fabric: &mut Fabric,
+    me: ServerId,
+    at: SimTime,
+    items: &[ItemId],
+    job: &JobSpec,
+    num_servers: usize,
+) -> BatchFetch {
+    let mut out = BatchFetch::default();
+    let spec = &job.dataset;
+    let device = *node.device().profile();
+    let pattern = access_pattern(job);
+    let mut remote_requests = 0u64;
+
+    for &item in items {
+        let bytes = spec.item_size(item);
+        match directory.locate(item, me) {
+            Location::Local => {
+                // Resident in the local MinIO cache.
+                let (_, src) = node.fetch(at, item, bytes, pattern);
+                debug_assert_eq!(src, FetchSource::Cache);
+                out.cache_bytes += bytes;
+                out.hits += 1;
+            }
+            Location::Remote(peer) => {
+                fabric.remote_fetch(peer.0, me.0, bytes, num_servers.saturating_sub(1).max(1));
+                out.remote_bytes += bytes;
+                out.hits += 1;
+                remote_requests += 1;
+            }
+            Location::Storage => {
+                // Not cached anywhere yet: read from local storage and, if the
+                // local MinIO cache admits it, publish it in the directory.
+                let (_, src) = node.fetch(at, item, bytes, pattern);
+                debug_assert_eq!(src, FetchSource::Disk);
+                out.disk_bytes += bytes;
+                out.misses += 1;
+                if node.is_cached(&item) {
+                    directory.register(item, me);
+                }
+            }
+        }
+    }
+
+    let link = fabric.link();
+    let per_flow = link.per_flow_bandwidth(num_servers.saturating_sub(1).max(1));
+    out.fetch_secs = out.disk_bytes as f64 / device.bandwidth(pattern)
+        + out.misses as f64 * device.request_latency_s
+        + out.cache_bytes as f64 / DRAM_BANDWIDTH_BYTES_PER_SEC
+        + out.remote_bytes as f64 / per_flow
+        + if remote_requests > 0 { link.rtt_s } else { 0.0 };
+    out
 }

@@ -1,0 +1,853 @@
+//! The unified experiment API: one builder, one scenario enum, one report.
+//!
+//! Every comparison in the paper's evaluation — and every bench, example and
+//! test in this workspace — is the same experiment shape: a server, one or
+//! more jobs, a scenario and an epoch count.  [`Experiment`] expresses that
+//! directly:
+//!
+//! ```
+//! use pipeline::{Experiment, JobSpec, LoaderConfig, Scenario, ServerConfig};
+//! use dataset::DatasetSpec;
+//! use gpu::ModelKind;
+//!
+//! let dataset = DatasetSpec::imagenet_1k().scaled(2000);
+//! let server = ServerConfig::config_ssd_v100()
+//!     .with_cache_fraction(dataset.total_bytes(), 0.35);
+//! let job = JobSpec::new(
+//!     ModelKind::ResNet18,
+//!     dataset,
+//!     1,
+//!     LoaderConfig::coordl_best(ModelKind::ResNet18),
+//! );
+//!
+//! let report = Experiment::on(&server)
+//!     .job(job)
+//!     .scenario(Scenario::HpSearch { jobs: 8 })
+//!     .epochs(3)
+//!     .run();
+//! assert_eq!(report.num_units(), 8);
+//! assert!(report.steady_per_job_samples_per_sec() > 0.0);
+//! ```
+//!
+//! The same builder covers the single-server (§5.1), HP-search (§5.3) and
+//! distributed (§5.2) scenarios the paper evaluates, plus a
+//! [`Scenario::MixedCluster`] of *heterogeneous* jobs — different models,
+//! datasets and loaders — contending for one server's cache, CPU and disk,
+//! which the legacy one-function-per-scenario API could not express.
+
+use crate::config::ServerConfig;
+use crate::engine::{
+    shared_coordinated_epoch, shared_uncoordinated_epoch, single_epoch, DistributedSim,
+};
+use crate::job::JobSpec;
+use crate::metrics::{EpochMetrics, RunResult};
+use storage::StorageNode;
+
+/// The shape of a training scenario (which resources are shared and how).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// One job alone on one server: all CPU cores, the full device bandwidth
+    /// and the entire DRAM cache (§5.1, Figure 9a).
+    SingleServer,
+    /// `jobs` concurrent hyper-parameter-search jobs training the *same*
+    /// dataset on one server (§5.3, Figure 9d).  When the builder holds a
+    /// single job it is cloned `jobs` times with derived seeds; an explicit
+    /// job list must have exactly `jobs` entries.  The first job's loader
+    /// decides whether CoorDL's coordinated prep is used.
+    HpSearch {
+        /// Number of concurrent jobs in the search ensemble.
+        jobs: usize,
+    },
+    /// One data-parallel job spread over `servers` identical servers (§5.2,
+    /// Figure 9b), with CoorDL's partitioned caching when the loader enables
+    /// it.
+    Distributed {
+        /// Number of identical servers, each contributing `job.num_gpus` GPUs.
+        servers: usize,
+    },
+    /// Heterogeneous jobs — different models, datasets and loaders — sharing
+    /// one server's cache, CPU cores and disk bandwidth.  Generalises the
+    /// symmetric-HP-search assumption: jobs sweep their *own* datasets
+    /// uncoordinated, contending in the shared cache (whose policy is taken
+    /// from the first job's loader).
+    MixedCluster,
+}
+
+impl Scenario {
+    /// Short scenario name used in reports and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::SingleServer => "single-server",
+            Scenario::HpSearch { .. } => "hp-search",
+            Scenario::Distributed { .. } => "distributed",
+            Scenario::MixedCluster => "mixed-cluster",
+        }
+    }
+
+    /// What one "unit" of the report is for this scenario.
+    fn unit_label(&self) -> &'static str {
+        match self {
+            Scenario::SingleServer => "job",
+            Scenario::HpSearch { .. } | Scenario::MixedCluster => "job",
+            Scenario::Distributed { .. } => "server",
+        }
+    }
+}
+
+/// Per-epoch snapshot handed to [`Experiment::observer`] callbacks as the
+/// simulation runs: one [`EpochMetrics`] per unit (job or server).
+#[derive(Debug)]
+pub struct EpochUpdate<'a> {
+    /// Epoch index (0 is the cold-cache warm-up epoch).
+    pub epoch: u64,
+    /// The scenario being simulated.
+    pub scenario: Scenario,
+    /// This epoch's metrics for each unit, in unit order.
+    pub units: &'a [EpochMetrics],
+}
+
+/// A per-epoch telemetry callback registered with [`Experiment::observer`].
+type Observer<'obs> = Box<dyn FnMut(&EpochUpdate<'_>) + 'obs>;
+
+/// Builder for one simulated experiment.
+///
+/// Construct with [`Experiment::on`], describe the workload with
+/// [`job`](Experiment::job) / [`jobs`](Experiment::jobs) and
+/// [`scenario`](Experiment::scenario), then [`run`](Experiment::run).
+pub struct Experiment<'obs> {
+    server: ServerConfig,
+    jobs: Vec<JobSpec>,
+    scenario: Scenario,
+    epochs: u64,
+    observer: Option<Observer<'obs>>,
+}
+
+impl<'obs> Experiment<'obs> {
+    /// Start describing an experiment on `server`.  Defaults:
+    /// [`Scenario::SingleServer`], 3 epochs (one warm-up plus two measured,
+    /// the paper's methodology), no observer.
+    pub fn on(server: &ServerConfig) -> Self {
+        Experiment {
+            server: server.clone(),
+            jobs: Vec::new(),
+            scenario: Scenario::SingleServer,
+            epochs: 3,
+            observer: None,
+        }
+    }
+
+    /// Add one job.  May be called repeatedly; jobs accumulate.
+    pub fn job(mut self, job: JobSpec) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Replace the job list wholesale (explicit HP-search ensembles with
+    /// custom seeds, mixed clusters).
+    pub fn jobs(mut self, jobs: impl IntoIterator<Item = JobSpec>) -> Self {
+        self.jobs = jobs.into_iter().collect();
+        self
+    }
+
+    /// Select the scenario shape.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Number of epochs to simulate (epoch 0 starts with a cold cache).
+    pub fn epochs(mut self, epochs: u64) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Register a per-epoch callback for live telemetry: it is invoked after
+    /// every simulated epoch with that epoch's metrics for every unit.
+    pub fn observer(mut self, f: impl FnMut(&EpochUpdate<'_>) + 'obs) -> Self {
+        self.observer = Some(Box::new(f));
+        self
+    }
+
+    /// Run the simulation.
+    ///
+    /// # Panics
+    /// Panics on invalid configurations: no jobs, zero epochs, more GPUs
+    /// requested than the server has, HP-search jobs with different datasets,
+    /// or a job count that contradicts `Scenario::HpSearch { jobs }`.
+    pub fn run(self) -> SimReport {
+        assert!(self.epochs > 0, "need at least one epoch");
+        assert!(!self.jobs.is_empty(), "need at least one job");
+
+        let scenario = self.scenario;
+        let mut report = match scenario {
+            Scenario::SingleServer => self.run_single(),
+            Scenario::HpSearch { jobs } => self.run_shared(Some(jobs)),
+            Scenario::MixedCluster => self.run_shared(None),
+            Scenario::Distributed { servers } => self.run_distributed(servers),
+        };
+        report.scenario = scenario;
+        report
+    }
+
+    fn notify(
+        observer: &mut Option<Observer<'obs>>,
+        scenario: Scenario,
+        epoch: u64,
+        units: &[EpochMetrics],
+    ) {
+        if let Some(f) = observer.as_mut() {
+            f(&EpochUpdate {
+                epoch,
+                scenario,
+                units,
+            });
+        }
+    }
+
+    fn run_single(mut self) -> SimReport {
+        assert_eq!(
+            self.jobs.len(),
+            1,
+            "Scenario::SingleServer takes exactly one job, got {}",
+            self.jobs.len()
+        );
+        let job = self.jobs.remove(0);
+        assert!(
+            job.num_gpus <= self.server.num_gpus,
+            "job wants {} GPUs but the server has {}",
+            job.num_gpus,
+            self.server.num_gpus
+        );
+        let mut node = StorageNode::new(
+            self.server.device,
+            job.loader.cache_policy,
+            self.server.dram_cache_bytes,
+        );
+        let mut report = SimReport::empty(Scenario::SingleServer, 1);
+        for epoch in 0..self.epochs {
+            node.reset_epoch_stats();
+            let m = single_epoch(&self.server, &job, &mut node, epoch);
+            Self::notify(
+                &mut self.observer,
+                Scenario::SingleServer,
+                epoch,
+                std::slice::from_ref(&m),
+            );
+            report.push_epoch(vec![m]);
+        }
+        report
+    }
+
+    /// Shared-server scenarios: symmetric HP search (`expected_jobs` given)
+    /// or a heterogeneous mixed cluster (`None`).
+    fn run_shared(mut self, expected_jobs: Option<usize>) -> SimReport {
+        let scenario = self.scenario;
+        if let Some(n) = expected_jobs {
+            assert!(n > 0, "need at least one HP-search job");
+            if self.jobs.len() == 1 && n > 1 {
+                // Clone the template job with derived seeds, as the paper's
+                // HP-search ensembles differ only in hyper-parameters/seed.
+                let template = self.jobs[0].clone();
+                self.jobs = (0..n)
+                    .map(|j| template.with_seed(template.seed + j as u64))
+                    .collect();
+            }
+            assert_eq!(
+                self.jobs.len(),
+                n,
+                "Scenario::HpSearch {{ jobs: {n} }} got {} jobs",
+                self.jobs.len()
+            );
+            for j in &self.jobs {
+                assert_eq!(
+                    j.dataset, self.jobs[0].dataset,
+                    "HP-search jobs must share a dataset; use Scenario::MixedCluster \
+                     for heterogeneous jobs"
+                );
+            }
+        }
+        let total_gpus: usize = self.jobs.iter().map(|j| j.num_gpus).sum();
+        assert!(
+            total_gpus <= self.server.num_gpus,
+            "jobs use {total_gpus} GPUs but the server has {}",
+            self.server.num_gpus
+        );
+
+        // Heterogeneous jobs may train different datasets: namespace each
+        // job's cache keys so item ids do not collide in the shared cache.
+        // Jobs sharing a dataset *and* on-storage format (HP search) share
+        // key space, preserving the cache-sharing behaviour the paper
+        // measures; different formats address different fetch units (items
+        // vs record chunks), so they must not alias either.
+        let mut key_bases = Vec::with_capacity(self.jobs.len());
+        let mut next_base = 0u64;
+        for job in &self.jobs {
+            let prior = self.jobs[..key_bases.len()]
+                .iter()
+                .position(|j| j.dataset == job.dataset && j.loader.format == job.loader.format);
+            match prior {
+                Some(i) => key_bases.push(key_bases[i]),
+                None => {
+                    key_bases.push(next_base);
+                    next_base += job.dataset.num_items;
+                }
+            }
+        }
+
+        let coordinated = self.jobs[0].loader.coordinated_prep && expected_jobs.is_some();
+        let mut node = StorageNode::new(
+            self.server.device,
+            self.jobs[0].loader.cache_policy,
+            self.server.dram_cache_bytes,
+        );
+        let mut report = SimReport::empty(scenario, self.jobs.len());
+        for epoch in 0..self.epochs {
+            node.reset_epoch_stats();
+            let per_epoch = if coordinated {
+                shared_coordinated_epoch(&self.server, &self.jobs, &mut node, epoch)
+            } else {
+                shared_uncoordinated_epoch(&self.server, &self.jobs, &mut node, epoch, &key_bases)
+            };
+            Self::notify(&mut self.observer, scenario, epoch, &per_epoch);
+            report.push_epoch(per_epoch);
+        }
+        report
+    }
+
+    fn run_distributed(mut self, num_servers: usize) -> SimReport {
+        assert!(num_servers >= 1, "need at least one server");
+        assert_eq!(
+            self.jobs.len(),
+            1,
+            "Scenario::Distributed takes exactly one data-parallel job, got {}",
+            self.jobs.len()
+        );
+        let job = self.jobs.remove(0);
+        assert!(
+            job.num_gpus <= self.server.num_gpus,
+            "job wants {} GPUs per server but servers have {}",
+            job.num_gpus,
+            self.server.num_gpus
+        );
+        let scenario = self.scenario;
+        let mut sim = DistributedSim::new(&self.server, &job, num_servers);
+        let mut report = SimReport::empty(scenario, num_servers);
+        for epoch in 0..self.epochs {
+            let per_epoch = sim.epoch(&self.server, &job, epoch);
+            Self::notify(&mut self.observer, scenario, epoch, &per_epoch);
+            report.push_epoch(per_epoch);
+        }
+        report
+    }
+}
+
+/// The unified result of any [`Experiment`]: per-unit epoch metrics plus
+/// cross-unit aggregates.  A *unit* is one job (single-server, HP search,
+/// mixed cluster) or one server (distributed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Scenario this report came from.
+    pub scenario: Scenario,
+    /// Per-unit run results, in unit order.
+    pub units: Vec<RunResult>,
+    /// Bytes read from storage per epoch, summed over units.
+    pub disk_bytes_per_epoch: Vec<u64>,
+    /// Bytes fetched over the network per epoch, summed over units
+    /// (non-zero only with partitioned caching).
+    pub remote_bytes_per_epoch: Vec<u64>,
+}
+
+impl SimReport {
+    fn empty(scenario: Scenario, num_units: usize) -> Self {
+        SimReport {
+            scenario,
+            units: vec![RunResult::default(); num_units],
+            disk_bytes_per_epoch: Vec::new(),
+            remote_bytes_per_epoch: Vec::new(),
+        }
+    }
+
+    fn push_epoch(&mut self, per_unit: Vec<EpochMetrics>) {
+        debug_assert_eq!(per_unit.len(), self.units.len());
+        self.disk_bytes_per_epoch
+            .push(per_unit.iter().map(|m| m.bytes_from_disk).sum());
+        self.remote_bytes_per_epoch
+            .push(per_unit.iter().map(|m| m.bytes_from_remote).sum());
+        for (unit, m) in self.units.iter_mut().zip(per_unit) {
+            unit.epochs.push(m);
+        }
+    }
+
+    /// Number of units (jobs or servers).
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Number of simulated epochs.
+    pub fn num_epochs(&self) -> usize {
+        self.disk_bytes_per_epoch.len()
+    }
+
+    /// Per-job results (single-server, HP-search and mixed-cluster runs).
+    pub fn per_job(&self) -> &[RunResult] {
+        &self.units
+    }
+
+    /// Per-server results (distributed runs).
+    pub fn per_server(&self) -> &[RunResult] {
+        &self.units
+    }
+
+    /// The single unit of a single-server run.
+    ///
+    /// # Panics
+    /// Panics if the report has more than one unit.
+    pub fn single(&self) -> &RunResult {
+        assert_eq!(
+            self.units.len(),
+            1,
+            "SimReport::single() on a {}-unit {} report",
+            self.units.len(),
+            self.scenario.name()
+        );
+        &self.units[0]
+    }
+
+    /// Warm-up (first) epoch of the single unit; see [`SimReport::single`].
+    pub fn warmup(&self) -> &EpochMetrics {
+        self.single().warmup()
+    }
+
+    /// Steady-state metrics of the single unit; see [`SimReport::single`].
+    pub fn steady_state(&self) -> EpochMetrics {
+        self.single().steady_state()
+    }
+
+    /// Steady-state epoch time: units synchronise (distributed) or contend
+    /// (shared server), so the slowest unit sets the pace.
+    pub fn steady_epoch_seconds(&self) -> f64 {
+        self.units
+            .iter()
+            .map(|r| r.steady_state().epoch_seconds())
+            .fold(0.0, f64::max)
+    }
+
+    /// Steady-state aggregate throughput in samples/second across all units.
+    pub fn steady_samples_per_sec(&self) -> f64 {
+        let secs = self.steady_epoch_seconds();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        let samples: u64 = self.units.iter().map(|r| r.steady_state().samples).sum();
+        samples as f64 / secs
+    }
+
+    /// Average steady-state per-job throughput in samples/second (the
+    /// HP-search headline metric, §5.3).
+    pub fn steady_per_job_samples_per_sec(&self) -> f64 {
+        let n = self.units.len() as f64;
+        self.units
+            .iter()
+            .map(RunResult::steady_samples_per_sec)
+            .sum::<f64>()
+            / n
+    }
+
+    /// Speedup of this experiment over `baseline`.
+    ///
+    /// Shared-server scenarios (HP search, mixed cluster) compare mean
+    /// per-job throughput, matching the paper's §5.3 metric; single-server
+    /// and distributed runs compare aggregate throughput.
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        let (a, b) = match self.scenario {
+            Scenario::HpSearch { .. } | Scenario::MixedCluster => (
+                self.steady_per_job_samples_per_sec(),
+                baseline.steady_per_job_samples_per_sec(),
+            ),
+            Scenario::SingleServer | Scenario::Distributed { .. } => (
+                self.steady_samples_per_sec(),
+                baseline.steady_samples_per_sec(),
+            ),
+        };
+        if b == 0.0 {
+            f64::INFINITY
+        } else {
+            a / b
+        }
+    }
+
+    /// Read amplification relative to one sweep over the dataset in the
+    /// given epoch (Table 3 / §3.3.1: 8 uncoordinated jobs read up to 7× the
+    /// dataset).
+    pub fn read_amplification(&self, dataset_bytes: u64, epoch: usize) -> f64 {
+        self.disk_bytes_per_epoch[epoch] as f64 / dataset_bytes as f64
+    }
+
+    /// Total disk traffic across all epochs and units.
+    pub fn total_disk_bytes(&self) -> u64 {
+        self.disk_bytes_per_epoch.iter().sum()
+    }
+
+    /// Per-unit disk I/O in the given epoch, in bytes.
+    pub fn disk_bytes_per_server(&self, epoch: usize) -> Vec<u64> {
+        self.units
+            .iter()
+            .map(|r| r.epochs[epoch].bytes_from_disk)
+            .collect()
+    }
+
+    /// Average network receive bandwidth per server in Gbit/s during the
+    /// given epoch (paper §5.5 reports CoorDL uses ~5.7 Gbps of the 40 Gbps).
+    pub fn avg_network_gbps(&self, epoch: usize) -> f64 {
+        let secs = self
+            .units
+            .iter()
+            .map(|r| r.epochs[epoch].epoch_seconds())
+            .fold(0.0, f64::max);
+        if secs == 0.0 {
+            return 0.0;
+        }
+        let per_server_bytes = self
+            .units
+            .iter()
+            .map(|r| r.epochs[epoch].bytes_from_remote as f64)
+            .sum::<f64>()
+            / self.units.len() as f64;
+        per_server_bytes * 8.0 / secs / 1e9
+    }
+
+    /// Extract the sole unit's [`RunResult`] (single-server runs).
+    pub fn into_run_result(mut self) -> RunResult {
+        assert_eq!(self.units.len(), 1, "report has more than one unit");
+        self.units.remove(0)
+    }
+
+    /// Serialise the full report — per-unit, per-epoch metrics including the
+    /// I/O timeline — as a JSON object, for bench trajectory dumps and
+    /// external plotting.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"scenario\":");
+        json_string(&mut out, self.scenario.name());
+        out.push_str(",\"unit_kind\":");
+        json_string(&mut out, self.scenario.unit_label());
+        out.push_str(",\"epochs\":");
+        out.push_str(&self.num_epochs().to_string());
+        out.push_str(",\"disk_bytes_per_epoch\":");
+        json_u64_array(&mut out, &self.disk_bytes_per_epoch);
+        out.push_str(",\"remote_bytes_per_epoch\":");
+        json_u64_array(&mut out, &self.remote_bytes_per_epoch);
+        out.push_str(",\"steady_epoch_seconds\":");
+        json_f64(&mut out, self.steady_epoch_seconds());
+        out.push_str(",\"steady_samples_per_sec\":");
+        json_f64(&mut out, self.steady_samples_per_sec());
+        out.push_str(",\"units\":[");
+        for (i, unit) in self.units.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"epochs\":[");
+            for (j, e) in unit.epochs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                epoch_metrics_json(&mut out, e);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn epoch_metrics_json(out: &mut String, e: &EpochMetrics) {
+    out.push_str("{\"epoch\":");
+    out.push_str(&e.epoch.to_string());
+    out.push_str(",\"epoch_seconds\":");
+    json_f64(out, e.epoch_seconds());
+    out.push_str(",\"compute_seconds\":");
+    json_f64(out, e.breakdown.compute_time.as_secs());
+    out.push_str(",\"fetch_stall_seconds\":");
+    json_f64(out, e.breakdown.fetch_stall.as_secs());
+    out.push_str(",\"prep_stall_seconds\":");
+    json_f64(out, e.breakdown.prep_stall.as_secs());
+    out.push_str(",\"samples\":");
+    out.push_str(&e.samples.to_string());
+    out.push_str(",\"samples_per_sec\":");
+    json_f64(out, e.samples_per_sec());
+    out.push_str(",\"bytes_from_cache\":");
+    out.push_str(&e.bytes_from_cache.to_string());
+    out.push_str(",\"bytes_from_disk\":");
+    out.push_str(&e.bytes_from_disk.to_string());
+    out.push_str(",\"bytes_from_remote\":");
+    out.push_str(&e.bytes_from_remote.to_string());
+    out.push_str(",\"cache_hits\":");
+    out.push_str(&e.cache_hits.to_string());
+    out.push_str(",\"cache_misses\":");
+    out.push_str(&e.cache_misses.to_string());
+    out.push_str(",\"io_timeline\":[");
+    for (i, (t, v)) in e.io_timeline.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        json_f64(out, *t);
+        out.push(',');
+        json_f64(out, *v);
+        out.push(']');
+    }
+    out.push_str("]}");
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_u64_array(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest round-trip formatting is valid JSON for all finite
+        // values; JSON has no NaN/Infinity, so those become null.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::LoaderConfig;
+    use dataset::DatasetSpec;
+    use gpu::ModelKind;
+    use prep::PrepBackend;
+    use std::cell::RefCell;
+
+    fn small_ds() -> DatasetSpec {
+        DatasetSpec::imagenet_1k().scaled(2000)
+    }
+
+    fn ssd(ds: &DatasetSpec, frac: f64) -> ServerConfig {
+        ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), frac)
+    }
+
+    #[test]
+    fn single_server_report_has_one_unit_per_job_metrics() {
+        let ds = small_ds();
+        let server = ssd(&ds, 0.5);
+        let job = JobSpec::new(
+            ModelKind::ResNet18,
+            ds,
+            8,
+            LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
+        );
+        let report = Experiment::on(&server).job(job).epochs(2).run();
+        assert_eq!(report.scenario, Scenario::SingleServer);
+        assert_eq!(report.num_units(), 1);
+        assert_eq!(report.num_epochs(), 2);
+        assert_eq!(report.single().epochs.len(), 2);
+        assert_eq!(
+            report.disk_bytes_per_epoch[0],
+            report.single().epochs[0].bytes_from_disk
+        );
+        assert!(report.steady_samples_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn hp_search_clones_template_job_with_distinct_seeds() {
+        let ds = small_ds();
+        let server = ssd(&ds, 0.5);
+        let job = JobSpec::new(
+            ModelKind::ResNet18,
+            ds,
+            1,
+            LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
+        )
+        .with_batch(64);
+        let report = Experiment::on(&server)
+            .job(job)
+            .scenario(Scenario::HpSearch { jobs: 4 })
+            .epochs(2)
+            .run();
+        assert_eq!(report.num_units(), 4);
+        // All jobs processed the full dataset.
+        for unit in report.per_job() {
+            assert_eq!(unit.epochs.len(), 2);
+            assert!(unit.steady_state().samples > 0);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_epoch_in_order() {
+        let ds = small_ds();
+        let server = ssd(&ds, 0.5);
+        let job = JobSpec::new(
+            ModelKind::ResNet18,
+            ds,
+            1,
+            LoaderConfig::coordl(PrepBackend::DaliGpu),
+        )
+        .with_batch(64);
+        let seen: RefCell<Vec<(u64, usize)>> = RefCell::new(Vec::new());
+        let report = Experiment::on(&server)
+            .job(job)
+            .scenario(Scenario::HpSearch { jobs: 3 })
+            .epochs(3)
+            .observer(|update| {
+                assert_eq!(update.scenario, Scenario::HpSearch { jobs: 3 });
+                seen.borrow_mut().push((update.epoch, update.units.len()));
+            })
+            .run();
+        assert_eq!(seen.into_inner(), vec![(0, 3), (1, 3), (2, 3)]);
+        assert_eq!(report.num_epochs(), 3);
+    }
+
+    #[test]
+    fn json_serialisation_is_well_formed() {
+        let ds = small_ds();
+        let server = ssd(&ds, 0.5);
+        let job = JobSpec::new(
+            ModelKind::ResNet18,
+            ds,
+            8,
+            LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
+        );
+        let report = Experiment::on(&server).job(job).epochs(2).run();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"scenario\":\"single-server\""));
+        assert!(json.contains("\"epoch\":0"));
+        assert!(json.contains("\"io_timeline\":["));
+        // Balanced braces/brackets (cheap well-formedness check: none of the
+        // serialised strings contain braces).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains("inf") && !json.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dataset")]
+    fn hp_search_rejects_heterogeneous_datasets() {
+        let ds = small_ds();
+        let other = DatasetSpec::new("other", 100, 1000, 0.0, 6.0);
+        let server = ssd(&ds, 0.5);
+        let _ = Experiment::on(&server)
+            .jobs([
+                JobSpec::new(ModelKind::ResNet18, ds, 1, LoaderConfig::pytorch_dl()),
+                JobSpec::new(ModelKind::ResNet18, other, 1, LoaderConfig::pytorch_dl()),
+            ])
+            .scenario(Scenario::HpSearch { jobs: 2 })
+            .run();
+    }
+
+    #[test]
+    fn mixed_cluster_accepts_heterogeneous_datasets() {
+        let ds_a = DatasetSpec::imagenet_1k().scaled(4000);
+        let ds_b = DatasetSpec::openimages_extended().scaled(4000);
+        let cache = ds_a.total_bytes() / 2 + ds_b.total_bytes() / 2;
+        let server = ServerConfig::config_ssd_v100().with_cache_bytes(cache);
+        let report = Experiment::on(&server)
+            .jobs([
+                JobSpec::new(
+                    ModelKind::ResNet18,
+                    ds_a.clone(),
+                    4,
+                    LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
+                ),
+                JobSpec::new(
+                    ModelKind::AlexNet,
+                    ds_b.clone(),
+                    4,
+                    LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
+                ),
+            ])
+            .scenario(Scenario::MixedCluster)
+            .epochs(2)
+            .run();
+        assert_eq!(report.num_units(), 2);
+        // Each job swept its own dataset: per-unit fetched bytes match the
+        // respective dataset sizes, not each other's.
+        let total_a: u64 = report.per_job()[0]
+            .epochs
+            .iter()
+            .map(|e| e.bytes_from_cache + e.bytes_from_disk)
+            .sum();
+        let total_b: u64 = report.per_job()[1]
+            .epochs
+            .iter()
+            .map(|e| e.bytes_from_cache + e.bytes_from_disk)
+            .sum();
+        assert!((total_a as f64 / (2.0 * ds_a.total_bytes() as f64) - 1.0).abs() < 0.05);
+        assert!((total_b as f64 / (2.0 * ds_b.total_bytes() as f64) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn mixed_cluster_does_not_alias_cache_keys_across_formats() {
+        // Same dataset, different on-storage formats: a file-per-item job's
+        // item keys must not collide with a TFRecord job's chunk keys in the
+        // shared cache.  With aliasing, one job would record warm-up cache
+        // hits for fetch units the other job inserted.
+        let ds = small_ds();
+        let server = ssd(&ds, 0.6);
+        let report = Experiment::on(&server)
+            .jobs([
+                JobSpec::new(
+                    ModelKind::ResNet18,
+                    ds.clone(),
+                    4,
+                    LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
+                )
+                .with_batch(64),
+                JobSpec::new(ModelKind::ResNet18, ds, 4, LoaderConfig::tfrecord()).with_batch(64),
+            ])
+            .scenario(Scenario::MixedCluster)
+            .epochs(1)
+            .run();
+        for (i, unit) in report.per_job().iter().enumerate() {
+            assert_eq!(
+                unit.epochs[0].bytes_from_cache, 0,
+                "job {i} saw phantom warm-up cache hits: formats alias in the shared cache"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "GPUs")]
+    fn gpu_oversubscription_rejected() {
+        let ds = small_ds();
+        let server = ssd(&ds, 0.5);
+        let job = JobSpec::new(ModelKind::ResNet18, ds, 8, LoaderConfig::pytorch_dl());
+        let _ = Experiment::on(&server)
+            .job(job)
+            .scenario(Scenario::HpSearch { jobs: 2 })
+            .run();
+    }
+}

@@ -7,21 +7,18 @@
 //! With CoorDL's *coordinated prep*, the dataset is fetched and pre-processed
 //! exactly once per epoch by the ensemble and every prepared minibatch is
 //! consumed by every job through the cross-job staging area.
+//!
+//! The driver lives in [`crate::Experiment`] with
+//! [`Scenario::HpSearch`](crate::Scenario::HpSearch); this module keeps the
+//! legacy free-function entry point and its result type as deprecated shims.
 
 use crate::config::ServerConfig;
-use crate::engine::{
-    access_pattern, compute_secs_for_batch, fetch_batch_local, fetch_stream, prep_secs_for_batch,
-    EpochAccumulator,
-};
+use crate::experiment::{Experiment, Scenario, SimReport};
 use crate::job::JobSpec;
-use crate::metrics::{EpochMetrics, RunResult};
-use dataset::{minibatches, EpochSampler};
-use prep::PrepCostModel;
-use storage::StorageNode;
+use crate::metrics::RunResult;
 
-const IO_BINS: usize = 40;
-
-/// Result of an HP-search simulation.
+/// Result of an HP-search simulation (legacy shape; superseded by
+/// [`SimReport`]).
 #[derive(Debug, Clone, Default)]
 pub struct HpSearchResult {
     /// Per-job run results (jobs are symmetric, so these are near-identical).
@@ -66,198 +63,33 @@ impl HpSearchResult {
     }
 }
 
+impl From<SimReport> for HpSearchResult {
+    fn from(report: SimReport) -> Self {
+        HpSearchResult {
+            disk_bytes_per_epoch: report.disk_bytes_per_epoch.clone(),
+            per_job: report.units,
+        }
+    }
+}
+
 /// Simulate `epochs` epochs of `jobs` concurrent HP-search jobs on `server`.
 ///
 /// All jobs must train the same dataset (that is the HP-search setting the
 /// paper considers); they may differ in seed, batch size or GPU count.  The
 /// loader of the *first* job decides whether coordinated prep is used (all
 /// jobs run the same loader during HP search).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Experiment::on(server).jobs(jobs).scenario(Scenario::HpSearch { jobs: n }).epochs(n).run()"
+)]
 pub fn simulate_hp_search(server: &ServerConfig, jobs: &[JobSpec], epochs: u64) -> HpSearchResult {
     assert!(!jobs.is_empty(), "need at least one job");
-    assert!(epochs > 0, "need at least one epoch");
-    let total_gpus: usize = jobs.iter().map(|j| j.num_gpus).sum();
-    assert!(
-        total_gpus <= server.num_gpus,
-        "jobs use {total_gpus} GPUs but the server has {}",
-        server.num_gpus
-    );
-    for j in jobs {
-        assert_eq!(
-            j.dataset, jobs[0].dataset,
-            "HP-search jobs must share a dataset"
-        );
-    }
-
-    let coordinated = jobs[0].loader.coordinated_prep;
-    let mut node = StorageNode::new(
-        server.device,
-        jobs[0].loader.cache_policy,
-        server.dram_cache_bytes,
-    );
-
-    let mut result = HpSearchResult {
-        per_job: vec![RunResult::default(); jobs.len()],
-        disk_bytes_per_epoch: Vec::new(),
-    };
-
-    for epoch in 0..epochs {
-        node.reset_epoch_stats();
-        let per_epoch = if coordinated {
-            simulate_coordinated_epoch(server, jobs, &mut node, epoch)
-        } else {
-            simulate_uncoordinated_epoch(server, jobs, &mut node, epoch)
-        };
-        let disk: u64 = per_epoch.iter().map(|m| m.bytes_from_disk).sum();
-        result.disk_bytes_per_epoch.push(disk);
-        for (job_idx, m) in per_epoch.into_iter().enumerate() {
-            result.per_job[job_idx].epochs.push(m);
-        }
-    }
-    result
-}
-
-/// Uncoordinated baseline: every job sweeps the dataset independently.
-///
-/// Jobs are interleaved minibatch by minibatch so their accesses mix in the
-/// shared page cache exactly as concurrent processes' would; each job gets an
-/// even share of the CPU cores and of the device bandwidth.
-fn simulate_uncoordinated_epoch(
-    server: &ServerConfig,
-    jobs: &[JobSpec],
-    node: &mut StorageNode,
-    epoch: u64,
-) -> Vec<EpochMetrics> {
-    let num_jobs = jobs.len();
-    let disk_share = 1.0 / num_jobs as f64;
-
-    struct JobState {
-        batches: Vec<Vec<u64>>,
-        fetch_order: Vec<u64>,
-        acc: EpochAccumulator,
-        cores: f64,
-    }
-
-    let mut states: Vec<JobState> = jobs
-        .iter()
-        .map(|job| {
-            let sampler = EpochSampler::new(job.dataset.num_items, job.seed);
-            let consume = sampler.permutation(epoch);
-            let fetch_order = fetch_stream(job, &consume);
-            let cost = PrepCostModel::for_pipeline(&job.pipeline, job.loader.prep_backend);
-            let per_job_cores = server.cpu_cores as f64 / num_jobs as f64;
-            JobState {
-                batches: minibatches(&consume, job.global_batch()),
-                fetch_order,
-                acc: EpochAccumulator::new(epoch, job.loader.prefetch_depth),
-                cores: cost.effective_cores(per_job_cores, per_job_cores),
-            }
-        })
-        .collect();
-
-    let max_batches = states.iter().map(|s| s.batches.len()).max().unwrap_or(0);
-    for b in 0..max_batches {
-        for (job_idx, (job, state)) in jobs.iter().zip(states.iter_mut()).enumerate() {
-            if b >= state.batches.len() {
-                continue;
-            }
-            // Concurrent jobs are never in lockstep: each starts its sweep at
-            // a different position in its own epoch order (TensorFlow shards
-            // record files across jobs, PyTorch workers drift apart within a
-            // few iterations).  Offsetting each job's batch index models that
-            // drift; without it, sequential readers would all touch the same
-            // chunk at the same instant and the shared cache would hide the
-            // read amplification the paper measures (§3.3.1, Table 3).
-            let offset = job_idx * state.batches.len() / num_jobs;
-            let b = (b + offset) % state.batches.len();
-            let batch = &state.batches[b];
-            let global = job.global_batch();
-            let start = b * global;
-            let end = (start + batch.len()).min(state.fetch_order.len());
-            let fetch_items = state.fetch_order[start..end].to_vec();
-            let now = state.acc.now();
-            let bf = fetch_batch_local(
-                node,
-                now,
-                &fetch_items,
-                &job.dataset,
-                job.loader.format,
-                access_pattern(job),
-                disk_share,
-            );
-            let raw_bytes: u64 = batch.iter().map(|&it| job.dataset.item_size(it)).sum();
-            let prep = prep_secs_for_batch(job, raw_bytes, state.cores);
-            let compute = compute_secs_for_batch(job, server.gpu, batch.len());
-            state.acc.push_batch(&bf, prep, compute, batch.len() as u64);
-        }
-    }
-
-    states.into_iter().map(|s| s.acc.finish(IO_BINS)).collect()
-}
-
-/// CoorDL's coordinated prep: one sweep over the dataset per epoch, shared by
-/// every job through the staging area.
-///
-/// The producing side uses *all* CPU cores and the full device bandwidth (the
-/// jobs collectively are the producer — each prepares its static shard).  The
-/// consuming side is each job's own GPUs, which see every prepared minibatch
-/// exactly once.
-fn simulate_coordinated_epoch(
-    server: &ServerConfig,
-    jobs: &[JobSpec],
-    node: &mut StorageNode,
-    epoch: u64,
-) -> Vec<EpochMetrics> {
-    let lead = &jobs[0];
-    let sampler = EpochSampler::new(lead.dataset.num_items, lead.seed);
-    let consume = sampler.permutation(epoch);
-    let fetch_order = fetch_stream(lead, &consume);
-    let batches = minibatches(&consume, lead.global_batch());
-    let cost = PrepCostModel::for_pipeline(&lead.pipeline, lead.loader.prep_backend);
-    let cores = cost.effective_cores(server.cpu_cores as f64, server.cpu_cores as f64);
-
-    let mut accs: Vec<EpochAccumulator> = jobs
-        .iter()
-        .map(|j| EpochAccumulator::new(epoch, j.loader.prefetch_depth))
-        .collect();
-
-    for (b, batch) in batches.iter().enumerate() {
-        let global = lead.global_batch();
-        let start = b * global;
-        let end = (start + batch.len()).min(fetch_order.len());
-        let fetch_items = &fetch_order[start..end];
-        let now = accs[0].now();
-        // Fetch + prep happen once for the whole ensemble.
-        let bf = fetch_batch_local(
-            node,
-            now,
-            fetch_items,
-            &lead.dataset,
-            lead.loader.format,
-            access_pattern(lead),
-            1.0,
-        );
-        let raw_bytes: u64 = batch.iter().map(|&it| lead.dataset.item_size(it)).sum();
-        let prep = prep_secs_for_batch(lead, raw_bytes, cores);
-        for (job, acc) in jobs.iter().zip(accs.iter_mut()) {
-            let compute = compute_secs_for_batch(job, server.gpu, batch.len());
-            acc.push_batch(&bf, prep, compute, batch.len() as u64);
-        }
-    }
-
-    // The fetch/prep work is shared: every accumulator saw the same per-batch
-    // fetch (so its stall timing is right), but the bytes must be attributed
-    // once to the ensemble, not once per job.  Keep them on the first job and
-    // zero the rest so the caller's per-epoch disk totals are not inflated.
-    let mut metrics: Vec<EpochMetrics> = accs.into_iter().map(|a| a.finish(IO_BINS)).collect();
-    for m in metrics.iter_mut().skip(1) {
-        m.bytes_from_disk = 0;
-        m.bytes_from_cache = 0;
-        m.bytes_from_remote = 0;
-        m.cache_hits = 0;
-        m.cache_misses = 0;
-        m.io_timeline.clear();
-    }
-    metrics
+    Experiment::on(server)
+        .jobs(jobs.to_vec())
+        .scenario(Scenario::HpSearch { jobs: jobs.len() })
+        .epochs(epochs)
+        .run()
+        .into()
 }
 
 #[cfg(test)]
@@ -282,19 +114,26 @@ mod tests {
             .collect()
     }
 
+    fn run_hp(server: &ServerConfig, jobs: &[JobSpec], epochs: u64) -> SimReport {
+        Experiment::on(server)
+            .jobs(jobs.to_vec())
+            .scenario(Scenario::HpSearch { jobs: jobs.len() })
+            .epochs(epochs)
+            .run()
+    }
+
     #[test]
     fn uncoordinated_hp_search_amplifies_disk_reads() {
         // §3.3.1: 8 uncoordinated jobs with 35 % cache produce ~7× read
         // amplification per epoch.
         let ds = small_imagenet();
-        let server = ServerConfig::config_ssd_v100()
-            .with_cache_fraction(ds.total_bytes(), 0.35);
+        let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 0.35);
         let jobs = eight_jobs(
             ModelKind::ResNet18,
             &ds,
             LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
         );
-        let res = simulate_hp_search(&server, &jobs, 2);
+        let res = run_hp(&server, &jobs, 2);
         let amp = res.read_amplification(ds.total_bytes(), 1);
         assert!(
             amp > 4.0 && amp <= 8.3,
@@ -305,27 +144,32 @@ mod tests {
     #[test]
     fn coordinated_prep_fetches_dataset_once_per_epoch() {
         let ds = small_imagenet();
-        let server = ServerConfig::config_ssd_v100()
-            .with_cache_fraction(ds.total_bytes(), 0.35);
-        let jobs = eight_jobs(ModelKind::ResNet18, &ds, LoaderConfig::coordl(PrepBackend::DaliGpu));
-        let res = simulate_hp_search(&server, &jobs, 2);
+        let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 0.35);
+        let jobs = eight_jobs(
+            ModelKind::ResNet18,
+            &ds,
+            LoaderConfig::coordl(PrepBackend::DaliGpu),
+        );
+        let res = run_hp(&server, &jobs, 2);
         // Steady state: only the uncached 65 % is read, once for all jobs.
         let amp = res.read_amplification(ds.total_bytes(), 1);
-        assert!(amp < 0.75, "expected < 0.75x dataset per epoch, got {amp:.2}");
+        assert!(
+            amp < 0.75,
+            "expected < 0.75x dataset per epoch, got {amp:.2}"
+        );
     }
 
     #[test]
     fn coordl_speeds_up_hp_search() {
         let ds = small_imagenet();
-        let server =
-            ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 0.35);
+        let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 0.35);
         let model = ModelKind::AlexNet;
-        let baseline = simulate_hp_search(
+        let baseline = run_hp(
             &server,
             &eight_jobs(model, &ds, LoaderConfig::dali_best(model)),
             3,
         );
-        let coordl = simulate_hp_search(
+        let coordl = run_hp(
             &server,
             &eight_jobs(model, &ds, LoaderConfig::coordl_best(model)),
             3,
@@ -343,15 +187,14 @@ mod tests {
         // alone speeds up AlexNet HP search (~1.9×) because the baseline is
         // prep bound at 3 cores/job.
         let ds = small_imagenet();
-        let server =
-            ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 1.05);
+        let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 1.05);
         let model = ModelKind::AlexNet;
-        let baseline = simulate_hp_search(
+        let baseline = run_hp(
             &server,
             &eight_jobs(model, &ds, LoaderConfig::dali_best(model)),
             2,
         );
-        let coordl = simulate_hp_search(
+        let coordl = run_hp(
             &server,
             &eight_jobs(model, &ds, LoaderConfig::coordl_best(model)),
             2,
@@ -371,28 +214,45 @@ mod tests {
             JobSpec::new(ModelKind::ResNet18, ds, 1, LoaderConfig::pytorch_dl()),
             JobSpec::new(ModelKind::ResNet18, other, 1, LoaderConfig::pytorch_dl()),
         ];
-        let result = std::panic::catch_unwind(|| simulate_hp_search(&server, &jobs, 1));
+        let result = std::panic::catch_unwind(|| run_hp(&server, &jobs, 1));
         assert!(result.is_err());
     }
 
     #[test]
     fn per_job_results_are_symmetric() {
         let ds = small_imagenet();
-        let server =
-            ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 0.5);
+        let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 0.5);
         let jobs = eight_jobs(
             ModelKind::MobileNetV2,
             &ds,
             LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
         );
-        let res = simulate_hp_search(&server, &jobs, 2);
+        let res = run_hp(&server, &jobs, 2);
         let times: Vec<f64> = res
-            .per_job
+            .per_job()
             .iter()
             .map(|r| r.steady_state().epoch_seconds())
             .collect();
         let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = times.iter().cloned().fold(0.0, f64::max);
-        assert!(max / min < 1.25, "jobs should finish within 25% of each other");
+        assert!(
+            max / min < 1.25,
+            "jobs should finish within 25% of each other"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_legacy_result_shape() {
+        let ds = small_imagenet();
+        let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 0.5);
+        let jobs = eight_jobs(
+            ModelKind::ResNet18,
+            &ds,
+            LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
+        );
+        let res = simulate_hp_search(&server, &jobs, 2);
+        assert_eq!(res.per_job.len(), 8);
+        assert_eq!(res.disk_bytes_per_epoch.len(), 2);
     }
 }

@@ -27,11 +27,17 @@ pub struct JobSpec {
 impl JobSpec {
     /// A job using the model's reference batch size (§3.1) on `num_gpus`
     /// GPUs.
-    pub fn new(model: ModelKind, dataset: DatasetSpec, num_gpus: usize, loader: LoaderConfig) -> Self {
+    pub fn new(
+        model: ModelKind,
+        dataset: DatasetSpec,
+        num_gpus: usize,
+        loader: LoaderConfig,
+    ) -> Self {
         assert!(num_gpus > 0, "need at least one GPU");
         let profile = model.profile();
         let pipeline = match profile.task {
-            Task::ImageClassification | Task::LanguageModel => PrepPipeline::image_classification(),
+            Task::ImageClassification => PrepPipeline::image_classification(),
+            Task::LanguageModel => PrepPipeline::language_model(),
             Task::ObjectDetection => PrepPipeline::object_detection(),
             Task::AudioClassification => PrepPipeline::audio_classification(),
         };
@@ -108,6 +114,27 @@ mod tests {
         );
         assert_eq!(audio.batch_per_gpu, 16);
         assert_eq!(audio.pipeline.name, "audio-classification");
+    }
+
+    #[test]
+    fn language_models_use_the_language_pipeline() {
+        // Pins the Task::LanguageModel -> PrepPipeline::language_model()
+        // mapping: BERT/GNMT jobs must not silently run JPEG-decode prep
+        // costs (text tokenisation is far cheaper per byte, which is why the
+        // paper's language models are GPU bound, §3.1).
+        for model in [ModelKind::BertLarge, ModelKind::Gnmt] {
+            let j = JobSpec::new(
+                model,
+                DatasetSpec::new("wiki", 1000, 8 * 1024, 0.2, 3.0),
+                8,
+                LoaderConfig::dali_shuffle(PrepBackend::DaliCpu),
+            );
+            assert_eq!(j.pipeline.name, "language-model", "{:?}", model);
+            assert!(
+                j.pipeline.has_random_augmentation(),
+                "MLM masking is per-epoch random"
+            );
+        }
     }
 
     #[test]

@@ -7,19 +7,29 @@
 //! granularity and reports epoch time, the fetch/prep stall breakdown, cache
 //! hit rates, disk/remote/cache byte counts and an I/O timeline.
 //!
-//! Three training scenarios are modelled, matching the paper's evaluation:
+//! The entry point is the [`Experiment`] builder with a [`Scenario`] matching
+//! the paper's evaluation shapes:
 //!
-//! * [`simulate_single_server`] — one data-parallel job on one server
+//! * [`Scenario::SingleServer`] — one data-parallel job on one server
 //!   (Figure 9a, Figures 2–6, 11, 13, 14, 21),
-//! * [`simulate_hp_search`] — several concurrent hyper-parameter-search jobs
+//! * [`Scenario::HpSearch`] — several concurrent hyper-parameter-search jobs
 //!   sharing one server's CPU, DRAM and storage (Figures 9d/e, 17, 22, 23,
 //!   Tables 3 and 7),
-//! * [`simulate_distributed`] — one job spread across several servers
-//!   (Figures 9b, 10, 18).
+//! * [`Scenario::Distributed`] — one job spread across several servers
+//!   (Figures 9b, 10, 18),
+//! * [`Scenario::MixedCluster`] — heterogeneous jobs (different models,
+//!   datasets, loaders) contending for one server's cache, CPU and disk.
+//!
+//! Every run returns one [`SimReport`]; register an
+//! [`observer`](Experiment::observer) for per-epoch live telemetry and use
+//! [`SimReport::to_json`] to export trajectories.  The legacy free functions
+//! ([`simulate_single_server`], [`simulate_hp_search`],
+//! [`simulate_distributed`]) survive as deprecated shims over [`Experiment`].
 
 pub mod config;
-pub(crate) mod engine;
 pub mod distributed;
+pub(crate) mod engine;
+pub mod experiment;
 pub mod hp;
 pub mod job;
 pub mod loader;
@@ -27,9 +37,13 @@ pub mod metrics;
 pub mod single;
 
 pub use config::ServerConfig;
+#[allow(deprecated)]
 pub use distributed::{simulate_distributed, DistributedResult};
+pub use experiment::{EpochUpdate, Experiment, Scenario, SimReport};
+#[allow(deprecated)]
 pub use hp::{simulate_hp_search, HpSearchResult};
 pub use job::JobSpec;
 pub use loader::{FetchOrder, LoaderConfig, LoaderKind};
 pub use metrics::{EpochMetrics, RunResult};
+#[allow(deprecated)]
 pub use single::simulate_single_server;

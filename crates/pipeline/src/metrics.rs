@@ -91,13 +91,12 @@ impl RunResult {
         };
         let n = tail.len() as f64;
         let avg_time = tail.iter().map(|e| e.epoch_seconds()).sum::<f64>() / n;
-        let avg = |f: &dyn Fn(&EpochMetrics) -> f64| tail.iter().map(|e| f(e)).sum::<f64>() / n;
+        let avg = |f: &dyn Fn(&EpochMetrics) -> f64| tail.iter().map(f).sum::<f64>() / n;
         let mut out = tail[tail.len() - 1].clone();
         out.breakdown.epoch_time = SimTime::from_secs(avg_time);
         out.breakdown.compute_time =
             SimTime::from_secs(avg(&|e| e.breakdown.compute_time.as_secs()));
-        out.breakdown.fetch_stall =
-            SimTime::from_secs(avg(&|e| e.breakdown.fetch_stall.as_secs()));
+        out.breakdown.fetch_stall = SimTime::from_secs(avg(&|e| e.breakdown.fetch_stall.as_secs()));
         out.breakdown.prep_stall = SimTime::from_secs(avg(&|e| e.breakdown.prep_stall.as_secs()));
         out.samples = (avg(&|e| e.samples as f64)) as u64;
         out.bytes_from_cache = avg(&|e| e.bytes_from_cache as f64) as u64;
@@ -165,7 +164,11 @@ mod tests {
     #[test]
     fn steady_state_ignores_warmup() {
         let run = RunResult {
-            epochs: vec![epoch(0, 100.0, 1000, 999), epoch(1, 10.0, 1000, 5), epoch(2, 12.0, 1000, 7)],
+            epochs: vec![
+                epoch(0, 100.0, 1000, 999),
+                epoch(1, 10.0, 1000, 5),
+                epoch(2, 12.0, 1000, 7),
+            ],
         };
         let ss = run.steady_state();
         assert!((ss.epoch_seconds() - 11.0).abs() < 1e-9);

@@ -1,78 +1,31 @@
 //! Single-server, single-job training (the paper's §5.1 scenario and most of
 //! the §3 analysis).
+//!
+//! The driver lives in [`crate::Experiment`] with
+//! [`Scenario::SingleServer`](crate::Scenario::SingleServer); this module
+//! keeps the legacy free-function entry point as a deprecated shim.
 
 use crate::config::ServerConfig;
-use crate::engine::{
-    access_pattern, compute_secs_for_batch, fetch_batch_local, fetch_stream, prep_secs_for_batch,
-    EpochAccumulator,
-};
+use crate::experiment::{Experiment, Scenario};
 use crate::job::JobSpec;
 use crate::metrics::RunResult;
-use dataset::{minibatches, EpochSampler};
-use prep::PrepCostModel;
-use storage::StorageNode;
-
-/// Number of bins used for the per-epoch I/O timeline.
-const IO_BINS: usize = 40;
 
 /// Simulate `epochs` epochs of `job` running alone on `server`.
 ///
 /// The cache starts cold; epoch 0 is the warm-up epoch the paper excludes
 /// from averages.  The job has the whole server to itself: all CPU cores, the
 /// full device bandwidth and the entire DRAM cache.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Experiment::on(server).job(job).scenario(Scenario::SingleServer).epochs(n).run()"
+)]
 pub fn simulate_single_server(server: &ServerConfig, job: &JobSpec, epochs: u64) -> RunResult {
-    assert!(epochs > 0, "need at least one epoch");
-    assert!(
-        job.num_gpus <= server.num_gpus,
-        "job wants {} GPUs but the server has {}",
-        job.num_gpus,
-        server.num_gpus
-    );
-    let mut node = StorageNode::new(
-        server.device,
-        job.loader.cache_policy,
-        server.dram_cache_bytes,
-    );
-    let mut run = RunResult::default();
-    for epoch in 0..epochs {
-        node.reset_epoch_stats();
-        run.epochs
-            .push(simulate_epoch(server, job, &mut node, epoch));
-    }
-    run
-}
-
-/// Simulate one epoch of a single job against an existing storage node
-/// (shared with other epochs so the cache stays warm).
-pub(crate) fn simulate_epoch(
-    server: &ServerConfig,
-    job: &JobSpec,
-    node: &mut StorageNode,
-    epoch: u64,
-) -> crate::metrics::EpochMetrics {
-    let sampler = EpochSampler::new(job.dataset.num_items, job.seed);
-    let consume_order = sampler.permutation(epoch);
-    let fetch_order = fetch_stream(job, &consume_order);
-    let pattern = access_pattern(job);
-    let global_batch = job.global_batch();
-    let batches = minibatches(&consume_order, global_batch);
-
-    let cost = PrepCostModel::for_pipeline(&job.pipeline, job.loader.prep_backend);
-    let cores = cost.effective_cores(server.cpu_cores as f64, server.cpu_cores as f64);
-
-    let mut acc = EpochAccumulator::new(epoch, job.loader.prefetch_depth);
-    for (i, batch) in batches.iter().enumerate() {
-        let start = i * global_batch;
-        let end = (start + batch.len()).min(fetch_order.len());
-        let fetch_items = &fetch_order[start..end];
-        let now = acc.now();
-        let bf = fetch_batch_local(node, now, fetch_items, &job.dataset, job.loader.format, pattern, 1.0);
-        let raw_bytes: u64 = batch.iter().map(|&it| job.dataset.item_size(it)).sum();
-        let prep = prep_secs_for_batch(job, raw_bytes, cores);
-        let compute = compute_secs_for_batch(job, server.gpu, batch.len());
-        acc.push_batch(&bf, prep, compute, batch.len() as u64);
-    }
-    acc.finish(IO_BINS)
+    Experiment::on(server)
+        .job(job.clone())
+        .scenario(Scenario::SingleServer)
+        .epochs(epochs)
+        .run()
+        .into_run_result()
 }
 
 #[cfg(test)]
@@ -93,6 +46,14 @@ mod tests {
         ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), cache_frac)
     }
 
+    fn run_single(server: &ServerConfig, job: &JobSpec, epochs: u64) -> RunResult {
+        Experiment::on(server)
+            .job(job.clone())
+            .epochs(epochs)
+            .run()
+            .into_run_result()
+    }
+
     #[test]
     fn fully_cached_run_has_no_fetch_stalls_after_warmup() {
         let ds = small_openimages();
@@ -105,7 +66,7 @@ mod tests {
             8,
             LoaderConfig::dali_shuffle(PrepBackend::DaliCpu),
         );
-        let run = simulate_single_server(&server, &job, 3);
+        let run = run_single(&server, &job, 3);
         let ss = run.steady_state();
         assert_eq!(ss.bytes_from_disk, 0, "everything should be cached");
         assert!(ss.fetch_stall_fraction() < 0.02);
@@ -121,7 +82,7 @@ mod tests {
             8,
             LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
         );
-        let run = simulate_single_server(&server, &job, 2);
+        let run = run_single(&server, &job, 2);
         let ss = run.steady_state();
         assert!(
             ss.fetch_stall_fraction() > 0.5,
@@ -142,7 +103,7 @@ mod tests {
             8,
             LoaderConfig::dali_shuffle(PrepBackend::DaliCpu),
         );
-        let run = simulate_single_server(&server, &job, 2);
+        let run = run_single(&server, &job, 2);
         let ss = run.steady_state();
         assert!(
             ss.prep_stall_fraction() > 0.3,
@@ -163,8 +124,8 @@ mod tests {
             LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
         );
         let coordl = dali.with_loader(LoaderConfig::coordl(PrepBackend::DaliGpu));
-        let dali_run = simulate_single_server(&server, &dali, 3);
-        let coordl_run = simulate_single_server(&server, &coordl, 3);
+        let dali_run = run_single(&server, &dali, 3);
+        let coordl_run = run_single(&server, &coordl, 3);
         let dali_ss = dali_run.steady_state();
         let coordl_ss = coordl_run.steady_state();
         // CoorDL's MinIO cache reaches the capacity-miss minimum (~35 % of
@@ -191,7 +152,7 @@ mod tests {
             8,
             LoaderConfig::coordl(PrepBackend::DaliGpu),
         );
-        let run = simulate_single_server(&server, &job, 2);
+        let run = run_single(&server, &job, 2);
         let warm = run.warmup();
         // Cold cache: every byte of the first epoch comes from storage.
         assert_eq!(warm.bytes_from_cache, 0);
@@ -212,7 +173,7 @@ mod tests {
             8,
             LoaderConfig::dali_shuffle(PrepBackend::DaliCpu),
         );
-        let run = simulate_single_server(&server, &job, 2);
+        let run = run_single(&server, &job, 2);
         assert!(run.steady_state().breakdown.stall_fraction() < 0.05);
     }
 
@@ -226,7 +187,7 @@ mod tests {
             8,
             LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
         );
-        let run = simulate_single_server(&server, &job, 2);
+        let run = run_single(&server, &job, 2);
         let e = &run.epochs[1];
         assert!(!e.io_timeline.is_empty());
         let sum: f64 = e.io_timeline.iter().map(|&(_, v)| v).sum();
@@ -239,6 +200,21 @@ mod tests {
         let ds = small_openimages();
         let server = ssd_server(&ds, 1.05);
         let job = JobSpec::new(ModelKind::ResNet18, ds, 16, LoaderConfig::pytorch_dl());
-        let _ = simulate_single_server(&server, &job, 1);
+        let _ = run_single(&server, &job, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_works() {
+        let ds = small_openimages();
+        let server = ssd_server(&ds, 0.5);
+        let job = JobSpec::new(
+            ModelKind::ResNet18,
+            ds,
+            8,
+            LoaderConfig::coordl(PrepBackend::DaliGpu),
+        );
+        let run = simulate_single_server(&server, &job, 2);
+        assert_eq!(run.epochs.len(), 2);
     }
 }

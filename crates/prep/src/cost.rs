@@ -63,10 +63,25 @@ impl PrepCostModel {
     pub fn for_pipeline(pipeline: &PrepPipeline, backend: PrepBackend) -> Self {
         // Audio items are large compressed streams; decoding them is cheaper
         // per byte than JPEG decode, which is why the audio model is mostly
-        // fetch-bound rather than prep-bound in the paper.
+        // fetch-bound rather than prep-bound in the paper.  Text tokenisation
+        // is cheaper still: language models are GPU bound and the paper
+        // excludes them from the stall analysis entirely (§3.1).
         let audio = pipeline.name.contains("audio");
-        let per_core_dali = if audio { 80.0 * MB } else { 30.6 * MB };
-        let per_core_pytorch = if audio { 40.0 * MB } else { 13.6 * MB };
+        let text = pipeline.name.contains("language");
+        let per_core_dali = if text {
+            200.0 * MB
+        } else if audio {
+            80.0 * MB
+        } else {
+            30.6 * MB
+        };
+        let per_core_pytorch = if text {
+            120.0 * MB
+        } else if audio {
+            40.0 * MB
+        } else {
+            13.6 * MB
+        };
         match backend {
             PrepBackend::PytorchCpu => PrepCostModel {
                 cpu_bytes_per_sec_per_core: per_core_pytorch,
@@ -142,11 +157,7 @@ mod tests {
         // 24 cores + 8 GPUs -> ~1062 MB/s.
         let m = PrepCostModel::for_pipeline(&image(), PrepBackend::DaliGpu);
         let tput = m.throughput_bps(24.0, 8.0);
-        assert!(
-            (tput / MB - 1062.0).abs() < 60.0,
-            "got {} MB/s",
-            tput / MB
-        );
+        assert!((tput / MB - 1062.0).abs() < 60.0, "got {} MB/s", tput / MB);
     }
 
     #[test]

@@ -118,6 +118,25 @@ impl ExecutablePipeline {
                     .map(|(_, b)| b)
                     .collect()
             }
+            TransformKind::Tokenize => {
+                // "Tokenise": fold each 4-byte window into one subword id —
+                // deterministic, like a real tokeniser.
+                input
+                    .chunks(4)
+                    .map(|c| {
+                        c.iter()
+                            .fold(0u8, |acc, &b| acc.wrapping_mul(31).wrapping_add(b))
+                    })
+                    .collect()
+            }
+            TransformKind::MaskTokens => {
+                // BERT-style MLM masking: replace ~15 % of tokens with a mask
+                // marker, re-drawn every epoch.
+                input
+                    .into_iter()
+                    .map(|b| if rng.gen_bool(0.15) { 0xFF } else { b })
+                    .collect()
+            }
             TransformKind::NormalizeToTensor => {
                 // Byte-wise "normalisation": subtract the running mean.
                 if input.is_empty() {

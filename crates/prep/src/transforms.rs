@@ -22,6 +22,10 @@ pub enum TransformKind {
     AudioAugment,
     /// Bounding-box aware crop used by SSD object detection.
     SsdCropWithBoxes,
+    /// Subword tokenisation (BPE/WordPiece) of raw text.
+    Tokenize,
+    /// Random token masking for masked-language-model training (BERT-style).
+    MaskTokens,
 }
 
 impl TransformKind {
@@ -43,6 +47,8 @@ impl TransformKind {
             TransformKind::AudioAugment => 0.05,
             TransformKind::SsdCropWithBoxes => 0.25,
             // NormalizeToTensor shared by audio path too.
+            TransformKind::Tokenize => 0.30,
+            TransformKind::MaskTokens => 0.05,
         }
     }
 
@@ -55,6 +61,7 @@ impl TransformKind {
                 | TransformKind::ColorJitter
                 | TransformKind::AudioAugment
                 | TransformKind::SsdCropWithBoxes
+                | TransformKind::MaskTokens
         )
     }
 
@@ -117,6 +124,22 @@ impl PrepPipeline {
                 TransformKind::DecodeAudio,
                 TransformKind::ResampleAudio,
                 TransformKind::AudioAugment,
+                TransformKind::NormalizeToTensor,
+            ],
+        }
+    }
+
+    /// Language-model pipeline (BERT/GNMT style): tokenise, random masking,
+    /// tensor conversion.  Text prep is far cheaper per byte than image or
+    /// audio decode — the paper excludes language models from the stall
+    /// analysis because they are GPU bound (§3.1) — which the cost model
+    /// reflects.
+    pub fn language_model() -> Self {
+        PrepPipeline {
+            name: "language-model".to_string(),
+            transforms: vec![
+                TransformKind::Tokenize,
+                TransformKind::MaskTokens,
                 TransformKind::NormalizeToTensor,
             ],
         }

@@ -1,0 +1,212 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Runs each benchmark closure for a short, fixed measurement window and
+//! prints the mean time per iteration (plus derived throughput). There is no
+//! statistical analysis, warm-up tuning or HTML report — just enough to keep
+//! `cargo bench` useful for relative comparisons offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring one benchmark.
+const MEASUREMENT_WINDOW: Duration = Duration::from_millis(300);
+
+/// Throughput declaration used to derive elements/s or bytes/s.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup; ignored by this shim.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly for the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed call to warm caches and find a per-iteration estimate.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+        let target =
+            (MEASUREMENT_WINDOW.as_nanos() / estimate.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.iters = target;
+        self.nanos_per_iter = elapsed.as_nanos() as f64 / target as f64;
+    }
+
+    /// Like `iter`, but re-creates the input with `setup` outside the timed
+    /// region on every iteration.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+        let target =
+            (MEASUREMENT_WINDOW.as_nanos() / estimate.as_nanos().max(1)).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.iters = target;
+        self.nanos_per_iter = total.as_nanos() as f64 / target as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sample count is fixed in this shim; accepted for API compatibility.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 0,
+            nanos_per_iter: 0.0,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters: 0,
+            nanos_per_iter: 0.0,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let per_iter = Duration::from_nanos(bencher.nanos_per_iter as u64);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 * 1e9 / bencher.nanos_per_iter)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>12.1} MiB/s",
+                    n as f64 * 1e9 / bencher.nanos_per_iter / (1024.0 * 1024.0)
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id:<24} {:>12?}/iter ({} iters){rate}",
+            self.name, per_iter, bencher.iters
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions under one name, as real criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -213,7 +213,11 @@ mod tests {
         let b = run(&samples, 2);
         assert_eq!(b.iterations, 10);
         // Only the first iteration pays the fill latency (0.02s).
-        assert!(b.data_stall().as_secs() < 0.03, "stall = {:?}", b.data_stall());
+        assert!(
+            b.data_stall().as_secs() < 0.03,
+            "stall = {:?}",
+            b.data_stall()
+        );
         assert!((b.compute_time.as_secs() - 10.0).abs() < 1e-9);
         assert!(b.epoch_time.as_secs() < 10.05);
     }
@@ -266,7 +270,7 @@ mod tests {
         let samples = vec![(0.2, 0.3, 0.25); 30];
         let b = run(&samples, 2);
         let total = b.fetch_stall_fraction() + b.prep_stall_fraction();
-        assert!(total >= 0.0 && total <= 1.0);
+        assert!((0.0..=1.0).contains(&total));
         assert!((b.stall_fraction() - total).abs() < 1e-9);
     }
 

@@ -188,8 +188,18 @@ impl FairShareResource {
     /// Run the resource until every admitted flow has completed and return
     /// the completion time of the last one (or the current time when idle).
     pub fn drain(&mut self) -> SimTime {
-        while let Some((t, _)) = self.next_completion() {
-            self.advance_to(t);
+        while let Some((t, id)) = self.next_completion() {
+            let completed = self.advance_to(t);
+            if completed.is_empty() {
+                // advance_to reached `t` (it never stops short) yet nobody
+                // finished: the shortest flow's remaining work is below one
+                // ulp of virtual time, so the segment rounded to zero length
+                // and the loop would never make progress.  Retire the flow
+                // directly and account the residual work.
+                if let Some(flow) = self.flows.remove(&id) {
+                    self.completed_work += flow.remaining;
+                }
+            }
         }
         self.now
     }
@@ -276,6 +286,21 @@ mod tests {
         let done = r.drain();
         assert_eq!(done, SimTime::ZERO);
         assert_eq!(r.active_flows(), 0);
+    }
+
+    #[test]
+    fn drain_terminates_when_remaining_work_is_below_time_resolution() {
+        // Regression test for an infinite loop: with `now` large, a flow
+        // whose remaining/rate is smaller than one ulp of `now` has a
+        // completion time that rounds to `now` itself, so advance_to drains
+        // a zero-length segment and never retires it.
+        let mut r = FairShareResource::new(1.0);
+        let late = secs(1e9);
+        r.arrive(late, 1e-12); // ulp(1e9) ≈ 1.2e-7 ≫ 1e-12 of work
+        let done = r.drain();
+        assert_eq!(r.active_flows(), 0, "sub-ulp flow must still be retired");
+        assert_eq!(done, late);
+        assert!((r.completed_work() - 1e-12).abs() < 1e-18);
     }
 
     #[test]

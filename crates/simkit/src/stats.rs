@@ -111,9 +111,8 @@ impl TimeSeries {
     pub fn binned_sum(&self, bin: SimTime, horizon: SimTime) -> Vec<(SimTime, f64)> {
         assert!(!bin.is_zero(), "bin width must be positive");
         let nbins = (horizon.as_secs() / bin.as_secs()).ceil() as usize;
-        let mut out: Vec<(SimTime, f64)> = (0..nbins.max(1))
-            .map(|i| (bin * i as f64, 0.0))
-            .collect();
+        let mut out: Vec<(SimTime, f64)> =
+            (0..nbins.max(1)).map(|i| (bin * i as f64, 0.0)).collect();
         for &(t, v) in &self.points {
             let idx = ((t.as_secs() / bin.as_secs()) as usize).min(out.len().saturating_sub(1));
             out[idx].1 += v;

@@ -105,7 +105,10 @@ mod tests {
     fn read_seconds_scales_with_bytes() {
         let ssd = DeviceProfile::sata_ssd();
         let t1 = ssd.read_seconds(530_000_000, AccessPattern::Random);
-        assert!((t1 - 1.0).abs() < 0.01, "530 MB at 530 MB/s ≈ 1 s, got {t1}");
+        assert!(
+            (t1 - 1.0).abs() < 0.01,
+            "530 MB at 530 MB/s ≈ 1 s, got {t1}"
+        );
         let t2 = ssd.read_seconds(1_060_000_000, AccessPattern::Random);
         assert!(t2 > 1.9 && t2 < 2.1);
     }

@@ -20,16 +20,23 @@ fn simulated_comparison() {
     // two Config-HDD-1080Ti servers, each able to cache 65 % of the dataset.
     let dataset = DatasetSpec::openimages_extended().scaled(64);
     let model = ModelKind::AlexNet;
-    let server =
-        ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.65);
+    let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.65);
 
-    println!("== Simulated: {} across 2 servers ({}) ==", model.name(), server.name);
+    println!(
+        "== Simulated: {} across 2 servers ({}) ==",
+        model.name(),
+        server.name
+    );
     for (label, loader) in [
         ("DALI-shuffle", LoaderConfig::dali_best(model)),
         ("CoorDL      ", LoaderConfig::coordl_best(model)),
     ] {
         let job = JobSpec::new(model, dataset.clone(), server.num_gpus, loader);
-        let run = simulate_distributed(&server, &job, 2, 3);
+        let run = Experiment::on(&server)
+            .job(job)
+            .scenario(Scenario::Distributed { servers: 2 })
+            .epochs(3)
+            .run();
         let per_server_disk = run.disk_bytes_per_server(2);
         println!(
             "{label}: {:8.1} s/epoch, {:7.0} samples/s, disk I/O per server {:.1} GiB, network {:.2} Gbps",
@@ -42,19 +49,29 @@ fn simulated_comparison() {
         );
     }
 
-    let dali = simulate_distributed(
-        &server,
-        &JobSpec::new(model, dataset.clone(), server.num_gpus, LoaderConfig::dali_best(model)),
-        2,
-        3,
+    let distributed = |job: JobSpec| {
+        Experiment::on(&server)
+            .job(job)
+            .scenario(Scenario::Distributed { servers: 2 })
+            .epochs(3)
+            .run()
+    };
+    let dali = distributed(JobSpec::new(
+        model,
+        dataset.clone(),
+        server.num_gpus,
+        LoaderConfig::dali_best(model),
+    ));
+    let coordl = distributed(JobSpec::new(
+        model,
+        dataset,
+        server.num_gpus,
+        LoaderConfig::coordl_best(model),
+    ));
+    println!(
+        "speedup: {:.1}x (paper reports up to 15x on hard drives)",
+        coordl.speedup_over(&dali)
     );
-    let coordl = simulate_distributed(
-        &server,
-        &JobSpec::new(model, dataset, server.num_gpus, LoaderConfig::coordl_best(model)),
-        2,
-        3,
-    );
-    println!("speedup: {:.1}x (paper reports up to 15x on hard drives)", coordl.speedup_over(&dali));
 }
 
 fn functional_partitioned_cache() {

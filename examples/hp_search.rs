@@ -23,8 +23,7 @@ fn simulated_comparison() {
     let dataset = DatasetSpec::openimages_extended().scaled(64);
     let model = ModelKind::ResNet18;
     // Config-SSD-V100 can cache 65 % of OpenImages-Extended (§5.1).
-    let server =
-        ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.65);
+    let server = ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.65);
     let num_jobs = 8;
 
     let jobs = |loader: LoaderConfig| -> Vec<JobSpec> {
@@ -33,10 +32,20 @@ fn simulated_comparison() {
             .collect()
     };
 
-    let dali = simulate_hp_search(&server, &jobs(LoaderConfig::dali_best(model)), 3);
-    let coordl = simulate_hp_search(&server, &jobs(LoaderConfig::coordl_best(model)), 3);
+    let run = |loader: LoaderConfig| {
+        Experiment::on(&server)
+            .jobs(jobs(loader))
+            .scenario(Scenario::HpSearch { jobs: num_jobs })
+            .epochs(3)
+            .run()
+    };
+    let dali = run(LoaderConfig::dali_best(model));
+    let coordl = run(LoaderConfig::coordl_best(model));
 
-    println!("== Simulated: 8 concurrent {} HP-search jobs ==", model.name());
+    println!(
+        "== Simulated: 8 concurrent {} HP-search jobs ==",
+        model.name()
+    );
     println!(
         "per-job throughput  DALI: {:7.0} samples/s   CoorDL: {:7.0} samples/s  ({:.2}x)",
         dali.steady_per_job_samples_per_sec(),
@@ -72,7 +81,10 @@ fn functional_comparison() {
     )
     .expect("valid coordinated-prep configuration");
 
-    println!("\n== Functional: {} jobs sharing one fetch+prep sweep ==", num_jobs);
+    println!(
+        "\n== Functional: {} jobs sharing one fetch+prep sweep ==",
+        num_jobs
+    );
     for epoch in 0..2u64 {
         let session = group.run_epoch(epoch);
         let handles: Vec<_> = (0..num_jobs)
@@ -101,7 +113,10 @@ fn functional_comparison() {
                 batches,
                 exactly_once
             );
-            assert!(exactly_once, "each job must see every item exactly once per epoch");
+            assert!(
+                exactly_once,
+                "each job must see every item exactly once per epoch"
+            );
             assert_eq!(seen.len() as u64, store.len());
         }
     }

@@ -20,8 +20,7 @@ fn main() {
     // shape of the result is unchanged.
     let dataset = DatasetSpec::imagenet_1k().scaled(64);
     let model = ModelKind::ResNet18;
-    let server =
-        ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.35);
+    let server = ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.35);
     let baseline = JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model));
 
     println!("== Job ==");
@@ -38,9 +37,18 @@ fn main() {
     // --- Step 1: differential profiling (DS-Analyzer §3.2) ---------------
     let report = DifferentialReport::run(&server, &baseline, 3);
     println!("\n== DS-Analyzer differential report ==");
-    println!("epoch time, ingestion-only : {:8.2} s", report.ingestion_epoch_secs);
-    println!("epoch time, fully cached   : {:8.2} s", report.cached_epoch_secs);
-    println!("epoch time, 35% cache      : {:8.2} s", report.actual_epoch_secs);
+    println!(
+        "epoch time, ingestion-only : {:8.2} s",
+        report.ingestion_epoch_secs
+    );
+    println!(
+        "epoch time, fully cached   : {:8.2} s",
+        report.cached_epoch_secs
+    );
+    println!(
+        "epoch time, 35% cache      : {:8.2} s",
+        report.actual_epoch_secs
+    );
     println!(
         "prep stalls: {:.0}% of epoch, fetch stalls: {:.0}% of epoch",
         report.prep_stall_fraction() * 100.0,
@@ -55,7 +63,10 @@ fn main() {
         "component rates (samples/s): G = {:.0}, P = {:.0}, S = {:.0}",
         rates.gpu_rate, rates.prep_rate, rates.storage_rate
     );
-    println!("bottleneck at 35% cache     : {:?}", whatif.bottleneck(0.35));
+    println!(
+        "bottleneck at 35% cache     : {:?}",
+        whatif.bottleneck(0.35)
+    );
     println!(
         "cache fraction to mask fetch stalls: {:.0}%",
         whatif.recommended_cache_fraction() * 100.0
@@ -66,9 +77,22 @@ fn main() {
     );
 
     // --- Step 3: switch the loader to CoorDL and measure ------------------
-    let dali_run = simulate_single_server(&server, &baseline, 3);
+    // The observer streams per-epoch telemetry while the simulation runs.
+    let dali_run = Experiment::on(&server)
+        .job(baseline.clone())
+        .scenario(Scenario::SingleServer)
+        .epochs(3)
+        .observer(|update| {
+            println!(
+                "  [dali epoch {}] {:6.2} s, {:5.0} samples/s",
+                update.epoch,
+                update.units[0].epoch_seconds(),
+                update.units[0].samples_per_sec()
+            );
+        })
+        .run();
     let coordl_job = baseline.with_loader(LoaderConfig::coordl_best(model));
-    let coordl_run = simulate_single_server(&server, &coordl_job, 3);
+    let coordl_run = Experiment::on(&server).job(coordl_job).epochs(3).run();
 
     let dali = dali_run.steady_state();
     let coordl = coordl_run.steady_state();

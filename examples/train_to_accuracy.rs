@@ -76,7 +76,10 @@ fn accuracy_equivalence() {
     let coordinated = train_through_coordinated_group(&group, &store, &config);
 
     println!("== Accuracy vs epoch: plain loader vs coordinated prep (job 0) ==");
-    println!("{:>5}  {:>14}  {:>14}", "epoch", "plain loader", "coordinated");
+    println!(
+        "{:>5}  {:>14}  {:>14}",
+        "epoch", "plain loader", "coordinated"
+    );
     for (b, c) in baseline.iter().zip(&coordinated[0]) {
         println!(
             "{:>5}  {:>13.1}%  {:>13.1}%",
@@ -96,21 +99,27 @@ fn time_to_accuracy() {
     // Config-HDD-1080Ti servers, each caching 50 % of the dataset.
     let dataset = DatasetSpec::imagenet_1k().scaled(64);
     let model = ModelKind::ResNet50;
-    let server =
-        ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.5);
+    let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.5);
 
-    let dali = simulate_distributed(
-        &server,
-        &JobSpec::new(model, dataset.clone(), server.num_gpus, LoaderConfig::dali_best(model)),
-        2,
-        3,
-    );
-    let coordl = simulate_distributed(
-        &server,
-        &JobSpec::new(model, dataset, server.num_gpus, LoaderConfig::coordl_best(model)),
-        2,
-        3,
-    );
+    let distributed = |job: JobSpec| {
+        Experiment::on(&server)
+            .job(job)
+            .scenario(Scenario::Distributed { servers: 2 })
+            .epochs(3)
+            .run()
+    };
+    let dali = distributed(JobSpec::new(
+        model,
+        dataset.clone(),
+        server.num_gpus,
+        LoaderConfig::dali_best(model),
+    ));
+    let coordl = distributed(JobSpec::new(
+        model,
+        dataset,
+        server.num_gpus,
+        LoaderConfig::coordl_best(model),
+    ));
 
     // The accuracy-vs-epoch trajectory is shared; only seconds-per-epoch
     // differ.  Convert a nominal 90-epoch run to wall-clock for both loaders.

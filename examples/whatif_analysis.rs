@@ -22,21 +22,30 @@ use datastalls::prelude::*;
 fn main() {
     let dataset = DatasetSpec::imagenet_1k().scaled(64);
     let model = ModelKind::AlexNet;
-    let server =
-        ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.35);
+    let server = ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.35);
     let job = JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model));
 
     let rates = ProfiledRates::measure(&server, &job);
     let whatif = WhatIfAnalysis::new(rates);
 
-    println!("== Profiled rates for {} on {} ==", model.name(), server.name);
+    println!(
+        "== Profiled rates for {} on {} ==",
+        model.name(),
+        server.name
+    );
     println!("GPU ingestion rate G : {:9.0} samples/s", rates.gpu_rate);
     println!("prep rate          P : {:9.0} samples/s", rates.prep_rate);
-    println!("storage rate       S : {:9.0} samples/s", rates.storage_rate);
+    println!(
+        "storage rate       S : {:9.0} samples/s",
+        rates.storage_rate
+    );
     println!("DRAM rate          C : {:9.0} samples/s", rates.cache_rate);
 
     println!("\n== Predicted training speed vs cache size (Figure 16) ==");
-    println!("{:>8}  {:>12}  {:>10}", "cache %", "samples/s", "bottleneck");
+    println!(
+        "{:>8}  {:>12}  {:>10}",
+        "cache %", "samples/s", "bottleneck"
+    );
     for (x, speed) in whatif.speed_curve(11) {
         println!(
             "{:>7.0}%  {:>12.0}  {:>10}",
@@ -85,13 +94,16 @@ fn main() {
     // A larger (less scaled-down) dataset is used here so the pipeline's
     // ramp-up/drain overhead does not distort the comparison.
     println!("\n== Prediction vs simulation (Table 5 methodology) ==");
-    println!("{:>8}  {:>12}  {:>12}  {:>7}", "cache %", "predicted", "simulated", "error");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>7}",
+        "cache %", "predicted", "simulated", "error"
+    );
     let big = DatasetSpec::imagenet_1k().scaled(16);
     let minio_job = JobSpec::new(model, big.clone(), 8, LoaderConfig::coordl_best(model));
     for frac in [0.25, 0.35, 0.50] {
         let predicted = whatif.predicted_speed(frac);
         let srv = ServerConfig::config_ssd_v100().with_cache_fraction(big.total_bytes(), frac);
-        let run = simulate_single_server(&srv, &minio_job, 3);
+        let run = Experiment::on(&srv).job(minio_job.clone()).epochs(3).run();
         let simulated = run.steady_samples_per_sec();
         let err = (predicted - simulated).abs() / simulated;
         println!(

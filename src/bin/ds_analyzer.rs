@@ -113,7 +113,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.gpus = v
                     .parse::<usize>()
                     .ok()
-                    .filter(|&n| n >= 1 && n <= 8)
+                    .filter(|&n| (1..=8).contains(&n))
                     .ok_or_else(|| format!("gpus must be 1..=8, got {v}"))?;
             }
             "--scale" => {
@@ -157,7 +157,10 @@ fn run(opts: &Options) {
     // Phase 1-3: differential measurement.
     let report = DifferentialReport::run(&server, &job, 3);
     println!("\n-- differential report (per epoch, steady state) --");
-    println!("ingestion-only epoch : {:10.2} s", report.ingestion_epoch_secs);
+    println!(
+        "ingestion-only epoch : {:10.2} s",
+        report.ingestion_epoch_secs
+    );
     println!("fully-cached epoch   : {:10.2} s", report.cached_epoch_secs);
     println!("actual epoch         : {:10.2} s", report.actual_epoch_secs);
     println!(
@@ -196,23 +199,30 @@ fn run(opts: &Options) {
     println!(
         "2x faster GPUs                     : {:.0} -> {:.0} samples/s ({})",
         whatif.predicted_speed(opts.cache_fraction),
-        whatif.with_faster_gpu(2.0).predicted_speed(opts.cache_fraction),
+        whatif
+            .with_faster_gpu(2.0)
+            .predicted_speed(opts.cache_fraction),
         name(whatif.with_faster_gpu(2.0).bottleneck(opts.cache_fraction)),
     );
     println!(
         "NVMe-class storage (6x)            : {:.0} -> {:.0} samples/s ({})",
         whatif.predicted_speed(opts.cache_fraction),
-        whatif.with_faster_storage(6.0).predicted_speed(opts.cache_fraction),
-        name(whatif.with_faster_storage(6.0).bottleneck(opts.cache_fraction)),
+        whatif
+            .with_faster_storage(6.0)
+            .predicted_speed(opts.cache_fraction),
+        name(
+            whatif
+                .with_faster_storage(6.0)
+                .bottleneck(opts.cache_fraction)
+        ),
     );
 
     // And the fix the paper proposes: switch the loader to CoorDL.
-    let dali = simulate_single_server(&server, &job, 3);
-    let coordl = simulate_single_server(
-        &server,
-        &job.with_loader(LoaderConfig::coordl_best(opts.model)),
-        3,
-    );
+    let dali = Experiment::on(&server).job(job.clone()).epochs(3).run();
+    let coordl = Experiment::on(&server)
+        .job(job.with_loader(LoaderConfig::coordl_best(opts.model)))
+        .epochs(3)
+        .run();
     println!(
         "\nswitching DALI -> CoorDL: {:.0} -> {:.0} samples/s ({:.2}x)",
         dali.steady_samples_per_sec(),

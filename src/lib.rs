@@ -46,13 +46,32 @@
 //!          whatif.recommended_cache_fraction() * 100.0);
 //!
 //! // Then measure the actual effect of switching the loader to CoorDL.
-//! let dali = simulate_single_server(&server, &job, 3);
-//! let coordl = simulate_single_server(
-//!     &server,
-//!     &job.with_loader(LoaderConfig::coordl_best(ModelKind::ResNet18)),
-//!     3,
-//! );
+//! // Every scenario runs through the same `Experiment` builder and returns
+//! // one `SimReport`.
+//! let dali = Experiment::on(&server)
+//!     .job(job.clone())
+//!     .scenario(Scenario::SingleServer)
+//!     .epochs(3)
+//!     .run();
+//! let coordl = Experiment::on(&server)
+//!     .job(job.with_loader(LoaderConfig::coordl_best(ModelKind::ResNet18)))
+//!     .epochs(3)
+//!     .run();
 //! assert!(coordl.speedup_over(&dali) >= 1.0);
+//!
+//! // The same builder handles HP search, distributed training and mixed
+//! // clusters — e.g. 8 concurrent HP-search jobs sharing the server:
+//! let hp = Experiment::on(&server)
+//!     .job(JobSpec::new(
+//!         ModelKind::ResNet18,
+//!         DatasetSpec::imagenet_1k().scaled(2000),
+//!         1,
+//!         LoaderConfig::coordl_best(ModelKind::ResNet18),
+//!     ))
+//!     .scenario(Scenario::HpSearch { jobs: 8 })
+//!     .epochs(2)
+//!     .run();
+//! println!("{:.0} samples/s/job", hp.steady_per_job_samples_per_sec());
 //! ```
 //!
 //! ## Workspace layout
@@ -66,7 +85,7 @@
 //! | `coordl-prep` | [`prep`] | pre-processing cost model (PyTorch / DALI-CPU / DALI-GPU) and executable transforms |
 //! | `coordl-gpu` | [`gpu`] | model zoo with calibrated per-GPU ingestion rates |
 //! | `coordl-net` | [`net`] | commodity-Ethernet model used by partitioned caching |
-//! | `coordl-pipeline` | [`pipeline`] | the epoch-level training simulator (single-server, HP search, distributed) |
+//! | `coordl-pipeline` | [`pipeline`] | the [`pipeline::Experiment`] simulator (single-server, HP search, distributed, mixed cluster) |
 //! | `coordl` | [`coordl`] | the functional CoorDL library: MinIO cache, coordinated prep, partitioned cache cluster |
 //! | `ds-analyzer` | [`analyzer`] | differential stall profiling and what-if prediction |
 //! | `coordl-dnn` | [`dnn`] | miniature MLP training substrate for the accuracy-equivalence experiment |
@@ -97,8 +116,8 @@ pub mod prelude {
     pub use crate::dataset::{DataSource, DatasetSpec, LabeledVectorStore, SyntheticItemStore};
     pub use crate::gpu::{GpuGeneration, ModelKind, ModelProfile};
     pub use crate::pipeline::{
-        simulate_distributed, simulate_hp_search, simulate_single_server, JobSpec, LoaderConfig,
-        LoaderKind, RunResult, ServerConfig,
+        EpochMetrics, EpochUpdate, Experiment, JobSpec, LoaderConfig, LoaderKind, RunResult,
+        Scenario, ServerConfig, SimReport,
     };
     pub use crate::prep::{ExecutablePipeline, PrepBackend, PrepPipeline};
     pub use crate::storage::DeviceProfile;
@@ -137,14 +156,24 @@ mod tests {
         // only the prelude.
         let ds = DatasetSpec::imagenet_1k().scaled(2000);
         let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 0.35);
-        let job = JobSpec::new(ModelKind::ResNet18, ds, 8, LoaderConfig::dali_best(ModelKind::ResNet18));
-        let run = simulate_single_server(&server, &job, 2);
-        assert_eq!(run.epochs.len(), 2);
+        let job = JobSpec::new(
+            ModelKind::ResNet18,
+            ds,
+            8,
+            LoaderConfig::dali_best(ModelKind::ResNet18),
+        );
+        let report = Experiment::on(&server)
+            .job(job.clone())
+            .scenario(Scenario::SingleServer)
+            .epochs(2)
+            .run();
+        assert_eq!(report.single().epochs.len(), 2);
         let rates = ProfiledRates::measure(&server, &job);
         assert!(rates.gpu_rate > 0.0);
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn paper_constants_are_internally_consistent() {
         use super::paper::*;
         assert!(MAX_HP_SEARCH_SPEEDUP > MAX_SINGLE_SERVER_SPEEDUP);

@@ -75,7 +75,11 @@ fn every_job_sees_every_item_exactly_once_per_epoch() {
             for (item, _) in &seen {
                 *counts.entry(*item).or_default() += 1;
             }
-            assert_eq!(counts.len() as u64, source.len(), "job {job} epoch {epoch} coverage");
+            assert_eq!(
+                counts.len() as u64,
+                source.len(),
+                "job {job} epoch {epoch} coverage"
+            );
             assert!(
                 counts.values().all(|&n| n == 1),
                 "job {job} epoch {epoch}: an item was delivered more than once"
@@ -212,7 +216,7 @@ fn staging_area_memory_stays_bounded() {
     let handles: Vec<_> = (0..2)
         .map(|job| {
             let consumer = session.consumer(job);
-            std::thread::spawn(move || consumer.map(|b| b.expect("batch")).count())
+            std::thread::spawn(move || consumer.inspect(|b| assert!(b.is_ok(), "batch")).count())
         })
         .collect();
     let counts: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
@@ -224,7 +228,10 @@ fn staging_area_memory_stays_bounded() {
         2048 / 32,
         "every published batch is evicted once both jobs consumed it"
     );
-    assert_eq!(staging.resident_batches, 0, "nothing lingers after the epoch");
+    assert_eq!(
+        staging.resident_batches, 0,
+        "nothing lingers after the epoch"
+    );
     // Peak memory is a few batches, not the whole epoch: each prepared batch
     // is at most batch_size × max-raw-item × decode-multiplier bytes.
     let max_batch_bytes = 32u64 * (1024 * 14 / 10) * 4;
@@ -271,6 +278,10 @@ fn failed_job_is_detected_and_its_shard_recovered() {
         .collect();
     for (job, handle) in handles.into_iter().enumerate() {
         let items = handle.join().expect("consumer thread");
-        assert_eq!(items, source.len(), "job {job} must still see the full epoch");
+        assert_eq!(
+            items,
+            source.len(),
+            "job {job} must still see the full epoch"
+        );
     }
 }

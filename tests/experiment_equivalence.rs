@@ -1,0 +1,242 @@
+//! Equivalence of the unified `Experiment` API with the legacy `simulate_*`
+//! entry points, plus behavioural tests for the new mixed-cluster scenario.
+//!
+//! One representative configuration per scenario, mirroring the paper's
+//! headline figures: Figure 9a (single-server), Figure 9d (HP search) and
+//! Figure 9b (distributed).  The legacy functions survive as deprecated
+//! shims over `Experiment`, and these tests pin the contract that the new
+//! path reproduces the legacy per-epoch metrics *bit-identically* — same
+//! floats, same byte counts, same I/O timelines.
+
+#![allow(deprecated)]
+
+use datastalls::pipeline::{simulate_distributed, simulate_hp_search, simulate_single_server};
+use datastalls::prelude::*;
+
+const EPOCHS: u64 = 3;
+
+/// Figure 9a shape: ResNet18 alone on Config-SSD-V100, OpenImages, 65 % cache.
+#[test]
+fn single_server_experiment_is_bit_identical_to_legacy() {
+    let dataset = DatasetSpec::openimages_extended().scaled(256);
+    let server = ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.65);
+    let model = ModelKind::ResNet18;
+    let job = JobSpec::new(model, dataset, 8, LoaderConfig::coordl_best(model));
+
+    let legacy = simulate_single_server(&server, &job, EPOCHS);
+    let new = Experiment::on(&server)
+        .job(job)
+        .scenario(Scenario::SingleServer)
+        .epochs(EPOCHS)
+        .run();
+
+    // `EpochMetrics` derives `PartialEq` over every field, including the f64
+    // stall breakdown and the I/O timeline, so equality here is bitwise.
+    assert_eq!(new.single().epochs, legacy.epochs);
+    assert_eq!(
+        new.disk_bytes_per_epoch,
+        legacy
+            .epochs
+            .iter()
+            .map(|e| e.bytes_from_disk)
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Figure 9d shape: 8 single-GPU ResNet18 HP-search jobs, 35 % cache —
+/// both the uncoordinated baseline and CoorDL's coordinated prep.
+#[test]
+fn hp_search_experiment_is_bit_identical_to_legacy() {
+    let dataset = DatasetSpec::imagenet_1k().scaled(1000);
+    let server = ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.35);
+    let model = ModelKind::ResNet18;
+    for loader in [
+        LoaderConfig::dali_best(model),
+        LoaderConfig::coordl_best(model),
+    ] {
+        let jobs: Vec<JobSpec> = (0..8)
+            .map(|j| {
+                JobSpec::new(model, dataset.clone(), 1, loader.clone())
+                    .with_seed(0xC0DE + j as u64)
+                    .with_batch(64)
+            })
+            .collect();
+
+        let legacy = simulate_hp_search(&server, &jobs, EPOCHS);
+        let new = Experiment::on(&server)
+            .jobs(jobs)
+            .scenario(Scenario::HpSearch { jobs: 8 })
+            .epochs(EPOCHS)
+            .run();
+
+        assert_eq!(new.num_units(), legacy.per_job.len());
+        for (new_job, legacy_job) in new.per_job().iter().zip(&legacy.per_job) {
+            assert_eq!(new_job.epochs, legacy_job.epochs);
+        }
+        assert_eq!(new.disk_bytes_per_epoch, legacy.disk_bytes_per_epoch);
+    }
+}
+
+/// Figure 9b shape: AlexNet across two Config-HDD-1080Ti servers, 65 % cache
+/// per server — both uncoordinated and with partitioned caching.
+#[test]
+fn distributed_experiment_is_bit_identical_to_legacy() {
+    let dataset = DatasetSpec::openimages_extended().scaled(512);
+    let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.65);
+    let model = ModelKind::AlexNet;
+    for loader in [
+        LoaderConfig::dali_best(model),
+        LoaderConfig::coordl_best(model),
+    ] {
+        let job = JobSpec::new(model, dataset.clone(), 8, loader);
+
+        let legacy = simulate_distributed(&server, &job, 2, EPOCHS);
+        let new = Experiment::on(&server)
+            .job(job)
+            .scenario(Scenario::Distributed { servers: 2 })
+            .epochs(EPOCHS)
+            .run();
+
+        assert_eq!(new.num_units(), legacy.per_server.len());
+        for (new_srv, legacy_srv) in new.per_server().iter().zip(&legacy.per_server) {
+            assert_eq!(new_srv.epochs, legacy_srv.epochs);
+        }
+        assert_eq!(new.remote_bytes_per_epoch, legacy.remote_bytes_per_epoch);
+    }
+}
+
+/// The aggregate metrics of the unified report agree with the legacy result
+/// types' derived metrics on the same runs.
+#[test]
+fn report_aggregates_match_legacy_aggregates() {
+    let dataset = DatasetSpec::imagenet_1k().scaled(1000);
+    let server = ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.35);
+    let model = ModelKind::AlexNet;
+    let jobs: Vec<JobSpec> = (0..4)
+        .map(|j| {
+            JobSpec::new(model, dataset.clone(), 2, LoaderConfig::coordl_best(model))
+                .with_seed(7 + j as u64)
+                .with_batch(64)
+        })
+        .collect();
+
+    let legacy = simulate_hp_search(&server, &jobs, EPOCHS);
+    let new = Experiment::on(&server)
+        .jobs(jobs)
+        .scenario(Scenario::HpSearch { jobs: 4 })
+        .epochs(EPOCHS)
+        .run();
+
+    assert_eq!(
+        new.steady_per_job_samples_per_sec(),
+        legacy.steady_per_job_samples_per_sec()
+    );
+    assert_eq!(new.steady_epoch_seconds(), legacy.steady_epoch_seconds());
+    assert_eq!(new.total_disk_bytes(), legacy.total_disk_bytes());
+    assert_eq!(
+        new.read_amplification(dataset.total_bytes(), 1),
+        legacy.read_amplification(dataset.total_bytes(), 1)
+    );
+}
+
+/// Mixed cluster: two heterogeneous jobs (different models *and* datasets)
+/// sharing one server contend for its cache, CPU and disk — each must be
+/// slower than when it has the server to itself.
+#[test]
+fn mixed_cluster_jobs_contend_for_shared_resources() {
+    let ds_images = DatasetSpec::imagenet_1k().scaled(1000);
+    let ds_detect = DatasetSpec::openimages_extended().scaled(1000);
+    // Cache holds only ~40 % of the combined working set, so sharing hurts.
+    let cache = (ds_images.total_bytes() + ds_detect.total_bytes()) * 2 / 5;
+    let server = ServerConfig::config_ssd_v100().with_cache_bytes(cache);
+
+    let job_a = JobSpec::new(
+        ModelKind::ResNet18,
+        ds_images,
+        4,
+        LoaderConfig::dali_best(ModelKind::ResNet18),
+    )
+    .with_batch(64);
+    let job_b = JobSpec::new(
+        ModelKind::SsdRes18,
+        ds_detect,
+        4,
+        LoaderConfig::dali_best(ModelKind::SsdRes18),
+    )
+    .with_batch(64);
+
+    let alone = |job: &JobSpec| {
+        Experiment::on(&server)
+            .job(job.clone())
+            .epochs(EPOCHS)
+            .run()
+            .steady_state()
+            .epoch_seconds()
+    };
+    let alone_a = alone(&job_a);
+    let alone_b = alone(&job_b);
+
+    let mixed = Experiment::on(&server)
+        .jobs([job_a, job_b])
+        .scenario(Scenario::MixedCluster)
+        .epochs(EPOCHS)
+        .run();
+    assert_eq!(mixed.scenario, Scenario::MixedCluster);
+    let mixed_a = mixed.per_job()[0].steady_state().epoch_seconds();
+    let mixed_b = mixed.per_job()[1].steady_state().epoch_seconds();
+
+    assert!(
+        mixed_a > alone_a * 1.05,
+        "job A should be slower sharing the server: {mixed_a:.2}s vs {alone_a:.2}s alone"
+    );
+    assert!(
+        mixed_b > alone_b * 1.05,
+        "job B should be slower sharing the server: {mixed_b:.2}s vs {alone_b:.2}s alone"
+    );
+}
+
+/// The mixed cluster keeps heterogeneous datasets distinct in the shared
+/// cache: total bytes delivered to each job equal its own dataset's size per
+/// epoch, and the shared cache cannot hold both working sets.
+#[test]
+fn mixed_cluster_accounts_bytes_per_dataset() {
+    let ds_a = DatasetSpec::imagenet_1k().scaled(2000);
+    let ds_b = DatasetSpec::fma().scaled(400);
+    let cache = (ds_a.total_bytes() + ds_b.total_bytes()) / 2;
+    let server = ServerConfig::config_ssd_v100().with_cache_bytes(cache);
+
+    let report = Experiment::on(&server)
+        .jobs([
+            JobSpec::new(
+                ModelKind::ResNet18,
+                ds_a.clone(),
+                4,
+                LoaderConfig::coordl_best(ModelKind::ResNet18),
+            )
+            .with_batch(64),
+            JobSpec::new(
+                ModelKind::AudioM5,
+                ds_b.clone(),
+                4,
+                LoaderConfig::coordl_best(ModelKind::AudioM5),
+            ),
+        ])
+        .scenario(Scenario::MixedCluster)
+        .epochs(2)
+        .run();
+
+    for (unit, ds) in report.per_job().iter().zip([&ds_a, &ds_b]) {
+        for epoch in &unit.epochs {
+            let delivered = epoch.bytes_from_cache + epoch.bytes_from_disk;
+            let ratio = delivered as f64 / ds.total_bytes() as f64;
+            assert!(
+                (ratio - 1.0).abs() < 0.05,
+                "each job sweeps its own dataset once per epoch, got {ratio:.3} for {}",
+                ds.name
+            );
+        }
+        // The shared cache is smaller than the combined working set, so
+        // neither job can run fully cached after warm-up.
+        assert!(unit.epochs[1].bytes_from_disk > 0);
+    }
+}

@@ -11,7 +11,12 @@ use datastalls::prelude::*;
 /// Drive `epochs` epochs of the DNN access pattern (fresh random permutation
 /// per epoch, every item exactly once) through a cache and return the misses
 /// observed in the final epoch.
-fn final_epoch_misses(policy: PolicyKind, spec: &DatasetSpec, cache_fraction: f64, epochs: u64) -> u64 {
+fn final_epoch_misses(
+    policy: PolicyKind,
+    spec: &DatasetSpec,
+    cache_fraction: f64,
+    epochs: u64,
+) -> u64 {
     let mut cache = build_cache(policy, spec.cache_bytes_for_fraction(cache_fraction));
     let sampler = EpochSampler::new(spec.num_items, 7);
     let mut last = 0;
@@ -88,7 +93,11 @@ fn figure8_example_minio_two_capacity_misses_per_epoch() {
         for item in epoch_order {
             minio.access(item, 1);
         }
-        assert_eq!(minio.stats().misses, 2, "exactly the two uncached items miss");
+        assert_eq!(
+            minio.stats().misses,
+            2,
+            "exactly the two uncached items miss"
+        );
         assert_eq!(minio.stats().hits, 2);
     }
 }
@@ -99,12 +108,15 @@ fn single_server_simulation_matches_table6_ordering() {
     // disk I/O are ordered DALI-seq > DALI-shuffle > CoorDL, with CoorDL at
     // the capacity-miss floor of 35 %.
     let dataset = DatasetSpec::openimages_extended().scaled(128);
-    let server =
-        ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.65);
+    let server = ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.65);
     let model = ModelKind::ShuffleNetV2;
     let run = |loader: LoaderConfig| {
         let job = JobSpec::new(model, dataset.clone(), 8, loader);
-        simulate_single_server(&server, &job, 3).steady_state()
+        Experiment::on(&server)
+            .job(job)
+            .epochs(3)
+            .run()
+            .steady_state()
     };
     let seq = run(LoaderConfig::dali_seq(PrepBackend::DaliGpu));
     let shuffle = run(LoaderConfig::dali_shuffle(PrepBackend::DaliGpu));

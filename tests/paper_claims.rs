@@ -33,10 +33,17 @@ fn many_models_have_fetch_stalls_with_a_35_percent_cache() {
         ModelKind::ResNet50,
     ] {
         let job = JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model));
-        let stall = simulate_single_server(&server, &job, EPOCHS)
+        let stall = Experiment::on(&server)
+            .job(job)
+            .epochs(EPOCHS)
+            .run()
             .steady_state()
             .fetch_stall_fraction();
-        assert!(stall < 0.85, "{}: fetch stall {stall:.2} is implausibly high", model.name());
+        assert!(
+            stall < 0.85,
+            "{}: fetch stall {stall:.2} is implausibly high",
+            model.name()
+        );
         if stall > 0.10 {
             stalled_models += 1;
         }
@@ -57,14 +64,23 @@ fn computationally_light_models_have_prep_stalls_even_when_fully_cached() {
     let server = ssd_server(&dataset, 1.1);
     let prep_stall = |model: ModelKind| {
         let job = JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model));
-        simulate_single_server(&server, &job, EPOCHS)
+        Experiment::on(&server)
+            .job(job)
+            .epochs(EPOCHS)
+            .run()
             .steady_state()
             .prep_stall_fraction()
     };
     let light = prep_stall(ModelKind::ResNet18);
     let heavy = prep_stall(ModelKind::ResNet50);
-    assert!(light > 0.25, "ResNet18 should show substantial prep stalls, got {light:.2}");
-    assert!(heavy < 0.20, "ResNet50 should be mostly GPU bound, got {heavy:.2}");
+    assert!(
+        light > 0.25,
+        "ResNet18 should show substantial prep stalls, got {light:.2}"
+    );
+    assert!(
+        heavy < 0.20,
+        "ResNet50 should be mostly GPU bound, got {heavy:.2}"
+    );
     assert!(light > heavy);
 }
 
@@ -75,14 +91,25 @@ fn dnns_need_three_to_twentyfour_cores_per_gpu() {
     let dataset = DatasetSpec::imagenet_1k().scaled(64);
     let server = ssd_server(&dataset, 1.1);
     let cores_needed = |model: ModelKind| {
-        let job = JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_shuffle(PrepBackend::DaliCpu));
+        let job = JobSpec::new(
+            model,
+            dataset.clone(),
+            8,
+            LoaderConfig::dali_shuffle(PrepBackend::DaliCpu),
+        );
         let rates = ProfiledRates::measure(&server, &job);
         WhatIfAnalysis::new(rates).recommended_cores_per_gpu(server.cpu_cores, 8)
     };
     let heavy = cores_needed(ModelKind::ResNet50);
     let light = cores_needed(ModelKind::ResNet18);
-    assert!(heavy >= 1.0 && heavy <= 6.0, "ResNet50 needs ~3-4 cores/GPU, got {heavy:.1}");
-    assert!(light >= 8.0 && light <= 30.0, "ResNet18 needs 12-24 cores/GPU, got {light:.1}");
+    assert!(
+        (1.0..=6.0).contains(&heavy),
+        "ResNet50 needs ~3-4 cores/GPU, got {heavy:.1}"
+    );
+    assert!(
+        (8.0..=30.0).contains(&light),
+        "ResNet18 needs 12-24 cores/GPU, got {light:.1}"
+    );
 }
 
 #[test]
@@ -99,8 +126,15 @@ fn hp_search_without_coordination_amplifies_reads_roughly_sevenfold() {
             })
             .collect()
     };
-    let dali = simulate_hp_search(&server, &jobs(LoaderConfig::dali_best(ModelKind::ResNet18)), EPOCHS);
-    let coordl = simulate_hp_search(&server, &jobs(LoaderConfig::coordl_best(ModelKind::ResNet18)), EPOCHS);
+    let hp = |loader: LoaderConfig| {
+        Experiment::on(&server)
+            .jobs(jobs(loader))
+            .scenario(Scenario::HpSearch { jobs: 8 })
+            .epochs(EPOCHS)
+            .run()
+    };
+    let dali = hp(LoaderConfig::dali_best(ModelKind::ResNet18));
+    let coordl = hp(LoaderConfig::coordl_best(ModelKind::ResNet18));
     let dali_amp = dali.read_amplification(dataset.total_bytes(), 1);
     let coordl_amp = coordl.read_amplification(dataset.total_bytes(), 1);
     assert!(
@@ -122,19 +156,30 @@ fn hp_search_without_coordination_amplifies_reads_roughly_sevenfold() {
 fn single_server_speedup_is_modest_and_never_a_slowdown() {
     // §5.1: MinIO alone buys up to ~2x on a single server.
     let dataset = DatasetSpec::openimages_extended().scaled(128);
-    for (server, frac) in [(ssd_server(&dataset, 0.65), 0.65), (hdd_server(&dataset, 0.65), 0.65)] {
+    for (server, frac) in [
+        (ssd_server(&dataset, 0.65), 0.65),
+        (hdd_server(&dataset, 0.65), 0.65),
+    ] {
         let _ = frac;
         for model in [ModelKind::ShuffleNetV2, ModelKind::ResNet50] {
-            let dali = simulate_single_server(
-                &server,
-                &JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model)),
-                EPOCHS,
-            );
-            let coordl = simulate_single_server(
-                &server,
-                &JobSpec::new(model, dataset.clone(), 8, LoaderConfig::coordl_best(model)),
-                EPOCHS,
-            );
+            let dali = Experiment::on(&server)
+                .job(JobSpec::new(
+                    model,
+                    dataset.clone(),
+                    8,
+                    LoaderConfig::dali_best(model),
+                ))
+                .epochs(EPOCHS)
+                .run();
+            let coordl = Experiment::on(&server)
+                .job(JobSpec::new(
+                    model,
+                    dataset.clone(),
+                    8,
+                    LoaderConfig::coordl_best(model),
+                ))
+                .epochs(EPOCHS)
+                .run();
             let speedup = coordl.speedup_over(&dali);
             assert!(
                 (1.0..3.5).contains(&speedup),
@@ -154,24 +199,38 @@ fn distributed_training_on_hard_drives_sees_the_largest_wins() {
     let dataset = DatasetSpec::openimages_extended().scaled(64);
     let model = ModelKind::AlexNet;
     let speedup = |server: &ServerConfig| {
-        let dali = simulate_distributed(
-            server,
-            &JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model)),
-            2,
-            EPOCHS,
-        );
-        let coordl = simulate_distributed(
-            server,
-            &JobSpec::new(model, dataset.clone(), 8, LoaderConfig::coordl_best(model)),
-            2,
-            EPOCHS,
-        );
+        let dali = Experiment::on(server)
+            .job(JobSpec::new(
+                model,
+                dataset.clone(),
+                8,
+                LoaderConfig::dali_best(model),
+            ))
+            .scenario(Scenario::Distributed { servers: 2 })
+            .epochs(EPOCHS)
+            .run();
+        let coordl = Experiment::on(server)
+            .job(JobSpec::new(
+                model,
+                dataset.clone(),
+                8,
+                LoaderConfig::coordl_best(model),
+            ))
+            .scenario(Scenario::Distributed { servers: 2 })
+            .epochs(EPOCHS)
+            .run();
         coordl.speedup_over(&dali)
     };
     let hdd = speedup(&hdd_server(&dataset, 0.65));
     let ssd = speedup(&ssd_server(&dataset, 0.65));
-    assert!(hdd > 5.0, "HDD distributed speedup should be an order of magnitude, got {hdd:.1}");
-    assert!(ssd < hdd, "SSD speedup ({ssd:.1}) must be smaller than HDD ({hdd:.1})");
+    assert!(
+        hdd > 5.0,
+        "HDD distributed speedup should be an order of magnitude, got {hdd:.1}"
+    );
+    assert!(
+        ssd < hdd,
+        "SSD speedup ({ssd:.1}) must be smaller than HDD ({hdd:.1})"
+    );
     assert!(ssd >= 1.0, "CoorDL never slows distributed training down");
 }
 
@@ -181,7 +240,12 @@ fn gpu_bound_language_models_show_no_data_stalls() {
     // environment, so CoorDL has little to offer them.
     let dataset = DatasetSpec::imagenet_1k().scaled(64);
     let server = ssd_server(&dataset, 0.35);
-    let job = JobSpec::new(ModelKind::BertLarge, dataset.clone(), 8, LoaderConfig::dali_shuffle(PrepBackend::DaliCpu));
+    let job = JobSpec::new(
+        ModelKind::BertLarge,
+        dataset.clone(),
+        8,
+        LoaderConfig::dali_shuffle(PrepBackend::DaliCpu),
+    );
     let report = DifferentialReport::run(&server, &job, EPOCHS);
     assert!(
         report.data_stall_fraction() < 0.10,
@@ -203,7 +267,10 @@ fn dsanalyzer_predictions_match_simulation_within_a_few_percent() {
     let minio_job = JobSpec::new(model, dataset.clone(), 8, LoaderConfig::coordl_best(model));
     for frac in [0.25, 0.35, 0.50] {
         let predicted = whatif.predicted_speed(frac);
-        let empirical = simulate_single_server(&ssd_server(&dataset, frac), &minio_job, EPOCHS)
+        let empirical = Experiment::on(&ssd_server(&dataset, frac))
+            .job(minio_job.clone())
+            .epochs(EPOCHS)
+            .run()
             .steady_samples_per_sec();
         let err = (predicted - empirical).abs() / empirical;
         assert!(
@@ -220,7 +287,12 @@ fn whatif_bottleneck_crossover_matches_figure16() {
     // at a bit over half the dataset cached; more DRAM beyond that is wasted.
     let dataset = DatasetSpec::imagenet_1k().scaled(64);
     let server = ssd_server(&dataset, 0.35);
-    let job = JobSpec::new(ModelKind::AlexNet, dataset, 8, LoaderConfig::dali_shuffle(PrepBackend::DaliCpu));
+    let job = JobSpec::new(
+        ModelKind::AlexNet,
+        dataset,
+        8,
+        LoaderConfig::dali_shuffle(PrepBackend::DaliCpu),
+    );
     let whatif = WhatIfAnalysis::new(ProfiledRates::measure(&server, &job));
     assert_eq!(whatif.bottleneck(0.10), Bottleneck::Io);
     assert_ne!(whatif.bottleneck(1.00), Bottleneck::Io);
@@ -231,7 +303,10 @@ fn whatif_bottleneck_crossover_matches_figure16() {
     );
     let at_crossover = whatif.predicted_speed(crossover);
     let at_full = whatif.predicted_speed(1.0);
-    assert!((at_full - at_crossover) / at_full < 0.02, "more DRAM beyond the crossover buys <2%");
+    assert!(
+        (at_full - at_crossover) / at_full < 0.02,
+        "more DRAM beyond the crossover buys <2%"
+    );
 }
 
 #[test]
@@ -239,7 +314,12 @@ fn faster_gpus_make_data_stalls_worse_not_better() {
     // Appendix B.3: as compute gets faster, stalls mask the benefit.
     let dataset = DatasetSpec::imagenet_1k().scaled(64);
     let server = ssd_server(&dataset, 0.35);
-    let job = JobSpec::new(ModelKind::ResNet18, dataset, 8, LoaderConfig::dali_best(ModelKind::ResNet18));
+    let job = JobSpec::new(
+        ModelKind::ResNet18,
+        dataset,
+        8,
+        LoaderConfig::dali_best(ModelKind::ResNet18),
+    );
     let whatif = WhatIfAnalysis::new(ProfiledRates::measure(&server, &job));
     let now = whatif.predicted_speed(0.35);
     let with_2x_gpu = whatif.with_faster_gpu(2.0).predicted_speed(0.35);

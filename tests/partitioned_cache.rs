@@ -6,7 +6,12 @@ use datastalls::dataset::EpochSampler;
 use datastalls::prelude::*;
 use std::sync::Arc;
 
-fn cluster(items: u64, item_bytes: u64, servers: usize, per_server_fraction: f64) -> (Arc<dyn DataSource>, PartitionedCacheCluster) {
+fn cluster(
+    items: u64,
+    item_bytes: u64,
+    servers: usize,
+    per_server_fraction: f64,
+) -> (Arc<dyn DataSource>, PartitionedCacheCluster) {
     let spec = DatasetSpec::new("part-test", items, item_bytes, 0.0, 4.0);
     let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec.clone(), 5));
     let per_server = (spec.total_bytes() as f64 * per_server_fraction) as u64;
@@ -16,7 +21,12 @@ fn cluster(items: u64, item_bytes: u64, servers: usize, per_server_fraction: f64
 
 /// Run one epoch: each server fetches its random shard, returning
 /// (local hits, remote hits, storage reads).
-fn run_epoch(store: &Arc<dyn DataSource>, cluster: &PartitionedCacheCluster, epoch: u64, servers: usize) -> (u64, u64, u64) {
+fn run_epoch(
+    store: &Arc<dyn DataSource>,
+    cluster: &PartitionedCacheCluster,
+    epoch: u64,
+    servers: usize,
+) -> (u64, u64, u64) {
     let sampler = EpochSampler::new(store.len(), 99);
     let (mut local, mut remote, mut storage) = (0, 0, 0);
     for server in 0..servers {
@@ -38,12 +48,22 @@ fn aggregate_cache_covering_the_dataset_eliminates_storage_io_after_warmup() {
     let servers = 2;
     let (store, cluster) = cluster(2000, 4096, servers, 0.55);
     let (_, _, warm_storage) = run_epoch(&store, &cluster, 0, servers);
-    assert_eq!(warm_storage, store.len(), "cold caches: everything comes from storage once");
+    assert_eq!(
+        warm_storage,
+        store.len(),
+        "cold caches: everything comes from storage once"
+    );
     for epoch in 1..4u64 {
         let (local, remote, storage) = run_epoch(&store, &cluster, epoch, servers);
-        assert_eq!(storage, 0, "epoch {epoch}: no storage reads once DRAM covers the dataset");
+        assert_eq!(
+            storage, 0,
+            "epoch {epoch}: no storage reads once DRAM covers the dataset"
+        );
         assert_eq!(local + remote, store.len());
-        assert!(remote > 0, "random sharding forces some remote-cache traffic");
+        assert!(
+            remote > 0,
+            "random sharding forces some remote-cache traffic"
+        );
     }
 }
 
@@ -78,9 +98,8 @@ fn directory_routes_every_item_to_exactly_one_owner() {
     for epoch in 1..3u64 {
         let _ = epoch;
     }
-    for server in 0..servers {
-        let stats = cluster.stats(server);
-        held[server] = stats.storage_reads;
+    for (server, slot) in held.iter_mut().enumerate().take(servers) {
+        *slot = cluster.stats(server).storage_reads;
     }
     let expect = store.len() / servers as u64;
     for (server, reads) in held.iter().enumerate() {
@@ -117,26 +136,39 @@ fn simulator_agrees_partitioned_caching_removes_disk_io() {
     // 65 % per-server cache and two servers, CoorDL's steady-state disk I/O
     // is zero while DALI keeps reading from storage.
     let dataset = DatasetSpec::openimages_extended().scaled(128);
-    let server =
-        ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.65);
+    let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.65);
     let model = ModelKind::ResNet50;
-    let dali = simulate_distributed(
-        &server,
-        &JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model)),
-        2,
-        3,
-    );
-    let coordl = simulate_distributed(
-        &server,
-        &JobSpec::new(model, dataset, 8, LoaderConfig::coordl_best(model)),
-        2,
-        3,
-    );
+    let dali = Experiment::on(&server)
+        .job(JobSpec::new(
+            model,
+            dataset.clone(),
+            8,
+            LoaderConfig::dali_best(model),
+        ))
+        .scenario(Scenario::Distributed { servers: 2 })
+        .epochs(3)
+        .run();
+    let coordl = Experiment::on(&server)
+        .job(JobSpec::new(
+            model,
+            dataset,
+            8,
+            LoaderConfig::coordl_best(model),
+        ))
+        .scenario(Scenario::Distributed { servers: 2 })
+        .epochs(3)
+        .run();
     let dali_disk: u64 = dali.disk_bytes_per_server(2).iter().sum();
     let coordl_disk: u64 = coordl.disk_bytes_per_server(2).iter().sum();
     assert!(dali_disk > 0, "uncoordinated caches keep hitting storage");
-    assert_eq!(coordl_disk, 0, "partitioned caching serves every miss from remote DRAM");
-    assert!(coordl.speedup_over(&dali) > 2.0, "on hard drives the win is large");
+    assert_eq!(
+        coordl_disk, 0,
+        "partitioned caching serves every miss from remote DRAM"
+    );
+    assert!(
+        coordl.speedup_over(&dali) > 2.0,
+        "on hard drives the win is large"
+    );
     assert!(
         coordl.avg_network_gbps(2) > 0.0 && coordl.avg_network_gbps(2) < 40.0,
         "CoorDL uses a fraction of the 40 Gbps link"
@@ -150,13 +182,18 @@ fn more_servers_increase_throughput_when_io_is_not_the_bottleneck() {
     // batch keeps enough iterations per epoch on the scaled-down dataset for
     // the pipelined stages to reach steady state.
     let dataset = DatasetSpec::openimages_extended().scaled(32);
-    let server =
-        ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.65);
+    let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.65);
     let model = ModelKind::ResNet50;
-    let job =
-        JobSpec::new(model, dataset, 8, LoaderConfig::coordl_best(model)).with_batch(128);
-    let two = simulate_distributed(&server, &job, 2, 3);
-    let four = simulate_distributed(&server, &job, 4, 3);
+    let job = JobSpec::new(model, dataset, 8, LoaderConfig::coordl_best(model)).with_batch(128);
+    let distributed = |servers: usize| {
+        Experiment::on(&server)
+            .job(job.clone())
+            .scenario(Scenario::Distributed { servers })
+            .epochs(3)
+            .run()
+    };
+    let two = distributed(2);
+    let four = distributed(4);
     let scaling = four.steady_samples_per_sec() / two.steady_samples_per_sec();
     assert!(
         scaling > 1.6,

@@ -185,7 +185,11 @@ proptest! {
         let run_at = |frac: f64| {
             let server = ServerConfig::config_ssd_v100()
                 .with_cache_fraction(dataset.total_bytes(), frac);
-            simulate_single_server(&server, &job, 3)
+            Experiment::on(&server)
+                .job(job.clone())
+                .epochs(3)
+                .run()
+                .into_run_result()
         };
         let small = run_at(frac_small);
         let big = run_at((frac_small + frac_delta).min(0.95));
