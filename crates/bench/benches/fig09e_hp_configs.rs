@@ -4,16 +4,17 @@
 //! With one job the benefit comes from the MinIO cache alone; with several
 //! concurrent jobs coordinated prep removes the redundant fetch+prep work and
 //! the speedup grows with the job count.
+//!
+//! The grid is the `hp-width` preset suite (width × loader, cartesian) run
+//! through [`SweepRunner`]; each row pairs the DALI and CoorDL points of one
+//! width.
 
-use benchkit::{fmt_speedup, hp_pair, scaled, Table};
-use dataset::DatasetSpec;
-use gpu::ModelKind;
-use pipeline::ServerConfig;
+use benchkit::{fmt_speedup, Table, HP_WIDTHS};
+use pipeline::SweepRunner;
 
 fn main() {
-    let model = ModelKind::AlexNet;
-    let dataset = scaled(DatasetSpec::openimages_extended());
-    let server = ServerConfig::config_ssd_v100();
+    let suite = benchkit::find_suite("hp-width").expect("hp-width preset");
+    let report = SweepRunner::new().run(&suite.spec(1));
 
     let mut table = Table::new(
         "Figure 9e: AlexNet HP-search configurations on Config-SSD-V100",
@@ -26,14 +27,19 @@ fn main() {
     )
     .with_caption("OpenImages, 65% cacheable; jobs × GPUs-per-job always uses all 8 GPUs");
 
-    for (num_jobs, gpus) in [(8usize, 1usize), (4, 2), (2, 4), (1, 8)] {
-        let _ = gpus; // hp_pair derives GPUs per job from the job count.
-        let (dali, coordl) = hp_pair(&server, model, &dataset, 0.65, num_jobs);
+    // Cartesian order: the width axis is slowest, the loader axis fastest
+    // (dali then coordl), so each width occupies two adjacent points.
+    for (num_jobs, pair) in HP_WIDTHS.iter().zip(report.points.chunks(2)) {
+        let [dali, coordl] = pair else {
+            panic!("loader axis must contribute two points per width");
+        };
+        let dali = dali.report().expect("dali point failed");
+        let coordl = coordl.report().expect("coordl point failed");
         table.row(&[
             format!("{num_jobs} jobs x {} GPU(s)", 8 / num_jobs),
             format!("{:.0}", dali.steady_per_job_samples_per_sec()),
             format!("{:.0}", coordl.steady_per_job_samples_per_sec()),
-            fmt_speedup(coordl.speedup_over(&dali)),
+            fmt_speedup(coordl.speedup_over(dali)),
         ]);
     }
     table.print();

@@ -4,18 +4,16 @@
 //! Pre-processing scales linearly only up to the number of *physical* cores;
 //! beyond that, extra hardware threads add ~30 % at best, so even 8 vCPUs per
 //! GPU leaves ResNet18 with ~37 % prep stalls on V100s.
+//!
+//! The grid is the `vcpu-sweep` preset suite run through [`SweepRunner`], so
+//! all configurations simulate in parallel.
 
-use benchkit::{fmt_pct, scaled, single_run, steady, Table};
-use dataset::DatasetSpec;
-use gpu::ModelKind;
-use pipeline::{LoaderConfig, ServerConfig};
-use prep::{PrepBackend, PrepCostModel, PrepPipeline};
+use benchkit::{fmt_pct, vcpu_effective_cores, Table, VCPUS_PER_GPU};
+use pipeline::SweepRunner;
 
 fn main() {
-    let model = ModelKind::ResNet18;
-    let dataset = scaled(DatasetSpec::imagenet_1k());
-    let cost =
-        PrepCostModel::for_pipeline(&PrepPipeline::image_classification(), PrepBackend::DaliCpu);
+    let suite = benchkit::find_suite("vcpu-sweep").expect("vcpu-sweep preset");
+    let report = SweepRunner::new().run(&suite.spec(1));
 
     let mut table = Table::new(
         "Figure 12: ResNet18 epoch time vs vCPUs per GPU (fully cached)",
@@ -28,23 +26,14 @@ fn main() {
     )
     .with_caption("8 V100s, 32 physical cores (64 vCPUs); hyper-threads count ~30% of a core");
 
-    for vcpus_per_gpu in [2usize, 3, 4, 6, 8] {
-        let vcpus = (vcpus_per_gpu * 8) as f64;
-        // The server has 32 physical cores; extra vCPUs are hyper-threads.
-        let effective = cost.effective_cores(vcpus, 32.0);
-        let server = ServerConfig::config_highcpu_v100()
-            .with_cpu_cores(effective.round().max(1.0) as usize)
-            .with_cache_fraction(dataset.total_bytes(), 1.1);
-        let epoch = steady(&single_run(
-            &server,
-            model,
-            &dataset,
-            LoaderConfig::dali_shuffle(PrepBackend::DaliCpu),
-            8,
-        ));
+    for (vcpus_per_gpu, point) in VCPUS_PER_GPU.iter().zip(&report.points) {
+        let epoch = point
+            .report()
+            .unwrap_or_else(|| panic!("{} failed", point.label))
+            .steady_state();
         table.row(&[
             format!("{vcpus_per_gpu}"),
-            format!("{:.1}", effective / 8.0),
+            format!("{:.1}", vcpu_effective_cores(*vcpus_per_gpu) / 8.0),
             format!("{:.1}", epoch.epoch_seconds()),
             fmt_pct(epoch.prep_stall_fraction()),
         ]);

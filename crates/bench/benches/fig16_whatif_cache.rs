@@ -3,12 +3,16 @@
 //!
 //! At small caches AlexNet is I/O bound; past ~55 % of the dataset the
 //! bottleneck flips to pre-processing and additional DRAM buys nothing.
+//!
+//! The empirical side is [`WhatIfAnalysis::validate_speed_curve`], which runs
+//! the whole cache-fraction grid as one parallel sweep through
+//! [`SweepRunner`].
 
 use benchkit::Table;
 use dataset::DatasetSpec;
 use dsanalyzer::{Bottleneck, ProfiledRates, WhatIfAnalysis};
 use gpu::ModelKind;
-use pipeline::{Experiment, JobSpec, LoaderConfig, ServerConfig};
+use pipeline::{JobSpec, LoaderConfig, ServerConfig, SweepRunner};
 
 fn main() {
     let model = ModelKind::AlexNet;
@@ -17,7 +21,14 @@ fn main() {
         ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.35);
     let probe = JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model));
     let whatif = WhatIfAnalysis::new(ProfiledRates::measure(&probe_server, &probe));
-    let job = JobSpec::new(model, dataset.clone(), 8, LoaderConfig::coordl_best(model));
+    let job = probe.with_loader(LoaderConfig::coordl_best(model));
+
+    let fractions: Vec<f64> = (0..=100)
+        .step_by(10)
+        .map(|pct| pct as f64 / 100.0)
+        .collect();
+    let curve =
+        whatif.validate_speed_curve(&probe_server, &job, &fractions, 3, &SweepRunner::new());
 
     let mut table = Table::new(
         "Figure 16: predicted vs empirical training speed across cache sizes",
@@ -30,31 +41,16 @@ fn main() {
     )
     .with_caption("AlexNet on Config-SSD-V100, ImageNet-1k, MinIO-style cache");
 
-    for cache_pct in (0..=100).step_by(10) {
-        let frac = cache_pct as f64 / 100.0;
-        let predicted = whatif.predicted_speed(frac);
-        let empirical = if cache_pct == 0 {
-            // A zero-byte cache is not constructible in the simulator; report
-            // the prediction's floor instead.
-            whatif.rates().storage_rate
-        } else {
-            let server =
-                ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), frac);
-            Experiment::on(&server)
-                .job(job.clone())
-                .epochs(3)
-                .run()
-                .steady_samples_per_sec()
-        };
-        let bottleneck = match whatif.bottleneck(frac) {
+    for point in &curve {
+        let bottleneck = match point.bottleneck {
             Bottleneck::Io => "I/O",
             Bottleneck::Cpu => "CPU",
             Bottleneck::Gpu => "GPU",
         };
         table.row(&[
-            format!("{cache_pct}%"),
-            format!("{predicted:.0}"),
-            format!("{empirical:.0}"),
+            format!("{:.0}%", point.cache_fraction * 100.0),
+            format!("{:.0}", point.predicted),
+            format!("{:.0}", point.empirical),
             bottleneck.to_string(),
         ]);
     }

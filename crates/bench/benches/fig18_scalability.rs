@@ -5,19 +5,16 @@
 //! DALI's per-server disk I/O shrinks as servers are added (each processes a
 //! smaller shard) but the job stays I/O bound; CoorDL reaches zero disk I/O
 //! from two servers on and scales with GPU parallelism.
+//!
+//! The grid is the `scalability` preset suite (servers × loader, cartesian)
+//! run through [`SweepRunner`].
 
-use benchkit::{fmt_speedup, scaled, Table};
-use dataset::DatasetSpec;
-use gpu::ModelKind;
-use pipeline::{Experiment, JobSpec, LoaderConfig, Scenario, ServerConfig};
+use benchkit::{fmt_speedup, Table, SCALABILITY_SERVERS};
+use pipeline::SweepRunner;
 
 fn main() {
-    let model = ModelKind::ResNet50;
-    let dataset = scaled(DatasetSpec::openimages_extended());
-    let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.65);
-    // Keep several iterations per epoch on the scaled dataset even with 4
-    // servers' worth of GPUs.
-    let batch = 128;
+    let suite = benchkit::find_suite("scalability").expect("scalability preset");
+    let report = SweepRunner::new().run(&suite.spec(1));
 
     let mut table = Table::new(
         "Figure 18: distributed scalability, ResNet50 on OpenImages (HDD servers)",
@@ -32,31 +29,21 @@ fn main() {
     )
     .with_caption("65% of the dataset cacheable per server; per-epoch disk I/O per server");
 
-    for servers in 1..=4usize {
-        let dali = Experiment::on(&server)
-            .job(
-                JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model))
-                    .with_batch(batch),
-            )
-            .scenario(Scenario::Distributed { servers })
-            .epochs(3)
-            .run();
-        let coordl = Experiment::on(&server)
-            .job(
-                JobSpec::new(model, dataset.clone(), 8, LoaderConfig::coordl_best(model))
-                    .with_batch(batch),
-            )
-            .scenario(Scenario::Distributed { servers })
-            .epochs(3)
-            .run();
-        let gib = |bytes: &[u64]| {
-            bytes.iter().sum::<u64>() as f64 / bytes.len() as f64 / (1u64 << 30) as f64
+    let gib =
+        |bytes: &[u64]| bytes.iter().sum::<u64>() as f64 / bytes.len() as f64 / (1u64 << 30) as f64;
+    // Cartesian order: the servers axis is slowest, the loader axis fastest
+    // (dali then coordl), so each server count occupies two adjacent points.
+    for (servers, pair) in SCALABILITY_SERVERS.iter().zip(report.points.chunks(2)) {
+        let [dali, coordl] = pair else {
+            panic!("loader axis must contribute two points per server count");
         };
+        let dali = dali.report().expect("dali point failed");
+        let coordl = coordl.report().expect("coordl point failed");
         table.row(&[
             format!("{servers}"),
             format!("{:.0}", dali.steady_samples_per_sec()),
             format!("{:.0}", coordl.steady_samples_per_sec()),
-            fmt_speedup(coordl.speedup_over(&dali)),
+            fmt_speedup(coordl.speedup_over(dali)),
             format!("{:.2}", gib(&dali.disk_bytes_per_server(2))),
             format!("{:.2}", gib(&coordl.disk_bytes_per_server(2))),
         ]);

@@ -17,7 +17,11 @@ pub mod presets;
 pub mod report;
 pub mod scenarios;
 
-pub use presets::{scaled, server_hdd, server_ssd, SCALE};
+pub use presets::{
+    find_suite, scaled, server_hdd, server_ssd, vcpu_effective_cores, SweepSuite,
+    CACHE_SWEEP_PERCENTS, HP_WIDTHS, MIXED_CACHE_PERCENTS, SCALABILITY_SERVERS, SCALE,
+    SMOKE_EXTRA_SCALE, SUITES, VCPUS_PER_GPU,
+};
 pub use report::{fmt_bytes, fmt_gb, fmt_pct, fmt_speedup, Table};
 pub use scenarios::{
     distributed_pair, distributed_run, hp_jobs, hp_pair, hp_run, single_pair, single_run, steady,

@@ -12,7 +12,7 @@
 //! * [`sampler`] — the epoch samplers used by every loader: a fresh random
 //!   permutation per epoch, minibatch assembly, random per-epoch shards for
 //!   distributed training and static shards for coordinated prep,
-//! * [`format`] — on-storage layouts: one file per item (PyTorch/DALI) and
+//! * [`mod@format`] — on-storage layouts: one file per item (PyTorch/DALI) and
 //!   chunked record files (TensorFlow's TFRecord / MXNet's RecordIO), which
 //!   change the *granularity* at which the page cache operates,
 //! * [`synthetic`] — functional data sources that actually materialise bytes,

@@ -20,4 +20,4 @@ pub mod profile;
 pub mod whatif;
 
 pub use profile::{DifferentialReport, ProfiledRates};
-pub use whatif::{Bottleneck, WhatIfAnalysis};
+pub use whatif::{Bottleneck, SpeedValidationPoint, WhatIfAnalysis};

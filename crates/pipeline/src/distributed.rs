@@ -9,7 +9,7 @@
 //! storage at most once for the entire job.
 //!
 //! The driver lives in [`crate::Experiment`] with
-//! [`Scenario::Distributed`](crate::Scenario::Distributed); this module keeps
+//! [`Scenario::Distributed`]; this module keeps
 //! the legacy free-function entry point and its result type as deprecated
 //! shims.
 

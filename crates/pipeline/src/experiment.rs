@@ -40,6 +40,7 @@ use crate::engine::{
     shared_coordinated_epoch, shared_uncoordinated_epoch, single_epoch, DistributedSim,
 };
 use crate::job::JobSpec;
+use crate::json::{write_f64 as json_f64, write_string as json_string, write_u64_array};
 use crate::metrics::{EpochMetrics, RunResult};
 use storage::StorageNode;
 
@@ -534,9 +535,9 @@ impl SimReport {
         out.push_str(",\"epochs\":");
         out.push_str(&self.num_epochs().to_string());
         out.push_str(",\"disk_bytes_per_epoch\":");
-        json_u64_array(&mut out, &self.disk_bytes_per_epoch);
+        write_u64_array(&mut out, &self.disk_bytes_per_epoch);
         out.push_str(",\"remote_bytes_per_epoch\":");
-        json_u64_array(&mut out, &self.remote_bytes_per_epoch);
+        write_u64_array(&mut out, &self.remote_bytes_per_epoch);
         out.push_str(",\"steady_epoch_seconds\":");
         json_f64(&mut out, self.steady_epoch_seconds());
         out.push_str(",\"steady_samples_per_sec\":");
@@ -597,45 +598,6 @@ fn epoch_metrics_json(out: &mut String, e: &EpochMetrics) {
         out.push(']');
     }
     out.push_str("]}");
-}
-
-fn json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn json_u64_array(out: &mut String, values: &[u64]) {
-    out.push('[');
-    for (i, v) in values.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&v.to_string());
-    }
-    out.push(']');
-}
-
-fn json_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        // Rust's shortest round-trip formatting is valid JSON for all finite
-        // values; JSON has no NaN/Infinity, so those become null.
-        out.push_str(&format!("{v}"));
-    } else {
-        out.push_str("null");
-    }
 }
 
 #[cfg(test)]
@@ -742,15 +704,20 @@ mod tests {
         assert!(json.contains("\"scenario\":\"single-server\""));
         assert!(json.contains("\"epoch\":0"));
         assert!(json.contains("\"io_timeline\":["));
-        // Balanced braces/brackets (cheap well-formedness check: none of the
-        // serialised strings contain braces).
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count(),
-            "unbalanced braces"
-        );
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains("inf") && !json.contains("NaN"));
+        // Full well-formedness: the document must round-trip through the
+        // crate's own JSON parser.
+        let doc = crate::json::parse(&json).expect("SimReport::to_json must emit valid JSON");
+        assert_eq!(
+            doc.get("scenario").and_then(crate::json::Value::as_str),
+            Some("single-server")
+        );
+        assert_eq!(
+            doc.get("units")
+                .and_then(crate::json::Value::as_array)
+                .map(<[_]>::len),
+            Some(1)
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! consumed by every job through the cross-job staging area.
 //!
 //! The driver lives in [`crate::Experiment`] with
-//! [`Scenario::HpSearch`](crate::Scenario::HpSearch); this module keeps the
+//! [`Scenario::HpSearch`]; this module keeps the
 //! legacy free-function entry point and its result type as deprecated shims.
 
 use crate::config::ServerConfig;

@@ -22,9 +22,13 @@
 //!
 //! Every run returns one [`SimReport`]; register an
 //! [`observer`](Experiment::observer) for per-epoch live telemetry and use
-//! [`SimReport::to_json`] to export trajectories.  The legacy free functions
-//! ([`simulate_single_server`], [`simulate_hp_search`],
-//! [`simulate_distributed`]) survive as deprecated shims over [`Experiment`].
+//! [`SimReport::to_json`] to export trajectories.  Grids of configurations —
+//! cache sizes, vCPU counts, loaders, server counts — run through the
+//! [`sweep`] module: a [`SweepSpec`] names the axes and a [`SweepRunner`]
+//! fans the grid out across OS threads with deterministic, panic-isolated
+//! results.  The legacy free functions ([`simulate_single_server`],
+//! [`simulate_hp_search`], [`simulate_distributed`]) survive as deprecated
+//! shims over [`Experiment`].
 
 pub mod config;
 pub mod distributed;
@@ -32,9 +36,11 @@ pub(crate) mod engine;
 pub mod experiment;
 pub mod hp;
 pub mod job;
+pub mod json;
 pub mod loader;
 pub mod metrics;
 pub mod single;
+pub mod sweep;
 
 pub use config::ServerConfig;
 #[allow(deprecated)]
@@ -47,3 +53,6 @@ pub use loader::{FetchOrder, LoaderConfig, LoaderKind};
 pub use metrics::{EpochMetrics, RunResult};
 #[allow(deprecated)]
 pub use single::simulate_single_server;
+pub use sweep::{
+    Axis, ExperimentSpec, GridMode, PointLabel, SweepPoint, SweepReport, SweepRunner, SweepSpec,
+};

@@ -2,7 +2,7 @@
 //! the §3 analysis).
 //!
 //! The driver lives in [`crate::Experiment`] with
-//! [`Scenario::SingleServer`](crate::Scenario::SingleServer); this module
+//! [`Scenario::SingleServer`]; this module
 //! keeps the legacy free-function entry point as a deprecated shim.
 
 use crate::config::ServerConfig;

@@ -92,26 +92,30 @@ fn main() {
     // has at least x hits per epoch" (Appendix C) — so the empirical side of
     // the comparison runs with CoorDL's MinIO cache, like the paper's tool.
     // A larger (less scaled-down) dataset is used here so the pipeline's
-    // ramp-up/drain overhead does not distort the comparison.
+    // ramp-up/drain overhead does not distort the comparison; all cache sizes
+    // simulate as one parallel sweep.
     println!("\n== Prediction vs simulation (Table 5 methodology) ==");
     println!(
         "{:>8}  {:>12}  {:>12}  {:>7}",
         "cache %", "predicted", "simulated", "error"
     );
     let big = DatasetSpec::imagenet_1k().scaled(16);
-    let minio_job = JobSpec::new(model, big.clone(), 8, LoaderConfig::coordl_best(model));
-    for frac in [0.25, 0.35, 0.50] {
-        let predicted = whatif.predicted_speed(frac);
-        let srv = ServerConfig::config_ssd_v100().with_cache_fraction(big.total_bytes(), frac);
-        let run = Experiment::on(&srv).job(minio_job.clone()).epochs(3).run();
-        let simulated = run.steady_samples_per_sec();
-        let err = (predicted - simulated).abs() / simulated;
+    let srv = ServerConfig::config_ssd_v100().with_cache_fraction(big.total_bytes(), 0.35);
+    let minio_job = JobSpec::new(model, big, 8, LoaderConfig::coordl_best(model));
+    let curve = whatif.validate_speed_curve(
+        &srv,
+        &minio_job,
+        &[0.25, 0.35, 0.50],
+        3,
+        &SweepRunner::new(),
+    );
+    for point in curve {
         println!(
             "{:>7.0}%  {:>12.0}  {:>12.0}  {:>6.1}%",
-            frac * 100.0,
-            predicted,
-            simulated,
-            err * 100.0
+            point.cache_fraction * 100.0,
+            point.predicted,
+            point.empirical,
+            point.relative_error() * 100.0
         );
     }
 }

@@ -1,0 +1,613 @@
+//! `dstool` — run the named sweep suites from the command line.
+//!
+//! The paper's workflow (what-if analysis and HP search over dozens of
+//! configurations) is a *sweep*; `dstool` exposes the preset sweeps from
+//! `benchkit::presets` as a CLI, fanned out across OS threads by
+//! `pipeline::SweepRunner`:
+//!
+//! ```text
+//! dstool list                            # show the suite registry
+//! dstool sweep cache-sweep               # run one suite, print the table
+//! dstool sweep all --out sweeps.json     # run everything, export trajectories
+//! dstool smoke --out BENCH_sweep.json \
+//!              --baseline ci/bench_baseline.json
+//! ```
+//!
+//! `smoke` is the CI entry point: it runs every suite at a reduced scale
+//! *twice* — once across worker threads, once serially — fails unless the two
+//! are bit-identical, writes the per-point steady-state throughput to a JSON
+//! file, and (with `--baseline`) fails if any preset regressed more than the
+//! tolerance against the checked-in baseline.  Simulated time is virtual, so
+//! these throughput numbers are deterministic across machines: the gate
+//! catches behavioural regressions in the simulator, not CI-runner jitter.
+//!
+//! Refresh the baseline after an intentional change with
+//! `cargo run --release --bin dstool -- smoke --out ci/bench_baseline.json`.
+
+use benchkit::{find_suite, SweepSuite, Table, SMOKE_EXTRA_SCALE, SUITES};
+use datastalls::pipeline::json::{self, Value};
+use datastalls::pipeline::{SweepReport, SweepRunner};
+use std::process::ExitCode;
+
+/// Default thread count for `smoke`: enough to prove the parallel path even
+/// on single-core CI runners.
+const SMOKE_THREADS: usize = 4;
+
+/// Default regression tolerance for the baseline gate (fraction).
+const DEFAULT_TOLERANCE: f64 = 0.10;
+
+fn usage() -> &'static str {
+    "usage: dstool <command> [options]\n\
+     \n\
+     commands:\n\
+     \u{20} list                         list the preset sweep suites\n\
+     \u{20} sweep <suite|all>            run a suite and print its table\n\
+     \u{20}       [--threads N|--serial] [--scale N] [--out FILE]\n\
+     \u{20} smoke                        CI smoke: every suite, parallel vs serial\n\
+     \u{20}       [--threads N] [--scale N] [--out FILE]\n\
+     \u{20}       [--baseline FILE] [--tolerance FRAC]\n\
+     \n\
+     sweep options:\n\
+     \u{20} --threads N    worker threads (default: one per core, min 2)\n\
+     \u{20} --serial       run on the calling thread\n\
+     \u{20} --scale N      extra dataset scale-down on top of the bench scale\n\
+     \u{20}                (default 1 for sweep, 8 for smoke)\n\
+     \u{20} --out FILE     write full sweep trajectories as JSON\n\
+     \n\
+     smoke options:\n\
+     \u{20} --out FILE        summary JSON path (default BENCH_sweep.json)\n\
+     \u{20} --baseline FILE   fail on >tolerance throughput regressions\n\
+     \u{20} --tolerance FRAC  regression tolerance (default 0.10)"
+}
+
+struct SweepCmd {
+    suites: Vec<&'static SweepSuite>,
+    threads: Option<usize>,
+    serial: bool,
+    scale: u64,
+    out: Option<String>,
+}
+
+struct SmokeCmd {
+    threads: usize,
+    scale: u64,
+    out: String,
+    baseline: Option<String>,
+    tolerance: f64,
+}
+
+enum Command {
+    Help,
+    List,
+    Sweep(SweepCmd),
+    Smoke(SmokeCmd),
+}
+
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(|| usage().to_string())?;
+    let rest: Vec<&String> = it.collect();
+    match cmd.as_str() {
+        "list" => {
+            if let Some(extra) = rest.first() {
+                return Err(format!("list takes no arguments, got {extra}"));
+            }
+            Ok(Command::List)
+        }
+        "sweep" => parse_sweep(&rest),
+        "smoke" => parse_smoke(&rest),
+        "--help" | "-h" | "help" => Ok(Command::Help),
+        other => Err(format!("unknown command {other}\n\n{}", usage())),
+    }
+}
+
+fn parse_sweep(args: &[&String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let which = it
+        .next()
+        .ok_or_else(|| format!("sweep needs a suite name or 'all'\n\n{}", usage()))?;
+    let suites: Vec<&'static SweepSuite> = if which.as_str() == "all" {
+        SUITES.iter().collect()
+    } else {
+        vec![find_suite(which).ok_or_else(|| {
+            format!(
+                "unknown suite {which}; available: {}",
+                suite_names().join(", ")
+            )
+        })?]
+    };
+    let mut cmd = SweepCmd {
+        suites,
+        threads: None,
+        serial: false,
+        scale: 1,
+        out: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next()
+                .copied()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--threads" => cmd.threads = Some(parse_threads(value()?)?),
+            "--serial" => cmd.serial = true,
+            "--scale" => cmd.scale = parse_scale(value()?)?,
+            "--out" => cmd.out = Some(value()?.clone()),
+            other => return Err(format!("unknown flag {other}\n\n{}", usage())),
+        }
+    }
+    if cmd.serial && cmd.threads.is_some() {
+        return Err("--serial and --threads are mutually exclusive".to_string());
+    }
+    Ok(Command::Sweep(cmd))
+}
+
+fn parse_smoke(args: &[&String]) -> Result<Command, String> {
+    let mut cmd = SmokeCmd {
+        threads: SMOKE_THREADS,
+        scale: SMOKE_EXTRA_SCALE,
+        out: "BENCH_sweep.json".to_string(),
+        baseline: None,
+        tolerance: DEFAULT_TOLERANCE,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next()
+                .copied()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--threads" => {
+                cmd.threads = parse_threads(value()?)?;
+                if cmd.threads < 2 {
+                    return Err(
+                        "smoke exists to prove the parallel path; --threads must be >= 2"
+                            .to_string(),
+                    );
+                }
+            }
+            "--scale" => cmd.scale = parse_scale(value()?)?,
+            "--out" => cmd.out = value()?.clone(),
+            "--baseline" => cmd.baseline = Some(value()?.clone()),
+            "--tolerance" => {
+                let v = value()?;
+                cmd.tolerance = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| (0.0..1.0).contains(t))
+                    .ok_or_else(|| format!("tolerance must be in [0,1), got {v}"))?;
+            }
+            other => return Err(format!("unknown flag {other}\n\n{}", usage())),
+        }
+    }
+    Ok(Command::Smoke(cmd))
+}
+
+fn parse_threads(v: &str) -> Result<usize, String> {
+    v.parse::<usize>()
+        .ok()
+        .filter(|&n| (1..=256).contains(&n))
+        .ok_or_else(|| format!("threads must be 1..=256, got {v}"))
+}
+
+fn parse_scale(v: &str) -> Result<u64, String> {
+    v.parse::<u64>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("scale must be >= 1, got {v}"))
+}
+
+fn suite_names() -> Vec<&'static str> {
+    SUITES.iter().map(|s| s.name).collect()
+}
+
+fn run_list() {
+    let mut table = Table::new(
+        "Preset sweep suites",
+        &["name", "points", "paper", "description"],
+    );
+    for suite in &SUITES {
+        table.row(&[
+            suite.name.to_string(),
+            suite.spec(1).num_points().to_string(),
+            suite.paper.to_string(),
+            suite.description.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nrun one with: dstool sweep <name>   (or 'dstool sweep all')");
+}
+
+/// Print one suite's per-point summary table.
+fn print_suite_table(suite: &SweepSuite, report: &SweepReport) {
+    let mut table = Table::new(
+        format!("Sweep {} ({})", suite.name, suite.paper),
+        &["point", "samples/s", "samples/s/job", "epoch s"],
+    )
+    .with_caption(suite.description.to_string());
+    for point in &report.points {
+        match point.report() {
+            Some(sim) => {
+                table.row(&[
+                    point.label.label(),
+                    format!("{:.0}", sim.steady_samples_per_sec()),
+                    format!("{:.0}", sim.steady_per_job_samples_per_sec()),
+                    format!("{:.2}", sim.steady_epoch_seconds()),
+                ]);
+            }
+            None => {
+                table.row(&[
+                    point.label.label(),
+                    "failed".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+            }
+        }
+    }
+    table.print();
+}
+
+fn run_sweep(cmd: &SweepCmd) -> Result<(), String> {
+    let runner = if cmd.serial {
+        SweepRunner::serial()
+    } else {
+        match cmd.threads {
+            Some(n) => SweepRunner::with_threads(n),
+            None => SweepRunner::new(),
+        }
+    };
+    let mut failed = 0usize;
+    let mut exports = Vec::new();
+    for suite in &cmd.suites {
+        let spec = suite.spec(cmd.scale);
+        let report = runner.run(&spec);
+        print_suite_table(suite, &report);
+        failed += report.num_failed();
+        exports.push(report);
+    }
+    if let Some(path) = &cmd.out {
+        let mut doc = String::from("{\"sweeps\":[");
+        for (i, report) in exports.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&report.to_json());
+        }
+        doc.push_str("]}");
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("\nwrote full trajectories to {path}");
+    }
+    if failed > 0 {
+        return Err(format!("{failed} grid point(s) failed"));
+    }
+    Ok(())
+}
+
+fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
+    println!(
+        "dstool smoke: {} suites, extra scale {}, {} worker threads vs serial",
+        SUITES.len(),
+        cmd.scale,
+        cmd.threads
+    );
+    let parallel_runner = SweepRunner::with_threads(cmd.threads);
+    let serial_runner = SweepRunner::serial();
+    let mut results: Vec<(&SweepSuite, SweepReport)> = Vec::new();
+    for suite in &SUITES {
+        let spec = suite.spec(cmd.scale);
+        let start = std::time::Instant::now();
+        let parallel = parallel_runner.run(&spec);
+        let serial = serial_runner.run(&spec);
+        if parallel != serial {
+            return Err(format!(
+                "suite {}: parallel run is not bit-identical to the serial run",
+                suite.name
+            ));
+        }
+        if parallel.num_failed() > 0 {
+            let labels: Vec<String> = parallel
+                .points
+                .iter()
+                .filter(|p| p.outcome.is_err())
+                .map(|p| p.label.label())
+                .collect();
+            return Err(format!(
+                "suite {}: {} point(s) failed: {}",
+                suite.name,
+                labels.len(),
+                labels.join(", ")
+            ));
+        }
+        println!(
+            "  {:<14} {:>2} points  parallel == serial  ({:.2?})",
+            suite.name,
+            parallel.points.len(),
+            start.elapsed()
+        );
+        results.push((suite, parallel));
+    }
+
+    let doc = smoke_json(cmd, &results);
+    std::fs::write(&cmd.out, &doc).map_err(|e| format!("cannot write {}: {e}", cmd.out))?;
+    println!("wrote {}", cmd.out);
+
+    if let Some(path) = &cmd.baseline {
+        check_baseline(path, &doc, cmd.tolerance, cmd.scale)?;
+        println!(
+            "baseline gate passed: no preset regressed more than {:.0}% vs {path}",
+            cmd.tolerance * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// The `BENCH_sweep.json` / `ci/bench_baseline.json` document: per-preset
+/// steady-state throughput, deterministic across machines.
+fn smoke_json(cmd: &SmokeCmd, results: &[(&SweepSuite, SweepReport)]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"schema\":\"datastalls-bench-sweep/v1\",\"threads\":");
+    out.push_str(&cmd.threads.to_string());
+    out.push_str(",\"extra_scale\":");
+    out.push_str(&cmd.scale.to_string());
+    out.push_str(",\"suites\":[");
+    for (i, (suite, report)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"suite\":");
+        json::write_string(&mut out, suite.name);
+        out.push_str(",\"paper\":");
+        json::write_string(&mut out, suite.paper);
+        out.push_str(",\"points\":[");
+        for (j, (label, sim)) in report.reports().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":");
+            json::write_string(&mut out, &label.label());
+            out.push_str(",\"steady_samples_per_sec\":");
+            json::write_f64(&mut out, sim.steady_samples_per_sec());
+            out.push_str(",\"steady_epoch_seconds\":");
+            json::write_f64(&mut out, sim.steady_epoch_seconds());
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Fail if any baseline preset's throughput regressed more than `tolerance`,
+/// or disappeared from the current run.
+fn check_baseline(
+    path: &str,
+    current_doc: &str,
+    tolerance: f64,
+    current_scale: u64,
+) -> Result<(), String> {
+    let baseline_text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let baseline = json::parse(&baseline_text)
+        .map_err(|e| format!("baseline {path} is not valid JSON: {e}"))?;
+    let current = json::parse(current_doc).expect("smoke_json emits valid JSON");
+
+    // Throughput depends on the dataset scale: comparing runs recorded at
+    // different --scale values would gate against incomparable numbers.
+    let baseline_scale = baseline.get("extra_scale").and_then(Value::as_f64);
+    if baseline_scale != Some(current_scale as f64) {
+        return Err(format!(
+            "baseline {path} was recorded at extra_scale {} but this run used --scale \
+             {current_scale}; re-run with a matching --scale or refresh the baseline",
+            baseline_scale.map_or("<missing>".to_string(), |s| format!("{s:.0}")),
+        ));
+    }
+
+    let index = |doc: &Value| -> Vec<(String, String, f64)> {
+        let mut points = Vec::new();
+        for suite in doc
+            .get("suites")
+            .and_then(Value::as_array)
+            .unwrap_or_default()
+        {
+            let name = suite
+                .get("suite")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string();
+            for p in suite
+                .get("points")
+                .and_then(Value::as_array)
+                .unwrap_or_default()
+            {
+                if let (Some(label), Some(rate)) = (
+                    p.get("label").and_then(Value::as_str),
+                    p.get("steady_samples_per_sec").and_then(Value::as_f64),
+                ) {
+                    points.push((name.clone(), label.to_string(), rate));
+                }
+            }
+        }
+        points
+    };
+
+    let current_points = index(&current);
+    let mut regressions = Vec::new();
+    let mut improvements = 0usize;
+    let baseline_points = index(&baseline);
+    if baseline_points.is_empty() {
+        return Err(format!("baseline {path} contains no comparable points"));
+    }
+    for (suite, label, old) in baseline_points {
+        let Some((_, _, new)) = current_points
+            .iter()
+            .find(|(s, l, _)| *s == suite && *l == label)
+        else {
+            regressions.push(format!("{suite}/{label}: missing from this run"));
+            continue;
+        };
+        if *new < old * (1.0 - tolerance) {
+            regressions.push(format!(
+                "{suite}/{label}: {old:.1} -> {new:.1} samples/s ({:+.1}%)",
+                (new / old - 1.0) * 100.0
+            ));
+        } else if *new > old * (1.0 + tolerance) {
+            improvements += 1;
+        }
+    }
+    if improvements > 0 {
+        println!(
+            "note: {improvements} preset(s) improved more than {:.0}%; consider refreshing {path}",
+            tolerance * 100.0
+        );
+    }
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "perf regression gate failed ({} preset(s) below baseline {path}):\n  {}",
+            regressions.len(),
+            regressions.join("\n  ")
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match parse_args(&args) {
+        Ok(Command::Help) => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Ok(Command::List) => {
+            run_list();
+            Ok(())
+        }
+        Ok(Command::Sweep(cmd)) => run_sweep(&cmd),
+        Ok(Command::Smoke(cmd)) => run_smoke(&cmd),
+        Err(msg) => Err(msg),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_list_and_rejects_extras() {
+        assert!(matches!(parse_args(&args(&["list"])), Ok(Command::List)));
+        assert!(parse_args(&args(&["list", "x"])).is_err());
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["bogus"])).is_err());
+        // Asking for help is not an error (exit 0, usage on stdout).
+        for help in ["--help", "-h", "help"] {
+            assert!(matches!(parse_args(&args(&[help])), Ok(Command::Help)));
+        }
+    }
+
+    #[test]
+    fn parses_sweep_flags() {
+        let Ok(Command::Sweep(cmd)) = parse_args(&args(&[
+            "sweep",
+            "cache-sweep",
+            "--threads",
+            "3",
+            "--scale",
+            "4",
+            "--out",
+            "x.json",
+        ])) else {
+            panic!("expected sweep command");
+        };
+        assert_eq!(cmd.suites.len(), 1);
+        assert_eq!(cmd.suites[0].name, "cache-sweep");
+        assert_eq!(cmd.threads, Some(3));
+        assert_eq!(cmd.scale, 4);
+        assert_eq!(cmd.out.as_deref(), Some("x.json"));
+
+        let Ok(Command::Sweep(all)) = parse_args(&args(&["sweep", "all", "--serial"])) else {
+            panic!("expected sweep command");
+        };
+        assert_eq!(all.suites.len(), SUITES.len());
+        assert!(all.serial);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_input() {
+        assert!(parse_args(&args(&["sweep"])).is_err());
+        assert!(parse_args(&args(&["sweep", "nope"])).is_err());
+        assert!(parse_args(&args(&["sweep", "all", "--serial", "--threads", "2"])).is_err());
+        assert!(parse_args(&args(&["sweep", "all", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn smoke_defaults_and_flags() {
+        let Ok(Command::Smoke(cmd)) = parse_args(&args(&["smoke"])) else {
+            panic!("expected smoke command");
+        };
+        assert_eq!(cmd.threads, SMOKE_THREADS);
+        assert_eq!(cmd.scale, SMOKE_EXTRA_SCALE);
+        assert_eq!(cmd.out, "BENCH_sweep.json");
+        assert!(cmd.baseline.is_none());
+        assert!((cmd.tolerance - DEFAULT_TOLERANCE).abs() < 1e-12);
+
+        let Ok(Command::Smoke(cmd)) = parse_args(&args(&[
+            "smoke",
+            "--baseline",
+            "ci/bench_baseline.json",
+            "--tolerance",
+            "0.2",
+        ])) else {
+            panic!("expected smoke command");
+        };
+        assert_eq!(cmd.baseline.as_deref(), Some("ci/bench_baseline.json"));
+        assert!((cmd.tolerance - 0.2).abs() < 1e-12);
+
+        // smoke exists to prove the parallel path.
+        assert!(parse_args(&args(&["smoke", "--threads", "1"])).is_err());
+        assert!(parse_args(&args(&["smoke", "--tolerance", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn baseline_gate_flags_regressions_and_missing_presets() {
+        let baseline = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[
+                {"label":"a","steady_samples_per_sec":1000},
+                {"label":"gone","steady_samples_per_sec":500}]}]}"#;
+        let current = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[
+                {"label":"a","steady_samples_per_sec":850}]}]}"#;
+        let dir = std::env::temp_dir().join("dstool_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, baseline).unwrap();
+        let err = check_baseline(path.to_str().unwrap(), current, 0.10, 8).unwrap_err();
+        assert!(err.contains("s/a"), "regression reported: {err}");
+        assert!(err.contains("s/gone"), "missing preset reported: {err}");
+        // Within tolerance: passes.
+        let ok_current = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[
+                {"label":"a","steady_samples_per_sec":950},
+                {"label":"gone","steady_samples_per_sec":480}]}]}"#;
+        check_baseline(path.to_str().unwrap(), ok_current, 0.10, 8).unwrap();
+        // A scale mismatch is an error, not a spurious regression report.
+        let err = check_baseline(path.to_str().unwrap(), ok_current, 0.10, 2).unwrap_err();
+        assert!(
+            err.contains("extra_scale"),
+            "scale mismatch reported: {err}"
+        );
+    }
+}

@@ -116,8 +116,9 @@ pub mod prelude {
     pub use crate::dataset::{DataSource, DatasetSpec, LabeledVectorStore, SyntheticItemStore};
     pub use crate::gpu::{GpuGeneration, ModelKind, ModelProfile};
     pub use crate::pipeline::{
-        EpochMetrics, EpochUpdate, Experiment, JobSpec, LoaderConfig, LoaderKind, RunResult,
-        Scenario, ServerConfig, SimReport,
+        Axis, EpochMetrics, EpochUpdate, Experiment, ExperimentSpec, JobSpec, LoaderConfig,
+        LoaderKind, RunResult, Scenario, ServerConfig, SimReport, SweepReport, SweepRunner,
+        SweepSpec,
     };
     pub use crate::prep::{ExecutablePipeline, PrepBackend, PrepPipeline};
     pub use crate::storage::DeviceProfile;

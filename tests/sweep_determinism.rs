@@ -1,0 +1,145 @@
+//! The `SweepRunner` contract: a multi-threaded sweep is bit-identical to a
+//! serial run of the same grid (same reports, same order), and a panicking
+//! grid point fails that point only, never the sweep.
+
+use datastalls::prelude::*;
+
+fn base_spec() -> ExperimentSpec {
+    let dataset = DatasetSpec::imagenet_1k().scaled(1000);
+    let server = ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.5);
+    let job = JobSpec::new(
+        ModelKind::ResNet18,
+        dataset,
+        8,
+        LoaderConfig::coordl_best(ModelKind::ResNet18),
+    );
+    ExperimentSpec::new(server, job)
+}
+
+fn cache_axis() -> Axis {
+    let mut axis = Axis::new("cache");
+    for pct in [20u32, 40, 60, 80] {
+        axis.push_value(format!("{pct}%"), move |spec: &mut ExperimentSpec| {
+            let bytes = spec.jobs[0].dataset.total_bytes();
+            spec.server = spec.server.with_cache_fraction(bytes, pct as f64 / 100.0);
+        });
+    }
+    axis
+}
+
+fn loader_axis() -> Axis {
+    Axis::new("loader")
+        .value("dali", |spec: &mut ExperimentSpec| {
+            for job in &mut spec.jobs {
+                job.loader = LoaderConfig::dali_best(job.model);
+            }
+        })
+        .value("coordl", |spec: &mut ExperimentSpec| {
+            for job in &mut spec.jobs {
+                job.loader = LoaderConfig::coordl_best(job.model);
+            }
+        })
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let spec = SweepSpec::new("determinism", base_spec())
+        .axis(cache_axis())
+        .axis(loader_axis());
+    assert_eq!(spec.num_points(), 8);
+
+    let serial = SweepRunner::serial().run(&spec);
+    for threads in [2, 3, 8] {
+        let parallel = SweepRunner::with_threads(threads).run(&spec);
+        // Same labels in the same deterministic grid order.
+        let serial_labels: Vec<String> = serial.points.iter().map(|p| p.label.label()).collect();
+        let parallel_labels: Vec<String> =
+            parallel.points.iter().map(|p| p.label.label()).collect();
+        assert_eq!(serial_labels, parallel_labels, "{threads} threads");
+        // Bit-identical reports: SimReport is all plain data, so structural
+        // equality plus byte-identical JSON pins every float.
+        assert_eq!(serial, parallel, "{threads} threads");
+        assert_eq!(
+            serial.to_json(),
+            parallel.to_json(),
+            "{threads} threads: JSON must match byte for byte"
+        );
+    }
+}
+
+#[test]
+fn hp_search_sweep_is_deterministic_across_threads() {
+    // The HP-search engine exercises the coordinated-prep path, whose shared
+    // state is the most likely place for nondeterminism to creep in.
+    let mut base = base_spec();
+    base.jobs[0].num_gpus = 1;
+    base.epochs = 2;
+    let mut width = Axis::new("jobs");
+    for n in [2usize, 4, 8] {
+        width.push_value(format!("{n}"), move |spec: &mut ExperimentSpec| {
+            spec.scenario = Scenario::HpSearch { jobs: n };
+            let template = spec.jobs[0].clone();
+            spec.jobs = (0..n)
+                .map(|j| template.with_seed(template.seed + j as u64))
+                .collect();
+        });
+    }
+    let spec = SweepSpec::new("hp-determinism", base).axis(width);
+    let serial = SweepRunner::serial().run(&spec);
+    let parallel = SweepRunner::with_threads(4).run(&spec);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn a_poisoned_grid_point_fails_alone() {
+    // Silence the default panic hook for the intentional panic below; no
+    // other test in this binary panics on purpose.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut axis = cache_axis();
+    axis.push_value("poisoned", |spec: &mut ExperimentSpec| {
+        spec.epochs = 0; // Experiment::run asserts "need at least one epoch".
+    });
+    let spec = SweepSpec::new("isolation", base_spec()).axis(axis);
+    let report = SweepRunner::with_threads(3).run(&spec);
+    std::panic::set_hook(prev_hook);
+
+    assert_eq!(report.points.len(), 5);
+    assert_eq!(report.num_failed(), 1);
+    let failed = &report.points[4];
+    assert_eq!(failed.label.label(), "cache=poisoned");
+    let err = failed.outcome.as_ref().unwrap_err();
+    assert!(
+        err.contains("at least one epoch"),
+        "panic message surfaced: {err}"
+    );
+    // Every healthy point still ran.
+    for point in &report.points[..4] {
+        assert!(point.report().is_some(), "{} must succeed", point.label);
+    }
+    // The failure is visible in the JSON export, which stays valid.
+    let json = report.to_json();
+    assert!(json.contains("\"ok\":false"));
+    assert!(datastalls::pipeline::json::parse(&json).is_ok());
+}
+
+#[test]
+fn zipped_sweeps_run_axes_in_lockstep() {
+    let spec = SweepSpec::new("zip", base_spec())
+        .axis(cache_axis())
+        .axis(
+            Axis::new("epochs")
+                .value("2", |s: &mut ExperimentSpec| s.epochs = 2)
+                .value("3", |s: &mut ExperimentSpec| s.epochs = 3)
+                .value("4", |s: &mut ExperimentSpec| s.epochs = 4)
+                .value("5", |s: &mut ExperimentSpec| s.epochs = 5),
+        )
+        .zipped();
+    assert_eq!(spec.num_points(), 4);
+    let report = SweepRunner::with_threads(2).run(&spec);
+    for (i, (label, sim)) in report.reports().enumerate() {
+        assert_eq!(label.index, i);
+        assert_eq!(sim.num_epochs(), i + 2, "{label}");
+    }
+}
