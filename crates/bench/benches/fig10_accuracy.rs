@@ -13,7 +13,7 @@
 //!    accuracy-vs-time curves of Figure 10.
 
 use benchkit::{scaled, Table};
-use coordl::{CoordinatedConfig, CoordinatedJobGroup, DataLoader, DataLoaderConfig};
+use coordl::{Mode, Session, SessionConfig};
 use dataset::{DataSource, DatasetSpec, LabeledVectorStore};
 use dnn::{train_through_coordinated_group, train_through_loader, TrainConfig};
 use gpu::ModelKind;
@@ -41,34 +41,31 @@ fn main() {
         epochs: 5,
         seed: 21,
     };
-    let loader = DataLoader::new(
+    let session_config = SessionConfig {
+        batch_size: 32,
+        num_workers: 2,
+        prefetch_depth: 4,
+        seed: 4,
+        cache_capacity_bytes: 8 << 20,
+        staging_window: 8,
+        take_timeout: Duration::from_secs(5),
+    };
+    let single = Session::builder(
         Arc::clone(&store) as Arc<dyn DataSource>,
-        identity_pipeline(),
-        DataLoaderConfig {
-            batch_size: 32,
-            num_workers: 2,
-            prefetch_depth: 4,
-            seed: 4,
-            cache_capacity_bytes: 8 << 20,
-        },
+        session_config.clone(),
     )
+    .pipeline(identity_pipeline())
+    .build()
     .expect("loader config");
-    let baseline = train_through_loader(&loader, &store, &config);
+    let baseline = train_through_loader(&single, &store, &config);
 
-    let group = CoordinatedJobGroup::new(
-        Arc::clone(&store) as Arc<dyn DataSource>,
-        identity_pipeline(),
-        CoordinatedConfig {
-            num_jobs: 2,
-            batch_size: 32,
-            staging_window: 8,
-            seed: 4,
-            cache_capacity_bytes: 8 << 20,
-            take_timeout: Duration::from_secs(5),
-        },
-    )
-    .expect("coordinated config");
-    let coordinated = train_through_coordinated_group(&group, &store, &config);
+    let coordinated_session =
+        Session::builder(Arc::clone(&store) as Arc<dyn DataSource>, session_config)
+            .mode(Mode::Coordinated { jobs: 2 })
+            .pipeline(identity_pipeline())
+            .build()
+            .expect("coordinated config");
+    let coordinated = train_through_coordinated_group(&coordinated_session, &store, &config);
 
     // --- 2. Wall-clock scaling from the simulator ---------------------------
     let dataset = scaled(DatasetSpec::imagenet_1k());

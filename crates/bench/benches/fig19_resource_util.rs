@@ -3,7 +3,7 @@
 //! fraction of the link, and coordinated prep's staging memory is small.
 
 use benchkit::{fmt_bytes, fmt_pct, scaled, server_ssd, single_run, steady, Table};
-use coordl::{CoordinatedConfig, CoordinatedJobGroup};
+use coordl::{Mode, Session, SessionConfig};
 use dataset::{DataSource, DatasetSpec, SyntheticItemStore};
 use gpu::ModelKind;
 use pipeline::{Experiment, JobSpec, LoaderConfig, Scenario, ServerConfig};
@@ -73,30 +73,36 @@ fn main() {
     // --- Staging-area memory overhead (Figure 20) ---------------------------
     let spec = DatasetSpec::new("staging-probe", 16_384, 4096, 0.2, 4.0);
     let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec, 11));
-    let group = CoordinatedJobGroup::new(
+    let staging_session = Session::builder(
         Arc::clone(&store),
-        ExecutablePipeline::new(PrepPipeline::image_classification(), 4, 1),
-        CoordinatedConfig {
-            num_jobs: 8,
+        SessionConfig {
             batch_size: 64,
             staging_window: 4,
             seed: 3,
             cache_capacity_bytes: 256 << 20,
             take_timeout: Duration::from_secs(10),
+            ..SessionConfig::default()
         },
     )
+    .mode(Mode::Coordinated { jobs: 8 })
+    .pipeline(ExecutablePipeline::new(
+        PrepPipeline::image_classification(),
+        4,
+        1,
+    ))
+    .build()
     .expect("coordinated config");
-    let session = group.run_epoch(0);
+    let run = staging_session.epoch(0);
     let handles: Vec<_> = (0..8)
         .map(|job| {
-            let consumer = session.consumer(job);
-            std::thread::spawn(move || consumer.inspect(|b| assert!(b.is_ok(), "batch")).count())
+            let stream = run.stream(job);
+            std::thread::spawn(move || stream.inspect(|b| assert!(b.is_ok(), "batch")).count())
         })
         .collect();
     for h in handles {
         let _ = h.join().expect("consumer");
     }
-    let staging = session.staging().stats();
+    let staging = run.staging().expect("coordinated mode").stats();
     let dataset_bytes: u64 = (0..store.len()).map(|i| store.item_bytes(i)).sum();
     println!(
         "staging memory: peak {} for 8 concurrent jobs vs {} of raw data — a bounded window, not a second copy of the dataset (paper: ~5 GB, repaid by shrinking the cache by 5 GB).",

@@ -2,7 +2,7 @@
 //! cache fetches, executable prep, and a full coordinated epoch with
 //! concurrent consumers.
 
-use coordl::{CoordinatedConfig, CoordinatedJobGroup, MinIoByteCache};
+use coordl::{MinIoByteCache, Mode, Session, SessionConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dataset::{DataSource, DatasetSpec, SyntheticItemStore};
 use prep::{ExecutablePipeline, PrepPipeline};
@@ -52,28 +52,34 @@ fn bench_coordinated_epoch(c: &mut Criterion) {
     group.throughput(Throughput::Elements(spec.num_items));
     for jobs in [2usize, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
-            let group_loader = CoordinatedJobGroup::new(
+            let session = Session::builder(
                 Arc::clone(&store),
-                ExecutablePipeline::new(PrepPipeline::image_classification(), 4, 3),
-                CoordinatedConfig {
-                    num_jobs: jobs,
+                SessionConfig {
                     batch_size: 64,
                     staging_window: 8,
                     seed: 5,
                     cache_capacity_bytes: 64 << 20,
                     take_timeout: Duration::from_secs(10),
+                    ..SessionConfig::default()
                 },
             )
+            .mode(Mode::Coordinated { jobs })
+            .pipeline(ExecutablePipeline::new(
+                PrepPipeline::image_classification(),
+                4,
+                3,
+            ))
+            .build()
             .expect("coordinated config");
             let mut epoch = 0u64;
             b.iter(|| {
                 epoch += 1;
-                let session = group_loader.run_epoch(epoch);
+                let run = session.epoch(epoch);
                 let handles: Vec<_> = (0..jobs)
                     .map(|job| {
-                        let consumer = session.consumer(job);
+                        let stream = run.stream(job);
                         std::thread::spawn(move || {
-                            consumer.map(|b| b.expect("batch").len()).sum::<usize>()
+                            stream.map(|b| b.expect("batch").len()).sum::<usize>()
                         })
                     })
                     .collect();

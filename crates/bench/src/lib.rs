@@ -16,6 +16,7 @@
 pub mod presets;
 pub mod report;
 pub mod scenarios;
+pub mod validation;
 
 pub use presets::{
     find_suite, scaled, server_hdd, server_ssd, vcpu_effective_cores, SweepSuite,
@@ -27,3 +28,4 @@ pub use scenarios::{
     distributed_pair, distributed_run, hp_jobs, hp_pair, hp_run, single_pair, single_run, steady,
     SinglePair,
 };
+pub use validation::{run_validation, GateKind, ValidationConfig, ValidationReport, ValidationRow};

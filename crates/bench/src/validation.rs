@@ -1,0 +1,461 @@
+//! Predicted-vs-empirical validation: the same workload through the
+//! simulator (`pipeline::Experiment`) and the runtime (`coordl::Session`).
+//!
+//! This is the paper's Table 5 / Figure 16 methodology applied to the
+//! reproduction itself: the simulator *predicts* cache hit ratios, storage
+//! traffic and stalls from the device/cache model, the functional loader
+//! *measures* them on real bytes, and `dstool validate` reports the deltas.
+//! Both sides share the epoch sampler, the per-item size function and the
+//! cache-policy code, so hit-ratio and storage-byte predictions should land
+//! within a small tolerance; the stall comparison (simulated fetch-stall
+//! seconds vs the runtime's modelled device-busy seconds) is reported but
+//! not gated, because the simulator accounts pipelining overlap that a
+//! functional loader cannot observe.
+
+use coordl::{Mode, Session, SessionConfig};
+use dataset::{DataSource, DatasetSpec, SyntheticItemStore};
+use dcache::PolicyKind;
+use pipeline::json::{write_f64, write_string};
+use pipeline::{Experiment, JobSpec, LoaderConfig, Scenario, ServerConfig, SimReport};
+use prep::PrepBackend;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shuffle seed shared by the simulator job and the runtime session, so both
+/// sweep identical per-epoch permutations.
+const VALIDATION_SEED: u64 = 0xC0DA;
+
+/// Synthetic-store content seed (irrelevant to the comparison; bytes only).
+const STORE_SEED: u64 = 7;
+
+/// Configuration of one validation run.
+#[derive(Debug, Clone)]
+pub struct ValidationConfig {
+    /// Dataset scale-down applied to ImageNet-1k (larger = smaller run).
+    pub scale: u64,
+    /// DRAM cache capacity as a fraction of the dataset.
+    pub cache_fraction: f64,
+    /// Concurrent jobs in the coordinated scenario.
+    pub jobs: usize,
+    /// Epochs per run (epoch 0 is the cold-cache warm-up).
+    pub epochs: u64,
+    /// Gate tolerance: absolute for hit ratios, relative for byte counts.
+    pub tolerance: f64,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig {
+            scale: 4000,
+            cache_fraction: 0.35,
+            jobs: 4,
+            epochs: 3,
+            tolerance: 0.05,
+        }
+    }
+}
+
+/// How a row's predicted/empirical pair is compared against the tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// `|predicted - empirical| <= tolerance`.
+    Absolute,
+    /// `|predicted - empirical| / max(predicted, epsilon) <= tolerance`.
+    Relative,
+    /// Reported only, never gated.
+    Informational,
+}
+
+/// One predicted-vs-empirical comparison.
+#[derive(Debug, Clone)]
+pub struct ValidationRow {
+    /// Scenario label (`single-minio`, `single-lru`, `hp-coordinated`).
+    pub scenario: &'static str,
+    /// Metric label (`steady_hit_ratio`, `steady_disk_bytes`, ...).
+    pub metric: &'static str,
+    /// The simulator's prediction.
+    pub predicted: f64,
+    /// The runtime's measurement.
+    pub empirical: f64,
+    /// How the pair is gated.
+    pub gate: GateKind,
+}
+
+impl ValidationRow {
+    /// Absolute delta.
+    pub fn delta(&self) -> f64 {
+        (self.predicted - self.empirical).abs()
+    }
+
+    /// Delta relative to the prediction (Table 5's error metric).
+    pub fn relative_delta(&self) -> f64 {
+        self.delta() / self.predicted.abs().max(1e-9)
+    }
+
+    /// Whether the row passes under `tolerance`.
+    pub fn passes(&self, tolerance: f64) -> bool {
+        match self.gate {
+            GateKind::Absolute => self.delta() <= tolerance,
+            GateKind::Relative => {
+                // Two near-zero values agree regardless of their ratio.
+                self.delta() <= 1e-6 || self.relative_delta() <= tolerance
+            }
+            GateKind::Informational => true,
+        }
+    }
+}
+
+/// The result of one validation run.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// The configuration that produced it.
+    pub config: ValidationConfig,
+    /// All comparisons, in scenario order.
+    pub rows: Vec<ValidationRow>,
+}
+
+impl ValidationReport {
+    /// Rows that fail the gate under the configured tolerance.
+    pub fn failures(&self) -> Vec<&ValidationRow> {
+        self.rows
+            .iter()
+            .filter(|r| !r.passes(self.config.tolerance))
+            .collect()
+    }
+
+    /// True when every gated row is within tolerance.
+    pub fn passed(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// Serialise through the shared `pipeline::json` emitter.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\"schema\":\"datastalls-validate/v1\",\"scale\":");
+        out.push_str(&self.config.scale.to_string());
+        out.push_str(",\"cache_fraction\":");
+        write_f64(&mut out, self.config.cache_fraction);
+        out.push_str(",\"jobs\":");
+        out.push_str(&self.config.jobs.to_string());
+        out.push_str(",\"epochs\":");
+        out.push_str(&self.config.epochs.to_string());
+        out.push_str(",\"tolerance\":");
+        write_f64(&mut out, self.config.tolerance);
+        out.push_str(",\"passed\":");
+        out.push_str(if self.passed() { "true" } else { "false" });
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"scenario\":");
+            write_string(&mut out, row.scenario);
+            out.push_str(",\"metric\":");
+            write_string(&mut out, row.metric);
+            out.push_str(",\"predicted\":");
+            write_f64(&mut out, row.predicted);
+            out.push_str(",\"empirical\":");
+            write_f64(&mut out, row.empirical);
+            out.push_str(",\"delta\":");
+            write_f64(&mut out, row.delta());
+            out.push_str(",\"relative_delta\":");
+            write_f64(&mut out, row.relative_delta());
+            out.push_str(",\"gated\":");
+            out.push_str(if row.gate == GateKind::Informational {
+                "false"
+            } else {
+                "true"
+            });
+            out.push_str(",\"pass\":");
+            out.push_str(if row.passes(self.config.tolerance) {
+                "true"
+            } else {
+                "false"
+            });
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+struct ScenarioOutcome {
+    predicted_hit_ratio: f64,
+    empirical_hit_ratio: f64,
+    predicted_disk_bytes: f64,
+    empirical_disk_bytes: f64,
+    predicted_stall_secs: f64,
+    empirical_device_secs: f64,
+}
+
+fn push_rows(rows: &mut Vec<ValidationRow>, scenario: &'static str, o: ScenarioOutcome) {
+    rows.push(ValidationRow {
+        scenario,
+        metric: "steady_hit_ratio",
+        predicted: o.predicted_hit_ratio,
+        empirical: o.empirical_hit_ratio,
+        gate: GateKind::Absolute,
+    });
+    rows.push(ValidationRow {
+        scenario,
+        metric: "steady_disk_bytes",
+        predicted: o.predicted_disk_bytes,
+        empirical: o.empirical_disk_bytes,
+        gate: GateKind::Relative,
+    });
+    rows.push(ValidationRow {
+        scenario,
+        metric: "steady_fetch_stall_vs_device_seconds",
+        predicted: o.predicted_stall_secs,
+        empirical: o.empirical_device_secs,
+        gate: GateKind::Informational,
+    });
+}
+
+fn sim_steady(report: &SimReport) -> (f64, f64, f64) {
+    // Unit 0 carries the byte/hit accounting in coordinated runs.
+    let steady = report.per_job()[0].steady_state();
+    (
+        steady.cache_hits as f64 / (steady.cache_hits + steady.cache_misses).max(1) as f64,
+        steady.bytes_from_disk as f64,
+        steady.breakdown.fetch_stall.as_secs(),
+    )
+}
+
+fn run_scenario(
+    cfg: &ValidationConfig,
+    spec: &DatasetSpec,
+    server: &ServerConfig,
+    loader: LoaderConfig,
+    scenario: Scenario,
+    mode: Mode,
+    cache_policy: PolicyKind,
+) -> ScenarioOutcome {
+    // --- Predicted: the simulator. -----------------------------------------
+    let job =
+        JobSpec::new(gpu::ModelKind::ResNet18, spec.clone(), 1, loader).with_seed(VALIDATION_SEED);
+    let sim = Experiment::on(server)
+        .job(job)
+        .scenario(scenario)
+        .epochs(cfg.epochs)
+        .run();
+    let (predicted_hit_ratio, predicted_disk_bytes, predicted_stall_secs) = sim_steady(&sim);
+
+    // --- Empirical: the runtime session on real bytes. ---------------------
+    let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec.clone(), STORE_SEED));
+    let session = Session::builder(
+        store,
+        SessionConfig {
+            batch_size: 64,
+            // One worker keeps the cache access order identical to the
+            // simulator's sequential sweep, so LRU decisions line up exactly.
+            num_workers: 1,
+            seed: VALIDATION_SEED,
+            cache_capacity_bytes: server.dram_cache_bytes,
+            take_timeout: Duration::from_secs(30),
+            ..SessionConfig::default()
+        },
+    )
+    .mode(mode)
+    .cache_policy(cache_policy)
+    .device_profile(server.device)
+    .build()
+    .expect("valid validation session");
+    for epoch in 0..cfg.epochs {
+        let run = session.epoch(epoch);
+        let handles: Vec<_> = (0..session.num_jobs())
+            .map(|j| {
+                let stream = run.stream(j);
+                std::thread::spawn(move || {
+                    for batch in stream {
+                        let _ = batch.expect("validation epoch should complete");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("validation consumer");
+        }
+    }
+    let report = session.report();
+    let tail = report.steady_epochs();
+    let hits: u64 = tail.iter().map(|e| e.cache_hits).sum();
+    let misses: u64 = tail.iter().map(|e| e.cache_misses).sum();
+
+    ScenarioOutcome {
+        predicted_hit_ratio,
+        empirical_hit_ratio: hits as f64 / (hits + misses).max(1) as f64,
+        predicted_disk_bytes,
+        empirical_disk_bytes: report.steady_storage_bytes(),
+        predicted_stall_secs,
+        empirical_device_secs: report.steady_device_seconds(),
+    }
+}
+
+/// Run the full predicted-vs-empirical comparison.
+pub fn run_validation(cfg: &ValidationConfig) -> ValidationReport {
+    assert!(cfg.epochs >= 2, "need a warm-up plus one steady epoch");
+    let spec = DatasetSpec::imagenet_1k().scaled(cfg.scale);
+    let server =
+        ServerConfig::config_ssd_v100().with_cache_fraction(spec.total_bytes(), cfg.cache_fraction);
+    let mut rows = Vec::new();
+
+    // CoorDL's MinIO cache, one job.
+    push_rows(
+        &mut rows,
+        "single-minio",
+        run_scenario(
+            cfg,
+            &spec,
+            &server,
+            LoaderConfig::coordl(PrepBackend::DaliCpu),
+            Scenario::SingleServer,
+            Mode::Single,
+            PolicyKind::MinIo,
+        ),
+    );
+
+    // The page-cache baseline: the *same* LRU policy code runs inside the
+    // simulator's StorageNode and inside the runtime's PolicyByteCache.
+    push_rows(
+        &mut rows,
+        "single-lru",
+        run_scenario(
+            cfg,
+            &spec,
+            &server,
+            LoaderConfig::dali_shuffle(PrepBackend::DaliCpu),
+            Scenario::SingleServer,
+            Mode::Single,
+            PolicyKind::Lru,
+        ),
+    );
+
+    // Coordinated prep: one shared sweep for the whole HP-search ensemble.
+    push_rows(
+        &mut rows,
+        "hp-coordinated",
+        run_scenario(
+            cfg,
+            &spec,
+            &server,
+            LoaderConfig::coordl(PrepBackend::DaliCpu),
+            Scenario::HpSearch { jobs: cfg.jobs },
+            Mode::Coordinated { jobs: cfg.jobs },
+            PolicyKind::MinIo,
+        ),
+    );
+
+    ValidationReport {
+        config: cfg.clone(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline::json::{parse, Value};
+
+    fn small_config() -> ValidationConfig {
+        ValidationConfig {
+            scale: 16_000, // ~80 items: fast enough for debug test runs
+            cache_fraction: 0.35,
+            jobs: 2,
+            epochs: 2,
+            tolerance: 0.05,
+        }
+    }
+
+    #[test]
+    fn predicted_and_empirical_agree_within_tolerance() {
+        let report = run_validation(&small_config());
+        assert_eq!(report.rows.len(), 9, "3 scenarios x 3 metrics");
+        let failures: Vec<String> = report
+            .failures()
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}/{}: predicted {:.4} vs empirical {:.4}",
+                    r.scenario, r.metric, r.predicted, r.empirical
+                )
+            })
+            .collect();
+        assert!(report.passed(), "gated deltas exceeded: {failures:?}");
+        // The MinIO hit ratio lands near the cache fraction by construction.
+        let minio = &report.rows[0];
+        assert_eq!(minio.metric, "steady_hit_ratio");
+        assert!(
+            (minio.empirical - 0.35).abs() < 0.10,
+            "MinIO steady hit ratio tracks the cache fraction, got {}",
+            minio.empirical
+        );
+    }
+
+    #[test]
+    fn json_reports_every_row_and_round_trips() {
+        let report = ValidationReport {
+            config: small_config(),
+            rows: vec![
+                ValidationRow {
+                    scenario: "single-minio",
+                    metric: "steady_hit_ratio",
+                    predicted: 0.35,
+                    empirical: 0.34,
+                    gate: GateKind::Absolute,
+                },
+                ValidationRow {
+                    scenario: "single-minio",
+                    metric: "steady_fetch_stall_vs_device_seconds",
+                    predicted: 1.0,
+                    empirical: 1.4,
+                    gate: GateKind::Informational,
+                },
+            ],
+        };
+        let doc = parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(
+            doc.get("rows").and_then(Value::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(doc.get("passed"), Some(&Value::Bool(true)));
+        let rows = doc.get("rows").and_then(Value::as_array).unwrap();
+        assert_eq!(rows[0].get("predicted").and_then(Value::as_f64), Some(0.35));
+        assert_eq!(rows[0].get("gated"), Some(&Value::Bool(true)));
+        assert_eq!(rows[1].get("gated"), Some(&Value::Bool(false)));
+        assert_eq!(rows[1].get("pass"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn gates_behave_per_kind() {
+        let abs = ValidationRow {
+            scenario: "s",
+            metric: "m",
+            predicted: 0.50,
+            empirical: 0.53,
+            gate: GateKind::Absolute,
+        };
+        assert!(abs.passes(0.05) && !abs.passes(0.01));
+        let rel = ValidationRow {
+            predicted: 100.0,
+            empirical: 109.0,
+            gate: GateKind::Relative,
+            ..abs.clone()
+        };
+        assert!(rel.passes(0.10) && !rel.passes(0.05));
+        let zero = ValidationRow {
+            predicted: 0.0,
+            empirical: 0.0,
+            gate: GateKind::Relative,
+            ..abs.clone()
+        };
+        assert!(zero.passes(0.01), "two zeros agree");
+        let info = ValidationRow {
+            predicted: 1.0,
+            empirical: 100.0,
+            gate: GateKind::Informational,
+            ..abs
+        };
+        assert!(info.passes(0.0), "informational rows never gate");
+    }
+}

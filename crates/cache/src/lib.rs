@@ -64,6 +64,22 @@ pub trait Cache<K: Hash + Eq + Clone> {
 
     /// Human-readable policy name.
     fn name(&self) -> &'static str;
+
+    /// Enable or disable victim logging for [`Cache::take_evicted`].
+    ///
+    /// Off by default so plain simulations pay no memory for evictions they
+    /// never inspect; byte-holding wrappers turn it on at construction.
+    /// Policies that never evict ignore it.
+    fn set_eviction_tracking(&mut self, _enabled: bool) {}
+
+    /// Keys evicted since the last call, in eviction order.
+    ///
+    /// Byte-holding wrappers (the CoorDL runtime's `PolicyByteCache`) use
+    /// this to drop the payloads of evicted entries.  Returns nothing unless
+    /// [`Cache::set_eviction_tracking`] was enabled first.
+    fn take_evicted(&mut self) -> Vec<K> {
+        Vec::new()
+    }
 }
 
 /// Construct a boxed cache of the given policy kind and capacity, keyed by

@@ -56,6 +56,8 @@ pub struct LruCache<K: Hash + Eq + Clone> {
     order: BTreeMap<u64, K>,
     tick: u64,
     stats: CacheStats,
+    evicted_keys: Vec<K>,
+    track_evictions: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -74,6 +76,8 @@ impl<K: Hash + Eq + Clone> LruCache<K> {
             order: BTreeMap::new(),
             tick: 0,
             stats: CacheStats::default(),
+            evicted_keys: Vec::new(),
+            track_evictions: false,
         }
     }
 
@@ -96,6 +100,9 @@ impl<K: Hash + Eq + Clone> LruCache<K> {
             if let Some(e) = self.entries.remove(&key) {
                 self.used -= e.size;
                 evicted += 1;
+                if self.track_evictions {
+                    self.evicted_keys.push(key);
+                }
             }
         }
         evicted
@@ -156,6 +163,17 @@ impl<K: Hash + Eq + Clone> Cache<K> for LruCache<K> {
     fn name(&self) -> &'static str {
         PolicyKind::Lru.name()
     }
+
+    fn set_eviction_tracking(&mut self, enabled: bool) {
+        self.track_evictions = enabled;
+        if !enabled {
+            self.evicted_keys.clear();
+        }
+    }
+
+    fn take_evicted(&mut self) -> Vec<K> {
+        std::mem::take(&mut self.evicted_keys)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -170,6 +188,8 @@ pub struct FifoCache<K: Hash + Eq + Clone> {
     sizes: HashMap<K, u64>,
     queue: VecDeque<K>,
     stats: CacheStats,
+    evicted_keys: Vec<K>,
+    track_evictions: bool,
 }
 
 impl<K: Hash + Eq + Clone> FifoCache<K> {
@@ -181,6 +201,8 @@ impl<K: Hash + Eq + Clone> FifoCache<K> {
             sizes: HashMap::new(),
             queue: VecDeque::new(),
             stats: CacheStats::default(),
+            evicted_keys: Vec::new(),
+            track_evictions: false,
         }
     }
 }
@@ -203,6 +225,9 @@ impl<K: Hash + Eq + Clone> Cache<K> for FifoCache<K> {
             if let Some(s) = self.sizes.remove(&victim) {
                 self.used -= s;
                 evicted += 1;
+                if self.track_evictions {
+                    self.evicted_keys.push(victim);
+                }
             }
         }
         self.stats.record_evictions(evicted);
@@ -240,6 +265,17 @@ impl<K: Hash + Eq + Clone> Cache<K> for FifoCache<K> {
     fn name(&self) -> &'static str {
         PolicyKind::Fifo.name()
     }
+
+    fn set_eviction_tracking(&mut self, enabled: bool) {
+        self.track_evictions = enabled;
+        if !enabled {
+            self.evicted_keys.clear();
+        }
+    }
+
+    fn take_evicted(&mut self) -> Vec<K> {
+        std::mem::take(&mut self.evicted_keys)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -259,6 +295,8 @@ pub struct ClockCache<K: Hash + Eq + Clone> {
     index: HashMap<K, usize>,
     hand: usize,
     stats: CacheStats,
+    evicted_keys: Vec<K>,
+    track_evictions: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -278,6 +316,8 @@ impl<K: Hash + Eq + Clone> ClockCache<K> {
             index: HashMap::new(),
             hand: 0,
             stats: CacheStats::default(),
+            evicted_keys: Vec::new(),
+            track_evictions: false,
         }
     }
 
@@ -301,6 +341,9 @@ impl<K: Hash + Eq + Clone> ClockCache<K> {
                     self.index.insert(moved_key, self.hand);
                 }
                 self.used -= slot.size;
+                if self.track_evictions {
+                    self.evicted_keys.push(slot.key);
+                }
                 return true;
             }
         }
@@ -364,6 +407,17 @@ impl<K: Hash + Eq + Clone> Cache<K> for ClockCache<K> {
 
     fn name(&self) -> &'static str {
         PolicyKind::Clock.name()
+    }
+
+    fn set_eviction_tracking(&mut self, enabled: bool) {
+        self.track_evictions = enabled;
+        if !enabled {
+            self.evicted_keys.clear();
+        }
+    }
+
+    fn take_evicted(&mut self) -> Vec<K> {
+        std::mem::take(&mut self.evicted_keys)
     }
 }
 
@@ -639,6 +693,52 @@ mod tests {
         assert_eq!(c.stats().accesses(), 0);
         assert_eq!(c.len(), 2);
         assert!(c.contains(&1));
+    }
+
+    // -- Eviction reporting --------------------------------------------------
+
+    #[test]
+    fn evicting_policies_report_their_victims_and_minio_reports_none() {
+        let mut lru = LruCache::new(2);
+        let mut fifo = FifoCache::new(2);
+        let mut clock = ClockCache::new(2);
+        let mut minio = MinIoCache::new(2);
+        lru.set_eviction_tracking(true);
+        fifo.set_eviction_tracking(true);
+        clock.set_eviction_tracking(true);
+        minio.set_eviction_tracking(true);
+        for k in 0..4u64 {
+            lru.access(k, 1);
+            fifo.access(k, 1);
+            clock.access(k, 1);
+            minio.access(k, 1);
+        }
+        assert_eq!(lru.take_evicted(), vec![0, 1]);
+        assert_eq!(fifo.take_evicted(), vec![0, 1]);
+        assert_eq!(clock.take_evicted().len(), 2);
+        assert!(minio.take_evicted().is_empty());
+        // The log drains: a second call reports nothing new.
+        assert!(lru.take_evicted().is_empty());
+        lru.access(9, 1);
+        assert_eq!(lru.take_evicted().len(), 1);
+    }
+
+    #[test]
+    fn eviction_logging_is_off_by_default_so_victims_are_not_retained() {
+        // The simulator's StorageNode drives these policies for millions of
+        // evictions without ever draining the log; untracked caches must not
+        // accumulate victim keys.
+        let mut lru = LruCache::new(2);
+        for k in 0..1000u64 {
+            lru.access(k, 1);
+        }
+        assert_eq!(lru.evicted_keys.len(), 0, "no retained victims");
+        assert!(lru.take_evicted().is_empty());
+        // Disabling tracking also drops any pending log.
+        lru.set_eviction_tracking(true);
+        lru.access(2000, 1);
+        lru.set_eviction_tracking(false);
+        assert!(lru.take_evicted().is_empty());
     }
 
     // -- Cross-policy comparison (the paper's core claim) --------------------

@@ -1,0 +1,193 @@
+//! Pluggable fetch backends: where raw bytes come from when every cache
+//! tier misses.
+//!
+//! A [`FetchBackend`] is the bottom of a [`Session`](crate::Session)'s fetch
+//! stack.  [`DirectBackend`] reads straight from a [`DataSource`] with no
+//! timing model (a ramdisk, effectively); [`ProfiledBackend`] wraps the same
+//! source in a [`storage::DeviceProfile`] and accounts the *modelled* device
+//! busy time of every read, so a runtime session can report how long its
+//! storage traffic would have taken on a SATA SSD or a hard drive — the
+//! number `dstool validate` compares against the simulator's predictions.
+
+use dataset::{DataSource, ItemId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use storage::{AccessPattern, DeviceProfile};
+
+/// A source of raw item bytes below every cache tier.
+pub trait FetchBackend: Send + Sync {
+    /// Number of items the backend can serve.
+    fn num_items(&self) -> u64;
+
+    /// Raw size of `item` in bytes, without reading it.
+    fn item_bytes(&self, item: ItemId) -> u64;
+
+    /// Read the raw bytes of `item`.
+    fn read(&self, item: ItemId) -> Vec<u8>;
+
+    /// The device profile timing this backend, if any.
+    fn profile(&self) -> Option<&DeviceProfile> {
+        None
+    }
+
+    /// Cumulative *modelled* device busy time of all reads, in seconds
+    /// (0 for unprofiled backends).
+    fn device_seconds(&self) -> f64 {
+        0.0
+    }
+
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Reads items directly from a [`DataSource`] with no timing model.
+pub struct DirectBackend {
+    source: Arc<dyn DataSource>,
+}
+
+impl DirectBackend {
+    /// Wrap `source`.
+    pub fn new(source: Arc<dyn DataSource>) -> Self {
+        DirectBackend { source }
+    }
+}
+
+impl FetchBackend for DirectBackend {
+    fn num_items(&self) -> u64 {
+        self.source.len()
+    }
+
+    fn item_bytes(&self, item: ItemId) -> u64 {
+        self.source.item_bytes(item)
+    }
+
+    fn read(&self, item: ItemId) -> Vec<u8> {
+        self.source.read(item)
+    }
+
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+}
+
+/// Reads items from a [`DataSource`] while accounting the modelled device
+/// time of each read against a [`DeviceProfile`].
+///
+/// The bytes are still served immediately (this is a functional loader, not
+/// a simulator); only the *accounting* is profiled.  `device_seconds` then
+/// answers "how long would this epoch's storage traffic have kept an SSD /
+/// HDD busy", which is what the predicted-vs-empirical validation compares.
+pub struct ProfiledBackend {
+    source: Arc<dyn DataSource>,
+    profile: DeviceProfile,
+    pattern: AccessPattern,
+    busy_nanos: AtomicU64,
+}
+
+impl ProfiledBackend {
+    /// Wrap `source` with `profile`, assuming random small-file reads (the
+    /// shuffled access pattern of DNN training).
+    pub fn new(source: Arc<dyn DataSource>, profile: DeviceProfile) -> Self {
+        Self::with_pattern(source, profile, AccessPattern::Random)
+    }
+
+    /// Wrap `source` with `profile` and an explicit access pattern.
+    pub fn with_pattern(
+        source: Arc<dyn DataSource>,
+        profile: DeviceProfile,
+        pattern: AccessPattern,
+    ) -> Self {
+        ProfiledBackend {
+            source,
+            profile,
+            pattern,
+            busy_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The access pattern used for timing.
+    pub fn pattern(&self) -> AccessPattern {
+        self.pattern
+    }
+}
+
+impl FetchBackend for ProfiledBackend {
+    fn num_items(&self) -> u64 {
+        self.source.len()
+    }
+
+    fn item_bytes(&self, item: ItemId) -> u64 {
+        self.source.item_bytes(item)
+    }
+
+    fn read(&self, item: ItemId) -> Vec<u8> {
+        let bytes = self.source.read(item);
+        let secs = self.profile.read_seconds(bytes.len() as u64, self.pattern);
+        self.busy_nanos
+            .fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
+        bytes
+    }
+
+    fn profile(&self) -> Option<&DeviceProfile> {
+        Some(&self.profile)
+    }
+
+    fn device_seconds(&self) -> f64 {
+        self.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    fn name(&self) -> &'static str {
+        self.profile.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{DatasetSpec, SyntheticItemStore};
+
+    fn store(n: u64, size: u64) -> Arc<dyn DataSource> {
+        Arc::new(SyntheticItemStore::new(
+            DatasetSpec::new("t", n, size, 0.0, 6.0),
+            3,
+        ))
+    }
+
+    #[test]
+    fn direct_backend_serves_source_bytes() {
+        let src = store(10, 64);
+        let b = DirectBackend::new(Arc::clone(&src));
+        assert_eq!(b.num_items(), 10);
+        assert_eq!(b.item_bytes(3), 64);
+        assert_eq!(b.read(3), src.read(3));
+        assert_eq!(b.device_seconds(), 0.0);
+        assert!(b.profile().is_none());
+    }
+
+    #[test]
+    fn profiled_backend_accounts_modelled_read_time() {
+        let src = store(4, 1_000_000);
+        let b = ProfiledBackend::new(src, DeviceProfile::hdd());
+        for i in 0..4 {
+            let _ = b.read(i);
+        }
+        let expected = 4.0 * DeviceProfile::hdd().read_seconds(1_000_000, AccessPattern::Random);
+        assert!(
+            (b.device_seconds() - expected).abs() < 1e-6,
+            "modelled busy time {} vs expected {expected}",
+            b.device_seconds()
+        );
+        assert_eq!(b.name(), "hdd");
+    }
+
+    #[test]
+    fn hdd_models_more_busy_time_than_ramdisk_for_the_same_bytes() {
+        let hdd = ProfiledBackend::new(store(8, 10_000), DeviceProfile::hdd());
+        let ram = ProfiledBackend::new(store(8, 10_000), DeviceProfile::ramdisk());
+        for i in 0..8 {
+            let _ = hdd.read(i);
+            let _ = ram.read(i);
+        }
+        assert!(hdd.device_seconds() > 100.0 * ram.device_seconds());
+    }
+}

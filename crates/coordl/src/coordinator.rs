@@ -1,24 +1,31 @@
 //! Coordinated prep: one fetch + prep sweep per epoch shared by all
 //! concurrent hyper-parameter-search jobs (§4.3).
 //!
-//! The [`CoordinatedJobGroup`] owns the server-wide MinIO cache and the
-//! cross-job [`StagingArea`].  For each epoch it spawns one *producer* per
-//! job; producer `j` is responsible for fetching and pre-processing every
-//! minibatch whose index is congruent to `j` modulo the number of jobs (its
-//! "shard").  Every job then consumes the *entire* epoch — every minibatch
-//! exactly once — through its [`JobEpochIterator`].
+//! The engine here ([`EpochSession`], [`JobEpochIterator`] and the producer
+//! threads) is what a [`Session`](crate::Session) in
+//! [`Mode::Coordinated`](crate::Mode) runs on.  For each epoch it spawns one
+//! *producer* per job; producer `j` is responsible for fetching and
+//! pre-processing every minibatch whose index is congruent to `j` modulo the
+//! number of jobs (its "shard").  Every job then consumes the *entire* epoch
+//! — every minibatch exactly once — through its [`JobEpochIterator`].
 //!
 //! A failure-detection module handles producers that die mid-epoch: when a
 //! consumer times out waiting for a minibatch, the group checks whether the
 //! responsible producer is still alive and, if not, spawns a replacement that
 //! resumes the dead producer's shard from its last published batch
 //! (mirroring §4.3's "Handling job failures and terminations").
+//!
+//! The legacy [`CoordinatedJobGroup`] entry point survives as a deprecated
+//! shim over the same engine, so its behaviour is bit-identical to a
+//! coordinated `Session`'s.
 
 use crate::cache::MinIoByteCache;
 use crate::error::CoordlError;
 use crate::minibatch::Minibatch;
-use crate::staging::{StagingArea, TakeError};
+use crate::stack::LoaderStack;
+use crate::staging::{PublishOutcome, StagingArea, TakeError};
 use crate::stats::LoaderStats;
+use crate::{CacheTier, DirectBackend};
 use dataset::{minibatches, DataSource, EpochSampler, ItemId};
 use parking_lot::Mutex;
 use prep::ExecutablePipeline;
@@ -58,84 +65,32 @@ impl Default for CoordinatedConfig {
     }
 }
 
-/// Shared state of one epoch's producers, used for failure detection.
-struct ProducerState {
-    /// Producer threads, one per job shard (recovery producers are appended).
-    handles: Mutex<Vec<JoinHandle<()>>>,
-    /// For each shard, the position within its batch list that has been
-    /// durably published (recovery resumes from here).
-    watermarks: Vec<AtomicUsize>,
-    /// Kill switches used by tests (and by `inject_failure`) to simulate a
-    /// job being terminated mid-epoch.
-    kill_flags: Vec<Arc<AtomicBool>>,
-    /// Whether a recovery producer has already been launched for a shard.
-    recovered: Vec<AtomicBool>,
+/// The coordinated-prep engine: everything needed to run shared epochs.
+pub(crate) struct CoordinatedEngine {
+    pub(crate) stack: LoaderStack,
+    pub(crate) dataset_len: u64,
+    pub(crate) num_jobs: usize,
+    pub(crate) batch_size: usize,
+    pub(crate) staging_window: usize,
+    pub(crate) seed: u64,
+    pub(crate) take_timeout: Duration,
 }
 
-/// A group of concurrent jobs sharing fetch and prep through CoorDL.
-pub struct CoordinatedJobGroup {
-    dataset: Arc<dyn DataSource>,
-    pipeline: Arc<ExecutablePipeline>,
-    cache: Arc<MinIoByteCache>,
-    stats: Arc<LoaderStats>,
-    config: CoordinatedConfig,
-}
-
-impl CoordinatedJobGroup {
-    /// Create a job group over `dataset` with a shared prep `pipeline`.
-    pub fn new(
-        dataset: Arc<dyn DataSource>,
-        pipeline: ExecutablePipeline,
-        config: CoordinatedConfig,
-    ) -> Result<Self, CoordlError> {
-        if config.num_jobs == 0 {
-            return Err(CoordlError::InvalidConfig("num_jobs must be > 0".into()));
-        }
-        if config.batch_size == 0 {
-            return Err(CoordlError::InvalidConfig("batch_size must be > 0".into()));
-        }
-        if dataset.is_empty() {
-            return Err(CoordlError::InvalidConfig("dataset is empty".into()));
-        }
-        Ok(CoordinatedJobGroup {
-            cache: Arc::new(MinIoByteCache::new(config.cache_capacity_bytes)),
-            stats: Arc::new(LoaderStats::default()),
-            dataset,
-            pipeline: Arc::new(pipeline),
-            config,
-        })
-    }
-
-    /// The shared (server-wide) MinIO cache.
-    pub fn cache(&self) -> &MinIoByteCache {
-        &self.cache
-    }
-
-    /// Shared loader statistics (fetch and prep are counted once for the
-    /// whole group, which is the point of coordinated prep).
-    pub fn stats(&self) -> &LoaderStats {
-        &self.stats
-    }
-
-    /// Number of jobs in the group.
-    pub fn num_jobs(&self) -> usize {
-        self.config.num_jobs
-    }
-
+impl CoordinatedEngine {
     /// Number of minibatches each job consumes per epoch.
-    pub fn batches_per_epoch(&self) -> usize {
-        (self.dataset.len() as usize).div_ceil(self.config.batch_size)
+    pub(crate) fn batches_per_epoch(&self) -> usize {
+        (self.dataset_len as usize).div_ceil(self.batch_size)
     }
 
     /// Start one coordinated epoch.
-    pub fn run_epoch(&self, epoch: u64) -> EpochSession {
-        let sampler = EpochSampler::new(self.dataset.len(), self.config.seed);
+    pub(crate) fn run_epoch(&self, epoch: u64) -> EpochSession {
+        let sampler = EpochSampler::new(self.dataset_len, self.seed);
         let order = sampler.permutation(epoch);
-        let batches: Vec<Vec<ItemId>> = minibatches(&order, self.config.batch_size);
+        let batches: Vec<Vec<ItemId>> = minibatches(&order, self.batch_size);
         let total = batches.len();
-        let num_jobs = self.config.num_jobs;
+        let num_jobs = self.num_jobs;
 
-        let staging = Arc::new(StagingArea::new(num_jobs, self.config.staging_window));
+        let staging = Arc::new(StagingArea::new(num_jobs, self.staging_window));
         // Round-robin shard assignment: producer j owns batch indices
         // j, j + num_jobs, j + 2*num_jobs, ...
         let shards: Vec<Vec<(usize, Vec<ItemId>)>> = (0..num_jobs)
@@ -165,13 +120,8 @@ impl CoordinatedJobGroup {
             shards: Arc::new(shards),
             staging,
             state,
-            group: GroupShared {
-                dataset: Arc::clone(&self.dataset),
-                pipeline: Arc::clone(&self.pipeline),
-                cache: Arc::clone(&self.cache),
-                stats: Arc::clone(&self.stats),
-            },
-            take_timeout: self.config.take_timeout,
+            stack: self.stack.clone(),
+            take_timeout: self.take_timeout,
         };
 
         for j in 0..num_jobs {
@@ -181,13 +131,95 @@ impl CoordinatedJobGroup {
     }
 }
 
-/// The shared resources a producer needs.
-#[derive(Clone)]
-struct GroupShared {
-    dataset: Arc<dyn DataSource>,
-    pipeline: Arc<ExecutablePipeline>,
+/// Shared state of one epoch's producers, used for failure detection.
+struct ProducerState {
+    /// Producer threads, one per job shard (recovery producers are appended).
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// For each shard, the position within its batch list that has been
+    /// durably published (recovery resumes from here).
+    watermarks: Vec<AtomicUsize>,
+    /// Kill switches used by tests (and by `inject_failure`) to simulate a
+    /// job being terminated mid-epoch.
+    kill_flags: Vec<Arc<AtomicBool>>,
+    /// Whether a recovery producer has already been launched for a shard.
+    recovered: Vec<AtomicBool>,
+}
+
+/// A group of concurrent jobs sharing fetch and prep through CoorDL.
+#[deprecated(
+    since = "0.1.0",
+    note = "use coordl::Session with Mode::Coordinated { jobs }"
+)]
+pub struct CoordinatedJobGroup {
+    engine: CoordinatedEngine,
     cache: Arc<MinIoByteCache>,
-    stats: Arc<LoaderStats>,
+    config: CoordinatedConfig,
+}
+
+#[allow(deprecated)]
+impl CoordinatedJobGroup {
+    /// Create a job group over `dataset` with a shared prep `pipeline`.
+    pub fn new(
+        dataset: Arc<dyn DataSource>,
+        pipeline: ExecutablePipeline,
+        config: CoordinatedConfig,
+    ) -> Result<Self, CoordlError> {
+        if config.num_jobs == 0 {
+            return Err(CoordlError::InvalidConfig("num_jobs must be > 0".into()));
+        }
+        if config.batch_size == 0 {
+            return Err(CoordlError::InvalidConfig("batch_size must be > 0".into()));
+        }
+        if dataset.is_empty() {
+            return Err(CoordlError::InvalidConfig("dataset is empty".into()));
+        }
+        let cache = Arc::new(MinIoByteCache::new(config.cache_capacity_bytes));
+        let engine = CoordinatedEngine {
+            stack: LoaderStack {
+                tier: Arc::clone(&cache) as Arc<dyn CacheTier>,
+                backend: Arc::new(DirectBackend::new(Arc::clone(&dataset))),
+                stats: Arc::new(LoaderStats::default()),
+                pipeline: Arc::new(pipeline),
+            },
+            dataset_len: dataset.len(),
+            num_jobs: config.num_jobs,
+            batch_size: config.batch_size,
+            staging_window: config.staging_window,
+            seed: config.seed,
+            take_timeout: config.take_timeout,
+        };
+        Ok(CoordinatedJobGroup {
+            engine,
+            cache,
+            config,
+        })
+    }
+
+    /// The shared (server-wide) MinIO cache.
+    pub fn cache(&self) -> &MinIoByteCache {
+        &self.cache
+    }
+
+    /// Shared loader statistics (fetch and prep are counted once for the
+    /// whole group, which is the point of coordinated prep).
+    pub fn stats(&self) -> &LoaderStats {
+        &self.engine.stack.stats
+    }
+
+    /// Number of jobs in the group.
+    pub fn num_jobs(&self) -> usize {
+        self.config.num_jobs
+    }
+
+    /// Number of minibatches each job consumes per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.engine.batches_per_epoch()
+    }
+
+    /// Start one coordinated epoch.
+    pub fn run_epoch(&self, epoch: u64) -> EpochSession {
+        self.engine.run_epoch(epoch)
+    }
 }
 
 /// The per-shard minibatch plan for one epoch: for each shard, the ordered
@@ -202,7 +234,7 @@ pub struct EpochSession {
     shards: ShardPlan,
     staging: Arc<StagingArea>,
     state: Arc<ProducerState>,
-    group: GroupShared,
+    stack: LoaderStack,
     take_timeout: Duration,
 }
 
@@ -214,6 +246,12 @@ impl EpochSession {
 
     /// The staging area (for memory-overhead inspection).
     pub fn staging(&self) -> &StagingArea {
+        &self.staging
+    }
+
+    /// The shared staging-area handle (survives the session for post-drop
+    /// statistics).
+    pub(crate) fn staging_arc(&self) -> &Arc<StagingArea> {
         &self.staging
     }
 
@@ -234,7 +272,7 @@ impl EpochSession {
             staging: Arc::clone(&self.staging),
             state: Arc::clone(&self.state),
             shards: Arc::clone(&self.shards),
-            group: self.group.clone(),
+            stack: self.stack.clone(),
             epoch: self.epoch,
             take_timeout: self.take_timeout,
         }
@@ -246,7 +284,7 @@ impl EpochSession {
             shard,
             from,
             Arc::clone(&self.shards),
-            self.group.clone(),
+            self.stack.clone(),
             Arc::clone(&self.staging),
             Arc::clone(&self.state),
             kill,
@@ -271,7 +309,7 @@ fn spawn_producer_thread(
     shard: usize,
     from: usize,
     shards: ShardPlan,
-    group: GroupShared,
+    stack: LoaderStack,
     staging: Arc<StagingArea>,
     state: Arc<ProducerState>,
     kill: Option<Arc<AtomicBool>>,
@@ -284,23 +322,14 @@ fn spawn_producer_thread(
                     return; // the "job was killed" case
                 }
             }
-            let samples = items
-                .iter()
-                .map(|&item| {
-                    let raw = group
-                        .cache
-                        .fetch(item, group.dataset.as_ref(), &group.stats);
-                    group.stats.record_prepared(1);
-                    group.pipeline.prepare(epoch, item, &raw)
-                })
-                .collect();
-            let published = staging.publish(Minibatch {
+            let samples = stack.prepare(epoch, items);
+            let outcome = staging.publish(Minibatch {
                 epoch,
                 index: *index,
                 samples,
             });
-            if !published {
-                return; // shutdown
+            if outcome == PublishOutcome::Shutdown {
+                return;
             }
             state.watermarks[shard].store(pos + 1, Ordering::SeqCst);
         }
@@ -319,7 +348,7 @@ pub struct JobEpochIterator {
     staging: Arc<StagingArea>,
     state: Arc<ProducerState>,
     shards: ShardPlan,
-    group: GroupShared,
+    stack: LoaderStack,
     epoch: u64,
     take_timeout: Duration,
 }
@@ -342,7 +371,7 @@ impl JobEpochIterator {
             shard,
             from,
             Arc::clone(&self.shards),
-            self.group.clone(),
+            self.stack.clone(),
             Arc::clone(&self.staging),
             Arc::clone(&self.state),
             None,
@@ -365,7 +394,7 @@ impl Iterator for JobEpochIterator {
             match self.staging.take(self.job, index, self.take_timeout) {
                 Ok(batch) => {
                     self.next += 1;
-                    self.group.stats.record_delivered(batch.len() as u64);
+                    self.stack.stats.record_delivered(batch.len() as u64);
                     return Some(Ok(batch));
                 }
                 Err(TakeError::Shutdown) => return Some(Err(CoordlError::Shutdown)),
@@ -384,6 +413,7 @@ impl Iterator for JobEpochIterator {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use dataset::{DatasetSpec, SyntheticItemStore};
@@ -558,5 +588,30 @@ mod tests {
             .flat_map(|mb| mb.unwrap().item_ids())
             .collect();
         assert_eq!(items.len(), 50);
+    }
+
+    #[test]
+    fn consumer_mid_epoch_sees_typed_shutdown_when_the_session_is_dropped() {
+        // Satellite invariant: dropping the epoch session shuts the staging
+        // area down, and in-flight consumers observe CoordlError::Shutdown
+        // as a typed outcome instead of hanging or panicking.
+        let g = group(2, 400, 10, 1 << 22);
+        let session = g.run_epoch(0);
+        let mut consumer = session.consumer(0);
+        let first = consumer.next().expect("epoch has batches");
+        assert!(first.is_ok());
+        drop(session); // shutdown + join producers
+        let mut saw_shutdown = false;
+        for outcome in consumer.by_ref() {
+            match outcome {
+                Ok(_) => continue, // already-staged batches may still drain
+                Err(CoordlError::Shutdown) => {
+                    saw_shutdown = true;
+                    break;
+                }
+                Err(other) => panic!("expected Shutdown, got {other}"),
+            }
+        }
+        assert!(saw_shutdown, "consumer must observe the typed shutdown");
     }
 }

@@ -1,41 +1,66 @@
 //! CoorDL: a coordinated data-loading library for DNN training.
 //!
 //! This crate is the functional (really multi-threaded, really moving bytes)
-//! implementation of the paper's three techniques:
+//! implementation of the paper's three techniques, unified behind one
+//! [`Session`] builder that mirrors the simulator's `pipeline::Experiment`:
 //!
 //! * the **MinIO cache** ([`MinIoByteCache`]) — a DNN-aware software cache
 //!   that admits raw items until full and never evicts them, so every epoch
 //!   after warm-up performs only capacity misses (§4.1),
-//! * **coordinated prep** ([`CoordinatedJobGroup`], [`StagingArea`]) — when
+//! * **coordinated prep** ([`Mode::Coordinated`], [`StagingArea`]) — when
 //!   several hyper-parameter-search jobs train on the same dataset on one
 //!   server, the dataset is fetched and pre-processed exactly once per epoch
 //!   and every prepared minibatch is shared through an in-memory staging area
 //!   with per-batch use counters and failure detection (§4.3),
-//! * **partitioned caching** ([`PartitionedCacheCluster`]) — in distributed
-//!   training each server's MinIO cache holds a shard of the dataset and
-//!   local misses are served from the remote cache instead of storage (§4.2).
+//! * **partitioned caching** ([`Mode::Partitioned`],
+//!   [`PartitionedCacheCluster`]) — in distributed training each server's
+//!   cache tier holds a shard of the dataset and local misses are served from
+//!   the remote cache instead of storage (§4.2).
 //!
-//! The loaders operate on any [`dataset::DataSource`] and any
-//! [`prep::ExecutablePipeline`], so the same code path is exercised by unit
-//! tests, the mini-DNN accuracy experiments and the examples.  Device timing
-//! is *not* simulated here (that is `coordl-pipeline`'s job); this crate is
-//! about the coordination semantics: exactly-once delivery, fresh per-epoch
-//! randomness, sharing, and fault handling.
+//! A session composes a pluggable [`CacheTier`] (MinIO, or any
+//! `coordl-cache` policy via [`PolicyByteCache`]) over a pluggable
+//! [`FetchBackend`] ([`DirectBackend`], or [`ProfiledBackend`] timed by a
+//! `storage::DeviceProfile`), hands out per-job [`BatchStream`] iterators
+//! from [`Session::epoch`] and produces a [`LoaderReport`] whose JSON is
+//! structurally comparable to the simulator's reports — the contract
+//! `dstool validate` exploits to diff predicted against empirical behaviour.
+//!
+//! Device timing is *not* simulated here (that is `coordl-pipeline`'s job);
+//! this crate is about the coordination semantics: exactly-once delivery,
+//! fresh per-epoch randomness, sharing, and fault handling.  The legacy
+//! entry points ([`DataLoader`], [`CoordinatedJobGroup`],
+//! [`PartitionedCacheCluster::new`]) survive as deprecated shims over the
+//! same engines.
 
+pub mod backend;
 pub mod cache;
 pub mod coordinator;
 pub mod error;
 pub mod loader;
 pub mod minibatch;
 pub mod partition;
+pub mod report;
+pub mod session;
+pub(crate) mod stack;
 pub mod staging;
 pub mod stats;
+pub mod tier;
 
+pub use backend::{DirectBackend, FetchBackend, ProfiledBackend};
 pub use cache::MinIoByteCache;
-pub use coordinator::{CoordinatedConfig, CoordinatedJobGroup, JobEpochIterator};
+pub use coordinator::{CoordinatedConfig, EpochSession, JobEpochIterator};
 pub use error::CoordlError;
-pub use loader::{DataLoader, DataLoaderConfig, EpochIterator};
 pub use minibatch::Minibatch;
 pub use partition::{FetchOrigin, PartitionStats, PartitionedCacheCluster};
-pub use staging::{StagingArea, StagingStats, TakeError};
+pub use report::{EpochTrajectory, LoaderReport};
+pub use session::{BatchStream, EpochRun, Mode, Session, SessionBuilder, SessionConfig};
+pub use staging::{PublishOutcome, StagingArea, StagingStats, TakeError};
 pub use stats::LoaderStats;
+pub use tier::{CacheTier, PolicyByteCache};
+
+pub use loader::DataLoaderConfig;
+#[allow(deprecated)]
+pub use loader::{DataLoader, EpochIterator};
+
+#[allow(deprecated)]
+pub use coordinator::CoordinatedJobGroup;

@@ -1,21 +1,21 @@
-//! The single-job data loader: a drop-in, multi-threaded fetch → prep →
-//! collate pipeline over any [`DataSource`].
+//! The legacy single-job data loader, now a deprecated shim over
+//! [`Session`] in [`Mode::Single`](crate::Mode).
 //!
-//! The loader mirrors how PyTorch's DataLoader and DALI behave (several
-//! worker threads prefetching and pre-processing minibatches ahead of the
-//! consumer, with bounded buffering), but fetches raw items through CoorDL's
-//! MinIO cache instead of relying on the OS page cache.
+//! `DataLoader::new(dataset, pipeline, config)` builds exactly the session
+//! `Session::builder(dataset, config.into()).pipeline(pipeline)` would, with
+//! the MinIO byte cache as its tier, so the two produce bit-identical batch
+//! streams and statistics (pinned by `tests/session_equivalence.rs`).
 
 use crate::cache::MinIoByteCache;
 use crate::error::CoordlError;
 use crate::minibatch::Minibatch;
+use crate::session::{Session, SessionConfig};
+use crate::stack::SingleEpochStream;
 use crate::stats::LoaderStats;
-use crossbeam::channel::{bounded, Receiver, Sender};
-use dataset::{minibatches, DataSource, EpochSampler, ItemId};
+use crate::tier::CacheTier;
+use dataset::DataSource;
 use prep::ExecutablePipeline;
-use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Configuration of a [`DataLoader`].
 #[derive(Debug, Clone)]
@@ -44,30 +44,28 @@ impl Default for DataLoaderConfig {
     }
 }
 
-impl DataLoaderConfig {
-    fn validate(&self, dataset_len: u64) -> Result<(), CoordlError> {
-        if self.batch_size == 0 {
-            return Err(CoordlError::InvalidConfig("batch_size must be > 0".into()));
+impl From<DataLoaderConfig> for SessionConfig {
+    fn from(c: DataLoaderConfig) -> SessionConfig {
+        SessionConfig {
+            batch_size: c.batch_size,
+            num_workers: c.num_workers,
+            prefetch_depth: c.prefetch_depth,
+            seed: c.seed,
+            cache_capacity_bytes: c.cache_capacity_bytes,
+            ..SessionConfig::default()
         }
-        if self.num_workers == 0 {
-            return Err(CoordlError::InvalidConfig("num_workers must be > 0".into()));
-        }
-        if dataset_len == 0 {
-            return Err(CoordlError::InvalidConfig("dataset is empty".into()));
-        }
-        Ok(())
     }
 }
 
 /// A multi-threaded data loader over a [`DataSource`].
+#[deprecated(since = "0.1.0", note = "use coordl::Session with Mode::Single")]
 pub struct DataLoader {
-    dataset: Arc<dyn DataSource>,
-    pipeline: Arc<ExecutablePipeline>,
+    session: Session,
     cache: Arc<MinIoByteCache>,
-    stats: Arc<LoaderStats>,
     config: DataLoaderConfig,
 }
 
+#[allow(deprecated)]
 impl DataLoader {
     /// Create a loader over `dataset` with the given pre-processing pipeline.
     pub fn new(
@@ -75,12 +73,14 @@ impl DataLoader {
         pipeline: ExecutablePipeline,
         config: DataLoaderConfig,
     ) -> Result<Self, CoordlError> {
-        config.validate(dataset.len())?;
+        let cache = Arc::new(MinIoByteCache::new(config.cache_capacity_bytes));
+        let session = Session::builder(dataset, config.clone().into())
+            .pipeline(pipeline)
+            .cache_tier(Arc::clone(&cache) as Arc<dyn CacheTier>)
+            .build()?;
         Ok(DataLoader {
-            cache: Arc::new(MinIoByteCache::new(config.cache_capacity_bytes)),
-            stats: Arc::new(LoaderStats::default()),
-            dataset,
-            pipeline: Arc::new(pipeline),
+            session,
+            cache,
             config,
         })
     }
@@ -92,7 +92,7 @@ impl DataLoader {
 
     /// Cumulative loader statistics.
     pub fn stats(&self) -> &LoaderStats {
-        &self.stats
+        self.session.stats()
     }
 
     /// The loader configuration.
@@ -102,144 +102,46 @@ impl DataLoader {
 
     /// Number of minibatches per epoch.
     pub fn batches_per_epoch(&self) -> usize {
-        (self.dataset.len() as usize).div_ceil(self.config.batch_size)
+        self.session.batches_per_epoch()
     }
 
     /// Start one epoch, returning an iterator over its prepared minibatches
     /// in training order.
     pub fn epoch(&self, epoch: u64) -> EpochIterator {
-        let sampler = EpochSampler::new(self.dataset.len(), self.config.seed);
-        let order = sampler.permutation(epoch);
-        let batches: Vec<(usize, Vec<ItemId>)> = minibatches(&order, self.config.batch_size)
-            .into_iter()
-            .enumerate()
-            .collect();
-        let total = batches.len();
-
-        let (work_tx, work_rx) = bounded::<(usize, Vec<ItemId>)>(total.max(1));
-        for b in batches {
-            work_tx.send(b).expect("queue sized to hold all batches");
-        }
-        drop(work_tx);
-
-        let capacity = self.config.prefetch_depth.max(self.config.num_workers * 2);
-        let (out_tx, out_rx) = bounded::<Minibatch>(capacity);
-
-        let mut workers = Vec::with_capacity(self.config.num_workers);
-        for _ in 0..self.config.num_workers {
-            workers.push(spawn_worker(
-                epoch,
-                Arc::clone(&self.dataset),
-                Arc::clone(&self.pipeline),
-                Arc::clone(&self.cache),
-                Arc::clone(&self.stats),
-                work_rx.clone(),
-                out_tx.clone(),
-            ));
-        }
-        drop(out_tx);
-
         EpochIterator {
-            rx: out_rx,
-            reorder: BTreeMap::new(),
-            next: 0,
-            total,
-            stats: Arc::clone(&self.stats),
-            workers,
+            inner: self.session.raw_single_epoch(epoch),
         }
     }
-}
-
-fn spawn_worker(
-    epoch: u64,
-    dataset: Arc<dyn DataSource>,
-    pipeline: Arc<ExecutablePipeline>,
-    cache: Arc<MinIoByteCache>,
-    stats: Arc<LoaderStats>,
-    work_rx: Receiver<(usize, Vec<ItemId>)>,
-    out_tx: Sender<Minibatch>,
-) -> JoinHandle<()> {
-    std::thread::spawn(move || {
-        while let Ok((index, items)) = work_rx.recv() {
-            let samples = items
-                .iter()
-                .map(|&item| {
-                    let raw = cache.fetch(item, dataset.as_ref(), &stats);
-                    stats.record_prepared(1);
-                    pipeline.prepare(epoch, item, &raw)
-                })
-                .collect();
-            let mb = Minibatch {
-                epoch,
-                index,
-                samples,
-            };
-            // The consumer may have been dropped early; that is not an error.
-            if out_tx.send(mb).is_err() {
-                return;
-            }
-        }
-    })
 }
 
 /// Iterator over one epoch's minibatches, delivered in training order.
+#[deprecated(since = "0.1.0", note = "use coordl::BatchStream via Session::epoch")]
 pub struct EpochIterator {
-    rx: Receiver<Minibatch>,
-    reorder: BTreeMap<usize, Minibatch>,
-    next: usize,
-    total: usize,
-    stats: Arc<LoaderStats>,
-    workers: Vec<JoinHandle<()>>,
+    inner: SingleEpochStream,
 }
 
+#[allow(deprecated)]
 impl EpochIterator {
     /// Number of minibatches this epoch will deliver.
     pub fn total_batches(&self) -> usize {
-        self.total
+        self.inner.total_batches()
     }
 }
 
+#[allow(deprecated)]
 impl Iterator for EpochIterator {
     type Item = Minibatch;
 
     fn next(&mut self) -> Option<Minibatch> {
-        if self.next >= self.total {
-            return None;
-        }
-        loop {
-            if let Some(mb) = self.reorder.remove(&self.next) {
-                self.next += 1;
-                self.stats.record_delivered(mb.len() as u64);
-                return Some(mb);
-            }
-            match self.rx.recv() {
-                Ok(mb) => {
-                    self.reorder.insert(mb.index, mb);
-                }
-                Err(_) => return None, // workers gone; epoch incomplete
-            }
-        }
-    }
-}
-
-impl Drop for EpochIterator {
-    fn drop(&mut self) {
-        // Disconnect the output channel so any worker blocked on `send`
-        // observes the disconnect and exits, then join them all.
-        self.reorder.clear();
-        let (_tx, dummy_rx) = bounded::<Minibatch>(1);
-        let real_rx = std::mem::replace(&mut self.rx, dummy_rx);
-        drop(real_rx);
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.inner.next()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use dataset::{DatasetSpec, SyntheticItemStore};
+    use dataset::{DatasetSpec, ItemId, SyntheticItemStore};
     use prep::PrepPipeline;
     use std::collections::HashSet;
 

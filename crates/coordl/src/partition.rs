@@ -1,15 +1,22 @@
 //! Partitioned caching across the servers of a distributed job (§4.2).
 //!
-//! Each server contributes its MinIO cache to a job-wide partitioned cache.
-//! A directory records which server holds each raw item; on a local miss the
+//! Each server contributes a cache tier to a job-wide partitioned cache.  A
+//! directory records which server holds each raw item; on a local miss the
 //! item is fetched from the remote server's cache (in the real system over
-//! TCP — here by reading the peer's in-memory cache, with the byte volume
+//! TCP — here by reading the peer's in-memory tier, with the byte volume
 //! accounted so the simulator and the benches can attach network timing).
-//! Only items cached nowhere fall through to storage, so once the aggregate
-//! cache capacity covers the dataset, storage is never touched again.
+//! Only items cached nowhere fall through to the fetch backend, so once the
+//! aggregate cache capacity covers the dataset, storage is never touched
+//! again.
+//!
+//! A [`Session`](crate::Session) in [`Mode::Partitioned`](crate::Mode) builds
+//! one of these with its configured tier per node and fetch backend; the
+//! legacy [`PartitionedCacheCluster::new`] constructor survives (deprecated)
+//! with the historical MinIO-per-server stack.
 
 use crate::cache::MinIoByteCache;
 use crate::stats::LoaderStats;
+use crate::{CacheTier, DirectBackend, FetchBackend};
 use dataset::{DataSource, ItemId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -18,11 +25,11 @@ use std::sync::Arc;
 /// Where a partitioned-cache fetch was served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FetchOrigin {
-    /// The local server's MinIO cache.
+    /// The local server's cache tier.
     LocalCache,
-    /// A remote server's MinIO cache (over the network in the real system).
+    /// A remote server's cache tier (over the network in the real system).
     RemoteCache(usize),
-    /// Local storage (the item was cached nowhere).
+    /// The fetch backend (the item was cached nowhere).
     Storage,
 }
 
@@ -43,39 +50,73 @@ pub struct PartitionStats {
     pub storage_bytes: u64,
 }
 
+impl PartitionStats {
+    /// Merge `other` into `self` (used for cluster-wide aggregates).
+    pub fn merge(&mut self, other: &PartitionStats) {
+        self.local_hits += other.local_hits;
+        self.remote_hits += other.remote_hits;
+        self.storage_reads += other.storage_reads;
+        self.remote_bytes_in += other.remote_bytes_in;
+        self.remote_bytes_out += other.remote_bytes_out;
+        self.storage_bytes += other.storage_bytes;
+    }
+}
+
 struct ServerState {
-    cache: Arc<MinIoByteCache>,
+    tier: Arc<dyn CacheTier>,
     stats: PartitionStats,
 }
 
-/// A job-wide partitioned cache over `num_servers` servers.
+/// A job-wide partitioned cache over a set of per-server cache tiers.
 pub struct PartitionedCacheCluster {
-    dataset: Arc<dyn DataSource>,
+    backend: Arc<dyn FetchBackend>,
     servers: RwLock<Vec<ServerState>>,
     directory: RwLock<HashMap<ItemId, usize>>,
-    loader_stats: LoaderStats,
+    loader_stats: Arc<LoaderStats>,
 }
 
 impl PartitionedCacheCluster {
     /// Create a cluster of `num_servers` servers, each with
     /// `per_server_cache_bytes` of MinIO cache, serving `dataset`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use coordl::Session with Mode::Partitioned { nodes }"
+    )]
     pub fn new(
         dataset: Arc<dyn DataSource>,
         num_servers: usize,
         per_server_cache_bytes: u64,
     ) -> Self {
-        assert!(num_servers > 0, "need at least one server");
-        let servers = (0..num_servers)
-            .map(|_| ServerState {
-                cache: Arc::new(MinIoByteCache::new(per_server_cache_bytes)),
+        let tiers = (0..num_servers)
+            .map(|_| Arc::new(MinIoByteCache::new(per_server_cache_bytes)) as Arc<dyn CacheTier>)
+            .collect();
+        Self::with_stack(
+            Arc::new(DirectBackend::new(dataset)),
+            tiers,
+            Arc::new(LoaderStats::default()),
+        )
+    }
+
+    /// Create a cluster from explicit per-server tiers over one fetch
+    /// backend, recording into shared loader statistics.
+    pub fn with_stack(
+        backend: Arc<dyn FetchBackend>,
+        tiers: Vec<Arc<dyn CacheTier>>,
+        loader_stats: Arc<LoaderStats>,
+    ) -> Self {
+        assert!(!tiers.is_empty(), "need at least one server");
+        let servers = tiers
+            .into_iter()
+            .map(|tier| ServerState {
+                tier,
                 stats: PartitionStats::default(),
             })
             .collect();
         PartitionedCacheCluster {
-            dataset,
+            backend,
             servers: RwLock::new(servers),
             directory: RwLock::new(HashMap::new()),
-            loader_stats: LoaderStats::default(),
+            loader_stats,
         }
     }
 
@@ -94,19 +135,34 @@ impl PartitionedCacheCluster {
         self.servers.read()[server].stats
     }
 
+    /// Cluster-wide aggregate of the per-server statistics.
+    pub fn aggregate_stats(&self) -> PartitionStats {
+        let servers = self.servers.read();
+        let mut out = PartitionStats::default();
+        for s in servers.iter() {
+            out.merge(&s.stats);
+        }
+        out
+    }
+
+    /// The cache tier of `server`.
+    pub fn tier(&self, server: usize) -> Arc<dyn CacheTier> {
+        Arc::clone(&self.servers.read()[server].tier)
+    }
+
     /// Number of distinct items currently registered in the directory.
     pub fn directory_len(&self) -> usize {
         self.directory.read().len()
     }
 
     /// Fetch `item` on behalf of `server`, following the CoorDL lookup order:
-    /// local MinIO cache → remote MinIO cache (via the directory) → storage.
+    /// local cache tier → remote cache tier (via the directory) → backend.
     pub fn fetch(&self, server: usize, item: ItemId) -> (Arc<Vec<u8>>, FetchOrigin) {
         // 1. Local cache.
         {
             let servers = self.servers.read();
             assert!(server < servers.len(), "server {server} out of range");
-            if let Some(bytes) = servers[server].cache.get(item) {
+            if let Some(bytes) = servers[server].tier.lookup(item) {
                 drop(servers);
                 let mut servers = self.servers.write();
                 servers[server].stats.local_hits += 1;
@@ -118,7 +174,7 @@ impl PartitionedCacheCluster {
         let owner = self.directory.read().get(&item).copied();
         if let Some(peer) = owner {
             if peer != server {
-                let bytes_opt = self.servers.read()[peer].cache.get(item);
+                let bytes_opt = self.servers.read()[peer].tier.lookup(item);
                 if let Some(bytes) = bytes_opt {
                     let mut servers = self.servers.write();
                     servers[server].stats.remote_hits += 1;
@@ -129,14 +185,14 @@ impl PartitionedCacheCluster {
                 }
             }
         }
-        // 3. Storage: read locally, admit into the local cache and register.
-        let bytes = Arc::new(self.dataset.read(item));
+        // 3. Backend: read locally, admit into the local tier and register.
+        let bytes = Arc::new(self.backend.read(item));
         let size = bytes.len() as u64;
         let admitted;
         {
             let servers = self.servers.read();
-            let retained = servers[server].cache.insert(item, Arc::clone(&bytes));
-            admitted = servers[server].cache.contains(item);
+            let retained = servers[server].tier.admit(item, Arc::clone(&bytes));
+            admitted = servers[server].tier.contains(item);
             drop(retained);
         }
         if admitted {
@@ -159,6 +215,7 @@ impl PartitionedCacheCluster {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use dataset::{DatasetSpec, EpochSampler, SyntheticItemStore};
@@ -210,6 +267,9 @@ mod tests {
         // The epoch-varying shards force remote fetches.
         let remote: u64 = (0..2).map(|s| cluster.stats(s).remote_hits).sum();
         assert!(remote > 0);
+        let agg = cluster.aggregate_stats();
+        assert_eq!(agg.remote_hits, remote);
+        assert_eq!(agg.remote_bytes_in, agg.remote_bytes_out);
     }
 
     #[test]
@@ -281,6 +341,33 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn lru_tiers_slot_into_the_same_cluster_stack() {
+        // The pluggable-tier point: a page-cache-like cluster (LRU per node)
+        // uses the identical lookup order and directory machinery.
+        let n = 60;
+        let ds = dataset(n, 100);
+        let tiers = (0..2)
+            .map(|_| {
+                Arc::new(crate::PolicyByteCache::new(
+                    dcache::PolicyKind::Lru,
+                    100 * 100,
+                )) as Arc<dyn CacheTier>
+            })
+            .collect();
+        let cluster = PartitionedCacheCluster::with_stack(
+            Arc::new(DirectBackend::new(ds)),
+            tiers,
+            Arc::new(LoaderStats::default()),
+        );
+        for epoch in 0..2 {
+            run_epoch(&cluster, n, epoch, 2);
+        }
+        assert_eq!(cluster.total_storage_bytes(), n * 100, "fits: read once");
+        assert!(cluster.stats(0).local_hits + cluster.stats(0).remote_hits > 0);
+        assert_eq!(cluster.tier(0).policy_name(), "LRU");
     }
 
     #[test]

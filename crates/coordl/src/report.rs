@@ -1,0 +1,294 @@
+//! The unified runtime report every [`Session`](crate::Session) produces.
+//!
+//! [`LoaderReport`] is the runtime counterpart of the simulator's
+//! `pipeline::SimReport`: cache hits and misses, byte provenance, modelled
+//! device time, staging occupancy and per-epoch trajectories, serialised
+//! through the *same* `pipeline::json` emitter so the two documents are
+//! structurally comparable — which is what lets `dstool validate` diff
+//! predicted against empirical behaviour (Table 5 / Figure 16 methodology).
+
+use pipeline::json::{write_f64, write_string, write_u64_array};
+
+/// Counter deltas observed over one epoch of a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochTrajectory {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Bytes read from the fetch backend (storage).
+    pub bytes_from_storage: u64,
+    /// Bytes served from local cache tiers.
+    pub bytes_from_cache: u64,
+    /// Bytes served from remote peers (partitioned mode only).
+    pub bytes_from_remote: u64,
+    /// Samples pre-processed.
+    pub samples_prepared: u64,
+    /// Samples delivered to consumers.
+    pub samples_delivered: u64,
+    /// Cache-tier hits (local + remote).
+    pub cache_hits: u64,
+    /// Cache-tier misses (reads that fell through to the backend).
+    pub cache_misses: u64,
+    /// Modelled device busy time for this epoch's backend reads, in seconds
+    /// (0 with an unprofiled backend).
+    pub device_seconds: f64,
+    /// Staging-area high-water mark in bytes (coordinated mode only).
+    pub staging_peak_bytes: u64,
+    /// Minibatches published to the staging area (coordinated mode only).
+    pub staging_published: u64,
+    /// Minibatches fully consumed and evicted (coordinated mode only).
+    pub staging_evicted: u64,
+}
+
+impl EpochTrajectory {
+    /// Cache hit ratio over fetches this epoch (0 when there were none).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The unified result of running a [`Session`](crate::Session): totals plus
+/// the per-epoch trajectories recorded as epochs were run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoaderReport {
+    /// Session mode name (`single` / `coordinated` / `partitioned`).
+    pub mode: &'static str,
+    /// Number of jobs (coordinated) or nodes (partitioned); 1 for single.
+    pub jobs: usize,
+    /// Cache replacement policy of the tier(s).
+    pub cache_policy: &'static str,
+    /// Fetch-backend name (`direct` or a device-profile name).
+    pub backend: &'static str,
+    /// Total cache capacity across tiers, in bytes.
+    pub cache_capacity_bytes: u64,
+    /// Bytes currently resident across tiers.
+    pub cache_used_bytes: u64,
+    /// Items currently resident across tiers.
+    pub cache_resident_items: usize,
+    /// Cumulative bytes read from the backend.
+    pub bytes_from_storage: u64,
+    /// Cumulative bytes served from cache tiers.
+    pub bytes_from_cache: u64,
+    /// Cumulative bytes served from remote peers.
+    pub bytes_from_remote: u64,
+    /// Cumulative samples pre-processed.
+    pub samples_prepared: u64,
+    /// Cumulative samples delivered.
+    pub samples_delivered: u64,
+    /// Cumulative cache hits.
+    pub cache_hits: u64,
+    /// Cumulative cache misses.
+    pub cache_misses: u64,
+    /// Cumulative modelled device busy seconds.
+    pub device_seconds: f64,
+    /// Per-epoch counter deltas, in the order epochs were run.
+    pub epochs: Vec<EpochTrajectory>,
+}
+
+impl LoaderReport {
+    /// Overall cache hit ratio (0 when nothing was fetched).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The steady-state epochs: everything after the cold-cache warm-up
+    /// epoch (all epochs when only one was run).
+    pub fn steady_epochs(&self) -> &[EpochTrajectory] {
+        if self.epochs.len() > 1 {
+            &self.epochs[1..]
+        } else {
+            &self.epochs
+        }
+    }
+
+    /// Average steady-state hit ratio (the paper averages epochs after the
+    /// first, §3.1).
+    pub fn steady_hit_ratio(&self) -> f64 {
+        let tail = self.steady_epochs();
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().map(EpochTrajectory::hit_ratio).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Average steady-state bytes read from storage per epoch.
+    pub fn steady_storage_bytes(&self) -> f64 {
+        let tail = self.steady_epochs();
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter()
+            .map(|e| e.bytes_from_storage as f64)
+            .sum::<f64>()
+            / tail.len() as f64
+    }
+
+    /// Average steady-state modelled device seconds per epoch.
+    pub fn steady_device_seconds(&self) -> f64 {
+        let tail = self.steady_epochs();
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().map(|e| e.device_seconds).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Serialise the report as a JSON object through the shared
+    /// `pipeline::json` emitter, mirroring `SimReport::to_json`'s layout
+    /// (`disk_bytes_per_epoch`, `remote_bytes_per_epoch`, per-epoch records)
+    /// so simulator and runtime documents diff cleanly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\"kind\":\"loader-report\",\"mode\":");
+        write_string(&mut out, self.mode);
+        out.push_str(",\"unit_kind\":\"job\",\"jobs\":");
+        out.push_str(&self.jobs.to_string());
+        out.push_str(",\"cache_policy\":");
+        write_string(&mut out, self.cache_policy);
+        out.push_str(",\"backend\":");
+        write_string(&mut out, self.backend);
+        out.push_str(",\"cache_capacity_bytes\":");
+        out.push_str(&self.cache_capacity_bytes.to_string());
+        out.push_str(",\"cache_used_bytes\":");
+        out.push_str(&self.cache_used_bytes.to_string());
+        out.push_str(",\"cache_resident_items\":");
+        out.push_str(&self.cache_resident_items.to_string());
+        out.push_str(",\"epochs\":");
+        out.push_str(&self.epochs.len().to_string());
+        out.push_str(",\"disk_bytes_per_epoch\":");
+        let disk: Vec<u64> = self.epochs.iter().map(|e| e.bytes_from_storage).collect();
+        write_u64_array(&mut out, &disk);
+        out.push_str(",\"remote_bytes_per_epoch\":");
+        let remote: Vec<u64> = self.epochs.iter().map(|e| e.bytes_from_remote).collect();
+        write_u64_array(&mut out, &remote);
+        out.push_str(",\"hit_ratio\":");
+        write_f64(&mut out, self.hit_ratio());
+        out.push_str(",\"cache_hits\":");
+        out.push_str(&self.cache_hits.to_string());
+        out.push_str(",\"cache_misses\":");
+        out.push_str(&self.cache_misses.to_string());
+        out.push_str(",\"samples_prepared\":");
+        out.push_str(&self.samples_prepared.to_string());
+        out.push_str(",\"samples_delivered\":");
+        out.push_str(&self.samples_delivered.to_string());
+        out.push_str(",\"device_seconds\":");
+        write_f64(&mut out, self.device_seconds);
+        out.push_str(",\"trajectories\":[");
+        for (i, e) in self.epochs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            epoch_trajectory_json(&mut out, e);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn epoch_trajectory_json(out: &mut String, e: &EpochTrajectory) {
+    out.push_str("{\"epoch\":");
+    out.push_str(&e.epoch.to_string());
+    out.push_str(",\"bytes_from_cache\":");
+    out.push_str(&e.bytes_from_cache.to_string());
+    out.push_str(",\"bytes_from_disk\":");
+    out.push_str(&e.bytes_from_storage.to_string());
+    out.push_str(",\"bytes_from_remote\":");
+    out.push_str(&e.bytes_from_remote.to_string());
+    out.push_str(",\"cache_hits\":");
+    out.push_str(&e.cache_hits.to_string());
+    out.push_str(",\"cache_misses\":");
+    out.push_str(&e.cache_misses.to_string());
+    out.push_str(",\"hit_ratio\":");
+    write_f64(out, e.hit_ratio());
+    out.push_str(",\"samples\":");
+    out.push_str(&e.samples_delivered.to_string());
+    out.push_str(",\"device_seconds\":");
+    write_f64(out, e.device_seconds);
+    out.push_str(",\"staging_peak_bytes\":");
+    out.push_str(&e.staging_peak_bytes.to_string());
+    out.push_str(",\"staging_published\":");
+    out.push_str(&e.staging_published.to_string());
+    out.push_str(",\"staging_evicted\":");
+    out.push_str(&e.staging_evicted.to_string());
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline::json::{parse, Value};
+
+    fn sample_report() -> LoaderReport {
+        LoaderReport {
+            mode: "coordinated",
+            jobs: 4,
+            cache_policy: "MinIO",
+            backend: "sata-ssd",
+            cache_capacity_bytes: 1000,
+            cache_used_bytes: 800,
+            cache_resident_items: 8,
+            bytes_from_storage: 1000,
+            bytes_from_cache: 2000,
+            bytes_from_remote: 0,
+            samples_prepared: 30,
+            samples_delivered: 120,
+            cache_hits: 20,
+            cache_misses: 10,
+            device_seconds: 0.5,
+            epochs: vec![
+                EpochTrajectory {
+                    epoch: 0,
+                    bytes_from_storage: 1000,
+                    cache_misses: 10,
+                    samples_delivered: 60,
+                    device_seconds: 0.5,
+                    ..EpochTrajectory::default()
+                },
+                EpochTrajectory {
+                    epoch: 1,
+                    bytes_from_cache: 2000,
+                    cache_hits: 20,
+                    samples_delivered: 60,
+                    ..EpochTrajectory::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn steady_state_ignores_the_warmup_epoch() {
+        let r = sample_report();
+        assert!((r.hit_ratio() - 20.0 / 30.0).abs() < 1e-12);
+        assert!((r.steady_hit_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(r.steady_storage_bytes(), 0.0);
+        assert_eq!(r.steady_device_seconds(), 0.0);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_shared_parser() {
+        let r = sample_report();
+        let doc = parse(&r.to_json()).expect("LoaderReport::to_json must emit valid JSON");
+        assert_eq!(doc.get("mode").and_then(Value::as_str), Some("coordinated"));
+        assert_eq!(doc.get("jobs").and_then(Value::as_f64), Some(4.0));
+        // Structural comparability with SimReport: the same epoch-array keys.
+        let disk = doc
+            .get("disk_bytes_per_epoch")
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(disk.len(), 2);
+        assert_eq!(disk[0].as_f64(), Some(1000.0));
+        let traj = doc.get("trajectories").and_then(Value::as_array).unwrap();
+        assert_eq!(
+            traj[1].get("cache_hits").and_then(Value::as_f64),
+            Some(20.0)
+        );
+    }
+}

@@ -1,0 +1,976 @@
+//! The unified CoorDL runtime API: one [`Session`] builder for every
+//! loading mode, mirroring the simulator's `pipeline::Experiment`.
+//!
+//! A session describes *one workload* — a dataset, a prep pipeline, a cache
+//! tier over a fetch backend — and a [`Mode`] describing how it is consumed:
+//!
+//! * [`Mode::Single`] — one job, a multi-threaded fetch → prep → collate
+//!   worker pool (what `DataLoader` used to be),
+//! * [`Mode::Coordinated`] — `jobs` concurrent HP-search jobs sharing one
+//!   fetch + prep sweep per epoch through the staging area (§4.3),
+//! * [`Mode::Partitioned`] — `nodes` servers of a distributed job, each
+//!   caching a shard and serving peers' misses (§4.2).
+//!
+//! Every mode hands out per-job [`BatchStream`] iterators from
+//! [`Session::epoch`] and records per-epoch [`EpochTrajectory`] deltas, so
+//! one [`LoaderReport`] describes any run — which is what `dstool validate`
+//! diffs against the simulator's predictions.
+//!
+//! ```
+//! use coordl::{Mode, Session, SessionConfig};
+//! use dataset::{DatasetSpec, SyntheticItemStore};
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(SyntheticItemStore::new(
+//!     DatasetSpec::new("doc", 64, 256, 0.0, 4.0),
+//!     1,
+//! ));
+//! let session = Session::builder(store, SessionConfig::default())
+//!     .mode(Mode::Coordinated { jobs: 2 })
+//!     .build()
+//!     .unwrap();
+//! let run = session.epoch(0);
+//! for job in 0..2 {
+//!     assert_eq!(run.stream(job).count(), session.batches_per_epoch());
+//! }
+//! drop(run);
+//! assert_eq!(session.report().epochs.len(), 1);
+//! ```
+
+use crate::cache::MinIoByteCache;
+use crate::coordinator::{CoordinatedEngine, EpochSession, JobEpochIterator};
+use crate::error::CoordlError;
+use crate::minibatch::Minibatch;
+use crate::partition::PartitionedCacheCluster;
+use crate::report::{EpochTrajectory, LoaderReport};
+use crate::stack::{spawn_single_epoch, LoaderStack, SingleEpochStream};
+use crate::staging::{StagingArea, StagingStats};
+use crate::stats::LoaderStats;
+use crate::tier::{CacheTier, PolicyByteCache};
+use crate::{DirectBackend, FetchBackend, ProfiledBackend};
+use dataset::{minibatches, DataSource, EpochSampler, ItemId};
+use dcache::PolicyKind;
+use parking_lot::Mutex;
+use prep::{ExecutablePipeline, PrepPipeline};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a session's workload is consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// One job on one server (the classic data loader).
+    Single,
+    /// `jobs` concurrent same-dataset jobs sharing one fetch + prep sweep
+    /// per epoch (coordinated prep, §4.3).
+    Coordinated {
+        /// Number of concurrent HP-search jobs.
+        jobs: usize,
+    },
+    /// One data-parallel job over `nodes` servers with partitioned caching
+    /// (§4.2): each node sweeps a random per-epoch shard, local misses are
+    /// served from peer caches before storage.
+    Partitioned {
+        /// Number of servers, each contributing one cache tier.
+        nodes: usize,
+    },
+}
+
+impl Mode {
+    /// Short mode name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Single => "single",
+            Mode::Coordinated { .. } => "coordinated",
+            Mode::Partitioned { .. } => "partitioned",
+        }
+    }
+
+    /// Number of per-epoch streams this mode hands out.
+    pub fn num_jobs(&self) -> usize {
+        match self {
+            Mode::Single => 1,
+            Mode::Coordinated { jobs } => *jobs,
+            Mode::Partitioned { nodes } => *nodes,
+        }
+    }
+}
+
+/// Configuration shared by every session mode.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Samples per minibatch.
+    pub batch_size: usize,
+    /// Worker threads per single-mode epoch (ignored by the other modes,
+    /// whose parallelism is per-job / per-node).
+    pub num_workers: usize,
+    /// Prepared minibatches buffered ahead of a single-mode consumer.
+    pub prefetch_depth: usize,
+    /// Seed for the per-epoch shuffle (shared by all jobs of a session).
+    pub seed: u64,
+    /// Cache capacity in bytes — of the one shared tier (single,
+    /// coordinated) or of *each* node's tier (partitioned).
+    pub cache_capacity_bytes: u64,
+    /// Maximum minibatches resident in the coordinated staging area.
+    pub staging_window: usize,
+    /// How long a coordinated consumer waits before invoking the failure
+    /// detector.
+    pub take_timeout: Duration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            batch_size: 32,
+            num_workers: 2,
+            prefetch_depth: 4,
+            seed: 0x5EED,
+            cache_capacity_bytes: 256 * 1024 * 1024,
+            staging_window: 8,
+            take_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+enum TierChoice {
+    Policy(PolicyKind),
+    Custom(Arc<dyn CacheTier>),
+}
+
+/// Builder for a [`Session`]; start from [`Session::builder`].
+pub struct SessionBuilder {
+    dataset: Arc<dyn DataSource>,
+    config: SessionConfig,
+    mode: Mode,
+    pipeline: Option<ExecutablePipeline>,
+    backend: Option<Arc<dyn FetchBackend>>,
+    profile: Option<storage::DeviceProfile>,
+    tier: TierChoice,
+}
+
+impl SessionBuilder {
+    /// Select the session mode (default: [`Mode::Single`]).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set the executable prep pipeline.  Defaults to the image
+    /// classification pipeline with decode multiplier 6, seeded from the
+    /// session seed.
+    pub fn pipeline(mut self, pipeline: ExecutablePipeline) -> Self {
+        self.pipeline = Some(pipeline);
+        self
+    }
+
+    /// Use a `coordl-cache` replacement policy for the cache tier(s)
+    /// (default: [`PolicyKind::MinIo`]).
+    pub fn cache_policy(mut self, kind: PolicyKind) -> Self {
+        self.tier = TierChoice::Policy(kind);
+        self
+    }
+
+    /// Use a custom cache tier (single and coordinated modes only — the
+    /// partitioned mode builds one tier per node from the policy).
+    pub fn cache_tier(mut self, tier: Arc<dyn CacheTier>) -> Self {
+        self.tier = TierChoice::Custom(tier);
+        self
+    }
+
+    /// Use a custom fetch backend instead of reading the dataset directly.
+    pub fn fetch_backend(mut self, backend: Arc<dyn FetchBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Time backend reads against `profile` (ramdisk / SSD / HDD), so the
+    /// session's report carries modelled device seconds.
+    pub fn device_profile(mut self, profile: storage::DeviceProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Validate the configuration and build the session.
+    pub fn build(self) -> Result<Session, CoordlError> {
+        let config = &self.config;
+        if config.batch_size == 0 {
+            return Err(CoordlError::InvalidConfig("batch_size must be > 0".into()));
+        }
+        if config.num_workers == 0 {
+            return Err(CoordlError::InvalidConfig("num_workers must be > 0".into()));
+        }
+        if config.staging_window == 0 {
+            return Err(CoordlError::InvalidConfig(
+                "staging_window must be > 0".into(),
+            ));
+        }
+        if self.dataset.is_empty() {
+            return Err(CoordlError::InvalidConfig("dataset is empty".into()));
+        }
+        if self.mode.num_jobs() == 0 {
+            return Err(CoordlError::InvalidConfig(format!(
+                "{} mode needs at least one job",
+                self.mode.name()
+            )));
+        }
+        if self.backend.is_some() && self.profile.is_some() {
+            return Err(CoordlError::InvalidConfig(
+                "fetch_backend and device_profile are mutually exclusive".into(),
+            ));
+        }
+
+        let backend: Arc<dyn FetchBackend> = match (self.backend, self.profile) {
+            (Some(b), None) => b,
+            (None, Some(p)) => Arc::new(ProfiledBackend::new(Arc::clone(&self.dataset), p)),
+            (None, None) => Arc::new(DirectBackend::new(Arc::clone(&self.dataset))),
+            (Some(_), Some(_)) => unreachable!("rejected above"),
+        };
+        let pipeline = Arc::new(self.pipeline.unwrap_or_else(|| {
+            ExecutablePipeline::new(PrepPipeline::image_classification(), 6, config.seed)
+        }));
+        let stats = Arc::new(LoaderStats::default());
+
+        let build_tier = |choice: &TierChoice| -> Arc<dyn CacheTier> {
+            match choice {
+                TierChoice::Custom(t) => Arc::clone(t),
+                TierChoice::Policy(PolicyKind::MinIo) => {
+                    Arc::new(MinIoByteCache::new(config.cache_capacity_bytes))
+                }
+                TierChoice::Policy(kind) => {
+                    Arc::new(PolicyByteCache::new(*kind, config.cache_capacity_bytes))
+                }
+            }
+        };
+
+        let kind = match self.mode {
+            Mode::Single => SessionKind::Single {
+                stack: LoaderStack {
+                    tier: build_tier(&self.tier),
+                    backend: Arc::clone(&backend),
+                    stats: Arc::clone(&stats),
+                    pipeline: Arc::clone(&pipeline),
+                },
+            },
+            Mode::Coordinated { jobs } => SessionKind::Coordinated {
+                engine: CoordinatedEngine {
+                    stack: LoaderStack {
+                        tier: build_tier(&self.tier),
+                        backend: Arc::clone(&backend),
+                        stats: Arc::clone(&stats),
+                        pipeline: Arc::clone(&pipeline),
+                    },
+                    dataset_len: self.dataset.len(),
+                    num_jobs: jobs,
+                    batch_size: config.batch_size,
+                    staging_window: config.staging_window,
+                    seed: config.seed,
+                    take_timeout: config.take_timeout,
+                },
+            },
+            Mode::Partitioned { nodes } => {
+                if matches!(self.tier, TierChoice::Custom(_)) {
+                    return Err(CoordlError::InvalidConfig(
+                        "partitioned mode builds one tier per node; use cache_policy".into(),
+                    ));
+                }
+                let tiers = (0..nodes).map(|_| build_tier(&self.tier)).collect();
+                SessionKind::Partitioned {
+                    cluster: Arc::new(PartitionedCacheCluster::with_stack(
+                        Arc::clone(&backend),
+                        tiers,
+                        Arc::clone(&stats),
+                    )),
+                }
+            }
+        };
+
+        Ok(Session {
+            dataset: self.dataset,
+            config: self.config,
+            mode: self.mode,
+            stats,
+            backend,
+            pipeline,
+            kind,
+            trajectories: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+enum SessionKind {
+    Single {
+        stack: LoaderStack,
+    },
+    Coordinated {
+        engine: CoordinatedEngine,
+    },
+    Partitioned {
+        cluster: Arc<PartitionedCacheCluster>,
+    },
+}
+
+/// A configured CoorDL runtime: dataset + prep pipeline + cache tier(s) +
+/// fetch backend + mode.  See the [module docs](self) for an overview.
+pub struct Session {
+    dataset: Arc<dyn DataSource>,
+    config: SessionConfig,
+    mode: Mode,
+    stats: Arc<LoaderStats>,
+    backend: Arc<dyn FetchBackend>,
+    pipeline: Arc<ExecutablePipeline>,
+    kind: SessionKind,
+    trajectories: Mutex<Vec<EpochTrajectory>>,
+}
+
+/// What [`SessionBuilder::build`] returns (the ISSUE-facing name).
+pub type SessionHandle = Session;
+
+impl Session {
+    /// Start describing a session over `dataset`.
+    pub fn builder(dataset: Arc<dyn DataSource>, config: SessionConfig) -> SessionBuilder {
+        SessionBuilder {
+            dataset,
+            config,
+            mode: Mode::Single,
+            pipeline: None,
+            backend: None,
+            profile: None,
+            tier: TierChoice::Policy(PolicyKind::MinIo),
+        }
+    }
+
+    /// The session mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Number of per-epoch streams ([`EpochRun::stream`] arguments).
+    pub fn num_jobs(&self) -> usize {
+        self.mode.num_jobs()
+    }
+
+    /// Shared loader statistics across all epochs run so far.
+    pub fn stats(&self) -> &LoaderStats {
+        &self.stats
+    }
+
+    /// The fetch backend.
+    pub fn backend(&self) -> &dyn FetchBackend {
+        self.backend.as_ref()
+    }
+
+    /// The shared cache tier (single and coordinated modes; `None` for
+    /// partitioned sessions, whose tiers are per node — see
+    /// [`Session::node_tier`]).
+    pub fn cache_tier(&self) -> Option<Arc<dyn CacheTier>> {
+        match &self.kind {
+            SessionKind::Single { stack } => Some(Arc::clone(&stack.tier)),
+            SessionKind::Coordinated { engine } => Some(Arc::clone(&engine.stack.tier)),
+            SessionKind::Partitioned { .. } => None,
+        }
+    }
+
+    /// The cache tier of one partitioned node (`None` in other modes).
+    pub fn node_tier(&self, node: usize) -> Option<Arc<dyn CacheTier>> {
+        match &self.kind {
+            SessionKind::Partitioned { cluster } => Some(cluster.tier(node)),
+            _ => None,
+        }
+    }
+
+    /// The partitioned cache cluster (`None` in other modes).
+    pub fn partitioned_cluster(&self) -> Option<&PartitionedCacheCluster> {
+        match &self.kind {
+            SessionKind::Partitioned { cluster } => Some(cluster),
+            _ => None,
+        }
+    }
+
+    /// Minibatches each job consumes per epoch.  In partitioned mode this is
+    /// the per-node upper bound (nodes whose shard is one item short may
+    /// deliver one batch less).
+    pub fn batches_per_epoch(&self) -> usize {
+        let items = match self.mode {
+            Mode::Partitioned { nodes } => (self.dataset.len() as usize).div_ceil(nodes),
+            _ => self.dataset.len() as usize,
+        };
+        items.div_ceil(self.config.batch_size)
+    }
+
+    /// Start one epoch, returning the handle that hands out its per-job
+    /// [`BatchStream`]s.  Dropping the handle records the epoch's
+    /// [`EpochTrajectory`] in the session's report, so consume the streams
+    /// within the handle's lifetime.
+    pub fn epoch(&self, epoch: u64) -> EpochRun<'_> {
+        let inner = match &self.kind {
+            SessionKind::Single { .. } => RunInner::Single,
+            SessionKind::Coordinated { engine } => RunInner::Coordinated(engine.run_epoch(epoch)),
+            SessionKind::Partitioned { .. } => RunInner::Partitioned,
+        };
+        EpochRun {
+            session: self,
+            epoch,
+            start: self.snapshot(),
+            inner,
+            single_stream_taken: AtomicBool::new(false),
+        }
+    }
+
+    /// Run one coordinated epoch on the raw engine (the legacy
+    /// `CoordinatedJobGroup` surface).
+    ///
+    /// # Panics
+    /// Panics unless the session is in [`Mode::Coordinated`].
+    pub fn coordinated_epoch(&self, epoch: u64) -> EpochSession {
+        match &self.kind {
+            SessionKind::Coordinated { engine } => engine.run_epoch(epoch),
+            _ => panic!("coordinated_epoch requires Mode::Coordinated"),
+        }
+    }
+
+    /// Spawn one single-mode epoch's worker pool (shared by
+    /// [`EpochRun::stream`] and the legacy `DataLoader` shim).
+    ///
+    /// # Panics
+    /// Panics unless the session is in [`Mode::Single`].
+    pub(crate) fn raw_single_epoch(&self, epoch: u64) -> SingleEpochStream {
+        let SessionKind::Single { stack } = &self.kind else {
+            panic!("raw_single_epoch requires Mode::Single");
+        };
+        let sampler = EpochSampler::new(self.dataset.len(), self.config.seed);
+        let order = sampler.permutation(epoch);
+        let batches: Vec<(usize, Vec<ItemId>)> = minibatches(&order, self.config.batch_size)
+            .into_iter()
+            .enumerate()
+            .collect();
+        spawn_single_epoch(
+            epoch,
+            batches,
+            stack.clone(),
+            self.config.num_workers,
+            self.config.prefetch_depth,
+        )
+    }
+
+    /// Every cache tier of the session: the one shared tier, or one per
+    /// partitioned node.
+    fn all_tiers(&self) -> Vec<Arc<dyn CacheTier>> {
+        match &self.kind {
+            SessionKind::Partitioned { cluster } => (0..cluster.num_servers())
+                .map(|n| cluster.tier(n))
+                .collect(),
+            _ => vec![self.cache_tier().expect("non-partitioned tier")],
+        }
+    }
+
+    /// The unified report: totals plus the per-epoch trajectories recorded
+    /// as [`EpochRun`]s completed.
+    pub fn report(&self) -> LoaderReport {
+        let snap = self.snapshot();
+        let tiers = self.all_tiers();
+        let (capacity, used, resident, policy) = (
+            tiers.iter().map(|t| t.capacity_bytes()).sum(),
+            tiers.iter().map(|t| t.used_bytes()).sum(),
+            tiers.iter().map(|t| t.resident_items()).sum(),
+            tiers[0].policy_name(),
+        );
+        LoaderReport {
+            mode: self.mode.name(),
+            jobs: self.num_jobs(),
+            cache_policy: policy,
+            backend: self.backend.name(),
+            cache_capacity_bytes: capacity,
+            cache_used_bytes: used,
+            cache_resident_items: resident,
+            bytes_from_storage: snap.bytes_from_storage,
+            bytes_from_cache: snap.bytes_from_cache,
+            bytes_from_remote: snap.bytes_from_remote,
+            samples_prepared: snap.samples_prepared,
+            samples_delivered: snap.samples_delivered,
+            cache_hits: snap.hits,
+            cache_misses: snap.misses,
+            device_seconds: snap.device_seconds,
+            epochs: self.trajectories.lock().clone(),
+        }
+    }
+
+    fn snapshot(&self) -> CounterSnapshot {
+        let (hits, misses) = match &self.kind {
+            // Partitioned hit counts come from the cluster, not the tiers: a
+            // remote hit is a *local-tier miss* served by a peer, and must
+            // count as a session-level hit.
+            SessionKind::Partitioned { cluster } => {
+                let agg = cluster.aggregate_stats();
+                (agg.local_hits + agg.remote_hits, agg.storage_reads)
+            }
+            _ => {
+                let tier = self.cache_tier().expect("non-partitioned tier");
+                (tier.hits(), tier.misses())
+            }
+        };
+        CounterSnapshot {
+            bytes_from_storage: self.stats.bytes_from_storage(),
+            bytes_from_cache: self.stats.bytes_from_cache(),
+            bytes_from_remote: self.stats.bytes_from_remote(),
+            samples_prepared: self.stats.samples_prepared(),
+            samples_delivered: self.stats.samples_delivered(),
+            hits,
+            misses,
+            device_seconds: self.backend.device_seconds(),
+        }
+    }
+
+    fn record_trajectory(&self, epoch: u64, start: CounterSnapshot, staging: Option<StagingStats>) {
+        let end = self.snapshot();
+        let staging = staging.unwrap_or_default();
+        self.trajectories.lock().push(EpochTrajectory {
+            epoch,
+            bytes_from_storage: end.bytes_from_storage - start.bytes_from_storage,
+            bytes_from_cache: end.bytes_from_cache - start.bytes_from_cache,
+            bytes_from_remote: end.bytes_from_remote - start.bytes_from_remote,
+            samples_prepared: end.samples_prepared - start.samples_prepared,
+            samples_delivered: end.samples_delivered - start.samples_delivered,
+            cache_hits: end.hits - start.hits,
+            cache_misses: end.misses - start.misses,
+            device_seconds: end.device_seconds - start.device_seconds,
+            staging_peak_bytes: staging.peak_bytes,
+            staging_published: staging.published,
+            staging_evicted: staging.evicted,
+        });
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterSnapshot {
+    bytes_from_storage: u64,
+    bytes_from_cache: u64,
+    bytes_from_remote: u64,
+    samples_prepared: u64,
+    samples_delivered: u64,
+    hits: u64,
+    misses: u64,
+    device_seconds: f64,
+}
+
+enum RunInner {
+    Single,
+    Coordinated(EpochSession),
+    Partitioned,
+    Finished,
+}
+
+/// One epoch of a session: hands out per-job [`BatchStream`]s and records
+/// the epoch's trajectory when dropped.
+pub struct EpochRun<'a> {
+    session: &'a Session,
+    epoch: u64,
+    start: CounterSnapshot,
+    inner: RunInner,
+    single_stream_taken: AtomicBool,
+}
+
+impl EpochRun<'_> {
+    /// The epoch index this run covers.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Minibatches each stream of this epoch delivers.
+    pub fn total_batches(&self) -> usize {
+        self.session.batches_per_epoch()
+    }
+
+    /// The batch stream of `job` (a node index in partitioned mode; must be
+    /// 0 in single mode).
+    ///
+    /// Streams own their worker threads and statistics handles, so they can
+    /// be moved to consumer threads; keep the `EpochRun` alive while they
+    /// drain (dropping it shuts a coordinated epoch down).
+    ///
+    /// # Panics
+    /// In single mode, a second `stream(0)` call on the same run panics:
+    /// each call would spawn a fresh worker pool and re-fetch the whole
+    /// epoch, silently double-counting this run's trajectory.  Call
+    /// [`Session::epoch`] again for another pass over the same epoch.
+    pub fn stream(&self, job: usize) -> BatchStream {
+        assert!(
+            job < self.session.num_jobs(),
+            "job {job} out of range for {} mode with {} job(s)",
+            self.session.mode().name(),
+            self.session.num_jobs()
+        );
+        match (&self.inner, &self.session.kind) {
+            (RunInner::Single, SessionKind::Single { .. }) => {
+                assert!(
+                    !self.single_stream_taken.swap(true, Ordering::SeqCst),
+                    "stream(0) already taken for this EpochRun; call \
+                     Session::epoch again for another pass"
+                );
+                let stream = self.session.raw_single_epoch(self.epoch);
+                BatchStream {
+                    total: stream.total_batches(),
+                    inner: StreamInner::Single(stream),
+                }
+            }
+            (RunInner::Coordinated(epoch_session), _) => BatchStream {
+                total: epoch_session.total_batches(),
+                inner: StreamInner::Coordinated(epoch_session.consumer(job)),
+            },
+            (RunInner::Partitioned, SessionKind::Partitioned { cluster }) => {
+                let nodes = self.session.num_jobs();
+                let sampler =
+                    EpochSampler::new(self.session.dataset.len(), self.session.config.seed);
+                let shard = sampler.distributed_shard(self.epoch, job, nodes);
+                let batches: Vec<(usize, Vec<ItemId>)> =
+                    minibatches(&shard, self.session.config.batch_size)
+                        .into_iter()
+                        .enumerate()
+                        .collect();
+                let total = batches.len();
+                BatchStream {
+                    total,
+                    inner: StreamInner::Partitioned(PartitionNodeStream {
+                        cluster: Arc::clone(cluster),
+                        pipeline: Arc::clone(&self.session.pipeline),
+                        stats: Arc::clone(&self.session.stats),
+                        node: job,
+                        epoch: self.epoch,
+                        batches: batches.into_iter(),
+                    }),
+                }
+            }
+            _ => unreachable!("EpochRun inner state matches the session kind"),
+        }
+    }
+
+    /// Simulate the user killing job `job` mid-epoch (coordinated mode).
+    ///
+    /// # Panics
+    /// Panics unless the session is in [`Mode::Coordinated`].
+    pub fn inject_failure(&self, job: usize) {
+        match &self.inner {
+            RunInner::Coordinated(s) => s.inject_failure(job),
+            _ => panic!("inject_failure requires Mode::Coordinated"),
+        }
+    }
+
+    /// The coordinated staging area (`None` in other modes).
+    pub fn staging(&self) -> Option<&StagingArea> {
+        match &self.inner {
+            RunInner::Coordinated(s) => Some(s.staging()),
+            _ => None,
+        }
+    }
+}
+
+impl Drop for EpochRun<'_> {
+    fn drop(&mut self) {
+        // Shut a coordinated epoch down (joining its producers) *before*
+        // snapshotting, so late producer work is attributed to this epoch.
+        let staging = match std::mem::replace(&mut self.inner, RunInner::Finished) {
+            RunInner::Coordinated(epoch_session) => {
+                let staging = Arc::clone(epoch_session.staging_arc());
+                drop(epoch_session);
+                Some(staging.stats())
+            }
+            _ => None,
+        };
+        self.session
+            .record_trajectory(self.epoch, self.start, staging);
+    }
+}
+
+/// One job's minibatch stream for one epoch, in training order.
+///
+/// All modes yield `Result<Arc<Minibatch>, CoordlError>`: coordinated
+/// epochs surface producer failure and shutdown as typed errors; single and
+/// partitioned epochs never error (a single-mode epoch whose workers died
+/// simply ends early, exactly like the legacy `DataLoader`).
+pub struct BatchStream {
+    total: usize,
+    inner: StreamInner,
+}
+
+enum StreamInner {
+    Single(SingleEpochStream),
+    Coordinated(JobEpochIterator),
+    Partitioned(PartitionNodeStream),
+}
+
+impl BatchStream {
+    /// Number of minibatches this stream will deliver.
+    pub fn total_batches(&self) -> usize {
+        self.total
+    }
+}
+
+impl Iterator for BatchStream {
+    type Item = Result<Arc<Minibatch>, CoordlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.inner {
+            StreamInner::Single(s) => s.next().map(|mb| Ok(Arc::new(mb))),
+            StreamInner::Coordinated(s) => s.next(),
+            StreamInner::Partitioned(s) => s.next(),
+        }
+    }
+}
+
+/// Synchronous per-node stream of a partitioned epoch: fetches the node's
+/// shard through the cluster (local tier → peers → backend) and preps it.
+struct PartitionNodeStream {
+    cluster: Arc<PartitionedCacheCluster>,
+    pipeline: Arc<ExecutablePipeline>,
+    stats: Arc<LoaderStats>,
+    node: usize,
+    epoch: u64,
+    batches: std::vec::IntoIter<(usize, Vec<ItemId>)>,
+}
+
+impl Iterator for PartitionNodeStream {
+    type Item = Result<Arc<Minibatch>, CoordlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (index, items) = self.batches.next()?;
+        let samples = items
+            .iter()
+            .map(|&item| {
+                let (raw, _origin) = self.cluster.fetch(self.node, item);
+                self.stats.record_prepared(1);
+                self.pipeline.prepare(self.epoch, item, &raw)
+            })
+            .collect::<Vec<_>>();
+        self.stats.record_delivered(samples.len() as u64);
+        Some(Ok(Arc::new(Minibatch {
+            epoch: self.epoch,
+            index,
+            samples,
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{DatasetSpec, SyntheticItemStore};
+    use std::collections::HashSet;
+
+    fn store(items: u64, avg: u64) -> Arc<dyn DataSource> {
+        Arc::new(SyntheticItemStore::new(
+            DatasetSpec::new("sess", items, avg, 0.2, 4.0),
+            13,
+        ))
+    }
+
+    fn config(batch: usize, cache: u64) -> SessionConfig {
+        SessionConfig {
+            batch_size: batch,
+            num_workers: 2,
+            prefetch_depth: 4,
+            seed: 21,
+            cache_capacity_bytes: cache,
+            staging_window: 8,
+            take_timeout: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn single_mode_delivers_every_item_once_in_order() {
+        let session = Session::builder(store(100, 256), config(16, 1 << 20))
+            .build()
+            .unwrap();
+        let run = session.epoch(0);
+        let mut indices = Vec::new();
+        let mut items = Vec::new();
+        for mb in run.stream(0) {
+            let mb = mb.unwrap();
+            indices.push(mb.index);
+            items.extend(mb.item_ids());
+        }
+        assert_eq!(indices, (0..7).collect::<Vec<_>>());
+        assert_eq!(items.iter().collect::<HashSet<_>>().len(), 100);
+        drop(run);
+        assert_eq!(session.stats().samples_delivered(), 100);
+        let report = session.report();
+        assert_eq!(report.mode, "single");
+        assert_eq!(report.epochs.len(), 1);
+        assert_eq!(report.epochs[0].samples_delivered, 100);
+        assert_eq!(report.epochs[0].cache_misses, 100, "cold cache");
+    }
+
+    #[test]
+    fn coordinated_mode_shares_one_sweep_across_jobs() {
+        let session = Session::builder(store(120, 128), config(10, 1 << 20))
+            .mode(Mode::Coordinated { jobs: 3 })
+            .build()
+            .unwrap();
+        {
+            let run = session.epoch(0);
+            let handles: Vec<_> = (0..3)
+                .map(|j| {
+                    let stream = run.stream(j);
+                    std::thread::spawn(move || stream.map(|b| b.unwrap().len()).sum::<usize>())
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 120);
+            }
+        }
+        assert_eq!(session.stats().samples_prepared(), 120, "prepared once");
+        assert_eq!(session.stats().samples_delivered(), 3 * 120);
+        let report = session.report();
+        assert_eq!(report.mode, "coordinated");
+        assert!(report.epochs[0].staging_published > 0);
+        assert_eq!(
+            report.epochs[0].staging_published,
+            report.epochs[0].staging_evicted
+        );
+    }
+
+    #[test]
+    fn partitioned_mode_serves_peer_misses_from_remote_tiers() {
+        let items = 100u64;
+        let spec = DatasetSpec::new("sess", items, 100, 0.0, 4.0);
+        let total = spec.total_bytes();
+        let ds: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec, 9));
+        // Each node caches 65 %: together they cover the dataset.
+        let session = Session::builder(ds, config(10, total * 65 / 100))
+            .mode(Mode::Partitioned { nodes: 2 })
+            .build()
+            .unwrap();
+        for epoch in 0..3u64 {
+            let run = session.epoch(epoch);
+            for node in 0..2 {
+                for mb in run.stream(node) {
+                    assert!(!mb.unwrap().is_empty());
+                }
+            }
+        }
+        let report = session.report();
+        assert_eq!(report.mode, "partitioned");
+        assert_eq!(report.epochs.len(), 3);
+        // After warm-up the aggregate cache covers the dataset: no storage.
+        for e in &report.epochs[1..] {
+            assert_eq!(e.bytes_from_storage, 0, "epoch {}", e.epoch);
+        }
+        assert!(report.bytes_from_remote > 0, "peer fetches happened");
+        let agg = session.partitioned_cluster().unwrap().aggregate_stats();
+        assert_eq!(agg.storage_bytes, total);
+    }
+
+    #[test]
+    fn profiled_backend_shows_up_in_the_report() {
+        let session = Session::builder(store(50, 1000), config(10, 1 << 20))
+            .device_profile(storage::DeviceProfile::hdd())
+            .build()
+            .unwrap();
+        {
+            let run = session.epoch(0);
+            assert_eq!(run.stream(0).count(), 5);
+        }
+        let report = session.report();
+        assert_eq!(report.backend, "hdd");
+        assert!(report.device_seconds > 0.0);
+        assert!(report.epochs[0].device_seconds > 0.0);
+    }
+
+    #[test]
+    fn lru_policy_tier_thrashes_where_minio_does_not() {
+        // §4.1 through the new API: same workload, same capacity, two tiers.
+        let run_with = |kind: PolicyKind| {
+            let spec = DatasetSpec::new("sess", 100, 1000, 0.0, 4.0);
+            let ds: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec, 9));
+            let mut cfg = config(10, 50 * 1000);
+            cfg.num_workers = 1; // deterministic access order
+            let session = Session::builder(ds, cfg)
+                .cache_policy(kind)
+                .build()
+                .unwrap();
+            for epoch in 0..3u64 {
+                let run = session.epoch(epoch);
+                for mb in run.stream(0) {
+                    let _ = mb.unwrap();
+                }
+            }
+            let report = session.report();
+            report
+                .steady_epochs()
+                .iter()
+                .map(|e| e.cache_misses)
+                .sum::<u64>()
+        };
+        let minio_misses = run_with(PolicyKind::MinIo);
+        let lru_misses = run_with(PolicyKind::Lru);
+        assert_eq!(minio_misses, 2 * 50, "MinIO: capacity misses only");
+        assert!(
+            lru_misses > minio_misses,
+            "LRU thrashes: {lru_misses} vs {minio_misses}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn second_single_mode_stream_on_one_run_is_refused() {
+        // Silently re-running the epoch would double-count the trajectory.
+        let session = Session::builder(store(40, 128), config(8, 1 << 20))
+            .build()
+            .unwrap();
+        let run = session.epoch(0);
+        let first = run.stream(0);
+        drop(first);
+        let _second = run.stream(0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let ds = store(10, 64);
+        let bad = Session::builder(
+            Arc::clone(&ds),
+            SessionConfig {
+                batch_size: 0,
+                ..SessionConfig::default()
+            },
+        )
+        .build();
+        assert!(matches!(bad, Err(CoordlError::InvalidConfig(_))));
+        let bad = Session::builder(Arc::clone(&ds), SessionConfig::default())
+            .mode(Mode::Coordinated { jobs: 0 })
+            .build();
+        assert!(matches!(bad, Err(CoordlError::InvalidConfig(_))));
+        let bad = Session::builder(ds, SessionConfig::default())
+            .mode(Mode::Partitioned { nodes: 2 })
+            .cache_tier(Arc::new(MinIoByteCache::new(10)))
+            .build();
+        assert!(matches!(bad, Err(CoordlError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn inject_failure_recovers_through_the_session_api() {
+        let mut cfg = config(10, 1 << 22);
+        cfg.take_timeout = Duration::from_millis(250); // fast failure detection
+        let session = Session::builder(store(200, 128), cfg)
+            .mode(Mode::Coordinated { jobs: 2 })
+            .build()
+            .unwrap();
+        let run = session.epoch(0);
+        run.inject_failure(1);
+        let handles: Vec<_> = (0..2)
+            .map(|j| {
+                let stream = run.stream(j);
+                std::thread::spawn(move || {
+                    stream
+                        .map(|b| b.expect("recovered epoch completes").len())
+                        .sum::<usize>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 200);
+        }
+    }
+}

@@ -24,6 +24,29 @@ pub enum TakeError {
     Shutdown,
 }
 
+/// The typed outcome of a [`StagingArea::publish`] call, so producers react
+/// to shutdown from the return value instead of polling
+/// [`StagingArea::is_shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "producers must stop on PublishOutcome::Shutdown"]
+pub enum PublishOutcome {
+    /// The batch entered the staging area.
+    Published,
+    /// The batch was already resident or already fully consumed — a harmless
+    /// failure-recovery double publish.
+    Duplicate,
+    /// The staging area was shut down before the batch could be published;
+    /// the producer must stop.
+    Shutdown,
+}
+
+impl PublishOutcome {
+    /// True unless the staging area was shut down.
+    pub fn is_live(self) -> bool {
+        self != PublishOutcome::Shutdown
+    }
+}
+
 /// Point-in-time statistics of the staging area.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StagingStats {
@@ -103,21 +126,22 @@ impl StagingArea {
     /// always be published (no producer/consumer deadlock even when one
     /// producer runs far ahead of the others).
     ///
-    /// Returns `false` if the staging area was shut down before the batch
-    /// could be published.  Re-publishing an index that is already resident
-    /// or already fully consumed (which can happen during failure recovery)
-    /// is a harmless no-op that returns `true`.
-    pub fn publish(&self, batch: Minibatch) -> bool {
+    /// Returns [`PublishOutcome::Shutdown`] if the staging area was shut down
+    /// before the batch could be published.  Re-publishing an index that is
+    /// already resident or already fully consumed (which can happen during
+    /// failure recovery) is a harmless no-op reported as
+    /// [`PublishOutcome::Duplicate`].
+    pub fn publish(&self, batch: Minibatch) -> PublishOutcome {
         let mut inner = self.inner.lock();
         while batch.index >= inner.evicted as usize + self.window && !inner.shutdown {
             self.space.wait(&mut inner);
         }
         if inner.shutdown {
-            return false;
+            return PublishOutcome::Shutdown;
         }
         if batch.index < inner.evicted as usize || inner.slots.contains_key(&batch.index) {
             // Already delivered (or in flight): recovery double-publish.
-            return true;
+            return PublishOutcome::Duplicate;
         }
         let bytes = batch.payload_bytes();
         inner.resident_bytes += bytes;
@@ -131,7 +155,7 @@ impl StagingArea {
             },
         );
         self.available.notify_all();
-        true
+        PublishOutcome::Published
     }
 
     /// Take minibatch `index` on behalf of consumer `job`, waiting up to
@@ -225,7 +249,7 @@ mod tests {
     #[test]
     fn publish_then_take_by_all_consumers_evicts() {
         let area = StagingArea::new(2, 4);
-        assert!(area.publish(batch(0, 100)));
+        assert_eq!(area.publish(batch(0, 100)), PublishOutcome::Published);
         let a = area.take(0, 0, T).unwrap();
         assert_eq!(a.index, 0);
         assert_eq!(area.stats().resident_batches, 1, "still waiting for job 1");
@@ -243,7 +267,7 @@ mod tests {
         let a2 = Arc::clone(&area);
         let consumer = std::thread::spawn(move || a2.take(0, 0, Duration::from_secs(5)));
         std::thread::sleep(Duration::from_millis(50));
-        assert!(area.publish(batch(0, 10)));
+        assert_eq!(area.publish(batch(0, 10)), PublishOutcome::Published);
         let got = consumer.join().unwrap().unwrap();
         assert_eq!(got.index, 0);
     }
@@ -258,7 +282,7 @@ mod tests {
     #[test]
     fn double_take_by_same_job_is_refused() {
         let area = StagingArea::new(2, 2);
-        area.publish(batch(0, 10));
+        let _ = area.publish(batch(0, 10));
         area.take(0, 0, T).unwrap();
         let err = area.take(0, 0, Duration::from_millis(30)).unwrap_err();
         assert_eq!(err, TakeError::Timeout);
@@ -267,32 +291,47 @@ mod tests {
     #[test]
     fn window_applies_backpressure_to_producers() {
         let area = Arc::new(StagingArea::new(1, 2));
-        area.publish(batch(0, 10));
-        area.publish(batch(1, 10));
+        let _ = area.publish(batch(0, 10));
+        let _ = area.publish(batch(1, 10));
         let a2 = Arc::clone(&area);
         let producer = std::thread::spawn(move || a2.publish(batch(2, 10)));
         std::thread::sleep(Duration::from_millis(50));
         assert_eq!(area.stats().resident_batches, 2, "third publish must wait");
         // Consuming batch 0 frees a slot.
         area.take(0, 0, T).unwrap();
-        assert!(producer.join().unwrap());
+        assert_eq!(producer.join().unwrap(), PublishOutcome::Published);
         assert_eq!(area.stats().published, 3);
+    }
+
+    #[test]
+    fn recovery_double_publish_is_reported_as_duplicate() {
+        let area = StagingArea::new(2, 4);
+        assert_eq!(area.publish(batch(0, 10)), PublishOutcome::Published);
+        assert_eq!(area.publish(batch(0, 10)), PublishOutcome::Duplicate);
+        // Fully consumed and evicted: re-publishing is still a duplicate.
+        area.take(0, 0, T).unwrap();
+        area.take(1, 0, T).unwrap();
+        assert_eq!(area.publish(batch(0, 10)), PublishOutcome::Duplicate);
+        assert_eq!(area.stats().published, 1);
     }
 
     #[test]
     fn shutdown_wakes_blocked_consumers_and_producers() {
         let area = Arc::new(StagingArea::new(1, 1));
-        area.publish(batch(0, 10));
+        let _ = area.publish(batch(0, 10));
         let a2 = Arc::clone(&area);
         let blocked_producer = std::thread::spawn(move || a2.publish(batch(1, 10)));
         let a3 = Arc::clone(&area);
         let blocked_consumer = std::thread::spawn(move || a3.take(0, 99, Duration::from_secs(10)));
         std::thread::sleep(Duration::from_millis(50));
         area.shutdown();
-        assert!(
-            !blocked_producer.join().unwrap(),
+        let outcome = blocked_producer.join().unwrap();
+        assert_eq!(
+            outcome,
+            PublishOutcome::Shutdown,
             "publish reports shutdown"
         );
+        assert!(!outcome.is_live());
         assert_eq!(
             blocked_consumer.join().unwrap().unwrap_err(),
             TakeError::Shutdown
@@ -308,7 +347,7 @@ mod tests {
         let a2 = Arc::clone(&area);
         let producer = std::thread::spawn(move || {
             for i in 0..50 {
-                assert!(a2.publish(batch(i, 1000)));
+                assert_eq!(a2.publish(batch(i, 1000)), PublishOutcome::Published);
             }
         });
         for i in 0..50 {

@@ -1,0 +1,286 @@
+//! Pluggable byte-cache tiers.
+//!
+//! A [`CacheTier`] sits between a [`Session`](crate::Session)'s prep workers
+//! and its [`FetchBackend`](crate::FetchBackend).  Two implementations ship
+//! with the crate:
+//!
+//! * [`MinIoByteCache`] — CoorDL's own never-evict policy (§4.1), the
+//!   default tier;
+//! * [`PolicyByteCache`] — any `coordl-cache` replacement policy (LRU, FIFO,
+//!   CLOCK, MinIO) holding real item bytes, so the runtime can reproduce the
+//!   page-cache thrashing the paper measures with the *same* policy code the
+//!   simulator's [`storage::StorageNode`] uses.
+
+use crate::cache::MinIoByteCache;
+use dataset::ItemId;
+use dcache::{build_cache, AccessOutcome, Cache, PolicyKind};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A thread-safe byte cache tier keyed by item id.
+///
+/// `lookup` and `admit` mirror the two halves of a fetch: every lookup miss
+/// is expected to be followed by an `admit` of the bytes read from the next
+/// tier down, which is when the policy decides whether to retain them (and
+/// what to evict).  Hit/miss counters therefore count *fetches*, exactly as
+/// the simulator's cache statistics do.
+pub trait CacheTier: Send + Sync {
+    /// Look `item` up, returning its bytes on a hit.
+    fn lookup(&self, item: ItemId) -> Option<Arc<Vec<u8>>>;
+
+    /// Offer `bytes` for `item` after a miss.  The tier admits (and possibly
+    /// evicts) according to its policy; the caller always keeps a usable
+    /// reference.
+    fn admit(&self, item: ItemId, bytes: Arc<Vec<u8>>) -> Arc<Vec<u8>>;
+
+    /// Whether `item` is currently resident.
+    fn contains(&self, item: ItemId) -> bool;
+
+    /// Bytes currently resident.
+    fn used_bytes(&self) -> u64;
+
+    /// Capacity in bytes.
+    fn capacity_bytes(&self) -> u64;
+
+    /// Number of resident items.
+    fn resident_items(&self) -> usize;
+
+    /// Lookup hits since construction.
+    fn hits(&self) -> u64;
+
+    /// Lookup misses since construction.
+    fn misses(&self) -> u64;
+
+    /// Name of the replacement policy.
+    fn policy_name(&self) -> &'static str;
+}
+
+impl CacheTier for MinIoByteCache {
+    fn lookup(&self, item: ItemId) -> Option<Arc<Vec<u8>>> {
+        self.get(item)
+    }
+
+    fn admit(&self, item: ItemId, bytes: Arc<Vec<u8>>) -> Arc<Vec<u8>> {
+        self.insert(item, bytes)
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        MinIoByteCache::contains(self, item)
+    }
+
+    fn used_bytes(&self) -> u64 {
+        MinIoByteCache::used_bytes(self)
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        MinIoByteCache::capacity_bytes(self)
+    }
+
+    fn resident_items(&self) -> usize {
+        self.len()
+    }
+
+    fn hits(&self) -> u64 {
+        MinIoByteCache::hits(self)
+    }
+
+    fn misses(&self) -> u64 {
+        MinIoByteCache::misses(self)
+    }
+
+    fn policy_name(&self) -> &'static str {
+        PolicyKind::MinIo.name()
+    }
+}
+
+struct PolicyInner {
+    policy: Box<dyn Cache<u64> + Send>,
+    bytes: HashMap<ItemId, Arc<Vec<u8>>>,
+    // Fetch counters live in the wrapper, not the policy: with concurrent
+    // workers, a lookup miss raced by another worker's admit would otherwise
+    // be lost (the policy sees neither a miss nor a hit for it).  Counting
+    // at lookup time matches MinIoByteCache exactly: one hit or one miss per
+    // fetch, always.
+    hits: u64,
+    misses: u64,
+}
+
+/// A byte-holding cache tier driven by any `coordl-cache` replacement
+/// policy.
+///
+/// The policy decides residency and eviction; this wrapper stores the actual
+/// payloads and drops them as soon as the policy reports their eviction (via
+/// [`Cache::take_evicted`]), so resident bytes always equal what the policy
+/// accounts.
+pub struct PolicyByteCache {
+    inner: Mutex<PolicyInner>,
+    name: &'static str,
+}
+
+impl PolicyByteCache {
+    /// Create a byte cache driven by `kind` with the given byte capacity.
+    pub fn new(kind: PolicyKind, capacity_bytes: u64) -> Self {
+        let mut policy = build_cache(kind, capacity_bytes);
+        // Victim logging is opt-in (plain simulations skip it); this wrapper
+        // needs it to drop payloads alongside their evicted entries.
+        policy.set_eviction_tracking(true);
+        PolicyByteCache {
+            inner: Mutex::new(PolicyInner {
+                policy,
+                bytes: HashMap::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            name: kind.name(),
+        }
+    }
+}
+
+impl CacheTier for PolicyByteCache {
+    fn lookup(&self, item: ItemId) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        let Some(bytes) = inner.bytes.get(&item).map(Arc::clone) else {
+            inner.misses += 1;
+            return None;
+        };
+        inner.hits += 1;
+        // Touch recency in the policy (LRU promotion, CLOCK bit, ...).
+        let outcome = inner.policy.access(item, bytes.len() as u64);
+        debug_assert_eq!(outcome, AccessOutcome::Hit);
+        Some(bytes)
+    }
+
+    fn admit(&self, item: ItemId, bytes: Arc<Vec<u8>>) -> Arc<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        if inner.bytes.contains_key(&item) {
+            // A concurrent worker admitted it first; keep the resident copy.
+            return Arc::clone(&inner.bytes[&item]);
+        }
+        let outcome = inner.policy.access(item, bytes.len() as u64);
+        for victim in inner.policy.take_evicted() {
+            inner.bytes.remove(&victim);
+        }
+        if outcome == AccessOutcome::Inserted {
+            inner.bytes.insert(item, Arc::clone(&bytes));
+        }
+        bytes
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.inner.lock().policy.contains(&item)
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.inner.lock().policy.used_bytes()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.lock().policy.capacity_bytes()
+    }
+
+    fn resident_items(&self) -> usize {
+        self.inner.lock().policy.len()
+    }
+
+    fn hits(&self) -> u64 {
+        self.inner.lock().hits
+    }
+
+    fn misses(&self) -> u64 {
+        self.inner.lock().misses
+    }
+
+    fn policy_name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(item: ItemId, len: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![item as u8; len])
+    }
+
+    #[test]
+    fn lru_tier_evicts_payloads_with_their_entries() {
+        let tier = PolicyByteCache::new(PolicyKind::Lru, 2);
+        for item in 0..4u64 {
+            assert!(tier.lookup(item).is_none());
+            tier.admit(item, payload(item, 1));
+        }
+        // Capacity 2: items 0 and 1 were evicted, payloads dropped with them.
+        assert!(!tier.contains(0) && !tier.contains(1));
+        assert!(tier.contains(2) && tier.contains(3));
+        assert_eq!(tier.resident_items(), 2);
+        assert_eq!(tier.used_bytes(), 2);
+        assert!(tier.lookup(0).is_none());
+        assert_eq!(tier.lookup(3).unwrap().as_slice(), &[3]);
+    }
+
+    #[test]
+    fn lru_tier_promotes_on_lookup() {
+        let tier = PolicyByteCache::new(PolicyKind::Lru, 2);
+        tier.admit(1, payload(1, 1));
+        tier.admit(2, payload(2, 1));
+        let _ = tier.lookup(1); // touch 1: 2 becomes the victim
+        tier.admit(3, payload(3, 1));
+        assert!(tier.contains(1) && !tier.contains(2) && tier.contains(3));
+    }
+
+    #[test]
+    fn minio_policy_tier_matches_minio_byte_cache_semantics() {
+        let tier = PolicyByteCache::new(PolicyKind::MinIo, 2);
+        let native = MinIoByteCache::new(2);
+        for item in 0..5u64 {
+            if tier.lookup(item).is_none() {
+                tier.admit(item, payload(item, 1));
+            }
+            if CacheTier::lookup(&native, item).is_none() {
+                CacheTier::admit(&native, item, payload(item, 1));
+            }
+        }
+        assert_eq!(tier.resident_items(), native.resident_items());
+        assert_eq!(tier.used_bytes(), CacheTier::used_bytes(&native));
+        for item in 0..5u64 {
+            assert_eq!(tier.contains(item), CacheTier::contains(&native, item));
+        }
+    }
+
+    #[test]
+    fn racing_admits_still_count_one_miss_per_fetch() {
+        // Two workers can both lookup-miss the same item before either
+        // admits it; the loser's admit is a no-op, but both fetches must be
+        // accounted (one miss each), matching the bytes they actually read
+        // from the backend.
+        let tier = PolicyByteCache::new(PolicyKind::Lru, 1 << 20);
+        assert!(tier.lookup(7).is_none());
+        assert!(tier.lookup(7).is_none()); // second worker, same race window
+        tier.admit(7, payload(7, 4));
+        tier.admit(7, payload(7, 4)); // loser's admit: keeps resident copy
+        assert_eq!(tier.misses(), 2, "both fetches were misses");
+        assert_eq!(tier.hits(), 0);
+        assert_eq!(tier.resident_items(), 1);
+        assert_eq!(tier.lookup(7).unwrap().as_slice(), &[7; 4]);
+        assert_eq!(tier.hits(), 1);
+    }
+
+    #[test]
+    fn hit_and_miss_counters_count_fetches() {
+        let tier = PolicyByteCache::new(PolicyKind::Fifo, 1 << 20);
+        for epoch in 0..3 {
+            for item in 0..10u64 {
+                match tier.lookup(item) {
+                    Some(_) => assert!(epoch > 0),
+                    None => {
+                        tier.admit(item, payload(item, 8));
+                    }
+                }
+            }
+        }
+        assert_eq!(tier.misses(), 10);
+        assert_eq!(tier.hits(), 20);
+    }
+}

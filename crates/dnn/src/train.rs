@@ -1,14 +1,14 @@
-//! Training loops that consume CoorDL loaders.
+//! Training loops that consume CoorDL sessions.
 //!
-//! Both entry points decode `LabeledVectorStore` items delivered by a loader
-//! into feature matrices and run the same SGD loop, so any difference in
-//! accuracy between the baseline path and the coordinated path could only
-//! come from the loaders delivering different sample streams — which is
-//! exactly what the tests rule out.
+//! Both entry points decode `LabeledVectorStore` items delivered by a
+//! [`Session`] into feature matrices and run the same SGD loop, so any
+//! difference in accuracy between the baseline path and the coordinated path
+//! could only come from the loaders delivering different sample streams —
+//! which is exactly what the tests rule out.
 
 use crate::mlp::Mlp;
 use crate::tensor::Matrix;
-use coordl::{CoordinatedJobGroup, DataLoader, Minibatch};
+use coordl::{Minibatch, Session};
 use dataset::{DataSource, LabeledVectorStore};
 
 /// Training-run configuration.
@@ -68,12 +68,12 @@ fn evaluate(model: &Mlp, store: &LabeledVectorStore) -> f64 {
     model.accuracy(&Matrix::from_vec(n as usize, dims, data), &labels)
 }
 
-/// Train an MLP by pulling minibatches from a single-job [`DataLoader`].
+/// Train an MLP by pulling minibatches from a single-mode [`Session`].
 ///
-/// The loader must be backed by a [`LabeledVectorStore`] (passed again here
+/// The session must be backed by a [`LabeledVectorStore`] (passed again here
 /// for decoding metadata and evaluation).
 pub fn train_through_loader(
-    loader: &DataLoader,
+    session: &Session,
     store: &LabeledVectorStore,
     config: &TrainConfig,
 ) -> Vec<EpochAccuracy> {
@@ -86,7 +86,9 @@ pub fn train_through_loader(
     let mut history = Vec::new();
     for epoch in 0..config.epochs {
         let mut losses = Vec::new();
-        for batch in loader.epoch(epoch) {
+        let run = session.epoch(epoch);
+        for batch in run.stream(0) {
+            let batch = batch.expect("single-mode epoch should complete");
             let (x, y) = batch_to_matrix(&batch, store.dims());
             losses.push(model.train_batch(&x, &y) as f64);
         }
@@ -99,14 +101,15 @@ pub fn train_through_loader(
     history
 }
 
-/// Train one MLP per job of a [`CoordinatedJobGroup`], all sharing the single
-/// fetch + prep sweep per epoch, and return each job's accuracy history.
+/// Train one MLP per job of a coordinated [`Session`], all sharing the
+/// single fetch + prep sweep per epoch, and return each job's accuracy
+/// history.
 pub fn train_through_coordinated_group(
-    group: &CoordinatedJobGroup,
+    session: &Session,
     store: &LabeledVectorStore,
     config: &TrainConfig,
 ) -> Vec<Vec<EpochAccuracy>> {
-    let num_jobs = group.num_jobs();
+    let num_jobs = session.num_jobs();
     let mut models: Vec<Mlp> = (0..num_jobs)
         .map(|j| {
             Mlp::new(
@@ -123,17 +126,17 @@ pub fn train_through_coordinated_group(
     let mut history = vec![Vec::new(); num_jobs];
 
     for epoch in 0..config.epochs {
-        let session = group.run_epoch(epoch);
+        let run = session.epoch(epoch);
         // Consumers run on their own threads, as concurrent HP jobs would.
         let handles: Vec<_> = models
             .drain(..)
             .enumerate()
             .map(|(j, mut model)| {
-                let it = session.consumer(j);
+                let stream = run.stream(j);
                 let dims = store.dims();
                 std::thread::spawn(move || {
                     let mut losses = Vec::new();
-                    for batch in it {
+                    for batch in stream {
                         let batch = batch.expect("coordinated epoch should not fail");
                         let mut data = Vec::with_capacity(batch.len() * dims);
                         let mut labels = Vec::with_capacity(batch.len());
@@ -165,7 +168,7 @@ pub fn train_through_coordinated_group(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coordl::{CoordinatedConfig, DataLoaderConfig};
+    use coordl::{Mode, SessionConfig};
     use prep::{ExecutablePipeline, PrepPipeline};
     use std::sync::Arc;
     use std::time::Duration;
@@ -189,26 +192,34 @@ mod tests {
         Arc::new(LabeledVectorStore::new(240, 8, 3, 77))
     }
 
-    fn loader_config() -> DataLoaderConfig {
-        DataLoaderConfig {
+    fn session_config() -> SessionConfig {
+        SessionConfig {
             batch_size: 24,
             num_workers: 2,
             prefetch_depth: 4,
             seed: 5,
             cache_capacity_bytes: 1 << 20,
+            staging_window: 8,
+            take_timeout: Duration::from_secs(2),
         }
+    }
+
+    fn session(store: &Arc<LabeledVectorStore>, mode: Mode) -> Session {
+        Session::builder(
+            Arc::clone(store) as Arc<dyn dataset::DataSource>,
+            session_config(),
+        )
+        .mode(mode)
+        .pipeline(identity_pipeline())
+        .build()
+        .unwrap()
     }
 
     #[test]
     fn model_learns_through_the_plain_loader() {
         let store = store();
-        let loader = DataLoader::new(
-            Arc::clone(&store) as Arc<dyn dataset::DataSource>,
-            identity_pipeline(),
-            loader_config(),
-        )
-        .unwrap();
-        let history = train_through_loader(&loader, &store, &TrainConfig::default());
+        let single = session(&store, Mode::Single);
+        let history = train_through_loader(&single, &store, &TrainConfig::default());
         assert_eq!(history.len(), 5);
         let final_acc = history.last().unwrap().accuracy;
         assert!(final_acc > 0.8, "final accuracy {final_acc}");
@@ -227,28 +238,11 @@ mod tests {
             ..TrainConfig::default()
         };
 
-        let loader = DataLoader::new(
-            Arc::clone(&store) as Arc<dyn dataset::DataSource>,
-            identity_pipeline(),
-            loader_config(),
-        )
-        .unwrap();
-        let baseline = train_through_loader(&loader, &store, &config);
+        let single = session(&store, Mode::Single);
+        let baseline = train_through_loader(&single, &store, &config);
 
-        let group = CoordinatedJobGroup::new(
-            Arc::clone(&store) as Arc<dyn dataset::DataSource>,
-            identity_pipeline(),
-            CoordinatedConfig {
-                num_jobs: 2,
-                batch_size: 24,
-                staging_window: 8,
-                seed: 5, // same shuffle seed as the plain loader
-                cache_capacity_bytes: 1 << 20,
-                take_timeout: Duration::from_secs(2),
-            },
-        )
-        .unwrap();
-        let coordinated = train_through_coordinated_group(&group, &store, &config);
+        let coordinated_session = session(&store, Mode::Coordinated { jobs: 2 });
+        let coordinated = train_through_coordinated_group(&coordinated_session, &store, &config);
 
         // Job 0 shares the baseline's model seed and sample order: the
         // trajectories must be identical epoch by epoch.

@@ -11,7 +11,7 @@
 //!
 //! Run with `cargo run --release --example distributed_training`.
 
-use datastalls::coordl::{FetchOrigin, PartitionedCacheCluster};
+use datastalls::coordl::{Mode, Session, SessionConfig};
 use datastalls::prelude::*;
 use std::sync::Arc;
 
@@ -76,40 +76,63 @@ fn simulated_comparison() {
 
 fn functional_partitioned_cache() {
     // The same mechanism on real bytes: two "servers", each with a MinIO
-    // cache holding half the dataset.  After the first epoch every fetch is
-    // served from DRAM — local or remote — and storage is never touched.
+    // cache holding 60 % of the dataset.  After the first epoch every fetch
+    // is served from DRAM — local or remote — and storage is never touched.
     let spec = DatasetSpec::new("func-dist", 2048, 8192, 0.2, 4.0);
     let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec.clone(), 3));
-    let per_server_cache = spec.total_bytes() * 6 / 10; // 60 % of the dataset each
-    let cluster = PartitionedCacheCluster::new(Arc::clone(&store), 2, per_server_cache);
+    let session = Session::builder(
+        Arc::clone(&store),
+        SessionConfig {
+            batch_size: 64,
+            seed: 42,
+            cache_capacity_bytes: spec.total_bytes() * 6 / 10, // per node
+            ..SessionConfig::default()
+        },
+    )
+    .mode(Mode::Partitioned { nodes: 2 })
+    .build()
+    .expect("valid partitioned session");
 
     println!("\n== Functional: 2-server partitioned MinIO cache ==");
+    let mut prev = datastalls::coordl::PartitionStats::default();
     for epoch in 0..3u64 {
-        let mut origins = [0u64; 3]; // local, remote, storage
-        for server in 0..2usize {
-            // Each server processes a random half of the items this epoch.
-            let shard = datastalls::dataset::EpochSampler::new(store.len(), 42)
-                .distributed_shard(epoch, server, 2);
-            for item in shard {
-                let (_bytes, origin) = cluster.fetch(server, item);
-                match origin {
-                    FetchOrigin::LocalCache => origins[0] += 1,
-                    FetchOrigin::RemoteCache(_) => origins[1] += 1,
-                    FetchOrigin::Storage => origins[2] += 1,
+        {
+            let run = session.epoch(epoch);
+            for node in 0..2usize {
+                // Each node preps its random half of the items this epoch.
+                for batch in run.stream(node) {
+                    assert!(!batch.expect("partitioned epochs do not fail").is_empty());
                 }
             }
         }
+        let agg = session
+            .partitioned_cluster()
+            .expect("partitioned session")
+            .aggregate_stats();
+        let (local, remote, storage) = (
+            agg.local_hits - prev.local_hits,
+            agg.remote_hits - prev.remote_hits,
+            agg.storage_reads - prev.storage_reads,
+        );
+        prev = agg;
         println!(
-            "epoch {epoch}: {:5} local-cache hits, {:5} remote-cache hits, {:5} storage reads",
-            origins[0], origins[1], origins[2]
+            "epoch {epoch}: {local:5} local-cache hits, {remote:5} remote-cache hits, \
+             {storage:5} storage reads"
         );
         if epoch > 0 {
             assert_eq!(
-                origins[2], 0,
+                storage, 0,
                 "after warm-up the aggregate cache covers the dataset: no storage reads"
             );
         }
     }
+    let report = session.report();
+    println!(
+        "runtime report: hit ratio {:.1}%, {} bytes from peers, JSON bytes {}",
+        report.hit_ratio() * 100.0,
+        report.bytes_from_remote,
+        report.to_json().len()
+    );
 }
 
 fn main() {

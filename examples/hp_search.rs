@@ -13,7 +13,7 @@
 //!
 //! Run with `cargo run --release --example hp_search`.
 
-use datastalls::coordl::{CoordinatedConfig, CoordinatedJobGroup};
+use datastalls::coordl::{Mode, Session, SessionConfig};
 use datastalls::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -67,18 +67,20 @@ fn functional_comparison() {
     let pipeline = ExecutablePipeline::new(PrepPipeline::image_classification(), 4, 99);
     let num_jobs = 4;
 
-    let group = CoordinatedJobGroup::new(
+    let session = Session::builder(
         Arc::clone(&store),
-        pipeline,
-        CoordinatedConfig {
-            num_jobs,
+        SessionConfig {
             batch_size: 64,
             staging_window: 16,
             seed: 11,
             cache_capacity_bytes: 16 << 20,
             take_timeout: Duration::from_secs(5),
+            ..SessionConfig::default()
         },
     )
+    .mode(Mode::Coordinated { jobs: num_jobs })
+    .pipeline(pipeline)
+    .build()
     .expect("valid coordinated-prep configuration");
 
     println!(
@@ -86,14 +88,14 @@ fn functional_comparison() {
         num_jobs
     );
     for epoch in 0..2u64 {
-        let session = group.run_epoch(epoch);
+        let run = session.epoch(epoch);
         let handles: Vec<_> = (0..num_jobs)
             .map(|job| {
-                let consumer = session.consumer(job);
+                let stream = run.stream(job);
                 std::thread::spawn(move || {
                     let mut seen: HashMap<u64, u64> = HashMap::new();
                     let mut batches = 0usize;
-                    for batch in consumer {
+                    for batch in stream {
                         let batch = batch.expect("epoch should complete");
                         for sample in &batch.samples {
                             *seen.entry(sample.item).or_default() += 1;
@@ -120,12 +122,23 @@ fn functional_comparison() {
             assert_eq!(seen.len() as u64, store.len());
         }
     }
-    let stats = group.stats();
+    let report = session.report();
     println!(
         "samples prepared once for all jobs: {} prepared vs {} delivered ({}x reuse)",
-        stats.samples_prepared(),
-        stats.samples_delivered(),
-        stats.samples_delivered() / stats.samples_prepared().max(1)
+        report.samples_prepared,
+        report.samples_delivered,
+        report.samples_delivered / report.samples_prepared.max(1)
+    );
+    println!(
+        "staging peak: {} bytes over {} epochs (window {})",
+        report
+            .epochs
+            .iter()
+            .map(|e| e.staging_peak_bytes)
+            .max()
+            .unwrap_or(0),
+        report.epochs.len(),
+        session.config().staging_window
     );
 }
 

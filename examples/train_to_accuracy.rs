@@ -18,7 +18,7 @@
 //!
 //! Run with `cargo run --release --example train_to_accuracy`.
 
-use datastalls::coordl::{CoordinatedConfig, CoordinatedJobGroup, DataLoader, DataLoaderConfig};
+use datastalls::coordl::{Mode, Session, SessionConfig};
 use datastalls::dnn::{train_through_coordinated_group, train_through_loader, TrainConfig};
 use datastalls::prelude::*;
 use std::sync::Arc;
@@ -46,34 +46,33 @@ fn accuracy_equivalence() {
         seed: 7,
     };
 
-    let loader = DataLoader::new(
+    // Both sessions share one config — the coordinated run differs only in
+    // its mode, which is the point: coordination must not change training.
+    let session_config = SessionConfig {
+        batch_size: 32,
+        num_workers: 2,
+        prefetch_depth: 4,
+        seed: 13,
+        cache_capacity_bytes: 8 << 20,
+        staging_window: 8,
+        take_timeout: Duration::from_secs(5),
+    };
+    let single = Session::builder(
         Arc::clone(&store) as Arc<dyn DataSource>,
-        identity_pipeline(),
-        DataLoaderConfig {
-            batch_size: 32,
-            num_workers: 2,
-            prefetch_depth: 4,
-            seed: 13,
-            cache_capacity_bytes: 8 << 20,
-        },
+        session_config.clone(),
     )
+    .pipeline(identity_pipeline())
+    .build()
     .expect("valid loader config");
-    let baseline = train_through_loader(&loader, &store, &config);
+    let baseline = train_through_loader(&single, &store, &config);
 
-    let group = CoordinatedJobGroup::new(
-        Arc::clone(&store) as Arc<dyn DataSource>,
-        identity_pipeline(),
-        CoordinatedConfig {
-            num_jobs: 2,
-            batch_size: 32,
-            staging_window: 8,
-            seed: 13, // same shuffle seed as the plain loader
-            cache_capacity_bytes: 8 << 20,
-            take_timeout: Duration::from_secs(5),
-        },
-    )
-    .expect("valid coordinated config");
-    let coordinated = train_through_coordinated_group(&group, &store, &config);
+    let coordinated_session =
+        Session::builder(Arc::clone(&store) as Arc<dyn DataSource>, session_config)
+            .mode(Mode::Coordinated { jobs: 2 })
+            .pipeline(identity_pipeline())
+            .build()
+            .expect("valid coordinated config");
+    let coordinated = train_through_coordinated_group(&coordinated_session, &store, &config);
 
     println!("== Accuracy vs epoch: plain loader vs coordinated prep (job 0) ==");
     println!(

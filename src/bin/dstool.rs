@@ -24,7 +24,10 @@
 //! Refresh the baseline after an intentional change with
 //! `cargo run --release --bin dstool -- smoke --out ci/bench_baseline.json`.
 
-use benchkit::{find_suite, SweepSuite, Table, SMOKE_EXTRA_SCALE, SUITES};
+use benchkit::{
+    find_suite, run_validation, GateKind, SweepSuite, Table, ValidationConfig, SMOKE_EXTRA_SCALE,
+    SUITES,
+};
 use datastalls::pipeline::json::{self, Value};
 use datastalls::pipeline::{SweepReport, SweepRunner};
 use std::process::ExitCode;
@@ -46,6 +49,11 @@ fn usage() -> &'static str {
      \u{20} smoke                        CI smoke: every suite, parallel vs serial\n\
      \u{20}       [--threads N] [--scale N] [--out FILE]\n\
      \u{20}       [--baseline FILE] [--tolerance FRAC]\n\
+     \u{20} validate                     run the same workload through the\n\
+     \u{20}       simulator (Experiment) and the runtime (Session) and gate\n\
+     \u{20}       the predicted-vs-empirical deltas (Table 5 / Figure 16)\n\
+     \u{20}       [--scale N] [--cache-frac F] [--jobs N] [--epochs N]\n\
+     \u{20}       [--tolerance FRAC] [--out FILE]\n\
      \n\
      sweep options:\n\
      \u{20} --threads N    worker threads (default: one per core, min 2)\n\
@@ -57,7 +65,15 @@ fn usage() -> &'static str {
      smoke options:\n\
      \u{20} --out FILE        summary JSON path (default BENCH_sweep.json)\n\
      \u{20} --baseline FILE   fail on >tolerance throughput regressions\n\
-     \u{20} --tolerance FRAC  regression tolerance (default 0.10)"
+     \u{20} --tolerance FRAC  regression tolerance (default 0.10)\n\
+     \n\
+     validate options:\n\
+     \u{20} --scale N         ImageNet-1k scale-down (default 4000)\n\
+     \u{20} --cache-frac F    cache fraction of the dataset (default 0.35)\n\
+     \u{20} --jobs N          coordinated HP-search jobs (default 4)\n\
+     \u{20} --epochs N        epochs incl. warm-up (default 3, min 2)\n\
+     \u{20} --tolerance FRAC  gate tolerance (default 0.05)\n\
+     \u{20} --out FILE        JSON report path (default VALIDATE.json)"
 }
 
 struct SweepCmd {
@@ -76,11 +92,17 @@ struct SmokeCmd {
     tolerance: f64,
 }
 
+struct ValidateCmd {
+    config: ValidationConfig,
+    out: String,
+}
+
 enum Command {
     Help,
     List,
     Sweep(SweepCmd),
     Smoke(SmokeCmd),
+    Validate(ValidateCmd),
 }
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -96,6 +118,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         "sweep" => parse_sweep(&rest),
         "smoke" => parse_smoke(&rest),
+        "validate" => parse_validate(&rest),
         "--help" | "-h" | "help" => Ok(Command::Help),
         other => Err(format!("unknown command {other}\n\n{}", usage())),
     }
@@ -183,6 +206,59 @@ fn parse_smoke(args: &[&String]) -> Result<Command, String> {
         }
     }
     Ok(Command::Smoke(cmd))
+}
+
+fn parse_validate(args: &[&String]) -> Result<Command, String> {
+    let mut cmd = ValidateCmd {
+        config: ValidationConfig::default(),
+        out: "VALIDATE.json".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next()
+                .copied()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scale" => cmd.config.scale = parse_scale(value()?)?,
+            "--cache-frac" => {
+                let v = value()?;
+                cmd.config.cache_fraction = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| (0.01..=1.0).contains(f))
+                    .ok_or_else(|| format!("cache-frac must be in [0.01,1], got {v}"))?;
+            }
+            "--jobs" => {
+                let v = value()?;
+                cmd.config.jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| (1..=64).contains(&n))
+                    .ok_or_else(|| format!("jobs must be 1..=64, got {v}"))?;
+            }
+            "--epochs" => {
+                let v = value()?;
+                cmd.config.epochs = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| (2..=16).contains(&n))
+                    .ok_or_else(|| format!("epochs must be 2..=16, got {v}"))?;
+            }
+            "--tolerance" => {
+                let v = value()?;
+                cmd.config.tolerance = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| (0.0..1.0).contains(t))
+                    .ok_or_else(|| format!("tolerance must be in [0,1), got {v}"))?;
+            }
+            "--out" => cmd.out = value()?.clone(),
+            other => return Err(format!("unknown flag {other}\n\n{}", usage())),
+        }
+    }
+    Ok(Command::Validate(cmd))
 }
 
 fn parse_threads(v: &str) -> Result<usize, String> {
@@ -474,6 +550,76 @@ fn check_baseline(
     }
 }
 
+fn run_validate(cmd: &ValidateCmd) -> Result<(), String> {
+    println!(
+        "dstool validate: ImageNet-1k/{} at {:.0}% cache, {} HP jobs, {} epochs",
+        cmd.config.scale,
+        cmd.config.cache_fraction * 100.0,
+        cmd.config.jobs,
+        cmd.config.epochs
+    );
+    let report = run_validation(&cmd.config);
+    let mut table = Table::new(
+        "Predicted (Experiment) vs empirical (Session)",
+        &[
+            "scenario",
+            "metric",
+            "predicted",
+            "empirical",
+            "delta",
+            "gate",
+        ],
+    )
+    .with_caption(
+        "hit ratios gated absolutely, byte counts relatively; \
+         stall-vs-device seconds reported for context (Table 5 / Figure 16)",
+    );
+    for row in &report.rows {
+        let gate = match row.gate {
+            GateKind::Informational => "info".to_string(),
+            _ if row.passes(report.config.tolerance) => "pass".to_string(),
+            _ => "FAIL".to_string(),
+        };
+        table.row(&[
+            row.scenario.to_string(),
+            row.metric.to_string(),
+            format!("{:.4}", row.predicted),
+            format!("{:.4}", row.empirical),
+            format!("{:.4}", row.delta()),
+            gate,
+        ]);
+    }
+    table.print();
+
+    std::fs::write(&cmd.out, report.to_json())
+        .map_err(|e| format!("cannot write {}: {e}", cmd.out))?;
+    println!("wrote {}", cmd.out);
+
+    if report.passed() {
+        println!(
+            "validation gate passed: every gated delta within {:.0}%",
+            report.config.tolerance * 100.0
+        );
+        Ok(())
+    } else {
+        let lines: Vec<String> = report
+            .failures()
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}/{}: predicted {:.4} vs empirical {:.4}",
+                    r.scenario, r.metric, r.predicted, r.empirical
+                )
+            })
+            .collect();
+        Err(format!(
+            "predicted-vs-empirical gate failed ({} row(s)):\n  {}",
+            lines.len(),
+            lines.join("\n  ")
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let outcome = match parse_args(&args) {
@@ -487,6 +633,7 @@ fn main() -> ExitCode {
         }
         Ok(Command::Sweep(cmd)) => run_sweep(&cmd),
         Ok(Command::Smoke(cmd)) => run_smoke(&cmd),
+        Ok(Command::Validate(cmd)) => run_validate(&cmd),
         Err(msg) => Err(msg),
     };
     match outcome {
@@ -579,6 +726,46 @@ mod tests {
         // smoke exists to prove the parallel path.
         assert!(parse_args(&args(&["smoke", "--threads", "1"])).is_err());
         assert!(parse_args(&args(&["smoke", "--tolerance", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn validate_defaults_and_flags() {
+        let Ok(Command::Validate(cmd)) = parse_args(&args(&["validate"])) else {
+            panic!("expected validate command");
+        };
+        assert_eq!(cmd.config.scale, 4000);
+        assert!((cmd.config.cache_fraction - 0.35).abs() < 1e-12);
+        assert_eq!(cmd.config.jobs, 4);
+        assert_eq!(cmd.config.epochs, 3);
+        assert_eq!(cmd.out, "VALIDATE.json");
+
+        let Ok(Command::Validate(cmd)) = parse_args(&args(&[
+            "validate",
+            "--scale",
+            "16000",
+            "--cache-frac",
+            "0.5",
+            "--jobs",
+            "2",
+            "--epochs",
+            "2",
+            "--tolerance",
+            "0.08",
+            "--out",
+            "v.json",
+        ])) else {
+            panic!("expected validate command");
+        };
+        assert_eq!(cmd.config.scale, 16000);
+        assert!((cmd.config.cache_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(cmd.config.jobs, 2);
+        assert_eq!(cmd.config.epochs, 2);
+        assert!((cmd.config.tolerance - 0.08).abs() < 1e-12);
+        assert_eq!(cmd.out, "v.json");
+
+        assert!(parse_args(&args(&["validate", "--epochs", "1"])).is_err());
+        assert!(parse_args(&args(&["validate", "--cache-frac", "2.0"])).is_err());
+        assert!(parse_args(&args(&["validate", "--bogus"])).is_err());
     }
 
     #[test]

@@ -12,9 +12,14 @@
 //!   techniques: the never-evict **MinIO** cache, **partitioned caching**
 //!   across the servers of a distributed job, and **coordinated prep** that
 //!   shares one fetch-and-prep sweep among concurrent hyper-parameter-search
-//!   jobs.  This is a *functional*, multi-threaded implementation that really
-//!   moves bytes — exactly-once delivery, per-epoch randomness and failure
-//!   handling are enforced by the types and verified by tests.
+//!   jobs.  All three run behind one [`coordl::Session`] builder (mirroring
+//!   [`pipeline::Experiment`]) with pluggable cache tiers and fetch
+//!   backends.  This is a *functional*, multi-threaded implementation that
+//!   really moves bytes — exactly-once delivery, per-epoch randomness and
+//!   failure handling are enforced by the types and verified by tests — and
+//!   every run yields a [`coordl::LoaderReport`] whose JSON is structurally
+//!   comparable to the simulator's, which `dstool validate` diffs for the
+//!   paper's predicted-vs-empirical check (Table 5 / Figure 16).
 //! * **The analysis** ([`pipeline`]) — a calibrated input-pipeline simulator
 //!   that reproduces every figure and table of the paper's evaluation on a
 //!   laptop, with the paper's server SKUs ([`pipeline::ServerConfig`]),
@@ -110,8 +115,8 @@ pub mod prelude {
     pub use crate::analyzer::{Bottleneck, DifferentialReport, ProfiledRates, WhatIfAnalysis};
     pub use crate::cache::{Cache, MinIoCache, PolicyKind};
     pub use crate::coordl::{
-        CoordinatedConfig, CoordinatedJobGroup, DataLoader, DataLoaderConfig, MinIoByteCache,
-        PartitionedCacheCluster,
+        BatchStream, CacheTier, DirectBackend, FetchBackend, LoaderReport, MinIoByteCache, Mode,
+        PartitionedCacheCluster, PolicyByteCache, ProfiledBackend, Session, SessionConfig,
     };
     pub use crate::dataset::{DataSource, DatasetSpec, LabeledVectorStore, SyntheticItemStore};
     pub use crate::gpu::{GpuGeneration, ModelKind, ModelProfile};

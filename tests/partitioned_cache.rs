@@ -1,7 +1,8 @@
-//! Integration tests for partitioned caching (§4.2) — the functional cluster
-//! and the distributed simulator, cross-checked against each other.
+//! Integration tests for partitioned caching (§4.2) — the functional
+//! partitioned `Session` and the distributed simulator, cross-checked
+//! against each other.
 
-use datastalls::coordl::{FetchOrigin, PartitionedCacheCluster};
+use datastalls::coordl::{FetchOrigin, Mode, Session, SessionConfig};
 use datastalls::dataset::EpochSampler;
 use datastalls::prelude::*;
 use std::sync::Arc;
@@ -11,22 +12,34 @@ fn cluster(
     item_bytes: u64,
     servers: usize,
     per_server_fraction: f64,
-) -> (Arc<dyn DataSource>, PartitionedCacheCluster) {
+) -> (Arc<dyn DataSource>, Session) {
     let spec = DatasetSpec::new("part-test", items, item_bytes, 0.0, 4.0);
     let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec.clone(), 5));
     let per_server = (spec.total_bytes() as f64 * per_server_fraction) as u64;
-    let cluster = PartitionedCacheCluster::new(Arc::clone(&store), servers, per_server);
-    (store, cluster)
+    let session = Session::builder(
+        Arc::clone(&store),
+        SessionConfig {
+            seed: 99,
+            cache_capacity_bytes: per_server,
+            ..SessionConfig::default()
+        },
+    )
+    .mode(Mode::Partitioned { nodes: servers })
+    .build()
+    .expect("valid partitioned session");
+    (store, session)
 }
 
 /// Run one epoch: each server fetches its random shard, returning
-/// (local hits, remote hits, storage reads).
+/// (local hits, remote hits, storage reads).  Drives the session's cluster
+/// item by item so origins can be classified exactly.
 fn run_epoch(
     store: &Arc<dyn DataSource>,
-    cluster: &PartitionedCacheCluster,
+    session: &Session,
     epoch: u64,
     servers: usize,
 ) -> (u64, u64, u64) {
+    let cluster = session.partitioned_cluster().expect("partitioned mode");
     let sampler = EpochSampler::new(store.len(), 99);
     let (mut local, mut remote, mut storage) = (0, 0, 0);
     for server in 0..servers {
@@ -86,8 +99,9 @@ fn undersized_aggregate_cache_still_prefers_remote_dram_over_storage() {
 #[test]
 fn directory_routes_every_item_to_exactly_one_owner() {
     let servers = 4;
-    let (store, cluster) = cluster(1200, 1024, servers, 0.30);
-    run_epoch(&store, &cluster, 0, servers);
+    let (store, session) = cluster(1200, 1024, servers, 0.30);
+    run_epoch(&store, &session, 0, servers);
+    let cluster = session.partitioned_cluster().unwrap();
     assert_eq!(
         cluster.directory_len() as u64,
         store.len(),
@@ -95,9 +109,6 @@ fn directory_routes_every_item_to_exactly_one_owner() {
     );
     // Ownership is balanced: each server holds roughly a quarter.
     let mut held = vec![0u64; servers];
-    for epoch in 1..3u64 {
-        let _ = epoch;
-    }
     for (server, slot) in held.iter_mut().enumerate().take(servers) {
         *slot = cluster.stats(server).storage_reads;
     }
@@ -113,9 +124,10 @@ fn directory_routes_every_item_to_exactly_one_owner() {
 #[test]
 fn remote_traffic_is_accounted_symmetrically() {
     let servers = 2;
-    let (store, cluster) = cluster(1000, 2048, servers, 0.55);
-    run_epoch(&store, &cluster, 0, servers);
-    run_epoch(&store, &cluster, 1, servers);
+    let (store, session) = cluster(1000, 2048, servers, 0.55);
+    run_epoch(&store, &session, 0, servers);
+    run_epoch(&store, &session, 1, servers);
+    let cluster = session.partitioned_cluster().unwrap();
     let a = cluster.stats(0);
     let b = cluster.stats(1);
     assert_eq!(
@@ -124,10 +136,36 @@ fn remote_traffic_is_accounted_symmetrically() {
         "bytes received by all servers equal bytes served by all servers"
     );
     assert_eq!(
-        cluster.loader_stats().bytes_from_storage(),
+        session.stats().bytes_from_storage(),
         (0..store.len()).map(|i| store.item_bytes(i)).sum::<u64>(),
         "storage is read exactly one dataset's worth in total"
     );
+}
+
+#[test]
+fn session_streams_match_the_manual_cluster_drive() {
+    // Mode::Partitioned as a first-class loader: streaming each node's shard
+    // through Session::epoch preps every shard item exactly once and leaves
+    // the same cache state a manual fetch drive would.
+    let servers = 2;
+    let (store, session) = cluster(600, 512, servers, 0.65);
+    for epoch in 0..2u64 {
+        let run = session.epoch(epoch);
+        let mut delivered = 0u64;
+        for node in 0..servers {
+            for batch in run.stream(node) {
+                delivered += batch.expect("partitioned epochs do not fail").len() as u64;
+            }
+        }
+        assert_eq!(delivered, store.len(), "epoch {epoch} covers the dataset");
+    }
+    let report = session.report();
+    assert_eq!(report.mode, "partitioned");
+    assert_eq!(
+        report.epochs[1].bytes_from_storage, 0,
+        "aggregate covers it"
+    );
+    assert!(report.bytes_from_remote > 0);
 }
 
 #[test]

@@ -1,0 +1,261 @@
+//! Equivalence of the unified `Session` API with the legacy entry points.
+//!
+//! The legacy `DataLoader` and `CoordinatedJobGroup` survive as deprecated
+//! shims over the session engines, so the streams and statistics they
+//! produce must be *bit-identical* to what an equivalently configured
+//! `Session` yields.  These tests pin that contract: item order, prepared
+//! sample bytes, augmentation seeds and every `LoaderStats` counter.
+
+#![allow(deprecated)]
+
+use datastalls::coordl::{
+    CoordinatedConfig, CoordinatedJobGroup, DataLoader, DataLoaderConfig, LoaderStats, Mode,
+    Session, SessionConfig,
+};
+use datastalls::prelude::*;
+use prep::PreparedSample;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 31;
+const PREP_SEED: u64 = 8;
+
+fn store(items: u64, avg: u64) -> Arc<dyn DataSource> {
+    Arc::new(SyntheticItemStore::new(
+        DatasetSpec::new("equiv", items, avg, 0.25, 4.0),
+        17,
+    ))
+}
+
+fn pipeline() -> ExecutablePipeline {
+    ExecutablePipeline::new(PrepPipeline::image_classification(), 4, PREP_SEED)
+}
+
+fn stats_tuple(stats: &LoaderStats) -> (u64, u64, u64, u64, u64) {
+    (
+        stats.bytes_from_storage(),
+        stats.bytes_from_cache(),
+        stats.bytes_from_remote(),
+        stats.samples_prepared(),
+        stats.samples_delivered(),
+    )
+}
+
+#[test]
+fn single_mode_session_reproduces_the_data_loader_stream_and_stats() {
+    // num_workers = 1 makes the cache admission order deterministic, so the
+    // two runs must agree on *every* counter even with a cache smaller than
+    // the dataset (partial residency).
+    let source = store(300, 1024);
+    let total_bytes: u64 = (0..source.len()).map(|i| source.item_bytes(i)).sum();
+    let cache = total_bytes / 2;
+
+    let loader = DataLoader::new(
+        Arc::clone(&source),
+        pipeline(),
+        DataLoaderConfig {
+            batch_size: 32,
+            num_workers: 1,
+            prefetch_depth: 4,
+            seed: SEED,
+            cache_capacity_bytes: cache,
+        },
+    )
+    .expect("legacy loader");
+    let session = Session::builder(
+        Arc::clone(&source),
+        SessionConfig {
+            batch_size: 32,
+            num_workers: 1,
+            prefetch_depth: 4,
+            seed: SEED,
+            cache_capacity_bytes: cache,
+            ..SessionConfig::default()
+        },
+    )
+    .pipeline(pipeline())
+    .build()
+    .expect("session");
+
+    for epoch in 0..2u64 {
+        let legacy: Vec<PreparedSample> = loader
+            .epoch(epoch)
+            .flat_map(|mb| mb.samples.clone())
+            .collect();
+        let unified: Vec<PreparedSample> = session
+            .epoch(epoch)
+            .stream(0)
+            .flat_map(|mb| mb.expect("epoch completes").samples.clone())
+            .collect();
+        assert_eq!(
+            legacy, unified,
+            "epoch {epoch}: prepared samples must be bit-identical"
+        );
+    }
+    assert_eq!(
+        stats_tuple(loader.stats()),
+        stats_tuple(session.stats()),
+        "every LoaderStats counter must match"
+    );
+    // The shims literally share the engine, so the cache state agrees too.
+    let tier = session.cache_tier().expect("single mode tier");
+    assert_eq!(loader.cache().used_bytes(), tier.used_bytes());
+    assert_eq!(loader.cache().len(), tier.resident_items());
+    assert_eq!(loader.cache().hits(), tier.hits());
+    assert_eq!(loader.cache().misses(), tier.misses());
+}
+
+#[test]
+fn single_mode_streams_match_with_many_workers_when_the_cache_fits() {
+    // With the whole dataset cacheable, multi-worker runs are deterministic
+    // in aggregate: identical streams and identical stats.
+    let source = store(256, 512);
+    let config = DataLoaderConfig {
+        batch_size: 25,
+        num_workers: 3,
+        prefetch_depth: 4,
+        seed: SEED,
+        cache_capacity_bytes: 64 << 20,
+    };
+    let loader =
+        DataLoader::new(Arc::clone(&source), pipeline(), config.clone()).expect("legacy loader");
+    let session = Session::builder(
+        Arc::clone(&source),
+        SessionConfig {
+            batch_size: 25,
+            num_workers: 3,
+            prefetch_depth: 4,
+            seed: SEED,
+            cache_capacity_bytes: 64 << 20,
+            ..SessionConfig::default()
+        },
+    )
+    .pipeline(pipeline())
+    .build()
+    .expect("session");
+
+    for epoch in 0..3u64 {
+        let legacy: Vec<PreparedSample> = loader
+            .epoch(epoch)
+            .flat_map(|mb| mb.samples.clone())
+            .collect();
+        let unified: Vec<PreparedSample> = session
+            .epoch(epoch)
+            .stream(0)
+            .flat_map(|mb| mb.expect("epoch completes").samples.clone())
+            .collect();
+        assert_eq!(legacy, unified, "epoch {epoch}");
+    }
+    assert_eq!(stats_tuple(loader.stats()), stats_tuple(session.stats()));
+}
+
+#[test]
+fn coordinated_session_reproduces_the_job_group_streams_and_stats() {
+    let source = store(240, 768);
+    let jobs = 3;
+    let group = CoordinatedJobGroup::new(
+        Arc::clone(&source),
+        pipeline(),
+        CoordinatedConfig {
+            num_jobs: jobs,
+            batch_size: 16,
+            staging_window: 8,
+            seed: SEED,
+            cache_capacity_bytes: 64 << 20,
+            take_timeout: Duration::from_secs(10),
+        },
+    )
+    .expect("legacy group");
+    let session = Session::builder(
+        Arc::clone(&source),
+        SessionConfig {
+            batch_size: 16,
+            staging_window: 8,
+            seed: SEED,
+            cache_capacity_bytes: 64 << 20,
+            take_timeout: Duration::from_secs(10),
+            ..SessionConfig::default()
+        },
+    )
+    .mode(Mode::Coordinated { jobs })
+    .pipeline(pipeline())
+    .build()
+    .expect("session");
+
+    for epoch in 0..2u64 {
+        // Legacy epoch: drain every job on its own thread.
+        let legacy_session = group.run_epoch(epoch);
+        let legacy_handles: Vec<_> = (0..jobs)
+            .map(|j| {
+                let consumer = legacy_session.consumer(j);
+                std::thread::spawn(move || {
+                    consumer
+                        .flat_map(|b| b.expect("legacy epoch").samples.clone())
+                        .collect::<Vec<PreparedSample>>()
+                })
+            })
+            .collect();
+        let legacy: Vec<Vec<PreparedSample>> = legacy_handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        drop(legacy_session);
+
+        // Unified epoch: same thing through Session.
+        let run = session.epoch(epoch);
+        let unified_handles: Vec<_> = (0..jobs)
+            .map(|j| {
+                let stream = run.stream(j);
+                std::thread::spawn(move || {
+                    stream
+                        .flat_map(|b| b.expect("session epoch").samples.clone())
+                        .collect::<Vec<PreparedSample>>()
+                })
+            })
+            .collect();
+        let unified: Vec<Vec<PreparedSample>> = unified_handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+
+        for j in 0..jobs {
+            assert_eq!(
+                legacy[j], unified[j],
+                "epoch {epoch} job {j}: streams must be bit-identical"
+            );
+        }
+    }
+    assert_eq!(
+        stats_tuple(group.stats()),
+        stats_tuple(session.stats()),
+        "every LoaderStats counter must match"
+    );
+    let tier = session.cache_tier().expect("coordinated tier");
+    assert_eq!(group.cache().used_bytes(), tier.used_bytes());
+    assert_eq!(group.cache().len(), tier.resident_items());
+}
+
+#[test]
+fn session_batches_per_epoch_matches_the_legacy_accessors() {
+    let source = store(101, 256);
+    let loader = DataLoader::new(
+        Arc::clone(&source),
+        pipeline(),
+        DataLoaderConfig {
+            batch_size: 25,
+            ..DataLoaderConfig::default()
+        },
+    )
+    .unwrap();
+    let session = Session::builder(
+        Arc::clone(&source),
+        SessionConfig {
+            batch_size: 25,
+            ..SessionConfig::default()
+        },
+    )
+    .build()
+    .unwrap();
+    assert_eq!(loader.batches_per_epoch(), session.batches_per_epoch());
+    assert_eq!(session.batches_per_epoch(), 5); // ceil(101 / 25)
+}
