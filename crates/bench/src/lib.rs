@@ -13,11 +13,15 @@
 //! paper's evaluation section; `EXPERIMENTS.md` records the paper-reported
 //! value next to the measured one for every row.
 
+pub mod parallel;
 pub mod presets;
 pub mod report;
 pub mod scenarios;
 pub mod validation;
 
+pub use parallel::{
+    run_worker_sweep, WorkerSweepConfig, WorkerSweepPoint, WorkerSweepReport, WORKER_SWEEP_NAME,
+};
 pub use presets::{
     find_suite, scaled, server_hdd, server_ssd, vcpu_effective_cores, SweepSuite,
     CACHE_SWEEP_PERCENTS, HP_WIDTHS, MIXED_CACHE_PERCENTS, SCALABILITY_SERVERS, SCALE,

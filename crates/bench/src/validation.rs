@@ -186,6 +186,8 @@ struct ScenarioOutcome {
     empirical_disk_bytes: f64,
     predicted_stall_secs: f64,
     empirical_device_secs: f64,
+    predicted_data_stall_secs: f64,
+    empirical_consumer_wait_secs: f64,
 }
 
 fn push_rows(rows: &mut Vec<ValidationRow>, scenario: &'static str, o: ScenarioOutcome) {
@@ -210,15 +212,28 @@ fn push_rows(rows: &mut Vec<ValidationRow>, scenario: &'static str, o: ScenarioO
         empirical: o.empirical_device_secs,
         gate: GateKind::Informational,
     });
+    // The simulator's fetch+prep stall prediction is on modelled hardware;
+    // the runtime's consumer-wait is wall time on the test host.  The pair
+    // is reported so per-stage trends stay comparable, never gated.
+    rows.push(ValidationRow {
+        scenario,
+        metric: "steady_data_stall_vs_consumer_wait_seconds",
+        predicted: o.predicted_data_stall_secs,
+        empirical: o.empirical_consumer_wait_secs,
+        gate: GateKind::Informational,
+    });
 }
 
-fn sim_steady(report: &SimReport) -> (f64, f64, f64) {
+fn sim_steady(report: &SimReport) -> (f64, f64, f64, f64) {
     // Unit 0 carries the byte/hit accounting in coordinated runs.
     let steady = report.per_job()[0].steady_state();
+    let fetch_stall = steady.breakdown.fetch_stall.as_secs();
+    let prep_stall = steady.breakdown.prep_stall.as_secs();
     (
         steady.cache_hits as f64 / (steady.cache_hits + steady.cache_misses).max(1) as f64,
         steady.bytes_from_disk as f64,
-        steady.breakdown.fetch_stall.as_secs(),
+        fetch_stall,
+        fetch_stall + prep_stall,
     )
 }
 
@@ -239,7 +254,8 @@ fn run_scenario(
         .scenario(scenario)
         .epochs(cfg.epochs)
         .run();
-    let (predicted_hit_ratio, predicted_disk_bytes, predicted_stall_secs) = sim_steady(&sim);
+    let (predicted_hit_ratio, predicted_disk_bytes, predicted_stall_secs, predicted_data_stall) =
+        sim_steady(&sim);
 
     // --- Empirical: the runtime session on real bytes. ---------------------
     let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec.clone(), STORE_SEED));
@@ -289,6 +305,8 @@ fn run_scenario(
         empirical_disk_bytes: report.steady_storage_bytes(),
         predicted_stall_secs,
         empirical_device_secs: report.steady_device_seconds(),
+        predicted_data_stall_secs: predicted_data_stall,
+        empirical_consumer_wait_secs: report.steady_consumer_wait_seconds(),
     }
 }
 
@@ -370,7 +388,7 @@ mod tests {
     #[test]
     fn predicted_and_empirical_agree_within_tolerance() {
         let report = run_validation(&small_config());
-        assert_eq!(report.rows.len(), 9, "3 scenarios x 3 metrics");
+        assert_eq!(report.rows.len(), 12, "3 scenarios x 4 metrics");
         let failures: Vec<String> = report
             .failures()
             .iter()

@@ -1,19 +1,25 @@
 //! Coordinated prep: one fetch + prep sweep per epoch shared by all
 //! concurrent hyper-parameter-search jobs (§4.3).
 //!
-//! The engine here ([`EpochSession`], [`JobEpochIterator`] and the producer
-//! threads) is what a [`Session`](crate::Session) in
-//! [`Mode::Coordinated`](crate::Mode) runs on.  For each epoch it spawns one
-//! *producer* per job; producer `j` is responsible for fetching and
-//! pre-processing every minibatch whose index is congruent to `j` modulo the
-//! number of jobs (its "shard").  Every job then consumes the *entire* epoch
-//! — every minibatch exactly once — through its [`JobEpochIterator`].
+//! The engine here ([`EpochSession`], [`JobEpochIterator`]) is what a
+//! [`Session`](crate::Session) in [`Mode::Coordinated`](crate::Mode) runs
+//! on.  All jobs of an epoch share **one prefetching executor** (the
+//! crate's `executor` module): a single fetch thread sweeps the epoch's
+//! batches
+//! in training order (so the shared cache tier sees a deterministic access
+//! sequence) and a pool of prep workers pre-processes them in parallel,
+//! publishing each prepared minibatch into the [`StagingArea`] exactly once
+//! — the cache-once-serve-all invariant.  Every job then consumes the
+//! *entire* epoch — every minibatch exactly once — through its
+//! [`JobEpochIterator`].
 //!
-//! A failure-detection module handles producers that die mid-epoch: when a
-//! consumer times out waiting for a minibatch, the group checks whether the
-//! responsible producer is still alive and, if not, spawns a replacement that
-//! resumes the dead producer's shard from its last published batch
-//! (mirroring §4.3's "Handling job failures and terminations").
+//! For failure attribution each minibatch still *belongs* to a job: batch
+//! `i` is job `i % num_jobs`'s responsibility (its "shard"), and per-shard
+//! watermarks track the contiguous prefix already published.  When a job is
+//! killed mid-epoch ([`EpochSession::inject_failure`]) its shard's batches
+//! stop flowing; a consumer that times out waiting identifies the dead
+//! shard and spawns a *recovery producer* that resumes it from the
+//! watermark (mirroring §4.3's "Handling job failures and terminations").
 //!
 //! The legacy [`CoordinatedJobGroup`] entry point survives as a deprecated
 //! shim over the same engine, so its behaviour is bit-identical to a
@@ -21,6 +27,7 @@
 
 use crate::cache::MinIoByteCache;
 use crate::error::CoordlError;
+use crate::executor::{ExecutorShared, ExecutorSpec, PrefetchExecutor, PreparedSink, SkipFn};
 use crate::minibatch::Minibatch;
 use crate::stack::LoaderStack;
 use crate::staging::{PublishOutcome, StagingArea, TakeError};
@@ -29,10 +36,12 @@ use crate::{CacheTier, DirectBackend};
 use dataset::{minibatches, DataSource, EpochSampler, ItemId};
 use parking_lot::Mutex;
 use prep::ExecutablePipeline;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`CoordinatedJobGroup`].
 #[derive(Debug, Clone)]
@@ -74,6 +83,10 @@ pub(crate) struct CoordinatedEngine {
     pub(crate) staging_window: usize,
     pub(crate) seed: u64,
     pub(crate) take_timeout: Duration,
+    /// Prep workers in the shared pool (shared by all jobs of the session).
+    pub(crate) num_workers: usize,
+    /// Raw batches buffered between the fetch thread and the prep pool.
+    pub(crate) prefetch_depth: usize,
 }
 
 impl CoordinatedEngine {
@@ -91,8 +104,9 @@ impl CoordinatedEngine {
         let num_jobs = self.num_jobs;
 
         let staging = Arc::new(StagingArea::new(num_jobs, self.staging_window));
-        // Round-robin shard assignment: producer j owns batch indices
-        // j, j + num_jobs, j + 2*num_jobs, ...
+        // Round-robin shard *ownership* (failure attribution): batch index
+        // i belongs to job i % num_jobs.  Recovery producers replay a
+        // shard's ordered batch list from its watermark.
         let shards: Vec<Vec<(usize, Vec<ItemId>)>> = (0..num_jobs)
             .map(|j| {
                 batches
@@ -107,14 +121,42 @@ impl CoordinatedEngine {
 
         let state = Arc::new(ProducerState {
             handles: Mutex::new(Vec::new()),
-            watermarks: (0..num_jobs).map(|_| AtomicUsize::new(0)).collect(),
+            progress: (0..num_jobs)
+                .map(|_| Mutex::new(ShardProgress::default()))
+                .collect(),
             kill_flags: (0..num_jobs)
                 .map(|_| Arc::new(AtomicBool::new(false)))
                 .collect(),
             recovered: (0..num_jobs).map(|_| AtomicBool::new(false)).collect(),
         });
 
-        let session = EpochSession {
+        // One shared executor per epoch: the fetch thread sweeps every batch
+        // in training order; the prep pool publishes into the staging area.
+        // Batches of a killed job are dropped at dispatch so its work
+        // disappears mid-epoch, exactly like a dying producer's would.
+        let plan: Vec<(usize, Vec<ItemId>)> = batches.into_iter().enumerate().collect();
+        let kill_flags = state.kill_flags.clone();
+        let skip: Arc<SkipFn> =
+            Arc::new(move |index: usize| kill_flags[index % num_jobs].load(Ordering::SeqCst));
+        let sink = Arc::new(StagingSink {
+            staging: Arc::clone(&staging),
+            state: Arc::clone(&state),
+            num_jobs,
+        });
+        let executor = PrefetchExecutor::spawn(ExecutorSpec {
+            epoch,
+            batches: plan,
+            fetch: self.stack.fetch_fn(),
+            skip: Some(skip),
+            pipeline: Arc::clone(&self.stack.pipeline),
+            stats: Arc::clone(&self.stack.stats),
+            sink,
+            workers: self.num_workers,
+            prefetch_depth: self.prefetch_depth,
+        });
+        let shared = Arc::clone(executor.shared());
+
+        EpochSession {
             epoch,
             total,
             shards: Arc::new(shards),
@@ -122,27 +164,81 @@ impl CoordinatedEngine {
             state,
             stack: self.stack.clone(),
             take_timeout: self.take_timeout,
-        };
-
-        for j in 0..num_jobs {
-            session.spawn_producer(j, 0, Some(Arc::clone(&session.state.kill_flags[j])));
+            executor,
+            shared,
         }
-        session
     }
 }
 
-/// Shared state of one epoch's producers, used for failure detection.
+/// Contiguous-published tracking for one shard: the prep pool publishes a
+/// shard's batches slightly out of order, but recovery must resume from a
+/// position below which *everything* is durably published.
+#[derive(Default)]
+struct ShardProgress {
+    /// Lowest shard position not yet published.
+    next: usize,
+    /// Published positions above `next` (gaps still open).
+    done: BTreeSet<usize>,
+}
+
+/// Shared state of one epoch's shards, used for failure detection.
 struct ProducerState {
-    /// Producer threads, one per job shard (recovery producers are appended).
+    /// Recovery producer threads (the main pool belongs to the executor).
     handles: Mutex<Vec<JoinHandle<()>>>,
-    /// For each shard, the position within its batch list that has been
-    /// durably published (recovery resumes from here).
-    watermarks: Vec<AtomicUsize>,
+    /// Out-of-order publish tracking per shard; `ShardProgress::next` is
+    /// the contiguous published prefix recovery resumes from.
+    progress: Vec<Mutex<ShardProgress>>,
     /// Kill switches used by tests (and by `inject_failure`) to simulate a
     /// job being terminated mid-epoch.
     kill_flags: Vec<Arc<AtomicBool>>,
     /// Whether a recovery producer has already been launched for a shard.
     recovered: Vec<AtomicBool>,
+}
+
+impl ProducerState {
+    /// Record that epoch batch `index` was published (or found already
+    /// resident) and advance its shard's contiguous watermark.
+    fn mark_published(&self, index: usize, num_jobs: usize) {
+        let shard = index % num_jobs;
+        let pos = index / num_jobs;
+        let mut progress = self.progress[shard].lock();
+        if pos >= progress.next {
+            progress.done.insert(pos);
+            loop {
+                let next = progress.next;
+                if !progress.done.remove(&next) {
+                    break;
+                }
+                progress.next += 1;
+            }
+        }
+    }
+
+    /// The contiguous prefix of `shard`'s batch list already published.
+    fn watermark(&self, shard: usize) -> usize {
+        self.progress[shard].lock().next
+    }
+}
+
+/// The executor sink for coordinated epochs: publish into the staging area
+/// and keep the per-shard watermarks current.
+struct StagingSink {
+    staging: Arc<StagingArea>,
+    state: Arc<ProducerState>,
+    num_jobs: usize,
+}
+
+impl PreparedSink for StagingSink {
+    fn publish(&self, mb: Minibatch) -> bool {
+        let index = mb.index;
+        match self.staging.publish(mb) {
+            PublishOutcome::Shutdown => false,
+            PublishOutcome::Published | PublishOutcome::Duplicate => {
+                self.state.mark_published(index, self.num_jobs);
+                true
+            }
+        }
+    }
 }
 
 /// A group of concurrent jobs sharing fetch and prep through CoorDL.
@@ -187,6 +283,10 @@ impl CoordinatedJobGroup {
             staging_window: config.staging_window,
             seed: config.seed,
             take_timeout: config.take_timeout,
+            // The legacy config predates the tunable pool; use the session
+            // defaults (the output is worker-count-invariant anyway).
+            num_workers: 2,
+            prefetch_depth: 4,
         };
         Ok(CoordinatedJobGroup {
             engine,
@@ -226,8 +326,8 @@ impl CoordinatedJobGroup {
 /// `(batch_index, items)` pairs its producer prepares.
 type ShardPlan = Arc<Vec<Vec<(usize, Vec<ItemId>)>>>;
 
-/// One epoch of coordinated prep: producers running in the background plus
-/// per-job consumers.
+/// One epoch of coordinated prep: the shared prefetching executor running in
+/// the background plus per-job consumers.
 pub struct EpochSession {
     epoch: u64,
     total: usize,
@@ -236,6 +336,8 @@ pub struct EpochSession {
     state: Arc<ProducerState>,
     stack: LoaderStack,
     take_timeout: Duration,
+    executor: PrefetchExecutor,
+    shared: Arc<ExecutorShared>,
 }
 
 impl EpochSession {
@@ -275,27 +377,18 @@ impl EpochSession {
             stack: self.stack.clone(),
             epoch: self.epoch,
             take_timeout: self.take_timeout,
+            shared: Arc::clone(&self.shared),
         }
-    }
-
-    fn spawn_producer(&self, shard: usize, from: usize, kill: Option<Arc<AtomicBool>>) {
-        let handle = spawn_producer_thread(
-            self.epoch,
-            shard,
-            from,
-            Arc::clone(&self.shards),
-            self.stack.clone(),
-            Arc::clone(&self.staging),
-            Arc::clone(&self.state),
-            kill,
-        );
-        self.state.handles.lock().push(handle);
     }
 }
 
 impl Drop for EpochSession {
     fn drop(&mut self) {
+        // Order matters for a deadlock-free teardown: shutting the staging
+        // area down first wakes any prep worker blocked in `publish`, so the
+        // executor's pool (and then its fetch thread) can drain and join.
         self.staging.shutdown();
+        self.executor.shutdown_and_join();
         let mut handles = self.state.handles.lock();
         for h in handles.drain(..) {
             let _ = h.join();
@@ -303,8 +396,10 @@ impl Drop for EpochSession {
     }
 }
 
+/// A recovery producer: sequentially re-fetch, re-prep and publish one
+/// shard's batches from its watermark after the owning job died.
 #[allow(clippy::too_many_arguments)]
-fn spawn_producer_thread(
+fn spawn_recovery_thread(
     epoch: u64,
     shard: usize,
     from: usize,
@@ -312,26 +407,27 @@ fn spawn_producer_thread(
     stack: LoaderStack,
     staging: Arc<StagingArea>,
     state: Arc<ProducerState>,
-    kill: Option<Arc<AtomicBool>>,
+    shared: Arc<ExecutorShared>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
-        let my_batches = &shards[shard];
-        for (pos, (index, items)) in my_batches.iter().enumerate().skip(from) {
-            if let Some(k) = &kill {
-                if k.load(Ordering::SeqCst) {
-                    return; // the "job was killed" case
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let my_batches = &shards[shard];
+            let num_jobs = shards.len();
+            for (index, items) in my_batches.iter().skip(from) {
+                let samples = stack.prepare(epoch, items);
+                let outcome = staging.publish(Minibatch {
+                    epoch,
+                    index: *index,
+                    samples,
+                });
+                if outcome == PublishOutcome::Shutdown {
+                    return;
                 }
+                state.mark_published(*index, num_jobs);
             }
-            let samples = stack.prepare(epoch, items);
-            let outcome = staging.publish(Minibatch {
-                epoch,
-                index: *index,
-                samples,
-            });
-            if outcome == PublishOutcome::Shutdown {
-                return;
-            }
-            state.watermarks[shard].store(pos + 1, Ordering::SeqCst);
+        }));
+        if let Err(payload) = outcome {
+            shared.record_recovery_panic(payload);
         }
     })
 }
@@ -351,12 +447,13 @@ pub struct JobEpochIterator {
     stack: LoaderStack,
     epoch: u64,
     take_timeout: Duration,
+    shared: Arc<ExecutorShared>,
 }
 
 impl JobEpochIterator {
     /// Handle a take timeout for batch `index`: identify the responsible
-    /// producer, and if it is dead (and not yet recovered) spawn a recovery
-    /// producer resuming from its watermark.  Returns `true` when a retry is
+    /// shard, and if it is not yet recovered spawn a recovery producer
+    /// resuming from its watermark.  Returns `true` when a retry is
     /// worthwhile.
     fn handle_timeout(&self, index: usize) -> bool {
         let num_jobs = self.shards.len();
@@ -365,8 +462,8 @@ impl JobEpochIterator {
         if self.state.recovered[shard].swap(true, Ordering::SeqCst) {
             return true; // recovery already in flight; retry the take
         }
-        let from = self.state.watermarks[shard].load(Ordering::SeqCst);
-        let handle = spawn_producer_thread(
+        let from = self.state.watermark(shard);
+        let handle = spawn_recovery_thread(
             self.epoch,
             shard,
             from,
@@ -374,7 +471,7 @@ impl JobEpochIterator {
             self.stack.clone(),
             Arc::clone(&self.staging),
             Arc::clone(&self.state),
-            None,
+            Arc::clone(&self.shared),
         );
         self.state.handles.lock().push(handle);
         true
@@ -391,7 +488,10 @@ impl Iterator for JobEpochIterator {
         let index = self.next;
         let mut attempts = 0;
         loop {
-            match self.staging.take(self.job, index, self.take_timeout) {
+            let wait = Instant::now();
+            let taken = self.staging.take(self.job, index, self.take_timeout);
+            self.stack.stats.record_consumer_wait(wait.elapsed());
+            match taken {
                 Ok(batch) => {
                     self.next += 1;
                     self.stack.stats.record_delivered(batch.len() as u64);
@@ -399,6 +499,11 @@ impl Iterator for JobEpochIterator {
                 }
                 Err(TakeError::Shutdown) => return Some(Err(CoordlError::Shutdown)),
                 Err(TakeError::Timeout) => {
+                    // A panicked worker explains the missing batch better
+                    // than a producer-failure guess does.
+                    if let Some(err) = self.shared.failure() {
+                        return Some(Err(err));
+                    }
                     attempts += 1;
                     if attempts > 3 || !self.handle_timeout(index) {
                         return Some(Err(CoordlError::ProducerFailed {

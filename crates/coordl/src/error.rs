@@ -17,6 +17,16 @@ pub enum CoordlError {
     },
     /// The staging area was shut down while a consumer was waiting.
     Shutdown,
+    /// A loader worker thread (fetch, prep or recovery) panicked.  The
+    /// session that owned it fails with this error; other sessions are
+    /// unaffected.
+    WorkerPanicked {
+        /// Which executor stage the thread belonged to (`"fetch"`, `"prep"`
+        /// or `"recovery"`).
+        stage: &'static str,
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoordlError {
@@ -30,6 +40,9 @@ impl fmt::Display for CoordlError {
                 )
             }
             CoordlError::Shutdown => write!(f, "staging area shut down"),
+            CoordlError::WorkerPanicked { stage, detail } => {
+                write!(f, "loader {stage} worker panicked: {detail}")
+            }
         }
     }
 }
@@ -49,6 +62,12 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains('3') && s.contains('7'));
         assert!(!CoordlError::Shutdown.to_string().is_empty());
+        let p = CoordlError::WorkerPanicked {
+            stage: "prep",
+            detail: "boom".into(),
+        };
+        let s = p.to_string();
+        assert!(s.contains("prep") && s.contains("boom") && s.contains("panicked"));
     }
 
     #[test]

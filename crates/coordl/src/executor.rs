@@ -1,0 +1,557 @@
+//! The multi-threaded prefetching executor behind every
+//! [`Session`](crate::Session) mode.
+//!
+//! The paper's fix for data stalls is *overlap*: prefetch raw items ahead of
+//! the consumer and pre-process them on parallel CPU workers so storage and
+//! prep latency hide behind the GPU (§2, §5).  This module implements that
+//! overlap once, for all three session modes:
+//!
+//! ```text
+//!   plan (ordered batches)
+//!        │ one fetch thread, strictly in plan order
+//!        ▼
+//!   bounded raw-batch queue (prefetch_depth)
+//!        │ N prep workers, deterministic per-(epoch, item) pipeline
+//!        ▼
+//!   PreparedSink — reorder buffer (single / partitioned) or the
+//!                  coordinated StagingArea
+//! ```
+//!
+//! **Determinism contract.**  Every cache-tier transaction happens on the
+//! single fetch thread, in plan order, so cache hits, misses, byte
+//! provenance and eviction decisions are a pure function of the plan:
+//! `workers(1)` and `workers(n)` produce bit-identical [`LoaderStats`]
+//! counters for *any* tier policy, and the order-preserving sinks make the
+//! delivered minibatch streams bit-identical too (prep is deterministic per
+//! `(epoch, item)`).  Worker count and prefetch depth only change *when*
+//! work happens — which the stage-timing counters (fetch busy/stall, prep
+//! busy/stall, consumer wait) report — never *what* is computed.  The root
+//! `tests/parallel_session_equivalence.rs` suite pins this contract.
+//!
+//! **Failure contract.**  A panicking stage thread is caught, converted into
+//! a descriptive [`CoordlError::WorkerPanicked`] and recorded in the shared
+//! [`ExecutorShared`] slot; the channels disconnect, the remaining threads
+//! drain out, and only the owning session's streams observe the error.
+//! Shutting down mid-epoch (dropping a stream or an epoch run) never
+//! deadlocks: the owner drops the consumer endpoint (or shuts the staging
+//! area down) *before* joining, which unblocks any worker parked on a full
+//! queue.
+
+use crate::error::CoordlError;
+use crate::minibatch::Minibatch;
+use crate::stats::LoaderStats;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use dataset::ItemId;
+use parking_lot::Mutex;
+use prep::ExecutablePipeline;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// How raw bytes for one item are obtained (tier → backend for single and
+/// coordinated sessions, cluster lookup order for partitioned nodes).
+pub(crate) type FetchFn = dyn Fn(ItemId) -> Arc<Vec<u8>> + Send + Sync;
+
+/// Batch-index filter: `true` drops the batch before fetch and prep
+/// (coordinated failure injection).
+pub(crate) type SkipFn = dyn Fn(usize) -> bool + Send + Sync;
+
+/// Where prep workers deliver prepared minibatches.
+pub(crate) trait PreparedSink: Send + Sync + 'static {
+    /// Deliver one prepared minibatch.  Returning `false` tells the worker
+    /// to stop (the consumer is gone or the epoch was shut down).
+    fn publish(&self, mb: Minibatch) -> bool;
+}
+
+impl PreparedSink for Sender<Minibatch> {
+    fn publish(&self, mb: Minibatch) -> bool {
+        self.send(mb).is_ok()
+    }
+}
+
+/// One fetched-but-not-yet-prepared minibatch in flight between the stages.
+struct RawBatch {
+    index: usize,
+    items: Vec<ItemId>,
+    raw: Vec<Arc<Vec<u8>>>,
+}
+
+/// State shared between an executor's threads and its owner: the first
+/// worker panic (as a typed error) and the shutdown flag.
+#[derive(Default)]
+pub(crate) struct ExecutorShared {
+    error: Mutex<Option<CoordlError>>,
+    shutdown: AtomicBool,
+}
+
+impl ExecutorShared {
+    /// Record the first panic; later ones are dropped (the first is the
+    /// cause, the rest are fallout).
+    fn record_panic(&self, stage: &'static str, payload: Box<dyn std::any::Any + Send>) {
+        let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(CoordlError::WorkerPanicked { stage, detail });
+        }
+    }
+
+    /// Record a recovery-producer panic (coordinated mode's failure path).
+    pub(crate) fn record_recovery_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        self.record_panic("recovery", payload);
+    }
+
+    /// The recorded failure, if any worker panicked.
+    pub(crate) fn failure(&self) -> Option<CoordlError> {
+        self.error.lock().clone()
+    }
+
+    /// Take the recorded failure, so a stream surfaces it exactly once.
+    pub(crate) fn take_failure(&self) -> Option<CoordlError> {
+        self.error.lock().take()
+    }
+
+    /// Ask the fetch thread to stop at the next batch boundary.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Everything needed to run one epoch's fetch + prep pipeline.
+pub(crate) struct ExecutorSpec {
+    /// Epoch index (seeds the per-(epoch, item) augmentations).
+    pub epoch: u64,
+    /// The ordered plan: `(batch_index, item_ids)` in training order.
+    pub batches: Vec<(usize, Vec<ItemId>)>,
+    /// Raw-byte source, called sequentially in plan order.
+    pub fetch: Arc<FetchFn>,
+    /// Optional batch filter (coordinated failure injection).
+    pub skip: Option<Arc<SkipFn>>,
+    /// The deterministic prep pipeline.
+    pub pipeline: Arc<ExecutablePipeline>,
+    /// Shared statistics (byte provenance, sample counts, stage timings).
+    pub stats: Arc<LoaderStats>,
+    /// Where prepared minibatches go.
+    pub sink: Arc<dyn PreparedSink>,
+    /// Prep worker threads (>= 1 enforced).
+    pub workers: usize,
+    /// Raw batches buffered between fetch and prep (>= 1 enforced).
+    pub prefetch_depth: usize,
+}
+
+/// A running fetch + prep pipeline for one epoch.  Dropping it (after the
+/// owner has disconnected the sink's consumer side) joins every thread.
+pub(crate) struct PrefetchExecutor {
+    shared: Arc<ExecutorShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl PrefetchExecutor {
+    /// Spawn the fetch thread and prep pool described by `spec`.
+    pub(crate) fn spawn(spec: ExecutorSpec) -> Self {
+        let shared = Arc::new(ExecutorShared::default());
+        let workers = spec.workers.max(1);
+        let (raw_tx, raw_rx) = bounded::<RawBatch>(spec.prefetch_depth.max(1));
+        let mut handles = Vec::with_capacity(workers + 1);
+
+        handles.push(spawn_fetch_thread(
+            spec.batches,
+            spec.fetch,
+            spec.skip,
+            Arc::clone(&spec.stats),
+            Arc::clone(&shared),
+            raw_tx,
+        ));
+        for _ in 0..workers {
+            handles.push(spawn_prep_worker(
+                spec.epoch,
+                Arc::clone(&spec.pipeline),
+                Arc::clone(&spec.stats),
+                Arc::clone(&spec.sink),
+                Arc::clone(&shared),
+                raw_rx.clone(),
+            ));
+        }
+        drop(raw_rx);
+
+        PrefetchExecutor { shared, handles }
+    }
+
+    /// The error/shutdown state shared with streams and consumers.
+    pub(crate) fn shared(&self) -> &Arc<ExecutorShared> {
+        &self.shared
+    }
+
+    /// Stop fetching and join every stage thread.
+    ///
+    /// The owner must first unblock any worker parked on the sink (drop the
+    /// consumer receiver, or shut the staging area down) — this method only
+    /// unblocks the fetch → prep queue.
+    pub(crate) fn shutdown_and_join(&mut self) {
+        self.shared.begin_shutdown();
+        for h in self.handles.drain(..) {
+            // A panicked worker already recorded its error; the Err here is
+            // just the resume payload.
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PrefetchExecutor {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+fn spawn_fetch_thread(
+    batches: Vec<(usize, Vec<ItemId>)>,
+    fetch: Arc<FetchFn>,
+    skip: Option<Arc<SkipFn>>,
+    stats: Arc<LoaderStats>,
+    shared: Arc<ExecutorShared>,
+    raw_tx: Sender<RawBatch>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            for (index, items) in batches {
+                if shared.is_shutdown() {
+                    break;
+                }
+                if skip.as_ref().is_some_and(|s| s(index)) {
+                    continue;
+                }
+                let busy = Instant::now();
+                let raw: Vec<Arc<Vec<u8>>> = items.iter().map(|&item| fetch(item)).collect();
+                stats.record_fetch_busy(busy.elapsed());
+                let stall = Instant::now();
+                let sent = raw_tx.send(RawBatch { index, items, raw });
+                stats.record_fetch_stall(stall.elapsed());
+                if sent.is_err() {
+                    break; // every prep worker is gone
+                }
+            }
+        }));
+        if let Err(payload) = outcome {
+            shared.record_panic("fetch", payload);
+        }
+    })
+}
+
+fn spawn_prep_worker(
+    epoch: u64,
+    pipeline: Arc<ExecutablePipeline>,
+    stats: Arc<LoaderStats>,
+    sink: Arc<dyn PreparedSink>,
+    shared: Arc<ExecutorShared>,
+    raw_rx: Receiver<RawBatch>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+            let stall = Instant::now();
+            let Ok(batch) = raw_rx.recv() else {
+                break; // fetch thread done and queue drained
+            };
+            stats.record_prep_stall(stall.elapsed());
+            let busy = Instant::now();
+            let samples = batch
+                .items
+                .iter()
+                .zip(&batch.raw)
+                .map(|(&item, raw)| pipeline.prepare(epoch, item, raw))
+                .collect::<Vec<_>>();
+            stats.record_prepared(samples.len() as u64);
+            stats.record_prep_busy(busy.elapsed());
+            // Publishing blocks on downstream backpressure (a full output
+            // queue or staging window); like the recv above, that is time
+            // the worker is not pre-processing, so it counts as prep stall.
+            let publishing = Instant::now();
+            let delivered = sink.publish(Minibatch {
+                epoch,
+                index: batch.index,
+                samples,
+            });
+            stats.record_prep_stall(publishing.elapsed());
+            if !delivered {
+                break; // consumer gone or epoch shut down
+            }
+        }));
+        if let Err(payload) = outcome {
+            shared.record_panic("prep", payload);
+        }
+    })
+}
+
+/// Spawn one epoch's executor delivering into an order-preserving stream:
+/// prepared batches flow through a bounded channel into a reorder buffer
+/// that yields them strictly in plan order.
+pub(crate) fn spawn_ordered_epoch(
+    epoch: u64,
+    batches: Vec<(usize, Vec<ItemId>)>,
+    fetch: Arc<FetchFn>,
+    pipeline: Arc<ExecutablePipeline>,
+    stats: Arc<LoaderStats>,
+    workers: usize,
+    prefetch_depth: usize,
+) -> OrderedStream {
+    let total = batches.len();
+    let (out_tx, out_rx) = bounded::<Minibatch>(prefetch_depth.max(1));
+    let executor = PrefetchExecutor::spawn(ExecutorSpec {
+        epoch,
+        batches,
+        fetch,
+        skip: None,
+        pipeline,
+        stats: Arc::clone(&stats),
+        sink: Arc::new(out_tx),
+        workers,
+        prefetch_depth,
+    });
+    OrderedStream {
+        rx: out_rx,
+        reorder: BTreeMap::new(),
+        next: 0,
+        total,
+        stats,
+        executor,
+    }
+}
+
+/// Iterator over one epoch's minibatches, delivered in training order.
+///
+/// Owns the epoch's executor: dropping the stream disconnects the output
+/// channel (unblocking any worker mid-`send`) and joins every stage thread,
+/// so no worker outlives the stream.
+pub(crate) struct OrderedStream {
+    rx: Receiver<Minibatch>,
+    reorder: BTreeMap<usize, Minibatch>,
+    next: usize,
+    total: usize,
+    stats: Arc<LoaderStats>,
+    executor: PrefetchExecutor,
+}
+
+impl OrderedStream {
+    /// Number of minibatches this epoch will deliver.
+    pub(crate) fn total_batches(&self) -> usize {
+        self.total
+    }
+
+    /// The worker failure that ended this stream early, surfaced at most
+    /// once (used by `Session` streams to turn an early end into a typed
+    /// error).
+    pub(crate) fn take_failure(&mut self) -> Option<CoordlError> {
+        if self.next >= self.total {
+            return None; // the epoch completed; any panic came after
+        }
+        self.executor.shared().take_failure()
+    }
+}
+
+impl Iterator for OrderedStream {
+    type Item = Minibatch;
+
+    fn next(&mut self) -> Option<Minibatch> {
+        if self.next >= self.total {
+            return None;
+        }
+        loop {
+            if let Some(mb) = self.reorder.remove(&self.next) {
+                self.next += 1;
+                self.stats.record_delivered(mb.len() as u64);
+                return Some(mb);
+            }
+            let wait = Instant::now();
+            let received = self.rx.recv();
+            self.stats.record_consumer_wait(wait.elapsed());
+            match received {
+                Ok(mb) => {
+                    self.reorder.insert(mb.index, mb);
+                }
+                Err(_) => return None, // workers gone; epoch incomplete
+            }
+        }
+    }
+}
+
+impl Drop for OrderedStream {
+    fn drop(&mut self) {
+        // Disconnect the output channel so any worker blocked on `send`
+        // observes the disconnect and exits, then join them all.
+        self.reorder.clear();
+        let (_tx, dummy_rx) = bounded::<Minibatch>(1);
+        let real_rx = std::mem::replace(&mut self.rx, dummy_rx);
+        drop(real_rx);
+        self.executor.shutdown_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn plan(batches: usize, per_batch: usize) -> Vec<(usize, Vec<ItemId>)> {
+        (0..batches)
+            .map(|i| {
+                let items = (0..per_batch)
+                    .map(|j| (i * per_batch + j) as ItemId)
+                    .collect();
+                (i, items)
+            })
+            .collect()
+    }
+
+    fn byte_fetch() -> Arc<FetchFn> {
+        Arc::new(|item: ItemId| Arc::new(vec![item as u8; 16]))
+    }
+
+    fn pipeline() -> Arc<ExecutablePipeline> {
+        Arc::new(ExecutablePipeline::new(
+            prep::PrepPipeline::image_classification(),
+            2,
+            7,
+        ))
+    }
+
+    #[test]
+    fn ordered_stream_delivers_in_plan_order_for_any_worker_count() {
+        for workers in [1, 2, 8] {
+            for depth in [1, 4] {
+                let stats = Arc::new(LoaderStats::default());
+                let stream = spawn_ordered_epoch(
+                    0,
+                    plan(9, 4),
+                    byte_fetch(),
+                    pipeline(),
+                    Arc::clone(&stats),
+                    workers,
+                    depth,
+                );
+                let indices: Vec<usize> = stream.map(|mb| mb.index).collect();
+                assert_eq!(indices, (0..9).collect::<Vec<_>>(), "w={workers} d={depth}");
+                assert_eq!(stats.samples_prepared(), 36);
+                assert_eq!(stats.samples_delivered(), 36);
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_order_is_sequential_regardless_of_workers() {
+        // The determinism contract: fetches happen in plan order on one
+        // thread, so a recording fetch function sees the identical sequence
+        // for any worker count.
+        let record = |workers: usize| {
+            let seen = Arc::new(Mutex::new(Vec::new()));
+            let seen2 = Arc::clone(&seen);
+            let fetch: Arc<FetchFn> = Arc::new(move |item| {
+                seen2.lock().push(item);
+                Arc::new(vec![0u8; 8])
+            });
+            let stream = spawn_ordered_epoch(
+                0,
+                plan(6, 3),
+                fetch,
+                pipeline(),
+                Arc::new(LoaderStats::default()),
+                workers,
+                2,
+            );
+            let _ = stream.count();
+            let order = seen.lock().clone();
+            order
+        };
+        let serial = record(1);
+        assert_eq!(serial, (0..18).collect::<Vec<ItemId>>());
+        assert_eq!(record(4), serial);
+    }
+
+    #[test]
+    fn dropping_the_stream_early_joins_all_threads_without_deadlock() {
+        for _ in 0..8 {
+            let mut stream = spawn_ordered_epoch(
+                0,
+                plan(64, 4),
+                byte_fetch(),
+                pipeline(),
+                Arc::new(LoaderStats::default()),
+                3,
+                1, // smallest window: workers park on full queues constantly
+            );
+            let _ = stream.next();
+            drop(stream); // must unblock + join, not hang
+        }
+    }
+
+    #[test]
+    fn panicking_fetch_surfaces_a_typed_error() {
+        let fetch: Arc<FetchFn> = Arc::new(|item| {
+            if item == 7 {
+                panic!("injected fetch failure for item {item}");
+            }
+            Arc::new(vec![1u8; 8])
+        });
+        let mut stream = spawn_ordered_epoch(
+            0,
+            plan(5, 2),
+            fetch,
+            pipeline(),
+            Arc::new(LoaderStats::default()),
+            2,
+            2,
+        );
+        let delivered = stream.by_ref().count();
+        assert!(delivered < 5, "the epoch must end early");
+        let err = stream.take_failure().expect("panic recorded");
+        match &err {
+            CoordlError::WorkerPanicked { stage, detail } => {
+                assert_eq!(*stage, "fetch");
+                assert!(detail.contains("injected fetch failure"));
+            }
+            other => panic!("expected WorkerPanicked, got {other}"),
+        }
+        assert!(stream.take_failure().is_none(), "surfaced exactly once");
+    }
+
+    #[test]
+    fn skip_filter_drops_batches_before_fetch() {
+        let fetched = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&fetched);
+        let fetch: Arc<FetchFn> = Arc::new(move |_| {
+            f2.fetch_add(1, Ordering::SeqCst);
+            Arc::new(vec![0u8; 4])
+        });
+        let (out_tx, out_rx) = bounded::<Minibatch>(16);
+        let stats = Arc::new(LoaderStats::default());
+        let mut executor = PrefetchExecutor::spawn(ExecutorSpec {
+            epoch: 0,
+            batches: plan(6, 2),
+            fetch,
+            skip: Some(Arc::new(|index| index % 2 == 1)),
+            pipeline: pipeline(),
+            stats,
+            sink: Arc::new(out_tx),
+            workers: 2,
+            prefetch_depth: 4,
+        });
+        let mut indices = Vec::new();
+        while let Ok(mb) = out_rx.recv() {
+            indices.push(mb.index);
+        }
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 2, 4]);
+        assert_eq!(fetched.load(Ordering::SeqCst), 6, "3 batches x 2 items");
+        executor.shutdown_and_join();
+    }
+}

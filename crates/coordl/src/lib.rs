@@ -25,6 +25,16 @@
 //! structurally comparable to the simulator's reports — the contract
 //! `dstool validate` exploits to diff predicted against empirical behaviour.
 //!
+//! Every mode runs on one **prefetching executor** (the paper's overlap
+//! prescription, §2/§5): a single fetch thread sweeps the epoch plan in
+//! training order — so every cache-tier transaction is sequential and
+//! deterministic — while `workers(n)` prep threads pre-process batches in
+//! parallel behind a `prefetch_depth(d)` window.  Parallelism changes *when*
+//! work happens (reported as per-stage busy/stall seconds in the
+//! [`LoaderReport`]), never *what* a job observes: streams and counters are
+//! bit-identical across worker counts, pinned by
+//! `tests/parallel_session_equivalence.rs`.
+//!
 //! Device timing is *not* simulated here (that is `coordl-pipeline`'s job);
 //! this crate is about the coordination semantics: exactly-once delivery,
 //! fresh per-epoch randomness, sharing, and fault handling.  The legacy
@@ -36,6 +46,7 @@ pub mod backend;
 pub mod cache;
 pub mod coordinator;
 pub mod error;
+pub(crate) mod executor;
 pub mod loader;
 pub mod minibatch;
 pub mod partition;

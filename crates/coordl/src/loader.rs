@@ -8,9 +8,9 @@
 
 use crate::cache::MinIoByteCache;
 use crate::error::CoordlError;
+use crate::executor::OrderedStream;
 use crate::minibatch::Minibatch;
 use crate::session::{Session, SessionConfig};
-use crate::stack::SingleEpochStream;
 use crate::stats::LoaderStats;
 use crate::tier::CacheTier;
 use dataset::DataSource;
@@ -117,7 +117,7 @@ impl DataLoader {
 /// Iterator over one epoch's minibatches, delivered in training order.
 #[deprecated(since = "0.1.0", note = "use coordl::BatchStream via Session::epoch")]
 pub struct EpochIterator {
-    inner: SingleEpochStream,
+    inner: OrderedStream,
 }
 
 #[allow(deprecated)]

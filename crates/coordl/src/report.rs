@@ -37,6 +37,21 @@ pub struct EpochTrajectory {
     pub staging_published: u64,
     /// Minibatches fully consumed and evicted (coordinated mode only).
     pub staging_evicted: u64,
+    /// Wall seconds the fetch thread spent reading tiers and backends.
+    pub fetch_busy_seconds: f64,
+    /// Wall seconds the fetch thread spent blocked on prep backpressure.
+    pub fetch_stall_seconds: f64,
+    /// Wall seconds prep workers spent pre-processing (summed across the
+    /// pool, so this can exceed the epoch's wall time).
+    pub prep_busy_seconds: f64,
+    /// Wall seconds prep workers spent blocked on their queues — starved
+    /// for fetched batches, or publishing into a backed-up consumer /
+    /// staging window (summed across the pool).
+    pub prep_stall_seconds: f64,
+    /// Wall seconds consumers spent waiting for the next minibatch (summed
+    /// across consumer threads) — the runtime analogue of the simulator's
+    /// data-stall time.
+    pub consumer_wait_seconds: f64,
 }
 
 impl EpochTrajectory {
@@ -85,6 +100,17 @@ pub struct LoaderReport {
     pub cache_misses: u64,
     /// Cumulative modelled device busy seconds.
     pub device_seconds: f64,
+    /// Cumulative wall seconds the fetch stage spent reading.
+    pub fetch_busy_seconds: f64,
+    /// Cumulative wall seconds the fetch stage spent blocked on prep
+    /// backpressure.
+    pub fetch_stall_seconds: f64,
+    /// Cumulative wall seconds prep workers spent pre-processing.
+    pub prep_busy_seconds: f64,
+    /// Cumulative wall seconds prep workers spent blocked on their queues.
+    pub prep_stall_seconds: f64,
+    /// Cumulative wall seconds consumers spent waiting for minibatches.
+    pub consumer_wait_seconds: f64,
     /// Per-epoch counter deltas, in the order epochs were run.
     pub epochs: Vec<EpochTrajectory>,
 }
@@ -141,6 +167,17 @@ impl LoaderReport {
         tail.iter().map(|e| e.device_seconds).sum::<f64>() / tail.len() as f64
     }
 
+    /// Average steady-state consumer-wait seconds per epoch (the runtime's
+    /// measured data-stall analogue, compared informationally against the
+    /// simulator's stall predictions by `dstool validate`).
+    pub fn steady_consumer_wait_seconds(&self) -> f64 {
+        let tail = self.steady_epochs();
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().map(|e| e.consumer_wait_seconds).sum::<f64>() / tail.len() as f64
+    }
+
     /// Serialise the report as a JSON object through the shared
     /// `pipeline::json` emitter, mirroring `SimReport::to_json`'s layout
     /// (`disk_bytes_per_epoch`, `remote_bytes_per_epoch`, per-epoch records)
@@ -181,6 +218,16 @@ impl LoaderReport {
         out.push_str(&self.samples_delivered.to_string());
         out.push_str(",\"device_seconds\":");
         write_f64(&mut out, self.device_seconds);
+        out.push_str(",\"fetch_busy_seconds\":");
+        write_f64(&mut out, self.fetch_busy_seconds);
+        out.push_str(",\"fetch_stall_seconds\":");
+        write_f64(&mut out, self.fetch_stall_seconds);
+        out.push_str(",\"prep_busy_seconds\":");
+        write_f64(&mut out, self.prep_busy_seconds);
+        out.push_str(",\"prep_stall_seconds\":");
+        write_f64(&mut out, self.prep_stall_seconds);
+        out.push_str(",\"consumer_wait_seconds\":");
+        write_f64(&mut out, self.consumer_wait_seconds);
         out.push_str(",\"trajectories\":[");
         for (i, e) in self.epochs.iter().enumerate() {
             if i > 0 {
@@ -218,6 +265,16 @@ fn epoch_trajectory_json(out: &mut String, e: &EpochTrajectory) {
     out.push_str(&e.staging_published.to_string());
     out.push_str(",\"staging_evicted\":");
     out.push_str(&e.staging_evicted.to_string());
+    out.push_str(",\"fetch_busy_seconds\":");
+    write_f64(out, e.fetch_busy_seconds);
+    out.push_str(",\"fetch_stall_seconds\":");
+    write_f64(out, e.fetch_stall_seconds);
+    out.push_str(",\"prep_busy_seconds\":");
+    write_f64(out, e.prep_busy_seconds);
+    out.push_str(",\"prep_stall_seconds\":");
+    write_f64(out, e.prep_stall_seconds);
+    out.push_str(",\"consumer_wait_seconds\":");
+    write_f64(out, e.consumer_wait_seconds);
     out.push('}');
 }
 
@@ -243,6 +300,11 @@ mod tests {
             cache_hits: 20,
             cache_misses: 10,
             device_seconds: 0.5,
+            fetch_busy_seconds: 0.2,
+            fetch_stall_seconds: 0.05,
+            prep_busy_seconds: 1.5,
+            prep_stall_seconds: 0.1,
+            consumer_wait_seconds: 0.3,
             epochs: vec![
                 EpochTrajectory {
                     epoch: 0,
@@ -250,6 +312,7 @@ mod tests {
                     cache_misses: 10,
                     samples_delivered: 60,
                     device_seconds: 0.5,
+                    consumer_wait_seconds: 0.25,
                     ..EpochTrajectory::default()
                 },
                 EpochTrajectory {
@@ -257,6 +320,7 @@ mod tests {
                     bytes_from_cache: 2000,
                     cache_hits: 20,
                     samples_delivered: 60,
+                    consumer_wait_seconds: 0.05,
                     ..EpochTrajectory::default()
                 },
             ],
@@ -270,6 +334,7 @@ mod tests {
         assert!((r.steady_hit_ratio() - 1.0).abs() < 1e-12);
         assert_eq!(r.steady_storage_bytes(), 0.0);
         assert_eq!(r.steady_device_seconds(), 0.0);
+        assert!((r.steady_consumer_wait_seconds() - 0.05).abs() < 1e-12);
     }
 
     #[test]
@@ -289,6 +354,15 @@ mod tests {
         assert_eq!(
             traj[1].get("cache_hits").and_then(Value::as_f64),
             Some(20.0)
+        );
+        // The per-stage timing columns are present at both levels.
+        assert_eq!(
+            doc.get("prep_busy_seconds").and_then(Value::as_f64),
+            Some(1.5)
+        );
+        assert_eq!(
+            traj[0].get("consumer_wait_seconds").and_then(Value::as_f64),
+            Some(0.25)
         );
     }
 }

@@ -40,10 +40,11 @@
 use crate::cache::MinIoByteCache;
 use crate::coordinator::{CoordinatedEngine, EpochSession, JobEpochIterator};
 use crate::error::CoordlError;
+use crate::executor::{spawn_ordered_epoch, FetchFn, OrderedStream};
 use crate::minibatch::Minibatch;
 use crate::partition::PartitionedCacheCluster;
 use crate::report::{EpochTrajectory, LoaderReport};
-use crate::stack::{spawn_single_epoch, LoaderStack, SingleEpochStream};
+use crate::stack::{spawn_single_epoch, LoaderStack};
 use crate::staging::{StagingArea, StagingStats};
 use crate::stats::LoaderStats;
 use crate::tier::{CacheTier, PolicyByteCache};
@@ -101,10 +102,14 @@ impl Mode {
 pub struct SessionConfig {
     /// Samples per minibatch.
     pub batch_size: usize,
-    /// Worker threads per single-mode epoch (ignored by the other modes,
-    /// whose parallelism is per-job / per-node).
+    /// Prep worker threads per epoch executor: the single-mode pool, the
+    /// pool *shared by all jobs* of a coordinated session, or each
+    /// partitioned node's pool.  Worker count never changes what a job
+    /// observes — streams and counter statistics are bit-identical for any
+    /// value (see [`SessionBuilder::workers`]).
     pub num_workers: usize,
-    /// Prepared minibatches buffered ahead of a single-mode consumer.
+    /// Raw minibatches prefetched ahead of the prep pool (and prepared
+    /// minibatches buffered ahead of a single/partitioned consumer).
     pub prefetch_depth: usize,
     /// Seed for the per-epoch shuffle (shared by all jobs of a session).
     pub seed: u64,
@@ -155,6 +160,28 @@ impl SessionBuilder {
         self
     }
 
+    /// Size the epoch executor's prep-worker pool (overrides
+    /// [`SessionConfig::num_workers`]).
+    ///
+    /// Parallelism is an implementation detail of *when* work happens, never
+    /// of *what* is computed: every cache transaction runs sequentially in
+    /// training order on one fetch thread, so `workers(1)` and `workers(n)`
+    /// yield bit-identical minibatch streams and [`LoaderStats`] counters
+    /// (pinned by `tests/parallel_session_equivalence.rs`).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.num_workers = n;
+        self
+    }
+
+    /// Set how many raw minibatches the fetch thread runs ahead of the prep
+    /// pool (overrides [`SessionConfig::prefetch_depth`]).  Like the worker
+    /// count, depth only trades memory for overlap — the delivered streams
+    /// and statistics are identical for any value.
+    pub fn prefetch_depth(mut self, depth: usize) -> Self {
+        self.config.prefetch_depth = depth;
+        self
+    }
+
     /// Set the executable prep pipeline.  Defaults to the image
     /// classification pipeline with decode multiplier 6, seeded from the
     /// session seed.
@@ -198,6 +225,11 @@ impl SessionBuilder {
         }
         if config.num_workers == 0 {
             return Err(CoordlError::InvalidConfig("num_workers must be > 0".into()));
+        }
+        if config.prefetch_depth == 0 {
+            return Err(CoordlError::InvalidConfig(
+                "prefetch_depth must be > 0".into(),
+            ));
         }
         if config.staging_window == 0 {
             return Err(CoordlError::InvalidConfig(
@@ -265,6 +297,8 @@ impl SessionBuilder {
                     staging_window: config.staging_window,
                     seed: config.seed,
                     take_timeout: config.take_timeout,
+                    num_workers: config.num_workers,
+                    prefetch_depth: config.prefetch_depth,
                 },
             },
             Mode::Partitioned { nodes } => {
@@ -433,12 +467,12 @@ impl Session {
         }
     }
 
-    /// Spawn one single-mode epoch's worker pool (shared by
+    /// Spawn one single-mode epoch's prefetching executor (shared by
     /// [`EpochRun::stream`] and the legacy `DataLoader` shim).
     ///
     /// # Panics
     /// Panics unless the session is in [`Mode::Single`].
-    pub(crate) fn raw_single_epoch(&self, epoch: u64) -> SingleEpochStream {
+    pub(crate) fn raw_single_epoch(&self, epoch: u64) -> OrderedStream {
         let SessionKind::Single { stack } = &self.kind else {
             panic!("raw_single_epoch requires Mode::Single");
         };
@@ -495,6 +529,11 @@ impl Session {
             cache_hits: snap.hits,
             cache_misses: snap.misses,
             device_seconds: snap.device_seconds,
+            fetch_busy_seconds: snap.fetch_busy_seconds,
+            fetch_stall_seconds: snap.fetch_stall_seconds,
+            prep_busy_seconds: snap.prep_busy_seconds,
+            prep_stall_seconds: snap.prep_stall_seconds,
+            consumer_wait_seconds: snap.consumer_wait_seconds,
             epochs: self.trajectories.lock().clone(),
         }
     }
@@ -522,6 +561,11 @@ impl Session {
             hits,
             misses,
             device_seconds: self.backend.device_seconds(),
+            fetch_busy_seconds: self.stats.fetch_busy_seconds(),
+            fetch_stall_seconds: self.stats.fetch_stall_seconds(),
+            prep_busy_seconds: self.stats.prep_busy_seconds(),
+            prep_stall_seconds: self.stats.prep_stall_seconds(),
+            consumer_wait_seconds: self.stats.consumer_wait_seconds(),
         }
     }
 
@@ -541,6 +585,11 @@ impl Session {
             staging_peak_bytes: staging.peak_bytes,
             staging_published: staging.published,
             staging_evicted: staging.evicted,
+            fetch_busy_seconds: end.fetch_busy_seconds - start.fetch_busy_seconds,
+            fetch_stall_seconds: end.fetch_stall_seconds - start.fetch_stall_seconds,
+            prep_busy_seconds: end.prep_busy_seconds - start.prep_busy_seconds,
+            prep_stall_seconds: end.prep_stall_seconds - start.prep_stall_seconds,
+            consumer_wait_seconds: end.consumer_wait_seconds - start.consumer_wait_seconds,
         });
     }
 }
@@ -555,6 +604,11 @@ struct CounterSnapshot {
     hits: u64,
     misses: u64,
     device_seconds: f64,
+    fetch_busy_seconds: f64,
+    fetch_stall_seconds: f64,
+    prep_busy_seconds: f64,
+    prep_stall_seconds: f64,
+    consumer_wait_seconds: f64,
 }
 
 enum RunInner {
@@ -614,7 +668,7 @@ impl EpochRun<'_> {
                 let stream = self.session.raw_single_epoch(self.epoch);
                 BatchStream {
                     total: stream.total_batches(),
-                    inner: StreamInner::Single(stream),
+                    inner: StreamInner::Ordered(stream),
                 }
             }
             (RunInner::Coordinated(epoch_session), _) => BatchStream {
@@ -631,17 +685,25 @@ impl EpochRun<'_> {
                         .into_iter()
                         .enumerate()
                         .collect();
-                let total = batches.len();
+                // The node's executor fetches through the cluster (local
+                // tier → peers → backend) strictly in shard order, so a
+                // node's fetch sequence stays deterministic under any
+                // worker count.
+                let cluster = Arc::clone(cluster);
+                let node = job;
+                let fetch: Arc<FetchFn> = Arc::new(move |item| cluster.fetch(node, item).0);
+                let stream = spawn_ordered_epoch(
+                    self.epoch,
+                    batches,
+                    fetch,
+                    Arc::clone(&self.session.pipeline),
+                    Arc::clone(&self.session.stats),
+                    self.session.config.num_workers,
+                    self.session.config.prefetch_depth,
+                );
                 BatchStream {
-                    total,
-                    inner: StreamInner::Partitioned(PartitionNodeStream {
-                        cluster: Arc::clone(cluster),
-                        pipeline: Arc::clone(&self.session.pipeline),
-                        stats: Arc::clone(&self.session.stats),
-                        node: job,
-                        epoch: self.epoch,
-                        batches: batches.into_iter(),
-                    }),
+                    total: stream.total_batches(),
+                    inner: StreamInner::Ordered(stream),
                 }
             }
             _ => unreachable!("EpochRun inner state matches the session kind"),
@@ -688,18 +750,20 @@ impl Drop for EpochRun<'_> {
 /// One job's minibatch stream for one epoch, in training order.
 ///
 /// All modes yield `Result<Arc<Minibatch>, CoordlError>`: coordinated
-/// epochs surface producer failure and shutdown as typed errors; single and
-/// partitioned epochs never error (a single-mode epoch whose workers died
-/// simply ends early, exactly like the legacy `DataLoader`).
+/// epochs surface producer failure, worker panics and shutdown as typed
+/// errors; single and partitioned epochs surface a panicking worker as one
+/// [`CoordlError::WorkerPanicked`] before ending (the legacy `DataLoader`
+/// shim still just ends early).
 pub struct BatchStream {
     total: usize,
     inner: StreamInner,
 }
 
 enum StreamInner {
-    Single(SingleEpochStream),
+    /// Single-mode and partitioned-node streams: one executor + reorder
+    /// buffer per stream.
+    Ordered(OrderedStream),
     Coordinated(JobEpochIterator),
-    Partitioned(PartitionNodeStream),
 }
 
 impl BatchStream {
@@ -714,43 +778,14 @@ impl Iterator for BatchStream {
 
     fn next(&mut self) -> Option<Self::Item> {
         match &mut self.inner {
-            StreamInner::Single(s) => s.next().map(|mb| Ok(Arc::new(mb))),
+            StreamInner::Ordered(s) => match s.next() {
+                Some(mb) => Some(Ok(Arc::new(mb))),
+                // An early end with a recorded panic becomes one typed
+                // error; a clean end (or a repeat call) stays None.
+                None => s.take_failure().map(Err),
+            },
             StreamInner::Coordinated(s) => s.next(),
-            StreamInner::Partitioned(s) => s.next(),
         }
-    }
-}
-
-/// Synchronous per-node stream of a partitioned epoch: fetches the node's
-/// shard through the cluster (local tier → peers → backend) and preps it.
-struct PartitionNodeStream {
-    cluster: Arc<PartitionedCacheCluster>,
-    pipeline: Arc<ExecutablePipeline>,
-    stats: Arc<LoaderStats>,
-    node: usize,
-    epoch: u64,
-    batches: std::vec::IntoIter<(usize, Vec<ItemId>)>,
-}
-
-impl Iterator for PartitionNodeStream {
-    type Item = Result<Arc<Minibatch>, CoordlError>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        let (index, items) = self.batches.next()?;
-        let samples = items
-            .iter()
-            .map(|&item| {
-                let (raw, _origin) = self.cluster.fetch(self.node, item);
-                self.stats.record_prepared(1);
-                self.pipeline.prepare(self.epoch, item, &raw)
-            })
-            .collect::<Vec<_>>();
-        self.stats.record_delivered(samples.len() as u64);
-        Some(Ok(Arc::new(Minibatch {
-            epoch: self.epoch,
-            index,
-            samples,
-        })))
     }
 }
 

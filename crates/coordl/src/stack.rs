@@ -2,20 +2,18 @@
 //! cache tier over one fetch backend, plus the executable prep pipeline and
 //! the shared statistics.
 //!
-//! This module also owns the single-job epoch engine (the multi-threaded
-//! fetch → prep → collate worker pool with an in-order reorder buffer) that
-//! both `Mode::Single` sessions and the legacy `DataLoader` shim run on, so
-//! the two are bit-identical by construction.
+//! The multi-threaded epoch engine itself lives in
+//! [`executor`](crate::executor); this module provides the stack (what a
+//! fetch *does*) and the single-job entry point that both `Mode::Single`
+//! sessions and the legacy `DataLoader` shim run on, so the two are
+//! bit-identical by construction.
 
-use crate::minibatch::Minibatch;
+use crate::executor::{spawn_ordered_epoch, FetchFn, OrderedStream};
 use crate::stats::LoaderStats;
 use crate::{CacheTier, FetchBackend};
-use crossbeam::channel::{bounded, Receiver, Sender};
 use dataset::ItemId;
 use prep::{ExecutablePipeline, PreparedSample};
-use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// One cache tier over one fetch backend, with shared statistics and the
 /// prep pipeline: everything a worker needs to turn item ids into prepared
@@ -40,7 +38,8 @@ impl LoaderStack {
         self.tier.admit(item, bytes)
     }
 
-    /// Fetch and pre-process one minibatch's items in order.
+    /// Fetch and pre-process one minibatch's items in order (the sequential
+    /// path used by coordinated recovery producers).
     pub(crate) fn prepare(&self, epoch: u64, items: &[ItemId]) -> Vec<PreparedSample> {
         items
             .iter()
@@ -51,120 +50,30 @@ impl LoaderStack {
             })
             .collect()
     }
+
+    /// The stack's fetch path as an executor fetch function.
+    pub(crate) fn fetch_fn(&self) -> Arc<FetchFn> {
+        let stack = self.clone();
+        Arc::new(move |item| stack.fetch(item))
+    }
 }
 
-/// Spawn the single-job worker pool for one epoch and return the stream of
-/// its minibatches in training order.
+/// Spawn the single-job prefetching executor for one epoch and return the
+/// stream of its minibatches in training order.
 pub(crate) fn spawn_single_epoch(
     epoch: u64,
     batches: Vec<(usize, Vec<ItemId>)>,
     stack: LoaderStack,
     num_workers: usize,
     prefetch_depth: usize,
-) -> SingleEpochStream {
-    let total = batches.len();
-    let (work_tx, work_rx) = bounded::<(usize, Vec<ItemId>)>(total.max(1));
-    for b in batches {
-        work_tx.send(b).expect("queue sized to hold all batches");
-    }
-    drop(work_tx);
-
-    let capacity = prefetch_depth.max(num_workers * 2);
-    let (out_tx, out_rx) = bounded::<Minibatch>(capacity);
-
-    let mut workers = Vec::with_capacity(num_workers);
-    for _ in 0..num_workers {
-        workers.push(spawn_worker(
-            epoch,
-            stack.clone(),
-            work_rx.clone(),
-            out_tx.clone(),
-        ));
-    }
-    drop(out_tx);
-
-    SingleEpochStream {
-        rx: out_rx,
-        reorder: BTreeMap::new(),
-        next: 0,
-        total,
-        stats: Arc::clone(&stack.stats),
-        workers,
-    }
-}
-
-fn spawn_worker(
-    epoch: u64,
-    stack: LoaderStack,
-    work_rx: Receiver<(usize, Vec<ItemId>)>,
-    out_tx: Sender<Minibatch>,
-) -> JoinHandle<()> {
-    std::thread::spawn(move || {
-        while let Ok((index, items)) = work_rx.recv() {
-            let mb = Minibatch {
-                epoch,
-                index,
-                samples: stack.prepare(epoch, &items),
-            };
-            // The consumer may have been dropped early; that is not an error.
-            if out_tx.send(mb).is_err() {
-                return;
-            }
-        }
-    })
-}
-
-/// Iterator over one single-job epoch's minibatches, delivered in training
-/// order.
-pub(crate) struct SingleEpochStream {
-    rx: Receiver<Minibatch>,
-    reorder: BTreeMap<usize, Minibatch>,
-    next: usize,
-    total: usize,
-    stats: Arc<LoaderStats>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl SingleEpochStream {
-    /// Number of minibatches this epoch will deliver.
-    pub(crate) fn total_batches(&self) -> usize {
-        self.total
-    }
-}
-
-impl Iterator for SingleEpochStream {
-    type Item = Minibatch;
-
-    fn next(&mut self) -> Option<Minibatch> {
-        if self.next >= self.total {
-            return None;
-        }
-        loop {
-            if let Some(mb) = self.reorder.remove(&self.next) {
-                self.next += 1;
-                self.stats.record_delivered(mb.len() as u64);
-                return Some(mb);
-            }
-            match self.rx.recv() {
-                Ok(mb) => {
-                    self.reorder.insert(mb.index, mb);
-                }
-                Err(_) => return None, // workers gone; epoch incomplete
-            }
-        }
-    }
-}
-
-impl Drop for SingleEpochStream {
-    fn drop(&mut self) {
-        // Disconnect the output channel so any worker blocked on `send`
-        // observes the disconnect and exits, then join them all.
-        self.reorder.clear();
-        let (_tx, dummy_rx) = bounded::<Minibatch>(1);
-        let real_rx = std::mem::replace(&mut self.rx, dummy_rx);
-        drop(real_rx);
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-    }
+) -> OrderedStream {
+    spawn_ordered_epoch(
+        epoch,
+        batches,
+        stack.fetch_fn(),
+        Arc::clone(&stack.pipeline),
+        Arc::clone(&stack.stats),
+        num_workers,
+        prefetch_depth,
+    )
 }

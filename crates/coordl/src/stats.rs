@@ -1,9 +1,18 @@
 //! Loader statistics (atomic, shared across worker threads).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Counters describing where a loader's bytes came from and how much work it
 /// performed.  All counters are monotone and thread-safe.
+///
+/// The byte and sample counters are *deterministic*: the prefetching
+/// executor performs every cache transaction sequentially in plan order, so
+/// they are a pure function of the workload regardless of worker count or
+/// prefetch depth.  The stage-timing counters (`*_seconds`) are wall-clock
+/// measurements summed across all threads of a stage and naturally vary run
+/// to run — they describe where time went (fetch vs prep vs consumer wait),
+/// not what was computed.
 #[derive(Debug, Default)]
 pub struct LoaderStats {
     bytes_from_storage: AtomicU64,
@@ -11,6 +20,11 @@ pub struct LoaderStats {
     bytes_from_remote: AtomicU64,
     samples_prepared: AtomicU64,
     samples_delivered: AtomicU64,
+    fetch_busy_nanos: AtomicU64,
+    fetch_stall_nanos: AtomicU64,
+    prep_busy_nanos: AtomicU64,
+    prep_stall_nanos: AtomicU64,
+    consumer_wait_nanos: AtomicU64,
 }
 
 impl LoaderStats {
@@ -63,6 +77,65 @@ impl LoaderStats {
     pub fn samples_delivered(&self) -> u64 {
         self.samples_delivered.load(Ordering::Relaxed)
     }
+
+    /// Record time the fetch stage spent reading tiers and backends.
+    pub fn record_fetch_busy(&self, d: Duration) {
+        self.fetch_busy_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record time the fetch stage spent blocked on a full prefetch queue.
+    pub fn record_fetch_stall(&self, d: Duration) {
+        self.fetch_stall_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record time a prep worker spent pre-processing.
+    pub fn record_prep_busy(&self, d: Duration) {
+        self.prep_busy_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record time a prep worker spent blocked on its queues: waiting for
+    /// fetched batches, or publishing into a backed-up consumer/staging
+    /// window.
+    pub fn record_prep_stall(&self, d: Duration) {
+        self.prep_stall_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record time a consumer spent waiting for the next minibatch.
+    pub fn record_consumer_wait(&self, d: Duration) {
+        self.consumer_wait_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Seconds the fetch stage spent reading, summed across epochs.
+    pub fn fetch_busy_seconds(&self) -> f64 {
+        self.fetch_busy_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Seconds the fetch stage spent blocked on prep backpressure.
+    pub fn fetch_stall_seconds(&self) -> f64 {
+        self.fetch_stall_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Seconds prep workers spent pre-processing, summed across workers.
+    pub fn prep_busy_seconds(&self) -> f64 {
+        self.prep_busy_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Seconds prep workers spent blocked on their queues (starved for
+    /// fetches or backed up downstream), summed across workers.
+    pub fn prep_stall_seconds(&self) -> f64 {
+        self.prep_stall_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Seconds consumers spent waiting for minibatches, summed across
+    /// consumer threads.
+    pub fn consumer_wait_seconds(&self) -> f64 {
+        self.consumer_wait_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +157,22 @@ mod tests {
         assert_eq!(s.bytes_from_remote(), 3);
         assert_eq!(s.samples_prepared(), 2);
         assert_eq!(s.samples_delivered(), 4);
+    }
+
+    #[test]
+    fn stage_timings_accumulate_in_seconds() {
+        let s = LoaderStats::default();
+        s.record_fetch_busy(Duration::from_millis(500));
+        s.record_fetch_busy(Duration::from_millis(250));
+        s.record_fetch_stall(Duration::from_millis(100));
+        s.record_prep_busy(Duration::from_secs(2));
+        s.record_prep_stall(Duration::from_millis(40));
+        s.record_consumer_wait(Duration::from_millis(10));
+        assert!((s.fetch_busy_seconds() - 0.75).abs() < 1e-9);
+        assert!((s.fetch_stall_seconds() - 0.1).abs() < 1e-9);
+        assert!((s.prep_busy_seconds() - 2.0).abs() < 1e-9);
+        assert!((s.prep_stall_seconds() - 0.04).abs() < 1e-9);
+        assert!((s.consumer_wait_seconds() - 0.01).abs() < 1e-9);
     }
 
     #[test]

@@ -25,8 +25,8 @@
 //! `cargo run --release --bin dstool -- smoke --out ci/bench_baseline.json`.
 
 use benchkit::{
-    find_suite, run_validation, GateKind, SweepSuite, Table, ValidationConfig, SMOKE_EXTRA_SCALE,
-    SUITES,
+    find_suite, run_validation, run_worker_sweep, GateKind, SweepSuite, Table, ValidationConfig,
+    WorkerSweepConfig, WorkerSweepReport, SMOKE_EXTRA_SCALE, SUITES, WORKER_SWEEP_NAME,
 };
 use datastalls::pipeline::json::{self, Value};
 use datastalls::pipeline::{SweepReport, SweepRunner};
@@ -44,8 +44,12 @@ fn usage() -> &'static str {
      \n\
      commands:\n\
      \u{20} list                         list the preset sweep suites\n\
-     \u{20} sweep <suite|all>            run a suite and print its table\n\
+     \u{20} sweep <suite|all>            run a simulator suite and print its table\n\
      \u{20}       [--threads N|--serial] [--scale N] [--out FILE]\n\
+     \u{20} sweep worker-sweep           run the *runtime* worker-count preset:\n\
+     \u{20}       the prep-heavy Session workload at several --workers values,\n\
+     \u{20}       gating bit-identical streams and printing wall-clock scaling\n\
+     \u{20}       [--scale N] [--out FILE]\n\
      \u{20} smoke                        CI smoke: every suite, parallel vs serial\n\
      \u{20}       [--threads N] [--scale N] [--out FILE]\n\
      \u{20}       [--baseline FILE] [--tolerance FRAC]\n\
@@ -97,10 +101,16 @@ struct ValidateCmd {
     out: String,
 }
 
+struct WorkerSweepCmd {
+    scale: u64,
+    out: Option<String>,
+}
+
 enum Command {
     Help,
     List,
     Sweep(SweepCmd),
+    WorkerSweep(WorkerSweepCmd),
     Smoke(SmokeCmd),
     Validate(ValidateCmd),
 }
@@ -129,6 +139,32 @@ fn parse_sweep(args: &[&String]) -> Result<Command, String> {
     let which = it
         .next()
         .ok_or_else(|| format!("sweep needs a suite name or 'all'\n\n{}", usage()))?;
+    if which.as_str() == WORKER_SWEEP_NAME {
+        // The runtime preset: its axis *is* the worker count, so the
+        // simulator-sweep threading flags do not apply.
+        let mut cmd = WorkerSweepCmd {
+            scale: 1,
+            out: None,
+        };
+        while let Some(flag) = it.next() {
+            let mut value = || -> Result<&String, String> {
+                it.next()
+                    .copied()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--scale" => cmd.scale = parse_scale(value()?)?,
+                "--out" => cmd.out = Some(value()?.clone()),
+                other => {
+                    return Err(format!(
+                        "unknown flag {other} for {WORKER_SWEEP_NAME} (the preset sweeps \
+                         its own worker axis; only --scale and --out apply)"
+                    ))
+                }
+            }
+        }
+        return Ok(Command::WorkerSweep(cmd));
+    }
     let suites: Vec<&'static SweepSuite> = if which.as_str() == "all" {
         SUITES.iter().collect()
     } else {
@@ -292,6 +328,15 @@ fn run_list() {
             suite.description.to_string(),
         ]);
     }
+    let worker_defaults = WorkerSweepConfig::default();
+    table.row(&[
+        WORKER_SWEEP_NAME.to_string(),
+        worker_defaults.worker_counts.len().to_string(),
+        "§5 (prefetch/overlap)".to_string(),
+        "runtime Session executor: wall-clock scaling over prep workers, \
+         bit-identical streams gated"
+            .to_string(),
+    ]);
     table.print();
     println!("\nrun one with: dstool sweep <name>   (or 'dstool sweep all')");
 }
@@ -362,6 +407,108 @@ fn run_sweep(cmd: &SweepCmd) -> Result<(), String> {
     Ok(())
 }
 
+/// Print the runtime worker sweep's per-point table.
+fn print_worker_table(report: &WorkerSweepReport) {
+    let mut table = Table::new(
+        format!("Runtime {} (coordl::Session executor)", WORKER_SWEEP_NAME),
+        &[
+            "workers",
+            "wall s",
+            "samples/s",
+            "speedup",
+            "prep busy s",
+            "consumer wait s",
+        ],
+    )
+    .with_caption(format!(
+        "prep-heavy preset: {} items x{} decode, {} epochs; streams and stats \
+         bit-identical across all points",
+        report.config.items, report.config.decode_multiplier, report.config.epochs
+    ));
+    for p in &report.points {
+        table.row(&[
+            p.workers.to_string(),
+            format!("{:.3}", p.wall_seconds),
+            format!("{:.0}", p.samples_per_sec),
+            format!("{:.2}x", report.speedup(p.workers).unwrap_or(1.0)),
+            format!("{:.3}", p.prep_busy_seconds),
+            format!("{:.3}", p.consumer_wait_seconds),
+        ]);
+    }
+    table.print();
+}
+
+fn run_worker_sweep_cmd(cmd: &WorkerSweepCmd) -> Result<(), String> {
+    let report = run_worker_sweep(&WorkerSweepConfig::scaled(cmd.scale));
+    print_worker_table(&report);
+    report.bit_identical()?;
+    println!(
+        "bit-equality gate passed: {} worker counts, one stream (digest {:016x})",
+        report.points.len(),
+        report.digest().unwrap_or(0)
+    );
+    if let Some(path) = &cmd.out {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Gate the runtime worker sweep: bit-equality always, wall-clock scaling
+/// only where the host can express it.  Called *after* the results JSON is
+/// on disk so a gate failure still leaves the artifact for diagnosis.
+fn gate_worker_sweep(report: &WorkerSweepReport) -> Result<(), String> {
+    report.bit_identical()?;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_workers = report
+        .config
+        .worker_counts
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(1);
+    let Some(speedup) = report.speedup(max_workers) else {
+        return Ok(());
+    };
+    if cores < max_workers {
+        // An undersized host measures the OS scheduler, not the executor;
+        // the bit-equality and baseline digest gates still apply in full.
+        println!(
+            "note: only {cores} core(s) available; wall-clock speedup gate \
+             skipped (measured {speedup:.2}x at workers={max_workers})"
+        );
+        return Ok(());
+    }
+    if speedup > 1.0 {
+        return Ok(());
+    }
+    // The smoke-scale points run for milliseconds, where one scheduler
+    // hiccup can erase the speedup; confirm at full scale (a much larger
+    // measurement window) before declaring a regression.
+    println!(
+        "worker-sweep: smoke-scale speedup only {speedup:.2}x at \
+         workers={max_workers}; re-measuring at full scale"
+    );
+    let full = run_worker_sweep(&WorkerSweepConfig::scaled(1));
+    print_worker_table(&full);
+    full.bit_identical()?;
+    match full.speedup(max_workers) {
+        Some(confirmed) if confirmed <= 1.0 => Err(format!(
+            "worker-sweep: workers={max_workers} did not beat workers=1 \
+             ({confirmed:.2}x at full scale) on a {cores}-core host"
+        )),
+        _ => Ok(()),
+    }
+}
+
+/// Measure the runtime worker preset inside `smoke` (gating happens later,
+/// once the artifact is written).
+fn smoke_worker_sweep(cmd: &SmokeCmd) -> WorkerSweepReport {
+    let report = run_worker_sweep(&WorkerSweepConfig::scaled(cmd.scale));
+    print_worker_table(&report);
+    report
+}
+
 fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
     println!(
         "dstool smoke: {} suites, extra scale {}, {} worker threads vs serial",
@@ -406,9 +553,16 @@ fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
         results.push((suite, parallel));
     }
 
-    let doc = smoke_json(cmd, &results);
+    // The runtime half: the worker-count preset on the real executor.
+    // Measure first, write the artifact, then gate — a gate failure must
+    // not discard the results CI needs for diagnosis.
+    let worker_report = smoke_worker_sweep(cmd);
+
+    let doc = smoke_json(cmd, &results, &worker_report);
     std::fs::write(&cmd.out, &doc).map_err(|e| format!("cannot write {}: {e}", cmd.out))?;
     println!("wrote {}", cmd.out);
+
+    gate_worker_sweep(&worker_report)?;
 
     if let Some(path) = &cmd.baseline {
         check_baseline(path, &doc, cmd.tolerance, cmd.scale)?;
@@ -421,8 +575,15 @@ fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
 }
 
 /// The `BENCH_sweep.json` / `ci/bench_baseline.json` document: per-preset
-/// steady-state throughput, deterministic across machines.
-fn smoke_json(cmd: &SmokeCmd, results: &[(&SweepSuite, SweepReport)]) -> String {
+/// simulated steady-state throughput (deterministic across machines) plus
+/// the runtime worker sweep (its stream digest and counters are
+/// deterministic and baseline-gated; its wall-clock numbers are
+/// informational).
+fn smoke_json(
+    cmd: &SmokeCmd,
+    results: &[(&SweepSuite, SweepReport)],
+    worker_report: &WorkerSweepReport,
+) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\"schema\":\"datastalls-bench-sweep/v1\",\"threads\":");
     out.push_str(&cmd.threads.to_string());
@@ -452,12 +613,16 @@ fn smoke_json(cmd: &SmokeCmd, results: &[(&SweepSuite, SweepReport)]) -> String 
         }
         out.push_str("]}");
     }
-    out.push_str("]}");
+    out.push_str("],\"runtime_worker_sweep\":");
+    out.push_str(&worker_report.to_json());
+    out.push('}');
     out
 }
 
 /// Fail if any baseline preset's throughput regressed more than `tolerance`,
-/// or disappeared from the current run.
+/// or disappeared from the current run.  The runtime worker sweep's stream
+/// digest (a machine-independent hash of everything the executor delivered)
+/// is compared exactly when the baseline records one.
 fn check_baseline(
     path: &str,
     current_doc: &str,
@@ -508,6 +673,28 @@ fn check_baseline(
         }
         points
     };
+
+    // Behavioural gate on the runtime executor: the digest only changes
+    // when the delivered stream itself changes, which is a correctness
+    // event, not jitter.
+    let digest_of = |doc: &Value| -> Option<String> {
+        doc.get("runtime_worker_sweep")?
+            .get("stream_digest")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+    };
+    if let Some(expected) = digest_of(&baseline) {
+        let got = digest_of(&current);
+        if got.as_deref() != Some(expected.as_str()) {
+            return Err(format!(
+                "runtime worker-sweep stream digest changed: baseline {path} has \
+                 {expected}, this run produced {} — the executor now delivers \
+                 different bytes; fix the regression or refresh the baseline \
+                 after an intentional change",
+                got.as_deref().unwrap_or("<missing>"),
+            ));
+        }
+    }
 
     let current_points = index(&current);
     let mut regressions = Vec::new();
@@ -632,6 +819,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         Ok(Command::Sweep(cmd)) => run_sweep(&cmd),
+        Ok(Command::WorkerSweep(cmd)) => run_worker_sweep_cmd(&cmd),
         Ok(Command::Smoke(cmd)) => run_smoke(&cmd),
         Ok(Command::Validate(cmd)) => run_validate(&cmd),
         Err(msg) => Err(msg),
@@ -698,6 +886,50 @@ mod tests {
         assert!(parse_args(&args(&["sweep", "nope"])).is_err());
         assert!(parse_args(&args(&["sweep", "all", "--serial", "--threads", "2"])).is_err());
         assert!(parse_args(&args(&["sweep", "all", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn worker_sweep_is_routed_to_the_runtime_preset() {
+        let Ok(Command::WorkerSweep(cmd)) = parse_args(&args(&[
+            "sweep",
+            WORKER_SWEEP_NAME,
+            "--scale",
+            "4",
+            "--out",
+            "w.json",
+        ])) else {
+            panic!("expected worker-sweep command");
+        };
+        assert_eq!(cmd.scale, 4);
+        assert_eq!(cmd.out.as_deref(), Some("w.json"));
+        // The simulator threading flags do not apply to the runtime preset.
+        assert!(parse_args(&args(&["sweep", WORKER_SWEEP_NAME, "--serial"])).is_err());
+        assert!(parse_args(&args(&["sweep", WORKER_SWEEP_NAME, "--threads", "2"])).is_err());
+    }
+
+    #[test]
+    fn baseline_gate_compares_the_runtime_stream_digest() {
+        let baseline = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[{"label":"a","steady_samples_per_sec":1000}]}],
+            "runtime_worker_sweep":{"stream_digest":"00000000deadbeef"}}"#;
+        let dir = std::env::temp_dir().join("dstool_digest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, baseline).unwrap();
+        // Matching digest: passes.
+        let same = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[{"label":"a","steady_samples_per_sec":1000}]}],
+            "runtime_worker_sweep":{"stream_digest":"00000000deadbeef"}}"#;
+        check_baseline(path.to_str().unwrap(), same, 0.10, 8).unwrap();
+        // Changed digest: behavioural regression, hard failure.
+        let changed = same.replace("deadbeef", "0badf00d");
+        let err = check_baseline(path.to_str().unwrap(), &changed, 0.10, 8).unwrap_err();
+        assert!(err.contains("stream digest changed"), "{err}");
+        // Missing section counts as a change too.
+        let missing = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[{"label":"a","steady_samples_per_sec":1000}]}]}"#;
+        let err = check_baseline(path.to_str().unwrap(), missing, 0.10, 8).unwrap_err();
+        assert!(err.contains("<missing>"), "{err}");
     }
 
     #[test]
