@@ -17,6 +17,7 @@ pub mod parallel;
 pub mod presets;
 pub mod report;
 pub mod scenarios;
+pub mod tiersweep;
 pub mod validation;
 
 pub use parallel::{
@@ -31,5 +32,8 @@ pub use report::{fmt_bytes, fmt_gb, fmt_pct, fmt_speedup, Table};
 pub use scenarios::{
     distributed_pair, distributed_run, hp_jobs, hp_pair, hp_run, single_pair, single_run, steady,
     SinglePair,
+};
+pub use tiersweep::{
+    run_tier_sweep, TierSweepConfig, TierSweepPoint, TierSweepReport, TIER_SWEEP_NAME,
 };
 pub use validation::{run_validation, GateKind, ValidationConfig, ValidationReport, ValidationRow};

@@ -16,7 +16,7 @@ use coordl::{Mode, Session, SessionConfig};
 use dataset::{DataSource, DatasetSpec, SyntheticItemStore};
 use dcache::PolicyKind;
 use pipeline::json::{write_f64, write_string};
-use pipeline::{Experiment, JobSpec, LoaderConfig, Scenario, ServerConfig, SimReport};
+use pipeline::{CacheSpec, Experiment, JobSpec, LoaderConfig, Scenario, ServerConfig, SimReport};
 use prep::PrepBackend;
 use std::sync::Arc;
 use std::time::Duration;
@@ -56,12 +56,23 @@ impl Default for ValidationConfig {
 }
 
 /// How a row's predicted/empirical pair is compared against the tolerance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GateKind {
     /// `|predicted - empirical| <= tolerance`.
     Absolute,
     /// `|predicted - empirical| / max(predicted, epsilon) <= tolerance`.
     Relative,
+    /// A one-sided tripwire for wall-clock measurements compared against
+    /// modelled predictions: fails only when
+    /// `empirical > predicted * factor + slack_seconds`.  Coarse by design —
+    /// it catches stuck consumers and lost wakeups, not scheduler noise.
+    WallClock {
+        /// Multiplicative headroom over the prediction.
+        factor: f64,
+        /// Additive headroom covering fixed thread/startup overhead that
+        /// dominates tiny validation runs.
+        slack_seconds: f64,
+    },
     /// Reported only, never gated.
     Informational,
 }
@@ -69,7 +80,8 @@ pub enum GateKind {
 /// One predicted-vs-empirical comparison.
 #[derive(Debug, Clone)]
 pub struct ValidationRow {
-    /// Scenario label (`single-minio`, `single-lru`, `hp-coordinated`).
+    /// Scenario label (`single-minio`, `single-lru`, `single-tiered`,
+    /// `hp-coordinated`).
     pub scenario: &'static str,
     /// Metric label (`steady_hit_ratio`, `steady_disk_bytes`, ...).
     pub metric: &'static str,
@@ -100,6 +112,10 @@ impl ValidationRow {
                 // Two near-zero values agree regardless of their ratio.
                 self.delta() <= 1e-6 || self.relative_delta() <= tolerance
             }
+            GateKind::WallClock {
+                factor,
+                slack_seconds,
+            } => self.empirical <= self.predicted * factor + slack_seconds,
             GateKind::Informational => true,
         }
     }
@@ -187,10 +203,31 @@ struct ScenarioOutcome {
     predicted_stall_secs: f64,
     empirical_device_secs: f64,
     predicted_data_stall_secs: f64,
+    /// Consumer wait per consuming job (coordinated sessions sum their
+    /// consumers' waits, which would scale with the job count).
     empirical_consumer_wait_secs: f64,
+    /// Per-tier hit ratios, present for tiered scenarios:
+    /// `(predicted_dram, empirical_dram, predicted_ssd, empirical_ssd)`.
+    tier_ratios: Option<(f64, f64, f64, f64)>,
 }
 
-fn push_rows(rows: &mut Vec<ValidationRow>, scenario: &'static str, o: ScenarioOutcome) {
+/// The coordinated consumer-wait tripwire: the prediction is
+/// modelled-hardware seconds while the measurement is wall time on the test
+/// host, so the gate allows 10x the prediction plus ten seconds of fixed
+/// overhead before failing — enough headroom even for an oversubscribed
+/// single-core host running sibling tests, and still an order of magnitude
+/// below what a stuck consumer produces (take-timeout-bound waits are 30s+).
+pub const CONSUMER_WAIT_GATE: GateKind = GateKind::WallClock {
+    factor: 10.0,
+    slack_seconds: 10.0,
+};
+
+fn push_rows(
+    rows: &mut Vec<ValidationRow>,
+    scenario: &'static str,
+    o: ScenarioOutcome,
+    gate_consumer_wait: bool,
+) {
     rows.push(ValidationRow {
         scenario,
         metric: "steady_hit_ratio",
@@ -205,6 +242,22 @@ fn push_rows(rows: &mut Vec<ValidationRow>, scenario: &'static str, o: ScenarioO
         empirical: o.empirical_disk_bytes,
         gate: GateKind::Relative,
     });
+    if let Some((p_dram, e_dram, p_ssd, e_ssd)) = o.tier_ratios {
+        rows.push(ValidationRow {
+            scenario,
+            metric: "steady_dram_hit_ratio",
+            predicted: p_dram,
+            empirical: e_dram,
+            gate: GateKind::Absolute,
+        });
+        rows.push(ValidationRow {
+            scenario,
+            metric: "steady_ssd_hit_ratio",
+            predicted: p_ssd,
+            empirical: e_ssd,
+            gate: GateKind::Absolute,
+        });
+    }
     rows.push(ValidationRow {
         scenario,
         metric: "steady_fetch_stall_vs_device_seconds",
@@ -214,13 +267,20 @@ fn push_rows(rows: &mut Vec<ValidationRow>, scenario: &'static str, o: ScenarioO
     });
     // The simulator's fetch+prep stall prediction is on modelled hardware;
     // the runtime's consumer-wait is wall time on the test host.  The pair
-    // is reported so per-stage trends stay comparable, never gated.
+    // is reported so per-stage trends stay comparable.  For the coordinated
+    // scenario — whose counter rows match the simulator exactly — it is
+    // additionally gated, coarsely (see [`CONSUMER_WAIT_GATE`]), as a
+    // stuck-consumer tripwire.
     rows.push(ValidationRow {
         scenario,
         metric: "steady_data_stall_vs_consumer_wait_seconds",
         predicted: o.predicted_data_stall_secs,
         empirical: o.empirical_consumer_wait_secs,
-        gate: GateKind::Informational,
+        gate: if gate_consumer_wait {
+            CONSUMER_WAIT_GATE
+        } else {
+            GateKind::Informational
+        },
     });
 }
 
@@ -237,6 +297,7 @@ fn sim_steady(report: &SimReport) -> (f64, f64, f64, f64) {
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_scenario(
     cfg: &ValidationConfig,
     spec: &DatasetSpec,
@@ -245,6 +306,7 @@ fn run_scenario(
     scenario: Scenario,
     mode: Mode,
     cache_policy: PolicyKind,
+    tiers: Option<(u64, u64)>,
 ) -> ScenarioOutcome {
     // --- Predicted: the simulator. -----------------------------------------
     let job =
@@ -252,14 +314,25 @@ fn run_scenario(
     let sim = Experiment::on(server)
         .job(job)
         .scenario(scenario)
+        .cache(match tiers {
+            None => CacheSpec::DramOnly,
+            Some((dram_bytes, ssd_bytes)) => CacheSpec::Tiered {
+                dram_bytes,
+                ssd_bytes,
+            },
+        })
         .epochs(cfg.epochs)
         .run();
     let (predicted_hit_ratio, predicted_disk_bytes, predicted_stall_secs, predicted_data_stall) =
         sim_steady(&sim);
+    let sim_tier_ratios = tiers.map(|_| {
+        let steady = sim.per_job()[0].steady_state();
+        (steady.dram_hit_ratio(), steady.lower_tier_hit_ratio())
+    });
 
     // --- Empirical: the runtime session on real bytes. ---------------------
     let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec.clone(), STORE_SEED));
-    let session = Session::builder(
+    let mut builder = Session::builder(
         store,
         SessionConfig {
             batch_size: 64,
@@ -273,10 +346,15 @@ fn run_scenario(
         },
     )
     .mode(mode)
-    .cache_policy(cache_policy)
-    .device_profile(server.device)
-    .build()
-    .expect("valid validation session");
+    .device_profile(server.device);
+    builder = match tiers {
+        None => builder.cache_policy(cache_policy),
+        Some((dram_bytes, ssd_bytes)) => builder.cache_tiers(vec![
+            coordl::ByteTierSpec::dram(cache_policy, dram_bytes),
+            coordl::ByteTierSpec::sata_ssd(cache_policy, ssd_bytes),
+        ]),
+    };
+    let session = builder.build().expect("valid validation session");
     for epoch in 0..cfg.epochs {
         let run = session.epoch(epoch);
         let handles: Vec<_> = (0..session.num_jobs())
@@ -306,7 +384,16 @@ fn run_scenario(
         predicted_stall_secs,
         empirical_device_secs: report.steady_device_seconds(),
         predicted_data_stall_secs: predicted_data_stall,
-        empirical_consumer_wait_secs: report.steady_consumer_wait_seconds(),
+        empirical_consumer_wait_secs: report.steady_consumer_wait_seconds()
+            / session.num_jobs() as f64,
+        tier_ratios: sim_tier_ratios.map(|(p_dram, p_ssd)| {
+            (
+                p_dram,
+                report.steady_dram_hit_ratio(),
+                p_ssd,
+                report.steady_lower_tier_hit_ratio(),
+            )
+        }),
     }
 }
 
@@ -330,7 +417,9 @@ pub fn run_validation(cfg: &ValidationConfig) -> ValidationReport {
             Scenario::SingleServer,
             Mode::Single,
             PolicyKind::MinIo,
+            None,
         ),
+        false,
     );
 
     // The page-cache baseline: the *same* LRU policy code runs inside the
@@ -346,10 +435,33 @@ pub fn run_validation(cfg: &ValidationConfig) -> ValidationReport {
             Scenario::SingleServer,
             Mode::Single,
             PolicyKind::Lru,
+            None,
         ),
+        false,
+    );
+
+    // The tiered hierarchy: a MinIO DRAM tier spilling into a MinIO SSD
+    // tier of the same size — both sides run the identical TierChain code,
+    // so the per-tier hit ratios are predicted exactly (§4.2 / Table 2).
+    push_rows(
+        &mut rows,
+        "single-tiered",
+        run_scenario(
+            cfg,
+            &spec,
+            &server,
+            LoaderConfig::coordl(PrepBackend::DaliCpu),
+            Scenario::SingleServer,
+            Mode::Single,
+            PolicyKind::MinIo,
+            Some((server.dram_cache_bytes, server.dram_cache_bytes)),
+        ),
+        false,
     );
 
     // Coordinated prep: one shared sweep for the whole HP-search ensemble.
+    // Its counter rows match the simulator exactly, so its consumer-wait
+    // row graduates from informational to (coarsely) gated.
     push_rows(
         &mut rows,
         "hp-coordinated",
@@ -361,7 +473,9 @@ pub fn run_validation(cfg: &ValidationConfig) -> ValidationReport {
             Scenario::HpSearch { jobs: cfg.jobs },
             Mode::Coordinated { jobs: cfg.jobs },
             PolicyKind::MinIo,
+            None,
         ),
+        true,
     );
 
     ValidationReport {
@@ -388,7 +502,11 @@ mod tests {
     #[test]
     fn predicted_and_empirical_agree_within_tolerance() {
         let report = run_validation(&small_config());
-        assert_eq!(report.rows.len(), 12, "3 scenarios x 4 metrics");
+        assert_eq!(
+            report.rows.len(),
+            18,
+            "4 rows for each flat scenario, 6 for the tiered one"
+        );
         let failures: Vec<String> = report
             .failures()
             .iter()
@@ -472,8 +590,19 @@ mod tests {
             predicted: 1.0,
             empirical: 100.0,
             gate: GateKind::Informational,
-            ..abs
+            ..abs.clone()
         };
         assert!(info.passes(0.0), "informational rows never gate");
+        // The wall-clock tripwire: one-sided, affine headroom.
+        let wall = |predicted: f64, empirical: f64| ValidationRow {
+            predicted,
+            empirical,
+            gate: CONSUMER_WAIT_GATE,
+            ..abs.clone()
+        };
+        assert!(wall(0.1, 0.5).passes(0.05), "within 10x + 10s");
+        assert!(wall(0.1, 10.9).passes(0.05), "slack covers tiny runs");
+        assert!(!wall(0.1, 11.1).passes(0.05), "a stuck consumer trips it");
+        assert!(wall(10.0, 0.01).passes(0.05), "one-sided: faster is fine");
     }
 }

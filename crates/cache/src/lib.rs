@@ -18,10 +18,12 @@
 //! * [`PartitionedIndex`] — the shard directory used by CoorDL's partitioned
 //!   cache for distributed training.
 
+pub mod hierarchy;
 pub mod partitioned;
 pub mod policy;
 pub mod stats;
 
+pub use hierarchy::{ChainAccess, ChainSource, DemotionStats, TierChain, TierCost, TierSpec};
 pub use partitioned::{Location, PartitionedIndex, ServerId};
 pub use policy::{ClockCache, FifoCache, LruCache, MinIoCache, PolicyKind};
 pub use stats::{AccessOutcome, CacheStats};

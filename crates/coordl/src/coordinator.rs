@@ -21,58 +21,22 @@
 //! shard and spawns a *recovery producer* that resumes it from the
 //! watermark (mirroring §4.3's "Handling job failures and terminations").
 //!
-//! The legacy [`CoordinatedJobGroup`] entry point survives as a deprecated
-//! shim over the same engine, so its behaviour is bit-identical to a
-//! coordinated `Session`'s.
+//! The session's [`Session::coordinated_epoch`](crate::Session) hands the
+//! raw [`EpochSession`] out for callers that drive epochs manually.
 
-use crate::cache::MinIoByteCache;
 use crate::error::CoordlError;
 use crate::executor::{ExecutorShared, ExecutorSpec, PrefetchExecutor, PreparedSink, SkipFn};
 use crate::minibatch::Minibatch;
 use crate::stack::LoaderStack;
 use crate::staging::{PublishOutcome, StagingArea, TakeError};
-use crate::stats::LoaderStats;
-use crate::{CacheTier, DirectBackend};
-use dataset::{minibatches, DataSource, EpochSampler, ItemId};
+use dataset::{minibatches, EpochSampler, ItemId};
 use parking_lot::Mutex;
-use prep::ExecutablePipeline;
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// Configuration of a [`CoordinatedJobGroup`].
-#[derive(Debug, Clone)]
-pub struct CoordinatedConfig {
-    /// Number of concurrent HP-search jobs sharing the dataset.
-    pub num_jobs: usize,
-    /// Samples per minibatch (identical across jobs, as in HP search).
-    pub batch_size: usize,
-    /// Maximum number of minibatches resident in the staging area.
-    pub staging_window: usize,
-    /// Seed for the shared per-epoch shuffle.
-    pub seed: u64,
-    /// Capacity of the shared MinIO cache in bytes.
-    pub cache_capacity_bytes: u64,
-    /// How long a consumer waits for a minibatch before invoking the failure
-    /// detector (the paper uses 10× the per-iteration time).
-    pub take_timeout: Duration,
-}
-
-impl Default for CoordinatedConfig {
-    fn default() -> Self {
-        CoordinatedConfig {
-            num_jobs: 2,
-            batch_size: 32,
-            staging_window: 8,
-            seed: 0x5EED,
-            cache_capacity_bytes: 512 * 1024 * 1024,
-            take_timeout: Duration::from_secs(2),
-        }
-    }
-}
 
 /// The coordinated-prep engine: everything needed to run shared epochs.
 pub(crate) struct CoordinatedEngine {
@@ -90,11 +54,6 @@ pub(crate) struct CoordinatedEngine {
 }
 
 impl CoordinatedEngine {
-    /// Number of minibatches each job consumes per epoch.
-    pub(crate) fn batches_per_epoch(&self) -> usize {
-        (self.dataset_len as usize).div_ceil(self.batch_size)
-    }
-
     /// Start one coordinated epoch.
     pub(crate) fn run_epoch(&self, epoch: u64) -> EpochSession {
         let sampler = EpochSampler::new(self.dataset_len, self.seed);
@@ -238,87 +197,6 @@ impl PreparedSink for StagingSink {
                 true
             }
         }
-    }
-}
-
-/// A group of concurrent jobs sharing fetch and prep through CoorDL.
-#[deprecated(
-    since = "0.1.0",
-    note = "use coordl::Session with Mode::Coordinated { jobs }"
-)]
-pub struct CoordinatedJobGroup {
-    engine: CoordinatedEngine,
-    cache: Arc<MinIoByteCache>,
-    config: CoordinatedConfig,
-}
-
-#[allow(deprecated)]
-impl CoordinatedJobGroup {
-    /// Create a job group over `dataset` with a shared prep `pipeline`.
-    pub fn new(
-        dataset: Arc<dyn DataSource>,
-        pipeline: ExecutablePipeline,
-        config: CoordinatedConfig,
-    ) -> Result<Self, CoordlError> {
-        if config.num_jobs == 0 {
-            return Err(CoordlError::InvalidConfig("num_jobs must be > 0".into()));
-        }
-        if config.batch_size == 0 {
-            return Err(CoordlError::InvalidConfig("batch_size must be > 0".into()));
-        }
-        if dataset.is_empty() {
-            return Err(CoordlError::InvalidConfig("dataset is empty".into()));
-        }
-        let cache = Arc::new(MinIoByteCache::new(config.cache_capacity_bytes));
-        let engine = CoordinatedEngine {
-            stack: LoaderStack {
-                tier: Arc::clone(&cache) as Arc<dyn CacheTier>,
-                backend: Arc::new(DirectBackend::new(Arc::clone(&dataset))),
-                stats: Arc::new(LoaderStats::default()),
-                pipeline: Arc::new(pipeline),
-            },
-            dataset_len: dataset.len(),
-            num_jobs: config.num_jobs,
-            batch_size: config.batch_size,
-            staging_window: config.staging_window,
-            seed: config.seed,
-            take_timeout: config.take_timeout,
-            // The legacy config predates the tunable pool; use the session
-            // defaults (the output is worker-count-invariant anyway).
-            num_workers: 2,
-            prefetch_depth: 4,
-        };
-        Ok(CoordinatedJobGroup {
-            engine,
-            cache,
-            config,
-        })
-    }
-
-    /// The shared (server-wide) MinIO cache.
-    pub fn cache(&self) -> &MinIoByteCache {
-        &self.cache
-    }
-
-    /// Shared loader statistics (fetch and prep are counted once for the
-    /// whole group, which is the point of coordinated prep).
-    pub fn stats(&self) -> &LoaderStats {
-        &self.engine.stack.stats
-    }
-
-    /// Number of jobs in the group.
-    pub fn num_jobs(&self) -> usize {
-        self.config.num_jobs
-    }
-
-    /// Number of minibatches each job consumes per epoch.
-    pub fn batches_per_epoch(&self) -> usize {
-        self.engine.batches_per_epoch()
-    }
-
-    /// Start one coordinated epoch.
-    pub fn run_epoch(&self, epoch: u64) -> EpochSession {
-        self.engine.run_epoch(epoch)
     }
 }
 
@@ -518,29 +396,33 @@ impl Iterator for JobEpochIterator {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use dataset::{DatasetSpec, SyntheticItemStore};
-    use prep::PrepPipeline;
+    use crate::session::{Mode, Session, SessionConfig};
+    use dataset::{DataSource, DatasetSpec, SyntheticItemStore};
+    use prep::{ExecutablePipeline, PrepPipeline};
     use std::collections::HashSet;
 
-    fn group(num_jobs: usize, items: u64, batch: usize, cache_bytes: u64) -> CoordinatedJobGroup {
+    /// A coordinated session driven through the raw engine surface
+    /// ([`Session::coordinated_epoch`]), which is what these tests exercise.
+    fn group(num_jobs: usize, items: u64, batch: usize, cache_bytes: u64) -> Session {
         let spec = DatasetSpec::new("t", items, 128, 0.2, 6.0);
-        let store = Arc::new(SyntheticItemStore::new(spec, 5));
+        let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec, 5));
         let pipeline = ExecutablePipeline::new(PrepPipeline::image_classification(), 6, 17);
-        CoordinatedJobGroup::new(
+        Session::builder(
             store,
-            pipeline,
-            CoordinatedConfig {
-                num_jobs,
+            SessionConfig {
                 batch_size: batch,
                 staging_window: 6,
                 seed: 3,
                 cache_capacity_bytes: cache_bytes,
                 take_timeout: Duration::from_millis(250),
+                ..SessionConfig::default()
             },
         )
+        .mode(Mode::Coordinated { jobs: num_jobs })
+        .pipeline(pipeline)
+        .build()
         .expect("valid config")
     }
 
@@ -564,7 +446,7 @@ mod tests {
     #[test]
     fn every_job_sees_the_whole_epoch_exactly_once() {
         let g = group(4, 120, 16, 1 << 20);
-        let session = g.run_epoch(0);
+        let session = g.coordinated_epoch(0);
         let per_job = drain_all(&session, 4);
         for items in &per_job {
             assert_eq!(items.len(), 120);
@@ -579,7 +461,7 @@ mod tests {
     fn dataset_is_fetched_and_prepared_once_for_all_jobs() {
         let g = group(4, 80, 10, 1 << 20);
         {
-            let session = g.run_epoch(0);
+            let session = g.coordinated_epoch(0);
             let _ = drain_all(&session, 4);
         }
         // Prep happened once per item, not once per item per job.
@@ -598,12 +480,12 @@ mod tests {
     fn second_epoch_reuses_the_minio_cache() {
         let g = group(2, 60, 10, 1 << 20);
         {
-            let s = g.run_epoch(0);
+            let s = g.coordinated_epoch(0);
             let _ = drain_all(&s, 2);
         }
         let after_first = g.stats().bytes_from_storage();
         {
-            let s = g.run_epoch(1);
+            let s = g.coordinated_epoch(1);
             let _ = drain_all(&s, 2);
         }
         assert_eq!(g.stats().bytes_from_storage(), after_first);
@@ -613,7 +495,7 @@ mod tests {
     fn augmentations_are_fresh_each_epoch_but_shared_across_jobs() {
         let g = group(2, 20, 5, 1 << 20);
         let collect = |epoch| {
-            let s = g.run_epoch(epoch);
+            let s = g.coordinated_epoch(epoch);
             let mut per_job = Vec::new();
             for j in 0..2 {
                 let samples: Vec<_> = s
@@ -643,7 +525,7 @@ mod tests {
     #[test]
     fn staging_memory_stays_bounded() {
         let g = group(2, 200, 10, 1 << 22);
-        let session = g.run_epoch(0);
+        let session = g.coordinated_epoch(0);
         let _ = drain_all(&session, 2);
         let stats = session.staging().stats();
         assert_eq!(stats.published, 20);
@@ -656,7 +538,7 @@ mod tests {
     #[test]
     fn killed_producer_is_detected_and_its_shard_recovered() {
         let g = group(2, 120, 10, 1 << 22);
-        let session = g.run_epoch(0);
+        let session = g.coordinated_epoch(0);
         // Kill job 1's producer immediately: its shard (odd batch indices)
         // must be taken over by a recovery producer.
         session.inject_failure(1);
@@ -671,23 +553,17 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         let spec = DatasetSpec::new("t", 10, 64, 0.0, 6.0);
-        let store = Arc::new(SyntheticItemStore::new(spec, 1));
-        let pipeline = ExecutablePipeline::new(PrepPipeline::image_classification(), 6, 0);
-        let bad = CoordinatedJobGroup::new(
-            store,
-            pipeline,
-            CoordinatedConfig {
-                num_jobs: 0,
-                ..CoordinatedConfig::default()
-            },
-        );
+        let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec, 1));
+        let bad = Session::builder(store, SessionConfig::default())
+            .mode(Mode::Coordinated { jobs: 0 })
+            .build();
         assert!(matches!(bad, Err(CoordlError::InvalidConfig(_))));
     }
 
     #[test]
     fn single_job_group_degenerates_to_a_plain_loader() {
         let g = group(1, 50, 8, 1 << 20);
-        let session = g.run_epoch(0);
+        let session = g.coordinated_epoch(0);
         let items: Vec<u64> = session
             .consumer(0)
             .flat_map(|mb| mb.unwrap().item_ids())
@@ -701,7 +577,7 @@ mod tests {
         // area down, and in-flight consumers observe CoordlError::Shutdown
         // as a typed outcome instead of hanging or panicking.
         let g = group(2, 400, 10, 1 << 22);
-        let session = g.run_epoch(0);
+        let session = g.coordinated_epoch(0);
         let mut consumer = session.consumer(0);
         let first = consumer.next().expect("epoch has batches");
         assert!(first.is_ok());

@@ -37,17 +37,13 @@
 //!
 //! Device timing is *not* simulated here (that is `coordl-pipeline`'s job);
 //! this crate is about the coordination semantics: exactly-once delivery,
-//! fresh per-epoch randomness, sharing, and fault handling.  The legacy
-//! entry points ([`DataLoader`], [`CoordinatedJobGroup`],
-//! [`PartitionedCacheCluster::new`]) survive as deprecated shims over the
-//! same engines.
+//! fresh per-epoch randomness, sharing, and fault handling.
 
 pub mod backend;
 pub mod cache;
 pub mod coordinator;
 pub mod error;
 pub(crate) mod executor;
-pub mod loader;
 pub mod minibatch;
 pub mod partition;
 pub mod report;
@@ -59,19 +55,12 @@ pub mod tier;
 
 pub use backend::{DirectBackend, FetchBackend, ProfiledBackend};
 pub use cache::MinIoByteCache;
-pub use coordinator::{CoordinatedConfig, EpochSession, JobEpochIterator};
+pub use coordinator::{EpochSession, JobEpochIterator};
 pub use error::CoordlError;
 pub use minibatch::Minibatch;
-pub use partition::{FetchOrigin, PartitionStats, PartitionedCacheCluster};
+pub use partition::{FetchOrigin, PartitionStats, PartitionedCacheCluster, RemotePeerTier};
 pub use report::{EpochTrajectory, LoaderReport};
 pub use session::{BatchStream, EpochRun, Mode, Session, SessionBuilder, SessionConfig};
 pub use staging::{PublishOutcome, StagingArea, StagingStats, TakeError};
 pub use stats::LoaderStats;
-pub use tier::{CacheTier, PolicyByteCache};
-
-pub use loader::DataLoaderConfig;
-#[allow(deprecated)]
-pub use loader::{DataLoader, EpochIterator};
-
-#[allow(deprecated)]
-pub use coordinator::CoordinatedJobGroup;
+pub use tier::{ByteTierSpec, CacheTier, PolicyByteCache, TierSnapshot, TieredByteCache};

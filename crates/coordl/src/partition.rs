@@ -10,16 +10,17 @@
 //! again.
 //!
 //! A [`Session`](crate::Session) in [`Mode::Partitioned`](crate::Mode) builds
-//! one of these with its configured tier per node and fetch backend; the
-//! legacy [`PartitionedCacheCluster::new`] constructor survives (deprecated)
-//! with the historical MinIO-per-server stack.
+//! one of these with its configured tier per node and fetch backend
+//! ([`PartitionedCacheCluster::with_stack`]); [`RemotePeerTier`] views the
+//! peer caches as one intermediate [`CacheTier`] between a node's local
+//! chain and the durable store.
 
-use crate::cache::MinIoByteCache;
 use crate::stats::LoaderStats;
-use crate::{CacheTier, DirectBackend, FetchBackend};
-use dataset::{DataSource, ItemId};
+use crate::{CacheTier, FetchBackend};
+use dataset::ItemId;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Where a partitioned-cache fetch was served from.
@@ -76,27 +77,6 @@ pub struct PartitionedCacheCluster {
 }
 
 impl PartitionedCacheCluster {
-    /// Create a cluster of `num_servers` servers, each with
-    /// `per_server_cache_bytes` of MinIO cache, serving `dataset`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use coordl::Session with Mode::Partitioned { nodes }"
-    )]
-    pub fn new(
-        dataset: Arc<dyn DataSource>,
-        num_servers: usize,
-        per_server_cache_bytes: u64,
-    ) -> Self {
-        let tiers = (0..num_servers)
-            .map(|_| Arc::new(MinIoByteCache::new(per_server_cache_bytes)) as Arc<dyn CacheTier>)
-            .collect();
-        Self::with_stack(
-            Arc::new(DirectBackend::new(dataset)),
-            tiers,
-            Arc::new(LoaderStats::default()),
-        )
-    }
-
     /// Create a cluster from explicit per-server tiers over one fetch
     /// backend, recording into shared loader statistics.
     pub fn with_stack(
@@ -156,34 +136,33 @@ impl PartitionedCacheCluster {
     }
 
     /// Fetch `item` on behalf of `server`, following the CoorDL lookup order:
-    /// local cache tier → remote cache tier (via the directory) → backend.
+    /// local cache tier → remote peer tier (via the directory) → backend.
     pub fn fetch(&self, server: usize, item: ItemId) -> (Arc<Vec<u8>>, FetchOrigin) {
-        // 1. Local cache.
+        // 1. Local cache chain.
         {
             let servers = self.servers.read();
             assert!(server < servers.len(), "server {server} out of range");
-            if let Some(bytes) = servers[server].tier.lookup(item) {
+            if let Some((bytes, level)) = servers[server].tier.lookup_traced(item) {
                 drop(servers);
                 let mut servers = self.servers.write();
                 servers[server].stats.local_hits += 1;
                 self.loader_stats.record_cache_read(bytes.len() as u64);
+                if level > 0 {
+                    self.loader_stats.record_lower_tier_read(bytes.len() as u64);
+                }
                 return (bytes, FetchOrigin::LocalCache);
             }
         }
-        // 2. Directory → remote cache.
-        let owner = self.directory.read().get(&item).copied();
-        if let Some(peer) = owner {
-            if peer != server {
-                let bytes_opt = self.servers.read()[peer].tier.lookup(item);
-                if let Some(bytes) = bytes_opt {
-                    let mut servers = self.servers.write();
-                    servers[server].stats.remote_hits += 1;
-                    servers[server].stats.remote_bytes_in += bytes.len() as u64;
-                    servers[peer].stats.remote_bytes_out += bytes.len() as u64;
-                    self.loader_stats.record_remote_read(bytes.len() as u64);
-                    return (bytes, FetchOrigin::RemoteCache(peer));
-                }
-            }
+        // 2. The remote peer tier: the directory resolves the owner, the
+        // peer's cache chain serves the bytes (over the network in the real
+        // system — §4.2: 10-40 Gbps beats the local SATA SSD).
+        if let Some((bytes, peer)) = self.remote_lookup(server, item) {
+            let mut servers = self.servers.write();
+            servers[server].stats.remote_hits += 1;
+            servers[server].stats.remote_bytes_in += bytes.len() as u64;
+            servers[peer].stats.remote_bytes_out += bytes.len() as u64;
+            self.loader_stats.record_remote_read(bytes.len() as u64);
+            return (bytes, FetchOrigin::RemoteCache(peer));
         }
         // 3. Backend: read locally, admit into the local tier and register.
         let bytes = Arc::new(self.backend.read(item));
@@ -212,19 +191,139 @@ impl PartitionedCacheCluster {
         let servers = self.servers.read();
         servers.iter().map(|s| s.stats.storage_bytes).sum()
     }
+
+    /// Resolve `item` through the directory and read it from the owning
+    /// peer's cache chain (`None` when uncached, unowned, or owned by
+    /// `server` itself — a racing local eviction).  This is the lookup half
+    /// of the remote tier; [`RemotePeerTier`] wraps it as a [`CacheTier`].
+    fn remote_lookup(&self, server: usize, item: ItemId) -> Option<(Arc<Vec<u8>>, usize)> {
+        let peer = self.directory.read().get(&item).copied()?;
+        if peer == server {
+            return None;
+        }
+        let bytes = self.servers.read()[peer].tier.lookup(item)?;
+        Some((bytes, peer))
+    }
+
+    /// View the cluster's peer caches as one intermediate cache tier from
+    /// `server`'s perspective: everything the *other* nodes hold, sitting
+    /// between `server`'s local chain and the shared backend.
+    pub fn remote_tier(self: &Arc<Self>, server: usize) -> RemotePeerTier {
+        assert!(server < self.num_servers(), "server {server} out of range");
+        RemotePeerTier {
+            cluster: Arc::clone(self),
+            server,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The partitioned peer index expressed as a [`CacheTier`]: a read-through
+/// view of every *other* server's cache chain, resolved through the item
+/// directory.  Lookups serve peer-resident bytes; `admit` is a no-op (peers
+/// populate their own tiers when they fetch), so the tier is purely an
+/// intermediate level between a node's local chain and the durable store.
+pub struct RemotePeerTier {
+    cluster: Arc<PartitionedCacheCluster>,
+    server: usize,
+    // The view carries its own fetch counters: the cluster's per-server
+    // stats count cluster.fetch traffic, not accesses made through this
+    // adapter.
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheTier for RemotePeerTier {
+    fn lookup(&self, item: ItemId) -> Option<Arc<Vec<u8>>> {
+        match self.cluster.remote_lookup(self.server, item) {
+            Some((bytes, _)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(bytes)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn admit(&self, _item: ItemId, bytes: Arc<Vec<u8>>) -> Arc<Vec<u8>> {
+        bytes
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        // The directory alone is not enough: an evicting peer policy can
+        // drop a registered item, and `contains` must imply a successful
+        // lookup.
+        match self.cluster.directory.read().get(&item) {
+            Some(&peer) if peer != self.server => self.cluster.tier(peer).contains(item),
+            _ => false,
+        }
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.peers().map(|t| t.used_bytes()).sum()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.peers().map(|t| t.capacity_bytes()).sum()
+    }
+
+    fn resident_items(&self) -> usize {
+        self.peers().map(|t| t.resident_items()).sum()
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn policy_name(&self) -> &'static str {
+        "remote-peers"
+    }
+}
+
+impl RemotePeerTier {
+    fn peers(&self) -> impl Iterator<Item = Arc<dyn CacheTier>> + '_ {
+        (0..self.cluster.num_servers())
+            .filter(move |&s| s != self.server)
+            .map(|s| self.cluster.tier(s))
+    }
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use dataset::{DatasetSpec, EpochSampler, SyntheticItemStore};
+    use crate::cache::MinIoByteCache;
+    use crate::DirectBackend;
+    use dataset::{DataSource, DatasetSpec, EpochSampler, SyntheticItemStore};
 
     fn dataset(n: u64, size: u64) -> Arc<SyntheticItemStore> {
         Arc::new(SyntheticItemStore::new(
             DatasetSpec::new("t", n, size, 0.0, 6.0),
             9,
         ))
+    }
+
+    /// The historical MinIO-per-server stack, built through the explicit
+    /// constructor the sessions use.
+    fn minio_cluster(
+        dataset: Arc<dyn DataSource>,
+        num_servers: usize,
+        per_server_cache_bytes: u64,
+    ) -> PartitionedCacheCluster {
+        let tiers = (0..num_servers)
+            .map(|_| Arc::new(MinIoByteCache::new(per_server_cache_bytes)) as Arc<dyn CacheTier>)
+            .collect();
+        PartitionedCacheCluster::with_stack(
+            Arc::new(DirectBackend::new(dataset)),
+            tiers,
+            Arc::new(LoaderStats::default()),
+        )
     }
 
     /// Run one "epoch": each server fetches its (epoch-varying) shard.
@@ -242,7 +341,7 @@ mod tests {
     fn first_epoch_reads_dataset_from_storage_exactly_once() {
         let n = 100;
         let ds = dataset(n, 100);
-        let cluster = PartitionedCacheCluster::new(ds, 2, 100 * 100);
+        let cluster = minio_cluster(ds, 2, 100 * 100);
         run_epoch(&cluster, n, 0, 2);
         assert_eq!(cluster.total_storage_bytes(), n * 100);
         assert_eq!(cluster.directory_len(), n as usize);
@@ -253,7 +352,7 @@ mod tests {
         let n = 100;
         let ds = dataset(n, 100);
         // Each server caches 65 % of the dataset; together they cover it.
-        let cluster = PartitionedCacheCluster::new(ds, 2, 65 * 100);
+        let cluster = minio_cluster(ds, 2, 65 * 100);
         run_epoch(&cluster, n, 0, 2);
         let after_warmup = cluster.total_storage_bytes();
         for epoch in 1..4 {
@@ -276,8 +375,7 @@ mod tests {
     fn remote_fetches_return_identical_bytes_to_storage_reads() {
         let n = 50;
         let ds = dataset(n, 64);
-        let cluster =
-            PartitionedCacheCluster::new(Arc::clone(&ds) as Arc<dyn DataSource>, 2, 64 * 50);
+        let cluster = minio_cluster(Arc::clone(&ds) as Arc<dyn DataSource>, 2, 64 * 50);
         run_epoch(&cluster, n, 0, 2);
         for item in 0..n {
             let (a, _) = cluster.fetch(0, item);
@@ -292,7 +390,7 @@ mod tests {
         let n = 100;
         let ds = dataset(n, 100);
         // Each server can cache only 20 items; aggregate 40 < 100.
-        let cluster = PartitionedCacheCluster::new(ds, 2, 20 * 100);
+        let cluster = minio_cluster(ds, 2, 20 * 100);
         for epoch in 0..3 {
             run_epoch(&cluster, n, epoch, 2);
         }
@@ -309,7 +407,7 @@ mod tests {
     fn bytes_in_and_out_are_symmetric_across_the_cluster() {
         let n = 80;
         let ds = dataset(n, 128);
-        let cluster = PartitionedCacheCluster::new(ds, 4, 128 * 80);
+        let cluster = minio_cluster(ds, 4, 128 * 80);
         for epoch in 0..3 {
             run_epoch(&cluster, n, epoch, 4);
         }
@@ -323,7 +421,7 @@ mod tests {
     fn concurrent_fetches_from_all_servers_are_safe() {
         let n = 200;
         let ds = dataset(n, 64);
-        let cluster = Arc::new(PartitionedCacheCluster::new(ds, 4, 64 * 200));
+        let cluster = Arc::new(minio_cluster(ds, 4, 64 * 200));
         // Warm up.
         run_epoch(&cluster, n, 0, 4);
         let mut handles = Vec::new();
@@ -371,10 +469,67 @@ mod tests {
     }
 
     #[test]
+    fn remote_peer_tier_expresses_the_peer_index_as_an_intermediate_tier() {
+        let n = 40;
+        let ds = dataset(n, 100);
+        let cluster = Arc::new(minio_cluster(ds, 2, 100 * 100));
+        run_epoch(&cluster, n, 0, 2);
+        let remote = cluster.remote_tier(0);
+        assert_eq!(remote.policy_name(), "remote-peers");
+        // Everything node 1 cached is visible to node 0 through the tier;
+        // node 0's own items are not (they are its *local* tier).
+        let mut seen = 0;
+        for item in 0..n {
+            let local = cluster.tier(0).contains(item);
+            let remote_hit = remote.lookup(item).is_some();
+            assert_eq!(remote.contains(item), remote_hit, "item {item}");
+            assert!(local ^ remote_hit, "exactly one tier owns item {item}");
+            seen += remote_hit as usize;
+        }
+        assert!(seen > 0, "peer holds part of the dataset");
+        // The view counts its own accesses, not the cluster's fetch stats.
+        assert_eq!(remote.hits(), seen as u64);
+        assert_eq!(CacheTier::misses(&remote), n - seen as u64);
+        // With an evicting peer policy, `contains` must track the peer's
+        // actual residency, not the (stale) directory registration.
+        let lru_tiers = (0..2)
+            .map(|_| {
+                Arc::new(crate::PolicyByteCache::new(dcache::PolicyKind::Lru, 300))
+                    as Arc<dyn CacheTier>
+            })
+            .collect();
+        let lru_cluster = Arc::new(PartitionedCacheCluster::with_stack(
+            Arc::new(DirectBackend::new(dataset(40, 100))),
+            lru_tiers,
+            Arc::new(LoaderStats::default()),
+        ));
+        for item in 0..20 {
+            let _ = lru_cluster.fetch(1, item); // node 1 caches, then thrashes
+        }
+        let view = lru_cluster.remote_tier(0);
+        for item in 0..20 {
+            assert_eq!(
+                view.contains(item),
+                view.lookup(item).is_some(),
+                "contains must imply lookup for evicted item {item}"
+            );
+        }
+        // The remote tier never admits: it is read-through by design.
+        let before = remote.resident_items();
+        let _ = remote.admit(999_999, Arc::new(vec![1, 2, 3]));
+        assert_eq!(remote.resident_items(), before);
+        assert_eq!(
+            CacheTier::capacity_bytes(&remote),
+            100 * 100,
+            "capacity is the peers' aggregate"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_server_rejected() {
         let ds = dataset(10, 10);
-        let cluster = PartitionedCacheCluster::new(ds, 2, 1000);
+        let cluster = minio_cluster(ds, 2, 1000);
         let _ = cluster.fetch(5, 0);
     }
 }

@@ -18,6 +18,9 @@ pub struct EpochTrajectory {
     pub bytes_from_storage: u64,
     /// Bytes served from local cache tiers.
     pub bytes_from_cache: u64,
+    /// Of `bytes_from_cache`, the bytes served by tiers below DRAM (the
+    /// local-SSD level of a tiered session; zero for flat tiers).
+    pub bytes_from_lower_tiers: u64,
     /// Bytes served from remote peers (partitioned mode only).
     pub bytes_from_remote: u64,
     /// Samples pre-processed.
@@ -28,6 +31,8 @@ pub struct EpochTrajectory {
     pub cache_hits: u64,
     /// Cache-tier misses (reads that fell through to the backend).
     pub cache_misses: u64,
+    /// Of `cache_hits`, the hits served by tiers below DRAM.
+    pub lower_tier_hits: u64,
     /// Modelled device busy time for this epoch's backend reads, in seconds
     /// (0 with an unprofiled backend).
     pub device_seconds: f64,
@@ -64,6 +69,27 @@ impl EpochTrajectory {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Hit ratio of the DRAM (topmost) cache level over fetches this epoch.
+    pub fn dram_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.cache_hits - self.lower_tier_hits) as f64 / total as f64
+        }
+    }
+
+    /// Hit ratio of the cache levels below DRAM over fetches this epoch
+    /// (zero for flat tiers).
+    pub fn lower_tier_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.lower_tier_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The unified result of running a [`Session`](crate::Session): totals plus
@@ -88,6 +114,9 @@ pub struct LoaderReport {
     pub bytes_from_storage: u64,
     /// Cumulative bytes served from cache tiers.
     pub bytes_from_cache: u64,
+    /// Of `bytes_from_cache`, the cumulative bytes served by tiers below
+    /// DRAM.
+    pub bytes_from_lower_tiers: u64,
     /// Cumulative bytes served from remote peers.
     pub bytes_from_remote: u64,
     /// Cumulative samples pre-processed.
@@ -98,6 +127,8 @@ pub struct LoaderReport {
     pub cache_hits: u64,
     /// Cumulative cache misses.
     pub cache_misses: u64,
+    /// Of `cache_hits`, the cumulative hits served by tiers below DRAM.
+    pub lower_tier_hits: u64,
     /// Cumulative modelled device busy seconds.
     pub device_seconds: f64,
     /// Cumulative wall seconds the fetch stage spent reading.
@@ -144,6 +175,31 @@ impl LoaderReport {
             return 0.0;
         }
         tail.iter().map(EpochTrajectory::hit_ratio).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Average steady-state hit ratio of the DRAM (topmost) cache level.
+    pub fn steady_dram_hit_ratio(&self) -> f64 {
+        let tail = self.steady_epochs();
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter()
+            .map(EpochTrajectory::dram_hit_ratio)
+            .sum::<f64>()
+            / tail.len() as f64
+    }
+
+    /// Average steady-state hit ratio of the cache levels below DRAM (zero
+    /// for flat tiers).
+    pub fn steady_lower_tier_hit_ratio(&self) -> f64 {
+        let tail = self.steady_epochs();
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter()
+            .map(EpochTrajectory::lower_tier_hit_ratio)
+            .sum::<f64>()
+            / tail.len() as f64
     }
 
     /// Average steady-state bytes read from storage per epoch.
@@ -212,6 +268,10 @@ impl LoaderReport {
         out.push_str(&self.cache_hits.to_string());
         out.push_str(",\"cache_misses\":");
         out.push_str(&self.cache_misses.to_string());
+        out.push_str(",\"bytes_from_lower_tiers\":");
+        out.push_str(&self.bytes_from_lower_tiers.to_string());
+        out.push_str(",\"lower_tier_hits\":");
+        out.push_str(&self.lower_tier_hits.to_string());
         out.push_str(",\"samples_prepared\":");
         out.push_str(&self.samples_prepared.to_string());
         out.push_str(",\"samples_delivered\":");
@@ -253,6 +313,10 @@ fn epoch_trajectory_json(out: &mut String, e: &EpochTrajectory) {
     out.push_str(&e.cache_hits.to_string());
     out.push_str(",\"cache_misses\":");
     out.push_str(&e.cache_misses.to_string());
+    out.push_str(",\"bytes_from_lower_tiers\":");
+    out.push_str(&e.bytes_from_lower_tiers.to_string());
+    out.push_str(",\"lower_tier_hits\":");
+    out.push_str(&e.lower_tier_hits.to_string());
     out.push_str(",\"hit_ratio\":");
     write_f64(out, e.hit_ratio());
     out.push_str(",\"samples\":");
@@ -294,11 +358,13 @@ mod tests {
             cache_resident_items: 8,
             bytes_from_storage: 1000,
             bytes_from_cache: 2000,
+            bytes_from_lower_tiers: 0,
             bytes_from_remote: 0,
             samples_prepared: 30,
             samples_delivered: 120,
             cache_hits: 20,
             cache_misses: 10,
+            lower_tier_hits: 0,
             device_seconds: 0.5,
             fetch_busy_seconds: 0.2,
             fetch_stall_seconds: 0.05,

@@ -5,7 +5,7 @@
 //! tier over a fetch backend — and a [`Mode`] describing how it is consumed:
 //!
 //! * [`Mode::Single`] — one job, a multi-threaded fetch → prep → collate
-//!   worker pool (what `DataLoader` used to be),
+//!   worker pool (the classic data loader),
 //! * [`Mode::Coordinated`] — `jobs` concurrent HP-search jobs sharing one
 //!   fetch + prep sweep per epoch through the staging area (§4.3),
 //! * [`Mode::Partitioned`] — `nodes` servers of a distributed job, each
@@ -37,7 +37,6 @@
 //! assert_eq!(session.report().epochs.len(), 1);
 //! ```
 
-use crate::cache::MinIoByteCache;
 use crate::coordinator::{CoordinatedEngine, EpochSession, JobEpochIterator};
 use crate::error::CoordlError;
 use crate::executor::{spawn_ordered_epoch, FetchFn, OrderedStream};
@@ -47,7 +46,7 @@ use crate::report::{EpochTrajectory, LoaderReport};
 use crate::stack::{spawn_single_epoch, LoaderStack};
 use crate::staging::{StagingArea, StagingStats};
 use crate::stats::LoaderStats;
-use crate::tier::{CacheTier, PolicyByteCache};
+use crate::tier::{ByteTierSpec, CacheTier, TierSnapshot, TieredByteCache};
 use crate::{DirectBackend, FetchBackend, ProfiledBackend};
 use dataset::{minibatches, DataSource, EpochSampler, ItemId};
 use dcache::PolicyKind;
@@ -139,6 +138,7 @@ impl Default for SessionConfig {
 
 enum TierChoice {
     Policy(PolicyKind),
+    Tiers(Vec<ByteTierSpec>),
     Custom(Arc<dyn CacheTier>),
 }
 
@@ -194,6 +194,16 @@ impl SessionBuilder {
     /// (default: [`PolicyKind::MinIo`]).
     pub fn cache_policy(mut self, kind: PolicyKind) -> Self {
         self.tier = TierChoice::Policy(kind);
+        self
+    }
+
+    /// Use a multi-level cache hierarchy (DRAM spilling into a profiled
+    /// local-SSD tier, and so on) for the cache tier(s): one
+    /// [`TieredByteCache`] shared by single/coordinated sessions, or one per
+    /// node in partitioned mode.  Overrides
+    /// [`SessionConfig::cache_capacity_bytes`] with the specs' own sizes.
+    pub fn cache_tiers(mut self, tiers: Vec<ByteTierSpec>) -> Self {
+        self.tier = TierChoice::Tiers(tiers);
         self
     }
 
@@ -262,15 +272,16 @@ impl SessionBuilder {
         }));
         let stats = Arc::new(LoaderStats::default());
 
+        // Every policy-built tier is a TierChain underneath: a single-level
+        // chain is pinned bit-identical to the dedicated MinIO/policy byte
+        // caches, so the hierarchy refactor changes no observable number.
         let build_tier = |choice: &TierChoice| -> Arc<dyn CacheTier> {
             match choice {
                 TierChoice::Custom(t) => Arc::clone(t),
-                TierChoice::Policy(PolicyKind::MinIo) => {
-                    Arc::new(MinIoByteCache::new(config.cache_capacity_bytes))
-                }
                 TierChoice::Policy(kind) => {
-                    Arc::new(PolicyByteCache::new(*kind, config.cache_capacity_bytes))
+                    Arc::new(TieredByteCache::single(*kind, config.cache_capacity_bytes))
                 }
+                TierChoice::Tiers(specs) => Arc::new(TieredByteCache::new(specs.clone())),
             }
         };
 
@@ -455,8 +466,8 @@ impl Session {
         }
     }
 
-    /// Run one coordinated epoch on the raw engine (the legacy
-    /// `CoordinatedJobGroup` surface).
+    /// Run one coordinated epoch on the raw engine, for callers that drive
+    /// [`EpochSession`]s manually.
     ///
     /// # Panics
     /// Panics unless the session is in [`Mode::Coordinated`].
@@ -467,8 +478,8 @@ impl Session {
         }
     }
 
-    /// Spawn one single-mode epoch's prefetching executor (shared by
-    /// [`EpochRun::stream`] and the legacy `DataLoader` shim).
+    /// Spawn one single-mode epoch's prefetching executor (behind
+    /// [`EpochRun::stream`]).
     ///
     /// # Panics
     /// Panics unless the session is in [`Mode::Single`].
@@ -502,6 +513,31 @@ impl Session {
         }
     }
 
+    /// Per-level statistics of every cache tier of the session, aggregated
+    /// across partitioned nodes by level index (`dstool validate` uses this
+    /// for its per-tier hit-ratio rows).
+    pub fn tier_levels(&self) -> Vec<TierSnapshot> {
+        let mut levels: Vec<TierSnapshot> = Vec::new();
+        for tier in self.all_tiers() {
+            for (k, snap) in tier.tier_snapshots().into_iter().enumerate() {
+                match levels.get_mut(k) {
+                    None => levels.push(snap),
+                    Some(agg) => {
+                        agg.capacity_bytes += snap.capacity_bytes;
+                        agg.used_bytes += snap.used_bytes;
+                        agg.resident_items += snap.resident_items;
+                        agg.hits += snap.hits;
+                        agg.misses += snap.misses;
+                        agg.demoted_in += snap.demoted_in;
+                        agg.demoted_out += snap.demoted_out;
+                        agg.device_seconds += snap.device_seconds;
+                    }
+                }
+            }
+        }
+        levels
+    }
+
     /// The unified report: totals plus the per-epoch trajectories recorded
     /// as [`EpochRun`]s completed.
     pub fn report(&self) -> LoaderReport {
@@ -523,11 +559,13 @@ impl Session {
             cache_resident_items: resident,
             bytes_from_storage: snap.bytes_from_storage,
             bytes_from_cache: snap.bytes_from_cache,
+            bytes_from_lower_tiers: snap.bytes_from_lower_tiers,
             bytes_from_remote: snap.bytes_from_remote,
             samples_prepared: snap.samples_prepared,
             samples_delivered: snap.samples_delivered,
             cache_hits: snap.hits,
             cache_misses: snap.misses,
+            lower_tier_hits: snap.lower_tier_hits,
             device_seconds: snap.device_seconds,
             fetch_busy_seconds: snap.fetch_busy_seconds,
             fetch_stall_seconds: snap.fetch_stall_seconds,
@@ -552,10 +590,18 @@ impl Session {
                 (tier.hits(), tier.misses())
             }
         };
+        let lower_tier_hits = self
+            .tier_levels()
+            .iter()
+            .skip(1)
+            .map(|level| level.hits)
+            .sum();
         CounterSnapshot {
             bytes_from_storage: self.stats.bytes_from_storage(),
             bytes_from_cache: self.stats.bytes_from_cache(),
+            bytes_from_lower_tiers: self.stats.bytes_from_lower_tiers(),
             bytes_from_remote: self.stats.bytes_from_remote(),
+            lower_tier_hits,
             samples_prepared: self.stats.samples_prepared(),
             samples_delivered: self.stats.samples_delivered(),
             hits,
@@ -576,11 +622,13 @@ impl Session {
             epoch,
             bytes_from_storage: end.bytes_from_storage - start.bytes_from_storage,
             bytes_from_cache: end.bytes_from_cache - start.bytes_from_cache,
+            bytes_from_lower_tiers: end.bytes_from_lower_tiers - start.bytes_from_lower_tiers,
             bytes_from_remote: end.bytes_from_remote - start.bytes_from_remote,
             samples_prepared: end.samples_prepared - start.samples_prepared,
             samples_delivered: end.samples_delivered - start.samples_delivered,
             cache_hits: end.hits - start.hits,
             cache_misses: end.misses - start.misses,
+            lower_tier_hits: end.lower_tier_hits - start.lower_tier_hits,
             device_seconds: end.device_seconds - start.device_seconds,
             staging_peak_bytes: staging.peak_bytes,
             staging_published: staging.published,
@@ -598,11 +646,13 @@ impl Session {
 struct CounterSnapshot {
     bytes_from_storage: u64,
     bytes_from_cache: u64,
+    bytes_from_lower_tiers: u64,
     bytes_from_remote: u64,
     samples_prepared: u64,
     samples_delivered: u64,
     hits: u64,
     misses: u64,
+    lower_tier_hits: u64,
     device_seconds: f64,
     fetch_busy_seconds: f64,
     fetch_stall_seconds: f64,
@@ -752,8 +802,7 @@ impl Drop for EpochRun<'_> {
 /// All modes yield `Result<Arc<Minibatch>, CoordlError>`: coordinated
 /// epochs surface producer failure, worker panics and shutdown as typed
 /// errors; single and partitioned epochs surface a panicking worker as one
-/// [`CoordlError::WorkerPanicked`] before ending (the legacy `DataLoader`
-/// shim still just ends early).
+/// [`CoordlError::WorkerPanicked`] before ending.
 pub struct BatchStream {
     total: usize,
     inner: StreamInner,
@@ -792,6 +841,7 @@ impl Iterator for BatchStream {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::MinIoByteCache;
     use dataset::{DatasetSpec, SyntheticItemStore};
     use std::collections::HashSet;
 
@@ -946,6 +996,115 @@ mod tests {
             lru_misses > minio_misses,
             "LRU thrashes: {lru_misses} vs {minio_misses}"
         );
+    }
+
+    #[test]
+    fn default_chain_tier_matches_dedicated_minio_byte_cache_bitwise() {
+        // The hierarchy refactor's core pin at the session level: the
+        // TierChain-backed default tier delivers the same streams and the
+        // same counters as the dedicated MinIoByteCache it replaced.
+        let spec = DatasetSpec::new("sess", 120, 700, 0.25, 4.0);
+        let ds: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec.clone(), 9));
+        let cache = spec.total_bytes() / 2; // partial residency
+        let run = |custom: bool| {
+            let mut builder = Session::builder(Arc::clone(&ds), config(16, cache));
+            if custom {
+                builder =
+                    builder.cache_tier(Arc::new(MinIoByteCache::new(cache)) as Arc<dyn CacheTier>);
+            }
+            let session = builder.build().unwrap();
+            let mut samples = Vec::new();
+            for epoch in 0..3u64 {
+                let run = session.epoch(epoch);
+                for mb in run.stream(0) {
+                    samples.extend(mb.unwrap().samples.clone());
+                }
+            }
+            let report = session.report();
+            (samples, report)
+        };
+        let (chain_samples, chain_report) = run(false);
+        let (flat_samples, flat_report) = run(true);
+        assert_eq!(chain_samples, flat_samples, "bit-identical streams");
+        assert_eq!(chain_report.cache_hits, flat_report.cache_hits);
+        assert_eq!(chain_report.cache_misses, flat_report.cache_misses);
+        assert_eq!(
+            chain_report.bytes_from_storage,
+            flat_report.bytes_from_storage
+        );
+        assert_eq!(chain_report.bytes_from_cache, flat_report.bytes_from_cache);
+        assert_eq!(chain_report.cache_used_bytes, flat_report.cache_used_bytes);
+        assert_eq!(
+            chain_report.lower_tier_hits, 0,
+            "flat chain has no levels below DRAM"
+        );
+        // Per-epoch deterministic counters (the *_seconds fields are wall
+        // clock and legitimately differ run to run).
+        let deterministic = |e: &EpochTrajectory| {
+            (
+                e.epoch,
+                e.bytes_from_storage,
+                e.bytes_from_cache,
+                e.bytes_from_lower_tiers,
+                e.cache_hits,
+                e.cache_misses,
+                e.lower_tier_hits,
+                e.samples_prepared,
+                e.samples_delivered,
+            )
+        };
+        assert_eq!(
+            chain_report
+                .epochs
+                .iter()
+                .map(deterministic)
+                .collect::<Vec<_>>(),
+            flat_report
+                .epochs
+                .iter()
+                .map(deterministic)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tiered_session_reports_per_level_hit_ratios() {
+        // DRAM MinIO holding ~35 % + SSD MinIO holding ~35 %: the chain
+        // serves ~70 % of steady-state fetches, split across the levels.
+        let spec = DatasetSpec::new("sess", 200, 1000, 0.0, 4.0);
+        let total = spec.total_bytes();
+        let ds: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec, 9));
+        let session = Session::builder(ds, config(20, 0))
+            .cache_tiers(vec![
+                ByteTierSpec::dram(PolicyKind::MinIo, total * 35 / 100),
+                ByteTierSpec::sata_ssd(PolicyKind::MinIo, total * 35 / 100),
+            ])
+            .build()
+            .unwrap();
+        for epoch in 0..3u64 {
+            let run = session.epoch(epoch);
+            for mb in run.stream(0) {
+                let _ = mb.unwrap();
+            }
+        }
+        let report = session.report();
+        assert!((report.steady_dram_hit_ratio() - 0.35).abs() < 0.03);
+        assert!((report.steady_lower_tier_hit_ratio() - 0.35).abs() < 0.03);
+        assert!((report.steady_hit_ratio() - 0.70).abs() < 0.05);
+        assert!(report.bytes_from_lower_tiers > 0);
+        assert!(
+            report.bytes_from_lower_tiers < report.bytes_from_cache,
+            "lower-tier bytes are a subset of cache bytes"
+        );
+        let levels = session.tier_levels();
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].name, "dram");
+        assert_eq!(levels[1].name, "ssd");
+        assert!(
+            levels[1].device_seconds > 0.0,
+            "SSD level charges device time"
+        );
+        assert_eq!(report.cache_policy, "dram:MinIO+ssd:MinIO");
     }
 
     #[test]

@@ -4,9 +4,8 @@
 //!
 //! The multi-threaded epoch engine itself lives in
 //! [`executor`](crate::executor); this module provides the stack (what a
-//! fetch *does*) and the single-job entry point that both `Mode::Single`
-//! sessions and the legacy `DataLoader` shim run on, so the two are
-//! bit-identical by construction.
+//! fetch *does*) and the single-job entry point `Mode::Single` sessions run
+//! on.
 
 use crate::executor::{spawn_ordered_epoch, FetchFn, OrderedStream};
 use crate::stats::LoaderStats;
@@ -29,8 +28,11 @@ pub(crate) struct LoaderStack {
 impl LoaderStack {
     /// Fetch `item` through the tier, reading from the backend on a miss.
     pub(crate) fn fetch(&self, item: ItemId) -> Arc<Vec<u8>> {
-        if let Some(bytes) = self.tier.lookup(item) {
+        if let Some((bytes, level)) = self.tier.lookup_traced(item) {
             self.stats.record_cache_read(bytes.len() as u64);
+            if level > 0 {
+                self.stats.record_lower_tier_read(bytes.len() as u64);
+            }
             return bytes;
         }
         let bytes = Arc::new(self.backend.read(item));

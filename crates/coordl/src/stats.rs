@@ -17,6 +17,7 @@ use std::time::Duration;
 pub struct LoaderStats {
     bytes_from_storage: AtomicU64,
     bytes_from_cache: AtomicU64,
+    bytes_from_lower_tiers: AtomicU64,
     bytes_from_remote: AtomicU64,
     samples_prepared: AtomicU64,
     samples_delivered: AtomicU64,
@@ -43,6 +44,14 @@ impl LoaderStats {
         self.bytes_from_remote.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Record that `bytes` of a cache read were served by a tier below DRAM
+    /// (call *in addition to* [`LoaderStats::record_cache_read`]: lower-tier
+    /// bytes are a subset of cache bytes).
+    pub fn record_lower_tier_read(&self, bytes: u64) {
+        self.bytes_from_lower_tiers
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Record that `n` samples were pre-processed.
     pub fn record_prepared(&self, n: u64) {
         self.samples_prepared.fetch_add(n, Ordering::Relaxed);
@@ -66,6 +75,12 @@ impl LoaderStats {
     /// Bytes served from remote caches so far.
     pub fn bytes_from_remote(&self) -> u64 {
         self.bytes_from_remote.load(Ordering::Relaxed)
+    }
+
+    /// Of [`LoaderStats::bytes_from_cache`], the bytes served by cache tiers
+    /// below DRAM (zero for flat tiers).
+    pub fn bytes_from_lower_tiers(&self) -> u64 {
+        self.bytes_from_lower_tiers.load(Ordering::Relaxed)
     }
 
     /// Samples pre-processed so far.

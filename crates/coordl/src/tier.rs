@@ -1,22 +1,27 @@
 //! Pluggable byte-cache tiers.
 //!
 //! A [`CacheTier`] sits between a [`Session`](crate::Session)'s prep workers
-//! and its [`FetchBackend`](crate::FetchBackend).  Two implementations ship
-//! with the crate:
+//! and its [`FetchBackend`](crate::FetchBackend).  Three implementations
+//! ship with the crate:
 //!
-//! * [`MinIoByteCache`] — CoorDL's own never-evict policy (§4.1), the
-//!   default tier;
-//! * [`PolicyByteCache`] — any `coordl-cache` replacement policy (LRU, FIFO,
-//!   CLOCK, MinIO) holding real item bytes, so the runtime can reproduce the
-//!   page-cache thrashing the paper measures with the *same* policy code the
+//! * [`TieredByteCache`] — a `dcache::TierChain` of real byte tiers (DRAM
+//!   MinIO/LRU/FIFO/CLOCK spilling into a profiled local-SSD tier, and so
+//!   on), the tier every session builds by default — a single-level chain is
+//!   bit-identical to the dedicated implementations below;
+//! * [`MinIoByteCache`] — CoorDL's own never-evict policy (§4.1) as a
+//!   standalone lock-free-ish cache;
+//! * [`PolicyByteCache`] — any single `coordl-cache` replacement policy
+//!   holding real item bytes, so the runtime can reproduce the page-cache
+//!   thrashing the paper measures with the *same* policy code the
 //!   simulator's [`storage::StorageNode`] uses.
 
 use crate::cache::MinIoByteCache;
 use dataset::ItemId;
-use dcache::{build_cache, AccessOutcome, Cache, PolicyKind};
+use dcache::{build_cache, AccessOutcome, Cache, PolicyKind, TierChain, TierSpec};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use storage::{AccessPattern, DeviceProfile};
 
 /// A thread-safe byte cache tier keyed by item id.
 ///
@@ -54,6 +59,60 @@ pub trait CacheTier: Send + Sync {
 
     /// Name of the replacement policy.
     fn policy_name(&self) -> &'static str;
+
+    /// Like [`CacheTier::lookup`], additionally reporting which level of the
+    /// tier's hierarchy served the hit (0 for flat tiers).
+    fn lookup_traced(&self, item: ItemId) -> Option<(Arc<Vec<u8>>, usize)> {
+        self.lookup(item).map(|bytes| (bytes, 0))
+    }
+
+    /// Per-level statistics of the tier's hierarchy (a single level for flat
+    /// tiers).
+    fn tier_snapshots(&self) -> Vec<TierSnapshot> {
+        vec![TierSnapshot {
+            name: "dram",
+            policy: self.policy_name(),
+            capacity_bytes: self.capacity_bytes(),
+            used_bytes: self.used_bytes(),
+            resident_items: self.resident_items(),
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: 0,
+            demoted_in: 0,
+            demoted_out: 0,
+            device_seconds: 0.0,
+        }]
+    }
+}
+
+/// A point-in-time view of one level of a cache-tier hierarchy, used by
+/// reports and `dstool validate`'s per-tier hit-ratio rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierSnapshot {
+    /// Level name (`"dram"`, `"ssd"`, ...).
+    pub name: &'static str,
+    /// Replacement policy at this level.
+    pub policy: &'static str,
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Bytes resident.
+    pub used_bytes: u64,
+    /// Items resident.
+    pub resident_items: usize,
+    /// Fetches served by this level.
+    pub hits: u64,
+    /// Fetches that consulted this level and fell through.
+    pub misses: u64,
+    /// Entries this level's policy evicted on the fetch path (0 for flat
+    /// tiers, which do not track evictions at the wrapper level).
+    pub evictions: u64,
+    /// Victims accepted from the level above (demotion).
+    pub demoted_in: u64,
+    /// Victims this level evicted that were offered below.
+    pub demoted_out: u64,
+    /// Modelled busy time of this level's backing device across all hits,
+    /// in seconds (0 for unprofiled DRAM levels).
+    pub device_seconds: f64,
 }
 
 impl CacheTier for MinIoByteCache {
@@ -196,6 +255,250 @@ impl CacheTier for PolicyByteCache {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Tiered byte cache: a TierChain holding real payloads
+// ---------------------------------------------------------------------------
+
+/// Description of one level of a [`TieredByteCache`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ByteTierSpec {
+    /// Level name used in reports (`"dram"`, `"ssd"`, ...).
+    pub name: &'static str,
+    /// Replacement policy governing residency at this level.
+    pub policy: PolicyKind,
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Device backing the level: `None` for DRAM (hits cost memory
+    /// bandwidth), `Some(profile)` for a real device whose modelled busy
+    /// time is accounted per hit (random small-item reads).
+    pub profile: Option<DeviceProfile>,
+}
+
+impl ByteTierSpec {
+    /// A DRAM level of `capacity_bytes` under `policy`.
+    pub fn dram(policy: PolicyKind, capacity_bytes: u64) -> Self {
+        ByteTierSpec {
+            name: "dram",
+            policy,
+            capacity_bytes,
+            profile: None,
+        }
+    }
+
+    /// A local SATA-SSD level of `capacity_bytes` under `policy` (§4.2 /
+    /// Table 2: 530 MB/s random reads).
+    pub fn sata_ssd(policy: PolicyKind, capacity_bytes: u64) -> Self {
+        ByteTierSpec {
+            name: "ssd",
+            policy,
+            capacity_bytes,
+            profile: Some(DeviceProfile::sata_ssd()),
+        }
+    }
+
+    fn tier_spec(&self) -> TierSpec {
+        TierSpec {
+            name: self.name,
+            policy: self.policy,
+            capacity_bytes: self.capacity_bytes,
+            cost: match &self.profile {
+                None => storage::dram_tier_cost(),
+                Some(p) => p.tier_cost(AccessPattern::Random),
+            },
+        }
+    }
+}
+
+/// Intern a hierarchy label: leak it at most once per distinct string (the
+/// label space is the tiny set of tier-layout names, so the table stays a
+/// handful of entries for the process lifetime).
+fn intern_label(label: String) -> &'static str {
+    static LABELS: std::sync::Mutex<Vec<&'static str>> = std::sync::Mutex::new(Vec::new());
+    let mut labels = LABELS.lock().expect("label table poisoned");
+    if let Some(existing) = labels.iter().find(|l| **l == label) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(label.into_boxed_str());
+    labels.push(leaked);
+    leaked
+}
+
+struct TieredInner {
+    chain: TierChain,
+    /// One payload per resident item, shared by every level that holds it.
+    bytes: HashMap<ItemId, Arc<Vec<u8>>>,
+    // Fetch counters at the wrapper, exactly like PolicyByteCache: one hit
+    // or one miss per fetch, counted at lookup time.
+    hits: u64,
+    misses: u64,
+    /// Modelled per-level device busy seconds across all hits.
+    level_seconds: Vec<f64>,
+}
+
+/// A byte-holding cache-tier *hierarchy*: a `dcache::TierChain` decides
+/// residency, demotion and per-level statistics while this wrapper stores
+/// the actual payloads (dropped the moment a key falls off the chain).
+///
+/// A single-level `TieredByteCache` is bit-identical to [`MinIoByteCache`] /
+/// [`PolicyByteCache`] under the sequential fetch order every
+/// [`Session`](crate::Session) executor guarantees — which is why sessions
+/// build their tiers through it by default.
+pub struct TieredByteCache {
+    inner: Mutex<TieredInner>,
+    specs: Vec<ByteTierSpec>,
+    name: &'static str,
+}
+
+impl TieredByteCache {
+    /// Build a hierarchy from `specs`, ordered fastest (level 0) first.
+    ///
+    /// # Panics
+    /// Panics when `specs` is empty.
+    pub fn new(specs: Vec<ByteTierSpec>) -> Self {
+        assert!(!specs.is_empty(), "need at least one tier");
+        let chain = TierChain::new(specs.iter().map(ByteTierSpec::tier_spec).collect());
+        // Single-level hierarchies report the plain policy name so existing
+        // reports are unchanged; deeper chains get a composite label,
+        // interned so sweeps constructing many identical hierarchies share
+        // one allocation.
+        let name = if specs.len() == 1 {
+            specs[0].policy.name()
+        } else {
+            let label = specs
+                .iter()
+                .map(|s| format!("{}:{}", s.name, s.policy.name()))
+                .collect::<Vec<_>>()
+                .join("+");
+            intern_label(label)
+        };
+        let levels = specs.len();
+        TieredByteCache {
+            inner: Mutex::new(TieredInner {
+                chain,
+                bytes: HashMap::new(),
+                hits: 0,
+                misses: 0,
+                level_seconds: vec![0.0; levels],
+            }),
+            specs,
+            name,
+        }
+    }
+
+    /// A single DRAM level under `policy` — the default session tier.
+    pub fn single(policy: PolicyKind, capacity_bytes: u64) -> Self {
+        Self::new(vec![ByteTierSpec::dram(policy, capacity_bytes)])
+    }
+
+    /// The level descriptions this hierarchy was built from.
+    pub fn specs(&self) -> &[ByteTierSpec] {
+        &self.specs
+    }
+}
+
+impl CacheTier for TieredByteCache {
+    fn lookup(&self, item: ItemId) -> Option<Arc<Vec<u8>>> {
+        self.lookup_traced(item).map(|(bytes, _)| bytes)
+    }
+
+    fn lookup_traced(&self, item: ItemId) -> Option<(Arc<Vec<u8>>, usize)> {
+        let mut inner = self.inner.lock();
+        let Some(bytes) = inner.bytes.get(&item).map(Arc::clone) else {
+            inner.misses += 1;
+            return None;
+        };
+        inner.hits += 1;
+        // Touch recency, promote towards DRAM, demote what that displaces.
+        let access = inner.chain.access(item, bytes.len() as u64);
+        let level = match access.source {
+            dcache::ChainSource::Tier(k) => k,
+            dcache::ChainSource::Store => unreachable!("payload implies residency"),
+        };
+        // Only profiled levels account modelled device time; DRAM hits (the
+        // hot path) skip the cost math entirely.
+        if self.specs[level].profile.is_some() {
+            let secs = inner
+                .chain
+                .tier_cost(level)
+                .access_seconds(bytes.len() as u64);
+            inner.level_seconds[level] += secs;
+        }
+        for victim in access.dropped {
+            inner.bytes.remove(&victim);
+        }
+        Some((bytes, level))
+    }
+
+    fn admit(&self, item: ItemId, bytes: Arc<Vec<u8>>) -> Arc<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        if inner.bytes.contains_key(&item) {
+            // A concurrent worker admitted it first; keep the resident copy.
+            return Arc::clone(&inner.bytes[&item]);
+        }
+        let access = inner.chain.access(item, bytes.len() as u64);
+        for victim in access.dropped {
+            inner.bytes.remove(&victim);
+        }
+        if access.admitted {
+            inner.bytes.insert(item, Arc::clone(&bytes));
+        }
+        bytes
+    }
+
+    fn contains(&self, item: ItemId) -> bool {
+        self.inner.lock().chain.contains(item)
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.inner.lock().chain.used_bytes()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.lock().chain.capacity_bytes()
+    }
+
+    fn resident_items(&self) -> usize {
+        self.inner.lock().chain.resident_items()
+    }
+
+    fn hits(&self) -> u64 {
+        self.inner.lock().hits
+    }
+
+    fn misses(&self) -> u64 {
+        self.inner.lock().misses
+    }
+
+    fn policy_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn tier_snapshots(&self) -> Vec<TierSnapshot> {
+        let inner = self.inner.lock();
+        (0..inner.chain.num_tiers())
+            .map(|k| {
+                let spec = inner.chain.tier_spec(k);
+                let stats = inner.chain.tier_stats(k);
+                let demotions = inner.chain.tier_demotions(k);
+                TierSnapshot {
+                    name: spec.name,
+                    policy: spec.policy.name(),
+                    capacity_bytes: spec.capacity_bytes,
+                    used_bytes: inner.chain.tier_used_bytes(k),
+                    resident_items: inner.chain.tier_len(k),
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    evictions: stats.evictions,
+                    demoted_in: demotions.demoted_in,
+                    demoted_out: demotions.demoted_out,
+                    // Unprofiled (DRAM) levels never accumulate seconds.
+                    device_seconds: inner.level_seconds[k],
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +568,114 @@ mod tests {
         assert_eq!(tier.resident_items(), 1);
         assert_eq!(tier.lookup(7).unwrap().as_slice(), &[7; 4]);
         assert_eq!(tier.hits(), 1);
+    }
+
+    /// Drive a full fetch (lookup, then admit on a miss) like a LoaderStack.
+    fn fetch_through(tier: &dyn CacheTier, item: ItemId, len: usize) -> usize {
+        match tier.lookup_traced(item) {
+            Some((_, level)) => level,
+            None => {
+                tier.admit(item, payload(item, len));
+                usize::MAX
+            }
+        }
+    }
+
+    #[test]
+    fn single_level_tiered_cache_matches_policy_byte_cache_exactly() {
+        // The contract that lets sessions route every tier through the
+        // chain: same hits, misses, residency, used bytes and payloads as
+        // the dedicated single-policy implementation, for every policy.
+        for kind in [
+            PolicyKind::MinIo,
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Clock,
+        ] {
+            let tiered = TieredByteCache::single(kind, 6);
+            let flat = PolicyByteCache::new(kind, 6);
+            let trace: Vec<u64> = vec![1, 2, 3, 4, 1, 2, 5, 6, 7, 1, 3, 5, 7, 2];
+            for &item in &trace {
+                fetch_through(&tiered, item, 2);
+                fetch_through(&flat, item, 2);
+            }
+            assert_eq!(tiered.hits(), flat.hits(), "{kind:?}");
+            assert_eq!(tiered.misses(), flat.misses(), "{kind:?}");
+            assert_eq!(
+                tiered.used_bytes(),
+                CacheTier::used_bytes(&flat),
+                "{kind:?}"
+            );
+            assert_eq!(tiered.resident_items(), flat.resident_items(), "{kind:?}");
+            for item in 0..8u64 {
+                assert_eq!(
+                    tiered.contains(item),
+                    flat.contains(item),
+                    "{kind:?} {item}"
+                );
+                assert_eq!(
+                    tiered.lookup(item).is_some(),
+                    flat.lookup(item).is_some(),
+                    "{kind:?} {item}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minio_dram_spills_payloads_into_the_ssd_level() {
+        let tier = TieredByteCache::new(vec![
+            ByteTierSpec::dram(PolicyKind::MinIo, 3),
+            ByteTierSpec::sata_ssd(PolicyKind::MinIo, 4),
+        ]);
+        for item in 0..10u64 {
+            assert_eq!(fetch_through(&tier, item, 1), usize::MAX, "cold chain");
+        }
+        let snaps = tier.tier_snapshots();
+        assert_eq!(snaps[0].resident_items, 3, "DRAM filled first");
+        assert_eq!(snaps[1].resident_items, 4, "SSD extends the reach");
+        assert_eq!(tier.resident_items(), 7);
+        // Second epoch: levels serve what they hold, payload bytes intact.
+        for item in 0..10u64 {
+            let level = fetch_through(&tier, item, 1);
+            match item {
+                0..=2 => assert_eq!(level, 0, "item {item}"),
+                3..=6 => assert_eq!(level, 1, "item {item}"),
+                _ => assert_eq!(level, usize::MAX, "item {item}"),
+            }
+        }
+        let snaps = tier.tier_snapshots();
+        assert_eq!(snaps[0].hits, 3);
+        assert_eq!(snaps[1].hits, 4);
+        assert!(snaps[1].device_seconds > 0.0, "SSD hits cost device time");
+        assert_eq!(snaps[0].device_seconds, 0.0, "DRAM is unprofiled");
+        assert_eq!(tier.lookup(5).unwrap().as_slice(), &[5], "payload intact");
+    }
+
+    #[test]
+    fn lru_dram_demotes_payloads_to_the_ssd_victim_tier() {
+        let tier = TieredByteCache::new(vec![
+            ByteTierSpec::dram(PolicyKind::Lru, 2),
+            ByteTierSpec::sata_ssd(PolicyKind::Lru, 2),
+        ]);
+        for item in 0..4u64 {
+            fetch_through(&tier, item, 1);
+        }
+        // DRAM holds {2,3}; victims 0,1 were demoted with their payloads.
+        assert_eq!(tier.lookup_traced(0).unwrap().1, 1, "served from ssd");
+        assert_eq!(tier.lookup_traced(0).unwrap().1, 0, "promoted to dram");
+        let snaps = tier.tier_snapshots();
+        assert_eq!(
+            snaps[1].demoted_in,
+            2 + 1,
+            "0, 1, then 0's promotion victim"
+        );
+        // Promoting 0 displaced 2 into the SSD, whose LRU victim was the
+        // stale key 1 — its payload fell off the chain and is gone.
+        assert!(!tier.contains(1));
+        assert_eq!(tier.resident_items(), 3);
+        assert_eq!(tier.lookup(1), None);
+        assert_eq!(tier.lookup(2).unwrap().as_slice(), &[2]);
     }
 
     #[test]

@@ -9,113 +9,16 @@
 //! storage at most once for the entire job.
 //!
 //! The driver lives in [`crate::Experiment`] with
-//! [`Scenario::Distributed`]; this module keeps
-//! the legacy free-function entry point and its result type as deprecated
-//! shims.
-
-use crate::config::ServerConfig;
-use crate::experiment::{Experiment, Scenario, SimReport};
-use crate::job::JobSpec;
-use crate::metrics::RunResult;
-
-/// Result of a distributed-training simulation (legacy shape; superseded by
-/// [`SimReport`]).
-#[derive(Debug, Clone, Default)]
-pub struct DistributedResult {
-    /// Per-server run results.
-    pub per_server: Vec<RunResult>,
-    /// Bytes fetched over the network per epoch, summed over servers.
-    pub remote_bytes_per_epoch: Vec<u64>,
-}
-
-impl DistributedResult {
-    /// Steady-state epoch time of the job: servers synchronise at every
-    /// iteration, so the slowest server sets the pace.
-    pub fn steady_epoch_seconds(&self) -> f64 {
-        self.per_server
-            .iter()
-            .map(|r| r.steady_state().epoch_seconds())
-            .fold(0.0, f64::max)
-    }
-
-    /// Steady-state job throughput in samples/second (whole job, all servers).
-    pub fn steady_samples_per_sec(&self) -> f64 {
-        let samples: u64 = self
-            .per_server
-            .iter()
-            .map(|r| r.steady_state().samples)
-            .sum();
-        samples as f64 / self.steady_epoch_seconds()
-    }
-
-    /// Per-server disk I/O in the given epoch, in bytes.
-    pub fn disk_bytes_per_server(&self, epoch: usize) -> Vec<u64> {
-        self.per_server
-            .iter()
-            .map(|r| r.epochs[epoch].bytes_from_disk)
-            .collect()
-    }
-
-    /// Speedup over a baseline distributed run in job throughput.
-    pub fn speedup_over(&self, baseline: &DistributedResult) -> f64 {
-        self.steady_samples_per_sec() / baseline.steady_samples_per_sec()
-    }
-
-    /// Average network receive bandwidth per server in Gbit/s during the
-    /// given epoch (paper §5.5 reports CoorDL uses ~5.7 Gbps of the 40 Gbps).
-    pub fn avg_network_gbps(&self, epoch: usize) -> f64 {
-        let secs = self
-            .per_server
-            .iter()
-            .map(|r| r.epochs[epoch].epoch_seconds())
-            .fold(0.0, f64::max);
-        if secs == 0.0 {
-            return 0.0;
-        }
-        let per_server_bytes = self
-            .per_server
-            .iter()
-            .map(|r| r.epochs[epoch].bytes_from_remote as f64)
-            .sum::<f64>()
-            / self.per_server.len() as f64;
-        per_server_bytes * 8.0 / secs / 1e9
-    }
-}
-
-impl From<SimReport> for DistributedResult {
-    fn from(report: SimReport) -> Self {
-        DistributedResult {
-            remote_bytes_per_epoch: report.remote_bytes_per_epoch.clone(),
-            per_server: report.units,
-        }
-    }
-}
-
-/// Simulate `epochs` epochs of one data-parallel job spread over
-/// `num_servers` identical servers (each contributing `job.num_gpus` GPUs).
-#[deprecated(
-    since = "0.2.0",
-    note = "use Experiment::on(server).job(job).scenario(Scenario::Distributed { servers: n }).epochs(n).run()"
-)]
-pub fn simulate_distributed(
-    server: &ServerConfig,
-    job: &JobSpec,
-    num_servers: usize,
-    epochs: u64,
-) -> DistributedResult {
-    Experiment::on(server)
-        .job(job.clone())
-        .scenario(Scenario::Distributed {
-            servers: num_servers,
-        })
-        .epochs(epochs)
-        .run()
-        .into()
-}
+//! [`crate::Scenario::Distributed`]; this module holds the scenario's
+//! behavioural tests.  (The legacy `simulate_distributed` shim and its
+//! `DistributedResult` type are gone — use the builder and
+//! [`crate::SimReport`].)
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::config::ServerConfig;
+    use crate::experiment::{Experiment, Scenario, SimReport};
+    use crate::job::JobSpec;
     use crate::loader::LoaderConfig;
     use dataset::DatasetSpec;
     use gpu::ModelKind;
@@ -253,21 +156,5 @@ mod tests {
         let res = run_distributed(&server, &job, 1, 2);
         assert_eq!(res.remote_bytes_per_epoch[1], 0);
         assert_eq!(res.per_server().len(), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_legacy_result_shape() {
-        let ds = small_openimages();
-        let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 0.5);
-        let job = JobSpec::new(
-            ModelKind::ResNet18,
-            ds,
-            8,
-            LoaderConfig::coordl(PrepBackend::DaliGpu),
-        );
-        let res = simulate_distributed(&server, &job, 2, 2);
-        assert_eq!(res.per_server.len(), 2);
-        assert_eq!(res.remote_bytes_per_epoch.len(), 2);
     }
 }

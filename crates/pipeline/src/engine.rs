@@ -8,16 +8,55 @@
 //! are bit-identical by construction.
 
 use crate::config::ServerConfig;
+use crate::experiment::CacheSpec;
 use crate::job::JobSpec;
 use crate::loader::FetchOrder;
 use crate::metrics::EpochMetrics;
 use dataset::{minibatches, DatasetSpec, EpochSampler, ItemId, StorageFormat};
-use dcache::{Location, PartitionedIndex, ServerId};
+use dcache::{Location, PartitionedIndex, PolicyKind, ServerId, TierSpec};
 use gpu::{aggregate_samples_per_sec, GpuGeneration};
 use netsim::Fabric;
 use prep::{PrepBackend, PrepCostModel};
 use simkit::{PipelineRecurrence, SimTime, StageSample, TimeSeries};
-use storage::{AccessPattern, FetchSource, StorageNode, DRAM_BANDWIDTH_BYTES_PER_SEC};
+use storage::{
+    AccessPattern, DeviceProfile, FetchSource, StorageNode, DRAM_BANDWIDTH_BYTES_PER_SEC,
+};
+
+/// Build one server's storage node from the experiment's cache
+/// specification: the classic single DRAM tier, or a DRAM tier spilling into
+/// a profiled local-SSD tier, both driven by the loader's replacement
+/// policy.
+pub(crate) fn build_node(
+    server: &ServerConfig,
+    policy: PolicyKind,
+    cache: CacheSpec,
+) -> StorageNode {
+    match cache {
+        CacheSpec::DramOnly => StorageNode::new(server.device, policy, server.dram_cache_bytes),
+        CacheSpec::Tiered {
+            dram_bytes,
+            ssd_bytes,
+        } => StorageNode::with_tiers(
+            server.device,
+            vec![
+                TierSpec {
+                    name: "dram",
+                    policy,
+                    capacity_bytes: dram_bytes,
+                    cost: storage::dram_tier_cost(),
+                },
+                TierSpec {
+                    name: "ssd",
+                    policy,
+                    capacity_bytes: ssd_bytes,
+                    // Cache-tier reads are shuffled small-item reads, the
+                    // random half of the SATA-SSD profile (Table 2).
+                    cost: DeviceProfile::sata_ssd().tier_cost(AccessPattern::Random),
+                },
+            ],
+        ),
+    }
+}
 
 /// Number of bins used for the per-epoch I/O timeline.
 pub(crate) const IO_BINS: usize = 40;
@@ -30,6 +69,11 @@ pub(crate) struct BatchFetch {
     pub remote_bytes: u64,
     pub hits: u64,
     pub misses: u64,
+    /// Of `cache_bytes`, the bytes served by cache tiers below DRAM (the
+    /// local-SSD spill tier of a `CacheSpec::Tiered` hierarchy).
+    pub lower_bytes: u64,
+    /// Of `hits`, the hits served by cache tiers below DRAM.
+    pub lower_hits: u64,
     pub fetch_secs: f64,
 }
 
@@ -55,13 +99,24 @@ pub(crate) fn fetch_batch_local(
     let latency = node.device().profile().request_latency_s;
     let bandwidth = node.device().profile().bandwidth(pattern);
     let dram = storage::DRAM_BANDWIDTH_BYTES_PER_SEC;
+    // Seconds spent reading from cache tiers below DRAM, charged at each
+    // tier's own cost (a lower tier is a local device shared by the node's
+    // jobs exactly like the durable store, so `disk_share` applies).
+    let mut lower_secs = 0.0;
     for &item in items {
         let unit = format.unit_of(item, spec);
-        let (_, source) = node.fetch(at, key_base + unit.key, unit.bytes, pattern);
+        let (t, source) = node.fetch(at, key_base + unit.key, unit.bytes, pattern);
         match source {
             FetchSource::Cache => {
                 out.cache_bytes += unit.bytes;
                 out.hits += 1;
+            }
+            FetchSource::LowerTier(_) => {
+                out.cache_bytes += unit.bytes;
+                out.hits += 1;
+                out.lower_bytes += unit.bytes;
+                out.lower_hits += 1;
+                lower_secs += t.as_secs();
             }
             FetchSource::Disk => {
                 out.disk_bytes += unit.bytes;
@@ -69,9 +124,12 @@ pub(crate) fn fetch_batch_local(
             }
         }
     }
+    // The DRAM term keeps the pre-hierarchy batch-aggregate formula so a
+    // single-tier chain charges bit-identical fetch times.
     out.fetch_secs = out.disk_bytes as f64 / (bandwidth * disk_share)
         + out.misses as f64 * latency / disk_share
-        + out.cache_bytes as f64 / dram;
+        + (out.cache_bytes - out.lower_bytes) as f64 / dram
+        + lower_secs / disk_share;
     out
 }
 
@@ -134,6 +192,8 @@ pub(crate) struct EpochAccumulator {
     remote_bytes: u64,
     hits: u64,
     misses: u64,
+    lower_bytes: u64,
+    lower_hits: u64,
     io: TimeSeries,
     epoch: u64,
 }
@@ -148,6 +208,8 @@ impl EpochAccumulator {
             remote_bytes: 0,
             hits: 0,
             misses: 0,
+            lower_bytes: 0,
+            lower_hits: 0,
             io: TimeSeries::new(),
             epoch,
         }
@@ -181,6 +243,8 @@ impl EpochAccumulator {
         self.remote_bytes += fetch.remote_bytes;
         self.hits += fetch.hits;
         self.misses += fetch.misses;
+        self.lower_bytes += fetch.lower_bytes;
+        self.lower_hits += fetch.lower_hits;
         let t = self
             .rec
             .fetch_done_times()
@@ -211,6 +275,8 @@ impl EpochAccumulator {
             bytes_from_remote: self.remote_bytes,
             cache_hits: self.hits,
             cache_misses: self.misses,
+            bytes_from_lower_tiers: self.lower_bytes,
+            lower_tier_hits: self.lower_hits,
             io_timeline,
         }
     }
@@ -408,6 +474,8 @@ pub(crate) fn shared_coordinated_epoch(
         m.bytes_from_remote = 0;
         m.cache_hits = 0;
         m.cache_misses = 0;
+        m.bytes_from_lower_tiers = 0;
+        m.lower_tier_hits = 0;
         m.io_timeline.clear();
     }
     metrics
@@ -423,16 +491,15 @@ pub(crate) struct DistributedSim {
 }
 
 impl DistributedSim {
-    pub(crate) fn new(server: &ServerConfig, job: &JobSpec, num_servers: usize) -> Self {
+    pub(crate) fn new(
+        server: &ServerConfig,
+        job: &JobSpec,
+        num_servers: usize,
+        cache: CacheSpec,
+    ) -> Self {
         DistributedSim {
             nodes: (0..num_servers)
-                .map(|_| {
-                    StorageNode::new(
-                        server.device,
-                        job.loader.cache_policy,
-                        server.dram_cache_bytes,
-                    )
-                })
+                .map(|_| build_node(server, job.loader.cache_policy, cache))
                 .collect(),
             directory: PartitionedIndex::new(num_servers),
             fabric: Fabric::new(server.link, num_servers),
@@ -527,16 +594,22 @@ fn fetch_batch_partitioned(
     let device = *node.device().profile();
     let pattern = access_pattern(job);
     let mut remote_requests = 0u64;
+    let mut lower_secs = 0.0;
 
     for &item in items {
         let bytes = spec.item_size(item);
         match directory.locate(item, me) {
             Location::Local => {
-                // Resident in the local MinIO cache.
-                let (_, src) = node.fetch(at, item, bytes, pattern);
-                debug_assert_eq!(src, FetchSource::Cache);
+                // Resident in some tier of the local cache chain.
+                let (t, src) = node.fetch(at, item, bytes, pattern);
+                debug_assert_ne!(src, FetchSource::Disk);
                 out.cache_bytes += bytes;
                 out.hits += 1;
+                if let FetchSource::LowerTier(_) = src {
+                    out.lower_bytes += bytes;
+                    out.lower_hits += 1;
+                    lower_secs += t.as_secs();
+                }
             }
             Location::Remote(peer) => {
                 fabric.remote_fetch(peer.0, me.0, bytes, num_servers.saturating_sub(1).max(1));
@@ -562,7 +635,8 @@ fn fetch_batch_partitioned(
     let per_flow = link.per_flow_bandwidth(num_servers.saturating_sub(1).max(1));
     out.fetch_secs = out.disk_bytes as f64 / device.bandwidth(pattern)
         + out.misses as f64 * device.request_latency_s
-        + out.cache_bytes as f64 / DRAM_BANDWIDTH_BYTES_PER_SEC
+        + (out.cache_bytes - out.lower_bytes) as f64 / DRAM_BANDWIDTH_BYTES_PER_SEC
+        + lower_secs
         + out.remote_bytes as f64 / per_flow
         + if remote_requests > 0 { link.rtt_s } else { 0.0 };
     out

@@ -9,92 +9,15 @@
 //! consumed by every job through the cross-job staging area.
 //!
 //! The driver lives in [`crate::Experiment`] with
-//! [`Scenario::HpSearch`]; this module keeps the
-//! legacy free-function entry point and its result type as deprecated shims.
-
-use crate::config::ServerConfig;
-use crate::experiment::{Experiment, Scenario, SimReport};
-use crate::job::JobSpec;
-use crate::metrics::RunResult;
-
-/// Result of an HP-search simulation (legacy shape; superseded by
-/// [`SimReport`]).
-#[derive(Debug, Clone, Default)]
-pub struct HpSearchResult {
-    /// Per-job run results (jobs are symmetric, so these are near-identical).
-    pub per_job: Vec<RunResult>,
-    /// Total bytes read from storage per epoch, summed over all jobs.
-    pub disk_bytes_per_epoch: Vec<u64>,
-}
-
-impl HpSearchResult {
-    /// Average steady-state per-job throughput in samples/second.
-    pub fn steady_per_job_samples_per_sec(&self) -> f64 {
-        let n = self.per_job.len() as f64;
-        self.per_job
-            .iter()
-            .map(RunResult::steady_samples_per_sec)
-            .sum::<f64>()
-            / n
-    }
-
-    /// Steady-state epoch time (the slowest job's, though jobs are symmetric).
-    pub fn steady_epoch_seconds(&self) -> f64 {
-        self.per_job
-            .iter()
-            .map(|r| r.steady_state().epoch_seconds())
-            .fold(0.0, f64::max)
-    }
-
-    /// Read amplification relative to one sweep over the dataset
-    /// (Table 3 / §3.3.1: 8 uncoordinated jobs read up to 7× the dataset).
-    pub fn read_amplification(&self, dataset_bytes: u64, epoch: usize) -> f64 {
-        self.disk_bytes_per_epoch[epoch] as f64 / dataset_bytes as f64
-    }
-
-    /// Total disk traffic across all epochs and jobs.
-    pub fn total_disk_bytes(&self) -> u64 {
-        self.disk_bytes_per_epoch.iter().sum()
-    }
-
-    /// Speedup of this configuration over `baseline` in per-job throughput.
-    pub fn speedup_over(&self, baseline: &HpSearchResult) -> f64 {
-        self.steady_per_job_samples_per_sec() / baseline.steady_per_job_samples_per_sec()
-    }
-}
-
-impl From<SimReport> for HpSearchResult {
-    fn from(report: SimReport) -> Self {
-        HpSearchResult {
-            disk_bytes_per_epoch: report.disk_bytes_per_epoch.clone(),
-            per_job: report.units,
-        }
-    }
-}
-
-/// Simulate `epochs` epochs of `jobs` concurrent HP-search jobs on `server`.
-///
-/// All jobs must train the same dataset (that is the HP-search setting the
-/// paper considers); they may differ in seed, batch size or GPU count.  The
-/// loader of the *first* job decides whether coordinated prep is used (all
-/// jobs run the same loader during HP search).
-#[deprecated(
-    since = "0.2.0",
-    note = "use Experiment::on(server).jobs(jobs).scenario(Scenario::HpSearch { jobs: n }).epochs(n).run()"
-)]
-pub fn simulate_hp_search(server: &ServerConfig, jobs: &[JobSpec], epochs: u64) -> HpSearchResult {
-    assert!(!jobs.is_empty(), "need at least one job");
-    Experiment::on(server)
-        .jobs(jobs.to_vec())
-        .scenario(Scenario::HpSearch { jobs: jobs.len() })
-        .epochs(epochs)
-        .run()
-        .into()
-}
+//! [`crate::Scenario::HpSearch`]; this module holds the scenario's
+//! behavioural tests.  (The legacy `simulate_hp_search` shim and its
+//! `HpSearchResult` type are gone — use the builder and [`crate::SimReport`].)
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::config::ServerConfig;
+    use crate::experiment::{Experiment, Scenario, SimReport};
+    use crate::job::JobSpec;
     use crate::loader::LoaderConfig;
     use dataset::DatasetSpec;
     use gpu::ModelKind;
@@ -239,20 +162,5 @@ mod tests {
             max / min < 1.25,
             "jobs should finish within 25% of each other"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_legacy_result_shape() {
-        let ds = small_imagenet();
-        let server = ServerConfig::config_ssd_v100().with_cache_fraction(ds.total_bytes(), 0.5);
-        let jobs = eight_jobs(
-            ModelKind::ResNet18,
-            &ds,
-            LoaderConfig::dali_shuffle(PrepBackend::DaliGpu),
-        );
-        let res = simulate_hp_search(&server, &jobs, 2);
-        assert_eq!(res.per_job.len(), 8);
-        assert_eq!(res.disk_bytes_per_epoch.len(), 2);
     }
 }

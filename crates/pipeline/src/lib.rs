@@ -26,9 +26,10 @@
 //! cache sizes, vCPU counts, loaders, server counts — run through the
 //! [`sweep`] module: a [`SweepSpec`] names the axes and a [`SweepRunner`]
 //! fans the grid out across OS threads with deterministic, panic-isolated
-//! results.  The legacy free functions ([`simulate_single_server`],
-//! [`simulate_hp_search`], [`simulate_distributed`]) survive as deprecated
-//! shims over [`Experiment`].
+//! results.  Every storage node runs a [`CacheSpec`] cache hierarchy
+//! (`dcache::TierChain`): the classic single DRAM tier by default, or a
+//! DRAM tier spilling into a profiled local-SSD tier with
+//! [`CacheSpec::Tiered`].
 
 pub mod config;
 pub mod distributed;
@@ -43,16 +44,10 @@ pub mod single;
 pub mod sweep;
 
 pub use config::ServerConfig;
-#[allow(deprecated)]
-pub use distributed::{simulate_distributed, DistributedResult};
-pub use experiment::{EpochUpdate, Experiment, Scenario, SimReport};
-#[allow(deprecated)]
-pub use hp::{simulate_hp_search, HpSearchResult};
+pub use experiment::{CacheSpec, EpochUpdate, Experiment, Scenario, SimReport};
 pub use job::JobSpec;
 pub use loader::{FetchOrder, LoaderConfig, LoaderKind};
 pub use metrics::{EpochMetrics, RunResult};
-#[allow(deprecated)]
-pub use single::simulate_single_server;
 pub use sweep::{
     Axis, ExperimentSpec, GridMode, PointLabel, SweepPoint, SweepReport, SweepRunner, SweepSpec,
 };

@@ -17,10 +17,17 @@ pub struct EpochMetrics {
     pub bytes_from_disk: u64,
     /// Bytes fetched from remote caches (partitioned caching only).
     pub bytes_from_remote: u64,
-    /// Cache hits (fetch units).
+    /// Cache hits (fetch units), summed across every tier of the node's
+    /// cache chain.
     pub cache_hits: u64,
-    /// Cache misses (fetch units).
+    /// Cache misses (fetch units): reads that fell through to the device.
     pub cache_misses: u64,
+    /// Of `bytes_from_cache`, the bytes served by cache tiers below DRAM
+    /// (the local-SSD spill tier of a `CacheSpec::Tiered` run; zero on
+    /// single-tier runs).
+    pub bytes_from_lower_tiers: u64,
+    /// Of `cache_hits`, the hits served by cache tiers below DRAM.
+    pub lower_tier_hits: u64,
     /// Disk I/O over time: `(window_start_seconds, bytes_read_in_window)`.
     pub io_timeline: Vec<(f64, f64)>,
 }
@@ -64,6 +71,27 @@ impl EpochMetrics {
     pub fn bytes_not_cached(&self) -> u64 {
         self.bytes_from_disk + self.bytes_from_remote
     }
+
+    /// Hit ratio of the DRAM (topmost) cache tier over fetch units.
+    pub fn dram_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.cache_hits - self.lower_tier_hits) as f64 / total as f64
+        }
+    }
+
+    /// Hit ratio of the cache tiers below DRAM over fetch units (zero on
+    /// single-tier runs).
+    pub fn lower_tier_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.lower_tier_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The result of simulating several epochs of one job.
@@ -104,6 +132,8 @@ impl RunResult {
         out.bytes_from_remote = avg(&|e| e.bytes_from_remote as f64) as u64;
         out.cache_hits = avg(&|e| e.cache_hits as f64) as u64;
         out.cache_misses = avg(&|e| e.cache_misses as f64) as u64;
+        out.bytes_from_lower_tiers = avg(&|e| e.bytes_from_lower_tiers as f64) as u64;
+        out.lower_tier_hits = avg(&|e| e.lower_tier_hits as f64) as u64;
         out
     }
 
@@ -149,6 +179,8 @@ mod tests {
             bytes_from_remote: 0,
             cache_hits: 50,
             cache_misses: 50,
+            bytes_from_lower_tiers: 0,
+            lower_tier_hits: 0,
             io_timeline: Vec::new(),
         }
     }

@@ -2,36 +2,17 @@
 //! the §3 analysis).
 //!
 //! The driver lives in [`crate::Experiment`] with
-//! [`Scenario::SingleServer`]; this module
-//! keeps the legacy free-function entry point as a deprecated shim.
-
-use crate::config::ServerConfig;
-use crate::experiment::{Experiment, Scenario};
-use crate::job::JobSpec;
-use crate::metrics::RunResult;
-
-/// Simulate `epochs` epochs of `job` running alone on `server`.
-///
-/// The cache starts cold; epoch 0 is the warm-up epoch the paper excludes
-/// from averages.  The job has the whole server to itself: all CPU cores, the
-/// full device bandwidth and the entire DRAM cache.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Experiment::on(server).job(job).scenario(Scenario::SingleServer).epochs(n).run()"
-)]
-pub fn simulate_single_server(server: &ServerConfig, job: &JobSpec, epochs: u64) -> RunResult {
-    Experiment::on(server)
-        .job(job.clone())
-        .scenario(Scenario::SingleServer)
-        .epochs(epochs)
-        .run()
-        .into_run_result()
-}
+//! [`crate::Scenario::SingleServer`]; this module holds the scenario's
+//! behavioural tests.  (The legacy `simulate_single_server` shim is gone —
+//! use the builder.)
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::config::ServerConfig;
+    use crate::experiment::{Experiment, Scenario};
+    use crate::job::JobSpec;
     use crate::loader::LoaderConfig;
+    use crate::metrics::RunResult;
     use dataset::DatasetSpec;
     use gpu::ModelKind;
     use prep::PrepBackend;
@@ -204,17 +185,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_still_works() {
+    fn scenario_takes_exactly_one_job() {
         let ds = small_openimages();
         let server = ssd_server(&ds, 0.5);
-        let job = JobSpec::new(
-            ModelKind::ResNet18,
-            ds,
-            8,
-            LoaderConfig::coordl(PrepBackend::DaliGpu),
-        );
-        let run = simulate_single_server(&server, &job, 2);
-        assert_eq!(run.epochs.len(), 2);
+        let job = JobSpec::new(ModelKind::ResNet18, ds, 8, LoaderConfig::pytorch_dl());
+        let result = std::panic::catch_unwind(|| {
+            Experiment::on(&server)
+                .job(job.clone())
+                .job(job)
+                .scenario(Scenario::SingleServer)
+                .run()
+        });
+        assert!(result.is_err(), "two jobs must be rejected");
     }
 }

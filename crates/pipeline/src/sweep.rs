@@ -52,7 +52,7 @@
 //! ```
 
 use crate::config::ServerConfig;
-use crate::experiment::{Experiment, Scenario, SimReport};
+use crate::experiment::{CacheSpec, Experiment, Scenario, SimReport};
 use crate::job::JobSpec;
 use crate::json;
 use std::fmt;
@@ -71,18 +71,21 @@ pub struct ExperimentSpec {
     pub jobs: Vec<JobSpec>,
     /// The scenario shape.
     pub scenario: Scenario,
+    /// The cache hierarchy every storage node runs.
+    pub cache: CacheSpec,
     /// Number of simulated epochs.
     pub epochs: u64,
 }
 
 impl ExperimentSpec {
     /// A single-job spec with the [`Experiment`] defaults:
-    /// [`Scenario::SingleServer`], 3 epochs.
+    /// [`Scenario::SingleServer`], [`CacheSpec::DramOnly`], 3 epochs.
     pub fn new(server: ServerConfig, job: JobSpec) -> Self {
         ExperimentSpec {
             server,
             jobs: vec![job],
             scenario: Scenario::SingleServer,
+            cache: CacheSpec::DramOnly,
             epochs: 3,
         }
     }
@@ -96,6 +99,7 @@ impl ExperimentSpec {
         Experiment::on(&self.server)
             .jobs(self.jobs.iter().cloned())
             .scenario(self.scenario)
+            .cache(self.cache)
             .epochs(self.epochs)
             .run()
     }

@@ -18,4 +18,4 @@ pub mod profiles;
 
 pub use device::{AccessPattern, StorageDevice};
 pub use node::{FetchSource, FetchStats, StorageNode};
-pub use profiles::{DeviceProfile, DRAM_BANDWIDTH_BYTES_PER_SEC};
+pub use profiles::{dram_tier_cost, DeviceProfile, DRAM_BANDWIDTH_BYTES_PER_SEC};

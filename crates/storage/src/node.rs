@@ -1,15 +1,18 @@
-//! One server's storage stack: cache in front of a device.
+//! One server's storage stack: a cache-tier chain in front of a device.
 
-use crate::{AccessPattern, DeviceProfile, StorageDevice, DRAM_BANDWIDTH_BYTES_PER_SEC};
-use dcache::{build_cache, AccessOutcome, Cache, PolicyKind};
+use crate::{AccessPattern, DeviceProfile, StorageDevice};
+use dcache::{ChainSource, TierChain, TierSpec};
 use simkit::SimTime;
 
 /// Where a fetched unit ultimately came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FetchSource {
-    /// Served from the node's software cache (page cache or MinIO) at DRAM
-    /// bandwidth.
+    /// Served from the node's topmost software cache tier (page cache or
+    /// MinIO) at DRAM bandwidth.
     Cache,
+    /// Served from a lower cache tier `k >= 1` of the node's tier chain
+    /// (e.g. a local-SSD spill tier) at that tier's modelled cost.
+    LowerTier(usize),
     /// Read from the local storage device.
     Disk,
 }
@@ -17,14 +20,19 @@ pub enum FetchSource {
 /// Cumulative per-node fetch accounting (resettable at epoch boundaries).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FetchStats {
-    /// Bytes served from the cache.
+    /// Bytes served from any cache tier of the chain.
     pub bytes_from_cache: u64,
     /// Bytes read from the device.
     pub bytes_from_disk: u64,
-    /// Number of unit fetches that hit the cache.
+    /// Number of unit fetches served by some cache tier.
     pub cache_hits: u64,
     /// Number of unit fetches that went to the device.
     pub cache_misses: u64,
+    /// Of `bytes_from_cache`, the bytes served by tiers below the topmost
+    /// one (zero on a single-tier node).
+    pub bytes_from_lower_tiers: u64,
+    /// Of `cache_hits`, the hits served by tiers below the topmost one.
+    pub lower_tier_hits: u64,
 }
 
 impl FetchStats {
@@ -44,26 +52,43 @@ impl FetchStats {
     }
 }
 
-/// A server's storage stack: a software cache (page cache / MinIO / …) in
-/// front of a storage device.
+/// A server's storage stack: a software cache-tier chain (page cache /
+/// MinIO / DRAM-plus-SSD hierarchies, see [`dcache::TierChain`]) in front of
+/// a storage device.
 ///
 /// The node works in terms of *fetch units* (item files or record chunks, see
-/// `coordl-dataset::StorageFormat`): `fetch` looks the unit up in the cache,
-/// reads it from the device on a miss, and returns how long the access takes
-/// in isolation together with its source.
+/// `coordl-dataset::StorageFormat`): `fetch` looks the unit up through the
+/// chain, reads it from the device when every tier misses, and returns how
+/// long the access takes in isolation together with its source.  A node
+/// built with [`StorageNode::new`] has a single DRAM tier and behaves
+/// bit-identically to the pre-hierarchy node.
 pub struct StorageNode {
     device: StorageDevice,
-    cache: Box<dyn Cache<u64> + Send>,
+    chain: TierChain,
     stats: FetchStats,
 }
 
 impl StorageNode {
-    /// Create a node with the given device profile, cache policy and cache
-    /// capacity in bytes.
-    pub fn new(profile: DeviceProfile, policy: PolicyKind, cache_bytes: u64) -> Self {
+    /// Create a node with a single DRAM cache tier of the given policy and
+    /// capacity in front of the device (the classic one-cache stack).
+    pub fn new(profile: DeviceProfile, policy: dcache::PolicyKind, cache_bytes: u64) -> Self {
+        Self::with_tiers(
+            profile,
+            vec![TierSpec {
+                name: "dram",
+                policy,
+                capacity_bytes: cache_bytes,
+                cost: crate::profiles::dram_tier_cost(),
+            }],
+        )
+    }
+
+    /// Create a node with an explicit cache-tier chain (fastest first) in
+    /// front of the device.
+    pub fn with_tiers(profile: DeviceProfile, tiers: Vec<TierSpec>) -> Self {
         StorageNode {
             device: StorageDevice::new(profile),
-            cache: build_cache(policy, cache_bytes),
+            chain: TierChain::new(tiers),
             stats: FetchStats::default(),
         }
     }
@@ -80,16 +105,23 @@ impl StorageNode {
         bytes: u64,
         pattern: AccessPattern,
     ) -> (SimTime, FetchSource) {
-        match self.cache.access(key, bytes) {
-            AccessOutcome::Hit => {
+        match self.chain.access(key, bytes).source {
+            ChainSource::Tier(k) => {
                 self.stats.bytes_from_cache += bytes;
                 self.stats.cache_hits += 1;
-                (
-                    SimTime::from_secs(bytes as f64 / DRAM_BANDWIDTH_BYTES_PER_SEC),
-                    FetchSource::Cache,
-                )
+                if k > 0 {
+                    self.stats.bytes_from_lower_tiers += bytes;
+                    self.stats.lower_tier_hits += 1;
+                }
+                let secs = self.chain.tier_cost(k).access_seconds(bytes);
+                let source = if k == 0 {
+                    FetchSource::Cache
+                } else {
+                    FetchSource::LowerTier(k)
+                };
+                (SimTime::from_secs(secs), source)
             }
-            AccessOutcome::Inserted | AccessOutcome::Bypassed => {
+            ChainSource::Store => {
                 self.stats.bytes_from_disk += bytes;
                 self.stats.cache_misses += 1;
                 let t = self.device.read(at, bytes, pattern);
@@ -98,16 +130,16 @@ impl StorageNode {
         }
     }
 
-    /// Pre-populate the cache with `key` without touching the device, used to
+    /// Pre-populate the chain with `key` without touching the device, used to
     /// model datasets that are already resident (DS-Analyzer's warm-cache
     /// phase) or MinIO shards populated by a prior epoch.
     pub fn preload(&mut self, key: u64, bytes: u64) {
-        let _ = self.cache.access(key, bytes);
+        let _ = self.chain.access(key, bytes);
     }
 
-    /// Whether `key` is currently cached.
+    /// Whether `key` is currently cached in any tier.
     pub fn is_cached(&self, key: &u64) -> bool {
-        self.cache.contains(key)
+        self.chain.contains(*key)
     }
 
     /// The underlying device (read-only access to counters/timeline).
@@ -115,19 +147,26 @@ impl StorageNode {
         &self.device
     }
 
-    /// Cache statistics from the cache policy itself.
+    /// The node's cache-tier chain.
+    pub fn chain(&self) -> &TierChain {
+        &self.chain
+    }
+
+    /// Fetch-path statistics of the topmost cache tier (the chain records
+    /// one hit or miss per fetch there, matching the pre-hierarchy policy
+    /// statistics exactly on single-tier nodes).
     pub fn cache_stats(&self) -> &dcache::CacheStats {
-        self.cache.stats()
+        self.chain.tier_stats(0)
     }
 
-    /// Bytes currently resident in the cache.
+    /// Bytes currently resident across the chain's tiers.
     pub fn cache_used_bytes(&self) -> u64 {
-        self.cache.used_bytes()
+        self.chain.used_bytes()
     }
 
-    /// Cache capacity in bytes.
+    /// Cache capacity in bytes, summed across tiers.
     pub fn cache_capacity_bytes(&self) -> u64 {
-        self.cache.capacity_bytes()
+        self.chain.capacity_bytes()
     }
 
     /// Per-node fetch statistics since the last [`reset_epoch_stats`].
@@ -140,17 +179,23 @@ impl StorageNode {
     /// Reset per-epoch statistics (cache contents are preserved).
     pub fn reset_epoch_stats(&mut self) {
         self.stats = FetchStats::default();
-        self.cache.reset_stats();
+        self.chain.reset_stats();
         self.device.reset_counters();
     }
 }
 
 impl std::fmt::Debug for StorageNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tiers: Vec<String> = (0..self.chain.num_tiers())
+            .map(|k| {
+                let spec = self.chain.tier_spec(k);
+                format!("{}:{}", spec.name, spec.policy.name())
+            })
+            .collect();
         f.debug_struct("StorageNode")
             .field("device", self.device.profile())
-            .field("cache_policy", &self.cache.name())
-            .field("cache_capacity", &self.cache.capacity_bytes())
+            .field("tiers", &tiers)
+            .field("cache_capacity", &self.chain.capacity_bytes())
             .field("stats", &self.stats)
             .finish()
     }
@@ -159,6 +204,7 @@ impl std::fmt::Debug for StorageNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcache::PolicyKind;
 
     #[test]
     fn first_access_misses_second_hits() {
@@ -172,6 +218,7 @@ mod tests {
         assert_eq!(node.fetch_stats().cache_misses, 1);
         assert_eq!(node.fetch_stats().bytes_from_disk, 1000);
         assert_eq!(node.fetch_stats().bytes_from_cache, 1000);
+        assert_eq!(node.fetch_stats().lower_tier_hits, 0);
     }
 
     #[test]
@@ -225,5 +272,59 @@ mod tests {
         let s = format!("{node:?}");
         assert!(s.contains("LRU"));
         assert!(s.contains("hdd"));
+    }
+
+    #[test]
+    fn tiered_node_serves_spill_hits_from_the_ssd_tier() {
+        // MinIO DRAM (3 items) over MinIO SSD (4 items), HDD durable store:
+        // the chain extends reach to 7 of 10 items, and the per-source times
+        // are ordered dram < ssd < hdd.
+        let ssd = DeviceProfile::sata_ssd();
+        let mut node = StorageNode::with_tiers(
+            DeviceProfile::hdd(),
+            vec![
+                TierSpec {
+                    name: "dram",
+                    policy: PolicyKind::MinIo,
+                    capacity_bytes: 3_000,
+                    cost: crate::profiles::dram_tier_cost(),
+                },
+                TierSpec {
+                    name: "ssd",
+                    policy: PolicyKind::MinIo,
+                    capacity_bytes: 4_000,
+                    cost: ssd.tier_cost(AccessPattern::Random),
+                },
+            ],
+        );
+        for k in 0..10u64 {
+            let (_, src) = node.fetch(SimTime::ZERO, k, 1000, AccessPattern::Random);
+            assert_eq!(src, FetchSource::Disk, "cold chain");
+        }
+        node.reset_epoch_stats();
+        let mut dram_t = SimTime::ZERO;
+        let mut ssd_t = SimTime::ZERO;
+        let mut disk_t = SimTime::ZERO;
+        for k in 0..10u64 {
+            let (t, src) = node.fetch(SimTime::ZERO, k, 1000, AccessPattern::Random);
+            match src {
+                FetchSource::Cache => dram_t = t,
+                FetchSource::LowerTier(1) => ssd_t = t,
+                FetchSource::Disk => disk_t = t,
+                other => panic!("unexpected source {other:?}"),
+            }
+        }
+        let s = node.fetch_stats();
+        assert_eq!(s.cache_hits, 7);
+        assert_eq!(s.lower_tier_hits, 4);
+        assert_eq!(s.cache_misses, 3);
+        assert_eq!(s.bytes_from_cache, 7_000);
+        assert_eq!(s.bytes_from_lower_tiers, 4_000);
+        assert!(
+            dram_t < ssd_t && ssd_t < disk_t,
+            "{dram_t:?} {ssd_t:?} {disk_t:?}"
+        );
+        // Only real device reads touch the durable store's counters.
+        assert_eq!(node.device().bytes_read(), 3_000);
     }
 }

@@ -85,6 +85,27 @@ impl DeviceProfile {
     pub fn read_seconds(&self, bytes: u64, pattern: crate::AccessPattern) -> f64 {
         self.request_latency_s + bytes as f64 / self.bandwidth(pattern)
     }
+
+    /// The tier-chain access cost of serving hits from a cache tier backed
+    /// by this device (`dcache::TierChain` charges it for every hit at the
+    /// tier).
+    pub fn tier_cost(&self, pattern: crate::AccessPattern) -> dcache::TierCost {
+        dcache::TierCost {
+            bandwidth_bps: self.bandwidth(pattern),
+            latency_s: self.request_latency_s,
+        }
+    }
+}
+
+/// The tier-chain access cost of a DRAM cache tier: pure bandwidth at
+/// [`DRAM_BANDWIDTH_BYTES_PER_SEC`], no per-request latency — exactly the
+/// cost the pre-hierarchy simulator charged for cache hits, so a single-tier
+/// chain reproduces its fetch times bit-identically.
+pub fn dram_tier_cost() -> dcache::TierCost {
+    dcache::TierCost {
+        bandwidth_bps: DRAM_BANDWIDTH_BYTES_PER_SEC,
+        latency_s: 0.0,
+    }
 }
 
 #[cfg(test)]

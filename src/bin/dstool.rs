@@ -25,8 +25,9 @@
 //! `cargo run --release --bin dstool -- smoke --out ci/bench_baseline.json`.
 
 use benchkit::{
-    find_suite, run_validation, run_worker_sweep, GateKind, SweepSuite, Table, ValidationConfig,
-    WorkerSweepConfig, WorkerSweepReport, SMOKE_EXTRA_SCALE, SUITES, WORKER_SWEEP_NAME,
+    find_suite, run_tier_sweep, run_validation, run_worker_sweep, GateKind, SweepSuite, Table,
+    TierSweepConfig, TierSweepReport, ValidationConfig, WorkerSweepConfig, WorkerSweepReport,
+    SMOKE_EXTRA_SCALE, SUITES, TIER_SWEEP_NAME, WORKER_SWEEP_NAME,
 };
 use datastalls::pipeline::json::{self, Value};
 use datastalls::pipeline::{SweepReport, SweepRunner};
@@ -49,6 +50,10 @@ fn usage() -> &'static str {
      \u{20} sweep worker-sweep           run the *runtime* worker-count preset:\n\
      \u{20}       the prep-heavy Session workload at several --workers values,\n\
      \u{20}       gating bit-identical streams and printing wall-clock scaling\n\
+     \u{20}       [--scale N] [--out FILE]\n\
+     \u{20} sweep tier-sweep             run the *runtime* cache-hierarchy preset:\n\
+     \u{20}       a DRAM% x SSD% grid of tiered Sessions, gating one identical\n\
+     \u{20}       stream for the whole grid and printing per-tier hit ratios\n\
      \u{20}       [--scale N] [--out FILE]\n\
      \u{20} smoke                        CI smoke: every suite, parallel vs serial\n\
      \u{20}       [--threads N] [--scale N] [--out FILE]\n\
@@ -101,7 +106,7 @@ struct ValidateCmd {
     out: String,
 }
 
-struct WorkerSweepCmd {
+struct RuntimeSweepCmd {
     scale: u64,
     out: Option<String>,
 }
@@ -110,7 +115,8 @@ enum Command {
     Help,
     List,
     Sweep(SweepCmd),
-    WorkerSweep(WorkerSweepCmd),
+    WorkerSweep(RuntimeSweepCmd),
+    TierSweep(RuntimeSweepCmd),
     Smoke(SmokeCmd),
     Validate(ValidateCmd),
 }
@@ -139,10 +145,11 @@ fn parse_sweep(args: &[&String]) -> Result<Command, String> {
     let which = it
         .next()
         .ok_or_else(|| format!("sweep needs a suite name or 'all'\n\n{}", usage()))?;
-    if which.as_str() == WORKER_SWEEP_NAME {
-        // The runtime preset: its axis *is* the worker count, so the
-        // simulator-sweep threading flags do not apply.
-        let mut cmd = WorkerSweepCmd {
+    if which.as_str() == WORKER_SWEEP_NAME || which.as_str() == TIER_SWEEP_NAME {
+        // The runtime presets sweep their own axes (worker counts, tier
+        // sizes), so the simulator-sweep threading flags do not apply.
+        let name = which.as_str().to_string();
+        let mut cmd = RuntimeSweepCmd {
             scale: 1,
             out: None,
         };
@@ -157,13 +164,17 @@ fn parse_sweep(args: &[&String]) -> Result<Command, String> {
                 "--out" => cmd.out = Some(value()?.clone()),
                 other => {
                     return Err(format!(
-                        "unknown flag {other} for {WORKER_SWEEP_NAME} (the preset sweeps \
-                         its own worker axis; only --scale and --out apply)"
+                        "unknown flag {other} for {name} (the runtime presets sweep \
+                         their own axes; only --scale and --out apply)"
                     ))
                 }
             }
         }
-        return Ok(Command::WorkerSweep(cmd));
+        return Ok(if name == WORKER_SWEEP_NAME {
+            Command::WorkerSweep(cmd)
+        } else {
+            Command::TierSweep(cmd)
+        });
     }
     let suites: Vec<&'static SweepSuite> = if which.as_str() == "all" {
         SUITES.iter().collect()
@@ -337,6 +348,15 @@ fn run_list() {
          bit-identical streams gated"
             .to_string(),
     ]);
+    let tier_defaults = TierSweepConfig::default();
+    table.row(&[
+        TIER_SWEEP_NAME.to_string(),
+        (tier_defaults.dram_percents.len() * tier_defaults.ssd_percents.len()).to_string(),
+        "§4.2 / Table 2 (SSD extends MinIO)".to_string(),
+        "runtime cache hierarchy: DRAM% x SSD% grid of tiered Sessions, \
+         per-tier hit ratios, one stream gated for the whole grid"
+            .to_string(),
+    ]);
     table.print();
     println!("\nrun one with: dstool sweep <name>   (or 'dstool sweep all')");
 }
@@ -438,7 +458,56 @@ fn print_worker_table(report: &WorkerSweepReport) {
     table.print();
 }
 
-fn run_worker_sweep_cmd(cmd: &WorkerSweepCmd) -> Result<(), String> {
+/// Print the runtime tier sweep's per-point table.
+fn print_tier_table(report: &TierSweepReport) {
+    let mut table = Table::new(
+        format!(
+            "Runtime {} (coordl::TieredByteCache hierarchy)",
+            TIER_SWEEP_NAME
+        ),
+        &[
+            "point",
+            "hit ratio",
+            "dram hits",
+            "ssd hits",
+            "disk bytes/epoch",
+        ],
+    )
+    .with_caption(format!(
+        "{} items, {} epochs; DRAM MinIO spilling into a SATA-SSD MinIO tier; \
+         one identical stream across the whole grid and every worker count",
+        report.config.items, report.config.epochs
+    ));
+    for p in &report.points {
+        table.row(&[
+            p.label(),
+            format!("{:.3}", p.steady_hit_ratio),
+            format!("{:.3}", p.dram_hit_ratio),
+            format!("{:.3}", p.ssd_hit_ratio),
+            format!("{:.0}", p.steady_disk_bytes),
+        ]);
+    }
+    table.print();
+}
+
+fn run_tier_sweep_cmd(cmd: &RuntimeSweepCmd) -> Result<(), String> {
+    let report = run_tier_sweep(&TierSweepConfig::scaled(cmd.scale));
+    print_tier_table(&report);
+    report.verify()?;
+    println!(
+        "hierarchy gate passed: {} grid points, one stream (digest {:016x}), \
+         SSD monotonically extends MinIO reach",
+        report.points.len(),
+        report.digest().unwrap_or(0)
+    );
+    if let Some(path) = &cmd.out {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run_worker_sweep_cmd(cmd: &RuntimeSweepCmd) -> Result<(), String> {
     let report = run_worker_sweep(&WorkerSweepConfig::scaled(cmd.scale));
     print_worker_table(&report);
     report.bit_identical()?;
@@ -553,16 +622,19 @@ fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
         results.push((suite, parallel));
     }
 
-    // The runtime half: the worker-count preset on the real executor.
-    // Measure first, write the artifact, then gate — a gate failure must
-    // not discard the results CI needs for diagnosis.
+    // The runtime half: the worker-count and cache-hierarchy presets on the
+    // real executor.  Measure first, write the artifact, then gate — a gate
+    // failure must not discard the results CI needs for diagnosis.
     let worker_report = smoke_worker_sweep(cmd);
+    let tier_report = run_tier_sweep(&TierSweepConfig::scaled(cmd.scale));
+    print_tier_table(&tier_report);
 
-    let doc = smoke_json(cmd, &results, &worker_report);
+    let doc = smoke_json(cmd, &results, &worker_report, &tier_report);
     std::fs::write(&cmd.out, &doc).map_err(|e| format!("cannot write {}: {e}", cmd.out))?;
     println!("wrote {}", cmd.out);
 
     gate_worker_sweep(&worker_report)?;
+    tier_report.verify()?;
 
     if let Some(path) = &cmd.baseline {
         check_baseline(path, &doc, cmd.tolerance, cmd.scale)?;
@@ -583,6 +655,7 @@ fn smoke_json(
     cmd: &SmokeCmd,
     results: &[(&SweepSuite, SweepReport)],
     worker_report: &WorkerSweepReport,
+    tier_report: &TierSweepReport,
 ) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\"schema\":\"datastalls-bench-sweep/v1\",\"threads\":");
@@ -615,6 +688,8 @@ fn smoke_json(
     }
     out.push_str("],\"runtime_worker_sweep\":");
     out.push_str(&worker_report.to_json());
+    out.push_str(",\"runtime_tier_sweep\":");
+    out.push_str(&tier_report.to_json());
     out.push('}');
     out
 }
@@ -674,24 +749,66 @@ fn check_baseline(
         points
     };
 
-    // Behavioural gate on the runtime executor: the digest only changes
-    // when the delivered stream itself changes, which is a correctness
-    // event, not jitter.
-    let digest_of = |doc: &Value| -> Option<String> {
-        doc.get("runtime_worker_sweep")?
+    // Behavioural gates on the runtime presets: a digest only changes when
+    // the delivered stream itself changes, which is a correctness event,
+    // not jitter.
+    let digest_of = |doc: &Value, preset: &str| -> Option<String> {
+        doc.get(preset)?
             .get("stream_digest")
             .and_then(Value::as_str)
             .map(str::to_string)
     };
-    if let Some(expected) = digest_of(&baseline) {
-        let got = digest_of(&current);
-        if got.as_deref() != Some(expected.as_str()) {
+    for preset in ["runtime_worker_sweep", "runtime_tier_sweep"] {
+        if let Some(expected) = digest_of(&baseline, preset) {
+            let got = digest_of(&current, preset);
+            if got.as_deref() != Some(expected.as_str()) {
+                return Err(format!(
+                    "{preset} stream digest changed: baseline {path} has \
+                     {expected}, this run produced {} — the runtime now delivers \
+                     different bytes; fix the regression or refresh the baseline \
+                     after an intentional change",
+                    got.as_deref().unwrap_or("<missing>"),
+                ));
+            }
+        }
+    }
+
+    // The tier sweep's per-point hit ratios are exact counter arithmetic
+    // (virtual sizes, no wall clock), so they are compared exactly: any
+    // drift means the hierarchy's placement or demotion behaviour changed.
+    let tier_ratios = |doc: &Value| -> Vec<(String, f64, f64, f64)> {
+        let mut out = Vec::new();
+        for p in doc
+            .get("runtime_tier_sweep")
+            .and_then(|t| t.get("points"))
+            .and_then(Value::as_array)
+            .unwrap_or_default()
+        {
+            if let (Some(label), Some(total), Some(dram), Some(ssd)) = (
+                p.get("label").and_then(Value::as_str),
+                p.get("steady_hit_ratio").and_then(Value::as_f64),
+                p.get("dram_hit_ratio").and_then(Value::as_f64),
+                p.get("ssd_hit_ratio").and_then(Value::as_f64),
+            ) {
+                out.push((label.to_string(), total, dram, ssd));
+            }
+        }
+        out
+    };
+    let current_ratios = tier_ratios(&current);
+    for (label, total, dram, ssd) in tier_ratios(&baseline) {
+        let Some((_, cur_total, cur_dram, cur_ssd)) =
+            current_ratios.iter().find(|(l, ..)| *l == label)
+        else {
+            return Err(format!("runtime_tier_sweep/{label}: missing from this run"));
+        };
+        let same = |a: f64, b: f64| (a - b).abs() <= 1e-9;
+        if !same(total, *cur_total) || !same(dram, *cur_dram) || !same(ssd, *cur_ssd) {
             return Err(format!(
-                "runtime worker-sweep stream digest changed: baseline {path} has \
-                 {expected}, this run produced {} — the executor now delivers \
-                 different bytes; fix the regression or refresh the baseline \
-                 after an intentional change",
-                got.as_deref().unwrap_or("<missing>"),
+                "runtime_tier_sweep/{label}: per-tier hit ratios changed \
+                 (total/dram/ssd {total:.6}/{dram:.6}/{ssd:.6} -> \
+                 {cur_total:.6}/{cur_dram:.6}/{cur_ssd:.6}); the cache \
+                 hierarchy behaves differently — fix it or refresh the baseline"
             ));
         }
     }
@@ -820,6 +937,7 @@ fn main() -> ExitCode {
         }
         Ok(Command::Sweep(cmd)) => run_sweep(&cmd),
         Ok(Command::WorkerSweep(cmd)) => run_worker_sweep_cmd(&cmd),
+        Ok(Command::TierSweep(cmd)) => run_tier_sweep_cmd(&cmd),
         Ok(Command::Smoke(cmd)) => run_smoke(&cmd),
         Ok(Command::Validate(cmd)) => run_validate(&cmd),
         Err(msg) => Err(msg),
@@ -905,6 +1023,42 @@ mod tests {
         // The simulator threading flags do not apply to the runtime preset.
         assert!(parse_args(&args(&["sweep", WORKER_SWEEP_NAME, "--serial"])).is_err());
         assert!(parse_args(&args(&["sweep", WORKER_SWEEP_NAME, "--threads", "2"])).is_err());
+    }
+
+    #[test]
+    fn tier_sweep_is_routed_to_the_runtime_preset() {
+        let Ok(Command::TierSweep(cmd)) =
+            parse_args(&args(&["sweep", TIER_SWEEP_NAME, "--scale", "2"]))
+        else {
+            panic!("expected tier-sweep command");
+        };
+        assert_eq!(cmd.scale, 2);
+        assert!(parse_args(&args(&["sweep", TIER_SWEEP_NAME, "--serial"])).is_err());
+    }
+
+    #[test]
+    fn baseline_gate_compares_tier_sweep_ratios_exactly() {
+        let baseline = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[{"label":"a","steady_samples_per_sec":1000}]}],
+            "runtime_tier_sweep":{"stream_digest":"00000000deadbeef","points":[
+                {"label":"dram=35%,ssd=25%","steady_hit_ratio":0.6,
+                 "dram_hit_ratio":0.35,"ssd_hit_ratio":0.25}]}}"#;
+        let dir = std::env::temp_dir().join("dstool_tier_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, baseline).unwrap();
+        check_baseline(path.to_str().unwrap(), baseline, 0.10, 8).unwrap();
+        // A drifted ratio is a hard failure even within any throughput
+        // tolerance.
+        let drifted = baseline.replace("0.25}", "0.26}");
+        let err = check_baseline(path.to_str().unwrap(), &drifted, 0.10, 8).unwrap_err();
+        assert!(err.contains("per-tier hit ratios changed"), "{err}");
+        // A missing point is reported as such.
+        let missing = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[{"label":"a","steady_samples_per_sec":1000}]}],
+            "runtime_tier_sweep":{"stream_digest":"00000000deadbeef","points":[]}}"#;
+        let err = check_baseline(path.to_str().unwrap(), missing, 0.10, 8).unwrap_err();
+        assert!(err.contains("missing from this run"), "{err}");
     }
 
     #[test]

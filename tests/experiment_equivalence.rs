@@ -1,52 +1,63 @@
-//! Equivalence of the unified `Experiment` API with the legacy `simulate_*`
-//! entry points, plus behavioural tests for the new mixed-cluster scenario.
+//! Equivalence of the `CacheSpec` hierarchy with the pre-hierarchy cache
+//! path, plus behavioural tests for the mixed-cluster scenario.
 //!
-//! One representative configuration per scenario, mirroring the paper's
-//! headline figures: Figure 9a (single-server), Figure 9d (HP search) and
-//! Figure 9b (distributed).  The legacy functions survive as deprecated
-//! shims over `Experiment`, and these tests pin the contract that the new
-//! path reproduces the legacy per-epoch metrics *bit-identically* — same
-//! floats, same byte counts, same I/O timelines.
+//! Every storage node of an `Experiment` now runs a `dcache::TierChain`.
+//! These tests pin the refactor's contract at the simulator level: the
+//! default `CacheSpec::DramOnly` run — and a `CacheSpec::Tiered` run whose
+//! SSD tier has zero capacity — reproduce the single-cache per-epoch metrics
+//! *bit-identically* (same floats, same byte counts, same I/O timelines) in
+//! every scenario shape.
 
-#![allow(deprecated)]
-
-use datastalls::pipeline::{simulate_distributed, simulate_hp_search, simulate_single_server};
+use datastalls::pipeline::CacheSpec;
 use datastalls::prelude::*;
 
 const EPOCHS: u64 = 3;
 
+/// Run one experiment twice — default cache spec vs a degenerate tiered
+/// spec (SSD capacity 0) — and require bitwise-equal reports.
+fn assert_degenerate_tier_equivalence(
+    server: &ServerConfig,
+    jobs: Vec<JobSpec>,
+    scenario: Scenario,
+) {
+    let run = |cache: CacheSpec| {
+        Experiment::on(server)
+            .jobs(jobs.iter().cloned())
+            .scenario(scenario)
+            .cache(cache)
+            .epochs(EPOCHS)
+            .run()
+    };
+    let flat = run(CacheSpec::DramOnly);
+    let degenerate = run(CacheSpec::Tiered {
+        dram_bytes: server.dram_cache_bytes,
+        ssd_bytes: 0,
+    });
+    // `SimReport` derives `PartialEq` over every field, including the f64
+    // stall breakdowns and I/O timelines, so equality here is bitwise.
+    assert_eq!(flat, degenerate);
+    for unit in flat.per_job() {
+        for epoch in &unit.epochs {
+            assert_eq!(epoch.lower_tier_hits, 0);
+            assert_eq!(epoch.bytes_from_lower_tiers, 0);
+        }
+    }
+}
+
 /// Figure 9a shape: ResNet18 alone on Config-SSD-V100, OpenImages, 65 % cache.
 #[test]
-fn single_server_experiment_is_bit_identical_to_legacy() {
+fn single_server_chain_is_bit_identical_to_the_flat_cache() {
     let dataset = DatasetSpec::openimages_extended().scaled(256);
     let server = ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.65);
     let model = ModelKind::ResNet18;
     let job = JobSpec::new(model, dataset, 8, LoaderConfig::coordl_best(model));
-
-    let legacy = simulate_single_server(&server, &job, EPOCHS);
-    let new = Experiment::on(&server)
-        .job(job)
-        .scenario(Scenario::SingleServer)
-        .epochs(EPOCHS)
-        .run();
-
-    // `EpochMetrics` derives `PartialEq` over every field, including the f64
-    // stall breakdown and the I/O timeline, so equality here is bitwise.
-    assert_eq!(new.single().epochs, legacy.epochs);
-    assert_eq!(
-        new.disk_bytes_per_epoch,
-        legacy
-            .epochs
-            .iter()
-            .map(|e| e.bytes_from_disk)
-            .collect::<Vec<_>>()
-    );
+    assert_degenerate_tier_equivalence(&server, vec![job], Scenario::SingleServer);
 }
 
 /// Figure 9d shape: 8 single-GPU ResNet18 HP-search jobs, 35 % cache —
 /// both the uncoordinated baseline and CoorDL's coordinated prep.
 #[test]
-fn hp_search_experiment_is_bit_identical_to_legacy() {
+fn hp_search_chain_is_bit_identical_to_the_flat_cache() {
     let dataset = DatasetSpec::imagenet_1k().scaled(1000);
     let server = ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.35);
     let model = ModelKind::ResNet18;
@@ -61,26 +72,14 @@ fn hp_search_experiment_is_bit_identical_to_legacy() {
                     .with_batch(64)
             })
             .collect();
-
-        let legacy = simulate_hp_search(&server, &jobs, EPOCHS);
-        let new = Experiment::on(&server)
-            .jobs(jobs)
-            .scenario(Scenario::HpSearch { jobs: 8 })
-            .epochs(EPOCHS)
-            .run();
-
-        assert_eq!(new.num_units(), legacy.per_job.len());
-        for (new_job, legacy_job) in new.per_job().iter().zip(&legacy.per_job) {
-            assert_eq!(new_job.epochs, legacy_job.epochs);
-        }
-        assert_eq!(new.disk_bytes_per_epoch, legacy.disk_bytes_per_epoch);
+        assert_degenerate_tier_equivalence(&server, jobs, Scenario::HpSearch { jobs: 8 });
     }
 }
 
 /// Figure 9b shape: AlexNet across two Config-HDD-1080Ti servers, 65 % cache
 /// per server — both uncoordinated and with partitioned caching.
 #[test]
-fn distributed_experiment_is_bit_identical_to_legacy() {
+fn distributed_chain_is_bit_identical_to_the_flat_cache() {
     let dataset = DatasetSpec::openimages_extended().scaled(512);
     let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.65);
     let model = ModelKind::AlexNet;
@@ -89,53 +88,54 @@ fn distributed_experiment_is_bit_identical_to_legacy() {
         LoaderConfig::coordl_best(model),
     ] {
         let job = JobSpec::new(model, dataset.clone(), 8, loader);
-
-        let legacy = simulate_distributed(&server, &job, 2, EPOCHS);
-        let new = Experiment::on(&server)
-            .job(job)
-            .scenario(Scenario::Distributed { servers: 2 })
-            .epochs(EPOCHS)
-            .run();
-
-        assert_eq!(new.num_units(), legacy.per_server.len());
-        for (new_srv, legacy_srv) in new.per_server().iter().zip(&legacy.per_server) {
-            assert_eq!(new_srv.epochs, legacy_srv.epochs);
-        }
-        assert_eq!(new.remote_bytes_per_epoch, legacy.remote_bytes_per_epoch);
+        assert_degenerate_tier_equivalence(
+            &server,
+            vec![job],
+            Scenario::Distributed { servers: 2 },
+        );
     }
 }
 
-/// The aggregate metrics of the unified report agree with the legacy result
-/// types' derived metrics on the same runs.
+/// A real two-tier hierarchy in the distributed scenario: per-node DRAM+SSD
+/// chains compose with partitioned caching, and the SSD tier absorbs reads
+/// the flat configuration sent to the HDD.
 #[test]
-fn report_aggregates_match_legacy_aggregates() {
-    let dataset = DatasetSpec::imagenet_1k().scaled(1000);
-    let server = ServerConfig::config_ssd_v100().with_cache_fraction(dataset.total_bytes(), 0.35);
+fn distributed_tiered_nodes_cut_disk_traffic() {
+    let dataset = DatasetSpec::openimages_extended().scaled(512);
+    // 35 % DRAM per node: two nodes cover only 70 % of the dataset, so the
+    // uncoordinated baseline keeps hitting the HDD every epoch.
+    let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(dataset.total_bytes(), 0.35);
     let model = ModelKind::AlexNet;
-    let jobs: Vec<JobSpec> = (0..4)
-        .map(|j| {
-            JobSpec::new(model, dataset.clone(), 2, LoaderConfig::coordl_best(model))
-                .with_seed(7 + j as u64)
-                .with_batch(64)
-        })
-        .collect();
-
-    let legacy = simulate_hp_search(&server, &jobs, EPOCHS);
-    let new = Experiment::on(&server)
-        .jobs(jobs)
-        .scenario(Scenario::HpSearch { jobs: 4 })
-        .epochs(EPOCHS)
-        .run();
-
-    assert_eq!(
-        new.steady_per_job_samples_per_sec(),
-        legacy.steady_per_job_samples_per_sec()
+    let job = JobSpec::new(model, dataset.clone(), 8, LoaderConfig::dali_best(model));
+    let run = |cache: CacheSpec| {
+        Experiment::on(&server)
+            .job(job.clone())
+            .scenario(Scenario::Distributed { servers: 2 })
+            .cache(cache)
+            .epochs(EPOCHS)
+            .run()
+    };
+    let flat = run(CacheSpec::DramOnly);
+    let tiered = run(CacheSpec::Tiered {
+        dram_bytes: server.dram_cache_bytes,
+        ssd_bytes: server.dram_cache_bytes,
+    });
+    let flat_disk: u64 = flat.disk_bytes_per_epoch[1..].iter().sum();
+    let tiered_disk: u64 = tiered.disk_bytes_per_epoch[1..].iter().sum();
+    assert!(
+        tiered_disk < flat_disk,
+        "SSD spill tier absorbs steady-state HDD reads: {tiered_disk} vs {flat_disk}"
     );
-    assert_eq!(new.steady_epoch_seconds(), legacy.steady_epoch_seconds());
-    assert_eq!(new.total_disk_bytes(), legacy.total_disk_bytes());
-    assert_eq!(
-        new.read_amplification(dataset.total_bytes(), 1),
-        legacy.read_amplification(dataset.total_bytes(), 1)
+    let lower_hits: u64 = tiered
+        .per_server()
+        .iter()
+        .flat_map(|unit| unit.epochs[1..].iter())
+        .map(|e| e.lower_tier_hits)
+        .sum();
+    assert!(lower_hits > 0, "spill hits show up per server");
+    assert!(
+        tiered.steady_epoch_seconds() < flat.steady_epoch_seconds(),
+        "530 MB/s SSD hits beat 15 MB/s HDD reads"
     );
 }
 

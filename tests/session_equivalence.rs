@@ -1,16 +1,16 @@
-//! Equivalence of the unified `Session` API with the legacy entry points.
+//! Equivalence of the `TierChain`-backed session tiers with the dedicated
+//! single-policy byte caches they replaced.
 //!
-//! The legacy `DataLoader` and `CoordinatedJobGroup` survive as deprecated
-//! shims over the session engines, so the streams and statistics they
-//! produce must be *bit-identical* to what an equivalently configured
-//! `Session` yields.  These tests pin that contract: item order, prepared
-//! sample bytes, augmentation seeds and every `LoaderStats` counter.
-
-#![allow(deprecated)]
+//! Every `Session` now routes its cache tier(s) through a
+//! `coordl::TieredByteCache` (a `dcache::TierChain` holding real payloads).
+//! These tests pin the refactor's contract: a single-level chain produces
+//! *bit-identical* streams and `LoaderStats` counters to the dedicated
+//! `MinIoByteCache` / `PolicyByteCache` implementations, in every session
+//! mode — and a chain whose extra tier has zero capacity degenerates to the
+//! single-tier behaviour exactly.
 
 use datastalls::coordl::{
-    CoordinatedConfig, CoordinatedJobGroup, DataLoader, DataLoaderConfig, LoaderStats, Mode,
-    Session, SessionConfig,
+    ByteTierSpec, LoaderStats, MinIoByteCache, Mode, PolicyByteCache, Session, SessionConfig,
 };
 use datastalls::prelude::*;
 use prep::PreparedSample;
@@ -41,221 +41,226 @@ fn stats_tuple(stats: &LoaderStats) -> (u64, u64, u64, u64, u64) {
     )
 }
 
+fn config(batch: usize, cache: u64, workers: usize) -> SessionConfig {
+    SessionConfig {
+        batch_size: batch,
+        num_workers: workers,
+        prefetch_depth: 4,
+        seed: SEED,
+        cache_capacity_bytes: cache,
+        take_timeout: Duration::from_secs(10),
+        ..SessionConfig::default()
+    }
+}
+
+/// Drain one single-mode session, returning its prepared samples per epoch.
+fn drain_single(session: &Session, epochs: u64) -> Vec<Vec<PreparedSample>> {
+    (0..epochs)
+        .map(|epoch| {
+            session
+                .epoch(epoch)
+                .stream(0)
+                .flat_map(|mb| mb.expect("epoch completes").samples.clone())
+                .collect()
+        })
+        .collect()
+}
+
 #[test]
-fn single_mode_session_reproduces_the_data_loader_stream_and_stats() {
-    // num_workers = 1 makes the cache admission order deterministic, so the
-    // two runs must agree on *every* counter even with a cache smaller than
-    // the dataset (partial residency).
+fn chain_backed_minio_tier_matches_the_dedicated_minio_byte_cache() {
+    // Partial residency (cache = half the dataset) with one worker: the
+    // admission order is deterministic, so *every* counter must agree.
     let source = store(300, 1024);
     let total_bytes: u64 = (0..source.len()).map(|i| source.item_bytes(i)).sum();
     let cache = total_bytes / 2;
 
-    let loader = DataLoader::new(
-        Arc::clone(&source),
-        pipeline(),
-        DataLoaderConfig {
-            batch_size: 32,
-            num_workers: 1,
-            prefetch_depth: 4,
-            seed: SEED,
-            cache_capacity_bytes: cache,
-        },
-    )
-    .expect("legacy loader");
-    let session = Session::builder(
-        Arc::clone(&source),
-        SessionConfig {
-            batch_size: 32,
-            num_workers: 1,
-            prefetch_depth: 4,
-            seed: SEED,
-            cache_capacity_bytes: cache,
-            ..SessionConfig::default()
-        },
-    )
-    .pipeline(pipeline())
-    .build()
-    .expect("session");
+    let chain = Session::builder(Arc::clone(&source), config(32, cache, 1))
+        .pipeline(pipeline())
+        .build()
+        .expect("chain session");
+    let dedicated_tier = Arc::new(MinIoByteCache::new(cache));
+    let dedicated = Session::builder(Arc::clone(&source), config(32, cache, 1))
+        .pipeline(pipeline())
+        .cache_tier(Arc::clone(&dedicated_tier) as Arc<dyn CacheTier>)
+        .build()
+        .expect("dedicated session");
 
-    for epoch in 0..2u64 {
-        let legacy: Vec<PreparedSample> = loader
-            .epoch(epoch)
-            .flat_map(|mb| mb.samples.clone())
-            .collect();
-        let unified: Vec<PreparedSample> = session
-            .epoch(epoch)
-            .stream(0)
-            .flat_map(|mb| mb.expect("epoch completes").samples.clone())
-            .collect();
+    assert_eq!(
+        drain_single(&chain, 2),
+        drain_single(&dedicated, 2),
+        "prepared samples must be bit-identical"
+    );
+    assert_eq!(
+        stats_tuple(chain.stats()),
+        stats_tuple(dedicated.stats()),
+        "every LoaderStats counter must match"
+    );
+    let tier = chain.cache_tier().expect("single mode tier");
+    assert_eq!(tier.used_bytes(), dedicated_tier.used_bytes());
+    assert_eq!(tier.resident_items(), dedicated_tier.len());
+    assert_eq!(tier.hits(), dedicated_tier.hits());
+    assert_eq!(tier.misses(), dedicated_tier.misses());
+    assert_eq!(tier.policy_name(), "MinIO");
+}
+
+#[test]
+fn chain_backed_lru_tier_matches_the_policy_byte_cache_across_workers() {
+    // The executor's sequential fetch order makes LRU decisions identical
+    // for any worker count; pin chain == dedicated at workers 1 and 3.
+    let source = store(256, 512);
+    let total_bytes: u64 = (0..source.len()).map(|i| source.item_bytes(i)).sum();
+    let cache = total_bytes * 2 / 5; // forces steady-state thrashing
+    for workers in [1usize, 3] {
+        let chain = Session::builder(Arc::clone(&source), config(25, cache, workers))
+            .pipeline(pipeline())
+            .cache_policy(PolicyKind::Lru)
+            .build()
+            .expect("chain session");
+        let dedicated_tier = Arc::new(PolicyByteCache::new(PolicyKind::Lru, cache));
+        let dedicated = Session::builder(Arc::clone(&source), config(25, cache, workers))
+            .pipeline(pipeline())
+            .cache_tier(Arc::clone(&dedicated_tier) as Arc<dyn CacheTier>)
+            .build()
+            .expect("dedicated session");
+
         assert_eq!(
-            legacy, unified,
-            "epoch {epoch}: prepared samples must be bit-identical"
+            drain_single(&chain, 3),
+            drain_single(&dedicated, 3),
+            "workers={workers}"
+        );
+        assert_eq!(
+            stats_tuple(chain.stats()),
+            stats_tuple(dedicated.stats()),
+            "workers={workers}"
+        );
+        let tier = chain.cache_tier().expect("single mode tier");
+        assert_eq!(tier.hits(), CacheTier::hits(dedicated_tier.as_ref()));
+        assert_eq!(tier.misses(), CacheTier::misses(dedicated_tier.as_ref()));
+        assert_eq!(
+            tier.used_bytes(),
+            CacheTier::used_bytes(dedicated_tier.as_ref()),
+            "workers={workers}"
         );
     }
-    assert_eq!(
-        stats_tuple(loader.stats()),
-        stats_tuple(session.stats()),
-        "every LoaderStats counter must match"
-    );
-    // The shims literally share the engine, so the cache state agrees too.
-    let tier = session.cache_tier().expect("single mode tier");
-    assert_eq!(loader.cache().used_bytes(), tier.used_bytes());
-    assert_eq!(loader.cache().len(), tier.resident_items());
-    assert_eq!(loader.cache().hits(), tier.hits());
-    assert_eq!(loader.cache().misses(), tier.misses());
 }
 
 #[test]
-fn single_mode_streams_match_with_many_workers_when_the_cache_fits() {
-    // With the whole dataset cacheable, multi-worker runs are deterministic
-    // in aggregate: identical streams and identical stats.
-    let source = store(256, 512);
-    let config = DataLoaderConfig {
-        batch_size: 25,
-        num_workers: 3,
-        prefetch_depth: 4,
-        seed: SEED,
-        cache_capacity_bytes: 64 << 20,
-    };
-    let loader =
-        DataLoader::new(Arc::clone(&source), pipeline(), config.clone()).expect("legacy loader");
-    let session = Session::builder(
-        Arc::clone(&source),
-        SessionConfig {
-            batch_size: 25,
-            num_workers: 3,
-            prefetch_depth: 4,
-            seed: SEED,
-            cache_capacity_bytes: 64 << 20,
-            ..SessionConfig::default()
-        },
-    )
-    .pipeline(pipeline())
-    .build()
-    .expect("session");
+fn zero_capacity_ssd_tier_degenerates_to_the_single_tier_chain() {
+    // A DRAM+SSD chain whose SSD holds nothing must be bit-identical to the
+    // flat DRAM chain: every spill bypasses, every demotion falls through.
+    let source = store(200, 700);
+    let total_bytes: u64 = (0..source.len()).map(|i| source.item_bytes(i)).sum();
+    let cache = total_bytes / 3;
 
-    for epoch in 0..3u64 {
-        let legacy: Vec<PreparedSample> = loader
-            .epoch(epoch)
-            .flat_map(|mb| mb.samples.clone())
-            .collect();
-        let unified: Vec<PreparedSample> = session
-            .epoch(epoch)
-            .stream(0)
-            .flat_map(|mb| mb.expect("epoch completes").samples.clone())
-            .collect();
-        assert_eq!(legacy, unified, "epoch {epoch}");
-    }
-    assert_eq!(stats_tuple(loader.stats()), stats_tuple(session.stats()));
+    let flat = Session::builder(Arc::clone(&source), config(20, cache, 2))
+        .pipeline(pipeline())
+        .build()
+        .expect("flat session");
+    let degenerate = Session::builder(Arc::clone(&source), config(20, cache, 2))
+        .pipeline(pipeline())
+        .cache_tiers(vec![
+            ByteTierSpec::dram(PolicyKind::MinIo, cache),
+            ByteTierSpec::sata_ssd(PolicyKind::MinIo, 0),
+        ])
+        .build()
+        .expect("degenerate session");
+
+    assert_eq!(drain_single(&flat, 3), drain_single(&degenerate, 3));
+    assert_eq!(stats_tuple(flat.stats()), stats_tuple(degenerate.stats()));
+    assert_eq!(degenerate.stats().bytes_from_lower_tiers(), 0);
+    let flat_report = flat.report();
+    let tiered_report = degenerate.report();
+    assert_eq!(flat_report.cache_hits, tiered_report.cache_hits);
+    assert_eq!(flat_report.cache_misses, tiered_report.cache_misses);
+    assert_eq!(tiered_report.lower_tier_hits, 0);
+    assert_eq!(flat_report.cache_used_bytes, tiered_report.cache_used_bytes);
 }
 
 #[test]
-fn coordinated_session_reproduces_the_job_group_streams_and_stats() {
+fn coordinated_sessions_agree_between_chain_and_dedicated_tiers() {
     let source = store(240, 768);
     let jobs = 3;
-    let group = CoordinatedJobGroup::new(
-        Arc::clone(&source),
-        pipeline(),
-        CoordinatedConfig {
-            num_jobs: jobs,
-            batch_size: 16,
-            staging_window: 8,
-            seed: SEED,
-            cache_capacity_bytes: 64 << 20,
-            take_timeout: Duration::from_secs(10),
-        },
-    )
-    .expect("legacy group");
-    let session = Session::builder(
-        Arc::clone(&source),
-        SessionConfig {
-            batch_size: 16,
-            staging_window: 8,
-            seed: SEED,
-            cache_capacity_bytes: 64 << 20,
-            take_timeout: Duration::from_secs(10),
-            ..SessionConfig::default()
-        },
-    )
-    .mode(Mode::Coordinated { jobs })
-    .pipeline(pipeline())
-    .build()
-    .expect("session");
-
-    for epoch in 0..2u64 {
-        // Legacy epoch: drain every job on its own thread.
-        let legacy_session = group.run_epoch(epoch);
-        let legacy_handles: Vec<_> = (0..jobs)
-            .map(|j| {
-                let consumer = legacy_session.consumer(j);
-                std::thread::spawn(move || {
-                    consumer
-                        .flat_map(|b| b.expect("legacy epoch").samples.clone())
-                        .collect::<Vec<PreparedSample>>()
-                })
-            })
-            .collect();
-        let legacy: Vec<Vec<PreparedSample>> = legacy_handles
-            .into_iter()
-            .map(|h| h.join().unwrap())
-            .collect();
-        drop(legacy_session);
-
-        // Unified epoch: same thing through Session.
-        let run = session.epoch(epoch);
-        let unified_handles: Vec<_> = (0..jobs)
-            .map(|j| {
-                let stream = run.stream(j);
-                std::thread::spawn(move || {
-                    stream
-                        .flat_map(|b| b.expect("session epoch").samples.clone())
-                        .collect::<Vec<PreparedSample>>()
-                })
-            })
-            .collect();
-        let unified: Vec<Vec<PreparedSample>> = unified_handles
-            .into_iter()
-            .map(|h| h.join().unwrap())
-            .collect();
-
-        for j in 0..jobs {
-            assert_eq!(
-                legacy[j], unified[j],
-                "epoch {epoch} job {j}: streams must be bit-identical"
-            );
+    let run = |dedicated: bool| {
+        let mut builder = Session::builder(
+            Arc::clone(&source),
+            SessionConfig {
+                batch_size: 16,
+                staging_window: 8,
+                seed: SEED,
+                cache_capacity_bytes: 64 << 20,
+                take_timeout: Duration::from_secs(10),
+                ..SessionConfig::default()
+            },
+        )
+        .mode(Mode::Coordinated { jobs })
+        .pipeline(pipeline());
+        if dedicated {
+            builder =
+                builder.cache_tier(Arc::new(MinIoByteCache::new(64 << 20)) as Arc<dyn CacheTier>);
         }
-    }
-    assert_eq!(
-        stats_tuple(group.stats()),
-        stats_tuple(session.stats()),
-        "every LoaderStats counter must match"
-    );
-    let tier = session.cache_tier().expect("coordinated tier");
-    assert_eq!(group.cache().used_bytes(), tier.used_bytes());
-    assert_eq!(group.cache().len(), tier.resident_items());
+        let session = builder.build().expect("session");
+        let mut per_job: Vec<Vec<PreparedSample>> = Vec::new();
+        for epoch in 0..2u64 {
+            let run = session.epoch(epoch);
+            let handles: Vec<_> = (0..jobs)
+                .map(|j| {
+                    let stream = run.stream(j);
+                    std::thread::spawn(move || {
+                        stream
+                            .flat_map(|b| b.expect("epoch completes").samples.clone())
+                            .collect::<Vec<PreparedSample>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_job.push(h.join().unwrap());
+            }
+        }
+        let stats = stats_tuple(session.stats());
+        let tier = session.cache_tier().expect("coordinated tier");
+        (
+            per_job,
+            stats,
+            tier.hits(),
+            tier.misses(),
+            tier.used_bytes(),
+        )
+    };
+    assert_eq!(run(false), run(true));
 }
 
 #[test]
-fn session_batches_per_epoch_matches_the_legacy_accessors() {
-    let source = store(101, 256);
-    let loader = DataLoader::new(
-        Arc::clone(&source),
-        pipeline(),
-        DataLoaderConfig {
-            batch_size: 25,
-            ..DataLoaderConfig::default()
-        },
-    )
-    .unwrap();
-    let session = Session::builder(
-        Arc::clone(&source),
-        SessionConfig {
-            batch_size: 25,
-            ..SessionConfig::default()
-        },
-    )
-    .build()
-    .unwrap();
-    assert_eq!(loader.batches_per_epoch(), session.batches_per_epoch());
-    assert_eq!(session.batches_per_epoch(), 5); // ceil(101 / 25)
+fn partitioned_sessions_agree_between_chain_and_historical_stack() {
+    // Partitioned nodes now carry one single-level chain each; their
+    // counters must match what the MinIO-per-node stack produced.
+    let items = 100u64;
+    let spec = DatasetSpec::new("equiv", items, 100, 0.0, 4.0);
+    let total = spec.total_bytes();
+    let run = || {
+        let ds: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec.clone(), 9));
+        let session = Session::builder(ds, config(10, total * 65 / 100, 2))
+            .mode(Mode::Partitioned { nodes: 2 })
+            .pipeline(pipeline())
+            .build()
+            .expect("partitioned session");
+        for epoch in 0..3u64 {
+            let run = session.epoch(epoch);
+            for node in 0..2 {
+                for mb in run.stream(node) {
+                    let _ = mb.expect("epoch completes");
+                }
+            }
+        }
+        let agg = session.partitioned_cluster().unwrap().aggregate_stats();
+        (stats_tuple(session.stats()), agg)
+    };
+    // The chain is deterministic: two identical runs agree on everything,
+    // and the §4.2 invariant holds (aggregate capacity covers the dataset,
+    // so storage is read exactly once).
+    let (stats_a, agg_a) = run();
+    let (stats_b, agg_b) = run();
+    assert_eq!(stats_a, stats_b);
+    assert_eq!(agg_a, agg_b);
+    assert_eq!(agg_a.storage_bytes, total, "dataset read from disk once");
+    assert!(agg_a.remote_hits > 0, "peers served epoch-varying shards");
 }
