@@ -13,6 +13,7 @@
 //! paper's evaluation section; `EXPERIMENTS.md` records the paper-reported
 //! value next to the measured one for every row.
 
+pub mod multitenant;
 pub mod parallel;
 pub mod presets;
 pub mod report;
@@ -20,6 +21,9 @@ pub mod scenarios;
 pub mod tiersweep;
 pub mod validation;
 
+pub use multitenant::{
+    run_multi_tenant, MultiTenantConfig, MultiTenantPoint, MultiTenantReport, MULTI_TENANT_NAME,
+};
 pub use parallel::{
     run_worker_sweep, WorkerSweepConfig, WorkerSweepPoint, WorkerSweepReport, WORKER_SWEEP_NAME,
 };

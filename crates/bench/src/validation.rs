@@ -12,11 +12,13 @@
 //! not gated, because the simulator accounts pipelining overlap that a
 //! functional loader cannot observe.
 
-use coordl::{Mode, Session, SessionConfig};
+use coordl::{Mode, Session, SessionConfig, TenantHandle, TenantSpec};
 use dataset::{DataSource, DatasetSpec, SyntheticItemStore};
 use dcache::PolicyKind;
 use pipeline::json::{write_f64, write_string};
-use pipeline::{CacheSpec, Experiment, JobSpec, LoaderConfig, Scenario, ServerConfig, SimReport};
+use pipeline::{
+    churn_schedule, CacheSpec, Experiment, JobSpec, LoaderConfig, Scenario, ServerConfig, SimReport,
+};
 use prep::PrepBackend;
 use std::sync::Arc;
 use std::time::Duration;
@@ -27,6 +29,17 @@ const VALIDATION_SEED: u64 = 0xC0DA;
 
 /// Synthetic-store content seed (irrelevant to the comparison; bytes only).
 const STORE_SEED: u64 = 7;
+
+/// Tenants in the elastic-churn scenario.
+const CHURN_TENANTS: usize = 3;
+
+/// Seed of the churn schedule shared by the simulator's
+/// `Scenario::ElasticCluster` and the runtime `coordl::Server` replay.
+const CHURN_SEED: u64 = 0xE1A5;
+
+/// Per-tenant sample-count metric labels of the churn scenario.
+const CHURN_SAMPLE_METRICS: [&str; CHURN_TENANTS] =
+    ["tenant0_samples", "tenant1_samples", "tenant2_samples"];
 
 /// Configuration of one validation run.
 #[derive(Debug, Clone)]
@@ -397,6 +410,159 @@ fn run_scenario(
     }
 }
 
+/// Predicted-vs-empirical comparison of the elastic-churn scenario: the
+/// simulator's `Scenario::ElasticCluster` against a multi-tenant
+/// `coordl::Server` replaying the *identical* deterministic churn schedule
+/// (same `churn_schedule(tenants, epochs, seed)` on both sides).
+///
+/// The shared hierarchy is sized to hold one dataset copy per tenant and
+/// every tenant's quota covers its dataset, so the quota mechanism — which
+/// the simulator does not model — never binds; what is compared is the
+/// churn dynamics themselves: arrival cold misses, steady-state hits and
+/// departure-time reclamation.
+fn run_churn_scenario(
+    cfg: &ValidationConfig,
+    spec: &DatasetSpec,
+    server: &ServerConfig,
+) -> Vec<ValidationRow> {
+    let tenants = CHURN_TENANTS;
+    // Exact dataset footprint: `DatasetSpec::total_bytes` is the *average*
+    // (`num_items × avg_item_bytes`), but the hash-derived per-item sizes sum
+    // to slightly more or less.  Quotas and the shared capacity must cover
+    // the exact sum, or the never-evict tail of a tenant's dataset is refused
+    // admission and re-read from storage every epoch — a steady-state miss
+    // stream the simulator (sized the same way) never predicts.
+    let per_tenant: u64 = (0..spec.num_items).map(|i| spec.item_size(i)).sum();
+    let cap = per_tenant * tenants as u64;
+
+    // --- Predicted: the simulator. -----------------------------------------
+    let job = JobSpec::new(
+        gpu::ModelKind::ResNet18,
+        spec.clone(),
+        1,
+        LoaderConfig::coordl(PrepBackend::DaliCpu),
+    )
+    .with_seed(VALIDATION_SEED);
+    let sim = Experiment::on(&server.with_cache_bytes(cap))
+        .job(job)
+        .scenario(Scenario::ElasticCluster {
+            tenants,
+            seed: CHURN_SEED,
+        })
+        .epochs(cfg.epochs)
+        .run();
+    let mut p_hits = 0u64;
+    let mut p_misses = 0u64;
+    let mut p_disk = 0u64;
+    let mut p_samples = vec![0u64; tenants];
+    for (j, unit) in sim.per_job().iter().enumerate() {
+        for e in &unit.epochs {
+            p_samples[j] += e.samples;
+            if e.epoch >= 1 {
+                p_hits += e.cache_hits;
+                p_misses += e.cache_misses;
+                p_disk += e.bytes_from_disk;
+            }
+        }
+    }
+
+    // --- Empirical: the multi-tenant server on real bytes. -----------------
+    let schedule = churn_schedule(tenants, cfg.epochs, CHURN_SEED);
+    // One lock shard: sharding splits the MinIO capacity per shard, and with
+    // the cache sized exactly to the active datasets that imbalance causes
+    // admission refusals the simulator's single shared cache never predicts.
+    // The unsharded server is the bit-exact configuration the model maps to;
+    // shard-count behaviour is gated separately by the multi-tenant preset.
+    let rt = coordl::Server::new(coordl::ServerConfig::minio(cap, 1))
+        .expect("valid churn server config");
+    let mut handles: Vec<Option<TenantHandle>> = (0..tenants).map(|_| None).collect();
+    let mut e_hits = 0u64;
+    let mut e_misses = 0u64;
+    let mut e_disk = 0u64;
+    let mut e_samples = vec![0u64; tenants];
+    // Fold a departing (or run-surviving) tenant's per-epoch trajectory
+    // into the aggregates, mapping its local epochs to server epochs.
+    let mut collect = |j: usize, handle: &TenantHandle| {
+        for e in &handle.report().epochs {
+            e_samples[j] += e.samples_delivered;
+            if schedule[j].arrival + e.epoch >= 1 {
+                e_hits += e.cache_hits;
+                e_misses += e.cache_misses;
+                e_disk += e.bytes_from_storage;
+            }
+        }
+    };
+    for epoch in 0..cfg.epochs {
+        for j in 0..tenants {
+            if schedule[j].departure == epoch {
+                if let Some(handle) = handles[j].take() {
+                    collect(j, &handle);
+                    handle.depart();
+                }
+            }
+            if schedule[j].arrival == epoch {
+                let store: Arc<dyn DataSource> =
+                    Arc::new(SyntheticItemStore::new(spec.clone(), STORE_SEED + j as u64));
+                let handle = rt
+                    .submit(TenantSpec {
+                        name: format!("tenant-{j}"),
+                        dataset: store,
+                        quota_bytes: per_tenant,
+                        session: SessionConfig {
+                            batch_size: 64,
+                            num_workers: 1,
+                            seed: VALIDATION_SEED + j as u64,
+                            ..SessionConfig::default()
+                        },
+                        profile: None,
+                    })
+                    .expect("valid churn tenant");
+                handles[j] = Some(handle);
+            }
+        }
+        for (j, slot) in handles.iter().enumerate() {
+            let Some(handle) = slot else { continue };
+            let run = handle.session().epoch(epoch - schedule[j].arrival);
+            for batch in run.stream(0) {
+                let _ = batch.expect("churn epoch should complete");
+            }
+        }
+    }
+    for (j, slot) in handles.iter().enumerate() {
+        if let Some(handle) = slot {
+            collect(j, handle);
+        }
+    }
+    drop(handles);
+
+    let mut rows = vec![
+        ValidationRow {
+            scenario: "elastic-churn",
+            metric: "aggregate_steady_hit_ratio",
+            predicted: p_hits as f64 / (p_hits + p_misses).max(1) as f64,
+            empirical: e_hits as f64 / (e_hits + e_misses).max(1) as f64,
+            gate: GateKind::Absolute,
+        },
+        ValidationRow {
+            scenario: "elastic-churn",
+            metric: "steady_disk_bytes",
+            predicted: p_disk as f64,
+            empirical: e_disk as f64,
+            gate: GateKind::Relative,
+        },
+    ];
+    for (j, metric) in CHURN_SAMPLE_METRICS.iter().enumerate() {
+        rows.push(ValidationRow {
+            scenario: "elastic-churn",
+            metric,
+            predicted: p_samples[j] as f64,
+            empirical: e_samples[j] as f64,
+            gate: GateKind::Relative,
+        });
+    }
+    rows
+}
+
 /// Run the full predicted-vs-empirical comparison.
 pub fn run_validation(cfg: &ValidationConfig) -> ValidationReport {
     assert!(cfg.epochs >= 2, "need a warm-up plus one steady epoch");
@@ -478,6 +644,10 @@ pub fn run_validation(cfg: &ValidationConfig) -> ValidationReport {
         true,
     );
 
+    // Elastic churn: tenants arriving and departing over one shared
+    // multi-tenant server, against Scenario::ElasticCluster.
+    rows.extend(run_churn_scenario(cfg, &spec, &server));
+
     ValidationReport {
         config: cfg.clone(),
         rows,
@@ -504,8 +674,8 @@ mod tests {
         let report = run_validation(&small_config());
         assert_eq!(
             report.rows.len(),
-            18,
-            "4 rows for each flat scenario, 6 for the tiered one"
+            23,
+            "4 rows for each flat scenario, 6 for the tiered one, 5 for churn"
         );
         let failures: Vec<String> = report
             .failures()

@@ -259,6 +259,17 @@ impl TierChain {
     ///   down (demotion), cascading until a tier accepts the victim or it
     ///   falls off the chain (reported in [`ChainAccess::dropped`]).
     pub fn access(&mut self, key: u64, size: u64) -> ChainAccess {
+        self.access_with_floor(key, size, 0)
+    }
+
+    /// Like [`TierChain::access`], but admission (and promotion) is only
+    /// allowed at levels `>= floor`; tiers above the floor still record their
+    /// misses, they just never insert.  `floor == 0` is exactly `access`.
+    ///
+    /// This is the hook a multi-tenant server uses to spill an over-quota
+    /// tenant's items *below* the rationed DRAM tier without perturbing the
+    /// fetch-path statistics.
+    pub fn access_with_floor(&mut self, key: u64, size: u64, floor: usize) -> ChainAccess {
         // Provenance: decided before any mutation, so a demotion cascade
         // triggered by this access cannot mis-attribute where the bytes
         // actually came from.
@@ -274,7 +285,7 @@ impl TierChain {
                 self.levels[k].stats.record_hit(size);
             } else {
                 let mut inserted = false;
-                if !admitted {
+                if !admitted && k >= floor {
                     let outcome = self.levels[k].cache.access(key, size);
                     debug_assert_ne!(outcome, AccessOutcome::Hit, "tier above provenance");
                     for victim in self.levels[k].cache.take_evicted() {
@@ -302,6 +313,41 @@ impl TierChain {
             admitted,
             dropped,
         }
+    }
+
+    /// The topmost tier currently holding `key` (its provenance), without
+    /// touching recency state or statistics.
+    pub fn locate(&self, key: u64) -> Option<usize> {
+        self.levels.iter().position(|l| l.cache.contains(&key))
+    }
+
+    /// Administratively remove `key` from every tier holding it, returning
+    /// the total bytes freed across levels (a promoted key occupies two).
+    ///
+    /// Like [`Cache::remove`], this is a lifecycle operation — a departing
+    /// tenant's keys being reclaimed — not an eviction: no statistics are
+    /// recorded, nothing demotes, and byte-holding wrappers must drop the
+    /// payload themselves.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        self.sizes.remove(&key)?;
+        let freed = self
+            .levels
+            .iter_mut()
+            .filter_map(|l| l.cache.remove(&key))
+            .sum();
+        Some(freed)
+    }
+
+    /// [`TierChain::remove`] every resident key in `range` (a departing
+    /// tenant's key window), returning the total bytes freed.
+    pub fn remove_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        let victims: Vec<u64> = self
+            .sizes
+            .keys()
+            .copied()
+            .filter(|k| range.contains(k))
+            .collect();
+        victims.into_iter().filter_map(|k| self.remove(k)).sum()
     }
 
     /// Cascade `(level, victim)` demotions down the chain, returning the
@@ -568,6 +614,137 @@ mod tests {
         let dram = chain.tier_cost(0).access_seconds(1 << 20);
         let ssd = chain.tier_cost(1).access_seconds(1 << 20);
         assert!(ssd > 10.0 * dram, "ssd {ssd} vs dram {dram}");
+    }
+
+    #[test]
+    fn access_with_floor_zero_is_plain_access() {
+        let drive = |floored: bool| {
+            let mut chain = TierChain::new(vec![
+                spec("dram", PolicyKind::Lru, 3),
+                spec("ssd", PolicyKind::Fifo, 3),
+            ]);
+            let trace: Vec<u64> = vec![1, 2, 3, 4, 1, 5, 2, 6, 1, 3];
+            let outcomes: Vec<ChainAccess> = trace
+                .iter()
+                .map(|&k| {
+                    if floored {
+                        chain.access_with_floor(k, 1, 0)
+                    } else {
+                        chain.access(k, 1)
+                    }
+                })
+                .collect();
+            (
+                outcomes,
+                *chain.tier_stats(0),
+                *chain.tier_stats(1),
+                chain.used_bytes(),
+            )
+        };
+        assert_eq!(drive(false), drive(true));
+    }
+
+    #[test]
+    fn floor_blocks_admission_and_promotion_above_it() {
+        let mut chain = TierChain::new(vec![
+            spec("dram", PolicyKind::MinIo, 4),
+            spec("ssd", PolicyKind::MinIo, 4),
+        ]);
+        // Admission with floor 1 lands in the SSD tier, leaving DRAM empty.
+        let out = chain.access_with_floor(1, 1, 1);
+        assert!(out.admitted);
+        assert!(!chain.tier_contains(0, 1) && chain.tier_contains(1, 1));
+        // The DRAM tier still records the fetch falling through it.
+        assert_eq!(chain.tier_stats(0).misses, 1);
+        assert_eq!(chain.tier_stats(0).insertions, 0);
+        // A floored hit at the SSD tier is served there without promoting.
+        let out = chain.access_with_floor(1, 1, 1);
+        assert_eq!(out.source, ChainSource::Tier(1));
+        assert!(!out.admitted);
+        assert!(!chain.tier_contains(0, 1));
+        // An unfloored hit promotes into the empty DRAM tier.
+        let out = chain.access(1, 1);
+        assert_eq!(out.source, ChainSource::Tier(1));
+        assert!(out.admitted);
+        assert!(chain.tier_contains(0, 1));
+        assert_eq!(chain.locate(1), Some(0));
+    }
+
+    #[test]
+    fn locate_reports_provenance_without_touching_state() {
+        let mut chain = TierChain::new(vec![
+            spec("dram", PolicyKind::MinIo, 2),
+            spec("ssd", PolicyKind::MinIo, 2),
+        ]);
+        for k in 0..4u64 {
+            chain.access(k, 1);
+        }
+        let stats = (*chain.tier_stats(0), *chain.tier_stats(1));
+        assert_eq!(chain.locate(0), Some(0));
+        assert_eq!(chain.locate(2), Some(1));
+        assert_eq!(chain.locate(9), None);
+        assert_eq!((*chain.tier_stats(0), *chain.tier_stats(1)), stats);
+    }
+
+    #[test]
+    fn remove_reclaims_capacity_across_levels() {
+        let mut chain = TierChain::new(vec![
+            spec("dram", PolicyKind::MinIo, 2),
+            spec("ssd", PolicyKind::MinIo, 2),
+        ]);
+        for k in 0..4u64 {
+            chain.access(k, 1);
+        }
+        assert_eq!(chain.remove(1), Some(1));
+        assert_eq!(chain.remove(1), None, "double remove");
+        assert!(!chain.contains(1));
+        assert_eq!(chain.resident_items(), 3);
+        assert_eq!(chain.tier_used_bytes(0), 1, "DRAM byte reclaimed");
+        // The freed DRAM slot is reusable by the next admission.
+        let out = chain.access(9, 1);
+        assert!(out.admitted);
+        assert_eq!(chain.locate(9), Some(0));
+    }
+
+    #[test]
+    fn remove_frees_both_copies_of_a_promoted_key() {
+        let mut chain = TierChain::new(vec![
+            spec("dram", PolicyKind::MinIo, 2),
+            spec("ssd", PolicyKind::MinIo, 2),
+        ]);
+        for k in 0..4u64 {
+            chain.access(k, 1);
+        }
+        // Free a DRAM slot, then hit the SSD-resident 2: MinIO promotes it,
+        // leaving copies at both levels.
+        chain.remove(0);
+        chain.access(2, 1);
+        assert!(chain.tier_contains(0, 2) && chain.tier_contains(1, 2));
+        assert_eq!(chain.remove(2), Some(2), "both copies freed");
+        assert!(!chain.contains(2));
+    }
+
+    #[test]
+    fn remove_range_clears_exactly_the_window() {
+        let mut chain = TierChain::new(vec![
+            spec("dram", PolicyKind::MinIo, 4),
+            spec("ssd", PolicyKind::MinIo, 4),
+        ]);
+        // Two key windows of four 1-byte items each.
+        for k in (0..4u64).chain(100..104) {
+            chain.access(k, 1);
+        }
+        assert_eq!(chain.resident_items(), 8);
+        assert_eq!(chain.remove_range(100..200), 4);
+        assert_eq!(chain.remove_range(100..200), 0, "window already empty");
+        for k in 0..4u64 {
+            assert!(chain.contains(k), "survivor window intact");
+        }
+        for k in 100..104u64 {
+            assert!(!chain.contains(k));
+        }
+        assert_eq!(chain.resident_items(), 4);
+        assert_eq!(chain.used_bytes(), 4);
     }
 
     #[test]

@@ -21,9 +21,11 @@
 pub mod hierarchy;
 pub mod partitioned;
 pub mod policy;
+pub mod sharded;
 pub mod stats;
 
 pub use hierarchy::{ChainAccess, ChainSource, DemotionStats, TierChain, TierCost, TierSpec};
+pub use sharded::ShardedChain;
 pub use partitioned::{Location, PartitionedIndex, ServerId};
 pub use policy::{ClockCache, FifoCache, LruCache, MinIoCache, PolicyKind};
 pub use stats::{AccessOutcome, CacheStats};
@@ -82,6 +84,14 @@ pub trait Cache<K: Hash + Eq + Clone> {
     fn take_evicted(&mut self) -> Vec<K> {
         Vec::new()
     }
+
+    /// Administratively remove `key`, returning its resident size.
+    ///
+    /// Removal is not an eviction: it records no statistics and does not
+    /// appear in the [`Cache::take_evicted`] victim log.  It exists for
+    /// external lifecycle events — a multi-tenant server reclaiming a
+    /// departed tenant's bytes — rather than for the policy's own decisions.
+    fn remove(&mut self, key: &K) -> Option<u64>;
 }
 
 /// Construct a boxed cache of the given policy kind and capacity, keyed by

@@ -164,6 +164,13 @@ impl<K: Hash + Eq + Clone> Cache<K> for LruCache<K> {
         PolicyKind::Lru.name()
     }
 
+    fn remove(&mut self, key: &K) -> Option<u64> {
+        let entry = self.entries.remove(key)?;
+        self.order.remove(&entry.tick);
+        self.used -= entry.size;
+        Some(entry.size)
+    }
+
     fn set_eviction_tracking(&mut self, enabled: bool) {
         self.track_evictions = enabled;
         if !enabled {
@@ -264,6 +271,15 @@ impl<K: Hash + Eq + Clone> Cache<K> for FifoCache<K> {
 
     fn name(&self) -> &'static str {
         PolicyKind::Fifo.name()
+    }
+
+    fn remove(&mut self, key: &K) -> Option<u64> {
+        let size = self.sizes.remove(key)?;
+        // Removals are rare lifecycle events, so the O(n) queue purge beats
+        // leaving a stale key that would mis-order a later re-insertion.
+        self.queue.retain(|queued| queued != key);
+        self.used -= size;
+        Some(size)
     }
 
     fn set_eviction_tracking(&mut self, enabled: bool) {
@@ -409,6 +425,18 @@ impl<K: Hash + Eq + Clone> Cache<K> for ClockCache<K> {
         PolicyKind::Clock.name()
     }
 
+    fn remove(&mut self, key: &K) -> Option<u64> {
+        let pos = self.index.remove(key)?;
+        let slot = self.ring.swap_remove(pos);
+        // The element swapped into `pos` needs its index fixed.
+        if pos < self.ring.len() {
+            let moved_key = self.ring[pos].key.clone();
+            self.index.insert(moved_key, pos);
+        }
+        self.used -= slot.size;
+        Some(slot.size)
+    }
+
     fn set_eviction_tracking(&mut self, enabled: bool) {
         self.track_evictions = enabled;
         if !enabled {
@@ -514,6 +542,15 @@ impl<K: Hash + Eq + Clone> Cache<K> for MinIoCache<K> {
 
     fn name(&self) -> &'static str {
         PolicyKind::MinIo.name()
+    }
+
+    fn remove(&mut self, key: &K) -> Option<u64> {
+        if !self.resident.remove(key) {
+            return None;
+        }
+        let size = self.sizes.remove(key).unwrap_or(0);
+        self.used -= size;
+        Some(size)
     }
 }
 
@@ -739,6 +776,67 @@ mod tests {
         lru.access(2000, 1);
         lru.set_eviction_tracking(false);
         assert!(lru.take_evicted().is_empty());
+    }
+
+    // -- Administrative removal ----------------------------------------------
+
+    #[test]
+    fn remove_frees_bytes_without_recording_statistics() {
+        let caches: Vec<Box<dyn Cache<u64> + Send>> = vec![
+            Box::new(LruCache::new(100)),
+            Box::new(FifoCache::new(100)),
+            Box::new(ClockCache::new(100)),
+            Box::new(MinIoCache::new(100)),
+        ];
+        for mut c in caches {
+            c.set_eviction_tracking(true);
+            for k in 0..5u64 {
+                c.access(k, 10);
+            }
+            let stats_before = *c.stats();
+            assert_eq!(c.remove(&2), Some(10), "{}", c.name());
+            assert_eq!(c.remove(&2), None, "{}: double remove", c.name());
+            assert_eq!(c.remove(&99), None, "{}: absent key", c.name());
+            assert!(!c.contains(&2), "{}", c.name());
+            assert_eq!(c.len(), 4, "{}", c.name());
+            assert_eq!(c.used_bytes(), 40, "{}", c.name());
+            assert_eq!(*c.stats(), stats_before, "{}: no stats recorded", c.name());
+            assert!(c.take_evicted().is_empty(), "{}: not an eviction", c.name());
+            // The freed capacity is reusable and the cache stays coherent.
+            assert_eq!(c.access(200, 10), AccessOutcome::Inserted, "{}", c.name());
+            assert_eq!(c.used_bytes(), 50, "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn fifo_remove_purges_the_queue_so_reinsertion_keeps_its_order() {
+        let mut c = FifoCache::new(3);
+        for k in 0..3u64 {
+            c.access(k, 1);
+        }
+        c.remove(&0);
+        c.access(0, 1); // re-inserted: now the *youngest* entry
+        c.access(9, 1); // evicts 1 (the oldest), not the re-inserted 0
+        assert!(c.contains(&0) && !c.contains(&1));
+    }
+
+    #[test]
+    fn clock_remove_keeps_the_ring_index_coherent() {
+        let mut c = ClockCache::new(10);
+        for k in 0..10u64 {
+            c.access(k, 1);
+        }
+        // Remove from the middle: swap_remove moves the last slot into place.
+        c.remove(&3);
+        for k in 0..10u64 {
+            assert_eq!(c.contains(&k), k != 3, "key {k}");
+        }
+        // Evictions after removal still converge.
+        for k in 10..30u64 {
+            c.access(k, 1);
+        }
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.used_bytes(), 10);
     }
 
     // -- Cross-policy comparison (the paper's core claim) --------------------

@@ -1,0 +1,374 @@
+//! A concurrent, sharded [`TierChain`]: the cache hierarchy a multi-tenant
+//! server shares between concurrently running sessions.
+//!
+//! [`ShardedChain`] splits each tier's capacity across `num_shards`
+//! independent [`TierChain`]s, each behind its own mutex, and routes every
+//! key to one shard by a mixed hash.  Two properties make this the right
+//! concurrency story for the workspace's determinism contract:
+//!
+//! * **a 1-shard chain is the chain**: with `num_shards == 1` every call
+//!   locks the single inner [`TierChain`] and forwards verbatim, so the
+//!   sharded wrapper is bit-identical to the single-owner hierarchy (pinned
+//!   by tests below) — the existing deterministic path is unchanged;
+//! * **key-disjoint locking**: a key's residency, statistics and demotion
+//!   state live entirely inside its shard, so concurrent accesses to
+//!   different shards never interleave observable state, and accesses to the
+//!   same key serialize on one lock.
+//!
+//! Lock poisoning is deliberately swallowed (`PoisonError::into_inner`): a
+//! panicking tenant thread must not take the shared hierarchy down with it —
+//! the chain's state is updated atomically under the lock (no partial
+//! multi-step invariants span a panic point on the access path).
+
+use crate::hierarchy::{ChainAccess, DemotionStats, TierChain, TierSpec};
+use crate::stats::CacheStats;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// A `TierChain` split into independently locked shards by key hash.
+///
+/// See the [module docs](self) for the concurrency contract.
+pub struct ShardedChain {
+    shards: Vec<Mutex<TierChain>>,
+    /// The *aggregate* tier specs (full capacities, before the per-shard
+    /// split), used for reporting.
+    specs: Vec<TierSpec>,
+}
+
+/// SplitMix64 finalizer: decorrelates sequential item ids so shards fill
+/// uniformly even under strided key namespaces.
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ShardedChain {
+    /// Build `num_shards` chains from `tiers`, splitting each tier's
+    /// capacity evenly across shards (remainder bytes go to the first
+    /// shards, so the aggregate capacity is exact).
+    ///
+    /// # Panics
+    /// Panics when `tiers` is empty or `num_shards` is zero.
+    pub fn new(tiers: Vec<TierSpec>, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "a sharded chain needs at least one shard");
+        assert!(!tiers.is_empty(), "a tier chain needs at least one tier");
+        let shards = (0..num_shards)
+            .map(|shard| {
+                let shard_specs = tiers
+                    .iter()
+                    .map(|t| {
+                        let base = t.capacity_bytes / num_shards as u64;
+                        let extra = u64::from((shard as u64) < t.capacity_bytes % num_shards as u64);
+                        TierSpec {
+                            capacity_bytes: base + extra,
+                            ..*t
+                        }
+                    })
+                    .collect();
+                Mutex::new(TierChain::new(shard_specs))
+            })
+            .collect();
+        ShardedChain {
+            shards,
+            specs: tiers,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of tiers (levels) in every shard.
+    pub fn num_tiers(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The aggregate (pre-split) spec of tier `k`.
+    pub fn tier_spec(&self, k: usize) -> &TierSpec {
+        &self.specs[k]
+    }
+
+    /// Which shard `key` routes to.  Deterministic, so byte-holding wrappers
+    /// can co-shard their payload maps.
+    pub fn shard_of(&self, key: u64) -> usize {
+        (mix(key) % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, idx: usize) -> MutexGuard<'_, TierChain> {
+        // A tenant thread that panicked mid-lock must not poison the shared
+        // hierarchy for every other tenant; chain state never spans a panic
+        // point partially (see module docs).
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// [`TierChain::access`] on `key`'s shard.
+    pub fn access(&self, key: u64, size: u64) -> ChainAccess {
+        self.shard(self.shard_of(key)).access(key, size)
+    }
+
+    /// [`TierChain::access_with_floor`] on `key`'s shard.
+    pub fn access_with_floor(&self, key: u64, size: u64, floor: usize) -> ChainAccess {
+        self.shard(self.shard_of(key))
+            .access_with_floor(key, size, floor)
+    }
+
+    /// [`TierChain::locate`] on `key`'s shard.
+    pub fn locate(&self, key: u64) -> Option<usize> {
+        self.shard(self.shard_of(key)).locate(key)
+    }
+
+    /// [`TierChain::remove`] on `key`'s shard.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        self.shard(self.shard_of(key)).remove(key)
+    }
+
+    /// Whether `key` is resident in any tier of its shard.
+    pub fn contains(&self, key: u64) -> bool {
+        self.shard(self.shard_of(key)).contains(key)
+    }
+
+    /// Distinct resident keys across all shards.
+    pub fn resident_items(&self) -> usize {
+        (0..self.shards.len())
+            .map(|s| self.shard(s).resident_items())
+            .sum()
+    }
+
+    /// Sum of per-tier resident bytes across all shards.
+    pub fn used_bytes(&self) -> u64 {
+        (0..self.shards.len()).map(|s| self.shard(s).used_bytes()).sum()
+    }
+
+    /// Sum of per-tier capacities (equals the pre-split aggregate).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.specs.iter().map(|t| t.capacity_bytes).sum()
+    }
+
+    /// Bytes resident in tier `k`, summed across shards.
+    pub fn tier_used_bytes(&self, k: usize) -> u64 {
+        (0..self.shards.len())
+            .map(|s| self.shard(s).tier_used_bytes(k))
+            .sum()
+    }
+
+    /// Items resident in tier `k`, summed across shards.
+    pub fn tier_len(&self, k: usize) -> usize {
+        (0..self.shards.len()).map(|s| self.shard(s).tier_len(k)).sum()
+    }
+
+    /// Fetch-path statistics of tier `k`, summed across shards.
+    pub fn tier_stats(&self, k: usize) -> CacheStats {
+        let mut agg = CacheStats::default();
+        for s in 0..self.shards.len() {
+            let shard = self.shard(s);
+            let stats = shard.tier_stats(k);
+            agg.hits += stats.hits;
+            agg.misses += stats.misses;
+            agg.insertions += stats.insertions;
+            agg.evictions += stats.evictions;
+            agg.bytes_hit += stats.bytes_hit;
+            agg.bytes_missed += stats.bytes_missed;
+        }
+        agg
+    }
+
+    /// Demotion counters of tier `k`, summed across shards.
+    pub fn tier_demotions(&self, k: usize) -> DemotionStats {
+        let mut agg = DemotionStats::default();
+        for s in 0..self.shards.len() {
+            let d = self.shard(s).tier_demotions(k);
+            agg.demoted_in += d.demoted_in;
+            agg.demoted_out += d.demoted_out;
+        }
+        agg
+    }
+
+    /// Total fetch-path hits across tiers and shards.
+    pub fn hits(&self) -> u64 {
+        (0..self.shards.len()).map(|s| self.shard(s).hits()).sum()
+    }
+
+    /// Fetch-path accesses that missed every tier, across shards.
+    pub fn store_misses(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|s| self.shard(s).store_misses())
+            .sum()
+    }
+
+    /// Reset fetch-path and policy statistics on every shard.
+    pub fn reset_stats(&self) {
+        for s in 0..self.shards.len() {
+            self.shard(s).reset_stats();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedChain")
+            .field("shards", &self.shards.len())
+            .field("tiers", &self.specs.len())
+            .field("resident_items", &self.resident_items())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{ChainSource, TierCost};
+    use crate::PolicyKind;
+    use std::sync::Arc;
+
+    fn spec(name: &'static str, policy: PolicyKind, cap: u64) -> TierSpec {
+        TierSpec {
+            name,
+            policy,
+            capacity_bytes: cap,
+            cost: TierCost {
+                bandwidth_bps: 1e9,
+                latency_s: 1e-4,
+            },
+        }
+    }
+
+    #[test]
+    fn one_shard_is_bit_identical_to_the_plain_chain() {
+        let tiers = || {
+            vec![
+                spec("dram", PolicyKind::MinIo, 5),
+                spec("ssd", PolicyKind::Lru, 5),
+            ]
+        };
+        let sharded = ShardedChain::new(tiers(), 1);
+        let mut plain = TierChain::new(tiers());
+        let trace: Vec<u64> = (0..40).map(|i| (i * 7) % 13).collect();
+        for &k in &trace {
+            assert_eq!(sharded.access(k, 1), plain.access(k, 1), "key {k}");
+        }
+        for k in 0..2 {
+            assert_eq!(sharded.tier_stats(k), *plain.tier_stats(k));
+            assert_eq!(sharded.tier_used_bytes(k), plain.tier_used_bytes(k));
+            assert_eq!(sharded.tier_demotions(k), plain.tier_demotions(k));
+        }
+        assert_eq!(sharded.resident_items(), plain.resident_items());
+        assert_eq!(sharded.hits(), plain.hits());
+        assert_eq!(sharded.store_misses(), plain.store_misses());
+    }
+
+    #[test]
+    fn capacity_split_is_exact_for_any_shard_count() {
+        for shards in [1usize, 2, 3, 4, 7] {
+            let chain = ShardedChain::new(vec![spec("dram", PolicyKind::MinIo, 1003)], shards);
+            assert_eq!(chain.capacity_bytes(), 1003, "{shards} shards");
+            let per_shard: u64 = (0..shards)
+                .map(|s| {
+                    chain.shards[s]
+                        .lock()
+                        .unwrap()
+                        .tier_spec(0)
+                        .capacity_bytes
+                })
+                .sum();
+            assert_eq!(per_shard, 1003, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn keys_route_to_stable_shards_and_never_cross() {
+        let chain = ShardedChain::new(vec![spec("dram", PolicyKind::MinIo, 1 << 20)], 4);
+        for k in 0..200u64 {
+            assert_eq!(chain.shard_of(k), chain.shard_of(k), "stable");
+            chain.access(k, 1);
+            let holder = chain.shards[chain.shard_of(k)].lock().unwrap().contains(k);
+            assert!(holder, "key {k} lives in its routed shard");
+        }
+        assert_eq!(chain.resident_items(), 200);
+    }
+
+    #[test]
+    fn minio_sharded_chain_never_evicts_and_respects_aggregate_capacity() {
+        let chain = ShardedChain::new(
+            vec![
+                spec("dram", PolicyKind::MinIo, 64),
+                spec("ssd", PolicyKind::MinIo, 64),
+            ],
+            4,
+        );
+        for k in 0..1000u64 {
+            let out = chain.access(k, 1);
+            assert_eq!(out.source, ChainSource::Store, "cold");
+            assert!(out.dropped.is_empty(), "MinIO never drops");
+        }
+        assert!(chain.used_bytes() <= chain.capacity_bytes());
+        // Per-shard imbalance means slightly fewer than 128 admissions, but
+        // hashing keeps every shard productive.
+        assert!(chain.resident_items() > 100, "{}", chain.resident_items());
+        // Steady state: residents hit, exactly once each.
+        let before = chain.hits();
+        for k in 0..1000u64 {
+            chain.access(k, 1);
+        }
+        assert_eq!(chain.hits() - before, chain.resident_items() as u64);
+    }
+
+    #[test]
+    fn concurrent_accesses_conserve_bytes_and_counters() {
+        let chain = Arc::new(ShardedChain::new(
+            vec![
+                spec("dram", PolicyKind::MinIo, 400),
+                spec("ssd", PolicyKind::MinIo, 400),
+            ],
+            4,
+        ));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let chain = Arc::clone(&chain);
+                std::thread::spawn(move || {
+                    // Disjoint key ranges per thread: every access is either
+                    // a first-touch miss or a repeat hit, deterministically.
+                    for pass in 0..3 {
+                        for k in (t * 1000)..(t * 1000 + 200u64) {
+                            let out = chain.access(k, 1);
+                            if pass > 0 && chain.contains(k) {
+                                assert_ne!(out.source, ChainSource::Store, "resident key hit");
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // 8 threads x 200 keys x 3 passes, every access accounted exactly once.
+        let accesses: u64 = (0..2).map(|k| chain.tier_stats(k).hits).sum::<u64>()
+            + chain.store_misses();
+        assert_eq!(accesses, 8 * 200 * 3);
+        assert_eq!(chain.used_bytes(), 800, "both tiers filled exactly");
+        assert!(chain.resident_items() as u64 >= 800 / 2);
+    }
+
+    #[test]
+    fn remove_on_a_shard_frees_capacity_for_new_admissions() {
+        let chain = ShardedChain::new(vec![spec("dram", PolicyKind::MinIo, 8)], 2);
+        for k in 0..20u64 {
+            chain.access(k, 1);
+        }
+        let resident: Vec<u64> = (0..20).filter(|&k| chain.contains(k)).collect();
+        assert_eq!(resident.len(), 8);
+        let victim = resident[0];
+        assert_eq!(chain.remove(victim), Some(1));
+        assert!(!chain.contains(victim));
+        // A fresh key routed to the freed shard can now be admitted.
+        let shard = chain.shard_of(victim);
+        let newcomer = (1000..2000u64)
+            .find(|&k| chain.shard_of(k) == shard)
+            .unwrap();
+        assert!(chain.access(newcomer, 1).admitted);
+    }
+}

@@ -47,6 +47,7 @@ pub(crate) mod executor;
 pub mod minibatch;
 pub mod partition;
 pub mod report;
+pub mod server;
 pub mod session;
 pub(crate) mod stack;
 pub mod staging;
@@ -59,7 +60,8 @@ pub use coordinator::{EpochSession, JobEpochIterator};
 pub use error::CoordlError;
 pub use minibatch::Minibatch;
 pub use partition::{FetchOrigin, PartitionStats, PartitionedCacheCluster, RemotePeerTier};
-pub use report::{EpochTrajectory, LoaderReport};
+pub use report::{EpochTrajectory, LoaderReport, TenantReport};
+pub use server::{Server, ServerConfig, TenantHandle, TenantSpec, TenantView};
 pub use session::{BatchStream, EpochRun, Mode, Session, SessionBuilder, SessionConfig};
 pub use staging::{PublishOutcome, StagingArea, StagingStats, TakeError};
 pub use stats::LoaderStats;

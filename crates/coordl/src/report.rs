@@ -92,6 +92,28 @@ impl EpochTrajectory {
     }
 }
 
+/// Per-tenant accounting attached to a [`LoaderReport`] when the session ran
+/// under a multi-tenant [`Server`](crate::Server).
+///
+/// `None` for standalone sessions, so every existing report (and its JSON
+/// document) is unchanged; a server-held session additionally records how
+/// much of the shared hierarchy this tenant occupies and what DRAM quota it
+/// was granted after fair-share scaling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name as given at submission.
+    pub name: String,
+    /// Requested DRAM-tier quota in bytes.
+    pub quota_bytes: u64,
+    /// Quota actually granted after fair-share scaling (== `quota_bytes`
+    /// unless the active tenants oversubscribe the DRAM tier).
+    pub effective_quota_bytes: u64,
+    /// Bytes this tenant currently holds in the DRAM tier.
+    pub dram_resident_bytes: u64,
+    /// Bytes this tenant currently holds across all shared tiers.
+    pub resident_bytes: u64,
+}
+
 /// The unified result of running a [`Session`](crate::Session): totals plus
 /// the per-epoch trajectories recorded as epochs were run.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,6 +166,9 @@ pub struct LoaderReport {
     pub consumer_wait_seconds: f64,
     /// Per-epoch counter deltas, in the order epochs were run.
     pub epochs: Vec<EpochTrajectory>,
+    /// Multi-tenant accounting; `None` unless the session ran under a
+    /// [`Server`](crate::Server).
+    pub tenant: Option<TenantReport>,
 }
 
 impl LoaderReport {
@@ -288,6 +313,19 @@ impl LoaderReport {
         write_f64(&mut out, self.prep_stall_seconds);
         out.push_str(",\"consumer_wait_seconds\":");
         write_f64(&mut out, self.consumer_wait_seconds);
+        if let Some(tenant) = &self.tenant {
+            out.push_str(",\"tenant\":{\"name\":");
+            write_string(&mut out, &tenant.name);
+            out.push_str(",\"quota_bytes\":");
+            out.push_str(&tenant.quota_bytes.to_string());
+            out.push_str(",\"effective_quota_bytes\":");
+            out.push_str(&tenant.effective_quota_bytes.to_string());
+            out.push_str(",\"dram_resident_bytes\":");
+            out.push_str(&tenant.dram_resident_bytes.to_string());
+            out.push_str(",\"resident_bytes\":");
+            out.push_str(&tenant.resident_bytes.to_string());
+            out.push('}');
+        }
         out.push_str(",\"trajectories\":[");
         for (i, e) in self.epochs.iter().enumerate() {
             if i > 0 {
@@ -390,6 +428,7 @@ mod tests {
                     ..EpochTrajectory::default()
                 },
             ],
+            tenant: None,
         }
     }
 
@@ -429,6 +468,39 @@ mod tests {
         assert_eq!(
             traj[0].get("consumer_wait_seconds").and_then(Value::as_f64),
             Some(0.25)
+        );
+        // Standalone sessions emit no tenant block at all.
+        assert!(doc.get("tenant").is_none());
+    }
+
+    #[test]
+    fn tenant_block_is_emitted_only_when_present() {
+        let mut r = sample_report();
+        r.tenant = Some(TenantReport {
+            name: "job-a".to_string(),
+            quota_bytes: 600,
+            effective_quota_bytes: 500,
+            dram_resident_bytes: 480,
+            resident_bytes: 800,
+        });
+        let doc = parse(&r.to_json()).expect("tenant report must emit valid JSON");
+        let tenant = doc.get("tenant").expect("tenant block present");
+        assert_eq!(tenant.get("name").and_then(Value::as_str), Some("job-a"));
+        assert_eq!(
+            tenant.get("quota_bytes").and_then(Value::as_f64),
+            Some(600.0)
+        );
+        assert_eq!(
+            tenant.get("effective_quota_bytes").and_then(Value::as_f64),
+            Some(500.0)
+        );
+        assert_eq!(
+            tenant.get("dram_resident_bytes").and_then(Value::as_f64),
+            Some(480.0)
+        );
+        assert_eq!(
+            tenant.get("resident_bytes").and_then(Value::as_f64),
+            Some(800.0)
         );
     }
 }

@@ -573,6 +573,7 @@ impl Session {
             prep_stall_seconds: snap.prep_stall_seconds,
             consumer_wait_seconds: snap.consumer_wait_seconds,
             epochs: self.trajectories.lock().clone(),
+            tenant: None,
         }
     }
 

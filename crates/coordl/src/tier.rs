@@ -296,7 +296,7 @@ impl ByteTierSpec {
         }
     }
 
-    fn tier_spec(&self) -> TierSpec {
+    pub(crate) fn tier_spec(&self) -> TierSpec {
         TierSpec {
             name: self.name,
             policy: self.policy,
@@ -312,9 +312,14 @@ impl ByteTierSpec {
 /// Intern a hierarchy label: leak it at most once per distinct string (the
 /// label space is the tiny set of tier-layout names, so the table stays a
 /// handful of entries for the process lifetime).
-fn intern_label(label: String) -> &'static str {
+pub(crate) fn intern_label(label: String) -> &'static str {
     static LABELS: std::sync::Mutex<Vec<&'static str>> = std::sync::Mutex::new(Vec::new());
-    let mut labels = LABELS.lock().expect("label table poisoned");
+    // Interning is idempotent, so a panic between lock and push leaves the
+    // table merely shorter, never wrong: recover from poisoning instead of
+    // propagating one tenant's panic to every later label lookup.
+    let mut labels = LABELS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(existing) = labels.iter().find(|l| **l == label) {
         return existing;
     }

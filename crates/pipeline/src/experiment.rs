@@ -35,6 +35,7 @@
 //! datasets and loaders — contending for one server's cache, CPU and disk,
 //! which the legacy one-function-per-scenario API could not express.
 
+use crate::churn::churn_schedule;
 use crate::config::ServerConfig;
 use crate::engine::{
     build_node, shared_coordinated_epoch, shared_uncoordinated_epoch, single_epoch, DistributedSim,
@@ -105,6 +106,21 @@ pub enum Scenario {
     /// uncoordinated, contending in the shared cache (whose policy is taken
     /// from the first job's loader).
     MixedCluster,
+    /// `tenants` jobs arriving and departing over the run on one shared
+    /// server — the elastic counterpart of the multi-tenant `coordl::Server`
+    /// (§5 HP-search lineage with job churn).  A deterministic
+    /// [`churn_schedule`](crate::churn::churn_schedule) seeded by `seed`
+    /// decides each tenant's `[arrival, departure)` window; a departing
+    /// tenant's cached keys are reclaimed from the shared chain at the
+    /// departure-epoch boundary.  Each tenant gets its own cache-key window
+    /// even when datasets coincide, mirroring the runtime server's
+    /// per-tenant key namespacing.
+    ElasticCluster {
+        /// Number of tenants in the churn schedule.
+        tenants: usize,
+        /// Seed of the churn schedule.
+        seed: u64,
+    },
 }
 
 impl Scenario {
@@ -115,6 +131,7 @@ impl Scenario {
             Scenario::HpSearch { .. } => "hp-search",
             Scenario::Distributed { .. } => "distributed",
             Scenario::MixedCluster => "mixed-cluster",
+            Scenario::ElasticCluster { .. } => "elastic-cluster",
         }
     }
 
@@ -123,6 +140,7 @@ impl Scenario {
         match self {
             Scenario::SingleServer => "job",
             Scenario::HpSearch { .. } | Scenario::MixedCluster => "job",
+            Scenario::ElasticCluster { .. } => "job",
             Scenario::Distributed { .. } => "server",
         }
     }
@@ -227,6 +245,7 @@ impl<'obs> Experiment<'obs> {
             Scenario::SingleServer => self.run_single(),
             Scenario::HpSearch { jobs } => self.run_shared(Some(jobs)),
             Scenario::MixedCluster => self.run_shared(None),
+            Scenario::ElasticCluster { tenants, seed } => self.run_elastic(tenants, seed),
             Scenario::Distributed { servers } => self.run_distributed(servers),
         };
         report.scenario = scenario;
@@ -344,6 +363,80 @@ impl<'obs> Experiment<'obs> {
             } else {
                 shared_uncoordinated_epoch(&self.server, &self.jobs, &mut node, epoch, &key_bases)
             };
+            Self::notify(&mut self.observer, scenario, epoch, &per_epoch);
+            report.push_epoch(per_epoch);
+        }
+        report
+    }
+
+    /// Elastic multi-tenant scenario: the shared-server driver over the
+    /// subset of tenants active each epoch, with per-tenant cache-key
+    /// windows and departure-time reclamation.
+    fn run_elastic(mut self, tenants: usize, seed: u64) -> SimReport {
+        assert!(tenants > 0, "need at least one tenant");
+        if self.jobs.len() == 1 && tenants > 1 {
+            let template = self.jobs[0].clone();
+            self.jobs = (0..tenants)
+                .map(|j| template.with_seed(template.seed + j as u64))
+                .collect();
+        }
+        assert_eq!(
+            self.jobs.len(),
+            tenants,
+            "Scenario::ElasticCluster {{ tenants: {tenants} }} got {} jobs",
+            self.jobs.len()
+        );
+        let total_gpus: usize = self.jobs.iter().map(|j| j.num_gpus).sum();
+        assert!(
+            total_gpus <= self.server.num_gpus,
+            "jobs use {total_gpus} GPUs but the server has {}",
+            self.server.num_gpus
+        );
+
+        // Unlike HP search, tenants are namespace-isolated even on the same
+        // dataset (the runtime server's per-tenant key windows): every job
+        // gets a distinct key base.
+        let mut key_bases = Vec::with_capacity(self.jobs.len());
+        let mut next_base = 0u64;
+        for job in &self.jobs {
+            key_bases.push(next_base);
+            next_base += job.dataset.num_items;
+        }
+
+        let schedule = churn_schedule(tenants, self.epochs, seed);
+        let scenario = self.scenario;
+        let mut node = build_node(&self.server, self.jobs[0].loader.cache_policy, self.cache);
+        let mut report = SimReport::empty(scenario, tenants);
+        for epoch in 0..self.epochs {
+            // Reclaim the key windows of tenants departing at this boundary
+            // before anyone trains, mirroring the runtime's
+            // `TenantHandle::depart`.
+            for (j, t) in schedule.iter().enumerate() {
+                if t.departure == epoch {
+                    node.evict_keyspace(
+                        key_bases[j],
+                        key_bases[j] + self.jobs[j].dataset.num_items,
+                    );
+                }
+            }
+            node.reset_epoch_stats();
+            let active: Vec<usize> = (0..tenants)
+                .filter(|&j| schedule[j].is_active(epoch))
+                .collect();
+            let active_jobs: Vec<JobSpec> = active.iter().map(|&j| self.jobs[j].clone()).collect();
+            let active_bases: Vec<u64> = active.iter().map(|&j| key_bases[j]).collect();
+            let results = shared_uncoordinated_epoch(
+                &self.server,
+                &active_jobs,
+                &mut node,
+                epoch,
+                &active_bases,
+            );
+            let mut per_epoch: Vec<EpochMetrics> =
+                (0..tenants).map(|_| idle_epoch(epoch)).collect();
+            for (&slot, m) in active.iter().zip(results) {
+                per_epoch[slot] = m;
+            }
             Self::notify(&mut self.observer, scenario, epoch, &per_epoch);
             report.push_epoch(per_epoch);
         }
@@ -496,7 +589,7 @@ impl SimReport {
     /// and distributed runs compare aggregate throughput.
     pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
         let (a, b) = match self.scenario {
-            Scenario::HpSearch { .. } | Scenario::MixedCluster => (
+            Scenario::HpSearch { .. } | Scenario::MixedCluster | Scenario::ElasticCluster { .. } => (
                 self.steady_per_job_samples_per_sec(),
                 baseline.steady_per_job_samples_per_sec(),
             ),
@@ -593,6 +686,24 @@ impl SimReport {
         }
         out.push_str("]}");
         out
+    }
+}
+
+/// A zeroed [`EpochMetrics`] for an epoch a tenant sat out of an elastic
+/// cluster (not yet arrived or already departed).
+fn idle_epoch(epoch: u64) -> EpochMetrics {
+    EpochMetrics {
+        epoch,
+        breakdown: Default::default(),
+        samples: 0,
+        bytes_from_cache: 0,
+        bytes_from_disk: 0,
+        bytes_from_remote: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        bytes_from_lower_tiers: 0,
+        lower_tier_hits: 0,
+        io_timeline: Vec::new(),
     }
 }
 
@@ -923,6 +1034,93 @@ mod tests {
         assert!(
             tiered_s < dram_only_s,
             "but much faster than the HDD: {tiered_s} vs {dram_only_s}"
+        );
+    }
+
+    #[test]
+    fn elastic_cluster_is_deterministic_and_respects_the_schedule() {
+        let ds = small_ds();
+        let server = ssd(&ds, 0.5);
+        let job = || {
+            JobSpec::new(
+                ModelKind::ResNet18,
+                ds.clone(),
+                1,
+                LoaderConfig::coordl(PrepBackend::DaliGpu),
+            )
+            .with_batch(64)
+        };
+        let scenario = Scenario::ElasticCluster {
+            tenants: 4,
+            seed: 7,
+        };
+        let run = || {
+            Experiment::on(&server)
+                .job(job())
+                .scenario(scenario)
+                .epochs(5)
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "elastic runs must be deterministic");
+        assert_eq!(a.num_units(), 4);
+        let schedule = crate::churn::churn_schedule(4, 5, 7);
+        for (j, unit) in a.per_job().iter().enumerate() {
+            assert_eq!(unit.epochs.len(), 5);
+            for (e, m) in unit.epochs.iter().enumerate() {
+                let active = schedule[j].is_active(e as u64);
+                assert_eq!(
+                    m.samples > 0,
+                    active,
+                    "tenant {j} epoch {e}: samples={} active={active}",
+                    m.samples
+                );
+            }
+        }
+        // Tenant 0 spans the run; with a warm shared cache its later epochs
+        // serve bytes from the cache.
+        assert!(a.per_job()[0].epochs[1].bytes_from_cache > 0);
+    }
+
+    #[test]
+    fn elastic_departure_reclaims_the_tenants_cache_window() {
+        // Compare a 2-tenant churn run against a permanent 2-tenant run on a
+        // cache big enough for one dataset copy but not two: after the
+        // short-lived tenant departs, its reclaimed window lets the survivor
+        // cache more than it could while both were resident.
+        let ds = small_ds();
+        let server = ssd(&ds, 0.6);
+        let job = || {
+            JobSpec::new(
+                ModelKind::ResNet18,
+                ds.clone(),
+                1,
+                LoaderConfig::coordl(PrepBackend::DaliGpu),
+            )
+            .with_batch(64)
+        };
+        let epochs = 6u64;
+        // Find a seed whose 2-tenant schedule has tenant 1 departing
+        // mid-run, so the run has both a contended and a reclaimed phase.
+        let seed = (0..64)
+            .find(|&s| {
+                let t = crate::churn::churn_schedule(2, epochs, s)[1];
+                t.arrival == 0 && t.departure >= 2 && t.departure <= epochs - 2
+            })
+            .expect("some seed departs mid-run");
+        let schedule = crate::churn::churn_schedule(2, epochs, seed);
+        let report = Experiment::on(&server)
+            .job(job())
+            .scenario(Scenario::ElasticCluster { tenants: 2, seed })
+            .epochs(epochs)
+            .run();
+        let contended = &report.per_job()[0].epochs[(schedule[1].departure - 1) as usize];
+        let reclaimed = report.per_job()[0].epochs.last().unwrap();
+        assert!(
+            reclaimed.cache_hits > contended.cache_hits,
+            "reclaimed window raises the survivor's hits: {} vs {}",
+            reclaimed.cache_hits,
+            contended.cache_hits
         );
     }
 

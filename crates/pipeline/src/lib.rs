@@ -31,6 +31,7 @@
 //! DRAM tier spilling into a profiled local-SSD tier with
 //! [`CacheSpec::Tiered`].
 
+pub mod churn;
 pub mod config;
 pub mod distributed;
 pub(crate) mod engine;
@@ -43,6 +44,7 @@ pub mod metrics;
 pub mod single;
 pub mod sweep;
 
+pub use churn::{churn_schedule, TenantSchedule};
 pub use config::ServerConfig;
 pub use experiment::{CacheSpec, EpochUpdate, Experiment, Scenario, SimReport};
 pub use job::JobSpec;

@@ -142,6 +142,13 @@ impl StorageNode {
         self.chain.contains(*key)
     }
 
+    /// Administratively drop every cached key in `[start, end)` — a departed
+    /// job's key window — from all tiers, returning the bytes freed.  No
+    /// statistics are recorded (this is reclamation, not eviction).
+    pub fn evict_keyspace(&mut self, start: u64, end: u64) -> u64 {
+        self.chain.remove_range(start..end)
+    }
+
     /// The underlying device (read-only access to counters/timeline).
     pub fn device(&self) -> &StorageDevice {
         &self.device
@@ -264,6 +271,23 @@ mod tests {
         assert!(node.is_cached(&1));
         assert_eq!(node.fetch_stats().total_bytes(), 0);
         assert_eq!(node.cache_used_bytes(), 1000);
+    }
+
+    #[test]
+    fn evict_keyspace_frees_one_jobs_window_and_forces_re_misses() {
+        let mut node = StorageNode::new(DeviceProfile::sata_ssd(), PolicyKind::MinIo, 1 << 20);
+        for k in (0..5u64).chain(1000..1005) {
+            node.fetch(SimTime::ZERO, k, 1000, AccessPattern::Random);
+        }
+        assert_eq!(node.cache_used_bytes(), 10_000);
+        assert_eq!(node.evict_keyspace(1000, 2000), 5_000);
+        node.reset_epoch_stats();
+        for k in (0..5u64).chain(1000..1005) {
+            node.fetch(SimTime::ZERO, k, 1000, AccessPattern::Random);
+        }
+        // The surviving window still hits; the evicted one re-misses.
+        assert_eq!(node.fetch_stats().cache_hits, 5);
+        assert_eq!(node.fetch_stats().cache_misses, 5);
     }
 
     #[test]

@@ -25,9 +25,10 @@
 //! `cargo run --release --bin dstool -- smoke --out ci/bench_baseline.json`.
 
 use benchkit::{
-    find_suite, run_tier_sweep, run_validation, run_worker_sweep, GateKind, SweepSuite, Table,
-    TierSweepConfig, TierSweepReport, ValidationConfig, WorkerSweepConfig, WorkerSweepReport,
-    SMOKE_EXTRA_SCALE, SUITES, TIER_SWEEP_NAME, WORKER_SWEEP_NAME,
+    find_suite, run_multi_tenant, run_tier_sweep, run_validation, run_worker_sweep, GateKind,
+    MultiTenantConfig, MultiTenantReport, SweepSuite, Table, TierSweepConfig, TierSweepReport,
+    ValidationConfig, WorkerSweepConfig, WorkerSweepReport, MULTI_TENANT_NAME, SMOKE_EXTRA_SCALE,
+    SUITES, TIER_SWEEP_NAME, WORKER_SWEEP_NAME,
 };
 use datastalls::pipeline::json::{self, Value};
 use datastalls::pipeline::{SweepReport, SweepRunner};
@@ -54,6 +55,11 @@ fn usage() -> &'static str {
      \u{20} sweep tier-sweep             run the *runtime* cache-hierarchy preset:\n\
      \u{20}       a DRAM% x SSD% grid of tiered Sessions, gating one identical\n\
      \u{20}       stream for the whole grid and printing per-tier hit ratios\n\
+     \u{20}       [--scale N] [--out FILE]\n\
+     \u{20} sweep multi-tenant           run the *runtime* multi-tenant preset:\n\
+     \u{20}       churning tenants over one shared Server, gating one identical\n\
+     \u{20}       stream across shard and worker counts plus quota/reclamation\n\
+     \u{20}       invariants\n\
      \u{20}       [--scale N] [--out FILE]\n\
      \u{20} smoke                        CI smoke: every suite, parallel vs serial\n\
      \u{20}       [--threads N] [--scale N] [--out FILE]\n\
@@ -117,6 +123,7 @@ enum Command {
     Sweep(SweepCmd),
     WorkerSweep(RuntimeSweepCmd),
     TierSweep(RuntimeSweepCmd),
+    MultiTenantSweep(RuntimeSweepCmd),
     Smoke(SmokeCmd),
     Validate(ValidateCmd),
 }
@@ -136,7 +143,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         "smoke" => parse_smoke(&rest),
         "validate" => parse_validate(&rest),
         "--help" | "-h" | "help" => Ok(Command::Help),
-        other => Err(format!("unknown command {other}\n\n{}", usage())),
+        other => Err(format!(
+            "unknown command {other}; valid commands: list, sweep, smoke, validate, help\n\n{}",
+            usage()
+        )),
     }
 }
 
@@ -145,9 +155,10 @@ fn parse_sweep(args: &[&String]) -> Result<Command, String> {
     let which = it
         .next()
         .ok_or_else(|| format!("sweep needs a suite name or 'all'\n\n{}", usage()))?;
-    if which.as_str() == WORKER_SWEEP_NAME || which.as_str() == TIER_SWEEP_NAME {
+    if RUNTIME_PRESETS.contains(&which.as_str()) {
         // The runtime presets sweep their own axes (worker counts, tier
-        // sizes), so the simulator-sweep threading flags do not apply.
+        // sizes, shard counts), so the simulator-sweep threading flags do
+        // not apply.
         let name = which.as_str().to_string();
         let mut cmd = RuntimeSweepCmd {
             scale: 1,
@@ -170,10 +181,10 @@ fn parse_sweep(args: &[&String]) -> Result<Command, String> {
                 }
             }
         }
-        return Ok(if name == WORKER_SWEEP_NAME {
-            Command::WorkerSweep(cmd)
-        } else {
-            Command::TierSweep(cmd)
+        return Ok(match name.as_str() {
+            WORKER_SWEEP_NAME => Command::WorkerSweep(cmd),
+            TIER_SWEEP_NAME => Command::TierSweep(cmd),
+            _ => Command::MultiTenantSweep(cmd),
         });
     }
     let suites: Vec<&'static SweepSuite> = if which.as_str() == "all" {
@@ -181,8 +192,9 @@ fn parse_sweep(args: &[&String]) -> Result<Command, String> {
     } else {
         vec![find_suite(which).ok_or_else(|| {
             format!(
-                "unknown suite {which}; available: {}",
-                suite_names().join(", ")
+                "unknown suite {which}; available: {}, {}",
+                suite_names().join(", "),
+                RUNTIME_PRESETS.join(", ")
             )
         })?]
     };
@@ -322,6 +334,9 @@ fn parse_scale(v: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("scale must be >= 1, got {v}"))
 }
 
+/// The runtime presets `sweep` routes past the simulator-suite registry.
+const RUNTIME_PRESETS: [&str; 3] = [WORKER_SWEEP_NAME, TIER_SWEEP_NAME, MULTI_TENANT_NAME];
+
 fn suite_names() -> Vec<&'static str> {
     SUITES.iter().map(|s| s.name).collect()
 }
@@ -355,6 +370,16 @@ fn run_list() {
         "§4.2 / Table 2 (SSD extends MinIO)".to_string(),
         "runtime cache hierarchy: DRAM% x SSD% grid of tiered Sessions, \
          per-tier hit ratios, one stream gated for the whole grid"
+            .to_string(),
+    ]);
+    let mt_defaults = MultiTenantConfig::default();
+    table.row(&[
+        MULTI_TENANT_NAME.to_string(),
+        mt_defaults.shard_counts.len().to_string(),
+        "§5 / Fig 10 (coordinated HP search)".to_string(),
+        "runtime multi-tenant Server: churning tenants over one shared \
+         hierarchy, quotas and reclamation gated, one stream across shard \
+         and worker counts"
             .to_string(),
     ]);
     table.print();
@@ -488,6 +513,54 @@ fn print_tier_table(report: &TierSweepReport) {
         ]);
     }
     table.print();
+}
+
+/// Print the runtime multi-tenant preset's per-point table.
+fn print_multi_tenant_table(report: &MultiTenantReport) {
+    let mut table = Table::new(
+        format!("Runtime {} (coordl::Server)", MULTI_TENANT_NAME),
+        &[
+            "point",
+            "agg hit ratio",
+            "peak dram",
+            "dram cap",
+            "quota excess",
+            "leftover",
+        ],
+    )
+    .with_caption(format!(
+        "{} tenants churning over {} epochs, {} items each; one stream across \
+         every shard and worker count, quotas and departure reclamation gated",
+        report.config.tenants, report.config.epochs, report.config.items
+    ));
+    for p in &report.points {
+        table.row(&[
+            p.label(),
+            format!("{:.3}", p.aggregate_hit_ratio),
+            p.peak_dram_used.to_string(),
+            p.dram_capacity.to_string(),
+            p.max_quota_excess.to_string(),
+            p.leftover_bytes.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+fn run_multi_tenant_cmd(cmd: &RuntimeSweepCmd) -> Result<(), String> {
+    let report = run_multi_tenant(&MultiTenantConfig::scaled(cmd.scale));
+    print_multi_tenant_table(&report);
+    report.verify()?;
+    println!(
+        "multi-tenancy gate passed: {} shard counts, one stream (digest {:016x}), \
+         quotas enforced and every departed byte reclaimed",
+        report.points.len(),
+        report.digest().unwrap_or(0)
+    );
+    if let Some(path) = &cmd.out {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
 }
 
 fn run_tier_sweep_cmd(cmd: &RuntimeSweepCmd) -> Result<(), String> {
@@ -628,13 +701,16 @@ fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
     let worker_report = smoke_worker_sweep(cmd);
     let tier_report = run_tier_sweep(&TierSweepConfig::scaled(cmd.scale));
     print_tier_table(&tier_report);
+    let mt_report = run_multi_tenant(&MultiTenantConfig::scaled(cmd.scale));
+    print_multi_tenant_table(&mt_report);
 
-    let doc = smoke_json(cmd, &results, &worker_report, &tier_report);
+    let doc = smoke_json(cmd, &results, &worker_report, &tier_report, &mt_report);
     std::fs::write(&cmd.out, &doc).map_err(|e| format!("cannot write {}: {e}", cmd.out))?;
     println!("wrote {}", cmd.out);
 
     gate_worker_sweep(&worker_report)?;
     tier_report.verify()?;
+    mt_report.verify()?;
 
     if let Some(path) = &cmd.baseline {
         check_baseline(path, &doc, cmd.tolerance, cmd.scale)?;
@@ -656,6 +732,7 @@ fn smoke_json(
     results: &[(&SweepSuite, SweepReport)],
     worker_report: &WorkerSweepReport,
     tier_report: &TierSweepReport,
+    mt_report: &MultiTenantReport,
 ) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\"schema\":\"datastalls-bench-sweep/v1\",\"threads\":");
@@ -690,6 +767,8 @@ fn smoke_json(
     out.push_str(&worker_report.to_json());
     out.push_str(",\"runtime_tier_sweep\":");
     out.push_str(&tier_report.to_json());
+    out.push_str(",\"runtime_multi_tenant\":");
+    out.push_str(&mt_report.to_json());
     out.push('}');
     out
 }
@@ -758,7 +837,11 @@ fn check_baseline(
             .and_then(Value::as_str)
             .map(str::to_string)
     };
-    for preset in ["runtime_worker_sweep", "runtime_tier_sweep"] {
+    for preset in [
+        "runtime_worker_sweep",
+        "runtime_tier_sweep",
+        "runtime_multi_tenant",
+    ] {
         if let Some(expected) = digest_of(&baseline, preset) {
             let got = digest_of(&current, preset);
             if got.as_deref() != Some(expected.as_str()) {
@@ -809,6 +892,42 @@ fn check_baseline(
                  (total/dram/ssd {total:.6}/{dram:.6}/{ssd:.6} -> \
                  {cur_total:.6}/{cur_dram:.6}/{cur_ssd:.6}); the cache \
                  hierarchy behaves differently — fix it or refresh the baseline"
+            ));
+        }
+    }
+
+    // Like the tier sweep, the multi-tenant preset's aggregate hit ratio is
+    // exact counter arithmetic over a deterministic churn schedule: any
+    // drift means admission, quota scaling or reclamation changed.
+    let mt_ratios = |doc: &Value| -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for p in doc
+            .get("runtime_multi_tenant")
+            .and_then(|t| t.get("points"))
+            .and_then(Value::as_array)
+            .unwrap_or_default()
+        {
+            if let (Some(label), Some(ratio)) = (
+                p.get("label").and_then(Value::as_str),
+                p.get("aggregate_hit_ratio").and_then(Value::as_f64),
+            ) {
+                out.push((label.to_string(), ratio));
+            }
+        }
+        out
+    };
+    let current_mt = mt_ratios(&current);
+    for (label, ratio) in mt_ratios(&baseline) {
+        let Some((_, cur)) = current_mt.iter().find(|(l, _)| *l == label) else {
+            return Err(format!(
+                "runtime_multi_tenant/{label}: missing from this run"
+            ));
+        };
+        if (ratio - *cur).abs() > 1e-9 {
+            return Err(format!(
+                "runtime_multi_tenant/{label}: aggregate hit ratio changed \
+                 ({ratio:.6} -> {cur:.6}); the shared hierarchy behaves \
+                 differently under churn — fix it or refresh the baseline"
             ));
         }
     }
@@ -938,6 +1057,7 @@ fn main() -> ExitCode {
         Ok(Command::Sweep(cmd)) => run_sweep(&cmd),
         Ok(Command::WorkerSweep(cmd)) => run_worker_sweep_cmd(&cmd),
         Ok(Command::TierSweep(cmd)) => run_tier_sweep_cmd(&cmd),
+        Ok(Command::MultiTenantSweep(cmd)) => run_multi_tenant_cmd(&cmd),
         Ok(Command::Smoke(cmd)) => run_smoke(&cmd),
         Ok(Command::Validate(cmd)) => run_validate(&cmd),
         Err(msg) => Err(msg),
@@ -1034,6 +1154,73 @@ mod tests {
         };
         assert_eq!(cmd.scale, 2);
         assert!(parse_args(&args(&["sweep", TIER_SWEEP_NAME, "--serial"])).is_err());
+    }
+
+    #[test]
+    fn multi_tenant_is_routed_to_the_runtime_preset() {
+        let Ok(Command::MultiTenantSweep(cmd)) = parse_args(&args(&[
+            "sweep",
+            MULTI_TENANT_NAME,
+            "--scale",
+            "2",
+            "--out",
+            "mt.json",
+        ])) else {
+            panic!("expected multi-tenant command");
+        };
+        assert_eq!(cmd.scale, 2);
+        assert_eq!(cmd.out.as_deref(), Some("mt.json"));
+        assert!(parse_args(&args(&["sweep", MULTI_TENANT_NAME, "--serial"])).is_err());
+        assert!(parse_args(&args(&["sweep", MULTI_TENANT_NAME, "--threads", "2"])).is_err());
+    }
+
+    #[test]
+    fn unknown_names_list_the_valid_ones() {
+        let Err(err) = parse_args(&args(&["sweep", "nope"])) else {
+            panic!("expected an unknown-suite error");
+        };
+        for name in RUNTIME_PRESETS {
+            assert!(err.contains(name), "suite error lists {name}: {err}");
+        }
+        assert!(err.contains("cache-sweep"), "{err}");
+        let Err(err) = parse_args(&args(&["bogus"])) else {
+            panic!("expected an unknown-command error");
+        };
+        for name in ["list", "sweep", "smoke", "validate", "help"] {
+            assert!(err.contains(name), "command error lists {name}: {err}");
+        }
+    }
+
+    #[test]
+    fn baseline_gate_compares_multi_tenant_ratios_exactly() {
+        let baseline = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[{"label":"a","steady_samples_per_sec":1000}]}],
+            "runtime_multi_tenant":{"stream_digest":"00000000deadbeef","points":[
+                {"label":"shards=1","aggregate_hit_ratio":0.5},
+                {"label":"shards=4","aggregate_hit_ratio":0.49}]}}"#;
+        let dir = std::env::temp_dir().join("dstool_mt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, baseline).unwrap();
+        check_baseline(path.to_str().unwrap(), baseline, 0.10, 8).unwrap();
+        // A drifted aggregate hit ratio is a hard failure.
+        let drifted = baseline.replace("0.49}", "0.48}");
+        let err = check_baseline(path.to_str().unwrap(), &drifted, 0.10, 8).unwrap_err();
+        assert!(err.contains("aggregate hit ratio changed"), "{err}");
+        // A changed digest too.
+        let changed = baseline.replace("deadbeef", "0badf00d");
+        let err = check_baseline(path.to_str().unwrap(), &changed, 0.10, 8).unwrap_err();
+        assert!(err.contains("stream digest changed"), "{err}");
+        // A missing point is reported as such.
+        let missing = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[{"label":"a","steady_samples_per_sec":1000}]}],
+            "runtime_multi_tenant":{"stream_digest":"00000000deadbeef","points":[
+                {"label":"shards=1","aggregate_hit_ratio":0.5}]}}"#;
+        let err = check_baseline(path.to_str().unwrap(), missing, 0.10, 8).unwrap_err();
+        assert!(
+            err.contains("runtime_multi_tenant/shards=4") && err.contains("missing"),
+            "{err}"
+        );
     }
 
     #[test]
