@@ -13,6 +13,7 @@
 //! paper's evaluation section; `EXPERIMENTS.md` records the paper-reported
 //! value next to the measured one for every row.
 
+pub mod mega;
 pub mod multitenant;
 pub mod parallel;
 pub mod presets;
@@ -21,6 +22,7 @@ pub mod scenarios;
 pub mod tiersweep;
 pub mod validation;
 
+pub use mega::{run_mega_sweep, MegaSweepConfig, MegaSweepReport, MEGA_SWEEP_NAME};
 pub use multitenant::{
     run_multi_tenant, MultiTenantConfig, MultiTenantPoint, MultiTenantReport, MULTI_TENANT_NAME,
 };

@@ -187,7 +187,7 @@ impl MultiTenantReport {
                     p.leftover_bytes
                 ));
             }
-            if p.per_tenant_samples.iter().any(|&s| s == 0) {
+            if p.per_tenant_samples.contains(&0) {
                 return Err(format!(
                     "{}: a tenant was scheduled but delivered no samples",
                     p.label()
@@ -272,8 +272,7 @@ pub fn run_multi_tenant(cfg: &MultiTenantConfig) -> MultiTenantReport {
 fn run_once(cfg: &MultiTenantConfig, shards: usize, workers: usize) -> MultiTenantPoint {
     let spec = cfg.dataset_spec();
     let per_tenant_bytes = spec.total_bytes();
-    let dram_capacity =
-        per_tenant_bytes * cfg.tenants as u64 * cfg.dram_percent as u64 / 100;
+    let dram_capacity = per_tenant_bytes * cfg.tenants as u64 * cfg.dram_percent as u64 / 100;
     let server =
         Server::new(ServerConfig::minio(dram_capacity, shards)).expect("valid server config");
     let schedule = churn_schedule(cfg.tenants, cfg.epochs, cfg.seed);

@@ -58,7 +58,7 @@ impl Default for WorkerSweepConfig {
             prefetch_depth: 4,
             items: 1536,
             avg_item_bytes: 4096,
-            decode_multiplier: 16,
+            decode_multiplier: 128,
             batch_size: 32,
             epochs: 2,
             seed: 0xBEEF,
@@ -70,10 +70,15 @@ impl WorkerSweepConfig {
     /// The default preset with its dataset shrunk by `extra_scale` — the
     /// single scaling rule shared by `dstool sweep worker-sweep --scale`
     /// and `dstool smoke` (pass 1 for full bench fidelity).
+    ///
+    /// The floor keeps even the smoke scale heavy enough that each point
+    /// runs for hundreds of milliseconds of prep work: below that, thread
+    /// startup and channel overhead dominate and the measured "speedup"
+    /// describes the OS scheduler, not the executor.
     pub fn scaled(extra_scale: u64) -> Self {
         let base = WorkerSweepConfig::default();
         WorkerSweepConfig {
-            items: (base.items / extra_scale.max(1)).max(64),
+            items: (base.items / extra_scale.max(1)).max(256),
             ..base
         }
     }
@@ -393,7 +398,7 @@ mod tests {
     fn scaled_config_shrinks_the_item_count_only() {
         let scaled = WorkerSweepConfig::scaled(8);
         assert!(scaled.items < WorkerSweepConfig::default().items);
-        assert!(scaled.items >= 64);
+        assert!(scaled.items >= 256, "smoke points stay prep-dominated");
         assert_eq!(
             scaled.decode_multiplier,
             WorkerSweepConfig::default().decode_multiplier,

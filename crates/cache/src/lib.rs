@@ -25,9 +25,9 @@ pub mod sharded;
 pub mod stats;
 
 pub use hierarchy::{ChainAccess, ChainSource, DemotionStats, TierChain, TierCost, TierSpec};
-pub use sharded::ShardedChain;
 pub use partitioned::{Location, PartitionedIndex, ServerId};
 pub use policy::{ClockCache, FifoCache, LruCache, MinIoCache, PolicyKind};
+pub use sharded::ShardedChain;
 pub use stats::{AccessOutcome, CacheStats};
 
 use std::hash::Hash;

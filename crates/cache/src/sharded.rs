@@ -59,7 +59,8 @@ impl ShardedChain {
                     .iter()
                     .map(|t| {
                         let base = t.capacity_bytes / num_shards as u64;
-                        let extra = u64::from((shard as u64) < t.capacity_bytes % num_shards as u64);
+                        let extra =
+                            u64::from((shard as u64) < t.capacity_bytes % num_shards as u64);
                         TierSpec {
                             capacity_bytes: base + extra,
                             ..*t
@@ -140,7 +141,9 @@ impl ShardedChain {
 
     /// Sum of per-tier resident bytes across all shards.
     pub fn used_bytes(&self) -> u64 {
-        (0..self.shards.len()).map(|s| self.shard(s).used_bytes()).sum()
+        (0..self.shards.len())
+            .map(|s| self.shard(s).used_bytes())
+            .sum()
     }
 
     /// Sum of per-tier capacities (equals the pre-split aggregate).
@@ -157,7 +160,9 @@ impl ShardedChain {
 
     /// Items resident in tier `k`, summed across shards.
     pub fn tier_len(&self, k: usize) -> usize {
-        (0..self.shards.len()).map(|s| self.shard(s).tier_len(k)).sum()
+        (0..self.shards.len())
+            .map(|s| self.shard(s).tier_len(k))
+            .sum()
     }
 
     /// Fetch-path statistics of tier `k`, summed across shards.
@@ -266,13 +271,7 @@ mod tests {
             let chain = ShardedChain::new(vec![spec("dram", PolicyKind::MinIo, 1003)], shards);
             assert_eq!(chain.capacity_bytes(), 1003, "{shards} shards");
             let per_shard: u64 = (0..shards)
-                .map(|s| {
-                    chain.shards[s]
-                        .lock()
-                        .unwrap()
-                        .tier_spec(0)
-                        .capacity_bytes
-                })
+                .map(|s| chain.shards[s].lock().unwrap().tier_spec(0).capacity_bytes)
                 .sum();
             assert_eq!(per_shard, 1003, "{shards} shards");
         }
@@ -346,8 +345,8 @@ mod tests {
             t.join().unwrap();
         }
         // 8 threads x 200 keys x 3 passes, every access accounted exactly once.
-        let accesses: u64 = (0..2).map(|k| chain.tier_stats(k).hits).sum::<u64>()
-            + chain.store_misses();
+        let accesses: u64 =
+            (0..2).map(|k| chain.tier_stats(k).hits).sum::<u64>() + chain.store_misses();
         assert_eq!(accesses, 8 * 200 * 3);
         assert_eq!(chain.used_bytes(), 800, "both tiers filled exactly");
         assert!(chain.resident_items() as u64 >= 800 / 2);

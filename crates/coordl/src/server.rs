@@ -340,11 +340,7 @@ impl Server {
                 "server needs at least one shard".into(),
             ));
         }
-        if let Some(bad) = config
-            .tiers
-            .iter()
-            .find(|t| t.policy != PolicyKind::MinIo)
-        {
+        if let Some(bad) = config.tiers.iter().find(|t| t.policy != PolicyKind::MinIo) {
             return Err(CoordlError::InvalidConfig(format!(
                 "multi-tenant tiers must use MinIO (never-evict) so tenants \
                  cannot displace each other; tier '{}' uses {}",
@@ -410,9 +406,9 @@ impl Server {
             )));
         }
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
-        let key_base = id.checked_mul(KEY_STRIDE).ok_or_else(|| {
-            CoordlError::InvalidConfig("tenant id space exhausted".into())
-        })?;
+        let key_base = id
+            .checked_mul(KEY_STRIDE)
+            .ok_or_else(|| CoordlError::InvalidConfig("tenant id space exhausted".into()))?;
         let tenant = Arc::new(TenantShared {
             id,
             name: spec.name,
@@ -662,7 +658,11 @@ mod tests {
         assert_eq!(server.active_tenants(), 2);
         b.depart();
         assert_eq!(server.active_tenants(), 1);
-        assert_eq!(a.effective_quota_bytes(), 900, "shares rebalance on departure");
+        assert_eq!(
+            a.effective_quota_bytes(),
+            900,
+            "shares rebalance on departure"
+        );
     }
 
     #[test]

@@ -37,10 +37,19 @@ impl EpochSampler {
 
     /// The random visit order for `epoch`.
     pub fn permutation(&self, epoch: u64) -> Vec<ItemId> {
-        let mut order: Vec<ItemId> = (0..self.num_items).collect();
-        let mut rng = SmallRng::seed_from_u64(self.seed ^ epoch.wrapping_mul(0x9E37_79B9));
-        order.shuffle(&mut rng);
+        let mut order = Vec::new();
+        self.permutation_into(epoch, &mut order);
         order
+    }
+
+    /// Write the random visit order for `epoch` into `out`, reusing its
+    /// allocation.  Bit-identical to [`EpochSampler::permutation`]; the
+    /// allocation-free variant sweep engines call once per epoch.
+    pub fn permutation_into(&self, epoch: u64, out: &mut Vec<ItemId>) {
+        out.clear();
+        out.extend(0..self.num_items);
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ epoch.wrapping_mul(0x9E37_79B9));
+        out.shuffle(&mut rng);
     }
 
     /// The visit order for `epoch` restricted to a distributed job: the
@@ -132,6 +141,16 @@ mod tests {
         let e1 = s.permutation(1);
         assert_ne!(e0, e1, "epochs should be shuffled differently");
         assert_eq!(e0, s.permutation(0), "same epoch must reproduce");
+    }
+
+    #[test]
+    fn permutation_into_reuses_and_matches() {
+        let s = EpochSampler::new(777, 13);
+        let mut buf = vec![9u64; 4]; // stale contents must not leak through
+        for epoch in 0..4 {
+            s.permutation_into(epoch, &mut buf);
+            assert_eq!(buf, s.permutation(epoch));
+        }
     }
 
     #[test]

@@ -85,7 +85,13 @@ mod tests {
         let b = churn_schedule(6, 8, 42);
         assert_eq!(a, b);
         assert_eq!(a.len(), 6);
-        assert_eq!(a[0], TenantSchedule { arrival: 0, departure: 8 });
+        assert_eq!(
+            a[0],
+            TenantSchedule {
+                arrival: 0,
+                departure: 8
+            }
+        );
         for (i, t) in a.iter().enumerate() {
             assert!(t.lifetime() >= 1, "tenant {i} never active: {t:?}");
             assert!(t.departure <= 8, "tenant {i} outlives the run: {t:?}");

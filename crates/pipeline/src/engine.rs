@@ -98,7 +98,6 @@ pub(crate) fn fetch_batch_local(
     let mut out = BatchFetch::default();
     let latency = node.device().profile().request_latency_s;
     let bandwidth = node.device().profile().bandwidth(pattern);
-    let dram = storage::DRAM_BANDWIDTH_BYTES_PER_SEC;
     // Seconds spent reading from cache tiers below DRAM, charged at each
     // tier's own cost (a lower tier is a local device shared by the node's
     // jobs exactly like the durable store, so `disk_share` applies).
@@ -124,13 +123,27 @@ pub(crate) fn fetch_batch_local(
             }
         }
     }
-    // The DRAM term keeps the pre-hierarchy batch-aggregate formula so a
-    // single-tier chain charges bit-identical fetch times.
-    out.fetch_secs = out.disk_bytes as f64 / (bandwidth * disk_share)
-        + out.misses as f64 * latency / disk_share
-        + (out.cache_bytes - out.lower_bytes) as f64 / dram
-        + lower_secs / disk_share;
+    out.fetch_secs = local_fetch_secs(&out, lower_secs, latency, bandwidth, disk_share);
     out
+}
+
+/// The batch-aggregate fetch-time formula shared by the exact engine and the
+/// fast MinIO engine (`crate::fast`); keeping one closing expression is what
+/// makes the two paths bit-identical.
+///
+/// The DRAM term keeps the pre-hierarchy batch-aggregate formula so a
+/// single-tier chain charges bit-identical fetch times.
+pub(crate) fn local_fetch_secs(
+    out: &BatchFetch,
+    lower_secs: f64,
+    latency: f64,
+    bandwidth: f64,
+    disk_share: f64,
+) -> f64 {
+    out.disk_bytes as f64 / (bandwidth * disk_share)
+        + out.misses as f64 * latency / disk_share
+        + (out.cache_bytes - out.lower_bytes) as f64 / storage::DRAM_BANDWIDTH_BYTES_PER_SEC
+        + lower_secs / disk_share
 }
 
 /// GPU compute seconds for one global minibatch of `samples` samples,
@@ -173,13 +186,70 @@ pub(crate) fn access_pattern(job: &JobSpec) -> AccessPattern {
 /// The order in which raw items are read off storage during one epoch, which
 /// differs from the (always shuffled) training order for sequential readers.
 pub(crate) fn fetch_stream(job: &JobSpec, consume_order: &[ItemId]) -> Vec<ItemId> {
-    match job.loader.fetch_order {
-        FetchOrder::Shuffled => consume_order.to_vec(),
-        FetchOrder::Sequential => {
-            let mut ids: Vec<ItemId> = consume_order.to_vec();
-            ids.sort_unstable();
-            ids
-        }
+    let mut ids = Vec::new();
+    fetch_stream_into(job, consume_order, &mut ids);
+    ids
+}
+
+/// Allocation-reusing [`fetch_stream`]: writes the storage read order into
+/// `out`.
+pub(crate) fn fetch_stream_into(job: &JobSpec, consume_order: &[ItemId], out: &mut Vec<ItemId>) {
+    out.clear();
+    out.extend_from_slice(consume_order);
+    if job.loader.fetch_order == FetchOrder::Sequential {
+        out.sort_unstable();
+    }
+}
+
+/// Reusable per-epoch working memory, hoisted out of the epoch drivers so a
+/// sweep worker allocates once and simulates hundreds of thousands of grid
+/// points (ROADMAP item 3: a what-if sweep point must be cheap).
+///
+/// [`crate::SweepRunner`] owns one per worker thread and threads it through
+/// every grid point; [`Experiment`](crate::Experiment) callers can pass their
+/// own via [`Experiment::scratch`](crate::Experiment::scratch).  Every field
+/// is (re-)initialised before use, so reuse across arbitrary experiments —
+/// including after a panicking grid point — never leaks state between runs:
+/// a scratch-reusing run is bit-identical to a fresh-allocation run.
+#[derive(Default)]
+pub struct EngineScratch {
+    /// The epoch's consume-order permutation (`EpochSampler::permutation`).
+    pub(crate) consume_order: Vec<ItemId>,
+    /// The epoch's storage read order (`fetch_stream`).
+    pub(crate) fetch_order: Vec<ItemId>,
+    /// Fast engine: per-item fetch-unit key/size and raw size, packed into
+    /// one array so the chunked-format replay touches one cache line per
+    /// item.
+    pub(crate) items_meta: Vec<crate::fast::ItemMeta>,
+    /// Fast engine: per-item raw size, dense.  For file-per-item formats the
+    /// fetch unit *is* the item (key = id, bytes = raw size), so this single
+    /// 8-byte-stride array is all the replay touches per access.
+    pub(crate) item_sizes: Vec<u64>,
+    /// Fast engine: the inputs `items_meta`/`item_sizes` were derived from
+    /// (item count, average size, spread bits, storage format).  Sweeps keep
+    /// these constant across grid points, so the size-jitter hashing runs
+    /// once per sweep instead of once per point.
+    pub(crate) meta_key: Option<(u64, u64, u64, StorageFormat)>,
+    /// Fast engine: per-unit topmost resident tier (`fast::NO_TIER` if none).
+    pub(crate) unit_tier: Vec<u32>,
+    /// Fast engine: per-tier resident bytes.
+    pub(crate) tier_used: Vec<u64>,
+    /// Fast engine: item count the permutation memo was built for.
+    pub(crate) perm_items: u64,
+    /// Fast engine: sampler seed the permutation memo was built for.
+    pub(crate) perm_seed: u64,
+    /// Fast engine: memoized per-epoch consume permutations.  A sweep re-runs
+    /// the same `(num_items, seed)` job at every grid point, so the shuffles
+    /// are identical across points and are computed once per epoch index.
+    pub(crate) perms: Vec<Vec<ItemId>>,
+    /// The per-epoch metrics accumulator (recurrence + I/O time series).
+    pub(crate) acc: EpochAccumulator,
+}
+
+impl EngineScratch {
+    /// Fresh, empty scratch.  Buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        EngineScratch::default()
     }
 }
 
@@ -198,6 +268,12 @@ pub(crate) struct EpochAccumulator {
     epoch: u64,
 }
 
+impl Default for EpochAccumulator {
+    fn default() -> Self {
+        EpochAccumulator::new(0, 1)
+    }
+}
+
 impl EpochAccumulator {
     pub(crate) fn new(epoch: u64, prefetch_depth: usize) -> Self {
         EpochAccumulator {
@@ -213,6 +289,22 @@ impl EpochAccumulator {
             io: TimeSeries::new(),
             epoch,
         }
+    }
+
+    /// Reset for a fresh epoch, keeping the recurrence and time-series
+    /// allocations so one accumulator can serve every epoch of a sweep.
+    pub(crate) fn reset(&mut self, epoch: u64, prefetch_depth: usize) {
+        self.rec.reset(prefetch_depth);
+        self.samples = 0;
+        self.disk_bytes = 0;
+        self.cache_bytes = 0;
+        self.remote_bytes = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.lower_bytes = 0;
+        self.lower_hits = 0;
+        self.io.clear();
+        self.epoch = epoch;
     }
 
     /// Current virtual time (completion of the last pushed batch).
@@ -255,8 +347,9 @@ impl EpochAccumulator {
     }
 
     /// Finish the epoch, producing metrics with the I/O timeline binned into
-    /// `bins` windows.
-    pub(crate) fn finish(self, bins: usize) -> EpochMetrics {
+    /// `bins` windows.  Takes `&self` so a scratch-resident accumulator can
+    /// be reset and reused for the next epoch.
+    pub(crate) fn finish(&self, bins: usize) -> EpochMetrics {
         let breakdown = self.rec.breakdown();
         let horizon = breakdown.epoch_time.max(SimTime::from_secs(1e-9));
         let bin = SimTime::from_secs((horizon.as_secs() / bins.max(1) as f64).max(1e-9));
@@ -288,27 +381,33 @@ impl EpochAccumulator {
 
 /// Simulate one epoch of a single job against an existing storage node
 /// (shared with other epochs so the cache stays warm).
+///
+/// All per-epoch working memory lives in `scratch`, so a sweep re-running
+/// this driver across epochs and grid points performs no per-epoch
+/// allocations beyond buffer growth on the first, largest use.
 pub(crate) fn single_epoch(
     server: &ServerConfig,
     job: &JobSpec,
     node: &mut StorageNode,
     epoch: u64,
+    scratch: &mut EngineScratch,
 ) -> EpochMetrics {
     let sampler = EpochSampler::new(job.dataset.num_items, job.seed);
-    let consume_order = sampler.permutation(epoch);
-    let fetch_order = fetch_stream(job, &consume_order);
+    sampler.permutation_into(epoch, &mut scratch.consume_order);
+    fetch_stream_into(job, &scratch.consume_order, &mut scratch.fetch_order);
     let pattern = access_pattern(job);
     let global_batch = job.global_batch();
-    let batches = minibatches(&consume_order, global_batch);
 
     let cost = PrepCostModel::for_pipeline(&job.pipeline, job.loader.prep_backend);
     let cores = cost.effective_cores(server.cpu_cores as f64, server.cpu_cores as f64);
 
-    let mut acc = EpochAccumulator::new(epoch, job.loader.prefetch_depth);
-    for (i, batch) in batches.iter().enumerate() {
+    scratch.acc.reset(epoch, job.loader.prefetch_depth);
+    let acc = &mut scratch.acc;
+    let num_items = scratch.consume_order.len();
+    for (i, batch) in scratch.consume_order.chunks(global_batch).enumerate() {
         let start = i * global_batch;
-        let end = (start + batch.len()).min(fetch_order.len());
-        let fetch_items = &fetch_order[start..end];
+        let end = (start + batch.len()).min(num_items);
+        let fetch_items = &scratch.fetch_order[start..end];
         let now = acc.now();
         let bf = fetch_batch_local(
             node,
@@ -325,7 +424,7 @@ pub(crate) fn single_epoch(
         let compute = compute_secs_for_batch(job, server.gpu, batch.len());
         acc.push_batch(&bf, prep, compute, batch.len() as u64);
     }
-    acc.finish(IO_BINS)
+    scratch.acc.finish(IO_BINS)
 }
 
 /// One epoch of several jobs sharing one server without coordination: every

@@ -39,7 +39,9 @@ use crate::churn::churn_schedule;
 use crate::config::ServerConfig;
 use crate::engine::{
     build_node, shared_coordinated_epoch, shared_uncoordinated_epoch, single_epoch, DistributedSim,
+    EngineScratch,
 };
+use crate::fast;
 use crate::job::JobSpec;
 use crate::json::{write_f64 as json_f64, write_string as json_string, write_u64_array};
 use crate::metrics::{EpochMetrics, RunResult};
@@ -173,6 +175,8 @@ pub struct Experiment<'obs> {
     cache: CacheSpec,
     epochs: u64,
     observer: Option<Observer<'obs>>,
+    scratch: Option<&'obs mut EngineScratch>,
+    exact_engine: bool,
 }
 
 impl<'obs> Experiment<'obs> {
@@ -187,6 +191,8 @@ impl<'obs> Experiment<'obs> {
             cache: CacheSpec::DramOnly,
             epochs: 3,
             observer: None,
+            scratch: None,
+            exact_engine: false,
         }
     }
 
@@ -227,6 +233,23 @@ impl<'obs> Experiment<'obs> {
     /// every simulated epoch with that epoch's metrics for every unit.
     pub fn observer(mut self, f: impl FnMut(&EpochUpdate<'_>) + 'obs) -> Self {
         self.observer = Some(Box::new(f));
+        self
+    }
+
+    /// Reuse `scratch` for all per-epoch working memory instead of
+    /// allocating fresh buffers; sweeps thread one scratch per worker
+    /// through every grid point.  Results are bit-identical either way.
+    pub fn scratch(mut self, scratch: &'obs mut EngineScratch) -> Self {
+        self.scratch = Some(scratch);
+        self
+    }
+
+    /// Force the exact cache-chain engine even where the vectorized MinIO
+    /// fast path applies (default `false`).  The two engines produce
+    /// bit-identical [`SimReport`]s — this switch exists so tests, the
+    /// `mega-sweep` gate and curious users can prove it.
+    pub fn exact_engine(mut self, exact: bool) -> Self {
+        self.exact_engine = exact;
         self
     }
 
@@ -281,18 +304,41 @@ impl<'obs> Experiment<'obs> {
             job.num_gpus,
             self.server.num_gpus
         );
-        let mut node = build_node(&self.server, job.loader.cache_policy, self.cache);
+        let mut local_scratch = EngineScratch::default();
+        let scratch = match self.scratch.take() {
+            Some(s) => s,
+            None => &mut local_scratch,
+        };
         let mut report = SimReport::empty(Scenario::SingleServer, 1);
-        for epoch in 0..self.epochs {
-            node.reset_epoch_stats();
-            let m = single_epoch(&self.server, &job, &mut node, epoch);
-            Self::notify(
-                &mut self.observer,
-                Scenario::SingleServer,
-                epoch,
-                std::slice::from_ref(&m),
-            );
-            report.push_epoch(vec![m]);
+        // MinIO single-server runs take the vectorized flat-array engine
+        // (`crate::fast`), bit-identical to the chain but 10–100× cheaper per
+        // sweep point; every other configuration runs the exact chain.
+        if !self.exact_engine && job.loader.cache_policy == dcache::PolicyKind::MinIo {
+            let plan = fast::TierPlan::new(&self.server, self.cache);
+            fast::init_run(&job, &plan, scratch);
+            for epoch in 0..self.epochs {
+                let m = fast::single_epoch_fast(&self.server, &job, &plan, epoch, scratch);
+                Self::notify(
+                    &mut self.observer,
+                    Scenario::SingleServer,
+                    epoch,
+                    std::slice::from_ref(&m),
+                );
+                report.push_epoch(vec![m]);
+            }
+        } else {
+            let mut node = build_node(&self.server, job.loader.cache_policy, self.cache);
+            for epoch in 0..self.epochs {
+                node.reset_epoch_stats();
+                let m = single_epoch(&self.server, &job, &mut node, epoch, scratch);
+                Self::notify(
+                    &mut self.observer,
+                    Scenario::SingleServer,
+                    epoch,
+                    std::slice::from_ref(&m),
+                );
+                report.push_epoch(vec![m]);
+            }
         }
         report
     }
@@ -589,7 +635,9 @@ impl SimReport {
     /// and distributed runs compare aggregate throughput.
     pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
         let (a, b) = match self.scenario {
-            Scenario::HpSearch { .. } | Scenario::MixedCluster | Scenario::ElasticCluster { .. } => (
+            Scenario::HpSearch { .. }
+            | Scenario::MixedCluster
+            | Scenario::ElasticCluster { .. } => (
                 self.steady_per_job_samples_per_sec(),
                 baseline.steady_per_job_samples_per_sec(),
             ),

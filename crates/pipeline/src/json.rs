@@ -75,6 +75,43 @@ pub fn write_u64_array(out: &mut String, values: &[u64]) {
     out.push(']');
 }
 
+/// Append `value` to `out` in canonical form: object keys sorted (the
+/// [`BTreeMap`] guarantees this), no whitespace, numbers in Rust's shortest
+/// round-trip formatting.  Re-serialising a [`parse`]d document through this
+/// writer normalises it — `dstool smoke --refresh-baseline` relies on that to
+/// keep `ci/bench_baseline.json` in one canonical shape regardless of which
+/// emitter produced the run.
+pub fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_f64(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// A parsed JSON document.
 ///
 /// Object keys are kept in a [`BTreeMap`]: none of our documents rely on key
@@ -372,6 +409,24 @@ mod tests {
         assert!(parse("{\"a\":1}trailing").is_err());
         assert!(parse("nul").is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn write_value_canonicalises_key_order_and_whitespace() {
+        let messy = "  {\"zeta\" : 1 ,\n \"alpha\": [true, null, \"x\\\"y\"],\
+                     \"mid\": {\"b\":2,\"a\":-3.5}}  ";
+        let parsed = parse(messy).unwrap();
+        let mut out = String::new();
+        write_value(&mut out, &parsed);
+        assert_eq!(
+            out,
+            r#"{"alpha":[true,null,"x\"y"],"mid":{"a":-3.5,"b":2},"zeta":1}"#
+        );
+        // Canonical form is a fixed point: parse -> write -> parse -> write
+        // is byte-identical.
+        let mut again = String::new();
+        write_value(&mut again, &parse(&out).unwrap());
+        assert_eq!(out, again);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod config;
 pub mod distributed;
 pub(crate) mod engine;
 pub mod experiment;
+pub(crate) mod fast;
 pub mod hp;
 pub mod job;
 pub mod json;
@@ -46,6 +47,7 @@ pub mod sweep;
 
 pub use churn::{churn_schedule, TenantSchedule};
 pub use config::ServerConfig;
+pub use engine::EngineScratch;
 pub use experiment::{CacheSpec, EpochUpdate, Experiment, Scenario, SimReport};
 pub use job::JobSpec;
 pub use loader::{FetchOrder, LoaderConfig, LoaderKind};

@@ -52,6 +52,7 @@
 //! ```
 
 use crate::config::ServerConfig;
+use crate::engine::EngineScratch;
 use crate::experiment::{CacheSpec, Experiment, Scenario, SimReport};
 use crate::job::JobSpec;
 use crate::json;
@@ -96,11 +97,21 @@ impl ExperimentSpec {
     /// Panics exactly where [`Experiment::run`] does (invalid
     /// configurations); [`SweepRunner`] isolates such panics per grid point.
     pub fn run(&self) -> SimReport {
+        self.run_with(&mut EngineScratch::default(), false)
+    }
+
+    /// Like [`ExperimentSpec::run`], but reusing `scratch` for all per-epoch
+    /// working memory and, when `exact_engine` is set, forcing the exact
+    /// cache-chain engine where the vectorized MinIO fast path would apply.
+    /// Bit-identical to [`ExperimentSpec::run`] in both dimensions.
+    pub fn run_with(&self, scratch: &mut EngineScratch, exact_engine: bool) -> SimReport {
         Experiment::on(&self.server)
             .jobs(self.jobs.iter().cloned())
             .scenario(self.scenario)
             .cache(self.cache)
             .epochs(self.epochs)
+            .scratch(scratch)
+            .exact_engine(exact_engine)
             .run()
     }
 }
@@ -433,6 +444,7 @@ impl SweepReport {
 #[derive(Debug, Clone)]
 pub struct SweepRunner {
     threads: usize,
+    force_exact: bool,
 }
 
 impl SweepRunner {
@@ -443,13 +455,17 @@ impl SweepRunner {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         SweepRunner {
             threads: cores.max(2),
+            force_exact: false,
         }
     }
 
     /// A serial runner: the grid runs inline on the calling thread (still
     /// panic-isolated per point).
     pub fn serial() -> Self {
-        SweepRunner { threads: 1 }
+        SweepRunner {
+            threads: 1,
+            force_exact: false,
+        }
     }
 
     /// A runner with exactly `threads` workers.
@@ -458,7 +474,19 @@ impl SweepRunner {
     /// Panics if `threads` is zero.
     pub fn with_threads(threads: usize) -> Self {
         assert!(threads >= 1, "need at least one worker thread");
-        SweepRunner { threads }
+        SweepRunner {
+            threads,
+            force_exact: false,
+        }
+    }
+
+    /// Force every grid point through the exact cache-chain engine, even
+    /// where the vectorized MinIO fast path applies (default `false`).  The
+    /// two engines are bit-identical; the `mega-sweep` throughput gate runs
+    /// the same grid both ways to prove it and to measure the speedup.
+    pub fn force_exact(mut self, exact: bool) -> Self {
+        self.force_exact = exact;
+        self
     }
 
     /// The number of worker threads this runner uses.
@@ -473,9 +501,13 @@ impl SweepRunner {
         let mut outcomes: Vec<Option<Result<SimReport, String>>> = (0..n).map(|_| None).collect();
 
         let workers = self.threads.min(n).max(1);
+        let exact = self.force_exact;
         if workers <= 1 {
+            // One scratch for the whole grid: per-point state is fully
+            // re-initialised, so reuse is bit-identical to fresh allocation.
+            let mut scratch = EngineScratch::default();
             for ((_, point), slot) in points.iter().zip(outcomes.iter_mut()) {
-                *slot = Some(run_point(point));
+                *slot = Some(run_point(point, &mut scratch, exact));
             }
         } else {
             let cursor = AtomicUsize::new(0);
@@ -485,13 +517,18 @@ impl SweepRunner {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     let tx = tx.clone();
-                    scope.spawn(move || loop {
-                        let i = cursor.fetch_add(1, Ordering::SeqCst);
-                        if i >= n {
-                            break;
-                        }
-                        if tx.send((i, run_point(&points[i].1))).is_err() {
-                            break;
+                    scope.spawn(move || {
+                        // One scratch per worker, reused across its points.
+                        let mut scratch = EngineScratch::default();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::SeqCst);
+                            if i >= n {
+                                break;
+                            }
+                            let outcome = run_point(&points[i].1, &mut scratch, exact);
+                            if tx.send((i, outcome)).is_err() {
+                                break;
+                            }
                         }
                     });
                 }
@@ -522,17 +559,25 @@ impl Default for SweepRunner {
     }
 }
 
-/// Run one grid point, converting a panic into an `Err` message.
-fn run_point(spec: &ExperimentSpec) -> Result<SimReport, String> {
-    panic::catch_unwind(AssertUnwindSafe(|| spec.run())).map_err(|payload| {
-        if let Some(s) = payload.downcast_ref::<&str>() {
-            (*s).to_string()
-        } else if let Some(s) = payload.downcast_ref::<String>() {
-            s.clone()
-        } else {
-            "grid point panicked".to_string()
-        }
-    })
+/// Run one grid point, converting a panic into an `Err` message.  The
+/// scratch is safe to reuse after a panic: every run re-initialises all the
+/// scratch state it reads.
+fn run_point(
+    spec: &ExperimentSpec,
+    scratch: &mut EngineScratch,
+    exact_engine: bool,
+) -> Result<SimReport, String> {
+    panic::catch_unwind(AssertUnwindSafe(|| spec.run_with(scratch, exact_engine))).map_err(
+        |payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "grid point panicked".to_string()
+            }
+        },
+    )
 }
 
 #[cfg(test)]

@@ -121,6 +121,17 @@ impl PipelineRecurrence {
         self.prefetch_depth
     }
 
+    /// Reset to a fresh recurrence with `prefetch_depth` (minimum 1), keeping
+    /// the allocated per-iteration buffers so a caller can evaluate many
+    /// epochs without reallocating.
+    pub fn reset(&mut self, prefetch_depth: usize) {
+        self.prefetch_depth = prefetch_depth.max(1);
+        self.fetch_done.clear();
+        self.prep_done.clear();
+        self.gpu_done.clear();
+        self.breakdown = StallBreakdown::default();
+    }
+
     /// Feed the next iteration's stage costs and return the (cumulative)
     /// virtual time at which its GPU work completes.
     pub fn push(&mut self, sample: StageSample) -> SimTime {
@@ -281,6 +292,23 @@ mod tests {
         assert_eq!(b.iterations, 0);
         assert_eq!(b.epoch_time, SimTime::ZERO);
         assert_eq!(b.stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_recurrence() {
+        let samples = vec![(0.3, 0.2, 0.4); 12];
+        let fresh = run(&samples, 3);
+        let mut p = PipelineRecurrence::new(7);
+        for &(f, pr, c) in &samples {
+            p.push(StageSample::from_secs(f, pr, c));
+        }
+        p.reset(3);
+        assert_eq!(p.breakdown(), StallBreakdown::default());
+        assert_eq!(p.prefetch_depth(), 3);
+        for &(f, pr, c) in &samples {
+            p.push(StageSample::from_secs(f, pr, c));
+        }
+        assert_eq!(p.breakdown(), fresh);
     }
 
     #[test]

@@ -120,6 +120,11 @@ impl TimeSeries {
         out
     }
 
+    /// Drop every recorded point, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.points.clear();
+    }
+
     /// Sum of all values in the series.
     pub fn total(&self) -> f64 {
         self.points.iter().map(|&(_, v)| v).sum()

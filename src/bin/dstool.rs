@@ -22,13 +22,16 @@
 //! catches behavioural regressions in the simulator, not CI-runner jitter.
 //!
 //! Refresh the baseline after an intentional change with
-//! `cargo run --release --bin dstool -- smoke --out ci/bench_baseline.json`.
+//! `cargo run --release --bin dstool -- smoke --refresh-baseline`, which
+//! rewrites `ci/bench_baseline.json` in canonical form (sorted keys,
+//! trailing newline) so refresh diffs stay minimal.
 
 use benchkit::{
-    find_suite, run_multi_tenant, run_tier_sweep, run_validation, run_worker_sweep, GateKind,
-    MultiTenantConfig, MultiTenantReport, SweepSuite, Table, TierSweepConfig, TierSweepReport,
-    ValidationConfig, WorkerSweepConfig, WorkerSweepReport, MULTI_TENANT_NAME, SMOKE_EXTRA_SCALE,
-    SUITES, TIER_SWEEP_NAME, WORKER_SWEEP_NAME,
+    find_suite, run_mega_sweep, run_multi_tenant, run_tier_sweep, run_validation, run_worker_sweep,
+    GateKind, MegaSweepConfig, MegaSweepReport, MultiTenantConfig, MultiTenantReport, SweepSuite,
+    Table, TierSweepConfig, TierSweepReport, ValidationConfig, WorkerSweepConfig,
+    WorkerSweepReport, MEGA_SWEEP_NAME, MULTI_TENANT_NAME, SMOKE_EXTRA_SCALE, SUITES,
+    TIER_SWEEP_NAME, WORKER_SWEEP_NAME,
 };
 use datastalls::pipeline::json::{self, Value};
 use datastalls::pipeline::{SweepReport, SweepRunner};
@@ -40,6 +43,14 @@ const SMOKE_THREADS: usize = 4;
 
 /// Default regression tolerance for the baseline gate (fraction).
 const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// Minimum fast-over-exact speedup `sweep mega-sweep` must demonstrate.
+/// The ratio compares both engines on the same host and run, so it is
+/// machine-independent in a way raw points/sec is not.
+const MIN_MEGA_SPEEDUP: f64 = 10.0;
+
+/// Where `smoke --refresh-baseline` writes when no `--baseline` is given.
+const DEFAULT_BASELINE: &str = "ci/bench_baseline.json";
 
 fn usage() -> &'static str {
     "usage: dstool <command> [options]\n\
@@ -61,9 +72,13 @@ fn usage() -> &'static str {
      \u{20}       stream across shard and worker counts plus quota/reclamation\n\
      \u{20}       invariants\n\
      \u{20}       [--scale N] [--out FILE]\n\
+     \u{20} sweep mega-sweep             run the 100k-point what-if grid on the\n\
+     \u{20}       vectorized MinIO engine, re-run a strided subsample on the\n\
+     \u{20}       exact engine, and gate bit-identity plus a >=10x speedup\n\
+     \u{20}       [--scale N] [--threads N] [--out FILE]\n\
      \u{20} smoke                        CI smoke: every suite, parallel vs serial\n\
      \u{20}       [--threads N] [--scale N] [--out FILE]\n\
-     \u{20}       [--baseline FILE] [--tolerance FRAC]\n\
+     \u{20}       [--baseline FILE] [--tolerance FRAC] [--refresh-baseline]\n\
      \u{20} validate                     run the same workload through the\n\
      \u{20}       simulator (Experiment) and the runtime (Session) and gate\n\
      \u{20}       the predicted-vs-empirical deltas (Table 5 / Figure 16)\n\
@@ -78,9 +93,12 @@ fn usage() -> &'static str {
      \u{20} --out FILE     write full sweep trajectories as JSON\n\
      \n\
      smoke options:\n\
-     \u{20} --out FILE        summary JSON path (default BENCH_sweep.json)\n\
-     \u{20} --baseline FILE   fail on >tolerance throughput regressions\n\
-     \u{20} --tolerance FRAC  regression tolerance (default 0.10)\n\
+     \u{20} --out FILE          summary JSON path (default BENCH_sweep.json)\n\
+     \u{20} --baseline FILE     fail on >tolerance throughput regressions\n\
+     \u{20} --tolerance FRAC    regression tolerance (default 0.10)\n\
+     \u{20} --refresh-baseline  instead of gating, rewrite the baseline file\n\
+     \u{20}                     (ci/bench_baseline.json unless --baseline) in\n\
+     \u{20}                     canonical form: sorted keys, trailing newline\n\
      \n\
      validate options:\n\
      \u{20} --scale N         ImageNet-1k scale-down (default 4000)\n\
@@ -105,6 +123,7 @@ struct SmokeCmd {
     out: String,
     baseline: Option<String>,
     tolerance: f64,
+    refresh_baseline: bool,
 }
 
 struct ValidateCmd {
@@ -117,6 +136,13 @@ struct RuntimeSweepCmd {
     out: Option<String>,
 }
 
+struct MegaSweepCmd {
+    scale: u64,
+    /// Worker threads for both engine phases (0 = one per core).
+    threads: usize,
+    out: Option<String>,
+}
+
 enum Command {
     Help,
     List,
@@ -124,6 +150,7 @@ enum Command {
     WorkerSweep(RuntimeSweepCmd),
     TierSweep(RuntimeSweepCmd),
     MultiTenantSweep(RuntimeSweepCmd),
+    MegaSweep(MegaSweepCmd),
     Smoke(SmokeCmd),
     Validate(ValidateCmd),
 }
@@ -155,6 +182,34 @@ fn parse_sweep(args: &[&String]) -> Result<Command, String> {
     let which = it
         .next()
         .ok_or_else(|| format!("sweep needs a suite name or 'all'\n\n{}", usage()))?;
+    if which.as_str() == MEGA_SWEEP_NAME {
+        // The mega sweep runs its own two-phase (fast, then exact) harness
+        // rather than a plain SweepRunner, so it parses its own flags.
+        let mut cmd = MegaSweepCmd {
+            scale: 1,
+            threads: 0,
+            out: None,
+        };
+        while let Some(flag) = it.next() {
+            let mut value = || -> Result<&String, String> {
+                it.next()
+                    .copied()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--scale" => cmd.scale = parse_scale(value()?)?,
+                "--threads" => cmd.threads = parse_threads(value()?)?,
+                "--out" => cmd.out = Some(value()?.clone()),
+                other => {
+                    return Err(format!(
+                        "unknown flag {other} for {MEGA_SWEEP_NAME} \
+                         (only --scale, --threads and --out apply)"
+                    ))
+                }
+            }
+        }
+        return Ok(Command::MegaSweep(cmd));
+    }
     if RUNTIME_PRESETS.contains(&which.as_str()) {
         // The runtime presets sweep their own axes (worker counts, tier
         // sizes, shard counts), so the simulator-sweep threading flags do
@@ -192,8 +247,9 @@ fn parse_sweep(args: &[&String]) -> Result<Command, String> {
     } else {
         vec![find_suite(which).ok_or_else(|| {
             format!(
-                "unknown suite {which}; available: {}, {}",
+                "unknown suite {which}; available: {}, {}, {}",
                 suite_names().join(", "),
+                MEGA_SWEEP_NAME,
                 RUNTIME_PRESETS.join(", ")
             )
         })?]
@@ -232,6 +288,7 @@ fn parse_smoke(args: &[&String]) -> Result<Command, String> {
         out: "BENCH_sweep.json".to_string(),
         baseline: None,
         tolerance: DEFAULT_TOLERANCE,
+        refresh_baseline: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -253,6 +310,7 @@ fn parse_smoke(args: &[&String]) -> Result<Command, String> {
             "--scale" => cmd.scale = parse_scale(value()?)?,
             "--out" => cmd.out = value()?.clone(),
             "--baseline" => cmd.baseline = Some(value()?.clone()),
+            "--refresh-baseline" => cmd.refresh_baseline = true,
             "--tolerance" => {
                 let v = value()?;
                 cmd.tolerance = v
@@ -354,6 +412,14 @@ fn run_list() {
             suite.description.to_string(),
         ]);
     }
+    table.row(&[
+        MEGA_SWEEP_NAME.to_string(),
+        MegaSweepConfig::default().spec().num_points().to_string(),
+        "§6 (what-if analysis)".to_string(),
+        "vectorized MinIO engine: the full cache x vcpus x batch x prefetch \
+         x order cross product, exact-engine subsample gated bit-identical"
+            .to_string(),
+    ]);
     let worker_defaults = WorkerSweepConfig::default();
     table.row(&[
         WORKER_SWEEP_NAME.to_string(),
@@ -596,6 +662,65 @@ fn run_worker_sweep_cmd(cmd: &RuntimeSweepCmd) -> Result<(), String> {
     Ok(())
 }
 
+/// Print the mega sweep's two-engine comparison.
+fn print_mega_table(report: &MegaSweepReport) {
+    let mut table = Table::new(
+        format!("Sweep {MEGA_SWEEP_NAME} (vectorized MinIO engine, §6 what-if grid)"),
+        &["engine", "points", "wall s", "points/s"],
+    )
+    .with_caption(format!(
+        "{} threads; every exact-engine report compared bit for bit against \
+         the fast path ({} mismatches)",
+        report.threads, report.mismatches
+    ));
+    table.row(&[
+        "fast".to_string(),
+        report.points.to_string(),
+        format!("{:.2}", report.fast_seconds),
+        format!("{:.0}", report.points_per_sec()),
+    ]);
+    table.row(&[
+        "exact".to_string(),
+        report.exact_points.to_string(),
+        format!("{:.2}", report.exact_seconds),
+        format!("{:.0}", report.exact_points_per_sec()),
+    ]);
+    table.print();
+    println!(
+        "speedup_vs_exact: {:.1}x  (sim_sweep_points_per_sec: {:.0})",
+        report.speedup_vs_exact(),
+        report.points_per_sec()
+    );
+}
+
+fn run_mega_sweep_cmd(cmd: &MegaSweepCmd) -> Result<(), String> {
+    let cfg = MegaSweepConfig {
+        threads: cmd.threads,
+        ..MegaSweepConfig::scaled(cmd.scale)
+    };
+    let report = run_mega_sweep(&cfg);
+    print_mega_table(&report);
+    if let Some(path) = &cmd.out {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    report.bit_identical()?;
+    let speedup = report.speedup_vs_exact();
+    if speedup < MIN_MEGA_SPEEDUP {
+        return Err(format!(
+            "mega-sweep: fast engine is only {speedup:.1}x the exact engine \
+             (gate: >={MIN_MEGA_SPEEDUP:.0}x); the vectorized path lost its \
+             advantage — profile pipeline::fast before shipping"
+        ));
+    }
+    println!(
+        "mega-sweep gate passed: {} points, {} exact re-runs bit-identical, \
+         {speedup:.1}x over the exact engine",
+        report.points, report.exact_points
+    );
+    Ok(())
+}
+
 /// Gate the runtime worker sweep: bit-equality always, wall-clock scaling
 /// only where the host can express it.  Called *after* the results JSON is
 /// on disk so a gate failure still leaves the artifact for diagnosis.
@@ -624,23 +749,15 @@ fn gate_worker_sweep(report: &WorkerSweepReport) -> Result<(), String> {
     if speedup > 1.0 {
         return Ok(());
     }
-    // The smoke-scale points run for milliseconds, where one scheduler
-    // hiccup can erase the speedup; confirm at full scale (a much larger
-    // measurement window) before declaring a regression.
-    println!(
-        "worker-sweep: smoke-scale speedup only {speedup:.2}x at \
-         workers={max_workers}; re-measuring at full scale"
-    );
-    let full = run_worker_sweep(&WorkerSweepConfig::scaled(1));
-    print_worker_table(&full);
-    full.bit_identical()?;
-    match full.speedup(max_workers) {
-        Some(confirmed) if confirmed <= 1.0 => Err(format!(
-            "worker-sweep: workers={max_workers} did not beat workers=1 \
-             ({confirmed:.2}x at full scale) on a {cores}-core host"
-        )),
-        _ => Ok(()),
-    }
+    // The preset is sized (item floor + decode multiplier) so every point
+    // runs for hundreds of milliseconds of prep work even at smoke scale:
+    // on a host with enough cores, parallel prep beating serial is the
+    // executor's whole point, and a miss here is a regression — not
+    // scheduler jitter to be retried away at a different scale.
+    Err(format!(
+        "worker-sweep: workers={max_workers} did not beat workers=1 \
+         ({speedup:.2}x) on a {cores}-core host"
+    ))
 }
 
 /// Measure the runtime worker preset inside `smoke` (gating happens later,
@@ -703,16 +820,38 @@ fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
     print_tier_table(&tier_report);
     let mt_report = run_multi_tenant(&MultiTenantConfig::scaled(cmd.scale));
     print_multi_tenant_table(&mt_report);
+    // The vectorized-engine preset runs with one thread per core (not
+    // `--threads`, which exists to prove the parallel sweep path even on
+    // undersized hosts): the recorded thread count then doubles as the
+    // core count the baseline gate normalizes points/sec by.
+    let mega_report = run_mega_sweep(&MegaSweepConfig::scaled(cmd.scale));
+    print_mega_table(&mega_report);
 
-    let doc = smoke_json(cmd, &results, &worker_report, &tier_report, &mt_report);
+    let doc = smoke_json(
+        cmd,
+        &results,
+        &worker_report,
+        &tier_report,
+        &mt_report,
+        &mega_report,
+    );
     std::fs::write(&cmd.out, &doc).map_err(|e| format!("cannot write {}: {e}", cmd.out))?;
     println!("wrote {}", cmd.out);
 
     gate_worker_sweep(&worker_report)?;
     tier_report.verify()?;
     mt_report.verify()?;
+    mega_report.bit_identical()?;
 
-    if let Some(path) = &cmd.baseline {
+    if cmd.refresh_baseline {
+        let path = cmd.baseline.as_deref().unwrap_or(DEFAULT_BASELINE);
+        let mut canonical = String::with_capacity(doc.len() + 1);
+        let parsed = json::parse(&doc).expect("smoke_json emits valid JSON");
+        json::write_value(&mut canonical, &parsed);
+        canonical.push('\n');
+        std::fs::write(path, canonical).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("refreshed baseline {path} (canonical: sorted keys, trailing newline)");
+    } else if let Some(path) = &cmd.baseline {
         check_baseline(path, &doc, cmd.tolerance, cmd.scale)?;
         println!(
             "baseline gate passed: no preset regressed more than {:.0}% vs {path}",
@@ -733,6 +872,7 @@ fn smoke_json(
     worker_report: &WorkerSweepReport,
     tier_report: &TierSweepReport,
     mt_report: &MultiTenantReport,
+    mega_report: &MegaSweepReport,
 ) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\"schema\":\"datastalls-bench-sweep/v1\",\"threads\":");
@@ -769,6 +909,8 @@ fn smoke_json(
     out.push_str(&tier_report.to_json());
     out.push_str(",\"runtime_multi_tenant\":");
     out.push_str(&mt_report.to_json());
+    out.push_str(",\"sim_sweep\":");
+    out.push_str(&mega_report.to_json());
     out.push('}');
     out
 }
@@ -932,6 +1074,47 @@ fn check_baseline(
         }
     }
 
+    // The vectorized-engine preset: raw points/sec is machine-dependent, so
+    // the gate compares (a) the fast-over-exact speedup, a same-host ratio,
+    // against half the baseline's, and (b) per-core points/sec against a
+    // quarter of the baseline's — loose enough to absorb CI-runner
+    // generation differences, tight enough to catch the fast path silently
+    // degenerating to exact-engine cost.
+    let sim_sweep = |doc: &Value| -> Option<(f64, f64, f64)> {
+        let s = doc.get("sim_sweep")?;
+        Some((
+            s.get("points_per_sec").and_then(Value::as_f64)?,
+            s.get("threads").and_then(Value::as_f64)?.max(1.0),
+            s.get("speedup_vs_exact").and_then(Value::as_f64)?,
+        ))
+    };
+    if let Some((base_pps, base_threads, base_speedup)) = sim_sweep(&baseline) {
+        let Some((cur_pps, cur_threads, cur_speedup)) = sim_sweep(&current) else {
+            return Err(format!(
+                "sim_sweep: baseline {path} records the vectorized-engine \
+                 preset but this run did not produce one"
+            ));
+        };
+        if cur_speedup < base_speedup * 0.5 {
+            return Err(format!(
+                "sim_sweep: fast-over-exact speedup dropped {base_speedup:.1}x \
+                 -> {cur_speedup:.1}x (gate: half the baseline); the \
+                 vectorized engine regressed relative to the exact engine on \
+                 this very host — fix pipeline::fast or refresh the baseline"
+            ));
+        }
+        let base_norm = base_pps / base_threads;
+        let cur_norm = cur_pps / cur_threads;
+        if cur_norm < base_norm * 0.25 {
+            return Err(format!(
+                "sim_sweep: per-core sweep throughput dropped {base_norm:.0} \
+                 -> {cur_norm:.0} points/sec/core (gate: a quarter of the \
+                 baseline); sim_sweep_points_per_sec regressed beyond what \
+                 runner variance explains"
+            ));
+        }
+    }
+
     let current_points = index(&current);
     let mut regressions = Vec::new();
     let mut improvements = 0usize;
@@ -1058,6 +1241,7 @@ fn main() -> ExitCode {
         Ok(Command::WorkerSweep(cmd)) => run_worker_sweep_cmd(&cmd),
         Ok(Command::TierSweep(cmd)) => run_tier_sweep_cmd(&cmd),
         Ok(Command::MultiTenantSweep(cmd)) => run_multi_tenant_cmd(&cmd),
+        Ok(Command::MegaSweep(cmd)) => run_mega_sweep_cmd(&cmd),
         Ok(Command::Smoke(cmd)) => run_smoke(&cmd),
         Ok(Command::Validate(cmd)) => run_validate(&cmd),
         Err(msg) => Err(msg),
@@ -1172,6 +1356,77 @@ mod tests {
         assert_eq!(cmd.out.as_deref(), Some("mt.json"));
         assert!(parse_args(&args(&["sweep", MULTI_TENANT_NAME, "--serial"])).is_err());
         assert!(parse_args(&args(&["sweep", MULTI_TENANT_NAME, "--threads", "2"])).is_err());
+    }
+
+    #[test]
+    fn mega_sweep_is_routed_to_its_two_phase_harness() {
+        let Ok(Command::MegaSweep(cmd)) = parse_args(&args(&[
+            "sweep",
+            MEGA_SWEEP_NAME,
+            "--scale",
+            "8",
+            "--threads",
+            "2",
+            "--out",
+            "mega.json",
+        ])) else {
+            panic!("expected mega-sweep command");
+        };
+        assert_eq!(cmd.scale, 8);
+        assert_eq!(cmd.threads, 2);
+        assert_eq!(cmd.out.as_deref(), Some("mega.json"));
+        // Defaults: full grid, one thread per core.
+        let Ok(Command::MegaSweep(cmd)) = parse_args(&args(&["sweep", MEGA_SWEEP_NAME])) else {
+            panic!("expected mega-sweep command");
+        };
+        assert_eq!(cmd.scale, 1);
+        assert_eq!(cmd.threads, 0);
+        assert!(parse_args(&args(&["sweep", MEGA_SWEEP_NAME, "--serial"])).is_err());
+    }
+
+    #[test]
+    fn smoke_parses_refresh_baseline() {
+        let Ok(Command::Smoke(cmd)) = parse_args(&args(&["smoke", "--refresh-baseline"])) else {
+            panic!("expected smoke command");
+        };
+        assert!(cmd.refresh_baseline);
+        assert!(cmd.baseline.is_none(), "defaults to ci/bench_baseline.json");
+        let Ok(Command::Smoke(cmd)) = parse_args(&args(&["smoke"])) else {
+            panic!("expected smoke command");
+        };
+        assert!(!cmd.refresh_baseline);
+    }
+
+    #[test]
+    fn baseline_gate_normalizes_the_sim_sweep_throughput() {
+        let baseline = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[{"label":"a","steady_samples_per_sec":1000}]}],
+            "sim_sweep":{"points_per_sec":32000,"threads":4,"speedup_vs_exact":20.0}}"#;
+        let dir = std::env::temp_dir().join("dstool_sim_sweep_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, baseline).unwrap();
+        // Same numbers: passes.
+        check_baseline(path.to_str().unwrap(), baseline, 0.10, 8).unwrap();
+        // Fewer threads at proportional throughput: per-core rate unchanged,
+        // still passes — the gate is cores-normalized.
+        let fewer = baseline
+            .replace("32000", "8000")
+            .replace("\"threads\":4", "\"threads\":1");
+        check_baseline(path.to_str().unwrap(), &fewer, 0.10, 8).unwrap();
+        // Speedup collapsing below half the baseline is a hard failure.
+        let slow = baseline.replace("20.0", "6.0");
+        let err = check_baseline(path.to_str().unwrap(), &slow, 0.10, 8).unwrap_err();
+        assert!(err.contains("fast-over-exact speedup"), "{err}");
+        // Per-core throughput collapsing below a quarter is too.
+        let cold = baseline.replace("32000", "1000");
+        let err = check_baseline(path.to_str().unwrap(), &cold, 0.10, 8).unwrap_err();
+        assert!(err.contains("points/sec/core"), "{err}");
+        // A baseline that records the preset requires the run to produce it.
+        let missing = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[{"label":"a","steady_samples_per_sec":1000}]}]}"#;
+        let err = check_baseline(path.to_str().unwrap(), missing, 0.10, 8).unwrap_err();
+        assert!(err.contains("sim_sweep"), "{err}");
     }
 
     #[test]
