@@ -12,7 +12,7 @@
 //! not gated, because the simulator accounts pipelining overlap that a
 //! functional loader cannot observe.
 
-use coordl::{Mode, Session, SessionConfig, TenantHandle, TenantSpec};
+use coordl::{FetchBackend, FsBackend, Mode, Session, SessionConfig, TenantHandle, TenantSpec};
 use dataset::{DataSource, DatasetSpec, SyntheticItemStore};
 use dcache::PolicyKind;
 use pipeline::json::{write_f64, write_string};
@@ -22,6 +22,8 @@ use pipeline::{
 use prep::PrepBackend;
 use std::sync::Arc;
 use std::time::Duration;
+use storage::AccessPattern;
+use vfs::{MemVfs, Vfs};
 
 /// Shuffle seed shared by the simulator job and the runtime session, so both
 /// sweep identical per-epoch permutations.
@@ -563,6 +565,108 @@ fn run_churn_scenario(
     rows
 }
 
+/// Readahead window, in pages, of the fs-real scenario's backend.
+const FS_REAL_READAHEAD: u32 = 4;
+
+/// Real-bytes validation: the same single-job MinIO workload as
+/// `single-minio`, but the dataset is materialized as a page-aligned packed
+/// file on a deterministic in-memory VFS and every fetch is a real
+/// positional read through [`FsBackend`].  Three timing columns line up:
+/// the simulator's *predicted* fetch stall, the backend's *modelled* device
+/// seconds (the same profile arithmetic, charged per real read), and the
+/// *measured* wall-clock seconds those reads actually took.  The counter
+/// rows are gated like `single-minio`; the measured row is a one-sided
+/// wall-clock tripwire — real reads on an in-memory VFS must stay far below
+/// the modelled SSD, so only a pathological I/O path (or a stuck reader)
+/// trips it.
+fn run_fs_real_scenario(
+    cfg: &ValidationConfig,
+    spec: &DatasetSpec,
+    server: &ServerConfig,
+) -> Vec<ValidationRow> {
+    // --- Predicted: the simulator (identical to single-minio). -------------
+    let job = JobSpec::new(
+        gpu::ModelKind::ResNet18,
+        spec.clone(),
+        1,
+        LoaderConfig::coordl(PrepBackend::DaliCpu),
+    )
+    .with_seed(VALIDATION_SEED);
+    let sim = Experiment::on(server)
+        .job(job)
+        .scenario(Scenario::SingleServer)
+        .cache(CacheSpec::DramOnly)
+        .epochs(cfg.epochs)
+        .run();
+    let (p_hit, p_disk, p_stall, _) = sim_steady(&sim);
+
+    // --- Empirical: the runtime over real bytes on a VFS. ------------------
+    let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec.clone(), STORE_SEED));
+    let fs: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+    let backend = Arc::new(
+        FsBackend::new(Arc::clone(&fs), "data", store.as_ref(), FS_REAL_READAHEAD)
+            .expect("fs-real materialization must succeed")
+            .with_profile(server.device, AccessPattern::Random),
+    );
+    let session = Session::builder(
+        store,
+        SessionConfig {
+            batch_size: 64,
+            num_workers: 1,
+            seed: VALIDATION_SEED,
+            cache_capacity_bytes: server.dram_cache_bytes,
+            take_timeout: Duration::from_secs(30),
+            ..SessionConfig::default()
+        },
+    )
+    .mode(Mode::Single)
+    .cache_policy(PolicyKind::MinIo)
+    .fetch_backend(backend as Arc<dyn FetchBackend>)
+    .build()
+    .expect("valid fs-real session");
+    for epoch in 0..cfg.epochs {
+        let run = session.epoch(epoch);
+        for batch in run.stream(0) {
+            let _ = batch.expect("fs-real epoch should complete");
+        }
+    }
+    let report = session.report();
+    let tail = report.steady_epochs();
+    let hits: u64 = tail.iter().map(|e| e.cache_hits).sum();
+    let misses: u64 = tail.iter().map(|e| e.cache_misses).sum();
+
+    vec![
+        ValidationRow {
+            scenario: "fs-real",
+            metric: "steady_hit_ratio",
+            predicted: p_hit,
+            empirical: hits as f64 / (hits + misses).max(1) as f64,
+            gate: GateKind::Absolute,
+        },
+        ValidationRow {
+            scenario: "fs-real",
+            metric: "steady_disk_bytes",
+            predicted: p_disk,
+            empirical: report.steady_storage_bytes(),
+            gate: GateKind::Relative,
+        },
+        ValidationRow {
+            scenario: "fs-real",
+            metric: "steady_fetch_stall_vs_device_seconds",
+            predicted: p_stall,
+            empirical: report.steady_device_seconds(),
+            gate: GateKind::Informational,
+        },
+        ValidationRow {
+            scenario: "fs-real",
+            metric: "modelled_vs_measured_device_seconds",
+            predicted: report.device_seconds,
+            empirical: report.measured_device_seconds,
+            gate: CONSUMER_WAIT_GATE,
+        },
+    ]
+}
+
 /// Run the full predicted-vs-empirical comparison.
 pub fn run_validation(cfg: &ValidationConfig) -> ValidationReport {
     assert!(cfg.epochs >= 2, "need a warm-up plus one steady epoch");
@@ -648,6 +752,10 @@ pub fn run_validation(cfg: &ValidationConfig) -> ValidationReport {
     // multi-tenant server, against Scenario::ElasticCluster.
     rows.extend(run_churn_scenario(cfg, &spec, &server));
 
+    // Real bytes: the single-minio workload re-run through FsBackend on a
+    // VFS, adding the predicted / modelled / measured timing columns.
+    rows.extend(run_fs_real_scenario(cfg, &spec, &server));
+
     ValidationReport {
         config: cfg.clone(),
         rows,
@@ -674,9 +782,22 @@ mod tests {
         let report = run_validation(&small_config());
         assert_eq!(
             report.rows.len(),
-            23,
-            "4 rows for each flat scenario, 6 for the tiered one, 5 for churn"
+            27,
+            "4 rows for each flat scenario, 6 for the tiered one, 5 for \
+             churn, 4 for fs-real"
         );
+        let fs_real: Vec<_> = report
+            .rows
+            .iter()
+            .filter(|r| r.scenario == "fs-real")
+            .collect();
+        assert_eq!(fs_real.len(), 4);
+        let measured = fs_real
+            .iter()
+            .find(|r| r.metric == "modelled_vs_measured_device_seconds")
+            .expect("fs-real reports the measured column");
+        assert!(measured.predicted > 0.0, "modelled seconds accumulate");
+        assert!(measured.empirical > 0.0, "measured seconds accumulate");
         let failures: Vec<String> = report
             .failures()
             .iter()

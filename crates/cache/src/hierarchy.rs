@@ -94,6 +94,13 @@ pub struct ChainAccess {
     /// access (evicted from the last tier, or bypassed by every tier during
     /// demotion).  Byte-holding wrappers drop the payloads of these keys.
     pub dropped: Vec<u64>,
+    /// `(key, level)` landings of the demotion cascade: each victim a tier
+    /// accepted during demotion, with the level it now resides at.  A victim
+    /// re-evicted further down the same cascade appears once, at its final
+    /// landing (or in [`ChainAccess::dropped`] instead if it fell off).
+    /// Wrappers that place payloads by level — e.g. a file-backed SSD tier —
+    /// relocate these keys; memory-only wrappers can ignore the field.
+    pub demoted: Vec<(u64, usize)>,
 }
 
 /// Per-tier counters the chain maintains beyond the fetch-path
@@ -307,11 +314,12 @@ impl TierChain {
             self.sizes.insert(key, size);
         }
 
-        let dropped = self.demote(pending);
+        let (dropped, demoted) = self.demote(pending);
         ChainAccess {
             source: provenance.map_or(ChainSource::Store, ChainSource::Tier),
             admitted,
             dropped,
+            demoted,
         }
     }
 
@@ -351,11 +359,17 @@ impl TierChain {
     }
 
     /// Cascade `(level, victim)` demotions down the chain, returning the
-    /// keys that ended up resident nowhere.
-    fn demote(&mut self, pending: Vec<(usize, u64)>) -> Vec<u64> {
+    /// keys that ended up resident nowhere and the `(key, level)` landings
+    /// of victims some tier accepted (keep-last: a victim re-evicted within
+    /// the cascade keeps only its final landing).
+    fn demote(&mut self, pending: Vec<(usize, u64)>) -> (Vec<u64>, Vec<(u64, usize)>) {
         let mut queue: std::collections::VecDeque<(usize, u64)> = pending.into();
         let mut dropped = Vec::new();
+        let mut demoted: Vec<(u64, usize)> = Vec::new();
         while let Some((from, victim)) = queue.pop_front() {
+            // Whatever landing this victim had earlier in the cascade is
+            // stale: it is in flight again.
+            demoted.retain(|&(key, _)| key != victim);
             let next = from + 1;
             if next >= self.levels.len() {
                 // Fell off the chain; only drop the key if no other tier
@@ -374,6 +388,7 @@ impl TierChain {
                 AccessOutcome::Inserted => {
                     self.levels[from].demotions.demoted_out += 1;
                     self.levels[next].demotions.demoted_in += 1;
+                    demoted.push((victim, next));
                     for v in self.levels[next].cache.take_evicted() {
                         queue.push_back((next, v));
                     }
@@ -384,7 +399,7 @@ impl TierChain {
                 }
             }
         }
-        dropped
+        (dropped, demoted)
     }
 }
 
@@ -558,6 +573,28 @@ mod tests {
             dropped.extend(chain2.access(k, 1).dropped);
         }
         assert_eq!(dropped, vec![0, 1]);
+    }
+
+    #[test]
+    fn demotion_landings_are_reported_per_access_with_final_levels_only() {
+        let mut chain = TierChain::new(vec![
+            spec("dram", PolicyKind::Fifo, 2),
+            spec("ssd", PolicyKind::Fifo, 2),
+        ]);
+        // Filling DRAM causes no demotions yet.
+        assert!(chain.access(0, 1).demoted.is_empty());
+        assert!(chain.access(1, 1).demoted.is_empty());
+        // 2 evicts 0 from DRAM; 0 lands on the SSD tier.
+        assert_eq!(chain.access(2, 1).demoted, vec![(0, 1)]);
+        assert_eq!(chain.access(3, 1).demoted, vec![(1, 1)]);
+        // SSD is now full: 4 demotes 2, whose landing evicts 0 off the end.
+        let out = chain.access(4, 1);
+        assert_eq!(out.demoted, vec![(2, 1)]);
+        assert_eq!(out.dropped, vec![0]);
+        // A key dropped within the same cascade never reports a landing:
+        // byte-placing wrappers see each key exactly once per access.
+        let keys: Vec<u64> = out.demoted.iter().map(|&(k, _)| k).collect();
+        assert!(keys.iter().all(|k| !out.dropped.contains(k)));
     }
 
     #[test]

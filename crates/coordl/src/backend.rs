@@ -8,7 +8,15 @@
 //! busy time of every read, so a runtime session can report how long its
 //! storage traffic would have taken on a SATA SSD or a hard drive — the
 //! number `dstool validate` compares against the simulator's predictions.
+//! [`FsBackend`](crate::FsBackend) goes one step further and serves fetches
+//! from real files, recording *measured* wall-clock device seconds next to
+//! the modelled ones.
+//!
+//! A failed read (item out of range, missing or truncated file) surfaces as
+//! [`CoordlError::BackendIo`] rather than a panic, and propagates through
+//! the batch stream to the consumer that asked for the item.
 
+use crate::error::CoordlError;
 use dataset::{DataSource, ItemId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -22,8 +30,9 @@ pub trait FetchBackend: Send + Sync {
     /// Raw size of `item` in bytes, without reading it.
     fn item_bytes(&self, item: ItemId) -> u64;
 
-    /// Read the raw bytes of `item`.
-    fn read(&self, item: ItemId) -> Vec<u8>;
+    /// Read the raw bytes of `item`.  Out-of-range items and failed or
+    /// truncated reads are [`CoordlError::BackendIo`].
+    fn read(&self, item: ItemId) -> Result<Vec<u8>, CoordlError>;
 
     /// The device profile timing this backend, if any.
     fn profile(&self) -> Option<&DeviceProfile> {
@@ -36,8 +45,31 @@ pub trait FetchBackend: Send + Sync {
         0.0
     }
 
+    /// Cumulative *measured* wall-clock time spent inside real I/O, in
+    /// seconds (0 for backends that fabricate bytes in memory).
+    fn measured_seconds(&self) -> f64 {
+        0.0
+    }
+
     /// Short name used in reports.
     fn name(&self) -> &'static str;
+}
+
+/// The shared out-of-range check: every backend rejects items past the end
+/// of its dataset with the same typed error.
+pub(crate) fn check_item_in_range(
+    backend: &'static str,
+    item: ItemId,
+    num_items: u64,
+) -> Result<(), CoordlError> {
+    if item >= num_items {
+        return Err(CoordlError::BackendIo {
+            backend: backend.to_string(),
+            item,
+            detail: format!("item out of range (dataset has {num_items} items)"),
+        });
+    }
+    Ok(())
 }
 
 /// Reads items directly from a [`DataSource`] with no timing model.
@@ -61,8 +93,9 @@ impl FetchBackend for DirectBackend {
         self.source.item_bytes(item)
     }
 
-    fn read(&self, item: ItemId) -> Vec<u8> {
-        self.source.read(item)
+    fn read(&self, item: ItemId) -> Result<Vec<u8>, CoordlError> {
+        check_item_in_range(self.name(), item, self.source.len())?;
+        Ok(self.source.read(item))
     }
 
     fn name(&self) -> &'static str {
@@ -120,12 +153,13 @@ impl FetchBackend for ProfiledBackend {
         self.source.item_bytes(item)
     }
 
-    fn read(&self, item: ItemId) -> Vec<u8> {
+    fn read(&self, item: ItemId) -> Result<Vec<u8>, CoordlError> {
+        check_item_in_range(self.name(), item, self.source.len())?;
         let bytes = self.source.read(item);
         let secs = self.profile.read_seconds(bytes.len() as u64, self.pattern);
         self.busy_nanos
             .fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
-        bytes
+        Ok(bytes)
     }
 
     fn profile(&self) -> Option<&DeviceProfile> {
@@ -159,9 +193,37 @@ mod tests {
         let b = DirectBackend::new(Arc::clone(&src));
         assert_eq!(b.num_items(), 10);
         assert_eq!(b.item_bytes(3), 64);
-        assert_eq!(b.read(3), src.read(3));
+        assert_eq!(b.read(3).unwrap(), src.read(3));
         assert_eq!(b.device_seconds(), 0.0);
+        assert_eq!(b.measured_seconds(), 0.0);
         assert!(b.profile().is_none());
+    }
+
+    #[test]
+    fn out_of_range_items_are_typed_backend_errors() {
+        let direct = DirectBackend::new(store(10, 64));
+        match direct.read(10) {
+            Err(CoordlError::BackendIo {
+                backend,
+                item,
+                detail,
+            }) => {
+                assert_eq!(backend, "direct");
+                assert_eq!(item, 10);
+                assert!(detail.contains("out of range"));
+            }
+            other => panic!("expected BackendIo, got {other:?}"),
+        }
+        let profiled = ProfiledBackend::new(store(10, 64), DeviceProfile::hdd());
+        assert!(matches!(
+            profiled.read(u64::MAX),
+            Err(CoordlError::BackendIo { .. })
+        ));
+        assert_eq!(
+            profiled.device_seconds(),
+            0.0,
+            "failed reads charge nothing"
+        );
     }
 
     #[test]
@@ -169,7 +231,7 @@ mod tests {
         let src = store(4, 1_000_000);
         let b = ProfiledBackend::new(src, DeviceProfile::hdd());
         for i in 0..4 {
-            let _ = b.read(i);
+            let _ = b.read(i).unwrap();
         }
         let expected = 4.0 * DeviceProfile::hdd().read_seconds(1_000_000, AccessPattern::Random);
         assert!(
@@ -185,8 +247,8 @@ mod tests {
         let hdd = ProfiledBackend::new(store(8, 10_000), DeviceProfile::hdd());
         let ram = ProfiledBackend::new(store(8, 10_000), DeviceProfile::ramdisk());
         for i in 0..8 {
-            let _ = hdd.read(i);
-            let _ = ram.read(i);
+            let _ = hdd.read(i).unwrap();
+            let _ = ram.read(i).unwrap();
         }
         assert!(hdd.device_seconds() > 100.0 * ram.device_seconds());
     }

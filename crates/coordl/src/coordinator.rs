@@ -292,7 +292,16 @@ fn spawn_recovery_thread(
             let my_batches = &shards[shard];
             let num_jobs = shards.len();
             for (index, items) in my_batches.iter().skip(from) {
-                let samples = stack.prepare(epoch, items);
+                let samples = match stack.prepare(epoch, items) {
+                    Ok(samples) => samples,
+                    Err(err) => {
+                        // A typed backend failure during recovery surfaces
+                        // like a recovery panic: recorded once, consumers
+                        // see the real cause.
+                        shared.record_error(err);
+                        return;
+                    }
+                };
                 let outcome = staging.publish(Minibatch {
                     epoch,
                     index: *index,

@@ -27,6 +27,18 @@ pub enum CoordlError {
         /// The panic payload, when it was a string.
         detail: String,
     },
+    /// A fetch backend failed to produce an item's bytes: the item is out
+    /// of range, its file is missing, or the read came back truncated.
+    /// Surfaced through the batch stream instead of panicking the fetch
+    /// thread, so a consumer sees *which* read failed and why.
+    BackendIo {
+        /// The backend's reported name (`"direct"`, `"fs"`, a profile name).
+        backend: String,
+        /// The item whose read failed.
+        item: u64,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoordlError {
@@ -42,6 +54,13 @@ impl fmt::Display for CoordlError {
             CoordlError::Shutdown => write!(f, "staging area shut down"),
             CoordlError::WorkerPanicked { stage, detail } => {
                 write!(f, "loader {stage} worker panicked: {detail}")
+            }
+            CoordlError::BackendIo {
+                backend,
+                item,
+                detail,
+            } => {
+                write!(f, "backend {backend} failed reading item {item}: {detail}")
             }
         }
     }
@@ -68,6 +87,13 @@ mod tests {
         };
         let s = p.to_string();
         assert!(s.contains("prep") && s.contains("boom") && s.contains("panicked"));
+        let io = CoordlError::BackendIo {
+            backend: "fs".into(),
+            item: 42,
+            detail: "truncated".into(),
+        };
+        let s = io.to_string();
+        assert!(s.contains("fs") && s.contains("42") && s.contains("truncated"));
     }
 
     #[test]

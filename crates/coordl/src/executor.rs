@@ -53,7 +53,9 @@ use std::time::Instant;
 
 /// How raw bytes for one item are obtained (tier → backend for single and
 /// coordinated sessions, cluster lookup order for partitioned nodes).
-pub(crate) type FetchFn = dyn Fn(ItemId) -> Arc<Vec<u8>> + Send + Sync;
+/// A typed `Err` (a failed backend read) ends the epoch early and surfaces
+/// through the stream, unlike a panic, which is caught and wrapped.
+pub(crate) type FetchFn = dyn Fn(ItemId) -> Result<Arc<Vec<u8>>, CoordlError> + Send + Sync;
 
 /// Batch-index filter: `true` drops the batch before fetch and prep
 /// (coordinated failure injection).
@@ -107,6 +109,15 @@ impl ExecutorShared {
     /// Record a recovery-producer panic (coordinated mode's failure path).
     pub(crate) fn record_recovery_panic(&self, payload: Box<dyn std::any::Any + Send>) {
         self.record_panic("recovery", payload);
+    }
+
+    /// Record the first typed error (e.g. a failed backend read); later
+    /// ones are dropped, like later panics.
+    pub(crate) fn record_error(&self, err: CoordlError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
     }
 
     /// The recorded failure, if any worker panicked.
@@ -233,8 +244,18 @@ fn spawn_fetch_thread(
                     continue;
                 }
                 let busy = Instant::now();
-                let raw: Vec<Arc<Vec<u8>>> = items.iter().map(|&item| fetch(item)).collect();
+                let fetched: Result<Vec<Arc<Vec<u8>>>, CoordlError> =
+                    items.iter().map(|&item| fetch(item)).collect();
                 stats.record_fetch_busy(busy.elapsed());
+                let raw = match fetched {
+                    Ok(raw) => raw,
+                    Err(err) => {
+                        // A typed fetch failure ends the epoch exactly like
+                        // a panic would, but with the real cause attached.
+                        shared.record_error(err);
+                        break;
+                    }
+                };
                 let stall = Instant::now();
                 let sent = raw_tx.send(RawBatch { index, items, raw });
                 stats.record_fetch_stall(stall.elapsed());
@@ -414,7 +435,7 @@ mod tests {
     }
 
     fn byte_fetch() -> Arc<FetchFn> {
-        Arc::new(|item: ItemId| Arc::new(vec![item as u8; 16]))
+        Arc::new(|item: ItemId| Ok(Arc::new(vec![item as u8; 16])))
     }
 
     fn pipeline() -> Arc<ExecutablePipeline> {
@@ -457,7 +478,7 @@ mod tests {
             let seen2 = Arc::clone(&seen);
             let fetch: Arc<FetchFn> = Arc::new(move |item| {
                 seen2.lock().push(item);
-                Arc::new(vec![0u8; 8])
+                Ok(Arc::new(vec![0u8; 8]))
             });
             let stream = spawn_ordered_epoch(
                 0,
@@ -500,7 +521,7 @@ mod tests {
             if item == 7 {
                 panic!("injected fetch failure for item {item}");
             }
-            Arc::new(vec![1u8; 8])
+            Ok(Arc::new(vec![1u8; 8]))
         });
         let mut stream = spawn_ordered_epoch(
             0,
@@ -530,7 +551,7 @@ mod tests {
         let f2 = Arc::clone(&fetched);
         let fetch: Arc<FetchFn> = Arc::new(move |_| {
             f2.fetch_add(1, Ordering::SeqCst);
-            Arc::new(vec![0u8; 4])
+            Ok(Arc::new(vec![0u8; 4]))
         });
         let (out_tx, out_rx) = bounded::<Minibatch>(16);
         let stats = Arc::new(LoaderStats::default());

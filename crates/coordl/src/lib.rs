@@ -44,6 +44,7 @@ pub mod cache;
 pub mod coordinator;
 pub mod error;
 pub(crate) mod executor;
+pub mod fsbackend;
 pub mod minibatch;
 pub mod partition;
 pub mod report;
@@ -58,6 +59,7 @@ pub use backend::{DirectBackend, FetchBackend, ProfiledBackend};
 pub use cache::MinIoByteCache;
 pub use coordinator::{EpochSession, JobEpochIterator};
 pub use error::CoordlError;
+pub use fsbackend::FsBackend;
 pub use minibatch::Minibatch;
 pub use partition::{FetchOrigin, PartitionStats, PartitionedCacheCluster, RemotePeerTier};
 pub use report::{EpochTrajectory, LoaderReport, TenantReport};
@@ -65,4 +67,6 @@ pub use server::{Server, ServerConfig, TenantHandle, TenantSpec, TenantView};
 pub use session::{BatchStream, EpochRun, Mode, Session, SessionBuilder, SessionConfig};
 pub use staging::{PublishOutcome, StagingArea, StagingStats, TakeError};
 pub use stats::LoaderStats;
-pub use tier::{ByteTierSpec, CacheTier, PolicyByteCache, TierSnapshot, TieredByteCache};
+pub use tier::{
+    ByteTierSpec, CacheTier, PolicyByteCache, TierBacking, TierSnapshot, TieredByteCache,
+};

@@ -15,6 +15,7 @@
 //! peer caches as one intermediate [`CacheTier`] between a node's local
 //! chain and the durable store.
 
+use crate::error::CoordlError;
 use crate::stats::LoaderStats;
 use crate::{CacheTier, FetchBackend};
 use dataset::ItemId;
@@ -137,7 +138,12 @@ impl PartitionedCacheCluster {
 
     /// Fetch `item` on behalf of `server`, following the CoorDL lookup order:
     /// local cache tier → remote peer tier (via the directory) → backend.
-    pub fn fetch(&self, server: usize, item: ItemId) -> (Arc<Vec<u8>>, FetchOrigin) {
+    /// A failed backend read is a typed [`CoordlError::BackendIo`].
+    pub fn fetch(
+        &self,
+        server: usize,
+        item: ItemId,
+    ) -> Result<(Arc<Vec<u8>>, FetchOrigin), CoordlError> {
         // 1. Local cache chain.
         {
             let servers = self.servers.read();
@@ -150,7 +156,7 @@ impl PartitionedCacheCluster {
                 if level > 0 {
                     self.loader_stats.record_lower_tier_read(bytes.len() as u64);
                 }
-                return (bytes, FetchOrigin::LocalCache);
+                return Ok((bytes, FetchOrigin::LocalCache));
             }
         }
         // 2. The remote peer tier: the directory resolves the owner, the
@@ -162,10 +168,10 @@ impl PartitionedCacheCluster {
             servers[server].stats.remote_bytes_in += bytes.len() as u64;
             servers[peer].stats.remote_bytes_out += bytes.len() as u64;
             self.loader_stats.record_remote_read(bytes.len() as u64);
-            return (bytes, FetchOrigin::RemoteCache(peer));
+            return Ok((bytes, FetchOrigin::RemoteCache(peer)));
         }
         // 3. Backend: read locally, admit into the local tier and register.
-        let bytes = Arc::new(self.backend.read(item));
+        let bytes = Arc::new(self.backend.read(item)?);
         let size = bytes.len() as u64;
         let admitted;
         {
@@ -183,7 +189,7 @@ impl PartitionedCacheCluster {
             servers[server].stats.storage_bytes += size;
         }
         self.loader_stats.record_storage_read(size);
-        (bytes, FetchOrigin::Storage)
+        Ok((bytes, FetchOrigin::Storage))
     }
 
     /// Total bytes read from storage across the cluster.
@@ -331,7 +337,7 @@ mod tests {
         let sampler = EpochSampler::new(n, 42);
         for s in 0..servers {
             for item in sampler.distributed_shard(epoch, s, servers) {
-                let (bytes, _) = cluster.fetch(s, item);
+                let (bytes, _) = cluster.fetch(s, item).unwrap();
                 assert!(!bytes.is_empty());
             }
         }
@@ -378,8 +384,8 @@ mod tests {
         let cluster = minio_cluster(Arc::clone(&ds) as Arc<dyn DataSource>, 2, 64 * 50);
         run_epoch(&cluster, n, 0, 2);
         for item in 0..n {
-            let (a, _) = cluster.fetch(0, item);
-            let (b, _) = cluster.fetch(1, item);
+            let (a, _) = cluster.fetch(0, item).unwrap();
+            let (b, _) = cluster.fetch(1, item).unwrap();
             assert_eq!(a.as_slice(), ds.read(item).as_slice());
             assert_eq!(a, b);
         }
@@ -430,7 +436,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let sampler = EpochSampler::new(n, 42);
                 for item in sampler.distributed_shard(1, s, 4) {
-                    let (bytes, origin) = cluster.fetch(s, item);
+                    let (bytes, origin) = cluster.fetch(s, item).unwrap();
                     assert!(!bytes.is_empty());
                     assert_ne!(origin, FetchOrigin::Storage, "fully cached after warm-up");
                 }

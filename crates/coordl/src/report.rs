@@ -153,6 +153,11 @@ pub struct LoaderReport {
     pub lower_tier_hits: u64,
     /// Cumulative modelled device busy seconds.
     pub device_seconds: f64,
+    /// Cumulative *measured* wall-clock seconds the backend spent in real
+    /// I/O (0 for purely modelled backends; nonzero with
+    /// [`FsBackend`](crate::FsBackend), which reports both so modelled and
+    /// measured time can be compared side by side).
+    pub measured_device_seconds: f64,
     /// Cumulative wall seconds the fetch stage spent reading.
     pub fetch_busy_seconds: f64,
     /// Cumulative wall seconds the fetch stage spent blocked on prep
@@ -303,6 +308,8 @@ impl LoaderReport {
         out.push_str(&self.samples_delivered.to_string());
         out.push_str(",\"device_seconds\":");
         write_f64(&mut out, self.device_seconds);
+        out.push_str(",\"measured_device_seconds\":");
+        write_f64(&mut out, self.measured_device_seconds);
         out.push_str(",\"fetch_busy_seconds\":");
         write_f64(&mut out, self.fetch_busy_seconds);
         out.push_str(",\"fetch_stall_seconds\":");
@@ -404,6 +411,7 @@ mod tests {
             cache_misses: 10,
             lower_tier_hits: 0,
             device_seconds: 0.5,
+            measured_device_seconds: 0.01,
             fetch_busy_seconds: 0.2,
             fetch_stall_seconds: 0.05,
             prep_busy_seconds: 1.5,

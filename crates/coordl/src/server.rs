@@ -35,7 +35,7 @@
 use crate::error::CoordlError;
 use crate::report::{LoaderReport, TenantReport};
 use crate::session::{Mode, Session, SessionConfig};
-use crate::tier::{intern_label, ByteTierSpec, CacheTier, TierSnapshot};
+use crate::tier::{intern_label, ByteTierSpec, CacheTier, TierBacking, TierSnapshot};
 use dataset::{DataSource, ItemId};
 use dcache::{ChainSource, PolicyKind, ShardedChain, TierCost};
 use parking_lot::Mutex;
@@ -43,6 +43,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use storage::{AccessPattern, DeviceProfile};
+use vfs::SpillStore;
 
 /// Each tenant's keys live in a private `KEY_STRIDE`-sized window of the
 /// shared `u64` key space, so tenants can never collide on a chain key and a
@@ -138,6 +139,11 @@ struct ServerCore {
     specs: Vec<ByteTierSpec>,
     /// Modelled per-hit cost of each profiled level (`None` for DRAM).
     costs: Vec<Option<TierCost>>,
+    /// Durable shadow of each [`TierBacking::Vfs`] level's resident set
+    /// (`None` for memory-backed levels).  Locked strictly after the
+    /// payload shard, tenant counters and chain shard, so the fetch path's
+    /// lock order is never inverted.
+    spills: Vec<Option<Mutex<SpillStore>>>,
     /// Hierarchy label, following `TieredByteCache`'s naming exactly so a
     /// one-tenant server reports the same `cache_policy`.
     label: &'static str,
@@ -201,6 +207,21 @@ impl TenantView {
         }
         counters.total_bytes += size;
     }
+
+    /// Mirror an admission that landed in a persistent level into that
+    /// level's spill store.  A no-op for memory-backed landings (the common
+    /// DRAM case), so purely in-memory servers never touch a spill lock.
+    fn record_spill(&self, key: u64, bytes: &[u8]) {
+        let Some(level) = self.core.chain.locate(key) else {
+            return;
+        };
+        if let Some(spill) = &self.core.spills[level] {
+            spill
+                .lock()
+                .write(key, bytes)
+                .expect("spill write failed on admission");
+        }
+    }
 }
 
 impl CacheTier for TenantView {
@@ -228,6 +249,7 @@ impl CacheTier for TenantView {
         if access.admitted {
             // A hit below DRAM was promoted: one more resident copy.
             self.record_admission(&mut counters, key, size);
+            self.record_spill(key, &bytes);
         }
         counters.level_hits[level] += 1;
         for miss in &mut counters.level_misses[..level] {
@@ -260,6 +282,7 @@ impl CacheTier for TenantView {
             self.record_admission(&mut counters, key, size);
             counters.resident_items += 1;
             payload.insert(key, Arc::clone(&bytes));
+            self.record_spill(key, &bytes);
         }
         bytes
     }
@@ -350,9 +373,52 @@ impl Server {
         }
         let chain_specs = config.tiers.iter().map(ByteTierSpec::tier_spec).collect();
         let chain = ShardedChain::new(chain_specs, config.shards);
-        let payloads = (0..config.shards)
+        let payloads: Vec<Mutex<HashMap<u64, Arc<Vec<u8>>>>> = (0..config.shards)
             .map(|_| Mutex::new(HashMap::new()))
             .collect();
+        // Open every persistent level's spill store and warm the shared
+        // hierarchy from its manifest: each recorded key is re-offered at
+        // its own level (the floor keeps it out of faster tiers) and its
+        // payload read back into the co-sharded payload map.  Keys carry
+        // their original tenant-window offsets, and tenant ids restart from
+        // zero, so a resubmitted workload lines up with its warmed window.
+        // Warmed bytes are not charged to any tenant's quota until that
+        // tenant touches them (a DRAM promotion is accounted as usual).
+        let mut spills = Vec::with_capacity(config.tiers.len());
+        for (level, tier) in config.tiers.iter().enumerate() {
+            match &tier.backing {
+                TierBacking::Memory => spills.push(None),
+                TierBacking::Vfs { vfs, dir } => {
+                    let mut spill = SpillStore::open(Arc::clone(vfs), dir).map_err(|e| {
+                        CoordlError::InvalidConfig(format!(
+                            "persistent tier {:?} failed to open {dir}: {e}",
+                            tier.name
+                        ))
+                    })?;
+                    for (key, len) in spill.entries().collect::<Vec<_>>() {
+                        let access = chain.access_with_floor(key, len, level);
+                        if access.admitted {
+                            let payload = spill.read(key).map_err(|e| {
+                                CoordlError::InvalidConfig(format!(
+                                    "persistent tier {:?} failed replaying item {key}: {e}",
+                                    tier.name
+                                ))
+                            })?;
+                            payloads[chain.shard_of(key)]
+                                .lock()
+                                .insert(key, Arc::new(payload));
+                        } else {
+                            // The level shrank across the restart: the entry
+                            // no longer fits, so retire its on-disk copy.
+                            let _ = spill.remove(key);
+                        }
+                    }
+                    spills.push(Some(Mutex::new(spill)));
+                }
+            }
+        }
+        // Warm contents, cold statistics.
+        chain.reset_stats();
         let costs = config
             .tiers
             .iter()
@@ -383,6 +449,7 @@ impl Server {
                     payloads,
                     specs: config.tiers,
                     costs,
+                    spills,
                     label,
                 }),
                 registry: Mutex::new(Vec::new()),
@@ -573,6 +640,15 @@ impl Drop for TenantHandle {
             for key in keys {
                 payload.remove(&key);
                 self.inner.core.chain.remove(key);
+                // A clean departure retires the tenant's persisted copies
+                // too; only a crash (no drop) leaves the manifest behind
+                // for the next server to warm from.
+                for spill in self.inner.core.spills.iter().flatten() {
+                    let mut spill = spill.lock();
+                    if spill.contains(key) {
+                        let _ = spill.remove(key);
+                    }
+                }
             }
         }
         let mut counters = self.tenant.counters.lock();
@@ -717,6 +793,54 @@ mod tests {
         let stats = t.session().stats();
         assert_eq!(stats.bytes_from_cache(), 0);
         assert!(stats.bytes_from_storage() > 0);
+    }
+
+    #[test]
+    fn persistent_ssd_tier_survives_a_crashed_server() {
+        use vfs::{MemVfs, Vfs};
+        let fs: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let tiers = |fs: &Arc<dyn Vfs>| {
+            vec![
+                ByteTierSpec::dram(PolicyKind::MinIo, 1 << 20),
+                ByteTierSpec::sata_ssd(PolicyKind::MinIo, 1 << 20)
+                    .persistent(Arc::clone(fs), "srv-ssd"),
+            ]
+        };
+        let server = Server::new(ServerConfig {
+            tiers: tiers(&fs),
+            shards: 2,
+        })
+        .unwrap();
+        // Zero DRAM quota: every admission lands in the persistent SSD level.
+        let tenant = server.submit(spec("cold", 16, 0)).unwrap();
+        run_epochs(&tenant, 1);
+        assert!(tenant.resident_bytes() > 0);
+        assert_eq!(server.dram_used_bytes(), 0);
+        // Crash: the handle is leaked (no departure cleanup runs) and the
+        // server is dropped with the SSD manifest still on the VFS.
+        std::mem::forget(tenant);
+        drop(server);
+        let server = Server::new(ServerConfig {
+            tiers: tiers(&fs),
+            shards: 2,
+        })
+        .unwrap();
+        assert_eq!(server.resident_items(), 16, "SSD tier warmed from disk");
+        assert_eq!(server.dram_used_bytes(), 0);
+        // Tenant ids restart from zero, so the resubmitted workload lands in
+        // its old key window and every fetch hits the warmed tier.
+        let tenant = server.submit(spec("cold", 16, 0)).unwrap();
+        run_epochs(&tenant, 1);
+        assert_eq!(tenant.session().stats().bytes_from_storage(), 0);
+        assert!(tenant.session().stats().bytes_from_cache() > 0);
+        // A clean departure retires the persisted copies.
+        tenant.depart();
+        let server2 = Server::new(ServerConfig {
+            tiers: tiers(&fs),
+            shards: 2,
+        })
+        .unwrap();
+        assert_eq!(server2.resident_items(), 0, "departure cleared the spill");
     }
 
     #[test]

@@ -567,6 +567,7 @@ impl Session {
             cache_misses: snap.misses,
             lower_tier_hits: snap.lower_tier_hits,
             device_seconds: snap.device_seconds,
+            measured_device_seconds: snap.measured_device_seconds,
             fetch_busy_seconds: snap.fetch_busy_seconds,
             fetch_stall_seconds: snap.fetch_stall_seconds,
             prep_busy_seconds: snap.prep_busy_seconds,
@@ -608,6 +609,7 @@ impl Session {
             hits,
             misses,
             device_seconds: self.backend.device_seconds(),
+            measured_device_seconds: self.backend.measured_seconds(),
             fetch_busy_seconds: self.stats.fetch_busy_seconds(),
             fetch_stall_seconds: self.stats.fetch_stall_seconds(),
             prep_busy_seconds: self.stats.prep_busy_seconds(),
@@ -655,6 +657,7 @@ struct CounterSnapshot {
     misses: u64,
     lower_tier_hits: u64,
     device_seconds: f64,
+    measured_device_seconds: f64,
     fetch_busy_seconds: f64,
     fetch_stall_seconds: f64,
     prep_busy_seconds: f64,
@@ -742,7 +745,8 @@ impl EpochRun<'_> {
                 // worker count.
                 let cluster = Arc::clone(cluster);
                 let node = job;
-                let fetch: Arc<FetchFn> = Arc::new(move |item| cluster.fetch(node, item).0);
+                let fetch: Arc<FetchFn> =
+                    Arc::new(move |item| cluster.fetch(node, item).map(|(bytes, _)| bytes));
                 let stream = spawn_ordered_epoch(
                     self.epoch,
                     batches,
@@ -1142,6 +1146,72 @@ mod tests {
             .cache_tier(Arc::new(MinIoByteCache::new(10)))
             .build();
         assert!(matches!(bad, Err(CoordlError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn backend_read_failures_surface_through_the_batch_stream() {
+        use crate::{DirectBackend, FsBackend, ProfiledBackend};
+        use storage::DeviceProfile;
+        use vfs::{MemVfs, Vfs};
+        // A dataset of 32 items served by backends that only materialized
+        // 24: the epoch's tail items are missing, and each of the three
+        // backends must surface one typed BackendIo through the stream
+        // instead of panicking a worker thread.
+        let dataset = store(32, 256);
+        let small = store(24, 256);
+        let fs_vfs: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let backends: Vec<(Arc<dyn FetchBackend>, &str)> = vec![
+            (Arc::new(DirectBackend::new(Arc::clone(&small))), "direct"),
+            (
+                Arc::new(ProfiledBackend::new(
+                    Arc::clone(&small),
+                    DeviceProfile::sata_ssd(),
+                )),
+                "profiled",
+            ),
+            (
+                Arc::new(
+                    FsBackend::new(fs_vfs, "data", small.as_ref(), 2)
+                        .expect("materialization succeeds"),
+                ),
+                "fs",
+            ),
+        ];
+        for (backend, name) in backends {
+            let reported = backend.name();
+            let session = Session::builder(Arc::clone(&dataset), config(8, 1 << 22))
+                .fetch_backend(backend)
+                .build()
+                .unwrap();
+            let run = session.epoch(0);
+            let mut delivered = 0usize;
+            let mut failure = None;
+            for batch in run.stream(0) {
+                match batch {
+                    Ok(mb) => delivered += mb.len(),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            match failure {
+                Some(CoordlError::BackendIo {
+                    backend: b,
+                    item,
+                    detail,
+                }) => {
+                    assert_eq!(b, reported, "{name}: error names the backend that failed");
+                    assert!(item >= 24, "{name}: item {item} is one of the missing ones");
+                    assert!(detail.contains("out of range"), "{name}: {detail}");
+                }
+                other => panic!("{name}: expected BackendIo through the stream, got {other:?}"),
+            }
+            assert!(
+                delivered < 32,
+                "{name}: the epoch must not claim full delivery"
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! fetch *does*) and the single-job entry point `Mode::Single` sessions run
 //! on.
 
+use crate::error::CoordlError;
 use crate::executor::{spawn_ordered_epoch, FetchFn, OrderedStream};
 use crate::stats::LoaderStats;
 use crate::{CacheTier, FetchBackend};
@@ -27,28 +28,33 @@ pub(crate) struct LoaderStack {
 
 impl LoaderStack {
     /// Fetch `item` through the tier, reading from the backend on a miss.
-    pub(crate) fn fetch(&self, item: ItemId) -> Arc<Vec<u8>> {
+    /// A failed backend read surfaces as [`CoordlError::BackendIo`].
+    pub(crate) fn fetch(&self, item: ItemId) -> Result<Arc<Vec<u8>>, CoordlError> {
         if let Some((bytes, level)) = self.tier.lookup_traced(item) {
             self.stats.record_cache_read(bytes.len() as u64);
             if level > 0 {
                 self.stats.record_lower_tier_read(bytes.len() as u64);
             }
-            return bytes;
+            return Ok(bytes);
         }
-        let bytes = Arc::new(self.backend.read(item));
+        let bytes = Arc::new(self.backend.read(item)?);
         self.stats.record_storage_read(bytes.len() as u64);
-        self.tier.admit(item, bytes)
+        Ok(self.tier.admit(item, bytes))
     }
 
     /// Fetch and pre-process one minibatch's items in order (the sequential
     /// path used by coordinated recovery producers).
-    pub(crate) fn prepare(&self, epoch: u64, items: &[ItemId]) -> Vec<PreparedSample> {
+    pub(crate) fn prepare(
+        &self,
+        epoch: u64,
+        items: &[ItemId],
+    ) -> Result<Vec<PreparedSample>, CoordlError> {
         items
             .iter()
             .map(|&item| {
-                let raw = self.fetch(item);
+                let raw = self.fetch(item)?;
                 self.stats.record_prepared(1);
-                self.pipeline.prepare(epoch, item, &raw)
+                Ok(self.pipeline.prepare(epoch, item, &raw))
             })
             .collect()
     }

@@ -16,12 +16,14 @@
 //!   simulator's [`storage::StorageNode`] uses.
 
 use crate::cache::MinIoByteCache;
+use crate::error::CoordlError;
 use dataset::ItemId;
-use dcache::{build_cache, AccessOutcome, Cache, PolicyKind, TierChain, TierSpec};
+use dcache::{build_cache, AccessOutcome, Cache, ChainAccess, PolicyKind, TierChain, TierSpec};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use storage::{AccessPattern, DeviceProfile};
+use vfs::{SpillStore, Vfs};
 
 /// A thread-safe byte cache tier keyed by item id.
 ///
@@ -259,8 +261,59 @@ impl CacheTier for PolicyByteCache {
 // Tiered byte cache: a TierChain holding real payloads
 // ---------------------------------------------------------------------------
 
+/// Where a [`TieredByteCache`] level keeps its payloads.
+///
+/// `Memory` (the default) holds everything in the shared in-memory payload
+/// map — the behaviour every existing digest was produced with.  `Vfs`
+/// additionally persists the level's resident set through a
+/// [`SpillStore`] under a VFS directory: demoted victims landing at the
+/// level are written to files, and a later cache built over the same VFS
+/// root warms the level back up from the manifest — the persistent-SSD
+/// restart story.
+#[derive(Clone)]
+pub enum TierBacking {
+    /// Payloads live only in memory (the default; zero behaviour change).
+    Memory,
+    /// Payloads resident at this level are mirrored to files under `dir`
+    /// of `vfs`, and replayed into the level on construction.
+    Vfs {
+        /// The filesystem the level persists through.
+        vfs: Arc<dyn Vfs>,
+        /// Directory (within the VFS namespace) owned by this level.
+        dir: String,
+    },
+}
+
+impl TierBacking {
+    /// Whether this is the in-memory backing.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, TierBacking::Memory)
+    }
+}
+
+impl std::fmt::Debug for TierBacking {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TierBacking::Memory => write!(f, "Memory"),
+            TierBacking::Vfs { vfs, dir } => write!(f, "Vfs({}:{dir})", vfs.name()),
+        }
+    }
+}
+
+impl PartialEq for TierBacking {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (TierBacking::Memory, TierBacking::Memory) => true,
+            (TierBacking::Vfs { vfs: a, dir: da }, TierBacking::Vfs { vfs: b, dir: db }) => {
+                Arc::ptr_eq(a, b) && da == db
+            }
+            _ => false,
+        }
+    }
+}
+
 /// Description of one level of a [`TieredByteCache`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ByteTierSpec {
     /// Level name used in reports (`"dram"`, `"ssd"`, ...).
     pub name: &'static str,
@@ -272,6 +325,8 @@ pub struct ByteTierSpec {
     /// bandwidth), `Some(profile)` for a real device whose modelled busy
     /// time is accounted per hit (random small-item reads).
     pub profile: Option<DeviceProfile>,
+    /// Where the level's payloads live (see [`TierBacking`]).
+    pub backing: TierBacking,
 }
 
 impl ByteTierSpec {
@@ -282,6 +337,7 @@ impl ByteTierSpec {
             policy,
             capacity_bytes,
             profile: None,
+            backing: TierBacking::Memory,
         }
     }
 
@@ -293,7 +349,19 @@ impl ByteTierSpec {
             policy,
             capacity_bytes,
             profile: Some(DeviceProfile::sata_ssd()),
+            backing: TierBacking::Memory,
         }
+    }
+
+    /// Persist this level through `dir` of `vfs`: spilled victims land in
+    /// files and a rebuilt cache over the same VFS warms the level from the
+    /// on-disk manifest.
+    pub fn persistent(mut self, vfs: Arc<dyn Vfs>, dir: impl Into<String>) -> Self {
+        self.backing = TierBacking::Vfs {
+            vfs,
+            dir: dir.into(),
+        };
+        self
     }
 
     pub(crate) fn tier_spec(&self) -> TierSpec {
@@ -338,6 +406,36 @@ struct TieredInner {
     misses: u64,
     /// Modelled per-level device busy seconds across all hits.
     level_seconds: Vec<f64>,
+    /// Per-level durable mirror (`Some` only for `TierBacking::Vfs` levels).
+    spills: Vec<Option<SpillStore>>,
+}
+
+impl TieredInner {
+    /// Mirror a chain access's demotion landings and drops into the durable
+    /// per-level stores.  A no-op when every level is memory-backed.
+    fn reconcile_spills(&mut self, access: &ChainAccess) {
+        if self.spills.iter().all(Option::is_none) {
+            return;
+        }
+        let TieredInner { bytes, spills, .. } = self;
+        for &(key, level) in &access.demoted {
+            if let Some(spill) = &mut spills[level] {
+                let payload = bytes
+                    .get(&key)
+                    .expect("demoted key must have a resident payload");
+                spill
+                    .write(key, payload)
+                    .expect("spill write failed on demotion");
+            }
+            // Stale copies at other persistent levels are dropped lazily:
+            // removing here would fight the promotion-keeps-lower-copy rule.
+        }
+        for &key in &access.dropped {
+            for spill in spills.iter_mut().flatten() {
+                spill.remove(key).expect("spill remove failed on drop");
+            }
+        }
+    }
 }
 
 /// A byte-holding cache-tier *hierarchy*: a `dcache::TierChain` decides
@@ -358,10 +456,55 @@ impl TieredByteCache {
     /// Build a hierarchy from `specs`, ordered fastest (level 0) first.
     ///
     /// # Panics
-    /// Panics when `specs` is empty.
+    /// Panics when `specs` is empty or a persistent level's VFS fails.
     pub fn new(specs: Vec<ByteTierSpec>) -> Self {
+        Self::try_new(specs).expect("tier construction failed")
+    }
+
+    /// Like [`TieredByteCache::new`], surfacing persistent-level VFS
+    /// failures as [`CoordlError::InvalidConfig`] instead of panicking.
+    ///
+    /// Levels with [`TierBacking::Vfs`] open their [`SpillStore`] here and
+    /// replay the on-disk manifest: every recorded key is re-offered to the
+    /// chain at that level (admission floor pins it below faster tiers) with
+    /// its payload read back from disk, then all statistics are reset — a
+    /// restarted cache starts warm but with clean counters.
+    pub fn try_new(specs: Vec<ByteTierSpec>) -> Result<Self, CoordlError> {
         assert!(!specs.is_empty(), "need at least one tier");
-        let chain = TierChain::new(specs.iter().map(ByteTierSpec::tier_spec).collect());
+        let mut chain = TierChain::new(specs.iter().map(ByteTierSpec::tier_spec).collect());
+        let mut bytes = HashMap::new();
+        let mut spills = Vec::with_capacity(specs.len());
+        for (level, spec) in specs.iter().enumerate() {
+            match &spec.backing {
+                TierBacking::Memory => spills.push(None),
+                TierBacking::Vfs { vfs, dir } => {
+                    let spill = SpillStore::open(Arc::clone(vfs), dir).map_err(|e| {
+                        CoordlError::InvalidConfig(format!(
+                            "persistent tier {:?} failed to open {dir}: {e}",
+                            spec.name
+                        ))
+                    })?;
+                    // Warm-up: repopulate this level from the manifest, in
+                    // key order (deterministic).  The floor keeps replayed
+                    // keys out of the faster levels above.
+                    for (key, len) in spill.entries().collect::<Vec<_>>() {
+                        let access = chain.access_with_floor(key, len, level);
+                        if access.admitted {
+                            let payload = spill.read(key).map_err(|e| {
+                                CoordlError::InvalidConfig(format!(
+                                    "persistent tier {:?} failed replaying item {key}: {e}",
+                                    spec.name
+                                ))
+                            })?;
+                            bytes.insert(key, Arc::new(payload));
+                        }
+                    }
+                    spills.push(Some(spill));
+                }
+            }
+        }
+        // Warm contents, cold statistics.
+        chain.reset_stats();
         // Single-level hierarchies report the plain policy name so existing
         // reports are unchanged; deeper chains get a composite label,
         // interned so sweeps constructing many identical hierarchies share
@@ -377,17 +520,18 @@ impl TieredByteCache {
             intern_label(label)
         };
         let levels = specs.len();
-        TieredByteCache {
+        Ok(TieredByteCache {
             inner: Mutex::new(TieredInner {
                 chain,
-                bytes: HashMap::new(),
+                bytes,
                 hits: 0,
                 misses: 0,
                 level_seconds: vec![0.0; levels],
+                spills,
             }),
             specs,
             name,
-        }
+        })
     }
 
     /// A single DRAM level under `policy` — the default session tier.
@@ -428,6 +572,7 @@ impl CacheTier for TieredByteCache {
                 .access_seconds(bytes.len() as u64);
             inner.level_seconds[level] += secs;
         }
+        inner.reconcile_spills(&access);
         for victim in access.dropped {
             inner.bytes.remove(&victim);
         }
@@ -441,11 +586,21 @@ impl CacheTier for TieredByteCache {
             return Arc::clone(&inner.bytes[&item]);
         }
         let access = inner.chain.access(item, bytes.len() as u64);
-        for victim in access.dropped {
-            inner.bytes.remove(&victim);
-        }
         if access.admitted {
             inner.bytes.insert(item, Arc::clone(&bytes));
+            // A direct admission into a persistent level (e.g. DRAM full,
+            // SSD accepts) must hit the durable mirror too.
+            if let Some(level) = inner.chain.locate(item) {
+                if let Some(spill) = &mut inner.spills[level] {
+                    spill
+                        .write(item, &bytes)
+                        .expect("spill write failed on admission");
+                }
+            }
+        }
+        inner.reconcile_spills(&access);
+        for victim in access.dropped {
+            inner.bytes.remove(&victim);
         }
         bytes
     }

@@ -111,7 +111,7 @@ pub enum Scenario {
     /// `tenants` jobs arriving and departing over the run on one shared
     /// server — the elastic counterpart of the multi-tenant `coordl::Server`
     /// (§5 HP-search lineage with job churn).  A deterministic
-    /// [`churn_schedule`](crate::churn::churn_schedule) seeded by `seed`
+    /// [`churn_schedule`] seeded by `seed`
     /// decides each tenant's `[arrival, departure)` window; a departing
     /// tenant's cached keys are reclaimed from the shared chain at the
     /// departure-epoch boundary.  Each tenant gets its own cache-key window

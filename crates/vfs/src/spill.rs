@@ -1,0 +1,253 @@
+//! [`SpillStore`]: a manifest-backed key→payload store for persistent cache
+//! tiers.
+//!
+//! Each store owns one directory of its [`Vfs`]: an append-only `MANIFEST`
+//! log plus one payload file per resident key.  Every mutation appends a
+//! line to the manifest (`+ <key> <len>` on insert, `- <key>` on remove) and
+//! syncs it, so a fresh process can replay the log and rebuild the exact
+//! resident set — that replay is how a restarted `Session` or `Server`
+//! warms its SSD tier back up without re-reading the dataset.
+
+use crate::{FileHandle, Vfs, VfsError};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A durable map from `u64` keys to byte payloads under one VFS directory.
+pub struct SpillStore {
+    vfs: Arc<dyn Vfs>,
+    dir: String,
+    manifest: FileHandle,
+    manifest_end: u64,
+    entries: BTreeMap<u64, u64>,
+}
+
+impl SpillStore {
+    /// Open the store at `dir`, replaying an existing manifest when one is
+    /// present (an empty directory yields an empty store).
+    pub fn open(vfs: Arc<dyn Vfs>, dir: &str) -> Result<Self, VfsError> {
+        let manifest_path = format!("{dir}/MANIFEST");
+        let manifest = vfs.open(&manifest_path, true)?;
+        let manifest_end = vfs.len(manifest)?;
+        let log = vfs.read_at(manifest, 0, manifest_end as usize)?;
+        let mut entries = BTreeMap::new();
+        for line in String::from_utf8_lossy(&log).lines() {
+            let mut fields = line.split(' ');
+            let entry = match (fields.next(), fields.next(), fields.next()) {
+                (Some("+"), Some(key), Some(len)) => key
+                    .parse::<u64>()
+                    .ok()
+                    .zip(len.parse::<u64>().ok())
+                    .map(|(k, l)| (k, Some(l))),
+                (Some("-"), Some(key), None) => key.parse::<u64>().ok().map(|k| (k, None)),
+                _ => None,
+            };
+            match entry {
+                Some((key, Some(len))) => {
+                    entries.insert(key, len);
+                }
+                Some((key, None)) => {
+                    entries.remove(&key);
+                }
+                None => {
+                    // A torn trailing line (e.g. a crash mid-append) only
+                    // loses that entry, never corrupts earlier ones.
+                }
+            }
+        }
+        Ok(SpillStore {
+            vfs,
+            dir: dir.to_string(),
+            manifest,
+            manifest_end,
+            entries,
+        })
+    }
+
+    fn payload_path(&self, key: u64) -> String {
+        format!("{}/{key}.item", self.dir)
+    }
+
+    fn append_manifest(&mut self, line: &str) -> Result<(), VfsError> {
+        self.vfs
+            .write_at(self.manifest, self.manifest_end, line.as_bytes())?;
+        self.manifest_end += line.len() as u64;
+        self.vfs.sync(self.manifest)
+    }
+
+    /// Keys currently resident, with their payload lengths, in key order.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.entries.iter().map(|(&k, &l)| (k, l))
+    }
+
+    /// Number of resident keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no keys are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `key` is resident.
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Persist `bytes` under `key` (payload file first, then the manifest
+    /// line, so a replayed manifest never references a missing payload).
+    pub fn write(&mut self, key: u64, bytes: &[u8]) -> Result<(), VfsError> {
+        let file = self.vfs.open(&self.payload_path(key), true)?;
+        self.vfs.write_at(file, 0, bytes)?;
+        self.vfs.sync(file)?;
+        self.vfs.close(file)?;
+        let already_recorded = self.entries.get(&key) == Some(&(bytes.len() as u64));
+        self.entries.insert(key, bytes.len() as u64);
+        if !already_recorded {
+            self.append_manifest(&format!("+ {key} {}\n", bytes.len()))?;
+        }
+        Ok(())
+    }
+
+    /// Read the payload stored under `key`.
+    pub fn read(&self, key: u64) -> Result<Vec<u8>, VfsError> {
+        let len = *self
+            .entries
+            .get(&key)
+            .ok_or_else(|| VfsError::NotFound(self.payload_path(key)))?;
+        let file = self.vfs.open(&self.payload_path(key), false)?;
+        let bytes = self.vfs.read_at(file, 0, len as usize)?;
+        self.vfs.close(file)?;
+        if bytes.len() as u64 != len {
+            return Err(VfsError::Io {
+                path: self.payload_path(key),
+                detail: format!(
+                    "truncated payload: expected {len} bytes, got {}",
+                    bytes.len()
+                ),
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Drop `key` from the store (no-op when absent).
+    pub fn remove(&mut self, key: u64) -> Result<(), VfsError> {
+        if self.entries.remove(&key).is_none() {
+            return Ok(());
+        }
+        self.append_manifest(&format!("- {key}\n"))?;
+        match self.vfs.remove(&self.payload_path(key)) {
+            Ok(()) | Err(VfsError::NotFound(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The VFS this store writes through.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+
+    /// The directory this store owns.
+    pub fn dir(&self) -> &str {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemVfs;
+
+    fn mem() -> Arc<dyn Vfs> {
+        Arc::new(MemVfs::new())
+    }
+
+    #[test]
+    fn write_read_remove_roundtrip() {
+        let vfs = mem();
+        let mut store = SpillStore::open(Arc::clone(&vfs), "tier1").unwrap();
+        assert!(store.is_empty());
+        store.write(7, b"payload-seven").unwrap();
+        store.write(9, b"nine").unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(7));
+        assert_eq!(store.read(7).unwrap(), b"payload-seven");
+        assert_eq!(store.read(9).unwrap(), b"nine");
+        store.remove(7).unwrap();
+        assert!(!store.contains(7));
+        assert_eq!(
+            store.read(7),
+            Err(VfsError::NotFound("tier1/7.item".into()))
+        );
+        store.remove(7).unwrap(); // idempotent
+        assert_eq!(
+            store.entries().collect::<Vec<_>>(),
+            vec![(9, 4)],
+            "survivors listed in key order"
+        );
+    }
+
+    #[test]
+    fn manifest_replay_rebuilds_the_resident_set() {
+        let vfs = mem();
+        {
+            let mut store = SpillStore::open(Arc::clone(&vfs), "ssd").unwrap();
+            store.write(1, b"one").unwrap();
+            store.write(2, b"two").unwrap();
+            store.write(3, b"three").unwrap();
+            store.remove(2).unwrap();
+            store.write(1, b"one").unwrap(); // rewrite: no duplicate manifest line
+        }
+        // A fresh store over the same directory replays the log.
+        let store = SpillStore::open(Arc::clone(&vfs), "ssd").unwrap();
+        assert_eq!(store.entries().collect::<Vec<_>>(), vec![(1, 3), (3, 5)]);
+        assert_eq!(store.read(1).unwrap(), b"one");
+        assert_eq!(store.read(3).unwrap(), b"three");
+    }
+
+    #[test]
+    fn torn_trailing_manifest_line_loses_only_that_entry() {
+        let vfs = mem();
+        {
+            let mut store = SpillStore::open(Arc::clone(&vfs), "d").unwrap();
+            store.write(10, b"abcdef").unwrap();
+        }
+        // Simulate a crash mid-append: a half-written line without newline.
+        let manifest = vfs.open("d/MANIFEST", false).unwrap();
+        let end = vfs.len(manifest).unwrap();
+        vfs.write_at(manifest, end, b"+ 11 6").unwrap();
+        vfs.close(manifest).unwrap();
+        // "+ 11 6" parses but its payload file is missing: reads fail with
+        // NotFound from the vfs, while key 10 is intact.
+        let store = SpillStore::open(Arc::clone(&vfs), "d").unwrap();
+        assert_eq!(store.read(10).unwrap(), b"abcdef");
+        assert!(matches!(store.read(11), Err(VfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn truncated_payload_is_a_typed_error() {
+        let vfs = mem();
+        let mut store = SpillStore::open(Arc::clone(&vfs), "t").unwrap();
+        store.write(5, b"full-payload").unwrap();
+        // Corrupt the payload behind the store's back.
+        vfs.remove("t/5.item").unwrap();
+        let short = vfs.open("t/5.item", true).unwrap();
+        vfs.write_at(short, 0, b"oops").unwrap();
+        vfs.close(short).unwrap();
+        match store.read(5) {
+            Err(VfsError::Io { detail, .. }) => assert!(detail.contains("truncated")),
+            other => panic!("expected truncated-payload error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stores_in_different_dirs_do_not_interfere() {
+        let vfs = mem();
+        let mut a = SpillStore::open(Arc::clone(&vfs), "a").unwrap();
+        let mut b = SpillStore::open(Arc::clone(&vfs), "b").unwrap();
+        a.write(1, b"from-a").unwrap();
+        b.write(1, b"from-b").unwrap();
+        assert_eq!(a.read(1).unwrap(), b"from-a");
+        assert_eq!(b.read(1).unwrap(), b"from-b");
+    }
+}

@@ -27,11 +27,11 @@
 //! trailing newline) so refresh diffs stay minimal.
 
 use benchkit::{
-    find_suite, run_mega_sweep, run_multi_tenant, run_tier_sweep, run_validation, run_worker_sweep,
-    GateKind, MegaSweepConfig, MegaSweepReport, MultiTenantConfig, MultiTenantReport, SweepSuite,
-    Table, TierSweepConfig, TierSweepReport, ValidationConfig, WorkerSweepConfig,
-    WorkerSweepReport, MEGA_SWEEP_NAME, MULTI_TENANT_NAME, SMOKE_EXTRA_SCALE, SUITES,
-    TIER_SWEEP_NAME, WORKER_SWEEP_NAME,
+    find_suite, run_fs_sweep, run_mega_sweep, run_multi_tenant, run_tier_sweep, run_validation,
+    run_worker_sweep, FsSweepConfig, FsSweepReport, GateKind, MegaSweepConfig, MegaSweepReport,
+    MultiTenantConfig, MultiTenantReport, SweepSuite, Table, TierSweepConfig, TierSweepReport,
+    ValidationConfig, WorkerSweepConfig, WorkerSweepReport, FS_SWEEP_NAME, MEGA_SWEEP_NAME,
+    MULTI_TENANT_NAME, SMOKE_EXTRA_SCALE, SUITES, TIER_SWEEP_NAME, WORKER_SWEEP_NAME,
 };
 use datastalls::pipeline::json::{self, Value};
 use datastalls::pipeline::{SweepReport, SweepRunner};
@@ -67,6 +67,11 @@ fn usage() -> &'static str {
      \u{20}       a DRAM% x SSD% grid of tiered Sessions, gating one identical\n\
      \u{20}       stream for the whole grid and printing per-tier hit ratios\n\
      \u{20}       [--scale N] [--out FILE]\n\
+     \u{20} sweep fs-sweep               run the *runtime* real-bytes I/O preset:\n\
+     \u{20}       a readahead x tier-backing grid of FsBackend Sessions over a\n\
+     \u{20}       VFS, gating one identical stream, exact physical-read counts\n\
+     \u{20}       and a real on-disk spill manifest for persistent points\n\
+     \u{20}       [--scale N] [--out FILE] [--os-root DIR]\n\
      \u{20} sweep multi-tenant           run the *runtime* multi-tenant preset:\n\
      \u{20}       churning tenants over one shared Server, gating one identical\n\
      \u{20}       stream across shard and worker counts plus quota/reclamation\n\
@@ -134,6 +139,9 @@ struct ValidateCmd {
 struct RuntimeSweepCmd {
     scale: u64,
     out: Option<String>,
+    /// `fs-sweep` only: run on a real filesystem rooted here instead of the
+    /// deterministic in-memory VFS.
+    os_root: Option<String>,
 }
 
 struct MegaSweepCmd {
@@ -150,6 +158,7 @@ enum Command {
     WorkerSweep(RuntimeSweepCmd),
     TierSweep(RuntimeSweepCmd),
     MultiTenantSweep(RuntimeSweepCmd),
+    FsSweep(RuntimeSweepCmd),
     MegaSweep(MegaSweepCmd),
     Smoke(SmokeCmd),
     Validate(ValidateCmd),
@@ -218,6 +227,7 @@ fn parse_sweep(args: &[&String]) -> Result<Command, String> {
         let mut cmd = RuntimeSweepCmd {
             scale: 1,
             out: None,
+            os_root: None,
         };
         while let Some(flag) = it.next() {
             let mut value = || -> Result<&String, String> {
@@ -228,10 +238,18 @@ fn parse_sweep(args: &[&String]) -> Result<Command, String> {
             match flag.as_str() {
                 "--scale" => cmd.scale = parse_scale(value()?)?,
                 "--out" => cmd.out = Some(value()?.clone()),
+                "--os-root" if name == FS_SWEEP_NAME => {
+                    cmd.os_root = Some(value()?.clone());
+                }
                 other => {
                     return Err(format!(
                         "unknown flag {other} for {name} (the runtime presets sweep \
-                         their own axes; only --scale and --out apply)"
+                         their own axes; only --scale and --out apply{})",
+                        if name == FS_SWEEP_NAME {
+                            ", plus --os-root for this preset"
+                        } else {
+                            ""
+                        }
                     ))
                 }
             }
@@ -239,6 +257,7 @@ fn parse_sweep(args: &[&String]) -> Result<Command, String> {
         return Ok(match name.as_str() {
             WORKER_SWEEP_NAME => Command::WorkerSweep(cmd),
             TIER_SWEEP_NAME => Command::TierSweep(cmd),
+            FS_SWEEP_NAME => Command::FsSweep(cmd),
             _ => Command::MultiTenantSweep(cmd),
         });
     }
@@ -393,7 +412,12 @@ fn parse_scale(v: &str) -> Result<u64, String> {
 }
 
 /// The runtime presets `sweep` routes past the simulator-suite registry.
-const RUNTIME_PRESETS: [&str; 3] = [WORKER_SWEEP_NAME, TIER_SWEEP_NAME, MULTI_TENANT_NAME];
+const RUNTIME_PRESETS: [&str; 4] = [
+    WORKER_SWEEP_NAME,
+    TIER_SWEEP_NAME,
+    MULTI_TENANT_NAME,
+    FS_SWEEP_NAME,
+];
 
 fn suite_names() -> Vec<&'static str> {
     SUITES.iter().map(|s| s.name).collect()
@@ -448,6 +472,16 @@ fn run_list() {
          and worker counts"
             .to_string(),
     ]);
+    let fs_defaults = FsSweepConfig::default();
+    table.row(&[
+        FS_SWEEP_NAME.to_string(),
+        (fs_defaults.readahead_pages.len() * fs_defaults.persistent_ssd.len()).to_string(),
+        "§3 / Fig 5-7 (fetch stalls are real I/O)".to_string(),
+        "runtime real-bytes I/O: FsBackend Sessions over a VFS, readahead x \
+         tier-backing grid, exact physical reads and on-disk spill manifests \
+         gated, one stream for the whole grid"
+            .to_string(),
+    ]);
     table.print();
     println!("\nrun one with: dstool sweep <name>   (or 'dstool sweep all')");
 }
@@ -482,6 +516,32 @@ fn print_suite_table(suite: &SweepSuite, report: &SweepReport) {
     table.print();
 }
 
+/// Write an `--out` artifact, creating missing parent directories first so
+/// `--out results/bench/BENCH.json` works on a fresh checkout; both failure
+/// modes name the path and the failing step.
+fn write_out(path: &str, contents: &str) -> Result<(), String> {
+    let parent = std::path::Path::new(path).parent();
+    if let Some(dir) = parent.filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            format!(
+                "cannot create parent directory {} for {path}: {e}",
+                dir.display()
+            )
+        })?;
+    }
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Re-serialize a JSON document in canonical form: sorted object keys and a
+/// trailing newline, so checked-in artifacts diff cleanly run to run.
+fn canonical_json(doc: &str) -> String {
+    let parsed = json::parse(doc).expect("reports emit valid JSON");
+    let mut canonical = String::with_capacity(doc.len() + 1);
+    json::write_value(&mut canonical, &parsed);
+    canonical.push('\n');
+    canonical
+}
+
 fn run_sweep(cmd: &SweepCmd) -> Result<(), String> {
     let runner = if cmd.serial {
         SweepRunner::serial()
@@ -509,7 +569,7 @@ fn run_sweep(cmd: &SweepCmd) -> Result<(), String> {
             doc.push_str(&report.to_json());
         }
         doc.push_str("]}");
-        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_out(path, &doc)?;
         println!("\nwrote full trajectories to {path}");
     }
     if failed > 0 {
@@ -623,7 +683,67 @@ fn run_multi_tenant_cmd(cmd: &RuntimeSweepCmd) -> Result<(), String> {
         report.digest().unwrap_or(0)
     );
     if let Some(path) = &cmd.out {
-        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_out(path, &report.to_json())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Print the runtime real-bytes I/O preset's per-point table.
+fn print_fs_table(report: &FsSweepReport) {
+    let mut table = Table::new(
+        format!("Runtime {} (coordl::FsBackend over a VFS)", FS_SWEEP_NAME),
+        &[
+            "point",
+            "hit ratio",
+            "span hit/miss",
+            "vfs reads",
+            "vfs writes",
+            "manifest",
+            "measured s",
+        ],
+    )
+    .with_caption(format!(
+        "{} items, {} epochs; every fetch is a real page-aligned read, \
+         persistent points spill the SSD tier to files; one identical stream \
+         across the whole readahead x backing grid",
+        report.config.items, report.config.epochs
+    ));
+    for p in &report.points {
+        table.row(&[
+            p.label(),
+            format!("{:.3}", p.steady_hit_ratio),
+            format!("{}/{}", p.span_hits, p.span_misses),
+            p.vfs_reads.to_string(),
+            p.vfs_writes.to_string(),
+            if p.manifest_present { "yes" } else { "-" }.to_string(),
+            format!("{:.4}", p.measured_device_seconds),
+        ]);
+    }
+    table.print();
+}
+
+fn run_fs_sweep_cmd(cmd: &RuntimeSweepCmd) -> Result<(), String> {
+    let config = FsSweepConfig {
+        os_root: cmd.os_root.as_ref().map(std::path::PathBuf::from),
+        ..FsSweepConfig::scaled(cmd.scale)
+    };
+    let report = run_fs_sweep(&config);
+    print_fs_table(&report);
+    report.verify()?;
+    println!(
+        "real-bytes gate passed: {} grid points on {}, one stream (digest \
+         {:016x}), physical reads exact and spill manifests durable",
+        report.points.len(),
+        if config.os_root.is_some() {
+            "the real filesystem"
+        } else {
+            "the in-memory VFS"
+        },
+        report.digest().unwrap_or(0)
+    );
+    if let Some(path) = &cmd.out {
+        write_out(path, &report.to_json())?;
         println!("wrote {path}");
     }
     Ok(())
@@ -640,7 +760,7 @@ fn run_tier_sweep_cmd(cmd: &RuntimeSweepCmd) -> Result<(), String> {
         report.digest().unwrap_or(0)
     );
     if let Some(path) = &cmd.out {
-        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_out(path, &report.to_json())?;
         println!("wrote {path}");
     }
     Ok(())
@@ -656,7 +776,7 @@ fn run_worker_sweep_cmd(cmd: &RuntimeSweepCmd) -> Result<(), String> {
         report.digest().unwrap_or(0)
     );
     if let Some(path) = &cmd.out {
-        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_out(path, &report.to_json())?;
         println!("wrote {path}");
     }
     Ok(())
@@ -701,7 +821,7 @@ fn run_mega_sweep_cmd(cmd: &MegaSweepCmd) -> Result<(), String> {
     let report = run_mega_sweep(&cfg);
     print_mega_table(&report);
     if let Some(path) = &cmd.out {
-        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_out(path, &report.to_json())?;
         println!("wrote {path}");
     }
     report.bit_identical()?;
@@ -820,6 +940,12 @@ fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
     print_tier_table(&tier_report);
     let mt_report = run_multi_tenant(&MultiTenantConfig::scaled(cmd.scale));
     print_multi_tenant_table(&mt_report);
+    // The real-bytes preset always smokes on the in-memory VFS: its digests
+    // and physical-read counts are machine-independent there, which is what
+    // a cross-machine baseline can gate.  CI exercises the OsVfs leg
+    // separately via `sweep fs-sweep --os-root`.
+    let fs_report = run_fs_sweep(&FsSweepConfig::scaled(cmd.scale));
+    print_fs_table(&fs_report);
     // The vectorized-engine preset runs with one thread per core (not
     // `--threads`, which exists to prove the parallel sweep path even on
     // undersized hosts): the recorded thread count then doubles as the
@@ -833,23 +959,21 @@ fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
         &worker_report,
         &tier_report,
         &mt_report,
+        &fs_report,
         &mega_report,
     );
-    std::fs::write(&cmd.out, &doc).map_err(|e| format!("cannot write {}: {e}", cmd.out))?;
+    write_out(&cmd.out, &doc)?;
     println!("wrote {}", cmd.out);
 
     gate_worker_sweep(&worker_report)?;
     tier_report.verify()?;
     mt_report.verify()?;
+    fs_report.verify()?;
     mega_report.bit_identical()?;
 
     if cmd.refresh_baseline {
         let path = cmd.baseline.as_deref().unwrap_or(DEFAULT_BASELINE);
-        let mut canonical = String::with_capacity(doc.len() + 1);
-        let parsed = json::parse(&doc).expect("smoke_json emits valid JSON");
-        json::write_value(&mut canonical, &parsed);
-        canonical.push('\n');
-        std::fs::write(path, canonical).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_out(path, &canonical_json(&doc))?;
         println!("refreshed baseline {path} (canonical: sorted keys, trailing newline)");
     } else if let Some(path) = &cmd.baseline {
         check_baseline(path, &doc, cmd.tolerance, cmd.scale)?;
@@ -872,6 +996,7 @@ fn smoke_json(
     worker_report: &WorkerSweepReport,
     tier_report: &TierSweepReport,
     mt_report: &MultiTenantReport,
+    fs_report: &FsSweepReport,
     mega_report: &MegaSweepReport,
 ) -> String {
     let mut out = String::with_capacity(4096);
@@ -909,6 +1034,8 @@ fn smoke_json(
     out.push_str(&tier_report.to_json());
     out.push_str(",\"runtime_multi_tenant\":");
     out.push_str(&mt_report.to_json());
+    out.push_str(",\"runtime_fs_sweep\":");
+    out.push_str(&fs_report.to_json());
     out.push_str(",\"sim_sweep\":");
     out.push_str(&mega_report.to_json());
     out.push('}');
@@ -983,6 +1110,7 @@ fn check_baseline(
         "runtime_worker_sweep",
         "runtime_tier_sweep",
         "runtime_multi_tenant",
+        "runtime_fs_sweep",
     ] {
         if let Some(expected) = digest_of(&baseline, preset) {
             let got = digest_of(&current, preset);
@@ -1197,8 +1325,9 @@ fn run_validate(cmd: &ValidateCmd) -> Result<(), String> {
     }
     table.print();
 
-    std::fs::write(&cmd.out, report.to_json())
-        .map_err(|e| format!("cannot write {}: {e}", cmd.out))?;
+    // Canonical form (sorted keys, trailing newline), same as the bench
+    // baseline: VALIDATE.json diffs cleanly across runs and machines.
+    write_out(&cmd.out, &canonical_json(&report.to_json()))?;
     println!("wrote {}", cmd.out);
 
     if report.passed() {
@@ -1241,6 +1370,7 @@ fn main() -> ExitCode {
         Ok(Command::WorkerSweep(cmd)) => run_worker_sweep_cmd(&cmd),
         Ok(Command::TierSweep(cmd)) => run_tier_sweep_cmd(&cmd),
         Ok(Command::MultiTenantSweep(cmd)) => run_multi_tenant_cmd(&cmd),
+        Ok(Command::FsSweep(cmd)) => run_fs_sweep_cmd(&cmd),
         Ok(Command::MegaSweep(cmd)) => run_mega_sweep_cmd(&cmd),
         Ok(Command::Smoke(cmd)) => run_smoke(&cmd),
         Ok(Command::Validate(cmd)) => run_validate(&cmd),
@@ -1594,6 +1724,101 @@ mod tests {
         assert!(parse_args(&args(&["validate", "--epochs", "1"])).is_err());
         assert!(parse_args(&args(&["validate", "--cache-frac", "2.0"])).is_err());
         assert!(parse_args(&args(&["validate", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn fs_sweep_is_routed_to_the_runtime_preset() {
+        let Ok(Command::FsSweep(cmd)) = parse_args(&args(&[
+            "sweep",
+            FS_SWEEP_NAME,
+            "--scale",
+            "2",
+            "--out",
+            "fs.json",
+            "--os-root",
+            "/tmp/fsroot",
+        ])) else {
+            panic!("expected fs-sweep command");
+        };
+        assert_eq!(cmd.scale, 2);
+        assert_eq!(cmd.out.as_deref(), Some("fs.json"));
+        assert_eq!(cmd.os_root.as_deref(), Some("/tmp/fsroot"));
+        // Default: deterministic in-memory VFS.
+        let Ok(Command::FsSweep(cmd)) = parse_args(&args(&["sweep", FS_SWEEP_NAME])) else {
+            panic!("expected fs-sweep command");
+        };
+        assert!(cmd.os_root.is_none());
+        assert!(parse_args(&args(&["sweep", FS_SWEEP_NAME, "--serial"])).is_err());
+        // --os-root is fs-sweep-specific: the other runtime presets never
+        // touch a filesystem.
+        let Err(err) = parse_args(&args(&["sweep", TIER_SWEEP_NAME, "--os-root", "/tmp/x"])) else {
+            panic!("--os-root only applies to fs-sweep");
+        };
+        assert!(err.contains("--os-root"), "{err}");
+    }
+
+    #[test]
+    fn baseline_gate_compares_the_fs_sweep_stream_digest() {
+        let baseline = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[{"label":"a","steady_samples_per_sec":1000}]}],
+            "runtime_fs_sweep":{"stream_digest":"00000000deadbeef"}}"#;
+        let dir = std::env::temp_dir().join("dstool_fs_digest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, baseline).unwrap();
+        check_baseline(path.to_str().unwrap(), baseline, 0.10, 8).unwrap();
+        let changed = baseline.replace("deadbeef", "0badf00d");
+        let err = check_baseline(path.to_str().unwrap(), &changed, 0.10, 8).unwrap_err();
+        assert!(
+            err.contains("runtime_fs_sweep") && err.contains("stream digest changed"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn write_out_creates_parent_directories() {
+        let root = std::env::temp_dir().join("dstool_write_out_test");
+        let _ = std::fs::remove_dir_all(&root);
+        // The directories a CI invocation would name for its artifacts
+        // (`smoke --out .../BENCH_sweep.json`, `validate --out
+        // .../VALIDATE.json`) do not exist yet: write_out makes them.
+        for name in ["bench/BENCH_sweep.json", "validate/deep/VALIDATE.json"] {
+            let path = root.join(name);
+            let path = path.to_str().unwrap();
+            write_out(path, "{}\n").unwrap();
+            assert_eq!(std::fs::read_to_string(path).unwrap(), "{}\n");
+        }
+        // A bare filename (no parent) writes to the working directory
+        // without tripping the mkdir path; prove it by not erroring on the
+        // create_dir_all step for an empty parent.
+        let bare = root.join("flat.json");
+        write_out(bare.to_str().unwrap(), "x").unwrap();
+    }
+
+    #[test]
+    fn write_out_names_the_path_when_it_cannot_write() {
+        // A path whose parent is a *file* cannot be created: both the smoke
+        // and validate writers must surface the path, not panic.
+        let root = std::env::temp_dir().join("dstool_write_out_err_test");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        let blocker = root.join("blocker");
+        std::fs::write(&blocker, "a file, not a directory").unwrap();
+        let target = blocker.join("BENCH_sweep.json");
+        let err = write_out(target.to_str().unwrap(), "{}").unwrap_err();
+        assert!(
+            err.contains("BENCH_sweep.json") && err.starts_with("cannot create parent"),
+            "{err}"
+        );
+        // Writing *to* a directory fails at the write step with the path.
+        let err = write_out(root.to_str().unwrap(), "{}").unwrap_err();
+        assert!(err.starts_with("cannot write"), "{err}");
+    }
+
+    #[test]
+    fn canonical_json_sorts_keys_and_ends_with_newline() {
+        let canonical = canonical_json(r#"{"b":1,"a":{"z":true,"y":"s"}}"#);
+        assert_eq!(canonical, "{\"a\":{\"y\":\"s\",\"z\":true},\"b\":1}\n");
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Integration test for the persistent SSD tier (ISSUE 8): a tenant is
+//! killed mid-run, the `Server` process "restarts" (a new instance over the
+//! same VFS root), and the warmed SSD tier must (a) repopulate itself from
+//! the on-disk spill manifest and (b) serve byte-identical content — the
+//! aggregate stream digest of the restarted run matches an uninterrupted
+//! run on a fresh hierarchy.
+
+use datastalls::cache::PolicyKind;
+use datastalls::coordl::{
+    ByteTierSpec, Server, ServerConfig, SessionConfig, TenantHandle, TenantSpec,
+};
+use datastalls::dataset::{DataSource, DatasetSpec, SyntheticItemStore};
+use std::sync::Arc;
+use vfs::{MemVfs, Vfs};
+
+const ITEMS: u64 = 96;
+const AVG_ITEM_BYTES: u64 = 1024;
+const EPOCHS: u64 = 3;
+const SEED: u64 = 0xD15C;
+
+fn dataset() -> Arc<dyn DataSource> {
+    let spec = DatasetSpec::new("restart-warmup", ITEMS, AVG_ITEM_BYTES, 0.2, 2.0);
+    Arc::new(SyntheticItemStore::new(spec, 7))
+}
+
+/// DRAM too small for the working set, SSD big enough for all of it, spilled
+/// to `ssd/` on the given VFS so a restarted server can warm from it.
+fn tiers(fs: &Arc<dyn Vfs>) -> Vec<ByteTierSpec> {
+    let total = ITEMS * AVG_ITEM_BYTES;
+    vec![
+        ByteTierSpec::dram(PolicyKind::MinIo, total / 4),
+        ByteTierSpec::sata_ssd(PolicyKind::MinIo, total * 2).persistent(Arc::clone(fs), "ssd"),
+    ]
+}
+
+fn server_over(fs: &Arc<dyn Vfs>) -> Server {
+    Server::new(ServerConfig {
+        tiers: tiers(fs),
+        shards: 2,
+    })
+    .expect("valid server config")
+}
+
+fn submit(server: &Server) -> TenantHandle {
+    server
+        .submit(TenantSpec {
+            name: "trainer".to_string(),
+            dataset: dataset(),
+            quota_bytes: ITEMS * AVG_ITEM_BYTES,
+            session: SessionConfig {
+                batch_size: 8,
+                num_workers: 1,
+                seed: SEED,
+                ..SessionConfig::default()
+            },
+            profile: None,
+        })
+        .expect("valid tenant spec")
+}
+
+/// FNV-1a over everything the consumer receives, exactly like the bench
+/// presets hash their streams.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+/// Stream `epochs` full epochs into the digest; returns delivered samples.
+fn stream_epochs(tenant: &TenantHandle, epochs: u64, digest: &mut Fnv) -> u64 {
+    let mut samples = 0u64;
+    for epoch in 0..epochs {
+        let run = tenant.session().epoch(epoch);
+        for batch in run.stream(0) {
+            let mb = batch.expect("restart-warmup epochs do not fail");
+            digest.u64(mb.epoch);
+            digest.u64(mb.index as u64);
+            for s in &mb.samples {
+                digest.u64(s.item);
+                digest.u64(s.augmentation_seed);
+                digest.bytes(&s.data);
+            }
+            samples += mb.samples.len() as u64;
+        }
+    }
+    samples
+}
+
+#[test]
+fn restarted_server_warms_its_ssd_tier_and_replays_an_identical_stream() {
+    // Uninterrupted reference run on its own fresh hierarchy.
+    let reference_fs: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+    let reference_server = server_over(&reference_fs);
+    let reference_tenant = submit(&reference_server);
+    let mut reference_digest = Fnv::new();
+    let reference_samples = stream_epochs(&reference_tenant, EPOCHS, &mut reference_digest);
+    assert!(reference_samples > 0);
+
+    // Interrupted run over a VFS root that survives the "process".
+    let fs: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+    let server = server_over(&fs);
+    let tenant = submit(&server);
+    // One full epoch fills DRAM and spills the overflow to the SSD files...
+    let mut partial = Fnv::new();
+    stream_epochs(&tenant, 1, &mut partial);
+    // ...then the tenant dies mid-epoch: a few batches into epoch 1 the
+    // handle is leaked (no departure cleanup) and the server is dropped.
+    {
+        let run = tenant.session().epoch(1);
+        for batch in run.stream(0).take(3) {
+            batch.expect("pre-crash batches succeed");
+        }
+    }
+    assert!(
+        fs.exists("ssd/MANIFEST"),
+        "the persistent tier keeps its manifest on the VFS"
+    );
+    std::mem::forget(tenant);
+    drop(server);
+
+    // "Restart": a new Server over the same VFS root. The SSD tier must
+    // repopulate from the manifest before any tenant arrives.
+    let server = server_over(&fs);
+    let warmed = server.resident_items();
+    assert!(warmed > 0, "SSD tier repopulated from the on-disk manifest");
+    assert_eq!(
+        server.dram_used_bytes(),
+        0,
+        "warm-up restores the SSD level, not DRAM"
+    );
+
+    // Tenant ids restart from zero, so resubmitting the same workload lands
+    // in its old key window: the warmed entries are *its* items.
+    let tenant = submit(&server);
+    let mut restart_digest = Fnv::new();
+    let restart_samples = stream_epochs(&tenant, EPOCHS, &mut restart_digest);
+
+    assert_eq!(restart_samples, reference_samples);
+    assert_eq!(
+        restart_digest.0, reference_digest.0,
+        "the warmed tier serves byte-identical content: the restarted run's \
+         stream digest must match the uninterrupted run"
+    );
+    // The warm start did real work: the restarted run re-read less from
+    // storage than one full dataset (a cold run reads every byte once).
+    let cold_bytes: u64 = reference_tenant.session().stats().bytes_from_storage();
+    let warm_bytes = tenant.session().stats().bytes_from_storage();
+    assert!(
+        warm_bytes < cold_bytes,
+        "warmed SSD tier absorbed fetches: {warm_bytes} storage bytes after \
+         restart vs {cold_bytes} cold"
+    );
+
+    // A clean departure retires the persisted copies: the next restart
+    // starts cold again.
+    tenant.depart();
+    drop(server);
+    let server = server_over(&fs);
+    assert_eq!(
+        server.resident_items(),
+        0,
+        "departure removed the spilled entries from the manifest"
+    );
+}

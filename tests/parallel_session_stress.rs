@@ -158,12 +158,12 @@ impl FetchBackend for PanickingBackend {
         self.source.item_bytes(item)
     }
 
-    fn read(&self, item: u64) -> Vec<u8> {
+    fn read(&self, item: u64) -> Result<Vec<u8>, CoordlError> {
         assert!(
             item != self.panic_at,
             "injected backend fault reading item {item}"
         );
-        self.source.read(item)
+        Ok(self.source.read(item))
     }
 
     fn name(&self) -> &'static str {

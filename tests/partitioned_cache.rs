@@ -44,7 +44,7 @@ fn run_epoch(
     let (mut local, mut remote, mut storage) = (0, 0, 0);
     for server in 0..servers {
         for item in sampler.distributed_shard(epoch, server, servers) {
-            match cluster.fetch(server, item).1 {
+            match cluster.fetch(server, item).expect("cluster fetch").1 {
                 FetchOrigin::LocalCache => local += 1,
                 FetchOrigin::RemoteCache(_) => remote += 1,
                 FetchOrigin::Storage => storage += 1,
