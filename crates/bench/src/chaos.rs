@@ -1,0 +1,524 @@
+//! The fault-injection preset over the *runtime* partitioned cluster
+//! (`coordl::PartitionedCacheCluster` under a seeded `coordl::FaultPlan`):
+//! the preset behind `dstool sweep chaos` and part of `dstool smoke`.
+//!
+//! A chaos run trains one partitioned session twice: once fault-free and
+//! once under a deterministic membership schedule (kills, graceful leaves,
+//! rejoins) fired on the cluster's shared fetch-step axis.  Four contracts
+//! come out of a run:
+//!
+//! * **a healthy-prefix gate** — every epoch before the first scheduled
+//!   fault must be bit-identical to the fault-free twin (hashed into
+//!   `chaos_prefix_digest` / `healthy_prefix_digest`): fault plumbing that
+//!   is not armed must cost nothing and change nothing;
+//! * **an exactly-once gate** — every epoch of both runs delivers each
+//!   dataset item exactly once across the node shards, faults or not: a
+//!   consumer stream never loses or duplicates a sample;
+//! * **a no-lost-shard gate** — after the run, every directory entry is
+//!   owned by an alive server (dead owners must have been re-homed onto
+//!   survivors in rendezvous order or dropped);
+//! * **a recovery gate** — the final epoch's cache-served byte fraction
+//!   must be no worse than the worst post-fault epoch and stay within a
+//!   configured fraction of the fault-free twin's: rebalancing plus lazy
+//!   re-registration win the hit ratio back (§5.2's partitioned claims
+//!   under churn).
+//!
+//! Worker counts ride along exactly as in the other runtime presets: every
+//! worker count must deliver byte-identical streams, faults included.
+
+use coordl::{FaultPlan, Mode, Session, SessionConfig};
+use dataset::{DataSource, DatasetSpec, SyntheticItemStore};
+use pipeline::json::{write_f64, write_string};
+use std::sync::Arc;
+
+/// CLI name of the runtime preset (`dstool sweep chaos`).
+pub const CHAOS_NAME: &str = "chaos";
+
+/// Configuration of one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Servers in the partitioned cluster.
+    pub nodes: usize,
+    /// Membership events to schedule (kills, leaves, rejoins).
+    pub faults: usize,
+    /// Seed of the fault schedule (`dcache::fault_schedule`).
+    pub fault_seed: u64,
+    /// Worker counts every run is repeated at (bit-equality across them).
+    pub worker_counts: Vec<usize>,
+    /// Items in the synthetic dataset.
+    pub items: u64,
+    /// Average raw item size in bytes.
+    pub avg_item_bytes: u64,
+    /// Samples per minibatch.
+    pub batch_size: usize,
+    /// Epochs per run (epoch 0 is the cold warm-up; faults fire on epoch
+    /// boundaries 1..epochs).
+    pub epochs: u64,
+    /// Per-node cache capacity as percent of the dataset.
+    pub cache_percent: u32,
+    /// Shuffle + augmentation seed shared by both runs.
+    pub seed: u64,
+    /// Recovery gate: the final chaos epoch's cache-served byte fraction
+    /// must be at least this multiple of the fault-free twin's.
+    pub recovery_fraction: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            nodes: 3,
+            faults: 3,
+            fault_seed: 0xC0DA,
+            worker_counts: vec![1, 2],
+            items: 600,
+            avg_item_bytes: 600,
+            batch_size: 25,
+            epochs: 6,
+            cache_percent: 65,
+            seed: 0xFA17,
+            recovery_fraction: 0.5,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The default preset with its dataset shrunk by `extra_scale` (pass 1
+    /// for full fidelity; `dstool smoke` passes its CI scale).
+    pub fn scaled(extra_scale: u64) -> Self {
+        let base = ChaosConfig::default();
+        ChaosConfig {
+            items: (base.items / extra_scale.max(1)).max(150),
+            ..base
+        }
+    }
+}
+
+/// One scheduled membership event, as reported.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosFault {
+    /// Epoch boundary the event fires at.
+    pub at_epoch: u64,
+    /// The server it applies to.
+    pub node: usize,
+    /// `"kill"`, `"leave"` or `"join"`.
+    pub kind: &'static str,
+}
+
+/// The result of one chaos run (both twins, all worker counts).
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The configuration that produced it.
+    pub config: ChaosConfig,
+    /// The seeded schedule both engines share, sorted by boundary epoch.
+    pub faults: Vec<ChaosFault>,
+    /// Epochs strictly before the first scheduled fault.
+    pub prefix_epochs: u64,
+    /// Stream digest of the chaos run's healthy prefix.
+    pub chaos_prefix_digest: u64,
+    /// Stream digest of the same epochs in the fault-free twin.
+    pub healthy_prefix_digest: u64,
+    /// Full-run stream digest of the chaos run.
+    pub chaos_digest: u64,
+    /// Full-run stream digest of the fault-free twin.
+    pub healthy_digest: u64,
+    /// Samples delivered per epoch, summed over nodes, chaos run.
+    pub chaos_epoch_samples: Vec<u64>,
+    /// Samples delivered per epoch, summed over nodes, fault-free twin.
+    pub healthy_epoch_samples: Vec<u64>,
+    /// Per-epoch fraction of fetched bytes served by a cache tier (local or
+    /// remote) in the chaos run.
+    pub chaos_epoch_cached_fraction: Vec<f64>,
+    /// The fault-free twin's final-epoch cache-served byte fraction.
+    pub healthy_final_cached_fraction: f64,
+    /// Directory entries owned by a dead server after the run (must be 0).
+    pub dead_owned_entries: usize,
+    /// Directory size after the chaos run.
+    pub directory_entries: usize,
+    /// Cluster membership after the run, per server.
+    pub alive_at_end: Vec<bool>,
+}
+
+impl ChaosReport {
+    /// The digest `dstool` pins in `ci/bench_baseline.json` — the full
+    /// chaos stream, faults included.
+    pub fn digest(&self) -> u64 {
+        self.chaos_digest
+    }
+
+    /// Check the run's four contracts (see the [module docs](self)).
+    pub fn verify(&self) -> Result<(), String> {
+        if self.faults.is_empty() {
+            return Err("chaos run scheduled no faults — nothing was tested".to_string());
+        }
+        if self.chaos_prefix_digest != self.healthy_prefix_digest {
+            return Err(format!(
+                "healthy prefix diverged: chaos {:016x} vs fault-free {:016x} over \
+                 the first {} epoch(s) — an unarmed fault plan changed the stream",
+                self.chaos_prefix_digest, self.healthy_prefix_digest, self.prefix_epochs
+            ));
+        }
+        for (name, samples) in [
+            ("chaos", &self.chaos_epoch_samples),
+            ("fault-free", &self.healthy_epoch_samples),
+        ] {
+            for (e, &s) in samples.iter().enumerate() {
+                if s != self.config.items {
+                    return Err(format!(
+                        "{name} epoch {e}: {s} samples delivered, want exactly {} — \
+                         a fault lost or duplicated samples",
+                        self.config.items
+                    ));
+                }
+            }
+        }
+        if self.dead_owned_entries > 0 {
+            return Err(format!(
+                "{} directory entrie(s) still owned by a dead server — \
+                 rebalancing lost a shard",
+                self.dead_owned_entries
+            ));
+        }
+        let first_fault = self.prefix_epochs as usize;
+        let post = &self.chaos_epoch_cached_fraction
+            [first_fault.min(self.chaos_epoch_cached_fraction.len().saturating_sub(1))..];
+        let worst = post.iter().copied().fold(f64::INFINITY, f64::min);
+        let last = *post.last().expect("at least one post-fault epoch");
+        if last + 1e-9 < worst {
+            return Err(format!(
+                "hit ratio never recovered: final epoch serves {last:.3} of bytes \
+                 from cache, worse than the degraded trough {worst:.3}"
+            ));
+        }
+        let floor = self.config.recovery_fraction * self.healthy_final_cached_fraction;
+        if last < floor {
+            return Err(format!(
+                "post-rebalance recovery too weak: final cached fraction {last:.3} \
+                 below {floor:.3} ({}% of the fault-free twin's {:.3})",
+                (self.config.recovery_fraction * 100.0) as u32,
+                self.healthy_final_cached_fraction
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serialise through the shared `pipeline::json` emitter (digests as hex
+    /// strings, like the other runtime presets).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\"preset\":");
+        write_string(&mut out, CHAOS_NAME);
+        out.push_str(",\"nodes\":");
+        out.push_str(&self.config.nodes.to_string());
+        out.push_str(",\"items\":");
+        out.push_str(&self.config.items.to_string());
+        out.push_str(",\"epochs\":");
+        out.push_str(&self.config.epochs.to_string());
+        out.push_str(",\"prefix_epochs\":");
+        out.push_str(&self.prefix_epochs.to_string());
+        out.push_str(",\"stream_digest\":");
+        write_string(&mut out, &format!("{:016x}", self.chaos_digest));
+        out.push_str(",\"healthy_digest\":");
+        write_string(&mut out, &format!("{:016x}", self.healthy_digest));
+        out.push_str(",\"faults\":[");
+        for (i, f) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"at_epoch\":");
+            out.push_str(&f.at_epoch.to_string());
+            out.push_str(",\"node\":");
+            out.push_str(&f.node.to_string());
+            out.push_str(",\"kind\":");
+            write_string(&mut out, f.kind);
+            out.push('}');
+        }
+        out.push_str("],\"epoch_cached_fraction\":[");
+        for (i, &v) in self.chaos_epoch_cached_fraction.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_f64(&mut out, v);
+        }
+        out.push_str("],\"healthy_final_cached_fraction\":");
+        write_f64(&mut out, self.healthy_final_cached_fraction);
+        out.push_str(",\"directory_entries\":");
+        out.push_str(&self.directory_entries.to_string());
+        out.push_str(",\"alive_at_end\":[");
+        for (i, &a) in self.alive_at_end.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(if a { "true" } else { "false" });
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Run the preset: the chaos run and its fault-free twin at every worker
+/// count, with bit-equality enforced across worker counts.
+///
+/// # Panics
+/// Panics when a worker count delivers a different stream — the
+/// single-fetch-thread determinism contract, not a tolerance.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    assert!(cfg.nodes >= 2, "chaos needs at least two nodes");
+    assert!(
+        cfg.epochs >= 2,
+        "chaos needs a boundary for faults to fire on"
+    );
+    let plan = FaultPlan::seeded(cfg.nodes, cfg.epochs, cfg.faults, cfg.fault_seed, cfg.items);
+    let prefix_epochs = plan
+        .first_fault_step()
+        .map(|s| s / cfg.items)
+        .unwrap_or(cfg.epochs);
+
+    let mut report: Option<ChaosReport> = None;
+    for &workers in &cfg.worker_counts {
+        let chaos = run_once(cfg, Some(plan.clone()), prefix_epochs, workers);
+        let healthy = run_once(cfg, None, prefix_epochs, workers);
+        let faults = plan
+            .steps()
+            .iter()
+            .map(|s| ChaosFault {
+                at_epoch: s.at_step / cfg.items,
+                node: s.node,
+                kind: s.kind.name(),
+            })
+            .collect();
+        let this = ChaosReport {
+            config: cfg.clone(),
+            faults,
+            prefix_epochs,
+            chaos_prefix_digest: chaos.prefix_digest,
+            healthy_prefix_digest: healthy.prefix_digest,
+            chaos_digest: chaos.digest,
+            healthy_digest: healthy.digest,
+            chaos_epoch_samples: chaos.epoch_samples,
+            healthy_epoch_samples: healthy.epoch_samples,
+            chaos_epoch_cached_fraction: chaos.epoch_cached_fraction,
+            healthy_final_cached_fraction: *healthy
+                .epoch_cached_fraction
+                .last()
+                .expect("at least one epoch"),
+            dead_owned_entries: chaos.dead_owned_entries,
+            directory_entries: chaos.directory_entries,
+            alive_at_end: chaos.alive_at_end,
+        };
+        match &report {
+            None => report = Some(this),
+            Some(first) => {
+                assert_eq!(
+                    (this.chaos_digest, this.healthy_digest),
+                    (first.chaos_digest, first.healthy_digest),
+                    "chaos: workers={workers} delivered a different stream"
+                );
+            }
+        }
+    }
+    report.expect("worker_counts must not be empty")
+}
+
+/// Per-run observations shared by the chaos run and its twin.
+struct RunObs {
+    digest: u64,
+    prefix_digest: u64,
+    epoch_samples: Vec<u64>,
+    epoch_cached_fraction: Vec<f64>,
+    dead_owned_entries: usize,
+    directory_entries: usize,
+    alive_at_end: Vec<bool>,
+}
+
+fn run_once(
+    cfg: &ChaosConfig,
+    plan: Option<FaultPlan>,
+    prefix_epochs: u64,
+    workers: usize,
+) -> RunObs {
+    let spec = DatasetSpec::new("chaos", cfg.items, cfg.avg_item_bytes, 0.2, 4.0);
+    let total_bytes = spec.total_bytes();
+    let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec, 31));
+    let mut builder = Session::builder(
+        store,
+        SessionConfig {
+            batch_size: cfg.batch_size,
+            seed: cfg.seed,
+            num_workers: workers,
+            cache_capacity_bytes: total_bytes * cfg.cache_percent as u64 / 100,
+            ..SessionConfig::default()
+        },
+    )
+    .mode(Mode::Partitioned { nodes: cfg.nodes });
+    if let Some(plan) = plan {
+        builder = builder.fault_plan(plan);
+    }
+    let session = builder.build().expect("valid chaos session");
+
+    let mut digest = Fnv::new();
+    let mut prefix_digest = 0u64;
+    let mut epoch_samples = Vec::with_capacity(cfg.epochs as usize);
+    for epoch in 0..cfg.epochs {
+        let run = session.epoch(epoch);
+        let mut samples = 0u64;
+        // One node stream at a time: cluster fetches stay sequential, so the
+        // fault plan's step axis is identical for every worker count.
+        for node in 0..cfg.nodes {
+            for batch in run.stream(node) {
+                let mb = batch.expect("chaos epochs never fail a consumer");
+                samples += mb.len() as u64;
+                digest.u64(mb.epoch);
+                digest.u64(mb.index as u64);
+                for s in &mb.samples {
+                    digest.u64(s.item);
+                    digest.u64(s.augmentation_seed);
+                    digest.bytes(&s.data);
+                }
+            }
+        }
+        epoch_samples.push(samples);
+        if epoch + 1 == prefix_epochs {
+            prefix_digest = digest.finish();
+        }
+    }
+
+    let report = session.report();
+    let epoch_cached_fraction = report
+        .epochs
+        .iter()
+        .map(|e| {
+            let cached = e.bytes_from_cache + e.bytes_from_remote;
+            let total = cached + e.bytes_from_storage;
+            if total == 0 {
+                1.0
+            } else {
+                cached as f64 / total as f64
+            }
+        })
+        .collect();
+    let cluster = session
+        .partitioned_cluster()
+        .expect("partitioned session has a cluster");
+    let snapshot = cluster.directory_snapshot();
+    let dead_owned_entries = snapshot
+        .iter()
+        .filter(|&&(_, owner)| !cluster.is_alive(owner))
+        .count();
+    RunObs {
+        digest: digest.finish(),
+        prefix_digest,
+        epoch_samples,
+        epoch_cached_fraction,
+        dead_owned_entries,
+        directory_entries: snapshot.len(),
+        alive_at_end: (0..cfg.nodes).map(|n| cluster.is_alive(n)).collect(),
+    }
+}
+
+/// FNV-1a over 8-byte words (the same digest the other runtime sweeps use).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, w: u64) {
+        self.0 ^= w;
+        self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+    }
+
+    fn bytes(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.word(u64::from_le_bytes(tail) ^ ((rest.len() as u64) << 56));
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.word(v);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline::json::{parse, Value};
+
+    fn tiny() -> ChaosConfig {
+        ChaosConfig {
+            items: 200,
+            avg_item_bytes: 256,
+            batch_size: 20,
+            worker_counts: vec![1, 2],
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_run_passes_all_gates() {
+        let report = run_chaos(&tiny());
+        assert!(!report.faults.is_empty(), "schedule must not be empty");
+        assert!(report.prefix_epochs >= 1, "epoch 0 is always healthy");
+        report.verify().expect("chaos contract");
+        // The faults were not a no-op: the full streams differ even though
+        // the healthy prefixes match.
+        assert_eq!(report.chaos_prefix_digest, report.healthy_prefix_digest);
+    }
+
+    #[test]
+    fn verify_rejects_a_diverged_prefix() {
+        let mut report = run_chaos(&tiny());
+        report.chaos_prefix_digest ^= 1;
+        let err = report.verify().unwrap_err();
+        assert!(err.contains("healthy prefix diverged"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_lost_samples_and_lost_shards() {
+        let mut report = run_chaos(&tiny());
+        report.chaos_epoch_samples[1] -= 1;
+        let err = report.verify().unwrap_err();
+        assert!(err.contains("lost or duplicated"), "{err}");
+
+        let mut report = run_chaos(&tiny());
+        report.dead_owned_entries = 2;
+        let err = report.verify().unwrap_err();
+        assert!(err.contains("lost a shard"), "{err}");
+    }
+
+    #[test]
+    fn json_round_trips_with_hex_digest() {
+        let report = run_chaos(&ChaosConfig {
+            worker_counts: vec![1],
+            ..tiny()
+        });
+        let doc = parse(&report.to_json()).expect("valid JSON");
+        let digest = doc.get("stream_digest").and_then(Value::as_str).unwrap();
+        assert_eq!(digest, format!("{:016x}", report.digest()));
+        let faults = doc.get("faults").and_then(Value::as_array).unwrap();
+        assert_eq!(faults.len(), report.faults.len());
+        assert!(doc
+            .get("epoch_cached_fraction")
+            .and_then(Value::as_array)
+            .is_some());
+    }
+
+    #[test]
+    fn scaled_config_shrinks_items_only() {
+        let scaled = ChaosConfig::scaled(4);
+        assert!(scaled.items < ChaosConfig::default().items);
+        assert!(scaled.items >= 150);
+        assert_eq!(scaled.nodes, ChaosConfig::default().nodes);
+    }
+}

@@ -13,6 +13,7 @@
 //! paper's evaluation section; `EXPERIMENTS.md` records the paper-reported
 //! value next to the measured one for every row.
 
+pub mod chaos;
 pub mod fssweep;
 pub mod mega;
 pub mod multitenant;
@@ -23,6 +24,7 @@ pub mod scenarios;
 pub mod tiersweep;
 pub mod validation;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosFault, ChaosReport, CHAOS_NAME};
 pub use fssweep::{run_fs_sweep, FsSweepConfig, FsSweepPoint, FsSweepReport, FS_SWEEP_NAME};
 pub use mega::{run_mega_sweep, MegaSweepConfig, MegaSweepReport, MEGA_SWEEP_NAME};
 pub use multitenant::{

@@ -43,6 +43,17 @@ const CHURN_SEED: u64 = 0xE1A5;
 const CHURN_SAMPLE_METRICS: [&str; CHURN_TENANTS] =
     ["tenant0_samples", "tenant1_samples", "tenant2_samples"];
 
+/// Servers in the partitioned-chaos scenario.
+const CHAOS_SERVERS: usize = 3;
+
+/// Membership faults scheduled over a partitioned-chaos run.
+const CHAOS_FAULTS: usize = 2;
+
+/// Seed of the fault schedule shared by the simulator's
+/// `Scenario::PartitionedChaos` and the runtime session's
+/// [`coordl::FaultPlan`].
+const CHAOS_FAULT_SEED: u64 = 0xFA11;
+
 /// Configuration of one validation run.
 #[derive(Debug, Clone)]
 pub struct ValidationConfig {
@@ -96,7 +107,7 @@ pub enum GateKind {
 #[derive(Debug, Clone)]
 pub struct ValidationRow {
     /// Scenario label (`single-minio`, `single-lru`, `single-tiered`,
-    /// `hp-coordinated`).
+    /// `hp-coordinated`, `elastic-churn`, `fs-real`, `partitioned-chaos`).
     pub scenario: &'static str,
     /// Metric label (`steady_hit_ratio`, `steady_disk_bytes`, ...).
     pub metric: &'static str,
@@ -667,6 +678,146 @@ fn run_fs_real_scenario(
     ]
 }
 
+/// Failure-injection validation: the simulator's
+/// `Scenario::PartitionedChaos` against a runtime partitioned [`Session`]
+/// replaying the *identical* membership-fault schedule.  Both sides derive
+/// it from the same `fault_schedule(servers, epochs, faults, seed)` call:
+/// the simulator applies each event at its epoch boundary, and
+/// [`coordl::FaultPlan::seeded`] scales the same boundaries by the dataset
+/// length so the runtime's fetch-step clock fires each event before the
+/// same epoch.  Node streams are consumed sequentially in node order — the
+/// order the simulator sweeps its shards — so the shared directory and the
+/// per-node MinIO caches evolve identically on both sides, kills, leaves
+/// and rejoins included.
+fn run_partitioned_chaos_scenario(
+    cfg: &ValidationConfig,
+    spec: &DatasetSpec,
+    server: &ServerConfig,
+) -> Vec<ValidationRow> {
+    let servers = CHAOS_SERVERS;
+    let schedule = pipeline::fault_schedule(servers, cfg.epochs, CHAOS_FAULTS, CHAOS_FAULT_SEED);
+    assert!(
+        !schedule.is_empty(),
+        "the chaos validation seed must schedule at least one fault"
+    );
+
+    // --- Predicted: the simulator under the fault schedule. ----------------
+    let job = JobSpec::new(
+        gpu::ModelKind::ResNet18,
+        spec.clone(),
+        1,
+        LoaderConfig::coordl(PrepBackend::DaliCpu),
+    )
+    .with_seed(VALIDATION_SEED);
+    let sim = Experiment::on(server)
+        .job(job)
+        .scenario(Scenario::PartitionedChaos {
+            servers,
+            faults: CHAOS_FAULTS,
+            seed: CHAOS_FAULT_SEED,
+        })
+        .epochs(cfg.epochs)
+        .run();
+    let mut p_hits = 0u64;
+    let mut p_misses = 0u64;
+    let mut p_disk = 0u64;
+    let mut p_remote = 0u64;
+    let mut p_samples = 0u64;
+    for unit in sim.per_server() {
+        for e in &unit.epochs {
+            p_samples += e.samples;
+            if e.epoch >= 1 {
+                p_hits += e.cache_hits;
+                p_misses += e.cache_misses;
+                p_disk += e.bytes_from_disk;
+                p_remote += e.bytes_from_remote;
+            }
+        }
+    }
+
+    // --- Empirical: the partitioned runtime under the same schedule. -------
+    let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec.clone(), STORE_SEED));
+    let session = Session::builder(
+        store,
+        SessionConfig {
+            batch_size: 64,
+            num_workers: 1,
+            seed: VALIDATION_SEED,
+            cache_capacity_bytes: server.dram_cache_bytes,
+            take_timeout: Duration::from_secs(30),
+            ..SessionConfig::default()
+        },
+    )
+    .mode(Mode::Partitioned { nodes: servers })
+    .cache_policy(PolicyKind::MinIo)
+    .device_profile(server.device)
+    .fault_plan(coordl::FaultPlan::seeded(
+        servers,
+        cfg.epochs,
+        CHAOS_FAULTS,
+        CHAOS_FAULT_SEED,
+        spec.num_items,
+    ))
+    .build()
+    .expect("valid chaos validation session");
+    for epoch in 0..cfg.epochs {
+        let run = session.epoch(epoch);
+        for node in 0..servers {
+            for batch in run.stream(node) {
+                let _ = batch.expect("chaos epoch should complete");
+            }
+        }
+    }
+    let report = session.report();
+    let mut e_hits = 0u64;
+    let mut e_misses = 0u64;
+    let mut e_disk = 0u64;
+    let mut e_remote = 0u64;
+    let mut e_samples = 0u64;
+    for e in &report.epochs {
+        e_samples += e.samples_delivered;
+        if e.epoch >= 1 {
+            e_hits += e.cache_hits;
+            e_misses += e.cache_misses;
+            e_disk += e.bytes_from_storage;
+            e_remote += e.bytes_from_remote;
+        }
+    }
+
+    vec![
+        ValidationRow {
+            scenario: "partitioned-chaos",
+            metric: "aggregate_steady_hit_ratio",
+            predicted: p_hits as f64 / (p_hits + p_misses).max(1) as f64,
+            empirical: e_hits as f64 / (e_hits + e_misses).max(1) as f64,
+            gate: GateKind::Absolute,
+        },
+        ValidationRow {
+            scenario: "partitioned-chaos",
+            metric: "steady_disk_bytes",
+            predicted: p_disk as f64,
+            empirical: e_disk as f64,
+            gate: GateKind::Relative,
+        },
+        ValidationRow {
+            scenario: "partitioned-chaos",
+            metric: "steady_remote_bytes",
+            predicted: p_remote as f64,
+            empirical: e_remote as f64,
+            gate: GateKind::Relative,
+        },
+        // Exactly-once accounting: a fault must never lose or duplicate a
+        // sample, so the run totals agree to the sample on both sides.
+        ValidationRow {
+            scenario: "partitioned-chaos",
+            metric: "samples_delivered",
+            predicted: p_samples as f64,
+            empirical: e_samples as f64,
+            gate: GateKind::Relative,
+        },
+    ]
+}
+
 /// Run the full predicted-vs-empirical comparison.
 pub fn run_validation(cfg: &ValidationConfig) -> ValidationReport {
     assert!(cfg.epochs >= 2, "need a warm-up plus one steady epoch");
@@ -756,6 +907,10 @@ pub fn run_validation(cfg: &ValidationConfig) -> ValidationReport {
     // VFS, adding the predicted / modelled / measured timing columns.
     rows.extend(run_fs_real_scenario(cfg, &spec, &server));
 
+    // Partitioned caching under membership faults: the chaos simulator
+    // against a runtime cluster replaying the identical fault schedule.
+    rows.extend(run_partitioned_chaos_scenario(cfg, &spec, &server));
+
     ValidationReport {
         config: cfg.clone(),
         rows,
@@ -782,9 +937,23 @@ mod tests {
         let report = run_validation(&small_config());
         assert_eq!(
             report.rows.len(),
-            27,
+            31,
             "4 rows for each flat scenario, 6 for the tiered one, 5 for \
-             churn, 4 for fs-real"
+             churn, 4 for fs-real, 4 for partitioned-chaos"
+        );
+        let chaos: Vec<_> = report
+            .rows
+            .iter()
+            .filter(|r| r.scenario == "partitioned-chaos")
+            .collect();
+        assert_eq!(chaos.len(), 4);
+        let samples = chaos
+            .iter()
+            .find(|r| r.metric == "samples_delivered")
+            .expect("chaos reports sample accounting");
+        assert_eq!(
+            samples.predicted, samples.empirical,
+            "exactly-once delivery under faults"
         );
         let fs_real: Vec<_> = report
             .rows

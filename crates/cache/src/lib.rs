@@ -16,17 +16,24 @@
 //! * policy implementations: [`LruCache`], [`FifoCache`], [`ClockCache`]
 //!   (page-cache stand-ins) and [`MinIoCache`],
 //! * [`PartitionedIndex`] — the shard directory used by CoorDL's partitioned
-//!   cache for distributed training.
+//!   cache for distributed training,
+//! * fault machinery for chaos testing that directory: deterministic
+//!   membership schedules ([`fault_schedule`]) and rendezvous hashing
+//!   ([`rendezvous_order`]) for rebalancing when a node dies.
 
+pub mod fault;
 pub mod hierarchy;
 pub mod partitioned;
 pub mod policy;
+pub mod ring;
 pub mod sharded;
 pub mod stats;
 
+pub use fault::{fault_schedule, FaultEvent, FaultKind};
 pub use hierarchy::{ChainAccess, ChainSource, DemotionStats, TierChain, TierCost, TierSpec};
 pub use partitioned::{Location, PartitionedIndex, ServerId};
 pub use policy::{ClockCache, FifoCache, LruCache, MinIoCache, PolicyKind};
+pub use ring::{rendezvous_order, rendezvous_pick, rendezvous_score};
 pub use sharded::ShardedChain;
 pub use stats::{AccessOutcome, CacheStats};
 

@@ -86,6 +86,29 @@ impl PartitionedIndex {
         self.resident.len()
     }
 
+    /// Forget `item`'s residency (no-op when unregistered), returning the
+    /// server it was registered to.
+    pub fn unregister(&mut self, item: u64) -> Option<ServerId> {
+        self.resident.remove(&item)
+    }
+
+    /// Drop every entry registered to `server` — the directory's view of
+    /// that node dying — returning the orphaned items in ascending order so
+    /// callers can re-home them deterministically.
+    pub fn unregister_server(&mut self, server: ServerId) -> Vec<u64> {
+        let mut items: Vec<u64> = self
+            .resident
+            .iter()
+            .filter(|&(_, &s)| s == server)
+            .map(|(&item, _)| item)
+            .collect();
+        items.sort_unstable();
+        for item in &items {
+            self.resident.remove(item);
+        }
+        items
+    }
+
     /// Look up `item` from the point of view of `local` server.
     pub fn locate(&self, item: u64, local: ServerId) -> Location {
         match self.resident.get(&item) {
@@ -152,6 +175,26 @@ mod tests {
         }
         assert_eq!(idx.residency_by_server(), vec![5, 5]);
         assert_eq!(idx.resident_items(), 10);
+    }
+
+    #[test]
+    fn unregister_server_returns_orphans_in_order() {
+        let mut idx = PartitionedIndex::new(3);
+        for i in 0..12u64 {
+            idx.register(i, idx.owner_of(i));
+        }
+        let orphans = idx.unregister_server(ServerId(1));
+        assert_eq!(orphans, vec![1, 4, 7, 10]);
+        assert_eq!(idx.resident_items(), 8);
+        for &i in &orphans {
+            assert_eq!(idx.locate(i, ServerId(0)), Location::Storage);
+        }
+        // Other servers' registrations are untouched.
+        assert_eq!(idx.locate(0, ServerId(0)), Location::Local);
+        assert_eq!(idx.unregister_server(ServerId(1)), Vec::<u64>::new());
+        // Single-item unregister round-trips.
+        assert_eq!(idx.unregister(0), Some(ServerId(0)));
+        assert_eq!(idx.unregister(0), None);
     }
 
     #[test]

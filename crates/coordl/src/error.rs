@@ -39,6 +39,17 @@ pub enum CoordlError {
         /// What went wrong.
         detail: String,
     },
+    /// A remote peer's cache tier failed mid-lookup (a poisoned tier, a
+    /// panicking policy, an injected fault).  The degraded-mode signal of
+    /// the partitioned fetch path: the caller marks the peer dead and
+    /// retries through the surviving cluster, so a consumer stream never
+    /// loses the sample.
+    PeerFailed {
+        /// The server whose tier failed.
+        peer: usize,
+        /// The failure payload, when it was a string.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoordlError {
@@ -61,6 +72,9 @@ impl fmt::Display for CoordlError {
                 detail,
             } => {
                 write!(f, "backend {backend} failed reading item {item}: {detail}")
+            }
+            CoordlError::PeerFailed { peer, detail } => {
+                write!(f, "remote peer {peer} failed during lookup: {detail}")
             }
         }
     }
@@ -94,6 +108,12 @@ mod tests {
         };
         let s = io.to_string();
         assert!(s.contains("fs") && s.contains("42") && s.contains("truncated"));
+        let pf = CoordlError::PeerFailed {
+            peer: 2,
+            detail: "tier poisoned".into(),
+        };
+        let s = pf.to_string();
+        assert!(s.contains("peer 2") && s.contains("tier poisoned"));
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Fault injection for partitioned clusters: a deterministic [`FaultPlan`]
+//! driven by a shared [`FaultClock`].
+//!
+//! The clock counts cluster fetches; the plan is a sorted schedule of
+//! membership events (kill / graceful leave / rejoin) positioned on that
+//! step axis.  [`PartitionedCacheCluster`](crate::PartitionedCacheCluster)
+//! ticks the clock once per fetch and applies every event that has come due
+//! before serving, so a plan replays bit-identically whenever fetches are
+//! driven in the same order — which is exactly how the chaos bench compares
+//! a faulty run's healthy prefix against a fault-free twin.
+//!
+//! Schedules come from the same seeded generator the simulator uses
+//! ([`dcache::fault_schedule`]); [`FaultPlan::seeded`] scales its
+//! epoch-boundary units to fetch steps, so predicted (simulator) and
+//! empirical (runtime) degraded behaviour line up event for event.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use dcache::{FaultEvent, FaultKind};
+
+/// A monotonically increasing fetch-step counter shared by every node of a
+/// cluster.  Step 0 is "before the first fetch"; the n-th fetch observes
+/// step n.
+#[derive(Debug, Default)]
+pub struct FaultClock {
+    step: AtomicU64,
+}
+
+impl FaultClock {
+    /// A clock at step 0.
+    pub fn new() -> Self {
+        FaultClock::default()
+    }
+
+    /// Advance by one fetch and return the new step.
+    pub fn tick(&self) -> u64 {
+        self.step.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The current step without advancing.
+    pub fn now(&self) -> u64 {
+        self.step.load(Ordering::Relaxed)
+    }
+}
+
+/// One scheduled membership event on the fetch-step axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStep {
+    /// The event fires once `at_step` fetches have completed: the first
+    /// fetch to tick the [`FaultClock`] *past* `at_step` observes the new
+    /// membership before it is served.  With `at_step = epoch × dataset_len`
+    /// the event lands exactly on an epoch boundary.
+    pub at_step: u64,
+    /// The node the event applies to.
+    pub node: usize,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, sorted schedule of membership faults for one cluster.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    steps: Vec<FaultStep>,
+}
+
+impl FaultPlan {
+    /// Build a plan from explicit events; they are stably sorted by
+    /// `at_step`, so same-step events keep their given order.
+    pub fn new(mut steps: Vec<FaultStep>) -> Self {
+        steps.sort_by_key(|s| s.at_step);
+        FaultPlan { steps }
+    }
+
+    /// The seeded schedule shared with the simulator: `faults` events over
+    /// `epochs` epoch boundaries for a `nodes`-strong cluster, with each
+    /// boundary unit scaled to `steps_per_epoch` fetch steps (for a
+    /// partitioned session this is the dataset length — every epoch fetches
+    /// each item exactly once across the node shards).
+    pub fn seeded(
+        nodes: usize,
+        epochs: u64,
+        faults: usize,
+        seed: u64,
+        steps_per_epoch: u64,
+    ) -> Self {
+        let events = dcache::fault_schedule(nodes, epochs, faults, seed);
+        FaultPlan::new(
+            events
+                .into_iter()
+                .map(|e| FaultStep {
+                    at_step: e.at * steps_per_epoch,
+                    node: e.node,
+                    kind: e.kind,
+                })
+                .collect(),
+        )
+    }
+
+    /// The scheduled events, sorted by `at_step`.
+    pub fn steps(&self) -> &[FaultStep] {
+        &self.steps
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The step of the earliest event — the end of the guaranteed-healthy
+    /// prefix.
+    pub fn first_fault_step(&self) -> Option<u64> {
+        self.steps.first().map(|s| s.at_step)
+    }
+
+    /// The largest node index any event touches.
+    pub fn max_node(&self) -> Option<usize> {
+        self.steps.iter().map(|s| s.node).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_ticks_monotonically() {
+        let clock = FaultClock::new();
+        assert_eq!(clock.now(), 0);
+        assert_eq!(clock.tick(), 1);
+        assert_eq!(clock.tick(), 2);
+        assert_eq!(clock.now(), 2);
+    }
+
+    #[test]
+    fn plan_sorts_events_stably() {
+        let plan = FaultPlan::new(vec![
+            FaultStep {
+                at_step: 20,
+                node: 1,
+                kind: FaultKind::Kill,
+            },
+            FaultStep {
+                at_step: 10,
+                node: 2,
+                kind: FaultKind::Leave,
+            },
+            FaultStep {
+                at_step: 10,
+                node: 3,
+                kind: FaultKind::Kill,
+            },
+        ]);
+        let at: Vec<(u64, usize)> = plan.steps().iter().map(|s| (s.at_step, s.node)).collect();
+        assert_eq!(at, vec![(10, 2), (10, 3), (20, 1)]);
+        assert_eq!(plan.first_fault_step(), Some(10));
+        assert_eq!(plan.max_node(), Some(3));
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn seeded_plan_scales_epoch_units_to_steps() {
+        let plan = FaultPlan::seeded(4, 6, 5, 77, 1000);
+        let raw = dcache::fault_schedule(4, 6, 5, 77);
+        assert_eq!(plan.len(), raw.len());
+        for (step, event) in plan.steps().iter().zip(raw.iter()) {
+            assert_eq!(step.at_step, event.at * 1000);
+            assert_eq!(step.node, event.node);
+            assert_eq!(step.kind, event.kind);
+            assert_eq!(step.at_step % 1000, 0, "events land on epoch boundaries");
+        }
+        assert!(plan.first_fault_step().unwrap() >= 1000, "epoch 0 healthy");
+    }
+
+    #[test]
+    fn empty_plan_defaults() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert_eq!(plan.first_fault_step(), None);
+        assert_eq!(plan.max_node(), None);
+    }
+}

@@ -44,6 +44,7 @@ pub mod cache;
 pub mod coordinator;
 pub mod error;
 pub(crate) mod executor;
+pub mod fault;
 pub mod fsbackend;
 pub mod minibatch;
 pub mod partition;
@@ -59,9 +60,12 @@ pub use backend::{DirectBackend, FetchBackend, ProfiledBackend};
 pub use cache::MinIoByteCache;
 pub use coordinator::{EpochSession, JobEpochIterator};
 pub use error::CoordlError;
+pub use fault::{FaultClock, FaultEvent, FaultKind, FaultPlan, FaultStep};
 pub use fsbackend::FsBackend;
 pub use minibatch::Minibatch;
-pub use partition::{FetchOrigin, PartitionStats, PartitionedCacheCluster, RemotePeerTier};
+pub use partition::{
+    FetchOrigin, PartitionStats, PartitionedCacheCluster, RemoteHit, RemotePeerTier,
+};
 pub use report::{EpochTrajectory, LoaderReport, TenantReport};
 pub use server::{Server, ServerConfig, TenantHandle, TenantSpec, TenantView};
 pub use session::{BatchStream, EpochRun, Mode, Session, SessionBuilder, SessionConfig};

@@ -14,15 +14,40 @@
 //! ([`PartitionedCacheCluster::with_stack`]); [`RemotePeerTier`] views the
 //! peer caches as one intermediate [`CacheTier`] between a node's local
 //! chain and the durable store.
+//!
+//! # Fault tolerance
+//!
+//! The cluster is failure-aware: a [`FaultPlan`] installed via
+//! [`set_fault_plan`](PartitionedCacheCluster::set_fault_plan) (or direct
+//! calls to [`kill_node`](PartitionedCacheCluster::kill_node) /
+//! [`leave_node`](PartitionedCacheCluster::leave_node) /
+//! [`join_node`](PartitionedCacheCluster::join_node)) changes cache
+//! *membership*, never consumers: a dead node's tier stops serving and
+//! admitting, but fetches issued on its behalf still succeed through peers
+//! and the backend, so a consumer stream never loses or duplicates a
+//! sample.  On a kill, the directory entries the dead node owned are
+//! re-homed by rendezvous order to surviving nodes that already hold the
+//! bytes (their tier chains span any persistent spill levels, so a survivor
+//! "warms" from its local SSD tier before the item falls back to the
+//! durable store); a graceful leave additionally migrates the leaver's
+//! bytes into surviving tiers first.  A peer tier that fails mid-lookup
+//! surfaces as a typed [`CoordlError::PeerFailed`]; the fetch path marks
+//! the peer dead and retries with backoff through the surviving cluster.
 
 use crate::error::CoordlError;
+use crate::fault::{FaultClock, FaultPlan, FaultStep};
 use crate::stats::LoaderStats;
 use crate::{CacheTier, FetchBackend};
 use dataset::ItemId;
-use parking_lot::RwLock;
+use dcache::FaultKind;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A successful peer lookup: the served bytes and the owning peer's index,
+/// or `None` when no live peer holds the item.
+pub type RemoteHit = Option<(Arc<Vec<u8>>, usize)>;
 
 /// Where a partitioned-cache fetch was served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +92,33 @@ impl PartitionStats {
 struct ServerState {
     tier: Arc<dyn CacheTier>,
     stats: PartitionStats,
+    alive: bool,
+}
+
+/// Cursor over an installed [`FaultPlan`]: events before `next` have been
+/// applied.
+#[derive(Default)]
+struct FaultProgress {
+    steps: Vec<FaultStep>,
+    next: usize,
+}
+
+/// How often a fetch retries after a peer failure before surfacing the
+/// typed error.  Each retry first marks the failed peer dead, so the second
+/// attempt already routes around it; the cap only matters if *every*
+/// attempt hits a distinct failing peer.
+const MAX_FETCH_ATTEMPTS: u32 = 3;
+
+/// Extract a printable panic payload (the same convention the executor uses
+/// for worker panics).
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A job-wide partitioned cache over a set of per-server cache tiers.
@@ -75,6 +127,12 @@ pub struct PartitionedCacheCluster {
     servers: RwLock<Vec<ServerState>>,
     directory: RwLock<HashMap<ItemId, usize>>,
     loader_stats: Arc<LoaderStats>,
+    clock: FaultClock,
+    faults: Mutex<FaultProgress>,
+    /// Set once fault machinery is in play (a plan installed or a membership
+    /// call made); the healthy fast path checks one relaxed atomic and
+    /// otherwise behaves bit-identically to a fault-free cluster.
+    chaos: AtomicBool,
 }
 
 impl PartitionedCacheCluster {
@@ -91,6 +149,7 @@ impl PartitionedCacheCluster {
             .map(|tier| ServerState {
                 tier,
                 stats: PartitionStats::default(),
+                alive: true,
             })
             .collect();
         PartitionedCacheCluster {
@@ -98,6 +157,9 @@ impl PartitionedCacheCluster {
             servers: RwLock::new(servers),
             directory: RwLock::new(HashMap::new()),
             loader_stats,
+            clock: FaultClock::new(),
+            faults: Mutex::new(FaultProgress::default()),
+            chaos: AtomicBool::new(false),
         }
     }
 
@@ -136,49 +198,311 @@ impl PartitionedCacheCluster {
         self.directory.read().len()
     }
 
+    /// Sorted `(item, owner)` snapshot of the directory, for invariant
+    /// checks (every owner must be alive and actually hold the item).
+    pub fn directory_snapshot(&self) -> Vec<(ItemId, usize)> {
+        let mut entries: Vec<(ItemId, usize)> = self
+            .directory
+            .read()
+            .iter()
+            .map(|(&item, &server)| (item, server))
+            .collect();
+        entries.sort_unstable();
+        entries
+    }
+
+    /// The shared fetch-step clock faults are scheduled against.
+    pub fn fault_clock(&self) -> &FaultClock {
+        &self.clock
+    }
+
+    /// Install (or replace) the cluster's fault plan.  Events fire as the
+    /// fetch path ticks the [`FaultClock`] past their `at_step`.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        let mut faults = self.faults.lock();
+        faults.steps = plan.steps().to_vec();
+        faults.next = 0;
+        drop(faults);
+        self.chaos.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether `server`'s cache membership is currently alive.
+    pub fn is_alive(&self, server: usize) -> bool {
+        self.servers.read().get(server).is_some_and(|s| s.alive)
+    }
+
+    /// Indices of the currently alive servers, ascending.
+    pub fn alive_servers(&self) -> Vec<usize> {
+        self.servers
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Abruptly kill `server`'s cache membership (no-op when already dead).
+    ///
+    /// Its tier stops serving, admitting and registering; directory entries
+    /// it owned are re-homed by rendezvous preference to surviving nodes
+    /// that already hold the bytes (in DRAM or a lower persistent tier) and
+    /// dropped otherwise — the next fetch of a dropped item falls back to
+    /// the durable store and re-registers wherever it lands.  Consumers
+    /// fetching *as* the dead node keep succeeding through peers and the
+    /// backend.
+    pub fn kill_node(&self, server: usize) {
+        self.chaos.store(true, Ordering::Relaxed);
+        let Some(alive_tiers) = self.mark_dead(server) else {
+            return;
+        };
+        self.rehome_entries_of(server, &alive_tiers, None);
+    }
+
+    /// Gracefully decommission `server` (no-op when already dead): like
+    /// [`kill_node`](Self::kill_node), but the leaver first migrates the
+    /// bytes of every directory entry it owns into the first surviving
+    /// rendezvous preference that will retain them, so ample-capacity
+    /// clusters lose no shard coverage.
+    pub fn leave_node(&self, server: usize) {
+        self.chaos.store(true, Ordering::Relaxed);
+        let leaver = {
+            let servers = self.servers.read();
+            match servers.get(server) {
+                Some(s) if s.alive => Arc::clone(&s.tier),
+                _ => return,
+            }
+        };
+        let Some(alive_tiers) = self.mark_dead(server) else {
+            return;
+        };
+        self.rehome_entries_of(server, &alive_tiers, Some(&leaver));
+    }
+
+    /// Mark a previously dead `server` alive again (no-op when alive or out
+    /// of range).  Its tier rejoins with whatever it still holds — a warm
+    /// restart; see [`rejoin_with_tier`](Self::rejoin_with_tier) for a
+    /// restart that rebuilds the tier (e.g. replaying a persistent spill
+    /// store).  Rejoined contents are re-advertised in the directory lazily,
+    /// as local hits touch them.
+    pub fn join_node(&self, server: usize) {
+        self.chaos.store(true, Ordering::Relaxed);
+        let mut servers = self.servers.write();
+        if let Some(state) = servers.get_mut(server) {
+            state.alive = true;
+        }
+    }
+
+    /// Rejoin `server` with a replacement tier — the restarted-process case,
+    /// where a fresh cache chain was warmed from the node's persistent
+    /// [`SpillStore`](vfs::SpillStore) tier rather than inherited in
+    /// memory.
+    pub fn rejoin_with_tier(&self, server: usize, tier: Arc<dyn CacheTier>) {
+        self.chaos.store(true, Ordering::Relaxed);
+        let mut servers = self.servers.write();
+        if let Some(state) = servers.get_mut(server) {
+            state.tier = tier;
+            state.alive = true;
+        }
+    }
+
+    /// Flip `server` dead, returning a tier handle per *surviving* slot
+    /// (`None` for dead ones) — or `None` if the server was already dead or
+    /// out of range.
+    fn mark_dead(&self, server: usize) -> Option<Vec<Option<Arc<dyn CacheTier>>>> {
+        let mut servers = self.servers.write();
+        match servers.get(server) {
+            Some(s) if s.alive => {}
+            _ => return None,
+        }
+        servers[server].alive = false;
+        Some(
+            servers
+                .iter()
+                .map(|s| s.alive.then(|| Arc::clone(&s.tier)))
+                .collect(),
+        )
+    }
+
+    /// Re-home every directory entry owned by the (now dead) `server`:
+    /// surviving candidates are tried in rendezvous order, first one already
+    /// holding the item wins; with `migrate_from` (a graceful leave) the
+    /// leaver's bytes are offered to each candidate until one retains them.
+    /// Items no survivor ends up holding are dropped from the directory —
+    /// their next fetch is a storage read, never a lost sample.  Orphans are
+    /// processed in ascending item order so rebalancing is deterministic.
+    fn rehome_entries_of(
+        &self,
+        server: usize,
+        alive_tiers: &[Option<Arc<dyn CacheTier>>],
+        migrate_from: Option<&Arc<dyn CacheTier>>,
+    ) {
+        let num_servers = alive_tiers.len();
+        let mut directory = self.directory.write();
+        let mut orphans: Vec<ItemId> = directory
+            .iter()
+            .filter(|&(_, &owner)| owner == server)
+            .map(|(&item, _)| item)
+            .collect();
+        orphans.sort_unstable();
+        for item in orphans {
+            let mut new_owner = None;
+            for candidate in dcache::rendezvous_order(item, num_servers) {
+                let Some(tier) = &alive_tiers[candidate] else {
+                    continue;
+                };
+                // A survivor may already hold the item in any level of its
+                // chain — including a persistent SSD spill tier, which is
+                // exactly the "warm from local SSD before hitting the
+                // durable store" path.
+                if tier.contains(item) {
+                    new_owner = Some(candidate);
+                    break;
+                }
+                if let Some(from) = migrate_from {
+                    if let Some(bytes) = from.lookup(item) {
+                        drop(tier.admit(item, bytes));
+                        if tier.contains(item) {
+                            new_owner = Some(candidate);
+                            break;
+                        }
+                    }
+                }
+            }
+            match new_owner {
+                Some(owner) => {
+                    directory.insert(item, owner);
+                }
+                None => {
+                    directory.remove(&item);
+                }
+            }
+        }
+    }
+
+    /// Tick the fault clock and apply every event that has come due.  The
+    /// healthy path (no plan, no membership calls) is one relaxed load.
+    fn apply_due_faults(&self) {
+        if !self.chaos.load(Ordering::Relaxed) {
+            return;
+        }
+        let step = self.clock.tick();
+        loop {
+            let due = {
+                let mut faults = self.faults.lock();
+                match faults.steps.get(faults.next).copied() {
+                    Some(s) if s.at_step < step => {
+                        faults.next += 1;
+                        Some(s)
+                    }
+                    _ => None,
+                }
+            };
+            let Some(event) = due else { break };
+            match event.kind {
+                FaultKind::Kill => self.kill_node(event.node),
+                FaultKind::Leave => self.leave_node(event.node),
+                FaultKind::Join => self.join_node(event.node),
+            }
+        }
+    }
+
     /// Fetch `item` on behalf of `server`, following the CoorDL lookup order:
     /// local cache tier → remote peer tier (via the directory) → backend.
-    /// A failed backend read is a typed [`CoordlError::BackendIo`].
+    /// A failed backend read is a typed [`CoordlError::BackendIo`]; an
+    /// out-of-range `server` a typed [`CoordlError::InvalidConfig`].  A peer
+    /// tier failing mid-lookup ([`CoordlError::PeerFailed`]) marks that peer
+    /// dead and retries with backoff, so the sample is still served (from
+    /// the surviving cluster or storage) unless every retry hits a freshly
+    /// failing peer.
     pub fn fetch(
         &self,
         server: usize,
         item: ItemId,
     ) -> Result<(Arc<Vec<u8>>, FetchOrigin), CoordlError> {
-        // 1. Local cache chain.
-        {
+        self.apply_due_faults();
+        let mut last_err = None;
+        for attempt in 0..MAX_FETCH_ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(100 << attempt));
+            }
+            match self.fetch_once(server, item) {
+                Ok(served) => return Ok(served),
+                Err(CoordlError::PeerFailed { peer, detail }) => {
+                    self.kill_node(peer);
+                    last_err = Some(CoordlError::PeerFailed { peer, detail });
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last_err.expect("retry loop exits early unless a peer failed"))
+    }
+
+    /// One fetch attempt (no fault application, no retry).
+    fn fetch_once(
+        &self,
+        server: usize,
+        item: ItemId,
+    ) -> Result<(Arc<Vec<u8>>, FetchOrigin), CoordlError> {
+        // 1. Local cache chain — unless this node's cache membership is
+        // dead (its consumer keeps fetching; the bytes just can't come from
+        // the lost cache).
+        let local = {
             let servers = self.servers.read();
-            assert!(server < servers.len(), "server {server} out of range");
-            if let Some((bytes, level)) = servers[server].tier.lookup_traced(item) {
-                drop(servers);
+            let num_servers = servers.len();
+            let Some(state) = servers.get(server) else {
+                return Err(CoordlError::InvalidConfig(format!(
+                    "server {server} out of range ({num_servers} servers)"
+                )));
+            };
+            if state.alive {
+                state.tier.lookup_traced(item)
+            } else {
+                None
+            }
+        };
+        if let Some((bytes, level)) = local {
+            {
                 let mut servers = self.servers.write();
                 servers[server].stats.local_hits += 1;
-                self.loader_stats.record_cache_read(bytes.len() as u64);
-                if level > 0 {
-                    self.loader_stats.record_lower_tier_read(bytes.len() as u64);
-                }
-                return Ok((bytes, FetchOrigin::LocalCache));
             }
+            self.loader_stats.record_cache_read(bytes.len() as u64);
+            if level > 0 {
+                self.loader_stats.record_lower_tier_read(bytes.len() as u64);
+            }
+            // Under chaos a rejoined node holds items the rebalance dropped
+            // from the directory; re-advertise them as they are touched so
+            // peers regain remote hits (the post-rebalance recovery path).
+            if self.chaos.load(Ordering::Relaxed) && !self.directory.read().contains_key(&item) {
+                self.directory.write().entry(item).or_insert(server);
+            }
+            return Ok((bytes, FetchOrigin::LocalCache));
         }
         // 2. The remote peer tier: the directory resolves the owner, the
         // peer's cache chain serves the bytes (over the network in the real
         // system — §4.2: 10-40 Gbps beats the local SATA SSD).
-        if let Some((bytes, peer)) = self.remote_lookup(server, item) {
-            let mut servers = self.servers.write();
-            servers[server].stats.remote_hits += 1;
-            servers[server].stats.remote_bytes_in += bytes.len() as u64;
-            servers[peer].stats.remote_bytes_out += bytes.len() as u64;
+        if let Some((bytes, peer)) = self.remote_lookup(server, item)? {
+            {
+                let mut servers = self.servers.write();
+                servers[server].stats.remote_hits += 1;
+                servers[server].stats.remote_bytes_in += bytes.len() as u64;
+                servers[peer].stats.remote_bytes_out += bytes.len() as u64;
+            }
             self.loader_stats.record_remote_read(bytes.len() as u64);
             return Ok((bytes, FetchOrigin::RemoteCache(peer)));
         }
-        // 3. Backend: read locally, admit into the local tier and register.
+        // 3. Backend: read locally, admit into the local tier and register
+        // (a dead node's cache neither admits nor registers).
         let bytes = Arc::new(self.backend.read(item)?);
         let size = bytes.len() as u64;
-        let admitted;
+        let mut admitted = false;
         {
             let servers = self.servers.read();
-            let retained = servers[server].tier.admit(item, Arc::clone(&bytes));
-            admitted = servers[server].tier.contains(item);
-            drop(retained);
+            if servers[server].alive {
+                let retained = servers[server].tier.admit(item, Arc::clone(&bytes));
+                admitted = servers[server].tier.contains(item);
+                drop(retained);
+            }
         }
         if admitted {
             self.directory.write().insert(item, server);
@@ -199,16 +523,43 @@ impl PartitionedCacheCluster {
     }
 
     /// Resolve `item` through the directory and read it from the owning
-    /// peer's cache chain (`None` when uncached, unowned, or owned by
-    /// `server` itself — a racing local eviction).  This is the lookup half
-    /// of the remote tier; [`RemotePeerTier`] wraps it as a [`CacheTier`].
-    fn remote_lookup(&self, server: usize, item: ItemId) -> Option<(Arc<Vec<u8>>, usize)> {
-        let peer = self.directory.read().get(&item).copied()?;
+    /// peer's cache chain (`Ok(None)` when uncached, unowned, owned by
+    /// `server` itself — a racing local eviction — or owned by a dead
+    /// peer).  A peer tier that panics mid-lookup is a typed
+    /// [`CoordlError::PeerFailed`], never a propagated panic.  This is the
+    /// lookup half of the remote tier; [`RemotePeerTier`] wraps it as a
+    /// [`CacheTier`], and [`fetch`](Self::fetch) layers retry-and-kill on
+    /// top.
+    fn remote_lookup(&self, server: usize, item: ItemId) -> Result<RemoteHit, CoordlError> {
+        let Some(peer) = self.directory.read().get(&item).copied() else {
+            return Ok(None);
+        };
         if peer == server {
-            return None;
+            return Ok(None);
         }
-        let bytes = self.servers.read()[peer].tier.lookup(item)?;
-        Some((bytes, peer))
+        let tier = {
+            let servers = self.servers.read();
+            match servers.get(peer) {
+                Some(state) if state.alive => Arc::clone(&state.tier),
+                _ => return Ok(None),
+            }
+        };
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tier.lookup(item))) {
+            Ok(Some(bytes)) => Ok(Some((bytes, peer))),
+            Ok(None) => Ok(None),
+            Err(payload) => Err(CoordlError::PeerFailed {
+                peer,
+                detail: panic_detail(payload),
+            }),
+        }
+    }
+
+    /// Public probe of the remote-lookup half without the fetch path's
+    /// kill-and-retry: resolves `item` through the directory and reads it
+    /// from the owning peer, surfacing a failing peer as the typed
+    /// [`CoordlError::PeerFailed`] the retry machinery consumes.
+    pub fn remote_fetch(&self, server: usize, item: ItemId) -> Result<RemoteHit, CoordlError> {
+        self.remote_lookup(server, item)
     }
 
     /// View the cluster's peer caches as one intermediate cache tier from
@@ -230,6 +581,8 @@ impl PartitionedCacheCluster {
 /// directory.  Lookups serve peer-resident bytes; `admit` is a no-op (peers
 /// populate their own tiers when they fetch), so the tier is purely an
 /// intermediate level between a node's local chain and the durable store.
+/// Dead peers are invisible: their bytes neither serve lookups nor count
+/// toward the view's capacity.
 pub struct RemotePeerTier {
     cluster: Arc<PartitionedCacheCluster>,
     server: usize,
@@ -243,11 +596,14 @@ pub struct RemotePeerTier {
 impl CacheTier for RemotePeerTier {
     fn lookup(&self, item: ItemId) -> Option<Arc<Vec<u8>>> {
         match self.cluster.remote_lookup(self.server, item) {
-            Some((bytes, _)) => {
+            Ok(Some((bytes, _))) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(bytes)
             }
-            None => {
+            // A failing peer is a miss from the tier-view's perspective —
+            // the degraded-mode error is the cluster fetch path's to
+            // handle, and a `CacheTier` lookup must not panic.
+            Ok(None) | Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -261,9 +617,14 @@ impl CacheTier for RemotePeerTier {
     fn contains(&self, item: ItemId) -> bool {
         // The directory alone is not enough: an evicting peer policy can
         // drop a registered item, and `contains` must imply a successful
-        // lookup.
+        // lookup.  Dead peers never "contain" anything.
         match self.cluster.directory.read().get(&item) {
-            Some(&peer) if peer != self.server => self.cluster.tier(peer).contains(item),
+            Some(&peer) if peer != self.server => {
+                let servers = self.cluster.servers.read();
+                servers
+                    .get(peer)
+                    .is_some_and(|s| s.alive && s.tier.contains(item))
+            }
             _ => false,
         }
     }
@@ -294,10 +655,17 @@ impl CacheTier for RemotePeerTier {
 }
 
 impl RemotePeerTier {
-    fn peers(&self) -> impl Iterator<Item = Arc<dyn CacheTier>> + '_ {
-        (0..self.cluster.num_servers())
-            .filter(move |&s| s != self.server)
-            .map(|s| self.cluster.tier(s))
+    /// The *alive* peer tiers this view spans.
+    fn peers(&self) -> impl Iterator<Item = Arc<dyn CacheTier>> {
+        let servers = self.cluster.servers.read();
+        let me = self.server;
+        servers
+            .iter()
+            .enumerate()
+            .filter(|&(s, state)| s != me && state.alive)
+            .map(|(_, state)| Arc::clone(&state.tier))
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 }
 
@@ -532,10 +900,268 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn out_of_range_server_rejected() {
+    fn out_of_range_server_is_a_typed_error() {
         let ds = dataset(10, 10);
         let cluster = minio_cluster(ds, 2, 1000);
-        let _ = cluster.fetch(5, 0);
+        match cluster.fetch(5, 0) {
+            Err(CoordlError::InvalidConfig(msg)) => {
+                assert!(msg.contains("out of range"), "unexpected message: {msg}")
+            }
+            other => panic!("expected a typed out-of-range error, got {other:?}"),
+        }
+    }
+
+    // -- fault tolerance ---------------------------------------------------
+
+    /// A tier that works normally until poisoned, then panics on lookup —
+    /// the stand-in for a peer whose cache process died mid-request.
+    struct PoisonableTier {
+        inner: MinIoByteCache,
+        poisoned: AtomicBool,
+    }
+
+    impl PoisonableTier {
+        fn new(capacity: u64) -> Self {
+            PoisonableTier {
+                inner: MinIoByteCache::new(capacity),
+                poisoned: AtomicBool::new(false),
+            }
+        }
+
+        fn poison(&self) {
+            self.poisoned.store(true, Ordering::Relaxed);
+        }
+    }
+
+    impl CacheTier for PoisonableTier {
+        fn lookup(&self, item: ItemId) -> Option<Arc<Vec<u8>>> {
+            assert!(!self.poisoned.load(Ordering::Relaxed), "peer tier poisoned");
+            self.inner.lookup(item)
+        }
+        fn admit(&self, item: ItemId, bytes: Arc<Vec<u8>>) -> Arc<Vec<u8>> {
+            self.inner.admit(item, bytes)
+        }
+        fn contains(&self, item: ItemId) -> bool {
+            self.inner.contains(item)
+        }
+        fn used_bytes(&self) -> u64 {
+            self.inner.used_bytes()
+        }
+        fn capacity_bytes(&self) -> u64 {
+            self.inner.capacity_bytes()
+        }
+        fn resident_items(&self) -> usize {
+            self.inner.resident_items()
+        }
+        fn hits(&self) -> u64 {
+            self.inner.hits()
+        }
+        fn misses(&self) -> u64 {
+            self.inner.misses()
+        }
+        fn policy_name(&self) -> &'static str {
+            "poisonable"
+        }
+    }
+
+    #[test]
+    fn poisoned_peer_yields_typed_error_not_panic() {
+        let n = 20;
+        let ds = dataset(n, 64);
+        let poisonable = Arc::new(PoisonableTier::new(64 * n));
+        let tiers: Vec<Arc<dyn CacheTier>> = vec![
+            Arc::new(MinIoByteCache::new(64 * n)),
+            Arc::clone(&poisonable) as Arc<dyn CacheTier>,
+        ];
+        let cluster = PartitionedCacheCluster::with_stack(
+            Arc::new(DirectBackend::new(ds)),
+            tiers,
+            Arc::new(LoaderStats::default()),
+        );
+        run_epoch(&cluster, n, 0, 2);
+        // Pick an item the directory maps to the poisonable peer.
+        let victim = cluster
+            .directory_snapshot()
+            .into_iter()
+            .find(|&(_, owner)| owner == 1)
+            .expect("peer 1 owns part of the dataset")
+            .0;
+        poisonable.poison();
+        // The raw lookup half surfaces the typed degraded-mode error.
+        match cluster.remote_fetch(0, victim) {
+            Err(CoordlError::PeerFailed { peer: 1, detail }) => {
+                assert!(detail.contains("poisoned"), "detail: {detail}")
+            }
+            other => panic!("expected PeerFailed, got {other:?}"),
+        }
+        // The full fetch path retries: the peer is marked dead and the
+        // sample is still served (from storage), never lost.
+        let (bytes, origin) = cluster.fetch(0, victim).unwrap();
+        assert!(!bytes.is_empty());
+        assert_eq!(origin, FetchOrigin::Storage);
+        assert!(!cluster.is_alive(1), "failing peer was quarantined");
+        assert!(cluster.is_alive(0));
+        // The remote tier view degrades to misses instead of panicking.
+        let view = Arc::new(cluster).remote_tier(0);
+        assert!(view.lookup(victim).is_none());
+    }
+
+    #[test]
+    fn kill_rehomes_entries_to_survivors_that_hold_the_bytes() {
+        let n = 30;
+        let ds = dataset(n, 64);
+        let cluster = minio_cluster(Arc::clone(&ds) as Arc<dyn DataSource>, 2, 64 * n);
+        run_epoch(&cluster, n, 0, 2);
+        assert_eq!(cluster.directory_len(), n as usize);
+        // Pre-warm the survivor with everything the victim owns — the
+        // moral equivalent of node 0 having replayed those items into its
+        // chain from a persistent spill tier.
+        let victim_items: Vec<ItemId> = cluster
+            .directory_snapshot()
+            .into_iter()
+            .filter(|&(_, owner)| owner == 1)
+            .map(|(item, _)| item)
+            .collect();
+        assert!(!victim_items.is_empty());
+        for &item in &victim_items {
+            let (bytes, _) = cluster.fetch(1, item).unwrap();
+            drop(cluster.tier(0).admit(item, bytes));
+        }
+        let storage_before = cluster.total_storage_bytes();
+        cluster.kill_node(1);
+        assert!(!cluster.is_alive(1));
+        assert_eq!(cluster.alive_servers(), vec![0]);
+        // Nothing was lost: every entry survived, re-homed to node 0.
+        assert_eq!(cluster.directory_len(), n as usize);
+        assert!(cluster
+            .directory_snapshot()
+            .iter()
+            .all(|&(_, owner)| owner == 0));
+        // Refetching the victim's former shard needs no storage I/O.
+        for &item in &victim_items {
+            let (_, origin) = cluster.fetch(0, item).unwrap();
+            assert_eq!(origin, FetchOrigin::LocalCache, "item {item}");
+        }
+        assert_eq!(cluster.total_storage_bytes(), storage_before);
+        // Double-kill is a no-op.
+        cluster.kill_node(1);
+        assert_eq!(cluster.directory_len(), n as usize);
+    }
+
+    #[test]
+    fn kill_without_replicas_drops_entries_and_recovers_via_storage() {
+        let n = 40;
+        let ds = dataset(n, 64);
+        let cluster = minio_cluster(ds, 2, 64 * n);
+        run_epoch(&cluster, n, 0, 2);
+        let owned_by_1 = cluster
+            .directory_snapshot()
+            .iter()
+            .filter(|&&(_, owner)| owner == 1)
+            .count();
+        assert!(owned_by_1 > 0);
+        cluster.kill_node(1);
+        // No survivor holds the victim's items, so their entries are gone…
+        assert_eq!(cluster.directory_len(), n as usize - owned_by_1);
+        // …and a full sweep by the survivor re-reads exactly those from
+        // storage (a dead node's own fetches are also served, but neither
+        // admit nor register), after which the directory is whole again.
+        for item in 0..n {
+            cluster.fetch(0, item).unwrap();
+        }
+        assert_eq!(
+            cluster.aggregate_stats().storage_reads,
+            n + owned_by_1 as u64,
+            "exactly the orphaned items were re-read"
+        );
+        assert_eq!(cluster.directory_len(), n as usize);
+        // Steady state after the rebalance: no storage traffic at all.
+        for item in 0..n {
+            let (_, origin) = cluster.fetch(0, item).unwrap();
+            assert_eq!(origin, FetchOrigin::LocalCache, "item {item}");
+        }
+        assert_eq!(
+            cluster.aggregate_stats().storage_reads,
+            n + owned_by_1 as u64,
+            "hit ratio fully recovered post-rebalance"
+        );
+    }
+
+    #[test]
+    fn graceful_leave_migrates_bytes_so_no_shard_is_lost() {
+        let n = 50;
+        let ds = dataset(n, 64);
+        // Ample capacity everywhere: the survivor can absorb the whole
+        // leaver shard.
+        let cluster = minio_cluster(ds, 2, 2 * 64 * n);
+        run_epoch(&cluster, n, 0, 2);
+        let storage_before = cluster.total_storage_bytes();
+        cluster.leave_node(1);
+        assert!(!cluster.is_alive(1));
+        // No lost shard: every item is still directory-resident on node 0.
+        assert_eq!(cluster.directory_len(), n as usize);
+        assert!(cluster
+            .directory_snapshot()
+            .iter()
+            .all(|&(_, owner)| owner == 0));
+        run_epoch(&cluster, n, 1, 2);
+        assert_eq!(
+            cluster.total_storage_bytes(),
+            storage_before,
+            "migration made the leave storage-free"
+        );
+    }
+
+    #[test]
+    fn rejoin_serves_stale_warm_contents_and_readvertises_lazily() {
+        let n = 30;
+        let ds = dataset(n, 64);
+        let cluster = minio_cluster(ds, 2, 64 * n);
+        run_epoch(&cluster, n, 0, 2);
+        cluster.kill_node(1);
+        let dropped = n as usize - cluster.directory_len();
+        assert!(dropped > 0);
+        cluster.join_node(1);
+        assert!(cluster.is_alive(1));
+        // The rejoined node still holds its (immutable, thus valid) bytes:
+        // fetching as node 1 is pure local hits, and each hit re-advertises
+        // the item so the directory heals without storage traffic.
+        let storage_before = cluster.total_storage_bytes();
+        let sampler = EpochSampler::new(n, 42);
+        for item in sampler.distributed_shard(0, 1, 2) {
+            let (_, origin) = cluster.fetch(1, item).unwrap();
+            assert_eq!(origin, FetchOrigin::LocalCache);
+        }
+        assert_eq!(cluster.total_storage_bytes(), storage_before);
+        assert_eq!(cluster.directory_len(), n as usize, "directory healed");
+    }
+
+    #[test]
+    fn fault_plan_fires_on_the_fetch_step_axis() {
+        let n = 20u64;
+        let ds = dataset(n, 64);
+        let cluster = minio_cluster(ds, 2, 64 * n);
+        // Kill node 1 after one full epoch's worth of fetches.
+        cluster.set_fault_plan(FaultPlan::new(vec![FaultStep {
+            at_step: n,
+            node: 1,
+            kind: FaultKind::Kill,
+        }]));
+        run_epoch(&cluster, n, 0, 2);
+        assert!(
+            cluster.is_alive(1),
+            "epoch 0 is the guaranteed-healthy prefix"
+        );
+        assert_eq!(cluster.fault_clock().now(), n);
+        run_epoch(&cluster, n, 1, 2);
+        assert!(!cluster.is_alive(1), "the plan killed node 1 in epoch 1");
+        // Exactly-once accounting holds across the fault: every fetch was
+        // served by exactly one origin.
+        let agg = cluster.aggregate_stats();
+        assert_eq!(
+            agg.local_hits + agg.remote_hits + agg.storage_reads,
+            2 * n,
+            "each of the {n} items was fetched once per epoch"
+        );
     }
 }

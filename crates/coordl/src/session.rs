@@ -40,6 +40,7 @@
 use crate::coordinator::{CoordinatedEngine, EpochSession, JobEpochIterator};
 use crate::error::CoordlError;
 use crate::executor::{spawn_ordered_epoch, FetchFn, OrderedStream};
+use crate::fault::FaultPlan;
 use crate::minibatch::Minibatch;
 use crate::partition::PartitionedCacheCluster;
 use crate::report::{EpochTrajectory, LoaderReport};
@@ -151,6 +152,7 @@ pub struct SessionBuilder {
     backend: Option<Arc<dyn FetchBackend>>,
     profile: Option<storage::DeviceProfile>,
     tier: TierChoice,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl SessionBuilder {
@@ -227,6 +229,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Inject a deterministic membership-fault schedule into the partitioned
+    /// cluster ([`Mode::Partitioned`] only).  The plan's events fire on the
+    /// cluster's shared fetch-step axis, so the same plan replays
+    /// bit-identically for any worker count.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Validate the configuration and build the session.
     pub fn build(self) -> Result<Session, CoordlError> {
         let config = &self.config;
@@ -259,6 +270,21 @@ impl SessionBuilder {
             return Err(CoordlError::InvalidConfig(
                 "fetch_backend and device_profile are mutually exclusive".into(),
             ));
+        }
+        if let Some(plan) = &self.fault_plan {
+            let Mode::Partitioned { nodes } = self.mode else {
+                return Err(CoordlError::InvalidConfig(format!(
+                    "fault_plan requires partitioned mode, not {}",
+                    self.mode.name()
+                )));
+            };
+            if let Some(max) = plan.max_node() {
+                if max >= nodes {
+                    return Err(CoordlError::InvalidConfig(format!(
+                        "fault_plan touches node {max} but the cluster has {nodes} nodes"
+                    )));
+                }
+            }
         }
 
         let backend: Arc<dyn FetchBackend> = match (self.backend, self.profile) {
@@ -319,13 +345,15 @@ impl SessionBuilder {
                     ));
                 }
                 let tiers = (0..nodes).map(|_| build_tier(&self.tier)).collect();
-                SessionKind::Partitioned {
-                    cluster: Arc::new(PartitionedCacheCluster::with_stack(
-                        Arc::clone(&backend),
-                        tiers,
-                        Arc::clone(&stats),
-                    )),
+                let cluster = Arc::new(PartitionedCacheCluster::with_stack(
+                    Arc::clone(&backend),
+                    tiers,
+                    Arc::clone(&stats),
+                ));
+                if let Some(plan) = self.fault_plan {
+                    cluster.set_fault_plan(plan);
                 }
+                SessionKind::Partitioned { cluster }
             }
         };
 
@@ -381,6 +409,7 @@ impl Session {
             backend: None,
             profile: None,
             tier: TierChoice::Policy(PolicyKind::MinIo),
+            fault_plan: None,
         }
     }
 
@@ -954,6 +983,59 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_session_survives_a_mid_training_kill() {
+        let items = 60u64;
+        let spec = DatasetSpec::new("sess", items, 100, 0.0, 4.0);
+        let total = spec.total_bytes();
+        let ds: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec, 9));
+        // Kill node 1 once epoch 0's `items` fetches have completed; it
+        // rejoins (tier still warm with its stale epoch-0 shard) for epoch 2.
+        let plan = FaultPlan::new(vec![
+            crate::FaultStep {
+                at_step: items,
+                node: 1,
+                kind: crate::FaultKind::Kill,
+            },
+            crate::FaultStep {
+                at_step: 2 * items,
+                node: 1,
+                kind: crate::FaultKind::Join,
+            },
+        ]);
+        let session = Session::builder(ds, config(10, total))
+            .mode(Mode::Partitioned { nodes: 2 })
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        for epoch in 0..4u64 {
+            let run = session.epoch(epoch);
+            for node in 0..2 {
+                let mut seen = 0u64;
+                for mb in run.stream(node) {
+                    seen += mb.unwrap().len() as u64;
+                }
+                assert_eq!(seen, items / 2, "epoch {epoch} node {node} exactly once");
+            }
+        }
+        let cluster = session.partitioned_cluster().unwrap();
+        assert!(
+            cluster.is_alive(0) && cluster.is_alive(1),
+            "node 1 rejoined"
+        );
+        assert_eq!(
+            session.stats().samples_delivered(),
+            4 * items,
+            "no sample lost or duplicated across the kill"
+        );
+        // Epoch 1 (node 1 dead) pays storage for the dropped shard; after the
+        // warm tier rejoins, the directory heals lazily on its local hits and
+        // the steady state is storage-free again.
+        let report = session.report();
+        assert!(report.epochs[1].bytes_from_storage > 0, "degraded epoch");
+        assert_eq!(report.epochs[3].bytes_from_storage, 0, "recovered epoch");
+    }
+
+    #[test]
     fn profiled_backend_shows_up_in_the_report() {
         let session = Session::builder(store(50, 1000), config(10, 1 << 20))
             .device_profile(storage::DeviceProfile::hdd())
@@ -1141,9 +1223,25 @@ mod tests {
             .mode(Mode::Coordinated { jobs: 0 })
             .build();
         assert!(matches!(bad, Err(CoordlError::InvalidConfig(_))));
-        let bad = Session::builder(ds, SessionConfig::default())
+        let bad = Session::builder(Arc::clone(&ds), SessionConfig::default())
             .mode(Mode::Partitioned { nodes: 2 })
             .cache_tier(Arc::new(MinIoByteCache::new(10)))
+            .build();
+        assert!(matches!(bad, Err(CoordlError::InvalidConfig(_))));
+        // A fault plan only makes sense for a partitioned cluster ...
+        let plan = FaultPlan::new(vec![crate::FaultStep {
+            at_step: 5,
+            node: 1,
+            kind: crate::FaultKind::Kill,
+        }]);
+        let bad = Session::builder(Arc::clone(&ds), SessionConfig::default())
+            .fault_plan(plan.clone())
+            .build();
+        assert!(matches!(bad, Err(CoordlError::InvalidConfig(_))));
+        // ... and must only touch nodes the cluster actually has.
+        let bad = Session::builder(ds, SessionConfig::default())
+            .mode(Mode::Partitioned { nodes: 1 })
+            .fault_plan(plan)
             .build();
         assert!(matches!(bad, Err(CoordlError::InvalidConfig(_))));
     }

@@ -141,6 +141,103 @@ mod tests {
         assert!(gbps > 0.0 && gbps < 36.0, "network use {gbps:.1} Gbps");
     }
 
+    fn run_chaos(
+        server: &ServerConfig,
+        job: &JobSpec,
+        servers: usize,
+        faults: usize,
+        seed: u64,
+        epochs: u64,
+    ) -> SimReport {
+        Experiment::on(server)
+            .job(job.clone())
+            .scenario(Scenario::PartitionedChaos {
+                servers,
+                faults,
+                seed,
+            })
+            .epochs(epochs)
+            .run()
+    }
+
+    #[test]
+    fn chaos_healthy_prefix_is_bit_identical_to_distributed() {
+        // The fault schedule never fires before epoch 1, so epoch 0 of a
+        // chaos run must match Scenario::Distributed byte for byte: same
+        // engine, same shards, same directory.
+        let ds = small_openimages();
+        let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(ds.total_bytes(), 0.65);
+        let job = JobSpec::new(
+            ModelKind::AlexNet,
+            ds,
+            8,
+            LoaderConfig::coordl(PrepBackend::DaliGpu),
+        );
+        let healthy = run_distributed(&server, &job, 3, 4);
+        let chaos = run_chaos(&server, &job, 3, 2, 42, 4);
+        for s in 0..3 {
+            assert_eq!(
+                chaos.per_server()[s].epochs[0],
+                healthy.per_server()[s].epochs[0],
+                "server {s}: healthy prefix diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_and_lose_no_sample() {
+        let ds = small_openimages();
+        let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(ds.total_bytes(), 0.65);
+        let job = JobSpec::new(
+            ModelKind::AlexNet,
+            ds.clone(),
+            8,
+            LoaderConfig::coordl(PrepBackend::DaliGpu),
+        );
+        let a = run_chaos(&server, &job, 3, 3, 7, 5);
+        let b = run_chaos(&server, &job, 3, 3, 7, 5);
+        assert_eq!(a, b, "chaos runs must be deterministic");
+        // Exactly-once accounting: a failed server's consumer keeps training,
+        // so every epoch still delivers the whole dataset across the shards.
+        for e in 0..5 {
+            let samples: u64 = a.per_server().iter().map(|r| r.epochs[e].samples).sum();
+            assert_eq!(samples, ds.num_items, "epoch {e} lost or duplicated");
+        }
+    }
+
+    #[test]
+    fn a_kill_costs_disk_reads_that_a_healthy_cluster_avoids() {
+        // Find a seed whose 3-server schedule starts with a kill that is
+        // never rejoined: the dropped shard keeps costing storage reads in
+        // every later epoch, where the healthy run reads nothing.
+        let epochs = 4u64;
+        let seed = (0..256)
+            .find(|&s| {
+                let sched = crate::fault_schedule(3, epochs, 1, s);
+                sched.len() == 1 && sched[0].kind == crate::FaultKind::Kill
+            })
+            .expect("some seed schedules a lone kill");
+        let ds = small_openimages();
+        let server = ServerConfig::config_hdd_1080ti().with_cache_fraction(ds.total_bytes(), 0.65);
+        let job = JobSpec::new(
+            ModelKind::AlexNet,
+            ds,
+            8,
+            LoaderConfig::coordl(PrepBackend::DaliGpu),
+        );
+        let healthy = run_distributed(&server, &job, 3, epochs);
+        let chaos = run_chaos(&server, &job, 3, 1, seed, epochs);
+        let last = (epochs - 1) as usize;
+        assert_eq!(
+            healthy.disk_bytes_per_epoch[last], 0,
+            "healthy steady state is storage-free"
+        );
+        assert!(
+            chaos.disk_bytes_per_epoch[last] > 0,
+            "the dead server's shard must fall back to storage"
+        );
+    }
+
     #[test]
     fn single_server_distributed_matches_single_server_shape() {
         // With one server, the distributed driver degenerates to the

@@ -581,12 +581,21 @@ pub(crate) fn shared_coordinated_epoch(
 }
 
 /// Cross-epoch state of a distributed simulation: one storage node per
-/// server, the partitioned-cache directory and the network fabric.
+/// server, the partitioned-cache directory, the network fabric and (under
+/// chaos) the membership schedule mirroring the runtime's
+/// `coordl::FaultPlan`.
 pub(crate) struct DistributedSim {
     nodes: Vec<StorageNode>,
     directory: PartitionedIndex,
     fabric: Fabric,
     num_servers: usize,
+    /// Cache membership per server: a dead server keeps *training* (its
+    /// consumer is unaffected, exactly as in the runtime cluster) but its
+    /// cache drops out of the partitioned directory.
+    alive: Vec<bool>,
+    /// Seeded membership events, sorted by boundary epoch (`FaultEvent::at`).
+    faults: Vec<dcache::FaultEvent>,
+    next_fault: usize,
 }
 
 impl DistributedSim {
@@ -603,6 +612,82 @@ impl DistributedSim {
             directory: PartitionedIndex::new(num_servers),
             fabric: Fabric::new(server.link, num_servers),
             num_servers,
+            alive: vec![true; num_servers],
+            faults: Vec::new(),
+            next_fault: 0,
+        }
+    }
+
+    /// A distributed simulation under the seeded fault schedule shared with
+    /// the runtime ([`dcache::fault_schedule`]): `faults` membership events
+    /// over `epochs` epoch boundaries.
+    pub(crate) fn with_faults(
+        server: &ServerConfig,
+        job: &JobSpec,
+        num_servers: usize,
+        cache: CacheSpec,
+        epochs: u64,
+        faults: usize,
+        seed: u64,
+    ) -> Self {
+        let mut sim = DistributedSim::new(server, job, num_servers, cache);
+        sim.faults = dcache::fault_schedule(num_servers, epochs, faults, seed);
+        sim
+    }
+
+    /// Whether this simulation runs a fault schedule (relaxes the healthy
+    /// engine's directory invariants in the fetch path).
+    fn chaos(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// Apply every membership event due at the boundary before `epoch`
+    /// (an event with `at == k` fires after `k` full epochs, mirroring the
+    /// runtime plan's `at_step = k × dataset_len`).
+    fn apply_due_faults(&mut self, epoch: u64, spec: &DatasetSpec) {
+        while let Some(e) = self.faults.get(self.next_fault).copied() {
+            if e.at > epoch {
+                break;
+            }
+            self.next_fault += 1;
+            match e.kind {
+                dcache::FaultKind::Kill => self.fail_node(e.node, None),
+                dcache::FaultKind::Leave => self.fail_node(e.node, Some(spec)),
+                // A rejoining server keeps its stale-but-valid cache
+                // contents; the directory heals lazily as its local hits
+                // re-register (same as the runtime cluster).
+                dcache::FaultKind::Join => self.alive[e.node] = true,
+            }
+        }
+    }
+
+    /// Take `server` out of the cache membership and re-home its directory
+    /// entries onto survivors in rendezvous order.  A kill (`migrate` is
+    /// `None`) only keeps entries some survivor already holds; a graceful
+    /// leave ships each orphan's bytes to the first alive candidate that
+    /// will retain them.
+    fn fail_node(&mut self, server: usize, migrate: Option<&DatasetSpec>) {
+        if !self.alive[server] {
+            return;
+        }
+        self.alive[server] = false;
+        for item in self.directory.unregister_server(ServerId(server)) {
+            let prefs = dcache::rendezvous_order(item, self.num_servers);
+            let holder = prefs
+                .iter()
+                .copied()
+                .find(|&n| self.alive[n] && self.nodes[n].is_cached(&item));
+            if let Some(n) = holder {
+                self.directory.register(item, ServerId(n));
+            } else if let Some(spec) = migrate {
+                for n in prefs.into_iter().filter(|&n| self.alive[n]) {
+                    self.nodes[n].preload(item, spec.item_size(item));
+                    if self.nodes[n].is_cached(&item) {
+                        self.directory.register(item, ServerId(n));
+                        break;
+                    }
+                }
+            }
         }
     }
 
@@ -620,6 +705,8 @@ impl DistributedSim {
         let cost = PrepCostModel::for_pipeline(&job.pipeline, job.loader.prep_backend);
         let cores = cost.effective_cores(server.cpu_cores as f64, server.cpu_cores as f64);
         let pattern = access_pattern(job);
+        self.apply_due_faults(epoch, &job.dataset);
+        let chaos = self.chaos();
 
         for node in self.nodes.iter_mut() {
             node.reset_epoch_stats();
@@ -634,7 +721,6 @@ impl DistributedSim {
 
         for (s, shard) in shards.iter().enumerate() {
             let me = ServerId(s);
-            let node = &mut self.nodes[s];
             let batches = minibatches(shard, job.global_batch());
             let mut acc = EpochAccumulator::new(epoch, job.loader.prefetch_depth);
 
@@ -642,7 +728,7 @@ impl DistributedSim {
                 let now = acc.now();
                 let bf = if partitioned {
                     fetch_batch_partitioned(
-                        node,
+                        &mut self.nodes,
                         &mut self.directory,
                         &mut self.fabric,
                         me,
@@ -650,8 +736,11 @@ impl DistributedSim {
                         batch,
                         job,
                         self.num_servers,
+                        &self.alive,
+                        chaos,
                     )
                 } else {
+                    let node = &mut self.nodes[s];
                     // Uncoordinated: every miss goes to local storage.
                     fetch_batch_local(
                         node,
@@ -677,9 +766,16 @@ impl DistributedSim {
 
 /// Fetch one minibatch with CoorDL's partitioned cache: local MinIO cache
 /// first, then a peer's cache over the network, then local storage.
+///
+/// Under chaos (`chaos` set) a dead server (`!alive[me]`) keeps consuming —
+/// peers still serve its remote hits — but bypasses its own cache: storage
+/// reads are charged without admitting or registering, mirroring the runtime
+/// cluster's degraded mode.  A rejoined server's stale-but-warm local hits
+/// land in the `Location::Storage` arm (their directory entries were dropped
+/// at kill time) and lazily re-register.
 #[allow(clippy::too_many_arguments)]
 fn fetch_batch_partitioned(
-    node: &mut StorageNode,
+    nodes: &mut [StorageNode],
     directory: &mut PartitionedIndex,
     fabric: &mut Fabric,
     me: ServerId,
@@ -687,16 +783,20 @@ fn fetch_batch_partitioned(
     items: &[ItemId],
     job: &JobSpec,
     num_servers: usize,
+    alive: &[bool],
+    chaos: bool,
 ) -> BatchFetch {
     let mut out = BatchFetch::default();
     let spec = &job.dataset;
-    let device = *node.device().profile();
+    let device = *nodes[me.0].device().profile();
     let pattern = access_pattern(job);
+    let alive_me = alive[me.0];
     let mut remote_requests = 0u64;
     let mut lower_secs = 0.0;
 
     for &item in items {
         let bytes = spec.item_size(item);
+        let node = &mut nodes[me.0];
         match directory.locate(item, me) {
             Location::Local => {
                 // Resident in some tier of the local cache chain.
@@ -710,19 +810,41 @@ fn fetch_batch_partitioned(
                     lower_secs += t.as_secs();
                 }
             }
-            Location::Remote(peer) => {
+            Location::Remote(peer) if alive[peer.0] => {
                 fabric.remote_fetch(peer.0, me.0, bytes, num_servers.saturating_sub(1).max(1));
                 out.remote_bytes += bytes;
                 out.hits += 1;
                 remote_requests += 1;
             }
-            Location::Storage => {
-                // Not cached anywhere yet: read from local storage and, if the
-                // local MinIO cache admits it, publish it in the directory.
-                let (_, src) = node.fetch(at, item, bytes, pattern);
-                debug_assert_eq!(src, FetchSource::Disk);
+            // Storage, or a directory entry pointing at a dead peer (only
+            // reachable transiently; rebalancing drops such entries).
+            _ if !alive_me => {
+                // A dead server's consumer still trains: the read is charged
+                // at device cost, but nothing is admitted or advertised.
                 out.disk_bytes += bytes;
                 out.misses += 1;
+            }
+            _ => {
+                // Not cached anywhere yet: read from local storage and, if the
+                // local MinIO cache admits it, publish it in the directory.
+                let (t, src) = node.fetch(at, item, bytes, pattern);
+                debug_assert!(chaos || src == FetchSource::Disk);
+                match src {
+                    FetchSource::Disk => {
+                        out.disk_bytes += bytes;
+                        out.misses += 1;
+                    }
+                    // Chaos only: a rejoined server's stale warm entry.
+                    src => {
+                        out.cache_bytes += bytes;
+                        out.hits += 1;
+                        if let FetchSource::LowerTier(_) = src {
+                            out.lower_bytes += bytes;
+                            out.lower_hits += 1;
+                            lower_secs += t.as_secs();
+                        }
+                    }
+                }
                 if node.is_cached(&item) {
                     directory.register(item, me);
                 }

@@ -123,6 +123,22 @@ pub enum Scenario {
         /// Seed of the churn schedule.
         seed: u64,
     },
+    /// A distributed data-parallel job whose servers suffer injected
+    /// membership faults — crashes, graceful leaves and rejoins — from the
+    /// seeded [`dcache::fault_schedule`] the runtime's `coordl::FaultPlan`
+    /// shares.  A failed server keeps training (its consumer never loses a
+    /// sample) but its cache shard drops out of the partitioned directory
+    /// and is re-homed onto survivors in rendezvous order; a rejoined
+    /// server's stale-but-valid cache re-advertises lazily.  The §5.2
+    /// partitioned-caching claims under churn.
+    PartitionedChaos {
+        /// Number of identical servers in the cluster.
+        servers: usize,
+        /// Number of membership events to schedule.
+        faults: usize,
+        /// Seed of the fault schedule.
+        seed: u64,
+    },
 }
 
 impl Scenario {
@@ -134,6 +150,7 @@ impl Scenario {
             Scenario::Distributed { .. } => "distributed",
             Scenario::MixedCluster => "mixed-cluster",
             Scenario::ElasticCluster { .. } => "elastic-cluster",
+            Scenario::PartitionedChaos { .. } => "partitioned-chaos",
         }
     }
 
@@ -143,7 +160,7 @@ impl Scenario {
             Scenario::SingleServer => "job",
             Scenario::HpSearch { .. } | Scenario::MixedCluster => "job",
             Scenario::ElasticCluster { .. } => "job",
-            Scenario::Distributed { .. } => "server",
+            Scenario::Distributed { .. } | Scenario::PartitionedChaos { .. } => "server",
         }
     }
 }
@@ -270,6 +287,11 @@ impl<'obs> Experiment<'obs> {
             Scenario::MixedCluster => self.run_shared(None),
             Scenario::ElasticCluster { tenants, seed } => self.run_elastic(tenants, seed),
             Scenario::Distributed { servers } => self.run_distributed(servers),
+            Scenario::PartitionedChaos {
+                servers,
+                faults,
+                seed,
+            } => self.run_partitioned_chaos(servers, faults, seed),
         };
         report.scenario = scenario;
         report
@@ -514,6 +536,43 @@ impl<'obs> Experiment<'obs> {
         }
         report
     }
+
+    /// Distributed scenario under a seeded membership-fault schedule; the
+    /// fault-free prefix is bit-identical to [`Scenario::Distributed`] by
+    /// construction (same engine, same shards, same directory).
+    fn run_partitioned_chaos(mut self, num_servers: usize, faults: usize, seed: u64) -> SimReport {
+        assert!(num_servers >= 2, "chaos needs at least two servers");
+        assert_eq!(
+            self.jobs.len(),
+            1,
+            "Scenario::PartitionedChaos takes exactly one data-parallel job, got {}",
+            self.jobs.len()
+        );
+        let job = self.jobs.remove(0);
+        assert!(
+            job.num_gpus <= self.server.num_gpus,
+            "job wants {} GPUs per server but servers have {}",
+            job.num_gpus,
+            self.server.num_gpus
+        );
+        let scenario = self.scenario;
+        let mut sim = DistributedSim::with_faults(
+            &self.server,
+            &job,
+            num_servers,
+            self.cache,
+            self.epochs,
+            faults,
+            seed,
+        );
+        let mut report = SimReport::empty(scenario, num_servers);
+        for epoch in 0..self.epochs {
+            let per_epoch = sim.epoch(&self.server, &job, epoch);
+            Self::notify(&mut self.observer, scenario, epoch, &per_epoch);
+            report.push_epoch(per_epoch);
+        }
+        report
+    }
 }
 
 /// The unified result of any [`Experiment`]: per-unit epoch metrics plus
@@ -641,7 +700,9 @@ impl SimReport {
                 self.steady_per_job_samples_per_sec(),
                 baseline.steady_per_job_samples_per_sec(),
             ),
-            Scenario::SingleServer | Scenario::Distributed { .. } => (
+            Scenario::SingleServer
+            | Scenario::Distributed { .. }
+            | Scenario::PartitionedChaos { .. } => (
                 self.steady_samples_per_sec(),
                 baseline.steady_samples_per_sec(),
             ),

@@ -18,7 +18,10 @@
 //! * [`Scenario::Distributed`] — one job spread across several servers
 //!   (Figures 9b, 10, 18),
 //! * [`Scenario::MixedCluster`] — heterogeneous jobs (different models,
-//!   datasets, loaders) contending for one server's cache, CPU and disk.
+//!   datasets, loaders) contending for one server's cache, CPU and disk,
+//! * [`Scenario::PartitionedChaos`] — the distributed scenario under a
+//!   seeded schedule of server crashes, graceful leaves and rejoins
+//!   ([`fault_schedule`], shared with the runtime's `coordl::FaultPlan`).
 //!
 //! Every run returns one [`SimReport`]; register an
 //! [`observer`](Experiment::observer) for per-epoch live telemetry and use
@@ -47,6 +50,7 @@ pub mod sweep;
 
 pub use churn::{churn_schedule, TenantSchedule};
 pub use config::ServerConfig;
+pub use dcache::{fault_schedule, FaultEvent, FaultKind};
 pub use engine::EngineScratch;
 pub use experiment::{CacheSpec, EpochUpdate, Experiment, Scenario, SimReport};
 pub use job::JobSpec;

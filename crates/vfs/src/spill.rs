@@ -24,12 +24,26 @@ pub struct SpillStore {
 impl SpillStore {
     /// Open the store at `dir`, replaying an existing manifest when one is
     /// present (an empty directory yields an empty store).
+    ///
+    /// Replay is defensive about torn writes: a trailing line cut mid-append
+    /// can fail to parse (dropped outright), but it can also parse with a
+    /// *truncated length* — `+ 11 600\n` cut to `+ 11 6` — which would
+    /// silently serve a 6-byte prefix of an intact 600-byte payload.  Every
+    /// replayed entry is therefore checked against its payload file and
+    /// dropped unless the on-disk length matches the recorded one exactly.
     pub fn open(vfs: Arc<dyn Vfs>, dir: &str) -> Result<Self, VfsError> {
         let manifest_path = format!("{dir}/MANIFEST");
         let manifest = vfs.open(&manifest_path, true)?;
-        let manifest_end = vfs.len(manifest)?;
+        let mut manifest_end = vfs.len(manifest)?;
         let log = vfs.read_at(manifest, 0, manifest_end as usize)?;
-        let mut entries = BTreeMap::new();
+        if log.last().is_some_and(|&b| b != b'\n') {
+            // Seal a torn tail so the next append starts a fresh line
+            // instead of merging into (and corrupting) the partial one.
+            vfs.write_at(manifest, manifest_end, b"\n")?;
+            manifest_end += 1;
+            vfs.sync(manifest)?;
+        }
+        let mut replayed = BTreeMap::new();
         for line in String::from_utf8_lossy(&log).lines() {
             let mut fields = line.split(' ');
             let entry = match (fields.next(), fields.next(), fields.next()) {
@@ -43,15 +57,33 @@ impl SpillStore {
             };
             match entry {
                 Some((key, Some(len))) => {
-                    entries.insert(key, len);
+                    replayed.insert(key, len);
                 }
                 Some((key, None)) => {
-                    entries.remove(&key);
+                    replayed.remove(&key);
                 }
                 None => {
                     // A torn trailing line (e.g. a crash mid-append) only
                     // loses that entry, never corrupts earlier ones.
                 }
+            }
+        }
+        let mut entries = BTreeMap::new();
+        for (key, len) in replayed {
+            match vfs.open(&format!("{dir}/{key}.item"), false) {
+                Ok(file) => {
+                    let actual = vfs.len(file)?;
+                    vfs.close(file)?;
+                    if actual == len {
+                        entries.insert(key, len);
+                    }
+                    // Length mismatch: the line's length field was torn —
+                    // never serve a prefix (or a short read) as a payload.
+                }
+                // Payloads are synced before their manifest line, so a
+                // recorded key with no payload file is itself a torn line.
+                Err(VfsError::NotFound(_)) => {}
+                Err(e) => return Err(e),
             }
         }
         Ok(SpillStore {
@@ -110,12 +142,27 @@ impl SpillStore {
     }
 
     /// Read the payload stored under `key`.
+    ///
+    /// The payload file must hold *exactly* the recorded byte count: a file
+    /// that shrank or grew behind the store's back (external truncation, a
+    /// torn manifest length) is a typed [`VfsError::Io`], never a silently
+    /// served prefix.
     pub fn read(&self, key: u64) -> Result<Vec<u8>, VfsError> {
         let len = *self
             .entries
             .get(&key)
             .ok_or_else(|| VfsError::NotFound(self.payload_path(key)))?;
         let file = self.vfs.open(&self.payload_path(key), false)?;
+        let actual = self.vfs.len(file)?;
+        if actual != len {
+            self.vfs.close(file)?;
+            return Err(VfsError::Io {
+                path: self.payload_path(key),
+                detail: format!(
+                    "torn or truncated payload: manifest records {len} bytes, file has {actual}"
+                ),
+            });
+        }
         let bytes = self.vfs.read_at(file, 0, len as usize)?;
         self.vfs.close(file)?;
         if bytes.len() as u64 != len {
@@ -217,11 +264,38 @@ mod tests {
         let end = vfs.len(manifest).unwrap();
         vfs.write_at(manifest, end, b"+ 11 6").unwrap();
         vfs.close(manifest).unwrap();
-        // "+ 11 6" parses but its payload file is missing: reads fail with
-        // NotFound from the vfs, while key 10 is intact.
+        // "+ 11 6" parses but its payload file is missing: replay drops the
+        // torn entry at open, while key 10 is intact.
         let store = SpillStore::open(Arc::clone(&vfs), "d").unwrap();
         assert_eq!(store.read(10).unwrap(), b"abcdef");
+        assert!(!store.contains(11), "torn entry dropped during replay");
         assert!(matches!(store.read(11), Err(VfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn torn_length_field_that_still_parses_never_serves_a_prefix() {
+        let vfs = mem();
+        {
+            let mut store = SpillStore::open(Arc::clone(&vfs), "d").unwrap();
+            store.write(5, b"twelve bytes").unwrap(); // manifest: "+ 5 12\n"
+            store.write(6, b"intact").unwrap();
+        }
+        // Tear the first line's length field mid-digit: "+ 5 12\n" → "+ 5 1".
+        // The torn line still parses, but now records a 1-byte length for an
+        // intact 12-byte payload — replay must drop it, not serve a prefix.
+        let manifest = vfs.open("d/MANIFEST", false).unwrap();
+        let full = vfs
+            .read_at(manifest, 0, vfs.len(manifest).unwrap() as usize)
+            .unwrap();
+        vfs.close(manifest).unwrap();
+        vfs.remove("d/MANIFEST").unwrap();
+        let torn = vfs.open("d/MANIFEST", true).unwrap();
+        vfs.write_at(torn, 0, &full[..5]).unwrap();
+        vfs.write_at(torn, 5, &full[6..]).unwrap(); // keep key 6's line whole
+        vfs.close(torn).unwrap();
+        let store = SpillStore::open(Arc::clone(&vfs), "d").unwrap();
+        assert!(!store.contains(5), "length-mismatched entry dropped");
+        assert_eq!(store.read(6).unwrap(), b"intact");
     }
 
     #[test]

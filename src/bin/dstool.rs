@@ -27,11 +27,12 @@
 //! trailing newline) so refresh diffs stay minimal.
 
 use benchkit::{
-    find_suite, run_fs_sweep, run_mega_sweep, run_multi_tenant, run_tier_sweep, run_validation,
-    run_worker_sweep, FsSweepConfig, FsSweepReport, GateKind, MegaSweepConfig, MegaSweepReport,
-    MultiTenantConfig, MultiTenantReport, SweepSuite, Table, TierSweepConfig, TierSweepReport,
-    ValidationConfig, WorkerSweepConfig, WorkerSweepReport, FS_SWEEP_NAME, MEGA_SWEEP_NAME,
-    MULTI_TENANT_NAME, SMOKE_EXTRA_SCALE, SUITES, TIER_SWEEP_NAME, WORKER_SWEEP_NAME,
+    find_suite, run_chaos, run_fs_sweep, run_mega_sweep, run_multi_tenant, run_tier_sweep,
+    run_validation, run_worker_sweep, ChaosConfig, ChaosReport, FsSweepConfig, FsSweepReport,
+    GateKind, MegaSweepConfig, MegaSweepReport, MultiTenantConfig, MultiTenantReport, SweepSuite,
+    Table, TierSweepConfig, TierSweepReport, ValidationConfig, WorkerSweepConfig,
+    WorkerSweepReport, CHAOS_NAME, FS_SWEEP_NAME, MEGA_SWEEP_NAME, MULTI_TENANT_NAME,
+    SMOKE_EXTRA_SCALE, SUITES, TIER_SWEEP_NAME, WORKER_SWEEP_NAME,
 };
 use datastalls::pipeline::json::{self, Value};
 use datastalls::pipeline::{SweepReport, SweepRunner};
@@ -72,6 +73,11 @@ fn usage() -> &'static str {
      \u{20}       VFS, gating one identical stream, exact physical-read counts\n\
      \u{20}       and a real on-disk spill manifest for persistent points\n\
      \u{20}       [--scale N] [--out FILE] [--os-root DIR]\n\
+     \u{20} sweep chaos                  run the *runtime* fault-injection preset:\n\
+     \u{20}       a partitioned cluster under a seeded kill/leave/rejoin\n\
+     \u{20}       schedule next to its fault-free twin, gating the healthy\n\
+     \u{20}       prefix, exactly-once delivery, shard coverage and recovery\n\
+     \u{20}       [--scale N] [--out FILE]\n\
      \u{20} sweep multi-tenant           run the *runtime* multi-tenant preset:\n\
      \u{20}       churning tenants over one shared Server, gating one identical\n\
      \u{20}       stream across shard and worker counts plus quota/reclamation\n\
@@ -159,6 +165,7 @@ enum Command {
     TierSweep(RuntimeSweepCmd),
     MultiTenantSweep(RuntimeSweepCmd),
     FsSweep(RuntimeSweepCmd),
+    ChaosSweep(RuntimeSweepCmd),
     MegaSweep(MegaSweepCmd),
     Smoke(SmokeCmd),
     Validate(ValidateCmd),
@@ -258,6 +265,7 @@ fn parse_sweep(args: &[&String]) -> Result<Command, String> {
             WORKER_SWEEP_NAME => Command::WorkerSweep(cmd),
             TIER_SWEEP_NAME => Command::TierSweep(cmd),
             FS_SWEEP_NAME => Command::FsSweep(cmd),
+            CHAOS_NAME => Command::ChaosSweep(cmd),
             _ => Command::MultiTenantSweep(cmd),
         });
     }
@@ -412,11 +420,12 @@ fn parse_scale(v: &str) -> Result<u64, String> {
 }
 
 /// The runtime presets `sweep` routes past the simulator-suite registry.
-const RUNTIME_PRESETS: [&str; 4] = [
+const RUNTIME_PRESETS: [&str; 5] = [
     WORKER_SWEEP_NAME,
     TIER_SWEEP_NAME,
     MULTI_TENANT_NAME,
     FS_SWEEP_NAME,
+    CHAOS_NAME,
 ];
 
 fn suite_names() -> Vec<&'static str> {
@@ -480,6 +489,16 @@ fn run_list() {
         "runtime real-bytes I/O: FsBackend Sessions over a VFS, readahead x \
          tier-backing grid, exact physical reads and on-disk spill manifests \
          gated, one stream for the whole grid"
+            .to_string(),
+    ]);
+    let chaos_defaults = ChaosConfig::default();
+    table.row(&[
+        CHAOS_NAME.to_string(),
+        chaos_defaults.worker_counts.len().to_string(),
+        "§5.2 (partitioned caching under churn)".to_string(),
+        "runtime fault injection: a partitioned cluster under a seeded \
+         kill/leave/rejoin schedule vs its fault-free twin; healthy prefix, \
+         exactly-once delivery, shard coverage and recovery gated"
             .to_string(),
     ]);
     table.print();
@@ -749,6 +768,62 @@ fn run_fs_sweep_cmd(cmd: &RuntimeSweepCmd) -> Result<(), String> {
     Ok(())
 }
 
+/// Print the runtime fault-injection preset's per-epoch table.
+fn print_chaos_table(report: &ChaosReport) {
+    let mut table = Table::new(
+        format!("Runtime {CHAOS_NAME} (coordl::PartitionedCacheCluster under faults)"),
+        &["epoch", "fault", "samples", "cached frac", "healthy frac"],
+    )
+    .with_caption(format!(
+        "{} nodes, {} items, {} epochs; healthy prefix = {} epoch(s); streams \
+         bit-identical across worker counts, faults included",
+        report.config.nodes, report.config.items, report.config.epochs, report.prefix_epochs
+    ));
+    for (e, &samples) in report.chaos_epoch_samples.iter().enumerate() {
+        let fault = report
+            .faults
+            .iter()
+            .filter(|f| f.at_epoch == e as u64)
+            .map(|f| format!("{} n{}", f.kind, f.node))
+            .collect::<Vec<_>>()
+            .join(", ");
+        table.row(&[
+            e.to_string(),
+            if fault.is_empty() {
+                "-".to_string()
+            } else {
+                fault
+            },
+            samples.to_string(),
+            format!("{:.3}", report.chaos_epoch_cached_fraction[e]),
+            if e + 1 == report.chaos_epoch_samples.len() {
+                format!("{:.3}", report.healthy_final_cached_fraction)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    table.print();
+}
+
+fn run_chaos_sweep_cmd(cmd: &RuntimeSweepCmd) -> Result<(), String> {
+    let report = run_chaos(&ChaosConfig::scaled(cmd.scale));
+    print_chaos_table(&report);
+    report.verify()?;
+    println!(
+        "chaos gate passed: {} fault(s) injected, healthy prefix bit-identical \
+         (digest {:016x}), every sample delivered exactly once, no shard lost, \
+         hit ratio recovered",
+        report.faults.len(),
+        report.digest()
+    );
+    if let Some(path) = &cmd.out {
+        write_out(path, &report.to_json())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn run_tier_sweep_cmd(cmd: &RuntimeSweepCmd) -> Result<(), String> {
     let report = run_tier_sweep(&TierSweepConfig::scaled(cmd.scale));
     print_tier_table(&report);
@@ -946,6 +1021,10 @@ fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
     // separately via `sweep fs-sweep --os-root`.
     let fs_report = run_fs_sweep(&FsSweepConfig::scaled(cmd.scale));
     print_fs_table(&fs_report);
+    // The fault-injection preset: the partitioned runtime under a seeded
+    // membership schedule, next to its fault-free twin.
+    let chaos_report = run_chaos(&ChaosConfig::scaled(cmd.scale));
+    print_chaos_table(&chaos_report);
     // The vectorized-engine preset runs with one thread per core (not
     // `--threads`, which exists to prove the parallel sweep path even on
     // undersized hosts): the recorded thread count then doubles as the
@@ -960,6 +1039,7 @@ fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
         &tier_report,
         &mt_report,
         &fs_report,
+        &chaos_report,
         &mega_report,
     );
     write_out(&cmd.out, &doc)?;
@@ -969,6 +1049,7 @@ fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
     tier_report.verify()?;
     mt_report.verify()?;
     fs_report.verify()?;
+    chaos_report.verify()?;
     mega_report.bit_identical()?;
 
     if cmd.refresh_baseline {
@@ -990,6 +1071,7 @@ fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
 /// the runtime worker sweep (its stream digest and counters are
 /// deterministic and baseline-gated; its wall-clock numbers are
 /// informational).
+#[allow(clippy::too_many_arguments)]
 fn smoke_json(
     cmd: &SmokeCmd,
     results: &[(&SweepSuite, SweepReport)],
@@ -997,6 +1079,7 @@ fn smoke_json(
     tier_report: &TierSweepReport,
     mt_report: &MultiTenantReport,
     fs_report: &FsSweepReport,
+    chaos_report: &ChaosReport,
     mega_report: &MegaSweepReport,
 ) -> String {
     let mut out = String::with_capacity(4096);
@@ -1036,6 +1119,8 @@ fn smoke_json(
     out.push_str(&mt_report.to_json());
     out.push_str(",\"runtime_fs_sweep\":");
     out.push_str(&fs_report.to_json());
+    out.push_str(",\"runtime_chaos\":");
+    out.push_str(&chaos_report.to_json());
     out.push_str(",\"sim_sweep\":");
     out.push_str(&mega_report.to_json());
     out.push('}');
@@ -1111,6 +1196,7 @@ fn check_baseline(
         "runtime_tier_sweep",
         "runtime_multi_tenant",
         "runtime_fs_sweep",
+        "runtime_chaos",
     ] {
         if let Some(expected) = digest_of(&baseline, preset) {
             let got = digest_of(&current, preset);
@@ -1371,6 +1457,7 @@ fn main() -> ExitCode {
         Ok(Command::TierSweep(cmd)) => run_tier_sweep_cmd(&cmd),
         Ok(Command::MultiTenantSweep(cmd)) => run_multi_tenant_cmd(&cmd),
         Ok(Command::FsSweep(cmd)) => run_fs_sweep_cmd(&cmd),
+        Ok(Command::ChaosSweep(cmd)) => run_chaos_sweep_cmd(&cmd),
         Ok(Command::MegaSweep(cmd)) => run_mega_sweep_cmd(&cmd),
         Ok(Command::Smoke(cmd)) => run_smoke(&cmd),
         Ok(Command::Validate(cmd)) => run_validate(&cmd),
@@ -1755,6 +1842,45 @@ mod tests {
             panic!("--os-root only applies to fs-sweep");
         };
         assert!(err.contains("--os-root"), "{err}");
+    }
+
+    #[test]
+    fn chaos_is_routed_to_the_runtime_preset() {
+        let Ok(Command::ChaosSweep(cmd)) = parse_args(&args(&[
+            "sweep",
+            CHAOS_NAME,
+            "--scale",
+            "2",
+            "--out",
+            "chaos.json",
+        ])) else {
+            panic!("expected chaos command");
+        };
+        assert_eq!(cmd.scale, 2);
+        assert_eq!(cmd.out.as_deref(), Some("chaos.json"));
+        assert!(parse_args(&args(&["sweep", CHAOS_NAME, "--serial"])).is_err());
+        assert!(parse_args(&args(&["sweep", CHAOS_NAME, "--threads", "2"])).is_err());
+        assert!(parse_args(&args(&["sweep", CHAOS_NAME, "--os-root", "/tmp/x"])).is_err());
+    }
+
+    #[test]
+    fn baseline_gate_compares_the_chaos_stream_digest() {
+        let baseline = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[{"label":"a","steady_samples_per_sec":1000}]}],
+            "runtime_chaos":{"stream_digest":"00000000deadbeef"}}"#;
+        let dir = std::env::temp_dir().join("dstool_chaos_digest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, baseline).unwrap();
+        check_baseline(path.to_str().unwrap(), baseline, 0.10, 8).unwrap();
+        // A changed digest means the faulted stream itself changed: the
+        // fault schedule, the rebalance or the retry path regressed.
+        let changed = baseline.replace("deadbeef", "0badf00d");
+        let err = check_baseline(path.to_str().unwrap(), &changed, 0.10, 8).unwrap_err();
+        assert!(
+            err.contains("runtime_chaos") && err.contains("stream digest changed"),
+            "{err}"
+        );
     }
 
     #[test]

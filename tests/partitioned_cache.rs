@@ -2,7 +2,10 @@
 //! partitioned `Session` and the distributed simulator, cross-checked
 //! against each other.
 
-use datastalls::coordl::{FetchOrigin, Mode, Session, SessionConfig};
+use datastalls::coordl::{
+    CacheTier, DirectBackend, FetchOrigin, LoaderStats, MinIoByteCache, Mode,
+    PartitionedCacheCluster, Session, SessionConfig,
+};
 use datastalls::dataset::EpochSampler;
 use datastalls::prelude::*;
 use std::sync::Arc;
@@ -211,6 +214,124 @@ fn simulator_agrees_partitioned_caching_removes_disk_io() {
         coordl.avg_network_gbps(2) > 0.0 && coordl.avg_network_gbps(2) < 40.0,
         "CoorDL uses a fraction of the 40 Gbps link"
     );
+}
+
+#[test]
+fn remote_tier_sits_between_the_local_chain_and_storage() {
+    // The CoorDL lookup order: a node's own chain first, then the peer view,
+    // then the durable store — and a remote hit never *promotes* (copies)
+    // the bytes into the fetcher's chain, so each item stays cached exactly
+    // once cluster-wide with ownership where the directory says it is.
+    let items = 40u64;
+    let spec = DatasetSpec::new("remote-order", items, 128, 0.0, 4.0);
+    let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec.clone(), 5));
+    let tiers: Vec<Arc<dyn CacheTier>> = (0..2)
+        .map(|_| Arc::new(MinIoByteCache::new(spec.total_bytes())) as Arc<dyn CacheTier>)
+        .collect();
+    let cluster = Arc::new(PartitionedCacheCluster::with_stack(
+        Arc::new(DirectBackend::new(Arc::clone(&store))),
+        tiers,
+        Arc::new(LoaderStats::default()),
+    ));
+    // Warm up with a fixed split: even items populate server 0, odd server 1.
+    for item in 0..items {
+        let (_, origin) = cluster.fetch((item % 2) as usize, item).unwrap();
+        assert_eq!(origin, FetchOrigin::Storage, "cold fetch reads storage");
+    }
+    let odd = 7u64; // registered to server 1 by the warm-up
+
+    // The peer view from server 0 contains exactly what the peers hold.
+    let remote = cluster.remote_tier(0);
+    assert!(
+        remote.contains(odd),
+        "peer-owned item is in the remote view"
+    );
+    assert!(
+        !remote.contains(6),
+        "an item server 0 owns itself is not 'remote' from its perspective"
+    );
+    assert_eq!(
+        remote.used_bytes(),
+        cluster.tier(1).used_bytes(),
+        "with two servers, server 0's peer view is exactly server 1's chain"
+    );
+    assert!(remote.lookup(odd).is_some());
+    assert_eq!(remote.hits(), 1);
+
+    // Fetch order: the owner serves it locally; everyone else remotely —
+    // and repeating the remote fetch changes nothing, because the bytes are
+    // never admitted into the fetcher's chain.
+    assert_eq!(cluster.fetch(1, odd).unwrap().1, FetchOrigin::LocalCache);
+    for _ in 0..2 {
+        assert_eq!(
+            cluster.fetch(0, odd).unwrap().1,
+            FetchOrigin::RemoteCache(1)
+        );
+        assert!(
+            !cluster.tier(0).contains(odd),
+            "remote hits must not duplicate bytes into the fetcher's tier"
+        );
+    }
+    // The probe half agrees: remote from 0, not remote from its owner.
+    assert_eq!(
+        cluster.remote_fetch(0, odd).unwrap().map(|(_, p)| p),
+        Some(1)
+    );
+    assert!(cluster.remote_fetch(1, odd).unwrap().is_none());
+}
+
+#[test]
+fn node_streams_are_bit_identical_for_any_worker_count() {
+    type StreamSample = (u64, usize, u64, u64, Vec<u8>);
+    // The partitioned loader's determinism contract: the per-node shard
+    // streams (items, augmentation seeds and prepared bytes, in minibatch
+    // order) do not depend on how many prep workers each node runs.
+    let servers = 2;
+    let collect = |workers: usize| {
+        let spec = DatasetSpec::new("det", 300, 512, 0.2, 4.0);
+        let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec.clone(), 5));
+        let session = Session::builder(
+            store,
+            SessionConfig {
+                seed: 99,
+                num_workers: workers,
+                cache_capacity_bytes: spec.total_bytes() * 65 / 100,
+                ..SessionConfig::default()
+            },
+        )
+        .mode(Mode::Partitioned { nodes: servers })
+        .build()
+        .unwrap();
+        let mut streams: Vec<Vec<StreamSample>> = Vec::new();
+        for epoch in 0..2u64 {
+            let run = session.epoch(epoch);
+            for node in 0..servers {
+                let mut stream = Vec::new();
+                for batch in run.stream(node) {
+                    let mb = batch.unwrap();
+                    for s in &mb.samples {
+                        stream.push((
+                            mb.epoch,
+                            mb.index,
+                            s.item,
+                            s.augmentation_seed,
+                            s.data.to_vec(),
+                        ));
+                    }
+                }
+                streams.push(stream);
+            }
+        }
+        streams
+    };
+    let one = collect(1);
+    for workers in [2usize, 8] {
+        assert_eq!(
+            one,
+            collect(workers),
+            "{workers} prep workers changed a node's delivered stream"
+        );
+    }
 }
 
 #[test]
