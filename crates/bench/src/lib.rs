@@ -14,6 +14,7 @@
 //! value next to the measured one for every row.
 
 pub mod chaos;
+pub mod fetchsweep;
 pub mod fssweep;
 pub mod mega;
 pub mod multitenant;
@@ -25,6 +26,9 @@ pub mod tiersweep;
 pub mod validation;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosFault, ChaosReport, CHAOS_NAME};
+pub use fetchsweep::{
+    run_fetch_sweep, FetchSweepConfig, FetchSweepPoint, FetchSweepReport, FETCH_SWEEP_NAME,
+};
 pub use fssweep::{run_fs_sweep, FsSweepConfig, FsSweepPoint, FsSweepReport, FS_SWEEP_NAME};
 pub use mega::{run_mega_sweep, MegaSweepConfig, MegaSweepReport, MEGA_SWEEP_NAME};
 pub use multitenant::{

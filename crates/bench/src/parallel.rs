@@ -297,12 +297,13 @@ fn run_point(cfg: &WorkerSweepConfig, workers: usize) -> WorkerSweepPoint {
 }
 
 /// FNV-1a over 8-byte words, the dependency-free hash used for stream
-/// digests.  Word-at-a-time keeps the checker an order of magnitude cheaper
-/// than the prep work it verifies while still covering every payload byte.
-struct Fnv(u64);
+/// digests (shared with the fetch sweep in [`fetchsweep`](crate::fetchsweep)).
+/// Word-at-a-time keeps the checker an order of magnitude cheaper than the
+/// prep work it verifies while still covering every payload byte.
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
@@ -311,7 +312,7 @@ impl Fnv {
         self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
     }
 
-    fn bytes(&mut self, data: &[u8]) {
+    pub(crate) fn bytes(&mut self, data: &[u8]) {
         let mut chunks = data.chunks_exact(8);
         for c in chunks.by_ref() {
             self.word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
@@ -325,11 +326,11 @@ impl Fnv {
         }
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.word(v);
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }

@@ -818,6 +818,96 @@ fn run_partitioned_chaos_scenario(
     ]
 }
 
+/// Fetch threads driven by the parallel-fetch validation scenario.
+const PARALLEL_FETCH_THREADS: usize = 4;
+
+/// Parallel-fetch validation: the single-minio workload with a fully
+/// resident cache, fetched by a [`PARALLEL_FETCH_THREADS`]-thread pool.
+/// Full residency makes the steady-state prediction *exact*: after the
+/// cold warm-up epoch every access hits, so the simulator and the runtime
+/// must both report a steady hit ratio of exactly 1.0 — any delta at all
+/// means the fetch pool changed caching behaviour, not just scheduling.
+/// The second row compares the pool's summed condvar-wait seconds (wall
+/// time on the test host) against the modelled device seconds those same
+/// reads were charged; the pair is informational, like every other
+/// wall-vs-model column.
+fn run_parallel_fetch_scenario(
+    cfg: &ValidationConfig,
+    spec: &DatasetSpec,
+    server: &ServerConfig,
+) -> Vec<ValidationRow> {
+    // Full residency with headroom: the sharded tier splits its capacity
+    // across fetch shards, and FNV routing is only statistically uniform,
+    // so 4x the *exact* dataset footprint keeps even the most loaded
+    // shard resident (the same exact-sum sizing the churn scenario uses).
+    let exact_bytes: u64 = (0..spec.num_items).map(|i| spec.item_size(i)).sum();
+    let cap = exact_bytes * 4;
+    let full = server.with_cache_bytes(cap);
+
+    // --- Predicted: the simulator with a fully resident cache. -------------
+    let job = JobSpec::new(
+        gpu::ModelKind::ResNet18,
+        spec.clone(),
+        1,
+        LoaderConfig::coordl(PrepBackend::DaliCpu),
+    )
+    .with_seed(VALIDATION_SEED);
+    let sim = Experiment::on(&full)
+        .job(job)
+        .scenario(Scenario::SingleServer)
+        .cache(CacheSpec::DramOnly)
+        .epochs(cfg.epochs)
+        .run();
+    let (p_hit, _, _, _) = sim_steady(&sim);
+
+    // --- Empirical: the runtime with a 4-thread fetch pool. ----------------
+    let store: Arc<dyn DataSource> = Arc::new(SyntheticItemStore::new(spec.clone(), STORE_SEED));
+    let session = Session::builder(
+        store,
+        SessionConfig {
+            batch_size: 64,
+            num_workers: 1,
+            seed: VALIDATION_SEED,
+            cache_capacity_bytes: cap,
+            take_timeout: Duration::from_secs(30),
+            ..SessionConfig::default()
+        },
+    )
+    .mode(Mode::Single)
+    .cache_policy(PolicyKind::MinIo)
+    .device_profile(server.device)
+    .fetch_threads(PARALLEL_FETCH_THREADS)
+    .build()
+    .expect("valid parallel-fetch session");
+    for epoch in 0..cfg.epochs {
+        let run = session.epoch(epoch);
+        for batch in run.stream(0) {
+            let _ = batch.expect("parallel-fetch epoch should complete");
+        }
+    }
+    let report = session.report();
+    let tail = report.steady_epochs();
+    let hits: u64 = tail.iter().map(|e| e.cache_hits).sum();
+    let misses: u64 = tail.iter().map(|e| e.cache_misses).sum();
+
+    vec![
+        ValidationRow {
+            scenario: "parallel-fetch",
+            metric: "steady_hit_ratio",
+            predicted: p_hit,
+            empirical: hits as f64 / (hits + misses).max(1) as f64,
+            gate: GateKind::Absolute,
+        },
+        ValidationRow {
+            scenario: "parallel-fetch",
+            metric: "fetch_thread_stall_vs_modelled_device_seconds",
+            predicted: report.device_seconds,
+            empirical: report.fetch_thread_stall_seconds.iter().sum(),
+            gate: GateKind::Informational,
+        },
+    ]
+}
+
 /// Run the full predicted-vs-empirical comparison.
 pub fn run_validation(cfg: &ValidationConfig) -> ValidationReport {
     assert!(cfg.epochs >= 2, "need a warm-up plus one steady epoch");
@@ -911,6 +1001,10 @@ pub fn run_validation(cfg: &ValidationConfig) -> ValidationReport {
     // against a runtime cluster replaying the identical fault schedule.
     rows.extend(run_partitioned_chaos_scenario(cfg, &spec, &server));
 
+    // Sharded parallel fetch: a fully resident cache fetched by a
+    // 4-thread pool, where the steady hit-ratio prediction is exact.
+    rows.extend(run_parallel_fetch_scenario(cfg, &spec, &server));
+
     ValidationReport {
         config: cfg.clone(),
         rows,
@@ -937,9 +1031,10 @@ mod tests {
         let report = run_validation(&small_config());
         assert_eq!(
             report.rows.len(),
-            31,
+            33,
             "4 rows for each flat scenario, 6 for the tiered one, 5 for \
-             churn, 4 for fs-real, 4 for partitioned-chaos"
+             churn, 4 for fs-real, 4 for partitioned-chaos, 2 for \
+             parallel-fetch"
         );
         let chaos: Vec<_> = report
             .rows
@@ -967,6 +1062,24 @@ mod tests {
             .expect("fs-real reports the measured column");
         assert!(measured.predicted > 0.0, "modelled seconds accumulate");
         assert!(measured.empirical > 0.0, "measured seconds accumulate");
+        let parallel_fetch: Vec<_> = report
+            .rows
+            .iter()
+            .filter(|r| r.scenario == "parallel-fetch")
+            .collect();
+        assert_eq!(parallel_fetch.len(), 2);
+        let pf_hit = parallel_fetch
+            .iter()
+            .find(|r| r.metric == "steady_hit_ratio")
+            .expect("parallel-fetch reports the steady hit ratio");
+        assert_eq!(
+            pf_hit.predicted, 1.0,
+            "full residency predicts a perfect steady hit ratio"
+        );
+        assert_eq!(
+            pf_hit.predicted, pf_hit.empirical,
+            "the parallel-fetch hit-ratio prediction is exact (delta 0.0)"
+        );
         let failures: Vec<String> = report
             .failures()
             .iter()

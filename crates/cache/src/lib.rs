@@ -34,7 +34,7 @@ pub use hierarchy::{ChainAccess, ChainSource, DemotionStats, TierChain, TierCost
 pub use partitioned::{Location, PartitionedIndex, ServerId};
 pub use policy::{ClockCache, FifoCache, LruCache, MinIoCache, PolicyKind};
 pub use ring::{rendezvous_order, rendezvous_pick, rendezvous_score};
-pub use sharded::ShardedChain;
+pub use sharded::{shard_of_key, ShardedChain};
 pub use stats::{AccessOutcome, CacheStats};
 
 use std::hash::Hash;

@@ -43,6 +43,20 @@ fn mix(key: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The canonical shard routing: which of `num_shards` buckets `key` belongs
+/// to.  Every layer that partitions cache state by key — [`ShardedChain`],
+/// the runtime's sharded `TieredByteCache`, and the parallel fetch pool's
+/// thread-ownership map — MUST route through this one function, so a key's
+/// tier transactions always land on the same shard (and therefore the same
+/// owning lock/thread) no matter which layer asks.
+///
+/// # Panics
+/// Panics when `num_shards` is zero.
+pub fn shard_of_key(key: u64, num_shards: usize) -> usize {
+    assert!(num_shards > 0, "shard routing needs at least one shard");
+    (mix(key) % num_shards as u64) as usize
+}
+
 impl ShardedChain {
     /// Build `num_shards` chains from `tiers`, splitting each tier's
     /// capacity evenly across shards (remainder bytes go to the first
@@ -91,10 +105,10 @@ impl ShardedChain {
         &self.specs[k]
     }
 
-    /// Which shard `key` routes to.  Deterministic, so byte-holding wrappers
-    /// can co-shard their payload maps.
+    /// Which shard `key` routes to.  Deterministic (see [`shard_of_key`]),
+    /// so byte-holding wrappers can co-shard their payload maps.
     pub fn shard_of(&self, key: u64) -> usize {
-        (mix(key) % self.shards.len() as u64) as usize
+        shard_of_key(key, self.shards.len())
     }
 
     fn shard(&self, idx: usize) -> MutexGuard<'_, TierChain> {
@@ -275,6 +289,19 @@ mod tests {
                 .sum();
             assert_eq!(per_shard, 1003, "{shards} shards");
         }
+    }
+
+    #[test]
+    fn shard_of_key_is_the_chain_routing() {
+        for shards in [1usize, 2, 3, 8] {
+            let chain = ShardedChain::new(vec![spec("dram", PolicyKind::MinIo, 1 << 20)], shards);
+            for k in 0..500u64 {
+                assert_eq!(chain.shard_of(k), shard_of_key(k, shards), "{shards}/{k}");
+                assert!(shard_of_key(k, shards) < shards);
+            }
+        }
+        // One shard routes everything to bucket 0 (the serial special case).
+        assert!((0..100).all(|k| shard_of_key(k, 1) == 0));
     }
 
     #[test]

@@ -243,6 +243,42 @@ mod tests {
     }
 
     #[test]
+    fn modelled_device_seconds_are_invariant_under_concurrent_fetch() {
+        // Each read's charge is quantized to whole nanoseconds *before* the
+        // atomic add, so any partition of the items across threads accounts
+        // exactly the same total as one thread reading them all — the
+        // invariant that keeps `device_seconds` identical across
+        // `fetch_threads` values.
+        let serial = ProfiledBackend::new(store(64, 10_000), DeviceProfile::sata_ssd());
+        for i in 0..64 {
+            let _ = serial.read(i).unwrap();
+        }
+        for threads in [2u64, 4] {
+            let b = Arc::new(ProfiledBackend::new(
+                store(64, 10_000),
+                DeviceProfile::sata_ssd(),
+            ));
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || {
+                        let mut i = t;
+                        while i < 64 {
+                            let _ = b.read(i).unwrap();
+                            i += threads;
+                        }
+                    });
+                }
+            });
+            assert_eq!(
+                b.device_seconds(),
+                serial.device_seconds(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
     fn hdd_models_more_busy_time_than_ramdisk_for_the_same_bytes() {
         let hdd = ProfiledBackend::new(store(8, 10_000), DeviceProfile::hdd());
         let ram = ProfiledBackend::new(store(8, 10_000), DeviceProfile::ramdisk());

@@ -51,6 +51,10 @@ pub(crate) struct CoordinatedEngine {
     pub(crate) num_workers: usize,
     /// Raw batches buffered between the fetch thread and the prep pool.
     pub(crate) prefetch_depth: usize,
+    /// Fetch-stage threads (1 = the serial sweep; more = the sharded pool).
+    pub(crate) fetch_threads: usize,
+    /// Cache shards the pool's key-ownership map is computed against.
+    pub(crate) fetch_shards: usize,
 }
 
 impl CoordinatedEngine {
@@ -112,6 +116,8 @@ impl CoordinatedEngine {
             sink,
             workers: self.num_workers,
             prefetch_depth: self.prefetch_depth,
+            fetch_threads: self.fetch_threads,
+            fetch_shards: self.fetch_shards,
         });
         let shared = Arc::clone(executor.shared());
 

@@ -8,7 +8,8 @@
 //!
 //! ```text
 //!   plan (ordered batches)
-//!        │ one fetch thread, strictly in plan order
+//!        │ fetch stage: 1 serial thread (default), or a pool of
+//!        │ `fetch_threads` threads partitioned by cache-shard ownership
 //!        ▼
 //!   bounded raw-batch queue (prefetch_depth)
 //!        │ N prep workers, deterministic per-(epoch, item) pipeline
@@ -17,16 +18,27 @@
 //!                  coordinated StagingArea
 //! ```
 //!
-//! **Determinism contract.**  Every cache-tier transaction happens on the
-//! single fetch thread, in plan order, so cache hits, misses, byte
-//! provenance and eviction decisions are a pure function of the plan:
-//! `workers(1)` and `workers(n)` produce bit-identical [`LoaderStats`]
-//! counters for *any* tier policy, and the order-preserving sinks make the
-//! delivered minibatch streams bit-identical too (prep is deterministic per
-//! `(epoch, item)`).  Worker count and prefetch depth only change *when*
-//! work happens — which the stage-timing counters (fetch busy/stall, prep
-//! busy/stall, consumer wait) report — never *what* is computed.  The root
-//! `tests/parallel_session_equivalence.rs` suite pins this contract.
+//! **Determinism contract.**  With the default `fetch_threads = 1` every
+//! cache-tier transaction happens on the single fetch thread, in plan
+//! order, so cache hits, misses, byte provenance and eviction decisions are
+//! a pure function of the plan: `workers(1)` and `workers(n)` produce
+//! bit-identical [`LoaderStats`] counters for *any* tier policy, and the
+//! order-preserving sinks make the delivered minibatch streams bit-identical
+//! too (prep is deterministic per `(epoch, item)`).
+//!
+//! With `fetch_threads = f > 1` the fetch stage becomes a **sharded pool**:
+//! items are routed to cache shards by `dcache::shard_of_key` (the same
+//! routing the sharded tiers use), and pool thread `t` owns exactly the
+//! shards `{k : k % f == t}`.  Every pool thread walks *every* plan position
+//! in order, fetching only the items it owns, so all tier transactions for
+//! a given key are still executed by exactly one thread, in plan order for
+//! that key's shard — the per-shard access subsequence is identical to what
+//! a serial sweep over the same `fetch_shards`-way sharded tier performs.
+//! Streams and counters are therefore bit-identical across `fetch_threads`
+//! for a fixed shard count; only the stage-timing counters (fetch
+//! busy/stall per thread, prep busy/stall, consumer wait) move.  The root
+//! `tests/parallel_session_equivalence.rs` and
+//! `tests/parallel_fetch_equivalence.rs` suites pin this contract.
 //!
 //! **Failure contract.**  A panicking stage thread is caught, converted into
 //! a descriptive [`CoordlError::WorkerPanicked`] and recorded in the shared
@@ -44,12 +56,12 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use dataset::ItemId;
 use parking_lot::Mutex;
 use prep::ExecutablePipeline;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How raw bytes for one item are obtained (tier → backend for single and
 /// coordinated sessions, cluster lookup order for partitioned nodes).
@@ -160,6 +172,14 @@ pub(crate) struct ExecutorSpec {
     pub workers: usize,
     /// Raw batches buffered between fetch and prep (>= 1 enforced).
     pub prefetch_depth: usize,
+    /// Fetch-stage threads (>= 1 enforced).  1 is the serial default; more
+    /// spawn the sharded fetch pool (see the module docs).
+    pub fetch_threads: usize,
+    /// Cache shards the pool's key-ownership map is computed against
+    /// (>= 1 enforced; ignored when `fetch_threads == 1`).  Must match the
+    /// shard count of the session's sharded tier for the determinism
+    /// contract to hold.
+    pub fetch_shards: usize,
 }
 
 /// A running fetch + prep pipeline for one epoch.  Dropping it (after the
@@ -170,21 +190,47 @@ pub(crate) struct PrefetchExecutor {
 }
 
 impl PrefetchExecutor {
-    /// Spawn the fetch thread and prep pool described by `spec`.
+    /// Spawn the fetch stage and prep pool described by `spec`.
     pub(crate) fn spawn(spec: ExecutorSpec) -> Self {
         let shared = Arc::new(ExecutorShared::default());
         let workers = spec.workers.max(1);
-        let (raw_tx, raw_rx) = bounded::<RawBatch>(spec.prefetch_depth.max(1));
-        let mut handles = Vec::with_capacity(workers + 1);
+        let fetch_threads = spec.fetch_threads.max(1);
+        let depth = spec.prefetch_depth.max(1);
+        let (raw_tx, raw_rx) = bounded::<RawBatch>(depth);
+        let mut handles = Vec::with_capacity(workers + fetch_threads);
 
-        handles.push(spawn_fetch_thread(
-            spec.batches,
-            spec.fetch,
-            spec.skip,
-            Arc::clone(&spec.stats),
-            Arc::clone(&shared),
-            raw_tx,
-        ));
+        if fetch_threads == 1 {
+            // The serial fetch stage, preserved verbatim: the default path
+            // every existing baseline digest was produced with.
+            handles.push(spawn_fetch_thread(
+                spec.batches,
+                spec.fetch,
+                spec.skip,
+                Arc::clone(&spec.stats),
+                Arc::clone(&shared),
+                raw_tx,
+            ));
+        } else {
+            let pool = Arc::new(FetchPool::new(
+                fetch_threads,
+                spec.fetch_shards.max(1),
+                depth,
+            ));
+            let batches = Arc::new(spec.batches);
+            for thread in 0..fetch_threads {
+                handles.push(spawn_pool_fetch_thread(
+                    Arc::clone(&pool),
+                    thread,
+                    Arc::clone(&batches),
+                    Arc::clone(&spec.fetch),
+                    spec.skip.clone(),
+                    Arc::clone(&spec.stats),
+                    Arc::clone(&shared),
+                    raw_tx.clone(),
+                ));
+            }
+            drop(raw_tx);
+        }
         for _ in 0..workers {
             handles.push(spawn_prep_worker(
                 spec.epoch,
@@ -246,7 +292,7 @@ fn spawn_fetch_thread(
                 let busy = Instant::now();
                 let fetched: Result<Vec<Arc<Vec<u8>>>, CoordlError> =
                     items.iter().map(|&item| fetch(item)).collect();
-                stats.record_fetch_busy(busy.elapsed());
+                stats.record_fetch_busy_for(0, busy.elapsed());
                 let raw = match fetched {
                     Ok(raw) => raw,
                     Err(err) => {
@@ -258,7 +304,7 @@ fn spawn_fetch_thread(
                 };
                 let stall = Instant::now();
                 let sent = raw_tx.send(RawBatch { index, items, raw });
-                stats.record_fetch_stall(stall.elapsed());
+                stats.record_fetch_stall_for(0, stall.elapsed());
                 if sent.is_err() {
                     break; // every prep worker is gone
                 }
@@ -268,6 +314,222 @@ fn spawn_fetch_thread(
             shared.record_panic("fetch", payload);
         }
     })
+}
+
+/// One plan position in the pool's in-flight window: per-item byte slots
+/// filled by their owning threads, and the once-evaluated skip decision.
+struct PendingBatch {
+    skipped: bool,
+    raw: Vec<Option<Arc<Vec<u8>>>>,
+    /// Pool threads that have not yet contributed to this position.
+    remaining: usize,
+}
+
+/// Mutable state of a `fetch_threads > 1` pool.
+///
+/// `done` counts fully completed positions.  Positions complete strictly in
+/// plan order: a position is complete only once every thread has passed it,
+/// and each thread visits positions in increasing order, so completion of
+/// position `p` implies completion of every earlier one.  The window
+/// invariant threads wait on (`pos < done + depth`) therefore never
+/// deadlocks: if the minimum incomplete position is `p_min`, all positions
+/// below it are complete (`done >= p_min`), so a thread parked at
+/// `p <= p_min` would need `p >= done + depth > p_min >= p` — impossible —
+/// and the thread holding up `p_min` is running, not waiting.
+struct PoolState {
+    done: usize,
+    pending: HashMap<usize, PendingBatch>,
+    aborted: bool,
+}
+
+/// Shared coordination of the sharded fetch pool (see the module docs).
+struct FetchPool {
+    state: std::sync::Mutex<PoolState>,
+    cv: Condvar,
+    threads: usize,
+    shards: usize,
+    depth: usize,
+}
+
+impl FetchPool {
+    fn new(threads: usize, shards: usize, depth: usize) -> Self {
+        FetchPool {
+            state: std::sync::Mutex::new(PoolState {
+                done: 0,
+                pending: HashMap::new(),
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+            threads,
+            shards,
+            depth,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        // A panicking pool thread records a typed error and aborts the pool;
+        // peers must still be able to observe the abort through the lock.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Stop every pool thread at its next window check (error/panic/
+    /// disconnect fallout — never called on a normal completion).
+    fn abort(&self) {
+        self.lock().aborted = true;
+        self.cv.notify_all();
+    }
+
+    /// Which pool thread owns `item`: the thread that executes every cache
+    /// transaction for `item`'s shard.  Routing MUST match the sharded
+    /// tier's (`dcache::shard_of_key`) so shard ownership and lock ownership
+    /// coincide.
+    fn owner(&self, item: ItemId) -> usize {
+        dcache::shard_of_key(item, self.shards) % self.threads
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_pool_fetch_thread(
+    pool: Arc<FetchPool>,
+    thread: usize,
+    batches: Arc<Vec<(usize, Vec<ItemId>)>>,
+    fetch: Arc<FetchFn>,
+    skip: Option<Arc<SkipFn>>,
+    stats: Arc<LoaderStats>,
+    shared: Arc<ExecutorShared>,
+    raw_tx: Sender<RawBatch>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_pool_fetch_thread(
+                &pool,
+                thread,
+                &batches,
+                &*fetch,
+                skip.as_deref(),
+                &stats,
+                &shared,
+                &raw_tx,
+            );
+        }));
+        if let Err(payload) = outcome {
+            shared.record_panic("fetch", payload);
+            // Peers parked on the window must not wait for contributions
+            // that will never come.
+            pool.abort();
+        }
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_pool_fetch_thread(
+    pool: &FetchPool,
+    thread: usize,
+    batches: &[(usize, Vec<ItemId>)],
+    fetch: &FetchFn,
+    skip: Option<&SkipFn>,
+    stats: &LoaderStats,
+    shared: &ExecutorShared,
+    raw_tx: &Sender<RawBatch>,
+) {
+    for (pos, (index, items)) in batches.iter().enumerate() {
+        // Wait for the prefetch window, then claim (or join) this
+        // position's pending entry under the same lock hold.
+        let wait = Instant::now();
+        let mut st = pool.lock();
+        while !st.aborted && !shared.is_shutdown() && pos >= st.done + pool.depth {
+            // Timed wait: `begin_shutdown` does not know about this condvar,
+            // so a parked thread re-checks the flag on its own clock.
+            let (guard, _timeout) = pool
+                .cv
+                .wait_timeout(st, Duration::from_millis(25))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+        }
+        if st.aborted || shared.is_shutdown() {
+            return;
+        }
+        let threads = pool.threads;
+        let entry = st.pending.entry(pos).or_insert_with(|| PendingBatch {
+            // Evaluated exactly once per position, by whichever thread
+            // arrives first: the filter may read mutable state (coordinated
+            // kill flags), and the pool must agree on one decision.
+            skipped: skip.is_some_and(|s| s(*index)),
+            raw: vec![None; items.len()],
+            remaining: threads,
+        });
+        let skipped = entry.skipped;
+        drop(st);
+        stats.record_fetch_stall_for(thread, wait.elapsed());
+
+        // Fetch the items this thread owns, outside the lock: owners are
+        // disjoint across threads, so every tier transaction for a given
+        // key happens on one thread, in plan order for that key's shard.
+        let mut mine: Vec<(usize, Arc<Vec<u8>>)> = Vec::new();
+        if !skipped {
+            let busy = Instant::now();
+            for (slot, &item) in items.iter().enumerate() {
+                if pool.owner(item) != thread {
+                    continue;
+                }
+                match fetch(item) {
+                    Ok(bytes) => mine.push((slot, bytes)),
+                    Err(err) => {
+                        stats.record_fetch_busy_for(thread, busy.elapsed());
+                        shared.record_error(err);
+                        pool.abort();
+                        return;
+                    }
+                }
+            }
+            stats.record_fetch_busy_for(thread, busy.elapsed());
+        }
+
+        // Contribute, and as the last thread in, take the completed batch.
+        let ready = {
+            let mut st = pool.lock();
+            let entry = st
+                .pending
+                .get_mut(&pos)
+                .expect("a contributed position stays pending until complete");
+            for (slot, bytes) in mine {
+                entry.raw[slot] = Some(bytes);
+            }
+            entry.remaining -= 1;
+            if entry.remaining == 0 {
+                let entry = st.pending.remove(&pos).expect("entry just updated");
+                st.done += 1;
+                pool.cv.notify_all();
+                (!entry.skipped).then_some(entry)
+            } else {
+                None
+            }
+        };
+        // Dispatch outside the lock; the sink reorders, so out-of-order
+        // sends between racing last-contributors are fine.
+        if let Some(entry) = ready {
+            let raw: Vec<Arc<Vec<u8>>> = entry
+                .raw
+                .into_iter()
+                .map(|slot| slot.expect("every item was fetched by its owner"))
+                .collect();
+            let stall = Instant::now();
+            let sent = raw_tx.send(RawBatch {
+                index: *index,
+                items: items.clone(),
+                raw,
+            });
+            stats.record_fetch_stall_for(thread, stall.elapsed());
+            if sent.is_err() {
+                // Every prep worker is gone; the channel stays disconnected
+                // for all senders, so stop the whole pool.
+                pool.abort();
+                return;
+            }
+        }
+    }
 }
 
 fn spawn_prep_worker(
@@ -317,6 +579,7 @@ fn spawn_prep_worker(
 /// Spawn one epoch's executor delivering into an order-preserving stream:
 /// prepared batches flow through a bounded channel into a reorder buffer
 /// that yields them strictly in plan order.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_ordered_epoch(
     epoch: u64,
     batches: Vec<(usize, Vec<ItemId>)>,
@@ -325,6 +588,8 @@ pub(crate) fn spawn_ordered_epoch(
     stats: Arc<LoaderStats>,
     workers: usize,
     prefetch_depth: usize,
+    fetch_threads: usize,
+    fetch_shards: usize,
 ) -> OrderedStream {
     let total = batches.len();
     let (out_tx, out_rx) = bounded::<Minibatch>(prefetch_depth.max(1));
@@ -338,6 +603,8 @@ pub(crate) fn spawn_ordered_epoch(
         sink: Arc::new(out_tx),
         workers,
         prefetch_depth,
+        fetch_threads,
+        fetch_shards,
     });
     OrderedStream {
         rx: out_rx,
@@ -459,6 +726,8 @@ mod tests {
                     Arc::clone(&stats),
                     workers,
                     depth,
+                    1,
+                    1,
                 );
                 let indices: Vec<usize> = stream.map(|mb| mb.index).collect();
                 assert_eq!(indices, (0..9).collect::<Vec<_>>(), "w={workers} d={depth}");
@@ -488,6 +757,8 @@ mod tests {
                 Arc::new(LoaderStats::default()),
                 workers,
                 2,
+                1,
+                1,
             );
             let _ = stream.count();
             let order = seen.lock().clone();
@@ -509,6 +780,8 @@ mod tests {
                 Arc::new(LoaderStats::default()),
                 3,
                 1, // smallest window: workers park on full queues constantly
+                1,
+                1,
             );
             let _ = stream.next();
             drop(stream); // must unblock + join, not hang
@@ -531,6 +804,8 @@ mod tests {
             Arc::new(LoaderStats::default()),
             2,
             2,
+            1,
+            1,
         );
         let delivered = stream.by_ref().count();
         assert!(delivered < 5, "the epoch must end early");
@@ -565,6 +840,207 @@ mod tests {
             sink: Arc::new(out_tx),
             workers: 2,
             prefetch_depth: 4,
+            fetch_threads: 1,
+            fetch_shards: 1,
+        });
+        let mut indices = Vec::new();
+        while let Ok(mb) = out_rx.recv() {
+            indices.push(mb.index);
+        }
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 2, 4]);
+        assert_eq!(fetched.load(Ordering::SeqCst), 6, "3 batches x 2 items");
+        executor.shutdown_and_join();
+    }
+
+    #[test]
+    fn fetch_pool_delivers_the_serial_stream_for_any_thread_count() {
+        let run = |fetch_threads: usize| {
+            let stats = Arc::new(LoaderStats::default());
+            let stream = spawn_ordered_epoch(
+                3,
+                plan(11, 4),
+                byte_fetch(),
+                pipeline(),
+                Arc::clone(&stats),
+                2,
+                3,
+                fetch_threads,
+                8,
+            );
+            let out: Vec<(usize, Vec<Vec<u8>>)> = stream
+                .map(|mb| {
+                    (
+                        mb.index,
+                        mb.samples.iter().map(|s| s.data.clone()).collect(),
+                    )
+                })
+                .collect();
+            assert_eq!(stats.samples_prepared(), 44);
+            out
+        };
+        let serial = run(1);
+        assert_eq!(serial.len(), 11);
+        for f in [2, 3, 4, 7] {
+            assert_eq!(run(f), serial, "fetch_threads={f}");
+        }
+    }
+
+    #[test]
+    fn fetch_pool_partitions_keys_exactly_once_by_shard_ownership() {
+        // Every item must be fetched exactly once, by the thread that owns
+        // its shard.  A recording fetch closure tags each fetch with the
+        // calling thread's id; the ownership map is then checked against
+        // `shard_of_key` directly.
+        let threads = 3;
+        let shards = 8;
+        let seen: Arc<Mutex<Vec<(ItemId, std::thread::ThreadId)>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let fetch: Arc<FetchFn> = Arc::new(move |item| {
+            seen2.lock().push((item, std::thread::current().id()));
+            Ok(Arc::new(vec![item as u8; 8]))
+        });
+        let stream = spawn_ordered_epoch(
+            0,
+            plan(10, 5),
+            fetch,
+            pipeline(),
+            Arc::new(LoaderStats::default()),
+            2,
+            4,
+            threads,
+            shards,
+        );
+        assert_eq!(stream.count(), 10);
+        let log = seen.lock().clone();
+        assert_eq!(log.len(), 50, "each item fetched exactly once");
+        let mut item_thread: HashMap<ItemId, std::thread::ThreadId> = HashMap::new();
+        let mut pool_thread_of: HashMap<usize, std::thread::ThreadId> = HashMap::new();
+        for (item, tid) in log {
+            assert!(
+                item_thread.insert(item, tid).is_none(),
+                "item {item} fetched twice"
+            );
+            let owner = dcache::shard_of_key(item, shards) % threads;
+            // Each pool-thread slot maps to one OS thread, consistently.
+            match pool_thread_of.entry(owner) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(tid);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    assert_eq!(*e.get(), tid, "owner {owner} split across threads");
+                }
+            }
+        }
+        // Distinct pool-thread slots really are distinct OS threads.
+        let distinct: std::collections::HashSet<_> = pool_thread_of.values().collect();
+        assert_eq!(distinct.len(), pool_thread_of.len());
+    }
+
+    #[test]
+    fn fetch_pool_panic_surfaces_a_typed_error() {
+        let fetch: Arc<FetchFn> = Arc::new(|item| {
+            if item == 13 {
+                panic!("injected pool fetch failure for item {item}");
+            }
+            Ok(Arc::new(vec![1u8; 8]))
+        });
+        let mut stream = spawn_ordered_epoch(
+            0,
+            plan(8, 3),
+            fetch,
+            pipeline(),
+            Arc::new(LoaderStats::default()),
+            2,
+            2,
+            4,
+            8,
+        );
+        let delivered = stream.by_ref().count();
+        assert!(delivered < 8, "the epoch must end early");
+        let err = stream.take_failure().expect("panic recorded");
+        match &err {
+            CoordlError::WorkerPanicked { stage, detail } => {
+                assert_eq!(*stage, "fetch");
+                assert!(detail.contains("injected pool fetch failure"));
+            }
+            other => panic!("expected WorkerPanicked, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fetch_pool_typed_error_ends_the_epoch() {
+        let fetch: Arc<FetchFn> = Arc::new(|item| {
+            if item == 9 {
+                return Err(CoordlError::BackendIo {
+                    backend: "test".into(),
+                    item,
+                    detail: "injected typed failure".into(),
+                });
+            }
+            Ok(Arc::new(vec![2u8; 8]))
+        });
+        let mut stream = spawn_ordered_epoch(
+            0,
+            plan(6, 3),
+            fetch,
+            pipeline(),
+            Arc::new(LoaderStats::default()),
+            2,
+            2,
+            2,
+            8,
+        );
+        let delivered = stream.by_ref().count();
+        assert!(delivered < 6, "the epoch must end early");
+        match stream.take_failure().expect("error recorded") {
+            CoordlError::BackendIo { item, .. } => assert_eq!(item, 9),
+            other => panic!("expected BackendIo, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dropping_a_pool_stream_early_joins_all_threads_without_deadlock() {
+        for _ in 0..8 {
+            let mut stream = spawn_ordered_epoch(
+                0,
+                plan(64, 4),
+                byte_fetch(),
+                pipeline(),
+                Arc::new(LoaderStats::default()),
+                2,
+                1, // smallest window: pool threads park on it constantly
+                4,
+                8,
+            );
+            let _ = stream.next();
+            drop(stream); // must unblock + join, not hang
+        }
+    }
+
+    #[test]
+    fn skip_filter_drops_batches_before_fetch_with_a_pool() {
+        let fetched = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&fetched);
+        let fetch: Arc<FetchFn> = Arc::new(move |_| {
+            f2.fetch_add(1, Ordering::SeqCst);
+            Ok(Arc::new(vec![0u8; 4]))
+        });
+        let (out_tx, out_rx) = bounded::<Minibatch>(16);
+        let stats = Arc::new(LoaderStats::default());
+        let mut executor = PrefetchExecutor::spawn(ExecutorSpec {
+            epoch: 0,
+            batches: plan(6, 2),
+            fetch,
+            skip: Some(Arc::new(|index| index % 2 == 1)),
+            pipeline: pipeline(),
+            stats,
+            sink: Arc::new(out_tx),
+            workers: 2,
+            prefetch_depth: 4,
+            fetch_threads: 3,
+            fetch_shards: 8,
         });
         let mut indices = Vec::new();
         while let Ok(mb) = out_rx.recv() {

@@ -316,6 +316,42 @@ mod tests {
     }
 
     #[test]
+    fn modelled_seconds_accumulate_exactly_under_concurrent_reads() {
+        // The sharded fetch pool issues backend reads from several threads
+        // at once; the per-read nanosecond quantization happens before the
+        // atomic add, so a disjoint partition of the items across threads
+        // models exactly the serial total (measured seconds are wall-clock
+        // and only need to stay monotone).
+        let src = store(48, 4096);
+        let serial = FsBackend::new(Arc::new(MemVfs::new()), "ds", &src, 2)
+            .unwrap()
+            .with_profile(DeviceProfile::sata_ssd(), AccessPattern::Random);
+        for item in 0..48 {
+            let _ = serial.read(item).unwrap();
+        }
+        let b = Arc::new(
+            FsBackend::new(Arc::new(MemVfs::new()), "ds", &src, 2)
+                .unwrap()
+                .with_profile(DeviceProfile::sata_ssd(), AccessPattern::Random),
+        );
+        let threads = 4u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let b = Arc::clone(&b);
+                s.spawn(move || {
+                    let mut item = t;
+                    while item < 48 {
+                        let _ = b.read(item).unwrap();
+                        item += threads;
+                    }
+                });
+            }
+        });
+        assert_eq!(b.device_seconds(), serial.device_seconds());
+        assert!(b.measured_seconds() > 0.0);
+    }
+
+    #[test]
     fn profiled_fs_backend_reports_modelled_and_measured_side_by_side() {
         let src = store(16, 4096);
         let vfs: Arc<dyn Vfs> = Arc::new(MemVfs::new());

@@ -68,7 +68,9 @@ pub use partition::{
 };
 pub use report::{EpochTrajectory, LoaderReport, TenantReport};
 pub use server::{Server, ServerConfig, TenantHandle, TenantSpec, TenantView};
-pub use session::{BatchStream, EpochRun, Mode, Session, SessionBuilder, SessionConfig};
+pub use session::{
+    BatchStream, EpochRun, Mode, Session, SessionBuilder, SessionConfig, DEFAULT_FETCH_SHARDS,
+};
 pub use staging::{PublishOutcome, StagingArea, StagingStats, TakeError};
 pub use stats::LoaderStats;
 pub use tier::{

@@ -169,6 +169,14 @@ pub struct LoaderReport {
     pub prep_stall_seconds: f64,
     /// Cumulative wall seconds consumers spent waiting for minibatches.
     pub consumer_wait_seconds: f64,
+    /// Per-fetch-thread breakdown of `fetch_busy_seconds`, indexed by pool
+    /// slot.  One entry (slot 0) for the default serial fetch stage; one per
+    /// thread for a `fetch_threads(f)` session, so skew across the sharded
+    /// pool is visible in the report.
+    pub fetch_thread_busy_seconds: Vec<f64>,
+    /// Per-fetch-thread breakdown of `fetch_stall_seconds`, indexed by pool
+    /// slot (same layout as `fetch_thread_busy_seconds`).
+    pub fetch_thread_stall_seconds: Vec<f64>,
     /// Per-epoch counter deltas, in the order epochs were run.
     pub epochs: Vec<EpochTrajectory>,
     /// Multi-tenant accounting; `None` unless the session ran under a
@@ -320,6 +328,10 @@ impl LoaderReport {
         write_f64(&mut out, self.prep_stall_seconds);
         out.push_str(",\"consumer_wait_seconds\":");
         write_f64(&mut out, self.consumer_wait_seconds);
+        out.push_str(",\"fetch_thread_busy_seconds\":");
+        write_f64_array(&mut out, &self.fetch_thread_busy_seconds);
+        out.push_str(",\"fetch_thread_stall_seconds\":");
+        write_f64_array(&mut out, &self.fetch_thread_stall_seconds);
         if let Some(tenant) = &self.tenant {
             out.push_str(",\"tenant\":{\"name\":");
             write_string(&mut out, &tenant.name);
@@ -343,6 +355,17 @@ impl LoaderReport {
         out.push_str("]}");
         out
     }
+}
+
+fn write_f64_array(out: &mut String, values: &[f64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_f64(out, *v);
+    }
+    out.push(']');
 }
 
 fn epoch_trajectory_json(out: &mut String, e: &EpochTrajectory) {
@@ -417,6 +440,8 @@ mod tests {
             prep_busy_seconds: 1.5,
             prep_stall_seconds: 0.1,
             consumer_wait_seconds: 0.3,
+            fetch_thread_busy_seconds: vec![0.12, 0.08],
+            fetch_thread_stall_seconds: vec![0.03, 0.02],
             epochs: vec![
                 EpochTrajectory {
                     epoch: 0,
@@ -477,6 +502,18 @@ mod tests {
             traj[0].get("consumer_wait_seconds").and_then(Value::as_f64),
             Some(0.25)
         );
+        // Per-fetch-thread arrays split the aggregate fetch timings.
+        let busy = doc
+            .get("fetch_thread_busy_seconds")
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(busy.len(), 2);
+        assert_eq!(busy[0].as_f64(), Some(0.12));
+        let stall = doc
+            .get("fetch_thread_stall_seconds")
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(stall[1].as_f64(), Some(0.02));
         // Standalone sessions emit no tenant block at all.
         assert!(doc.get("tenant").is_none());
     }

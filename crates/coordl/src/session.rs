@@ -121,7 +121,25 @@ pub struct SessionConfig {
     /// How long a coordinated consumer waits before invoking the failure
     /// detector.
     pub take_timeout: Duration,
+    /// Fetch-stage threads per epoch executor (default 1: the serial sweep
+    /// every baseline digest was produced with).  With `f > 1` the fetch
+    /// stage becomes a sharded pool: items are partitioned across the
+    /// threads by cache-shard ownership, so streams and counters stay
+    /// bit-identical across `f` for a fixed [`SessionConfig::fetch_shards`]
+    /// (see [`SessionBuilder::fetch_threads`]).
+    pub fetch_threads: usize,
+    /// Cache shards of the session's tier(s), and therefore of the fetch
+    /// pool's key-ownership map.  `0` (the default) resolves automatically:
+    /// 1 shard when `fetch_threads == 1` (the exact legacy tier), or
+    /// [`DEFAULT_FETCH_SHARDS`] when the pool is on.  Explicit values must
+    /// be `>= fetch_threads` so every pool thread owns at least one shard.
+    pub fetch_shards: usize,
 }
+
+/// Shard count a `fetch_threads > 1` session resolves `fetch_shards = 0`
+/// to.  Eight shards keep per-shard capacity splits coarse enough for the
+/// small test datasets while giving a 4-thread pool two shards per thread.
+pub const DEFAULT_FETCH_SHARDS: usize = 8;
 
 impl Default for SessionConfig {
     fn default() -> Self {
@@ -133,6 +151,22 @@ impl Default for SessionConfig {
             cache_capacity_bytes: 256 * 1024 * 1024,
             staging_window: 8,
             take_timeout: Duration::from_secs(2),
+            fetch_threads: 1,
+            fetch_shards: 0,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// The shard count the session's tiers and fetch pool actually use:
+    /// [`SessionConfig::fetch_shards`], with `0` resolved to 1 shard for a
+    /// serial session (bit-identical to the pre-sharding tier) or
+    /// [`DEFAULT_FETCH_SHARDS`] for a pool.
+    pub fn resolved_fetch_shards(&self) -> usize {
+        match self.fetch_shards {
+            0 if self.fetch_threads <= 1 => 1,
+            0 => DEFAULT_FETCH_SHARDS,
+            s => s,
         }
     }
 }
@@ -181,6 +215,35 @@ impl SessionBuilder {
     /// and statistics are identical for any value.
     pub fn prefetch_depth(mut self, depth: usize) -> Self {
         self.config.prefetch_depth = depth;
+        self
+    }
+
+    /// Size the fetch stage (overrides [`SessionConfig::fetch_threads`];
+    /// default 1, the serial sweep).
+    ///
+    /// With `f > 1` each epoch's plan is partitioned by cache-shard
+    /// ownership (`dcache::shard_of_key`, the same FNV-style routing the
+    /// sharded tiers use): pool thread `t` fetches exactly the items of
+    /// shards `{k : k % f == t}`, so every tier transaction on a given key
+    /// still happens on one thread, in plan order for that shard.  For a
+    /// fixed [`SessionBuilder::fetch_shards`] count, streams *and* counters
+    /// are bit-identical across any `f` (pinned by
+    /// `tests/parallel_fetch_equivalence.rs`); changing the shard count
+    /// changes the per-shard capacity split and may change eviction
+    /// decisions, which is why `fetch_threads(1)` defaults to the 1-shard
+    /// legacy tier.
+    pub fn fetch_threads(mut self, f: usize) -> Self {
+        self.config.fetch_threads = f;
+        self
+    }
+
+    /// Pin the cache-shard count the session's tiers (and the fetch pool's
+    /// ownership map) use, instead of the automatic resolution described on
+    /// [`SessionConfig::fetch_shards`].  Pin this when comparing runs across
+    /// different `fetch_threads` values — equal shard counts is what makes
+    /// the comparison bit-identical.
+    pub fn fetch_shards(mut self, shards: usize) -> Self {
+        self.config.fetch_shards = shards;
         self
     }
 
@@ -257,6 +320,18 @@ impl SessionBuilder {
                 "staging_window must be > 0".into(),
             ));
         }
+        if config.fetch_threads == 0 {
+            return Err(CoordlError::InvalidConfig(
+                "fetch_threads must be > 0".into(),
+            ));
+        }
+        if config.fetch_shards != 0 && config.fetch_shards < config.fetch_threads {
+            return Err(CoordlError::InvalidConfig(format!(
+                "fetch_shards ({}) must be >= fetch_threads ({}) so every \
+                 fetch thread owns at least one shard",
+                config.fetch_shards, config.fetch_threads
+            )));
+        }
         if self.dataset.is_empty() {
             return Err(CoordlError::InvalidConfig("dataset is empty".into()));
         }
@@ -301,13 +376,21 @@ impl SessionBuilder {
         // Every policy-built tier is a TierChain underneath: a single-level
         // chain is pinned bit-identical to the dedicated MinIO/policy byte
         // caches, so the hierarchy refactor changes no observable number.
+        // The shard count ties the tier to the fetch pool: 1 shard for a
+        // serial session (the exact legacy tier), `resolved_fetch_shards()`
+        // otherwise, so pool-thread ownership and tier-shard locking agree.
+        let shards = config.resolved_fetch_shards();
         let build_tier = |choice: &TierChoice| -> Arc<dyn CacheTier> {
             match choice {
                 TierChoice::Custom(t) => Arc::clone(t),
-                TierChoice::Policy(kind) => {
-                    Arc::new(TieredByteCache::single(*kind, config.cache_capacity_bytes))
+                TierChoice::Policy(kind) => Arc::new(TieredByteCache::single_sharded(
+                    *kind,
+                    config.cache_capacity_bytes,
+                    shards,
+                )),
+                TierChoice::Tiers(specs) => {
+                    Arc::new(TieredByteCache::new_sharded(specs.clone(), shards))
                 }
-                TierChoice::Tiers(specs) => Arc::new(TieredByteCache::new(specs.clone())),
             }
         };
 
@@ -336,6 +419,8 @@ impl SessionBuilder {
                     take_timeout: config.take_timeout,
                     num_workers: config.num_workers,
                     prefetch_depth: config.prefetch_depth,
+                    fetch_threads: config.fetch_threads,
+                    fetch_shards: shards,
                 },
             },
             Mode::Partitioned { nodes } => {
@@ -528,6 +613,8 @@ impl Session {
             stack.clone(),
             self.config.num_workers,
             self.config.prefetch_depth,
+            self.config.fetch_threads,
+            self.config.resolved_fetch_shards(),
         )
     }
 
@@ -602,6 +689,8 @@ impl Session {
             prep_busy_seconds: snap.prep_busy_seconds,
             prep_stall_seconds: snap.prep_stall_seconds,
             consumer_wait_seconds: snap.consumer_wait_seconds,
+            fetch_thread_busy_seconds: self.stats.fetch_thread_busy_seconds(),
+            fetch_thread_stall_seconds: self.stats.fetch_thread_stall_seconds(),
             epochs: self.trajectories.lock().clone(),
             tenant: None,
         }
@@ -784,6 +873,8 @@ impl EpochRun<'_> {
                     Arc::clone(&self.session.stats),
                     self.session.config.num_workers,
                     self.session.config.prefetch_depth,
+                    self.session.config.fetch_threads,
+                    self.session.config.resolved_fetch_shards(),
                 );
                 BatchStream {
                     total: stream.total_batches(),
@@ -895,6 +986,8 @@ mod tests {
             cache_capacity_bytes: cache,
             staging_window: 8,
             take_timeout: Duration::from_secs(5),
+            fetch_threads: 1,
+            fetch_shards: 0,
         }
     }
 

@@ -74,6 +74,8 @@ pub(crate) fn spawn_single_epoch(
     stack: LoaderStack,
     num_workers: usize,
     prefetch_depth: usize,
+    fetch_threads: usize,
+    fetch_shards: usize,
 ) -> OrderedStream {
     spawn_ordered_epoch(
         epoch,
@@ -83,5 +85,7 @@ pub(crate) fn spawn_single_epoch(
         Arc::clone(&stack.stats),
         num_workers,
         prefetch_depth,
+        fetch_threads,
+        fetch_shards,
     )
 }

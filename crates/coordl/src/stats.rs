@@ -26,6 +26,12 @@ pub struct LoaderStats {
     prep_busy_nanos: AtomicU64,
     prep_stall_nanos: AtomicU64,
     consumer_wait_nanos: AtomicU64,
+    /// Per-fetch-thread `[busy, stall]` nanos, indexed by pool thread.  A
+    /// serial session records everything under thread 0; a `fetch_threads(f)`
+    /// pool records one row per thread, so reports can show how evenly the
+    /// shard-ownership partition spreads fetch work.  Grown on demand — the
+    /// recording path is per-batch, not per-item, so a mutex is fine.
+    fetch_thread_nanos: std::sync::Mutex<Vec<[u64; 2]>>,
 }
 
 impl LoaderStats {
@@ -119,6 +125,52 @@ impl LoaderStats {
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Record fetch-stage busy time attributed to pool thread `thread`
+    /// (also accumulates into the aggregate fetch-busy counter).
+    pub fn record_fetch_busy_for(&self, thread: usize, d: Duration) {
+        self.record_fetch_busy(d);
+        self.fetch_thread_add(thread, 0, d);
+    }
+
+    /// Record fetch-stage stall time attributed to pool thread `thread`
+    /// (also accumulates into the aggregate fetch-stall counter).
+    pub fn record_fetch_stall_for(&self, thread: usize, d: Duration) {
+        self.record_fetch_stall(d);
+        self.fetch_thread_add(thread, 1, d);
+    }
+
+    fn fetch_thread_add(&self, thread: usize, slot: usize, d: Duration) {
+        let mut rows = self
+            .fetch_thread_nanos
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if rows.len() <= thread {
+            rows.resize(thread + 1, [0, 0]);
+        }
+        rows[thread][slot] += d.as_nanos() as u64;
+    }
+
+    /// Per-fetch-thread busy seconds, indexed by pool thread (one entry for
+    /// serial sessions; empty before the first fetch records).
+    pub fn fetch_thread_busy_seconds(&self) -> Vec<f64> {
+        self.fetch_thread_seconds(0)
+    }
+
+    /// Per-fetch-thread stall seconds (queue backpressure plus, for a pool
+    /// thread, time parked on the prefetch window).
+    pub fn fetch_thread_stall_seconds(&self) -> Vec<f64> {
+        self.fetch_thread_seconds(1)
+    }
+
+    fn fetch_thread_seconds(&self, slot: usize) -> Vec<f64> {
+        self.fetch_thread_nanos
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|row| row[slot] as f64 / 1e9)
+            .collect()
+    }
+
     /// Record time a consumer spent waiting for the next minibatch.
     pub fn record_consumer_wait(&self, d: Duration) {
         self.consumer_wait_nanos
@@ -188,6 +240,26 @@ mod tests {
         assert!((s.prep_busy_seconds() - 2.0).abs() < 1e-9);
         assert!((s.prep_stall_seconds() - 0.04).abs() < 1e-9);
         assert!((s.consumer_wait_seconds() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_fetch_thread_timings_split_the_aggregate() {
+        let s = LoaderStats::default();
+        assert!(s.fetch_thread_busy_seconds().is_empty(), "nothing recorded");
+        s.record_fetch_busy_for(0, Duration::from_millis(100));
+        s.record_fetch_busy_for(2, Duration::from_millis(300));
+        s.record_fetch_stall_for(1, Duration::from_millis(50));
+        let busy = s.fetch_thread_busy_seconds();
+        let stall = s.fetch_thread_stall_seconds();
+        assert_eq!(busy.len(), 3, "grown to the highest recorded thread");
+        assert!((busy[0] - 0.1).abs() < 1e-9);
+        assert!((busy[1]).abs() < 1e-9, "thread 1 never fetched");
+        assert!((busy[2] - 0.3).abs() < 1e-9);
+        assert!((stall[1] - 0.05).abs() < 1e-9);
+        // The aggregate counters see the same time: per-thread rows are a
+        // decomposition, not a separate clock.
+        assert!((s.fetch_busy_seconds() - 0.4).abs() < 1e-9);
+        assert!((s.fetch_stall_seconds() - 0.05).abs() < 1e-9);
     }
 
     #[test]

@@ -442,12 +442,27 @@ impl TieredInner {
 /// residency, demotion and per-level statistics while this wrapper stores
 /// the actual payloads (dropped the moment a key falls off the chain).
 ///
-/// A single-level `TieredByteCache` is bit-identical to [`MinIoByteCache`] /
-/// [`PolicyByteCache`] under the sequential fetch order every
-/// [`Session`](crate::Session) executor guarantees — which is why sessions
-/// build their tiers through it by default.
+/// A single-level, single-shard `TieredByteCache` is bit-identical to
+/// [`MinIoByteCache`] / [`PolicyByteCache`] under the sequential fetch order
+/// every serial [`Session`](crate::Session) executor guarantees — which is
+/// why sessions build their tiers through it by default.
+///
+/// **Sharding.**  A cache built with `num_shards > 1` splits every level
+/// into `num_shards` independent chains (capacity divided like
+/// `dcache::ShardedChain`: `cap / S` per shard, the first `cap % S` shards
+/// one byte larger) and routes each key to its shard by
+/// [`dcache::shard_of_key`] — the same routing the executor's fetch pool
+/// partitions plan items by.  Because owners are aligned, every shard sees
+/// its keys in plan order no matter how many fetch threads run, so a
+/// sharded cache's hits/misses/evictions are a pure function of the plan
+/// and the shard count.  One shard is the exact legacy cache (same chain,
+/// same spill directory layout); persistent levels of an `S > 1` cache
+/// spill into `{dir}/shard-{k}` subdirectories, so the shard count must be
+/// kept stable across restarts for warm-up to find its files.
 pub struct TieredByteCache {
-    inner: Mutex<TieredInner>,
+    shards: Vec<Mutex<TieredInner>>,
+    /// The *aggregate* level descriptions (full capacities, original spill
+    /// directories) the cache was built from.
     specs: Vec<ByteTierSpec>,
     name: &'static str,
 }
@@ -458,7 +473,17 @@ impl TieredByteCache {
     /// # Panics
     /// Panics when `specs` is empty or a persistent level's VFS fails.
     pub fn new(specs: Vec<ByteTierSpec>) -> Self {
-        Self::try_new(specs).expect("tier construction failed")
+        Self::new_sharded(specs, 1)
+    }
+
+    /// Like [`TieredByteCache::new`] with the hierarchy split into
+    /// `num_shards` independent key-routed shards (see the type docs).
+    ///
+    /// # Panics
+    /// Panics when `specs` is empty, `num_shards` is zero, or a persistent
+    /// level's VFS fails.
+    pub fn new_sharded(specs: Vec<ByteTierSpec>, num_shards: usize) -> Self {
+        Self::try_new_sharded(specs, num_shards).expect("tier construction failed")
     }
 
     /// Like [`TieredByteCache::new`], surfacing persistent-level VFS
@@ -470,7 +495,66 @@ impl TieredByteCache {
     /// its payload read back from disk, then all statistics are reset — a
     /// restarted cache starts warm but with clean counters.
     pub fn try_new(specs: Vec<ByteTierSpec>) -> Result<Self, CoordlError> {
+        Self::try_new_sharded(specs, 1)
+    }
+
+    /// The fallible form of [`TieredByteCache::new_sharded`].
+    pub fn try_new_sharded(
+        specs: Vec<ByteTierSpec>,
+        num_shards: usize,
+    ) -> Result<Self, CoordlError> {
         assert!(!specs.is_empty(), "need at least one tier");
+        assert!(num_shards > 0, "need at least one shard");
+        let mut shards = Vec::with_capacity(num_shards);
+        for shard in 0..num_shards {
+            // Per-shard level specs: capacity split exactly like
+            // dcache::ShardedChain, spill directories per shard (but the
+            // legacy layout untouched for the 1-shard cache).
+            let shard_specs: Vec<ByteTierSpec> = specs
+                .iter()
+                .map(|spec| {
+                    let mut s = spec.clone();
+                    let base = s.capacity_bytes / num_shards as u64;
+                    let extra = u64::from((shard as u64) < s.capacity_bytes % num_shards as u64);
+                    s.capacity_bytes = base + extra;
+                    if num_shards > 1 {
+                        if let TierBacking::Vfs { vfs, dir } = &s.backing {
+                            s.backing = TierBacking::Vfs {
+                                vfs: Arc::clone(vfs),
+                                dir: format!("{dir}/shard-{shard}"),
+                            };
+                        }
+                    }
+                    s
+                })
+                .collect();
+            shards.push(Mutex::new(Self::build_shard(&shard_specs)?));
+        }
+        // Single-level hierarchies report the plain policy name so existing
+        // reports are unchanged; deeper chains get a composite label,
+        // interned so sweeps constructing many identical hierarchies share
+        // one allocation.
+        let name = if specs.len() == 1 {
+            specs[0].policy.name()
+        } else {
+            let label = specs
+                .iter()
+                .map(|s| format!("{}:{}", s.name, s.policy.name()))
+                .collect::<Vec<_>>()
+                .join("+");
+            intern_label(label)
+        };
+        Ok(TieredByteCache {
+            shards,
+            specs,
+            name,
+        })
+    }
+
+    /// Build one shard's chain + payload map + spill stores from its
+    /// (already capacity-split) level specs, warm-replaying persistent
+    /// levels.
+    fn build_shard(specs: &[ByteTierSpec]) -> Result<TieredInner, CoordlError> {
         let mut chain = TierChain::new(specs.iter().map(ByteTierSpec::tier_spec).collect());
         let mut bytes = HashMap::new();
         let mut spills = Vec::with_capacity(specs.len());
@@ -505,43 +589,41 @@ impl TieredByteCache {
         }
         // Warm contents, cold statistics.
         chain.reset_stats();
-        // Single-level hierarchies report the plain policy name so existing
-        // reports are unchanged; deeper chains get a composite label,
-        // interned so sweeps constructing many identical hierarchies share
-        // one allocation.
-        let name = if specs.len() == 1 {
-            specs[0].policy.name()
-        } else {
-            let label = specs
-                .iter()
-                .map(|s| format!("{}:{}", s.name, s.policy.name()))
-                .collect::<Vec<_>>()
-                .join("+");
-            intern_label(label)
-        };
         let levels = specs.len();
-        Ok(TieredByteCache {
-            inner: Mutex::new(TieredInner {
-                chain,
-                bytes,
-                hits: 0,
-                misses: 0,
-                level_seconds: vec![0.0; levels],
-                spills,
-            }),
-            specs,
-            name,
+        Ok(TieredInner {
+            chain,
+            bytes,
+            hits: 0,
+            misses: 0,
+            level_seconds: vec![0.0; levels],
+            spills,
         })
     }
 
     /// A single DRAM level under `policy` — the default session tier.
     pub fn single(policy: PolicyKind, capacity_bytes: u64) -> Self {
-        Self::new(vec![ByteTierSpec::dram(policy, capacity_bytes)])
+        Self::single_sharded(policy, capacity_bytes, 1)
     }
 
-    /// The level descriptions this hierarchy was built from.
+    /// A single DRAM level under `policy`, split into `num_shards` shards
+    /// (what sessions with a fetch pool build).
+    pub fn single_sharded(policy: PolicyKind, capacity_bytes: u64, num_shards: usize) -> Self {
+        Self::new_sharded(vec![ByteTierSpec::dram(policy, capacity_bytes)], num_shards)
+    }
+
+    /// The aggregate level descriptions this hierarchy was built from.
     pub fn specs(&self) -> &[ByteTierSpec] {
         &self.specs
+    }
+
+    /// How many key-routed shards the cache is split into.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `item` under [`dcache::shard_of_key`] routing.
+    fn shard_for(&self, item: ItemId) -> &Mutex<TieredInner> {
+        &self.shards[dcache::shard_of_key(item, self.shards.len())]
     }
 }
 
@@ -551,7 +633,7 @@ impl CacheTier for TieredByteCache {
     }
 
     fn lookup_traced(&self, item: ItemId) -> Option<(Arc<Vec<u8>>, usize)> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard_for(item).lock();
         let Some(bytes) = inner.bytes.get(&item).map(Arc::clone) else {
             inner.misses += 1;
             return None;
@@ -580,7 +662,7 @@ impl CacheTier for TieredByteCache {
     }
 
     fn admit(&self, item: ItemId, bytes: Arc<Vec<u8>>) -> Arc<Vec<u8>> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard_for(item).lock();
         if inner.bytes.contains_key(&item) {
             // A concurrent worker admitted it first; keep the resident copy.
             return Arc::clone(&inner.bytes[&item]);
@@ -606,27 +688,37 @@ impl CacheTier for TieredByteCache {
     }
 
     fn contains(&self, item: ItemId) -> bool {
-        self.inner.lock().chain.contains(item)
+        self.shard_for(item).lock().chain.contains(item)
     }
 
     fn used_bytes(&self) -> u64 {
-        self.inner.lock().chain.used_bytes()
+        self.shards
+            .iter()
+            .map(|s| s.lock().chain.used_bytes())
+            .sum()
     }
 
     fn capacity_bytes(&self) -> u64 {
-        self.inner.lock().chain.capacity_bytes()
+        // Per-shard capacities sum back to the aggregate spec capacities.
+        self.shards
+            .iter()
+            .map(|s| s.lock().chain.capacity_bytes())
+            .sum()
     }
 
     fn resident_items(&self) -> usize {
-        self.inner.lock().chain.resident_items()
+        self.shards
+            .iter()
+            .map(|s| s.lock().chain.resident_items())
+            .sum()
     }
 
     fn hits(&self) -> u64 {
-        self.inner.lock().hits
+        self.shards.iter().map(|s| s.lock().hits).sum()
     }
 
     fn misses(&self) -> u64 {
-        self.inner.lock().misses
+        self.shards.iter().map(|s| s.lock().misses).sum()
     }
 
     fn policy_name(&self) -> &'static str {
@@ -634,28 +726,43 @@ impl CacheTier for TieredByteCache {
     }
 
     fn tier_snapshots(&self) -> Vec<TierSnapshot> {
-        let inner = self.inner.lock();
-        (0..inner.chain.num_tiers())
-            .map(|k| {
-                let spec = inner.chain.tier_spec(k);
+        // Capacities come from the aggregate specs (per-shard splits sum
+        // back to them); everything else is summed across shards in fixed
+        // shard order, so snapshots stay deterministic.
+        let mut snaps: Vec<TierSnapshot> = self
+            .specs
+            .iter()
+            .map(|spec| TierSnapshot {
+                name: spec.name,
+                policy: spec.policy.name(),
+                capacity_bytes: spec.capacity_bytes,
+                used_bytes: 0,
+                resident_items: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                demoted_in: 0,
+                demoted_out: 0,
+                device_seconds: 0.0,
+            })
+            .collect();
+        for shard in &self.shards {
+            let inner = shard.lock();
+            for (k, agg) in snaps.iter_mut().enumerate() {
                 let stats = inner.chain.tier_stats(k);
                 let demotions = inner.chain.tier_demotions(k);
-                TierSnapshot {
-                    name: spec.name,
-                    policy: spec.policy.name(),
-                    capacity_bytes: spec.capacity_bytes,
-                    used_bytes: inner.chain.tier_used_bytes(k),
-                    resident_items: inner.chain.tier_len(k),
-                    hits: stats.hits,
-                    misses: stats.misses,
-                    evictions: stats.evictions,
-                    demoted_in: demotions.demoted_in,
-                    demoted_out: demotions.demoted_out,
-                    // Unprofiled (DRAM) levels never accumulate seconds.
-                    device_seconds: inner.level_seconds[k],
-                }
-            })
-            .collect()
+                agg.used_bytes += inner.chain.tier_used_bytes(k);
+                agg.resident_items += inner.chain.tier_len(k);
+                agg.hits += stats.hits;
+                agg.misses += stats.misses;
+                agg.evictions += stats.evictions;
+                agg.demoted_in += demotions.demoted_in;
+                agg.demoted_out += demotions.demoted_out;
+                // Unprofiled (DRAM) levels never accumulate seconds.
+                agg.device_seconds += inner.level_seconds[k];
+            }
+        }
+        snaps
     }
 }
 
@@ -836,6 +943,81 @@ mod tests {
         assert_eq!(tier.resident_items(), 3);
         assert_eq!(tier.lookup(1), None);
         assert_eq!(tier.lookup(2).unwrap().as_slice(), &[2]);
+    }
+
+    #[test]
+    fn sharded_cache_counters_are_shard_order_independent() {
+        // The determinism contract behind the fetch pool: a shard only sees
+        // its own keys, so interleaving *between* shards is irrelevant —
+        // feeding the whole trace in plan order and feeding each shard's
+        // subsequence separately produce identical counters and residency.
+        let shards = 4;
+        let trace: Vec<u64> = (0..40u64).chain(0..40).collect();
+        let build = || TieredByteCache::single_sharded(PolicyKind::Lru, 20 * 2, shards);
+        let in_plan_order = build();
+        for &item in &trace {
+            fetch_through(&in_plan_order, item, 2);
+        }
+        let per_shard = build();
+        for shard in 0..shards {
+            for &item in &trace {
+                if dcache::shard_of_key(item, shards) == shard {
+                    fetch_through(&per_shard, item, 2);
+                }
+            }
+        }
+        assert_eq!(in_plan_order.hits(), per_shard.hits());
+        assert_eq!(in_plan_order.misses(), per_shard.misses());
+        assert_eq!(
+            CacheTier::used_bytes(&in_plan_order),
+            CacheTier::used_bytes(&per_shard)
+        );
+        assert_eq!(in_plan_order.resident_items(), per_shard.resident_items());
+        for item in 0..40u64 {
+            assert_eq!(in_plan_order.contains(item), per_shard.contains(item));
+        }
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_the_aggregate_spec() {
+        // 10 bytes across 4 shards: 3+3+2+2, never silently rounded away.
+        let tier = TieredByteCache::single_sharded(PolicyKind::MinIo, 10, 4);
+        assert_eq!(tier.num_shards(), 4);
+        assert_eq!(CacheTier::capacity_bytes(&tier), 10);
+        let snaps = tier.tier_snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].capacity_bytes, 10, "aggregate, not per-shard");
+    }
+
+    #[test]
+    fn sharded_persistent_level_spills_into_per_shard_dirs_and_rewarm() {
+        use vfs::MemVfs;
+        let vfs: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let specs = || {
+            vec![
+                ByteTierSpec::dram(PolicyKind::Lru, 4),
+                ByteTierSpec::sata_ssd(PolicyKind::MinIo, 64).persistent(Arc::clone(&vfs), "spill"),
+            ]
+        };
+        let shards = 2;
+        {
+            let tier = TieredByteCache::new_sharded(specs(), shards);
+            for item in 0..12u64 {
+                fetch_through(&tier, item, 2);
+            }
+            assert!(tier.resident_items() > 4, "victims demoted into the SSD");
+        }
+        // A rebuilt cache over the same VFS and the same shard count warms
+        // each shard from its own spill-{k} directory.
+        let reborn = TieredByteCache::new_sharded(specs(), shards);
+        assert!(reborn.resident_items() > 0, "warm restart");
+        assert_eq!(reborn.hits(), 0, "warm contents, cold statistics");
+        for item in 0..12u64 {
+            if reborn.contains(item) {
+                let (bytes, _) = reborn.lookup_traced(item).expect("resident payload");
+                assert_eq!(bytes.as_slice(), &[item as u8; 2], "payload intact");
+            }
+        }
     }
 
     #[test]

@@ -201,6 +201,8 @@ mod tests {
             cache_capacity_bytes: 1 << 20,
             staging_window: 8,
             take_timeout: Duration::from_secs(2),
+            fetch_threads: 1,
+            fetch_shards: 0,
         }
     }
 

@@ -56,6 +56,8 @@ fn accuracy_equivalence() {
         cache_capacity_bytes: 8 << 20,
         staging_window: 8,
         take_timeout: Duration::from_secs(5),
+        fetch_threads: 1,
+        fetch_shards: 0,
     };
     let single = Session::builder(
         Arc::clone(&store) as Arc<dyn DataSource>,

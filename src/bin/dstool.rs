@@ -27,12 +27,13 @@
 //! trailing newline) so refresh diffs stay minimal.
 
 use benchkit::{
-    find_suite, run_chaos, run_fs_sweep, run_mega_sweep, run_multi_tenant, run_tier_sweep,
-    run_validation, run_worker_sweep, ChaosConfig, ChaosReport, FsSweepConfig, FsSweepReport,
-    GateKind, MegaSweepConfig, MegaSweepReport, MultiTenantConfig, MultiTenantReport, SweepSuite,
-    Table, TierSweepConfig, TierSweepReport, ValidationConfig, WorkerSweepConfig,
-    WorkerSweepReport, CHAOS_NAME, FS_SWEEP_NAME, MEGA_SWEEP_NAME, MULTI_TENANT_NAME,
-    SMOKE_EXTRA_SCALE, SUITES, TIER_SWEEP_NAME, WORKER_SWEEP_NAME,
+    find_suite, run_chaos, run_fetch_sweep, run_fs_sweep, run_mega_sweep, run_multi_tenant,
+    run_tier_sweep, run_validation, run_worker_sweep, ChaosConfig, ChaosReport, FetchSweepConfig,
+    FetchSweepReport, FsSweepConfig, FsSweepReport, GateKind, MegaSweepConfig, MegaSweepReport,
+    MultiTenantConfig, MultiTenantReport, SweepSuite, Table, TierSweepConfig, TierSweepReport,
+    ValidationConfig, WorkerSweepConfig, WorkerSweepReport, CHAOS_NAME, FETCH_SWEEP_NAME,
+    FS_SWEEP_NAME, MEGA_SWEEP_NAME, MULTI_TENANT_NAME, SMOKE_EXTRA_SCALE, SUITES, TIER_SWEEP_NAME,
+    WORKER_SWEEP_NAME,
 };
 use datastalls::pipeline::json::{self, Value};
 use datastalls::pipeline::{SweepReport, SweepRunner};
@@ -52,6 +53,15 @@ const MIN_MEGA_SPEEDUP: f64 = 10.0;
 
 /// Where `smoke --refresh-baseline` writes when no `--baseline` is given.
 const DEFAULT_BASELINE: &str = "ci/bench_baseline.json";
+
+/// Minimum serial-over-pool speedup `fetch-sweep` must demonstrate at its
+/// largest fetch-thread count — gated only on hosts with at least
+/// [`MIN_FETCH_GATE_CORES`] cores, since an undersized host measures the OS
+/// scheduler, not the fetch pool.
+const MIN_FETCH_SPEEDUP: f64 = 1.5;
+
+/// Core floor below which the fetch-sweep wall-clock gate is skipped.
+const MIN_FETCH_GATE_CORES: usize = 4;
 
 fn usage() -> &'static str {
     "usage: dstool <command> [options]\n\
@@ -73,6 +83,11 @@ fn usage() -> &'static str {
      \u{20}       VFS, gating one identical stream, exact physical-read counts\n\
      \u{20}       and a real on-disk spill manifest for persistent points\n\
      \u{20}       [--scale N] [--out FILE] [--os-root DIR]\n\
+     \u{20} sweep fetch-sweep            run the *runtime* parallel-fetch preset:\n\
+     \u{20}       the fetch-bound Session workload at several --fetch-threads\n\
+     \u{20}       values with the cache shard count pinned, gating bit-identical\n\
+     \u{20}       streams/counters and printing wall-clock fetch scaling\n\
+     \u{20}       [--scale N] [--out FILE]\n\
      \u{20} sweep chaos                  run the *runtime* fault-injection preset:\n\
      \u{20}       a partitioned cluster under a seeded kill/leave/rejoin\n\
      \u{20}       schedule next to its fault-free twin, gating the healthy\n\
@@ -88,7 +103,7 @@ fn usage() -> &'static str {
      \u{20}       exact engine, and gate bit-identity plus a >=10x speedup\n\
      \u{20}       [--scale N] [--threads N] [--out FILE]\n\
      \u{20} smoke                        CI smoke: every suite, parallel vs serial\n\
-     \u{20}       [--threads N] [--scale N] [--out FILE]\n\
+     \u{20}       [--threads N] [--scale N] [--out FILE] [--only SUITE]\n\
      \u{20}       [--baseline FILE] [--tolerance FRAC] [--refresh-baseline]\n\
      \u{20} validate                     run the same workload through the\n\
      \u{20}       simulator (Experiment) and the runtime (Session) and gate\n\
@@ -105,6 +120,9 @@ fn usage() -> &'static str {
      \n\
      smoke options:\n\
      \u{20} --out FILE          summary JSON path (default BENCH_sweep.json)\n\
+     \u{20} --only SUITE        run a single suite or runtime preset (skips the\n\
+     \u{20}                     summary artifact and the baseline gate; mutually\n\
+     \u{20}                     exclusive with --refresh-baseline)\n\
      \u{20} --baseline FILE     fail on >tolerance throughput regressions\n\
      \u{20} --tolerance FRAC    regression tolerance (default 0.10)\n\
      \u{20} --refresh-baseline  instead of gating, rewrite the baseline file\n\
@@ -135,6 +153,9 @@ struct SmokeCmd {
     baseline: Option<String>,
     tolerance: f64,
     refresh_baseline: bool,
+    /// Run a single suite / runtime preset instead of the full matrix (no
+    /// summary artifact, no baseline gate).
+    only: Option<String>,
 }
 
 struct ValidateCmd {
@@ -166,6 +187,7 @@ enum Command {
     MultiTenantSweep(RuntimeSweepCmd),
     FsSweep(RuntimeSweepCmd),
     ChaosSweep(RuntimeSweepCmd),
+    FetchSweep(RuntimeSweepCmd),
     MegaSweep(MegaSweepCmd),
     Smoke(SmokeCmd),
     Validate(ValidateCmd),
@@ -266,6 +288,7 @@ fn parse_sweep(args: &[&String]) -> Result<Command, String> {
             TIER_SWEEP_NAME => Command::TierSweep(cmd),
             FS_SWEEP_NAME => Command::FsSweep(cmd),
             CHAOS_NAME => Command::ChaosSweep(cmd),
+            FETCH_SWEEP_NAME => Command::FetchSweep(cmd),
             _ => Command::MultiTenantSweep(cmd),
         });
     }
@@ -308,6 +331,15 @@ fn parse_sweep(args: &[&String]) -> Result<Command, String> {
     Ok(Command::Sweep(cmd))
 }
 
+/// Every name `smoke --only` accepts: the simulator suites, the runtime
+/// presets and the vectorized-engine sweep.
+fn smoke_only_names() -> Vec<&'static str> {
+    let mut names = suite_names();
+    names.extend(RUNTIME_PRESETS);
+    names.push(MEGA_SWEEP_NAME);
+    names
+}
+
 fn parse_smoke(args: &[&String]) -> Result<Command, String> {
     let mut cmd = SmokeCmd {
         threads: SMOKE_THREADS,
@@ -316,6 +348,7 @@ fn parse_smoke(args: &[&String]) -> Result<Command, String> {
         baseline: None,
         tolerance: DEFAULT_TOLERANCE,
         refresh_baseline: false,
+        only: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -338,6 +371,16 @@ fn parse_smoke(args: &[&String]) -> Result<Command, String> {
             "--out" => cmd.out = value()?.clone(),
             "--baseline" => cmd.baseline = Some(value()?.clone()),
             "--refresh-baseline" => cmd.refresh_baseline = true,
+            "--only" => {
+                let v = value()?;
+                if !smoke_only_names().contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown suite {v} for --only; valid: {}",
+                        smoke_only_names().join(", ")
+                    ));
+                }
+                cmd.only = Some(v.clone());
+            }
             "--tolerance" => {
                 let v = value()?;
                 cmd.tolerance = v
@@ -348,6 +391,13 @@ fn parse_smoke(args: &[&String]) -> Result<Command, String> {
             }
             other => return Err(format!("unknown flag {other}\n\n{}", usage())),
         }
+    }
+    if cmd.only.is_some() && cmd.refresh_baseline {
+        return Err(
+            "--only runs a partial smoke and cannot refresh the baseline; \
+             run a full smoke --refresh-baseline instead"
+                .to_string(),
+        );
     }
     Ok(Command::Smoke(cmd))
 }
@@ -420,12 +470,13 @@ fn parse_scale(v: &str) -> Result<u64, String> {
 }
 
 /// The runtime presets `sweep` routes past the simulator-suite registry.
-const RUNTIME_PRESETS: [&str; 5] = [
+const RUNTIME_PRESETS: [&str; 6] = [
     WORKER_SWEEP_NAME,
     TIER_SWEEP_NAME,
     MULTI_TENANT_NAME,
     FS_SWEEP_NAME,
     CHAOS_NAME,
+    FETCH_SWEEP_NAME,
 ];
 
 fn suite_names() -> Vec<&'static str> {
@@ -499,6 +550,16 @@ fn run_list() {
         "runtime fault injection: a partitioned cluster under a seeded \
          kill/leave/rejoin schedule vs its fault-free twin; healthy prefix, \
          exactly-once delivery, shard coverage and recovery gated"
+            .to_string(),
+    ]);
+    let fetch_defaults = FetchSweepConfig::default();
+    table.row(&[
+        FETCH_SWEEP_NAME.to_string(),
+        fetch_defaults.fetch_thread_counts.len().to_string(),
+        "§3 (fetch stalls) / §5 (overlap)".to_string(),
+        "runtime parallel fetch: the fetch-bound Session workload over a \
+         sharded fetch pool, cache shard count pinned, bit-identical streams \
+         and counters gated across every fetch-thread count"
             .to_string(),
     ]);
     table.print();
@@ -857,6 +918,96 @@ fn run_worker_sweep_cmd(cmd: &RuntimeSweepCmd) -> Result<(), String> {
     Ok(())
 }
 
+/// Print the runtime fetch sweep's per-point table.
+fn print_fetch_table(report: &FetchSweepReport) {
+    let mut table = Table::new(
+        format!("Runtime {} (coordl::Session fetch pool)", FETCH_SWEEP_NAME),
+        &[
+            "fetch threads",
+            "wall s",
+            "samples/s",
+            "speedup",
+            "fetch busy s",
+            "fetch stall s",
+        ],
+    )
+    .with_caption(format!(
+        "fetch-bound preset: {} items x {} B, {} cache shards (pinned), {} \
+         epochs; streams and stats bit-identical across all points",
+        report.config.items,
+        report.config.avg_item_bytes,
+        report.config.fetch_shards,
+        report.config.epochs
+    ));
+    for p in &report.points {
+        table.row(&[
+            p.fetch_threads.to_string(),
+            format!("{:.3}", p.wall_seconds),
+            format!("{:.0}", p.samples_per_sec),
+            format!("{:.2}x", report.speedup(p.fetch_threads).unwrap_or(1.0)),
+            format!("{:.3}", p.fetch_busy_seconds),
+            format!("{:.3}", p.fetch_stall_seconds),
+        ]);
+    }
+    table.print();
+}
+
+/// Gate the runtime fetch sweep: bit-equality always, wall-clock scaling
+/// only where the host can express it.  Called *after* any results JSON is
+/// on disk so a gate failure still leaves the artifact for diagnosis.
+fn gate_fetch_sweep(report: &FetchSweepReport) -> Result<(), String> {
+    report.bit_identical()?;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_f = report
+        .config
+        .fetch_thread_counts
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(1);
+    let Some(speedup) = report.speedup(max_f) else {
+        return Ok(());
+    };
+    if cores < MIN_FETCH_GATE_CORES {
+        // An undersized host measures the OS scheduler, not the fetch pool;
+        // the bit-equality and baseline digest gates still apply in full.
+        println!(
+            "note: only {cores} core(s) available; fetch-pool speedup gate \
+             skipped (measured {speedup:.2}x at fetch_threads={max_f})"
+        );
+        return Ok(());
+    }
+    if speedup >= MIN_FETCH_SPEEDUP {
+        return Ok(());
+    }
+    // The preset is sized (item floor + large raw items + decode
+    // multiplier 1) so the fetch stage dominates every point: on a host
+    // with enough cores the sharded pool beating the serial sweep is its
+    // whole reason to exist, and a miss is a regression.
+    Err(format!(
+        "fetch-sweep: fetch_threads={max_f} is only {speedup:.2}x over the \
+         serial fetch stage on a {cores}-core host \
+         (gate: >={MIN_FETCH_SPEEDUP:.1}x)"
+    ))
+}
+
+fn run_fetch_sweep_cmd(cmd: &RuntimeSweepCmd) -> Result<(), String> {
+    let report = run_fetch_sweep(&FetchSweepConfig::scaled(cmd.scale));
+    print_fetch_table(&report);
+    if let Some(path) = &cmd.out {
+        write_out(path, &report.to_json())?;
+        println!("wrote {path}");
+    }
+    gate_fetch_sweep(&report)?;
+    println!(
+        "parallel-fetch gate passed: {} fetch-thread counts, one stream \
+         (digest {:016x}), counters identical",
+        report.points.len(),
+        report.digest().unwrap_or(0)
+    );
+    Ok(())
+}
+
 /// Print the mega sweep's two-engine comparison.
 fn print_mega_table(report: &MegaSweepReport) {
     let mut table = Table::new(
@@ -963,7 +1114,89 @@ fn smoke_worker_sweep(cmd: &SmokeCmd) -> WorkerSweepReport {
     report
 }
 
+/// `smoke --only <name>`: run a single suite / runtime preset with its own
+/// gates, skipping the summary artifact and the baseline comparison (a
+/// partial document would not be comparable to the checked-in baseline).
+fn run_smoke_only(cmd: &SmokeCmd, name: &str) -> Result<(), String> {
+    println!(
+        "dstool smoke --only {name}: extra scale {}, {} worker threads vs serial",
+        cmd.scale, cmd.threads
+    );
+    if let Some(suite) = find_suite(name) {
+        let spec = suite.spec(cmd.scale);
+        let parallel = SweepRunner::with_threads(cmd.threads).run(&spec);
+        let serial = SweepRunner::serial().run(&spec);
+        if parallel != serial {
+            return Err(format!(
+                "suite {name}: parallel run is not bit-identical to the serial run"
+            ));
+        }
+        if parallel.num_failed() > 0 {
+            return Err(format!(
+                "suite {name}: {} point(s) failed",
+                parallel.num_failed()
+            ));
+        }
+        print_suite_table(suite, &parallel);
+        println!(
+            "  {name}: parallel == serial, {} points",
+            parallel.points.len()
+        );
+    } else {
+        match name {
+            WORKER_SWEEP_NAME => {
+                let report = run_worker_sweep(&WorkerSweepConfig::scaled(cmd.scale));
+                print_worker_table(&report);
+                gate_worker_sweep(&report)?;
+            }
+            TIER_SWEEP_NAME => {
+                let report = run_tier_sweep(&TierSweepConfig::scaled(cmd.scale));
+                print_tier_table(&report);
+                report.verify()?;
+            }
+            MULTI_TENANT_NAME => {
+                let report = run_multi_tenant(&MultiTenantConfig::scaled(cmd.scale));
+                print_multi_tenant_table(&report);
+                report.verify()?;
+            }
+            FS_SWEEP_NAME => {
+                let report = run_fs_sweep(&FsSweepConfig::scaled(cmd.scale));
+                print_fs_table(&report);
+                report.verify()?;
+            }
+            CHAOS_NAME => {
+                let report = run_chaos(&ChaosConfig::scaled(cmd.scale));
+                print_chaos_table(&report);
+                report.verify()?;
+            }
+            FETCH_SWEEP_NAME => {
+                let report = run_fetch_sweep(&FetchSweepConfig::scaled(cmd.scale));
+                print_fetch_table(&report);
+                gate_fetch_sweep(&report)?;
+            }
+            MEGA_SWEEP_NAME => {
+                let report = run_mega_sweep(&MegaSweepConfig::scaled(cmd.scale));
+                print_mega_table(&report);
+                report.bit_identical()?;
+            }
+            other => {
+                // parse_smoke validated the name; reaching here means the
+                // registry and this dispatch went out of sync.
+                return Err(format!("--only {other} has no runner"));
+            }
+        }
+    }
+    println!(
+        "note: --only {name} ran a single suite; no summary artifact written, \
+         baseline digests not gated"
+    );
+    Ok(())
+}
+
 fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
+    if let Some(name) = &cmd.only {
+        return run_smoke_only(cmd, name);
+    }
     println!(
         "dstool smoke: {} suites, extra scale {}, {} worker threads vs serial",
         SUITES.len(),
@@ -1025,6 +1258,10 @@ fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
     // membership schedule, next to its fault-free twin.
     let chaos_report = run_chaos(&ChaosConfig::scaled(cmd.scale));
     print_chaos_table(&chaos_report);
+    // The parallel-fetch preset: the fetch-bound workload over the sharded
+    // fetch pool, digest and counters pinned across fetch-thread counts.
+    let fetch_report = run_fetch_sweep(&FetchSweepConfig::scaled(cmd.scale));
+    print_fetch_table(&fetch_report);
     // The vectorized-engine preset runs with one thread per core (not
     // `--threads`, which exists to prove the parallel sweep path even on
     // undersized hosts): the recorded thread count then doubles as the
@@ -1040,6 +1277,7 @@ fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
         &mt_report,
         &fs_report,
         &chaos_report,
+        &fetch_report,
         &mega_report,
     );
     write_out(&cmd.out, &doc)?;
@@ -1050,6 +1288,7 @@ fn run_smoke(cmd: &SmokeCmd) -> Result<(), String> {
     mt_report.verify()?;
     fs_report.verify()?;
     chaos_report.verify()?;
+    gate_fetch_sweep(&fetch_report)?;
     mega_report.bit_identical()?;
 
     if cmd.refresh_baseline {
@@ -1080,6 +1319,7 @@ fn smoke_json(
     mt_report: &MultiTenantReport,
     fs_report: &FsSweepReport,
     chaos_report: &ChaosReport,
+    fetch_report: &FetchSweepReport,
     mega_report: &MegaSweepReport,
 ) -> String {
     let mut out = String::with_capacity(4096);
@@ -1121,6 +1361,8 @@ fn smoke_json(
     out.push_str(&fs_report.to_json());
     out.push_str(",\"runtime_chaos\":");
     out.push_str(&chaos_report.to_json());
+    out.push_str(",\"runtime_fetch_sweep\":");
+    out.push_str(&fetch_report.to_json());
     out.push_str(",\"sim_sweep\":");
     out.push_str(&mega_report.to_json());
     out.push('}');
@@ -1197,6 +1439,7 @@ fn check_baseline(
         "runtime_multi_tenant",
         "runtime_fs_sweep",
         "runtime_chaos",
+        "runtime_fetch_sweep",
     ] {
         if let Some(expected) = digest_of(&baseline, preset) {
             let got = digest_of(&current, preset);
@@ -1458,6 +1701,7 @@ fn main() -> ExitCode {
         Ok(Command::MultiTenantSweep(cmd)) => run_multi_tenant_cmd(&cmd),
         Ok(Command::FsSweep(cmd)) => run_fs_sweep_cmd(&cmd),
         Ok(Command::ChaosSweep(cmd)) => run_chaos_sweep_cmd(&cmd),
+        Ok(Command::FetchSweep(cmd)) => run_fetch_sweep_cmd(&cmd),
         Ok(Command::MegaSweep(cmd)) => run_mega_sweep_cmd(&cmd),
         Ok(Command::Smoke(cmd)) => run_smoke(&cmd),
         Ok(Command::Validate(cmd)) => run_validate(&cmd),
@@ -1879,6 +2123,86 @@ mod tests {
         let err = check_baseline(path.to_str().unwrap(), &changed, 0.10, 8).unwrap_err();
         assert!(
             err.contains("runtime_chaos") && err.contains("stream digest changed"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fetch_sweep_is_routed_to_the_runtime_preset() {
+        let Ok(Command::FetchSweep(cmd)) = parse_args(&args(&[
+            "sweep",
+            FETCH_SWEEP_NAME,
+            "--scale",
+            "2",
+            "--out",
+            "fetch.json",
+        ])) else {
+            panic!("expected fetch-sweep command");
+        };
+        assert_eq!(cmd.scale, 2);
+        assert_eq!(cmd.out.as_deref(), Some("fetch.json"));
+        // The simulator threading flags and the fs-sweep root do not apply.
+        assert!(parse_args(&args(&["sweep", FETCH_SWEEP_NAME, "--serial"])).is_err());
+        assert!(parse_args(&args(&["sweep", FETCH_SWEEP_NAME, "--threads", "2"])).is_err());
+        assert!(parse_args(&args(&["sweep", FETCH_SWEEP_NAME, "--os-root", "/tmp/x"])).is_err());
+    }
+
+    #[test]
+    fn smoke_only_accepts_every_registered_suite_name() {
+        for name in smoke_only_names() {
+            let Ok(Command::Smoke(cmd)) = parse_args(&args(&["smoke", "--only", name])) else {
+                panic!("--only {name} should parse");
+            };
+            assert_eq!(cmd.only.as_deref(), Some(name));
+        }
+        // Without the flag, the full matrix runs.
+        let Ok(Command::Smoke(cmd)) = parse_args(&args(&["smoke"])) else {
+            panic!("expected smoke command");
+        };
+        assert!(cmd.only.is_none());
+    }
+
+    #[test]
+    fn smoke_only_rejects_unknown_names_listing_the_valid_ones() {
+        let Err(err) = parse_args(&args(&["smoke", "--only", "nope"])) else {
+            panic!("expected an unknown-suite error");
+        };
+        for name in RUNTIME_PRESETS {
+            assert!(err.contains(name), "--only error lists {name}: {err}");
+        }
+        assert!(err.contains(MEGA_SWEEP_NAME), "{err}");
+        assert!(err.contains("cache-sweep"), "{err}");
+    }
+
+    #[test]
+    fn smoke_only_is_mutually_exclusive_with_refresh_baseline() {
+        let Err(err) = parse_args(&args(&[
+            "smoke",
+            "--only",
+            WORKER_SWEEP_NAME,
+            "--refresh-baseline",
+        ])) else {
+            panic!("a partial smoke must not refresh the baseline");
+        };
+        assert!(err.contains("--only"), "{err}");
+    }
+
+    #[test]
+    fn baseline_gate_compares_the_fetch_sweep_stream_digest() {
+        let baseline = r#"{"extra_scale":8,"suites":[
+            {"suite":"s","points":[{"label":"a","steady_samples_per_sec":1000}]}],
+            "runtime_fetch_sweep":{"stream_digest":"00000000deadbeef"}}"#;
+        let dir = std::env::temp_dir().join("dstool_fetch_digest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, baseline).unwrap();
+        check_baseline(path.to_str().unwrap(), baseline, 0.10, 8).unwrap();
+        // A changed digest means the fetch pool delivered different bytes
+        // (or different counters fed the sweep): a correctness event.
+        let changed = baseline.replace("deadbeef", "0badf00d");
+        let err = check_baseline(path.to_str().unwrap(), &changed, 0.10, 8).unwrap_err();
+        assert!(
+            err.contains("runtime_fetch_sweep") && err.contains("stream digest changed"),
             "{err}"
         );
     }
